@@ -1,0 +1,88 @@
+// Experiment F4: the Section 5.2 electromagnetic-field computation
+// (Figure 4) — barriers between E/H phases, PRAM reads — plus the §5.2
+// ghost-copy ablation and the SC baseline.
+//
+// Expected shape: full-grid DSM sharing costs orders of magnitude more
+// update traffic than ghost-boundary sharing (the optimization the paper
+// says PRAM makes the system's job rather than the programmer's); SC adds
+// sequencer round trips on every published value.
+
+#include <cstdio>
+
+#include "apps/em_field.h"
+#include "apps/em_field2d.h"
+#include "bench_util.h"
+
+using namespace mc;
+using namespace mc::apps;
+using namespace mc::bench;
+
+namespace {
+
+void run_case(std::size_t m, std::size_t procs) {
+  EmProblem prob;
+  prob.m = m;
+  prob.steps = 12;
+  const auto lat = net::LatencyModel::fast();
+  const auto ref = em_reference(prob);
+
+  struct Row {
+    const char* name;
+    EmResult r;
+  };
+  const Row rows[] = {
+      {"full-grid-pram", em_mixed(prob, procs, ReadMode::kPram, EmSharing::kFullGrid, lat)},
+      {"full-grid-causal", em_mixed(prob, procs, ReadMode::kCausal, EmSharing::kFullGrid, lat)},
+      {"ghost-pram", em_mixed(prob, procs, ReadMode::kPram, EmSharing::kGhost, lat)},
+      {"ghost-pram-optimized", em_mixed(prob, procs, ReadMode::kPram, EmSharing::kGhost,
+                                        lat, 1, /*pattern_optimized=*/true)},
+      {"sc-ghost", em_sc(prob, procs, lat)},
+  };
+  for (const Row& row : rows) {
+    const bool exact = row.r.e == ref.e && row.r.h == ref.h;
+    std::printf("%-18s grid=%-4zu procs=%zu time=%8.2fms msgs=%-8llu bytes=%-10llu "
+                "exact=%s\n",
+                row.name, m, procs, row.r.elapsed_ms, msgs(row.r.metrics),
+                bytes(row.r.metrics), exact ? "yes" : "NO");
+  }
+}
+
+}  // namespace
+
+namespace {
+
+void run_case_2d(std::size_t nx, std::size_t ny, std::size_t procs) {
+  Em2dProblem prob;
+  prob.nx = nx;
+  prob.ny = ny;
+  prob.steps = 10;
+  const auto ref = em2d_reference(prob);
+  const auto par = em2d_mixed(prob, procs, ReadMode::kPram, net::LatencyModel::fast());
+  const bool exact = par.ez == ref.ez && par.hx == ref.hx && par.hy == ref.hy;
+  std::printf("2d-yee-pram        grid=%zux%-3zu procs=%zu time=%8.2fms msgs=%-8llu "
+              "bytes=%-10llu exact=%s\n",
+              nx, ny, procs, par.elapsed_ms, msgs(par.metrics), bytes(par.metrics),
+              exact ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  print_header("F4 — electromagnetic field computation (Section 5.2, Figure 4)",
+               "alternating E/H phases with barriers; PRAM reads suffice "
+               "(Corollary 2); ghost sharing slashes update traffic");
+  for (const std::size_t m : {64, 128}) {
+    for (const std::size_t procs : {2, 4}) {
+      run_case(m, procs);
+    }
+    std::printf("\n");
+  }
+
+  print_header("F4b — 2-D TE-mode Yee grid (Madsen-style spatial fields)",
+               "row strips, ghost boundary rows over DSM, PRAM reads");
+  for (const std::size_t procs : {2, 4}) {
+    run_case_2d(48, 48, procs);
+    run_case_2d(96, 64, procs);
+  }
+  return 0;
+}

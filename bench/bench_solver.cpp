@@ -1,0 +1,73 @@
+// Experiments F2, F3, C1: the Section 5.1 equation solver.
+//
+// Regenerates the Section 7 comparison between the Figure 2 (barriers +
+// PRAM) and Figure 3 (handshaking + causal) formulations, with the SC
+// baseline as the strong-memory reference.  The paper's claim (C1): the
+// barrier formulation outperforms handshaking.  Judged on protocol cost —
+// messages, bytes, and time blocked in the consistency machinery.
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/equation_solver.h"
+#include "bench_util.h"
+
+using namespace mc;
+using namespace mc::apps;
+using namespace mc::bench;
+
+namespace {
+
+void run_case(std::size_t n, std::size_t workers) {
+  const LinearSystem sys = LinearSystem::random(n, 1000 + n);
+  SolverOptions opt;
+  opt.workers = workers;
+  opt.latency = net::LatencyModel::fast();
+  opt.tol = 1e-8;
+
+  struct Row {
+    const char* name;
+    SolverResult r;
+    const char* blocked_key;
+  };
+  SolverOptions no_ts = opt;
+  no_ts.omit_timestamps = true;  // Section 6: legal because Fig 2 is
+                                 // PRAM-consistent (Corollary 2)
+  std::vector<Row> rows;
+  rows.push_back({"fig2-barrier-pram", solve_barrier_pram(sys, opt), "dsm.blocked_ns"});
+  rows.push_back(
+      {"fig2-pram-no-timestamps", solve_barrier_pram(sys, no_ts), "dsm.blocked_ns"});
+  rows.push_back(
+      {"fig3-handshake-causal", solve_handshake_causal(sys, opt), "dsm.blocked_ns"});
+  if (n <= 24 && workers == 2) {
+    // Section 7's chaotic-relaxation observation: converges with zero
+    // synchronization, at the cost of free-running (redundant) sweeps and
+    // update traffic.  Reported on the small case only; `iters` counts the
+    // coordinator's residual polls.
+    rows.push_back(
+        {"async-gauss-seidel", solve_async_gauss_seidel(sys, opt), "dsm.blocked_ns"});
+  }
+  rows.push_back({"sc-baseline", solve_sc_baseline(sys, opt), "sc.blocked_ns"});
+  for (const Row& row : rows) {
+    std::printf("%-24s n=%-4zu workers=%zu iters=%-3zu time=%8.2fms msgs=%-8llu "
+                "bytes=%-10llu blocked=%8.2fms\n",
+                row.name, n, workers, row.r.iterations, row.r.elapsed_ms,
+                msgs(row.r.metrics), bytes(row.r.metrics),
+                blocked_ms(row.r.metrics, row.blocked_key));
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("F2/F3/C1 — iterative equation solver (Section 5.1, Figures 2-3)",
+               "barrier+PRAM vs handshake+causal vs SC; expect fig2 cheapest "
+               "(fewer messages, less blocking), SC most expensive");
+  for (const std::size_t n : {24, 48, 96}) {
+    for (const std::size_t workers : {2, 4}) {
+      run_case(n, workers);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

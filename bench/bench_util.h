@@ -1,0 +1,31 @@
+// Shared table-printing helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one experiment row-set from DESIGN.md's
+// per-experiment index, printing machine-independent protocol costs
+// (messages, bytes, blocked time) next to wall time.
+
+#pragma once
+
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace mc::bench {
+
+inline void print_header(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n%s\n", title, columns);
+}
+
+inline unsigned long long msgs(const MetricsSnapshot& m) {
+  return static_cast<unsigned long long>(m.get("net.messages"));
+}
+
+inline unsigned long long bytes(const MetricsSnapshot& m) {
+  return static_cast<unsigned long long>(m.get("net.bytes"));
+}
+
+inline double blocked_ms(const MetricsSnapshot& m, const char* key = "dsm.blocked_ns") {
+  return static_cast<double>(m.get(key)) / 1e6;
+}
+
+}  // namespace mc::bench

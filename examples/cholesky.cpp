@@ -1,0 +1,51 @@
+// Section 5.3 example: sparse Cholesky factorization with Figure 5's
+// lock-based algorithm against the counter-object formulation that
+// Section 7 reports as significantly faster under Maya.
+//
+//   build/examples/cholesky [n] [procs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/cholesky.h"
+
+using namespace mc;
+using namespace mc::apps;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+  const std::size_t procs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+
+  const SparseSpd m = SparseSpd::random(n, /*band=*/3, /*fill_prob=*/0.06, /*seed=*/7);
+  const Symbolic sym = analyze(m);
+  std::printf("matrix: n=%zu, nnz(A lower)=%zu, nnz(L with fill)=%zu\n", n,
+              m.nnz_lower(), sym.fill_nnz());
+
+  CholeskyOptions opt;
+  opt.procs = procs;
+  opt.latency = net::LatencyModel::fast();
+
+  struct Row {
+    const char* name;
+    CholeskyResult result;
+  };
+  const Row rows[] = {
+      {"figure-5 write locks + causal reads", cholesky_locks(m, sym, opt)},
+      {"counter objects, no critical sections", cholesky_counters(m, sym, opt)},
+  };
+
+  std::printf("\n%-40s %9s %10s %12s %12s\n", "variant", "time(ms)", "messages",
+              "bytes", "||LL^T-A||");
+  for (const Row& row : rows) {
+    std::printf("%-40s %9.2f %10llu %12llu %12.2e\n", row.name, row.result.elapsed_ms,
+                static_cast<unsigned long long>(row.result.metrics.get("net.messages")),
+                static_cast<unsigned long long>(row.result.metrics.get("net.bytes")),
+                factorization_error(m, row.result.l));
+  }
+  std::printf("\nlock traffic: %llu lock requests in the Figure 5 run, %llu in the\n"
+              "counter-object run (Section 5.3's point: commutativity removes the\n"
+              "critical sections entirely).\n",
+              static_cast<unsigned long long>(rows[0].result.metrics.get("net.msg.lock_req")),
+              static_cast<unsigned long long>(rows[1].result.metrics.get("net.msg.lock_req")));
+  return 0;
+}

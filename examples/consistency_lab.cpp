@@ -1,0 +1,111 @@
+// Consistency lab: the model's hierarchy, demonstrated on paper (hand-built
+// histories through the checkers) and in silicon (executions of the real
+// runtime, recorded and re-checked).
+//
+//   build/examples/consistency_lab
+//
+// Walks through:
+//   1. a PRAM-but-not-causal history (transitive staleness),
+//   2. a causal-but-not-SC history (divergent observers),
+//   3. Theorem 1 on a producer/consumer program,
+//   4. the same producer/consumer program executed on the runtime, with
+//      its trace checked mechanically.
+
+#include <cstdio>
+#include <tuple>
+
+#include "dsm/system.h"
+#include "history/checkers.h"
+#include "history/program_analysis.h"
+#include "history/serialization.h"
+
+using namespace mc;
+using namespace mc::history;
+
+namespace {
+
+void verdict(const char* what, bool ok) {
+  std::printf("  %-52s %s\n", what, ok ? "yes" : "no");
+}
+
+void part1_transitive_staleness() {
+  std::printf("\n[1] Transitive staleness — w0(x)1 |. r1(x)1 -> w1(y)2 |. r2(y)2 -> r2(x)0\n");
+  History h(3);
+  const OpRef wx = h.write(0, 0, 1);
+  h.read(1, 0, 1, ReadMode::kCausal, h.op(wx).write_id);
+  const OpRef wy = h.write(1, 1, 2);
+  h.read(2, 1, 2, ReadMode::kCausal, h.op(wy).write_id);
+  h.read(2, 0, 0, ReadMode::kCausal, kInitialWrite);
+  verdict("all reads valid as PRAM reads (Definition 3)?",
+          check_consistency(h, ReadDiscipline::kAllPram).ok);
+  verdict("all reads valid as causal reads (Definition 2)?",
+          check_consistency(h, ReadDiscipline::kAllCausal).ok);
+  std::printf("  -> labeling the final read PRAM makes the history mixed consistent;\n"
+              "     labeling it causal does not.\n");
+}
+
+void part2_divergent_observers() {
+  std::printf("\n[2] Divergent observers — two readers see concurrent writes in opposite orders\n");
+  History h(4);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(1, 0, 2);
+  h.read(2, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  h.read(2, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  h.read(3, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  h.read(3, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  verdict("causally consistent?", check_consistency(h, ReadDiscipline::kAllCausal).ok);
+  verdict("sequentially consistent (Definition 1 search)?",
+          check_sequential_consistency(h).sequentially_consistent);
+  std::printf("  -> causal memory admits executions no single serialization explains.\n");
+}
+
+void part3_theorem1() {
+  std::printf("\n[3] Theorem 1 — producer/consumer with an await\n");
+  History h(2);
+  const OpRef w = h.write(0, 0, 7);
+  const OpRef f = h.write(0, 1, 1);
+  h.await(1, 1, 1, h.op(f).write_id);
+  h.read(1, 0, 7, ReadMode::kCausal, h.op(w).write_id);
+  const auto t = check_theorem1(h);
+  verdict("every causally-unrelated pair commutes?", t.precondition_holds);
+  verdict("every read is a causal read?", t.reads_causal);
+  verdict("=> sequentially consistent (theorem)?", t.implies_sequentially_consistent());
+  verdict("   confirmed by the exhaustive search?",
+          check_sequential_consistency(h).sequentially_consistent);
+}
+
+void part4_runtime() {
+  std::printf("\n[4] The same program on the runtime, trace-checked\n");
+  dsm::Config cfg;
+  cfg.num_procs = 2;
+  cfg.num_vars = 4;
+  cfg.record_trace = true;
+  dsm::MixedSystem sys(cfg);
+  sys.run([](dsm::Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(0, 7);
+      n.write_int(1, 1);
+    } else {
+      n.await_int(1, 1);
+      std::ignore = n.read_int(0, ReadMode::kCausal);
+      std::ignore = n.read_int(0, ReadMode::kPram);
+    }
+  });
+  const auto h = sys.collect_history();
+  std::printf("  recorded history:\n");
+  std::printf("%s", h.to_string().c_str());
+  verdict("mixed consistent (Definition 4)?", check_mixed_consistency(h).ok);
+  const auto sc = check_sequential_consistency(h);
+  verdict("sequentially consistent?", sc.sequentially_consistent);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mixed consistency lab — PRAM < causal < SC, mechanically\n");
+  part1_transitive_staleness();
+  part2_divergent_observers();
+  part3_theorem1();
+  part4_runtime();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Section 5.1 example: solve a random diagonally dominant system with both
+// of the paper's parallel formulations and the SC baseline, and compare
+// their protocol costs.
+//
+//   build/examples/equation_solver [n] [workers]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/equation_solver.h"
+
+using namespace mc;
+using namespace mc::apps;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+  const std::size_t workers = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+
+  const LinearSystem sys = LinearSystem::random(n, /*seed=*/2026);
+  SolverOptions opt;
+  opt.workers = workers;
+  opt.latency = net::LatencyModel::fast();
+
+  const auto ref = jacobi_reference(sys, opt.tol, opt.max_iters);
+  std::printf("reference: %zu iterations, residual < %g: %s\n", ref.iterations, opt.tol,
+              ref.converged ? "yes" : "no");
+
+  struct Row {
+    const char* name;
+    SolverResult result;
+  };
+  const Row rows[] = {
+      {"figure-2 barriers + PRAM reads", solve_barrier_pram(sys, opt)},
+      {"figure-3 handshake + causal reads", solve_handshake_causal(sys, opt)},
+      {"SC baseline (sequencer memory)", solve_sc_baseline(sys, opt)},
+  };
+
+  std::printf("\n%-36s %6s %9s %10s %12s %10s\n", "variant", "iters", "time(ms)",
+              "messages", "bytes", "err-vs-ref");
+  for (const Row& row : rows) {
+    const double err = max_abs_diff(row.result.x, ref.x);
+    std::printf("%-36s %6zu %9.2f %10llu %12llu %10.2e\n", row.name,
+                row.result.iterations, row.result.elapsed_ms,
+                static_cast<unsigned long long>(row.result.metrics.get("net.messages")),
+                static_cast<unsigned long long>(row.result.metrics.get("net.bytes")), err);
+  }
+  std::printf("\nSection 7's Maya observation: the barrier formulation outperforms the\n"
+              "handshaking one — compare the message and time columns above.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "apps/cholesky.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "dsm/system.h"
+
+namespace mc::apps {
+
+namespace {
+
+/// Packed lower-triangular variable index (i >= j).
+VarId tri(std::size_t i, std::size_t j) {
+  return static_cast<VarId>(i * (i + 1) / 2 + j);
+}
+
+std::size_t tri_size(std::size_t n) { return n * (n + 1) / 2; }
+
+ProcId owner_of(std::size_t j, std::size_t procs) {
+  return static_cast<ProcId>(j % procs);
+}
+
+}  // namespace
+
+CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
+                              const CholeskyOptions& opt) {
+  const std::size_t n = m.n;
+  MC_CHECK(opt.procs >= 1);
+
+  dsm::Config cfg;
+  cfg.num_procs = opt.procs;
+  cfg.num_vars = tri_size(n) + n;  // L entries, then count[k]
+  cfg.latency = opt.latency;
+  cfg.seed = opt.seed;
+  cfg.record_trace = opt.record_trace;
+  cfg.default_lock_policy = opt.lock_policy;
+  const auto count_var = [&](std::size_t k) {
+    return static_cast<VarId>(tri_size(n) + k);
+  };
+
+  dsm::MixedSystem sys(cfg);
+  CholeskyResult out;
+  out.l.assign(n * n, 0.0);
+
+  Stopwatch clock;
+  sys.run([&](dsm::Node& node, ProcId p) {
+    // Process 0 installs the input (A's lower pattern values and the
+    // dependency counts); the barrier makes initialization visible before
+    // anyone awaits.
+    if (p == 0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (const std::uint32_t i : sym.col_rows[j]) node.write_double(tri(i, j), m.at(i, j));
+        node.write_int(count_var(j), sym.dep_count[j]);
+      }
+    }
+    node.barrier();
+
+    std::vector<double> colj(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (owner_of(j, opt.procs) != p) continue;
+      // Figure 5, line 1: wait for every dependency to be applied.
+      node.await_int(count_var(j), 0);
+      // Lines 2-3: finish column j locally (causal reads — the await's
+      // causal floor covers every earlier critical section on l[j]).
+      const double diag = std::sqrt(node.read_double(tri(j, j), ReadMode::kCausal));
+      node.write_double(tri(j, j), diag);
+      colj[j] = diag;
+      for (const std::uint32_t i : sym.col_rows[j]) {
+        if (i == j) continue;
+        const double lij = node.read_double(tri(i, j), ReadMode::kCausal) / diag;
+        node.write_double(tri(i, j), lij);
+        colj[i] = lij;
+      }
+      // Lines 4-8: update every dependent column inside its critical
+      // section, decrementing its count.
+      for (const std::uint32_t k : sym.col_updates[j]) {
+        node.wlock(static_cast<LockId>(k));
+        for (const std::uint32_t i : sym.col_rows[k]) {
+          const double v = node.read_double(tri(i, k), ReadMode::kCausal);
+          node.write_double(tri(i, k), v - colj[i] * colj[k]);
+        }
+        node.write_int(count_var(k),
+                       node.read_int(count_var(k), ReadMode::kCausal) - 1);
+        node.wunlock(static_cast<LockId>(k));
+      }
+    }
+    node.barrier();
+  });
+  out.elapsed_ms = clock.elapsed_ms();
+
+  for (std::size_t j = 0; j < n; ++j) {
+    for (const std::uint32_t i : sym.col_rows[j]) {
+      out.l[i * n + j] = sys.node(0).read_double(tri(i, j), ReadMode::kCausal);
+    }
+  }
+  out.metrics = sys.metrics();
+  if (opt.record_trace) out.history = sys.collect_history();
+  return out;
+}
+
+CholeskyResult cholesky_counters(const SparseSpd& m, const Symbolic& sym,
+                                 const CholeskyOptions& opt) {
+  const std::size_t n = m.n;
+  MC_CHECK(opt.procs >= 1);
+
+  dsm::Config cfg;
+  cfg.num_procs = opt.procs;
+  // Pure-delta accumulators, pure-delta counts, then write-once results.
+  cfg.num_vars = tri_size(n) + n + tri_size(n);
+  cfg.latency = opt.latency;
+  cfg.seed = opt.seed;
+  cfg.record_trace = opt.record_trace;
+  const auto acc = [](std::size_t i, std::size_t j) { return tri(i, j); };
+  const auto cnt = [&](std::size_t k) { return static_cast<VarId>(tri_size(n) + k); };
+  const auto res = [&](std::size_t i, std::size_t j) {
+    return static_cast<VarId>(tri_size(n) + n + tri(i, j));
+  };
+
+  dsm::MixedSystem sys(cfg);
+  CholeskyResult out;
+  out.l.assign(n * n, 0.0);
+
+  Stopwatch clock;
+  sys.run([&](dsm::Node& node, ProcId p) {
+    // No initialization step: accumulators and counts are pure counter
+    // objects starting at zero, and A is replicated program input.
+    std::vector<double> colj(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (owner_of(j, opt.procs) != p) continue;
+      // Counts decrement from zero; the column is ready at -dep_count.
+      // Causal await + causal reads make the concurrently-arriving deltas
+      // of the accumulators coherent (see cholesky.h).
+      node.await_int(cnt(j), -static_cast<std::int64_t>(sym.dep_count[j]),
+                     ReadMode::kCausal);
+      const double full_diag =
+          m.at(j, j) + node.read_double(acc(j, j), ReadMode::kCausal);
+      const double diag = std::sqrt(full_diag);
+      colj[j] = diag;
+      node.write_double(res(j, j), diag);
+      for (const std::uint32_t i : sym.col_rows[j]) {
+        if (i == j) continue;
+        const double full = m.at(i, j) + node.read_double(acc(i, j), ReadMode::kCausal);
+        colj[i] = full / diag;
+        node.write_double(res(i, j), colj[i]);
+      }
+      // No critical sections: every update is a commutative decrement.
+      for (const std::uint32_t k : sym.col_updates[j]) {
+        for (const std::uint32_t i : sym.col_rows[k]) {
+          node.dec_double(acc(i, k), colj[i] * colj[k]);
+        }
+        node.dec_int(cnt(k), 1);
+      }
+    }
+    node.barrier();
+  });
+  out.elapsed_ms = clock.elapsed_ms();
+
+  for (std::size_t j = 0; j < n; ++j) {
+    for (const std::uint32_t i : sym.col_rows[j]) {
+      out.l[i * n + j] = sys.node(0).read_double(res(i, j), ReadMode::kCausal);
+    }
+  }
+  out.metrics = sys.metrics();
+  if (opt.record_trace) out.history = sys.collect_history();
+  return out;
+}
+
+}  // namespace mc::apps

@@ -1,0 +1,52 @@
+// Section 5.3: parallel sparse Cholesky factorization, in the paper's two
+// formulations:
+//
+//   - Figure 5 (lock-based): columns are distributed across processes; a
+//     process may start column j once count[j] reaches zero (await), and
+//     updates to a remote column k happen inside a write-lock critical
+//     section guarded by l[k], which also decrements count[k].  Causal
+//     reads are required — PRAM reads could miss updates from critical
+//     sections before the immediately preceding one (Section 5.3).
+//
+//   - Counter objects (Section 5.3's optimization, the variant Section 7
+//     reports as significantly faster under Maya): every matrix entry and
+//     count variable becomes a commutative decrement object, eliminating
+//     all critical sections.  Accumulators are pure delta objects (never
+//     overwritten); the finished column is published through write-once
+//     result variables.
+
+#pragma once
+
+#include <vector>
+
+#include "apps/sparse.h"
+#include "common/stats.h"
+#include "dsm/config.h"
+#include "history/history.h"
+
+namespace mc::apps {
+
+struct CholeskyOptions {
+  std::size_t procs = 3;
+  net::LatencyModel latency = net::LatencyModel::zero();
+  std::uint64_t seed = 1;
+  bool record_trace = false;
+  dsm::LockPolicy lock_policy = dsm::LockPolicy::kLazy;  // lock variant only
+};
+
+struct CholeskyResult {
+  std::vector<double> l;  // dense row-major lower factor
+  double elapsed_ms = 0.0;
+  MetricsSnapshot metrics;
+  history::History history{0};
+};
+
+/// Figure 5: write locks + causal reads.
+CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
+                              const CholeskyOptions& opt);
+
+/// Counter objects: commutative decrements, no critical sections.
+CholeskyResult cholesky_counters(const SparseSpd& m, const Symbolic& sym,
+                                 const CholeskyOptions& opt);
+
+}  // namespace mc::apps

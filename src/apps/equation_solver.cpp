@@ -1,0 +1,282 @@
+#include "apps/equation_solver.h"
+
+#include "common/check.h"
+#include "dsm/system.h"
+
+namespace mc::apps {
+
+namespace {
+
+/// Shared-variable layout of both solver formulations.
+struct Layout {
+  std::size_t n;
+  std::size_t workers;
+
+  [[nodiscard]] VarId x(std::size_t i) const { return static_cast<VarId>(i); }
+  [[nodiscard]] VarId done() const { return static_cast<VarId>(n); }
+  [[nodiscard]] VarId computed(std::size_t w) const { return static_cast<VarId>(n + 1 + w); }
+  [[nodiscard]] VarId updated(std::size_t w) const {
+    return static_cast<VarId>(n + 1 + workers + w);
+  }
+  [[nodiscard]] std::size_t num_vars() const { return n + 1 + 2 * workers; }
+
+  [[nodiscard]] std::pair<std::size_t, std::size_t> rows(std::size_t w) const {
+    return {w * n / workers, (w + 1) * n / workers};
+  }
+};
+
+dsm::Config make_config(const LinearSystem& sys, const SolverOptions& opt, bool trace) {
+  const Layout lay{sys.n, opt.workers, };
+  dsm::Config cfg;
+  cfg.num_procs = opt.workers + 1;
+  cfg.num_vars = lay.num_vars();
+  cfg.latency = opt.latency;
+  cfg.seed = opt.seed;
+  cfg.record_trace = trace;
+  cfg.omit_timestamps = opt.omit_timestamps;
+  return cfg;
+}
+
+SolverRun run_barrier(const LinearSystem& sys, const SolverOptions& opt, ReadMode mode,
+                      bool trace) {
+  MC_CHECK(opt.workers >= 1);
+  const Layout lay{sys.n, opt.workers};
+  dsm::MixedSystem dsm_sys(make_config(sys, opt, trace));
+
+  SolverRun out;
+  Stopwatch clock;
+  dsm_sys.run([&](dsm::Node& node, ProcId p) {
+    if (p == 0) {
+      // Coordinator (Figure 2, left column): convergence checks between
+      // barrier pairs.
+      std::vector<double> xs(sys.n);
+      std::size_t sweeps = 0;
+      for (;;) {
+        for (std::size_t i = 0; i < sys.n; ++i) xs[i] = node.read_double(lay.x(i), mode);
+        const double resid = residual_inf(sys, xs);
+        const bool stop = resid < opt.tol || sweeps >= opt.max_iters;
+        if (stop) node.write_int(lay.done(), 1);
+        node.barrier();
+        node.barrier();
+        if (stop) {
+          out.result.x = xs;
+          out.result.iterations = sweeps;
+          out.result.converged = resid < opt.tol;
+          break;
+        }
+        ++sweeps;
+      }
+    } else {
+      // Worker (Figure 2, right column): compute sub-phase, barrier,
+      // install sub-phase, barrier.
+      const auto [r0, r1] = lay.rows(p - 1);
+      std::vector<double> temp(sys.n, 0.0);
+      for (;;) {
+        jacobi_rows(sys, r0, r1,
+                    [&](std::size_t j) { return node.read_double(lay.x(j), mode); }, temp);
+        node.barrier();
+        const bool stop = node.read_int(lay.done(), mode) != 0;
+        if (!stop) {
+          for (std::size_t i = r0; i < r1; ++i) node.write_double(lay.x(i), temp[i]);
+        }
+        node.barrier();
+        if (stop) break;
+      }
+    }
+  });
+  out.result.elapsed_ms = clock.elapsed_ms();
+  out.result.metrics = dsm_sys.metrics();
+  if (trace) out.history = dsm_sys.collect_history();
+  return out;
+}
+
+SolverRun run_handshake(const LinearSystem& sys, const SolverOptions& opt, bool trace) {
+  MC_CHECK(opt.workers >= 1);
+  const Layout lay{sys.n, opt.workers};
+  dsm::MixedSystem dsm_sys(make_config(sys, opt, trace));
+
+  SolverRun out;
+  Stopwatch clock;
+  dsm_sys.run([&](dsm::Node& node, ProcId p) {
+    if (p == 0) {
+      // Coordinator (Figure 3): four handshake rounds per phase.
+      std::vector<double> xs(sys.n);
+      std::int64_t phase = 0;
+      for (;;) {
+        ++phase;
+        for (std::size_t w = 0; w < opt.workers; ++w) {
+          node.await_int(lay.computed(w), phase);
+        }
+        for (std::size_t w = 0; w < opt.workers; ++w) {
+          node.write_int(lay.computed(w), -phase);
+        }
+        for (std::size_t w = 0; w < opt.workers; ++w) {
+          node.await_int(lay.updated(w), phase);
+        }
+        for (std::size_t i = 0; i < sys.n; ++i) {
+          xs[i] = node.read_double(lay.x(i), ReadMode::kCausal);
+        }
+        const double resid = residual_inf(sys, xs);
+        const bool stop = resid < opt.tol ||
+                          static_cast<std::size_t>(phase) >= opt.max_iters;
+        if (stop) node.write_int(lay.done(), 1);
+        for (std::size_t w = 0; w < opt.workers; ++w) {
+          node.write_int(lay.updated(w), -phase);
+        }
+        if (stop) {
+          out.result.x = xs;
+          out.result.iterations = static_cast<std::size_t>(phase);
+          out.result.converged = resid < opt.tol;
+          break;
+        }
+      }
+    } else {
+      // Worker (Figure 3): compute, handshake `computed`, install,
+      // handshake `updated`, re-check `done` causally.
+      const std::size_t w = p - 1;
+      const auto [r0, r1] = lay.rows(w);
+      std::vector<double> temp(sys.n, 0.0);
+      std::int64_t phase = 0;
+      for (;;) {
+        ++phase;
+        jacobi_rows(sys, r0, r1,
+                    [&](std::size_t j) { return node.read_double(lay.x(j), ReadMode::kCausal); },
+                    temp);
+        node.write_int(lay.computed(w), phase);
+        node.await_int(lay.computed(w), -phase);
+        for (std::size_t i = r0; i < r1; ++i) node.write_double(lay.x(i), temp[i]);
+        node.write_int(lay.updated(w), phase);
+        node.await_int(lay.updated(w), -phase);
+        if (node.read_int(lay.done(), ReadMode::kCausal) != 0) break;
+      }
+    }
+  });
+  out.result.elapsed_ms = clock.elapsed_ms();
+  out.result.metrics = dsm_sys.metrics();
+  if (trace) out.history = dsm_sys.collect_history();
+  return out;
+}
+
+}  // namespace
+
+SolverResult solve_barrier_pram(const LinearSystem& sys, const SolverOptions& opt) {
+  return run_barrier(sys, opt, ReadMode::kPram, opt.record_trace).result;
+}
+
+SolverResult solve_handshake_causal(const LinearSystem& sys, const SolverOptions& opt) {
+  return run_handshake(sys, opt, opt.record_trace).result;
+}
+
+SolverRun solve_barrier_traced(const LinearSystem& sys, const SolverOptions& opt,
+                               ReadMode mode) {
+  return run_barrier(sys, opt, mode, true);
+}
+
+SolverRun solve_handshake_traced(const LinearSystem& sys, const SolverOptions& opt) {
+  return run_handshake(sys, opt, true);
+}
+
+SolverResult solve_async_gauss_seidel(const LinearSystem& sys, const SolverOptions& opt) {
+  MC_CHECK(opt.workers >= 1);
+  const Layout lay{sys.n, opt.workers};
+  dsm::MixedSystem dsm_sys(make_config(sys, opt, /*trace=*/false));
+
+  SolverResult out;
+  Stopwatch clock;
+  dsm_sys.run([&](dsm::Node& node, ProcId p) {
+    if (p == 0) {
+      // Coordinator: poll the estimate until the residual is small.  No
+      // synchronization with the workers at all — the only exit channel is
+      // the `done` flag, which workers poll through PRAM reads.
+      std::vector<double> xs(sys.n);
+      std::size_t polls = 0;
+      for (;;) {
+        for (std::size_t i = 0; i < sys.n; ++i) {
+          xs[i] = node.read_double(lay.x(i), ReadMode::kPram);
+        }
+        const double resid = residual_inf(sys, xs);
+        ++polls;
+        if (resid < opt.tol || polls >= opt.max_iters * 16) {
+          node.write_int(lay.done(), 1);
+          out.x = xs;
+          out.iterations = polls;
+          out.converged = resid < opt.tol;
+          break;
+        }
+        std::this_thread::yield();
+      }
+    } else {
+      // Worker: chaotic Gauss-Seidel relaxation — install each component
+      // immediately and keep sweeping with whatever has arrived.
+      const auto [r0, r1] = lay.rows(p - 1);
+      while (node.read_int(lay.done(), ReadMode::kPram) == 0) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          double sum = 0.0;
+          for (std::size_t j = 0; j < sys.n; ++j) {
+            sum += sys.at(i, j) * node.read_double(lay.x(j), ReadMode::kPram);
+          }
+          const double xi = node.read_double(lay.x(i), ReadMode::kPram) +
+                            (sys.b[i] - sum) / sys.at(i, i);
+          node.write_double(lay.x(i), xi);
+        }
+      }
+    }
+  });
+  out.elapsed_ms = clock.elapsed_ms();
+  out.metrics = dsm_sys.metrics();
+  return out;
+}
+
+SolverResult solve_sc_baseline(const LinearSystem& sys, const SolverOptions& opt) {
+  MC_CHECK(opt.workers >= 1);
+  const Layout lay{sys.n, opt.workers};
+  baseline::ScConfig cfg;
+  cfg.num_procs = opt.workers + 1;
+  cfg.num_vars = lay.num_vars();
+  cfg.latency = opt.latency;
+  cfg.seed = opt.seed;
+  baseline::ScSystem sc(cfg);
+
+  SolverResult out;
+  Stopwatch clock;
+  sc.run([&](baseline::ScNode& node, ProcId p) {
+    if (p == 0) {
+      std::vector<double> xs(sys.n);
+      std::size_t sweeps = 0;
+      for (;;) {
+        for (std::size_t i = 0; i < sys.n; ++i) xs[i] = node.read_double(lay.x(i));
+        const double resid = residual_inf(sys, xs);
+        const bool stop = resid < opt.tol || sweeps >= opt.max_iters;
+        if (stop) node.write_int(lay.done(), 1);
+        node.barrier();
+        node.barrier();
+        if (stop) {
+          out.x = xs;
+          out.iterations = sweeps;
+          out.converged = resid < opt.tol;
+          break;
+        }
+        ++sweeps;
+      }
+    } else {
+      const auto [r0, r1] = lay.rows(p - 1);
+      std::vector<double> temp(sys.n, 0.0);
+      for (;;) {
+        jacobi_rows(sys, r0, r1, [&](std::size_t j) { return node.read_double(lay.x(j)); },
+                    temp);
+        node.barrier();
+        const bool stop = node.read_int(lay.done()) != 0;
+        if (!stop) {
+          for (std::size_t i = r0; i < r1; ++i) node.write_double(lay.x(i), temp[i]);
+        }
+        node.barrier();
+        if (stop) break;
+      }
+    }
+  });
+  out.elapsed_ms = clock.elapsed_ms();
+  out.metrics = sc.metrics();
+  return out;
+}
+
+}  // namespace mc::apps

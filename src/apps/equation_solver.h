@@ -1,0 +1,83 @@
+// Section 5.1: the synchronous iterative linear-equation solver, in the
+// paper's two parallel formulations plus the sequentially consistent
+// baseline:
+//
+//   - Figure 2: barriers split each iteration into a read sub-phase and an
+//     install sub-phase; the program is PRAM-consistent (Corollary 2), so
+//     all shared reads are PRAM reads.
+//   - Figure 3: no barriers — a coordinator handshakes with the workers
+//     through `computed`/`updated` flags and await statements; Theorem 1
+//     requires causal reads here (PRAM reads can observe inconsistent
+//     estimates).
+//   - The same barrier algorithm on the SC baseline, as the strong-memory
+//     reference point.
+//
+// A coordinator (process 0) checks convergence; workers own row blocks.
+// The arithmetic is shared with the sequential reference (matrix.h), so
+// converged results agree bitwise and iteration counts are comparable.
+
+#pragma once
+
+#include <vector>
+
+#include "apps/matrix.h"
+#include "baseline/sc_system.h"
+#include "common/stats.h"
+#include "dsm/config.h"
+
+namespace mc::apps {
+
+struct SolverOptions {
+  std::size_t workers = 3;
+  double tol = 1e-8;
+  std::size_t max_iters = 400;
+  net::LatencyModel latency = net::LatencyModel::zero();
+  std::uint64_t seed = 1;
+  bool record_trace = false;
+
+  /// Section 6 optimization: elide vector timestamps from updates.  Legal
+  /// for the Figure 2 (barrier + PRAM) formulation because the program is
+  /// PRAM-consistent (Corollary 2); rejected at runtime for Figure 3.
+  bool omit_timestamps = false;
+};
+
+struct SolverResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  bool converged = false;
+  double elapsed_ms = 0.0;
+  MetricsSnapshot metrics;
+};
+
+/// Figure 2: barriers + PRAM reads on mixed consistency.
+SolverResult solve_barrier_pram(const LinearSystem& sys, const SolverOptions& opt);
+
+/// Figure 3: coordinator handshaking + awaits + causal reads.
+SolverResult solve_handshake_causal(const LinearSystem& sys, const SolverOptions& opt);
+
+/// Figure 2's algorithm on the sequentially consistent baseline.
+SolverResult solve_sc_baseline(const LinearSystem& sys, const SolverOptions& opt);
+
+/// Section 7's closing observation: "equivalence to a sequentially
+/// consistent computation may not always be necessary — some asynchronous
+/// relaxation algorithms such as Gauss-Seidel iteration converge even with
+/// PRAM."  Workers sweep their row blocks Gauss-Seidel style with *no*
+/// synchronization, installing each component as soon as it is computed and
+/// reading whatever PRAM values have arrived; the coordinator polls the
+/// residual and raises `done`.  The result matches the reference solution
+/// numerically (same fixed point) but not bitwise, and iteration counts are
+/// schedule-dependent.
+SolverResult solve_async_gauss_seidel(const LinearSystem& sys, const SolverOptions& opt);
+
+/// Variant hooks used by tests: run Figure 2 with a chosen read label
+/// (running it with causal reads is legal and equally correct, just
+/// stronger than necessary) and optionally capture the trace.
+struct SolverRun {
+  SolverResult result;
+  history::History history{0};
+};
+SolverRun solve_barrier_traced(const LinearSystem& sys, const SolverOptions& opt,
+                               ReadMode mode);
+SolverRun solve_handshake_traced(const LinearSystem& sys, const SolverOptions& opt);
+
+}  // namespace mc::apps

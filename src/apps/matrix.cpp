@@ -1,0 +1,66 @@
+#include "apps/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mc::apps {
+
+LinearSystem LinearSystem::random(std::size_t n, std::uint64_t seed) {
+  MC_CHECK(n > 0);
+  LinearSystem sys;
+  sys.n = n;
+  sys.a.resize(n * n);
+  sys.b.resize(n);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off_diag = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      sys.a[i * n + j] = v;
+      off_diag += std::abs(v);
+    }
+    sys.a[i * n + i] = off_diag + rng.uniform(1.0, 2.0);  // strict dominance
+    sys.b[i] = rng.uniform(-10.0, 10.0);
+  }
+  return sys;
+}
+
+double residual_inf(const LinearSystem& sys, const std::vector<double>& x) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sys.n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < sys.n; ++j) sum += sys.at(i, j) * x[j];
+    worst = std::max(worst, std::abs(sum - sys.b[i]));
+  }
+  return worst;
+}
+
+JacobiReference jacobi_reference(const LinearSystem& sys, double tol,
+                                 std::size_t max_iters) {
+  JacobiReference out;
+  out.x.assign(sys.n, 0.0);
+  std::vector<double> temp(sys.n, 0.0);
+  for (out.iterations = 0; out.iterations < max_iters; ++out.iterations) {
+    if (residual_inf(sys, out.x) < tol) {
+      out.converged = true;
+      return out;
+    }
+    jacobi_rows(sys, 0, sys.n, [&](std::size_t j) { return out.x[j]; }, temp);
+    out.x = temp;
+  }
+  out.converged = residual_inf(sys, out.x) < tol;
+  return out;
+}
+
+double max_abs_diff(const std::vector<double>& u, const std::vector<double>& v) {
+  MC_CHECK(u.size() == v.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    worst = std::max(worst, std::abs(u[i] - v[i]));
+  }
+  return worst;
+}
+
+}  // namespace mc::apps

@@ -1,0 +1,58 @@
+// Dense linear-algebra helpers for the Section 5 applications: diagonally
+// dominant system generation, the sequential Jacobi reference solver, and
+// residual checks.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mc::apps {
+
+/// A dense linear system A x = b with strictly diagonally dominant A (the
+/// classic sufficient condition for Jacobi convergence).
+struct LinearSystem {
+  std::size_t n = 0;
+  std::vector<double> a;  // row-major n*n
+  std::vector<double> b;
+
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const { return a[i * n + j]; }
+
+  /// Random strictly diagonally dominant system.
+  static LinearSystem random(std::size_t n, std::uint64_t seed);
+};
+
+/// One Jacobi sweep in the paper's update form:
+///   temp[i] = x[i] + (b[i] - sum_j A[i][j] x[j]) / A[i][i]
+/// for rows [row_begin, row_end).  Reading x through `read_x` lets the DSM
+/// variants plug in PRAM/causal/SC reads while keeping the arithmetic (and
+/// hence bitwise results) identical to the sequential reference.
+template <typename ReadX>
+void jacobi_rows(const LinearSystem& sys, std::size_t row_begin, std::size_t row_end,
+                 ReadX&& read_x, std::vector<double>& temp) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < sys.n; ++j) sum += sys.at(i, j) * read_x(j);
+    temp[i] = read_x(i) + (sys.b[i] - sum) / sys.at(i, i);
+  }
+}
+
+/// Infinity-norm residual ||A x - b||.
+double residual_inf(const LinearSystem& sys, const std::vector<double>& x);
+
+struct JacobiReference {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Sequential Jacobi iteration to tolerance `tol` (residual infinity norm).
+JacobiReference jacobi_reference(const LinearSystem& sys, double tol,
+                                 std::size_t max_iters);
+
+/// Max |u_i - v_i|.
+double max_abs_diff(const std::vector<double>& u, const std::vector<double>& v);
+
+}  // namespace mc::apps

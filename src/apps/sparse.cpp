@@ -1,0 +1,129 @@
+#include "apps/sparse.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mc::apps {
+
+SparseSpd SparseSpd::random(std::size_t n, std::size_t band, double fill_prob,
+                            std::uint64_t seed) {
+  MC_CHECK(n > 0);
+  SparseSpd m;
+  m.n = n;
+  m.a.assign(n * n, 0.0);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const bool in_band = i - j <= band;
+      if (in_band || rng.chance(fill_prob)) {
+        const double v = rng.uniform(-1.0, 1.0);
+        m.a[i * n + j] = v;
+        m.a[j * n + i] = v;
+      }
+    }
+  }
+  // Strict diagonal dominance implies positive definiteness for a
+  // symmetric matrix with positive diagonal.
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) off += std::abs(m.a[i * n + j]);
+    }
+    m.a[i * n + i] = off + rng.uniform(1.0, 2.0);
+  }
+  return m;
+}
+
+std::size_t SparseSpd::nnz_lower() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (a[i * n + j] != 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+Symbolic analyze(const SparseSpd& m) {
+  const std::size_t n = m.n;
+  // Boolean right-looking elimination: start from A's lower pattern and add
+  // fill — updating column k by column j fills every (i, k) with i in
+  // pattern(j), i >= k.
+  std::vector<std::vector<bool>> lower(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (m.at(i, j) != 0.0) lower[j][i] = true;  // lower[col][row]
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j + 1; k < n; ++k) {
+      if (!lower[j][k]) continue;
+      for (std::size_t i = k; i < n; ++i) {
+        if (lower[j][i]) lower[k][i] = true;  // fill-in
+      }
+    }
+  }
+
+  Symbolic sym;
+  sym.n = n;
+  sym.col_rows.resize(n);
+  sym.col_updates.resize(n);
+  sym.dep_count.assign(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    lower[j][j] = true;
+    for (std::size_t i = j; i < n; ++i) {
+      if (lower[j][i]) sym.col_rows[j].push_back(static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t k = j + 1; k < n; ++k) {
+      if (lower[j][k]) {
+        sym.col_updates[j].push_back(static_cast<std::uint32_t>(k));
+        ++sym.dep_count[k];
+      }
+    }
+  }
+  return sym;
+}
+
+std::size_t Symbolic::fill_nnz() const {
+  std::size_t count = 0;
+  for (const auto& rows : col_rows) count += rows.size();
+  return count;
+}
+
+std::vector<double> cholesky_reference(const SparseSpd& m, const Symbolic& sym) {
+  const std::size_t n = m.n;
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) l[i * n + j] = m.at(i, j);
+  }
+  // Right-looking, column by column — the exact computation Figure 5
+  // distributes (lines 2-7), in the same floating-point order.
+  for (std::size_t j = 0; j < n; ++j) {
+    l[j * n + j] = std::sqrt(l[j * n + j]);
+    for (const std::uint32_t i : sym.col_rows[j]) {
+      if (i != j) l[i * n + j] /= l[j * n + j];
+    }
+    for (const std::uint32_t k : sym.col_updates[j]) {
+      for (const std::uint32_t i : sym.col_rows[k]) {
+        l[i * n + k] -= l[i * n + j] * l[k * n + j];
+      }
+    }
+  }
+  return l;
+}
+
+double factorization_error(const SparseSpd& m, const std::vector<double>& l) {
+  const std::size_t n = m.n;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) sum += l[i * n + k] * l[j * n + k];
+      worst = std::max(worst, std::abs(sum - m.at(i, j)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace mc::apps

@@ -1,0 +1,55 @@
+// Sparse symmetric positive-definite systems for Section 5.3: generation,
+// symbolic factorization (fill pattern + column dependency counts — the
+// paper's `count[j]`), the sequential Cholesky reference, and verification.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mc::apps {
+
+/// Symmetric positive-definite matrix with explicit sparsity, stored dense
+/// (row-major) for simple arithmetic; the pattern drives parallelism.
+struct SparseSpd {
+  std::size_t n = 0;
+  std::vector<double> a;  // n*n, symmetric
+
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const { return a[i * n + j]; }
+
+  /// Banded symmetric matrix with random off-band fill, made SPD by strict
+  /// diagonal dominance.
+  static SparseSpd random(std::size_t n, std::size_t band, double fill_prob,
+                          std::uint64_t seed);
+
+  [[nodiscard]] std::size_t nnz_lower() const;
+};
+
+/// Symbolic factorization: the fill pattern of L and the dependency
+/// structure of the column algorithm.
+struct Symbolic {
+  std::size_t n = 0;
+  /// For column j: the rows i >= j with L[i][j] structurally nonzero
+  /// (diagonal first, ascending).
+  std::vector<std::vector<std::uint32_t>> col_rows;
+  /// For column j: the columns k > j that column j updates (L[k][j] != 0).
+  std::vector<std::vector<std::uint32_t>> col_updates;
+  /// count[k] of Figure 5: number of columns j < k that update column k.
+  std::vector<std::uint32_t> dep_count;
+
+  [[nodiscard]] std::size_t fill_nnz() const;
+};
+
+Symbolic analyze(const SparseSpd& m);
+
+/// Sequential right-looking sparse Cholesky following the pattern; returns
+/// the dense lower-triangular factor (row-major full matrix, upper part
+/// zero).
+std::vector<double> cholesky_reference(const SparseSpd& m, const Symbolic& sym);
+
+/// Max |(L L^T - A)[i][j]|.
+double factorization_error(const SparseSpd& m, const std::vector<double>& l);
+
+}  // namespace mc::apps

@@ -1,0 +1,56 @@
+#include "baseline/sequencer.h"
+
+#include "common/check.h"
+
+namespace mc::baseline {
+
+Sequencer::Sequencer(net::Fabric& fabric, net::Endpoint self, std::size_t num_procs)
+    : fabric_(fabric), self_(self), num_procs_(num_procs) {
+  thread_ = std::thread([this] { run(); });
+}
+
+Sequencer::~Sequencer() { join(); }
+
+void Sequencer::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Sequencer::run() {
+  std::vector<net::Endpoint> everyone(num_procs_);
+  for (net::Endpoint e = 0; e < num_procs_; ++e) everyone[e] = e;
+
+  while (auto m = fabric_.mailbox(self_).recv()) {
+    switch (m->kind) {
+      case kScWrite: {
+        net::Message ordered;
+        ordered.src = self_;
+        ordered.kind = kScOrdered;
+        ordered.a = m->a;
+        ordered.b = m->b;
+        ordered.c = m->c;
+        ordered.d = ++next_seq_;
+        ordered.payload = {m->src};
+        fabric_.multicast(ordered, everyone);
+        break;
+      }
+      case kScBarrierArrive: {
+        const auto key = std::make_pair(static_cast<BarrierId>(m->a), m->b);
+        if (++arrivals_[key] == num_procs_) {
+          arrivals_.erase(key);
+          net::Message release;
+          release.src = self_;
+          release.kind = kScBarrierRelease;
+          release.a = m->a;
+          release.b = m->b;
+          release.c = next_seq_;  // watermark: all writes sequenced so far
+          fabric_.multicast(release, everyone);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace mc::baseline

@@ -1,0 +1,32 @@
+// Wire protocol of the sequentially consistent baseline memory.
+
+#pragma once
+
+#include <cstdint>
+
+#include "net/fabric.h"
+
+namespace mc::baseline {
+
+enum MsgKind : std::uint16_t {
+  /// Process -> sequencer.  a=var, b=value, c=writer's local write seq.
+  kScWrite = 32,
+  /// Sequencer -> everyone.  a=var, b=value, c=writer's local write seq,
+  /// d=global sequence number; src field of the original writer is carried
+  /// in payload[0].
+  kScOrdered = 33,
+  /// Process -> sequencer.  a=barrier object, b=epoch.
+  kScBarrierArrive = 34,
+  /// Sequencer -> everyone.  a=barrier object, b=epoch, c=global sequence
+  /// watermark all processes must apply before proceeding.
+  kScBarrierRelease = 35,
+};
+
+inline void register_kind_names(net::Fabric& fabric) {
+  fabric.name_kind(kScWrite, "sc_write");
+  fabric.name_kind(kScOrdered, "sc_ordered");
+  fabric.name_kind(kScBarrierArrive, "sc_barrier_arrive");
+  fabric.name_kind(kScBarrierRelease, "sc_barrier_release");
+}
+
+}  // namespace mc::baseline

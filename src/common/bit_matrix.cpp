@@ -1,0 +1,114 @@
+#include "common/bit_matrix.h"
+
+#include <bit>
+
+namespace mc {
+
+std::size_t BitMatrix::edge_count() const {
+  std::size_t n = 0;
+  for (const auto w : bits_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+void BitMatrix::merge(const BitMatrix& other) {
+  MC_CHECK(n_ == other.n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+void BitMatrix::or_row_into(std::size_t src, std::size_t dst) {
+  const std::uint64_t* s = &bits_[src * row_words_];
+  std::uint64_t* d = &bits_[dst * row_words_];
+  for (std::size_t w = 0; w < row_words_; ++w) d[w] |= s[w];
+}
+
+void BitMatrix::close_transitively() {
+  // Row-oriented Warshall: for each intermediate k, every row i that can
+  // reach k absorbs row k.  O(n^2) row-OR operations of n/64 words.
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (i != k && get(i, k)) or_row_into(k, i);
+    }
+  }
+}
+
+BitMatrix BitMatrix::reduced() const {
+  // In a DAG, edge (i,j) is redundant iff some direct successor k != j of i
+  // reaches j in the closure.
+  MC_CHECK_MSG(!has_cycle(), "transitive reduction requires a DAG");
+  const BitMatrix closure = closed();
+  BitMatrix out = *this;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (const std::size_t k : successors(i)) {
+      for (const std::size_t j : successors(i)) {
+        if (j != k && closure.get(k, j)) out.clear(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+bool BitMatrix::has_cycle() const { return !topological_order().has_value(); }
+
+std::optional<std::vector<std::size_t>> BitMatrix::topological_order() const {
+  std::vector<std::size_t> indegree(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (const std::size_t j : successors(i)) ++indegree[j];
+  }
+  // Kahn's algorithm with a min-index frontier for determinism.  A sorted
+  // vector used as a monotone bag is fine at history scale.
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n_);
+  while (!frontier.empty()) {
+    // Extract the minimum index.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+      if (frontier[i] < frontier[best]) best = i;
+    }
+    const std::size_t v = frontier[best];
+    frontier[best] = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (const std::size_t j : successors(v)) {
+      if (--indegree[j] == 0) frontier.push_back(j);
+    }
+  }
+  if (order.size() != n_) return std::nullopt;
+  return order;
+}
+
+void BitMatrix::mask(const std::vector<bool>& keep) {
+  MC_CHECK(keep.size() == n_);
+  std::vector<std::uint64_t> col_mask(row_words_, 0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (keep[j]) col_mask[j / 64] |= (std::uint64_t{1} << (j % 64));
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint64_t* row = &bits_[i * row_words_];
+    if (!keep[i]) {
+      for (std::size_t w = 0; w < row_words_; ++w) row[w] = 0;
+    } else {
+      for (std::size_t w = 0; w < row_words_; ++w) row[w] &= col_mask[w];
+    }
+  }
+}
+
+std::vector<std::size_t> BitMatrix::successors(std::size_t i) const {
+  MC_CHECK(i < n_);
+  std::vector<std::size_t> out;
+  const std::uint64_t* row = &bits_[i * row_words_];
+  for (std::size_t w = 0; w < row_words_; ++w) {
+    std::uint64_t word = row[w];
+    while (word) {
+      const int b = std::countr_zero(word);
+      out.push_back(w * 64 + static_cast<std::size_t>(b));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace mc

@@ -1,0 +1,87 @@
+// Dense boolean relation over {0..n-1} with the graph algorithms the history
+// checkers need: reachability closure, transitive reduction, cycle
+// detection, and topological order.
+//
+// Histories in this reproduction are at most a few thousand operations, so a
+// word-packed adjacency matrix with row-OR closure (Warshall by rows) is
+// both the simplest and the fastest representation.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mc {
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  explicit BitMatrix(std::size_t n) : n_(n), row_words_((n + 63) / 64), bits_(n_ * row_words_, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  void set(std::size_t i, std::size_t j) {
+    MC_CHECK(i < n_ && j < n_);
+    bits_[i * row_words_ + j / 64] |= (std::uint64_t{1} << (j % 64));
+  }
+
+  void clear(std::size_t i, std::size_t j) {
+    MC_CHECK(i < n_ && j < n_);
+    bits_[i * row_words_ + j / 64] &= ~(std::uint64_t{1} << (j % 64));
+  }
+
+  [[nodiscard]] bool get(std::size_t i, std::size_t j) const {
+    MC_CHECK(i < n_ && j < n_);
+    return (bits_[i * row_words_ + j / 64] >> (j % 64)) & 1u;
+  }
+
+  /// Number of set entries.
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Union with another relation of the same size.
+  void merge(const BitMatrix& other);
+
+  /// Reflexive-free transitive closure, in place.  O(n^2 * n/64).
+  void close_transitively();
+
+  /// Returns the closure as a copy, leaving *this untouched.
+  [[nodiscard]] BitMatrix closed() const {
+    BitMatrix c = *this;
+    c.close_transitively();
+    return c;
+  }
+
+  /// Transitive reduction of a DAG: removes every edge (i,j) for which a
+  /// longer path i -> k -> ... -> j exists.  Precondition: acyclic.
+  /// Returns the reduced relation (the "PRAM order" construction in
+  /// Definition 3 removes transitive edges this way).
+  [[nodiscard]] BitMatrix reduced() const;
+
+  /// True iff the relation (viewed as a digraph) has a directed cycle.
+  [[nodiscard]] bool has_cycle() const;
+
+  /// Topological order of the DAG; nullopt if cyclic.  Ties broken by the
+  /// smallest vertex index, which makes the order deterministic.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> topological_order() const;
+
+  /// All j with edge (i, j).
+  [[nodiscard]] std::vector<std::size_t> successors(std::size_t i) const;
+
+  /// Project the relation onto a subset of vertices: every edge with an
+  /// endpoint outside `keep` is cleared.  `keep.size()` must equal size().
+  void mask(const std::vector<bool>& keep);
+
+  friend bool operator==(const BitMatrix&, const BitMatrix&) = default;
+
+ private:
+  void or_row_into(std::size_t src, std::size_t dst);
+
+  std::size_t n_ = 0;
+  std::size_t row_words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace mc

@@ -1,0 +1,32 @@
+// Lightweight contract checking used across the library.
+//
+// MC_CHECK is always on (these are distributed-protocol invariants whose
+// violation means a consistency bug, not a recoverable condition), and
+// terminates with a message identifying the failed expectation.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mc::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "MC_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mc::detail
+
+#define MC_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::mc::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) ::mc::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

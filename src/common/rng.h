@@ -1,0 +1,60 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Tests, workload generators, and latency models all need reproducible
+// randomness that can be forked per process/thread without coordination.
+// SplitMix64 seeds xoshiro256**; both are tiny, fast, and public domain
+// algorithms (Blackman & Vigna).
+
+#pragma once
+
+#include <cstdint>
+
+namespace mc {
+
+/// SplitMix64 — used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the workhorse generator.  Satisfies the essentials of
+/// UniformRandomBitGenerator so it composes with <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+
+  /// Derive an independent child generator (for per-thread streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mc

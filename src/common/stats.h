@@ -1,0 +1,88 @@
+// Instrumentation primitives used by the fabric, the DSM runtime, and the
+// benchmark harnesses.
+//
+// The paper's performance arguments (Sections 6–7) are about *protocol
+// cost*: how many messages and how much blocking each consistency level and
+// propagation policy incurs.  Counters and latency histograms make those
+// costs first-class, machine-independent outputs.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// A monotone, thread-safe event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Fixed-layout log-scale latency histogram (nanoseconds).  Thread-safe,
+/// lock-free recording; quantile extraction is approximate to bucket width.
+class LatencyHistogram {
+ public:
+  void record(std::chrono::nanoseconds d) { record_ns(static_cast<std::uint64_t>(d.count())); }
+  void record_ns(std::uint64_t ns);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t sum_ns() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double mean_ns() const;
+  /// q in [0,1]; returns the upper edge of the bucket containing quantile q.
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const;
+  [[nodiscard]] std::uint64_t max_ns() const { return max_.load(std::memory_order_relaxed); }
+
+  void reset();
+
+  static constexpr int kBuckets = 64;
+
+ private:
+  static int bucket_of(std::uint64_t ns);
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// A named snapshot of metric values, used by benches to print paper-style
+/// result rows and diff runs against each other.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> values;
+
+  [[nodiscard]] std::uint64_t get(const std::string& k) const {
+    auto it = values.find(k);
+    return it == values.end() ? 0 : it->second;
+  }
+
+  /// Component-wise difference (this - base), clamped at zero.
+  [[nodiscard]] MetricsSnapshot since(const MetricsSnapshot& base) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Wall-clock stopwatch used in harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const { return clock::now() - start_; }
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(elapsed()).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mc

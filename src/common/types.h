@@ -1,0 +1,86 @@
+// Fundamental identifier and value types shared by every mixed-consistency
+// module.
+//
+// The paper (Section 3) models a program as a fixed set of processes
+// p_1..p_n issuing operations on memory locations and on a disjoint set of
+// synchronization objects (locks, barriers).  We mirror that structure with
+// small strong-ish typedefs: distinct enum-class id spaces would be heavier
+// than the codebase needs, but we keep each id in its own named alias and
+// never mix them implicitly in interfaces.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mc {
+
+/// Index of a process (0-based).  The paper's p_i.
+using ProcId = std::uint32_t;
+
+/// Index of a shared memory location (0-based).  The paper's x, y, z.
+using VarId = std::uint32_t;
+
+/// Index of a read/write lock object, disjoint from memory locations.
+using LockId = std::uint32_t;
+
+/// Index of a barrier object.  The default whole-program barrier is 0.
+using BarrierId = std::uint32_t;
+
+/// Raw 64-bit value stored in a memory location.  Applications that operate
+/// on doubles use the bit-cast helpers below; the memory system itself never
+/// interprets values.
+using Value = std::uint64_t;
+
+/// Per-process monotone sequence number of an issued operation.
+using SeqNo = std::uint64_t;
+
+inline constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+inline constexpr VarId kNoVar = std::numeric_limits<VarId>::max();
+
+/// Globally unique identity of a write operation: (issuing process, per-
+/// process write sequence).  The paper assumes all written values are
+/// distinct so that the reads-from relation is well defined; real programs
+/// write duplicates, so the runtime tags every write with a WriteId instead
+/// and the history checkers use it to derive reads-from exactly.
+struct WriteId {
+  ProcId proc = kNoProc;
+  SeqNo seq = 0;
+
+  friend bool operator==(const WriteId&, const WriteId&) = default;
+  friend auto operator<=>(const WriteId&, const WriteId&) = default;
+
+  [[nodiscard]] bool valid() const { return proc != kNoProc; }
+};
+
+/// The distinguished "initial value" pseudo-write: every location starts as
+/// if written once, before the computation, by no process.
+inline constexpr WriteId kInitialWrite{};
+
+/// Reads are labeled per-operation, as in Definition 4 of the paper.
+enum class ReadMode : std::uint8_t {
+  kPram,    ///< Definition 3 — per-sender FIFO visibility.
+  kCausal,  ///< Definition 2 — causality-consistent visibility.
+};
+
+[[nodiscard]] inline const char* to_string(ReadMode m) {
+  return m == ReadMode::kPram ? "pram" : "causal";
+}
+
+/// Reinterpret a double as a storable Value and back.  Used by the numeric
+/// applications (Section 5): the DSM stores opaque 64-bit words.
+[[nodiscard]] inline Value value_of(double d) { return std::bit_cast<Value>(d); }
+[[nodiscard]] inline double double_of(Value v) { return std::bit_cast<double>(v); }
+[[nodiscard]] inline Value value_of(std::int64_t i) { return std::bit_cast<Value>(i); }
+[[nodiscard]] inline std::int64_t int_of(Value v) { return std::bit_cast<std::int64_t>(v); }
+
+}  // namespace mc
+
+template <>
+struct std::hash<mc::WriteId> {
+  std::size_t operator()(const mc::WriteId& w) const noexcept {
+    return std::hash<std::uint64_t>{}((std::uint64_t{w.proc} << 40) ^ w.seq);
+  }
+};

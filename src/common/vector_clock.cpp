@@ -1,0 +1,62 @@
+#include "common/vector_clock.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mc {
+
+void VectorClock::merge(const VectorClock& other) {
+  MC_CHECK(c_.size() == other.c_.size());
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    c_[i] = std::max(c_[i], other.c_[i]);
+  }
+}
+
+ClockOrder VectorClock::compare(const VectorClock& other) const {
+  MC_CHECK(c_.size() == other.c_.size());
+  bool le = true;
+  bool ge = true;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] < other.c_[i]) ge = false;
+    if (c_[i] > other.c_[i]) le = false;
+  }
+  if (le && ge) return ClockOrder::kEqual;
+  if (le) return ClockOrder::kBefore;
+  if (ge) return ClockOrder::kAfter;
+  return ClockOrder::kConcurrent;
+}
+
+bool VectorClock::ready_after(const VectorClock& applied, ProcId writer) const {
+  MC_CHECK(c_.size() == applied.c_.size());
+  MC_CHECK(writer < c_.size());
+  if (c_[writer] != applied.c_[writer] + 1) return false;
+  for (std::size_t k = 0; k < c_.size(); ++k) {
+    if (k == writer) continue;
+    if (c_[k] > applied.c_[k]) return false;
+  }
+  return true;
+}
+
+bool VectorClock::dominates(const VectorClock& other) const {
+  MC_CHECK(c_.size() == other.c_.size());
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] < other.c_[i]) return false;
+  }
+  return true;
+}
+
+std::uint64_t VectorClock::total() const {
+  return std::accumulate(c_.begin(), c_.end(), std::uint64_t{0});
+}
+
+std::string VectorClock::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(c_[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace mc

@@ -1,0 +1,101 @@
+#include "dsm/barrier_manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mc::dsm {
+
+BarrierManager::BarrierManager(net::Fabric& fabric, net::Endpoint self,
+                               std::size_t num_procs,
+                               std::map<BarrierId, std::vector<ProcId>> members,
+                               bool count_mode)
+    : fabric_(fabric), self_(self), num_procs_(num_procs), count_mode_(count_mode),
+      members_(std::move(members)) {
+  for (const auto& [b, procs] : members_) {
+    (void)b;
+    MC_CHECK_MSG(!procs.empty(), "a subset barrier needs at least one member");
+    for (const ProcId p : procs) MC_CHECK(p < num_procs_);
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+BarrierManager::~BarrierManager() { join(); }
+
+void BarrierManager::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<ProcId> BarrierManager::members_of(BarrierId b) const {
+  auto it = members_.find(b);
+  if (it != members_.end()) return it->second;
+  std::vector<ProcId> everyone(num_procs_);
+  for (ProcId p = 0; p < num_procs_; ++p) everyone[p] = p;
+  return everyone;
+}
+
+void BarrierManager::run() {
+  while (auto m = fabric_.mailbox(self_).recv()) {
+    if (m->kind == kBarrierArrive) handle_arrive(*m);
+  }
+}
+
+void BarrierManager::handle_arrive(const net::Message& m) {
+  const auto barrier = static_cast<BarrierId>(m.a);
+  const std::vector<ProcId> participants = members_of(barrier);
+  MC_CHECK_MSG(std::find(participants.begin(), participants.end(),
+                         static_cast<ProcId>(m.src)) != participants.end(),
+               "barrier arrival from a non-member process");
+
+  const auto key = std::make_pair(barrier, m.b);
+  Instance& inst = instances_[key];
+  if (inst.arrived.empty()) {
+    inst.arrived.assign(num_procs_, false);
+    inst.merged = VectorClock(num_procs_);
+  }
+  MC_CHECK_MSG(!inst.arrived[m.src], "double arrival at one barrier instance");
+  inst.arrived[m.src] = true;
+  ++inst.count;
+
+  MC_CHECK(m.payload.size() == num_procs_);
+  if (count_mode_) {
+    inst.payloads[static_cast<ProcId>(m.src)] = m.payload;
+  } else {
+    VectorClock vc(num_procs_);
+    for (ProcId p = 0; p < num_procs_; ++p) vc.set(p, m.payload[p]);
+    inst.merged.merge(vc);
+  }
+
+  if (inst.count == participants.size()) {
+    if (count_mode_) {
+      // Transpose: receiver i must wait, per sender j, for the number of
+      // updates j reported having sent to i before arriving (Section 6).
+      for (const ProcId i : participants) {
+        net::Message release;
+        release.src = self_;
+        release.dst = i;
+        release.kind = kBarrierRelease;
+        release.a = m.a;
+        release.b = m.b;
+        release.payload.assign(num_procs_, 0);
+        for (const auto& [j, sent] : inst.payloads) release.payload[j] = sent[i];
+        fabric_.send(std::move(release));
+      }
+    } else {
+      net::Message release;
+      release.src = self_;
+      release.kind = kBarrierRelease;
+      release.a = m.a;
+      release.b = m.b;
+      release.payload.assign(inst.merged.components().begin(),
+                             inst.merged.components().end());
+      std::vector<net::Endpoint> dsts;
+      dsts.reserve(participants.size());
+      for (const ProcId p : participants) dsts.push_back(p);
+      fabric_.multicast(release, dsts);
+    }
+    instances_.erase(key);
+  }
+}
+
+}  // namespace mc::dsm

@@ -1,0 +1,89 @@
+// Configuration of a mixed-consistency DSM instance.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/latency.h"
+
+namespace mc::dsm {
+
+/// Update-propagation policy for a lock's critical sections (Section 6).
+enum class LockPolicy : std::uint8_t {
+  /// The releaser makes all of its critical-section updates globally
+  /// visible (flush probe + acknowledgements) before the unlock completes.
+  kEager,
+  /// The unlock carries the releaser's vector clock; the next holder blocks
+  /// reads until the required updates have arrived.
+  kLazy,
+  /// Critical-section writes are not broadcast at all; the unlock ships a
+  /// write-set digest and the next holder fetches values on first access.
+  /// Sound only for entry-consistent programs (Corollary 1) whose protected
+  /// variables are declared in `demand_association`.
+  kDemand,
+};
+
+[[nodiscard]] inline const char* to_string(LockPolicy p) {
+  switch (p) {
+    case LockPolicy::kEager: return "eager";
+    case LockPolicy::kLazy: return "lazy";
+    case LockPolicy::kDemand: return "demand";
+  }
+  return "?";
+}
+
+struct Config {
+  std::size_t num_procs = 2;
+  std::size_t num_vars = 64;
+
+  net::LatencyModel latency = net::LatencyModel::zero();
+  std::uint64_t seed = 1;
+
+  LockPolicy default_lock_policy = LockPolicy::kLazy;
+  std::map<LockId, LockPolicy> lock_policy_override;
+
+  /// Variables managed by demand-driven locks: writes while holding the
+  /// associated write lock stay local and migrate with the lock.
+  std::map<VarId, LockId> demand_association;
+
+  /// Subset barriers (Section 3.1.2: "a barrier can also be defined for a
+  /// subset of processes").  A barrier object listed here only rendezvouses
+  /// its members; unlisted barrier objects involve every process.  Only
+  /// members may arrive at a subset barrier.
+  std::map<BarrierId, std::vector<ProcId>> barrier_members;
+
+  /// Record every operation into a per-process trace (history checking).
+  bool record_trace = false;
+
+  /// Section 6's optimization for PRAM-consistent programs (Corollary 2):
+  /// "the extra overhead of sending a timestamp in each message and
+  /// performing the updates in the timestamp order can be avoided if all
+  /// read operations following a write are PRAM operations."  When set,
+  /// updates carry no vector clock (num_procs fewer words per message),
+  /// both views apply in arrival order, and the synchronization protocol
+  /// switches to the paper's *count vectors*: barrier arrivals carry
+  /// per-receiver sent-update counts which the manager transposes, and lazy
+  /// unlocks carry them for the next holder — Section 6's scheme verbatim.
+  /// Causal reads and awaits are rejected at runtime, and demand-driven
+  /// locks are unavailable.
+  bool omit_timestamps = false;
+
+  /// Access-pattern optimization (Section 6: "the overhead of broadcasting
+  /// messages for each update ... may be avoided by making optimizations
+  /// based on the patterns of accesses to shared variables").  A variable
+  /// listed here is multicast only to its subscribers; everyone else keeps
+  /// a stale replica, so only subscribers may read it.  Requires
+  /// omit_timestamps (count-vector synchronization tolerates per-receiver
+  /// gaps; vector-clock causal delivery does not).
+  std::map<VarId, std::vector<ProcId>> update_subscribers;
+
+  [[nodiscard]] LockPolicy policy_of(LockId l) const {
+    auto it = lock_policy_override.find(l);
+    return it == lock_policy_override.end() ? default_lock_policy : it->second;
+  }
+};
+
+}  // namespace mc::dsm

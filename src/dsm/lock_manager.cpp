@@ -1,0 +1,124 @@
+#include "dsm/lock_manager.h"
+
+#include "common/check.h"
+
+namespace mc::dsm {
+
+LockManager::LockManager(net::Fabric& fabric, net::Endpoint self, std::size_t num_procs,
+                         bool count_mode)
+    : fabric_(fabric), self_(self), num_procs_(num_procs), count_mode_(count_mode) {
+  MC_CHECK_MSG(num_procs <= 64, "episode holder sets are encoded as 64-bit masks");
+  thread_ = std::thread([this] { run(); });
+}
+
+LockManager::~LockManager() { join(); }
+
+void LockManager::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void LockManager::run() {
+  while (auto m = fabric_.mailbox(self_).recv()) {
+    switch (m->kind) {
+      case kLockReq: handle_request(*m); break;
+      case kUnlock: handle_unlock(*m); break;
+      default: break;
+    }
+  }
+}
+
+void LockManager::handle_request(const net::Message& m) {
+  const auto id = static_cast<LockId>(m.a);
+  LockState& lock = locks_[id];
+  if (lock.release_vc.empty()) lock.release_vc = VectorClock(num_procs_);
+  lock.queue.push_back(Request{m.src, static_cast<LockRequestKind>(m.b)});
+  try_grant(id, lock);
+}
+
+void LockManager::handle_unlock(const net::Message& m) {
+  const auto id = static_cast<LockId>(m.a);
+  LockState& lock = locks_[id];
+  MC_CHECK_MSG(lock.holders.erase(m.src) == 1, "unlock from a non-holder");
+
+  MC_CHECK(m.payload.size() >= num_procs_ + m.d);
+  if (count_mode_) {
+    lock.unlock_counts[m.src] =
+        std::vector<std::uint64_t>(m.payload.begin(), m.payload.begin() + num_procs_);
+  } else {
+    VectorClock vc(num_procs_);
+    for (ProcId p = 0; p < num_procs_; ++p) vc.set(p, m.payload[p]);
+    lock.release_vc.merge(vc);
+  }
+  lock.current_unlockers_mask |= std::uint64_t{1} << m.src;
+
+  // Demand-driven digest: variables written in the critical section now
+  // have the releaser as their authoritative owner.
+  for (std::uint64_t k = 0; k < m.d; ++k) {
+    lock.ownership[static_cast<VarId>(m.payload[num_procs_ + k])] = m.src;
+  }
+
+  if (lock.holders.empty()) {
+    lock.mode = Mode::kFree;
+    lock.prev_holders_mask = lock.current_unlockers_mask;
+    lock.current_unlockers_mask = 0;
+  }
+  try_grant(id, lock);
+}
+
+void LockManager::try_grant(LockId id, LockState& lock) {
+  while (!lock.queue.empty()) {
+    const Request head = lock.queue.front();
+    if (head.kind == LockRequestKind::kWrite) {
+      if (lock.mode != Mode::kFree) return;
+      lock.queue.pop_front();
+      lock.mode = Mode::kWrite;
+      lock.holders.insert(head.who);
+      ++lock.episode;
+      send_grant(id, lock, head.who);
+      return;
+    }
+    // Reader at the head: admit into a fresh episode when the lock is free,
+    // or join the running read episode.  FIFO order prevents writer
+    // starvation (a queued writer blocks later readers behind it).
+    if (lock.mode == Mode::kWrite) return;
+    lock.queue.pop_front();
+    if (lock.mode == Mode::kFree) {
+      lock.mode = Mode::kRead;
+      ++lock.episode;
+    }
+    lock.holders.insert(head.who);
+    send_grant(id, lock, head.who);
+  }
+}
+
+void LockManager::send_grant(LockId id, LockState& lock, net::Endpoint who) {
+  net::Message grant;
+  grant.src = self_;
+  grant.dst = who;
+  grant.kind = kLockGrant;
+  grant.a = id;
+  grant.b = lock.episode;
+  grant.c = lock.prev_holders_mask;
+  if (count_mode_) {
+    // Per sender j: how many updates j had shipped to `who` when it last
+    // unlocked.  The acquirer waits for that many before reading.
+    grant.payload.assign(num_procs_, 0);
+    for (const auto& [j, sent] : lock.unlock_counts) {
+      if (j < num_procs_ && who < sent.size()) grant.payload[j] = sent[who];
+    }
+  } else {
+    grant.payload.assign(lock.release_vc.components().begin(),
+                         lock.release_vc.components().end());
+  }
+  std::uint64_t digest = 0;
+  for (const auto& [var, owner] : lock.ownership) {
+    if (owner == who) continue;  // acquirer already has the latest copy
+    grant.payload.push_back(var);
+    grant.payload.push_back(owner);
+    ++digest;
+  }
+  grant.d = digest;
+  fabric_.send(std::move(grant));
+}
+
+}  // namespace mc::dsm

@@ -1,0 +1,75 @@
+// Lock manager process (Section 6): every lock object is mapped to a
+// manager that accepts lock/unlock requests and serializes ownership into
+// *episodes* — each write tenure is one episode, each maximal group of
+// concurrently admitted readers shares one.  Episode numbers define the
+// |-> lock synchronization order recorded in traces.
+//
+// Consistency metadata travels with the protocol (lazy/demand policies):
+// an unlock carries the releaser's vector clock (and, for demand-driven
+// locks, the set of variables written in the critical section); the next
+// grant forwards the accumulated release clock, the previous episode's
+// holder set, and the invalid-variable digest.
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/vector_clock.h"
+#include "dsm/wire.h"
+#include "net/fabric.h"
+
+namespace mc::dsm {
+
+class LockManager {
+ public:
+  /// In count mode (timestamp-elided systems) unlocks carry per-receiver
+  /// sent-update counts and each grant ships, per sender, the count the
+  /// acquirer must have received — Section 6's lazy implementation.
+  LockManager(net::Fabric& fabric, net::Endpoint self, std::size_t num_procs,
+              bool count_mode = false);
+  ~LockManager();
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  void join();
+
+ private:
+  struct Request {
+    net::Endpoint who;
+    LockRequestKind kind;
+  };
+
+  enum class Mode { kFree, kRead, kWrite };
+
+  struct LockState {
+    Mode mode = Mode::kFree;
+    std::set<net::Endpoint> holders;
+    std::deque<Request> queue;
+    std::uint64_t episode = 0;
+    VectorClock release_vc;  // cumulative merge of unlock clocks
+    /// Count mode: each endpoint's latest unlock sent-count vector.
+    std::map<net::Endpoint, std::vector<std::uint64_t>> unlock_counts;
+    std::uint64_t prev_holders_mask = 0;  // endpoints of the finished episode
+    std::uint64_t current_unlockers_mask = 0;
+    std::map<VarId, net::Endpoint> ownership;  // demand-driven: var -> owner
+  };
+
+  void run();
+  void handle_request(const net::Message& m);
+  void handle_unlock(const net::Message& m);
+  void try_grant(LockId id, LockState& lock);
+  void send_grant(LockId id, LockState& lock, net::Endpoint who);
+
+  net::Fabric& fabric_;
+  net::Endpoint self_;
+  std::size_t num_procs_;
+  bool count_mode_;
+  std::map<LockId, LockState> locks_;
+  std::thread thread_;
+};
+
+}  // namespace mc::dsm

@@ -1,0 +1,647 @@
+#include "dsm/node.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace mc::dsm {
+
+using namespace std::chrono_literals;
+
+namespace {
+constexpr auto kLivenessDeadline = 30s;
+}  // namespace
+
+Node::Node(const Config& cfg, ProcId self, net::Fabric& fabric, net::Endpoint lock_mgr,
+           net::Endpoint barrier_mgr)
+    : cfg_(cfg),
+      self_(self),
+      fabric_(fabric),
+      lock_mgr_(lock_mgr),
+      barrier_mgr_(barrier_mgr),
+      pram_(cfg.num_vars, cfg.num_procs),
+      causal_(cfg.num_vars, cfg.num_procs),
+      dep_vc_(cfg.num_procs),
+      pram_applied_(cfg.num_procs),
+      causal_applied_(cfg.num_procs),
+      pram_floor_(cfg.num_procs),
+      causal_floor_(cfg.num_procs),
+      causal_buffer_(cfg.num_procs),
+      sent_to_(cfg.num_procs),
+      received_from_(cfg.num_procs),
+      count_floor_(cfg.num_procs),
+      trace_(cfg.record_trace) {
+  delivery_ = std::thread([this] { run_delivery(); });
+}
+
+Node::~Node() { stop(); }
+
+void Node::stop() {
+  if (delivery_.joinable()) delivery_.join();
+}
+
+template <typename Pred>
+void Node::wait_or_die(std::unique_lock<std::mutex>& lk, const char* what, Pred pred) {
+  if (!cv_.wait_for(lk, kLivenessDeadline, pred)) {
+    MC_CHECK_MSG(false, what);
+  }
+}
+
+// ----------------------------------------------------------------------
+// Delivery thread
+// ----------------------------------------------------------------------
+
+void Node::run_delivery() {
+  while (auto m = fabric_.mailbox(self_).recv()) {
+    switch (m->kind) {
+      case kUpdate:
+        on_update(*m);
+        break;
+      case kLockGrant: {
+        GrantInfo info;
+        info.episode = m->b;
+        info.prev_holders_mask = m->c;
+        info.release_vc = VectorClock(cfg_.num_procs);
+        MC_CHECK(m->payload.size() >= cfg_.num_procs + 2 * m->d);
+        for (ProcId p = 0; p < cfg_.num_procs; ++p) info.release_vc.set(p, m->payload[p]);
+        for (std::uint64_t k = 0; k < m->d; ++k) {
+          info.invalid.emplace_back(
+              static_cast<VarId>(m->payload[cfg_.num_procs + 2 * k]),
+              static_cast<net::Endpoint>(m->payload[cfg_.num_procs + 2 * k + 1]));
+        }
+        {
+          std::scoped_lock lk(mu_);
+          pending_grants_[static_cast<LockId>(m->a)] = std::move(info);
+        }
+        cv_.notify_all();
+        break;
+      }
+      case kBarrierRelease: {
+        VectorClock vc(cfg_.num_procs);
+        MC_CHECK(m->payload.size() == cfg_.num_procs);
+        for (ProcId p = 0; p < cfg_.num_procs; ++p) vc.set(p, m->payload[p]);
+        {
+          std::scoped_lock lk(mu_);
+          barrier_release_[{static_cast<BarrierId>(m->a), m->b}] = std::move(vc);
+        }
+        cv_.notify_all();
+        break;
+      }
+      case kSyncReq: {
+        // FIFO channels guarantee the prober's earlier updates are already
+        // applied to our PRAM view; acknowledge immediately.
+        net::Message ack;
+        ack.src = self_;
+        ack.dst = m->src;
+        ack.kind = kSyncAck;
+        ack.a = m->a;
+        fabric_.send(std::move(ack));
+        break;
+      }
+      case kSyncAck: {
+        {
+          std::scoped_lock lk(mu_);
+          ++sync_acks_[m->a];
+        }
+        cv_.notify_all();
+        break;
+      }
+      case kFetchReq:
+        on_fetch_request(*m);
+        break;
+      case kFetchResp: {
+        FetchResult res;
+        res.value = m->c;
+        res.id = WriteId{static_cast<ProcId>(m->d), m->payload.empty() ? 0 : m->payload[0]};
+        res.vc = VectorClock(cfg_.num_procs);
+        MC_CHECK(m->payload.size() == 1 + cfg_.num_procs);
+        for (ProcId p = 0; p < cfg_.num_procs; ++p) res.vc.set(p, m->payload[1 + p]);
+        {
+          std::scoped_lock lk(mu_);
+          fetch_results_[m->b] = std::move(res);
+        }
+        cv_.notify_all();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void Node::on_update(const net::Message& m) {
+  PendingUpdate u;
+  u.var = static_cast<VarId>(m.a);
+  u.value = m.b;
+  u.id = WriteId{static_cast<ProcId>(m.src), m.c};
+  u.flags = m.d;
+  const auto sender = static_cast<ProcId>(m.src);
+
+  if (cfg_.omit_timestamps) {
+    // Count-vector fast path (Section 6): both views apply in per-sender
+    // FIFO arrival order and the receive index feeds the count floors.
+    // With selective multicast the writer sequence may skip values for
+    // this receiver; it must still be monotone per channel.
+    MC_CHECK(m.payload.empty());
+    std::scoped_lock lk(mu_);
+    if (cfg_.update_subscribers.empty()) {
+      MC_CHECK_MSG(u.id.seq == pram_applied_[sender] + 1,
+                   "per-sender FIFO violated on the update channel");
+    } else {
+      MC_CHECK_MSG(u.id.seq > pram_applied_[sender],
+                   "per-sender FIFO violated on the update channel");
+    }
+    received_from_.set(sender, received_from_[sender] + 1);
+    pram_.apply(u.var, u.value, u.flags, u.id, u.vc, received_from_[sender]);
+    pram_applied_.set(sender, u.id.seq);
+    causal_.apply(u.var, u.value, u.flags, u.id, u.vc, received_from_[sender]);
+    causal_applied_.set(sender, u.id.seq);
+    cv_.notify_all();
+    return;
+  }
+
+  u.vc = VectorClock(cfg_.num_procs);
+  MC_CHECK(m.payload.size() == cfg_.num_procs);
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) u.vc.set(p, m.payload[p]);
+
+  {
+    std::scoped_lock lk(mu_);
+    // PRAM view: apply in arrival order; assert the channel stayed FIFO.
+    MC_CHECK_MSG(u.vc[sender] == pram_applied_[sender] + 1,
+                 "per-sender FIFO violated on the update channel");
+    pram_.apply(u.var, u.value, u.flags, u.id, u.vc);
+    pram_applied_.set(sender, u.vc[sender]);
+    // Causal view: buffer until the timestamp is causally ready.
+    causal_buffer_[sender].push_back(std::move(u));
+    drain_causal_buffers();
+  }
+  cv_.notify_all();
+}
+
+void Node::drain_causal_buffers() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (ProcId s = 0; s < cfg_.num_procs; ++s) {
+      auto& q = causal_buffer_[s];
+      while (!q.empty() && q.front().vc.ready_after(causal_applied_, s)) {
+        const PendingUpdate& u = q.front();
+        causal_.apply(u.var, u.value, u.flags, u.id, u.vc);
+        causal_applied_.set(s, u.vc[s]);
+        q.pop_front();
+        progress = true;
+      }
+    }
+  }
+}
+
+void Node::on_fetch_request(const net::Message& m) {
+  net::Message resp;
+  resp.src = self_;
+  resp.dst = m.src;
+  resp.kind = kFetchResp;
+  resp.a = m.a;
+  resp.b = m.b;
+  {
+    std::scoped_lock lk(mu_);
+    const VarEntry& e = pram_.entry(static_cast<VarId>(m.a));
+    resp.c = e.value;
+    resp.d = e.last.proc;
+    resp.payload.push_back(e.last.seq);
+    const VectorClock vc = e.vc.empty() ? VectorClock(cfg_.num_procs) : e.vc;
+    resp.payload.insert(resp.payload.end(), vc.components().begin(), vc.components().end());
+  }
+  fabric_.send(std::move(resp));
+}
+
+// ----------------------------------------------------------------------
+// Consistency bookkeeping
+// ----------------------------------------------------------------------
+
+void Node::absorb_entry(const VarEntry& e) {
+  if (!e.vc.empty()) {
+    dep_vc_.merge(e.vc);
+    causal_floor_.merge(e.vc);
+    if (e.last.proc != kNoProc && e.last.proc < cfg_.num_procs) {
+      pram_floor_.raise(e.last.proc, e.vc[e.last.proc]);
+    }
+    return;
+  }
+  if (e.last.valid() && e.last.proc < cfg_.num_procs && e.last.proc != self_) {
+    // Count-vector mode: future reads must keep seeing this sender's
+    // prefix up to the observed receive index.
+    count_floor_.raise(e.last.proc, e.arrival);
+  }
+  // Otherwise: location never written (or written locally); nothing to do.
+}
+
+void Node::absorb_all(const VectorClock& vc) {
+  dep_vc_.merge(vc);
+  causal_floor_.merge(vc);
+  pram_floor_.merge(vc);
+}
+
+VectorClock Node::snapshot_dep_vc() {
+  std::scoped_lock lk(mu_);
+  return dep_vc_;
+}
+
+void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq,
+                            const VectorClock& stamp) {
+  net::Message m;
+  m.src = self_;
+  m.kind = kUpdate;
+  m.a = x;
+  m.b = value;
+  m.c = seq;
+  m.d = flags;
+  if (!cfg_.omit_timestamps) {
+    m.payload.assign(stamp.components().begin(), stamp.components().end());
+  }
+  const auto subs = cfg_.update_subscribers.find(x);
+  if (subs != cfg_.update_subscribers.end()) {
+    for (const ProcId p : subs->second) {
+      if (p == self_) continue;
+      net::Message copy = m;
+      copy.dst = p;
+      fabric_.send(std::move(copy));
+      sent_to_.set(p, sent_to_[p] + 1);
+    }
+    return;
+  }
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    if (p == self_) continue;
+    net::Message copy = m;
+    copy.dst = p;
+    fabric_.send(std::move(copy));
+    sent_to_.set(p, sent_to_[p] + 1);
+  }
+}
+
+// ----------------------------------------------------------------------
+// Memory operations
+// ----------------------------------------------------------------------
+
+Value Node::read(VarId x, ReadMode mode) {
+  MC_CHECK_MSG(!(cfg_.omit_timestamps && mode == ReadMode::kCausal),
+               "causal reads require vector timestamps (Config::omit_timestamps)");
+  Stopwatch blocked;
+  std::unique_lock lk(mu_);
+  (mode == ReadMode::kPram ? stats_.reads_pram : stats_.reads_causal).add();
+
+  const bool count_mode = cfg_.omit_timestamps;
+  const VectorClock& applied = count_mode ? received_from_
+                               : mode == ReadMode::kPram ? pram_applied_
+                                                         : causal_applied_;
+  const VectorClock& floor = count_mode ? count_floor_
+                             : mode == ReadMode::kPram ? pram_floor_ : causal_floor_;
+  const bool was_ready = applied.dominates(floor);
+  if (!was_ready) {
+    wait_or_die(lk, "read blocked past the liveness deadline",
+                [&] { return applied.dominates(floor); });
+    stats_.read_blocked.record(blocked.elapsed());
+  }
+
+  // Demand-driven miss: the lock grant invalidated this variable.
+  if (auto it = invalid_.find(x); it != invalid_.end()) {
+    const net::Endpoint owner = it->second;
+    invalid_.erase(it);
+    fetch_var(lk, x, owner);
+  }
+
+  const Store& store = mode == ReadMode::kPram ? pram_ : causal_;
+  const VarEntry& e = store.entry(x);
+  const Value out = e.value;
+  absorb_entry(e);
+
+  if (trace_.enabled()) {
+    history::Operation op;
+    op.kind = history::OpKind::kRead;
+    op.proc = self_;
+    op.var = x;
+    op.value = out;
+    op.mode = mode;
+    op.write_id = e.last;
+    trace_.record(op);
+  }
+  return out;
+}
+
+void Node::write(VarId x, Value v) {
+  stats_.writes.add();
+  {
+    std::scoped_lock lk(mu_);
+    const SeqNo seq = ++write_counter_;
+    const WriteId id{self_, seq};
+
+    HeldLock* held = nullptr;
+    if (demand_local_write(x, &held)) {
+      held->cs_writes.push_back(x);
+      // Local migratory write: no broadcast, no clock tick (remote causal
+      // delivery must not wait for an update that will never arrive).
+      pram_.apply(x, v, kFlagWrite, id, dep_vc_);
+      causal_.apply(x, v, kFlagWrite, id, dep_vc_);
+    } else {
+      dep_vc_.tick(self_);
+      pram_applied_.set(self_, dep_vc_[self_]);
+      causal_applied_.set(self_, dep_vc_[self_]);
+      pram_.apply(x, v, kFlagWrite, id, dep_vc_);
+      causal_.apply(x, v, kFlagWrite, id, dep_vc_);
+      // Broadcast while holding the node lock: the model permits
+      // multi-threaded user processes, and per-sender FIFO requires this
+      // process's updates to enter the fabric in sequence order.
+      broadcast_update(x, v, kFlagWrite, seq, dep_vc_);
+    }
+
+    if (trace_.enabled()) {
+      history::Operation op;
+      op.kind = history::OpKind::kWrite;
+      op.proc = self_;
+      op.var = x;
+      op.value = v;
+      op.write_id = id;
+      trace_.record(op);
+    }
+  }
+  cv_.notify_all();
+}
+
+void Node::do_delta(VarId x, Value amount, std::uint64_t flags) {
+  stats_.deltas.add();
+  {
+    std::scoped_lock lk(mu_);
+    const SeqNo seq = ++write_counter_;
+    const WriteId id{self_, seq};
+    dep_vc_.tick(self_);
+    pram_applied_.set(self_, dep_vc_[self_]);
+    causal_applied_.set(self_, dep_vc_[self_]);
+    pram_.apply(x, amount, flags, id, dep_vc_);
+    causal_.apply(x, amount, flags, id, dep_vc_);
+    broadcast_update(x, amount, flags, seq, dep_vc_);
+
+    if (trace_.enabled()) {
+      history::Operation op;
+      op.kind = history::OpKind::kDelta;
+      op.proc = self_;
+      op.var = x;
+      op.value = amount;
+      op.write_id = id;
+      trace_.record(op);
+    }
+  }
+  cv_.notify_all();
+}
+
+void Node::dec_int(VarId x, std::int64_t amount) { do_delta(x, value_of(amount), kFlagIntDelta); }
+
+void Node::dec_double(VarId x, double amount) { do_delta(x, value_of(amount), kFlagDoubleDelta); }
+
+bool Node::demand_local_write(VarId x, HeldLock** held_out) {
+  auto assoc = cfg_.demand_association.find(x);
+  if (assoc == cfg_.demand_association.end()) return false;
+  if (cfg_.policy_of(assoc->second) != LockPolicy::kDemand) return false;
+  auto held = held_.find(assoc->second);
+  if (held == held_.end() || held->second.kind != LockRequestKind::kWrite) return false;
+  *held_out = &held->second;
+  return true;
+}
+
+// ----------------------------------------------------------------------
+// Synchronization operations
+// ----------------------------------------------------------------------
+
+void Node::await(VarId x, Value v, ReadMode mode) {
+  MC_CHECK_MSG(!(cfg_.omit_timestamps && mode == ReadMode::kCausal),
+               "causal awaits require vector timestamps (Config::omit_timestamps)");
+  stats_.awaits.add();
+  Stopwatch blocked;
+  std::unique_lock lk(mu_);
+  // Busy-wait loop of reads in the selected view (Section 6), realized as a
+  // condition wait re-evaluated on every applied update.
+  const bool count_mode = cfg_.omit_timestamps;
+  const Store& store = mode == ReadMode::kPram ? pram_ : causal_;
+  const VectorClock& applied = count_mode ? received_from_
+                               : mode == ReadMode::kPram ? pram_applied_
+                                                         : causal_applied_;
+  const VectorClock& floor = count_mode ? count_floor_
+                             : mode == ReadMode::kPram ? pram_floor_ : causal_floor_;
+  wait_or_die(lk, "await blocked past the liveness deadline", [&] {
+    return applied.dominates(floor) && store.entry(x).value == v;
+  });
+  stats_.await_blocked.record(blocked.elapsed());
+
+  const VarEntry& e = store.entry(x);
+  absorb_entry(e);
+
+  if (trace_.enabled()) {
+    history::Operation op;
+    op.kind = history::OpKind::kAwait;
+    op.proc = self_;
+    op.var = x;
+    op.value = v;
+    op.write_id = e.last;
+    trace_.record(op);
+  }
+}
+
+void Node::barrier(BarrierId b) {
+  stats_.barriers.add();
+  Stopwatch blocked;
+  std::uint64_t epoch = 0;
+  {
+    std::scoped_lock lk(mu_);
+    epoch = barrier_epoch_[b]++;
+  }
+  net::Message arrive;
+  arrive.src = self_;
+  arrive.dst = barrier_mgr_;
+  arrive.kind = kBarrierArrive;
+  arrive.a = b;
+  arrive.b = epoch;
+  {
+    std::scoped_lock lk(mu_);
+    // Count mode ships the paper's per-receiver sent-update counts; the
+    // manager transposes them.  VC mode ships the dependency clock.
+    const VectorClock& snapshot = cfg_.omit_timestamps ? sent_to_ : dep_vc_;
+    arrive.payload.assign(snapshot.components().begin(), snapshot.components().end());
+  }
+  fabric_.send(std::move(arrive));
+
+  std::unique_lock lk(mu_);
+  const auto key = std::make_pair(b, epoch);
+  wait_or_die(lk, "barrier blocked past the liveness deadline",
+              [&] { return barrier_release_.count(key) > 0; });
+  stats_.barrier_blocked.record(blocked.elapsed());
+
+  if (cfg_.omit_timestamps) {
+    count_floor_.merge(barrier_release_.at(key));
+  } else {
+    absorb_all(barrier_release_.at(key));
+  }
+  barrier_release_.erase(key);
+
+  if (trace_.enabled()) {
+    history::Operation op;
+    op.kind = history::OpKind::kBarrier;
+    op.proc = self_;
+    op.barrier = b;
+    op.barrier_epoch = static_cast<std::uint32_t>(epoch);
+    trace_.record(op);
+  }
+}
+
+void Node::do_lock(LockId l, LockRequestKind kind) {
+  stats_.locks.add();
+  Stopwatch blocked;
+  {
+    std::scoped_lock lk(mu_);
+    MC_CHECK_MSG(held_.find(l) == held_.end(), "locks are not re-entrant");
+  }
+  net::Message req;
+  req.src = self_;
+  req.dst = lock_mgr_;
+  req.kind = kLockReq;
+  req.a = l;
+  req.b = static_cast<std::uint64_t>(kind);
+  fabric_.send(std::move(req));
+
+  std::unique_lock lk(mu_);
+  wait_or_die(lk, "lock acquisition blocked past the liveness deadline",
+              [&] { return pending_grants_.count(l) > 0; });
+  stats_.lock_blocked.record(blocked.elapsed());
+
+  GrantInfo info = std::move(pending_grants_.at(l));
+  pending_grants_.erase(l);
+
+  // |-> lock obligations: the previous episode's context becomes visible.
+  if (cfg_.omit_timestamps) {
+    // Count mode: the grant carries, per sender, how many updates that
+    // sender had shipped to *us* when it last unlocked (Section 6's lazy
+    // implementation: "waits for the required number of messages").
+    count_floor_.merge(info.release_vc);
+  } else {
+    dep_vc_.merge(info.release_vc);
+    causal_floor_.merge(info.release_vc);
+    for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+      if (info.prev_holders_mask & (std::uint64_t{1} << p)) {
+        pram_floor_.raise(p, info.release_vc[p]);
+      }
+    }
+  }
+  for (const auto& [var, owner] : info.invalid) {
+    if (owner != self_) invalid_[var] = owner;
+  }
+
+  held_[l] = HeldLock{kind, info.episode, {}};
+
+  if (trace_.enabled()) {
+    history::Operation op;
+    op.kind = kind == LockRequestKind::kWrite ? history::OpKind::kWriteLock
+                                              : history::OpKind::kReadLock;
+    op.proc = self_;
+    op.lock = l;
+    op.lock_episode = info.episode;
+    trace_.record(op);
+  }
+}
+
+void Node::do_unlock(LockId l, LockRequestKind kind) {
+  Stopwatch blocked;
+  const LockPolicy policy = cfg_.policy_of(l);
+
+  std::uint64_t episode = 0;
+  std::vector<VarId> digest;
+  {
+    std::scoped_lock lk(mu_);
+    auto it = held_.find(l);
+    MC_CHECK_MSG(it != held_.end(), "unlock of a lock that is not held");
+    MC_CHECK_MSG(it->second.kind == kind, "unlock kind does not match the held lock");
+    episode = it->second.episode;
+    if (policy == LockPolicy::kDemand) digest = it->second.cs_writes;
+    held_.erase(it);
+  }
+
+  if (policy == LockPolicy::kEager && kind == LockRequestKind::kWrite &&
+      cfg_.num_procs > 1) {
+    // Flush probe: every peer acknowledges once our prior updates have been
+    // applied; only then does the unlock reach the manager (Section 6's
+    // eager implementation).
+    std::uint64_t token = 0;
+    {
+      std::scoped_lock lk(mu_);
+      token = ++sync_token_counter_;
+    }
+    for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+      if (p == self_) continue;
+      net::Message probe;
+      probe.src = self_;
+      probe.dst = p;
+      probe.kind = kSyncReq;
+      probe.a = token;
+      fabric_.send(std::move(probe));
+    }
+    std::unique_lock lk(mu_);
+    wait_or_die(lk, "eager unlock blocked past the liveness deadline",
+                [&] { return sync_acks_[token] == cfg_.num_procs - 1; });
+    sync_acks_.erase(token);
+    stats_.unlock_blocked.record(blocked.elapsed());
+  }
+
+  net::Message unlock;
+  unlock.src = self_;
+  unlock.dst = lock_mgr_;
+  unlock.kind = kUnlock;
+  unlock.a = l;
+  unlock.b = static_cast<std::uint64_t>(kind);
+  {
+    std::scoped_lock lk(mu_);
+    const VectorClock& snapshot = cfg_.omit_timestamps ? sent_to_ : dep_vc_;
+    unlock.payload.assign(snapshot.components().begin(), snapshot.components().end());
+  }
+  unlock.d = digest.size();
+  for (const VarId x : digest) unlock.payload.push_back(x);
+  fabric_.send(std::move(unlock));
+
+  if (trace_.enabled()) {
+    std::scoped_lock lk(mu_);
+    history::Operation op;
+    op.kind = kind == LockRequestKind::kWrite ? history::OpKind::kWriteUnlock
+                                              : history::OpKind::kReadUnlock;
+    op.proc = self_;
+    op.lock = l;
+    op.lock_episode = episode;
+    trace_.record(op);
+  }
+}
+
+void Node::rlock(LockId l) { do_lock(l, LockRequestKind::kRead); }
+void Node::runlock(LockId l) { do_unlock(l, LockRequestKind::kRead); }
+void Node::wlock(LockId l) { do_lock(l, LockRequestKind::kWrite); }
+void Node::wunlock(LockId l) { do_unlock(l, LockRequestKind::kWrite); }
+
+void Node::fetch_var(std::unique_lock<std::mutex>& lk, VarId x, net::Endpoint owner) {
+  stats_.fetches.add();
+  const std::uint64_t token = ++fetch_token_counter_;
+  lk.unlock();
+  net::Message req;
+  req.src = self_;
+  req.dst = owner;
+  req.kind = kFetchReq;
+  req.a = x;
+  req.b = token;
+  fabric_.send(std::move(req));
+  lk.lock();
+
+  wait_or_die(lk, "demand fetch blocked past the liveness deadline",
+              [&] { return fetch_results_.count(token) > 0; });
+  FetchResult res = std::move(fetch_results_.at(token));
+  fetch_results_.erase(token);
+
+  pram_.install(x, res.value, res.id, res.vc);
+  causal_.install(x, res.value, res.id, res.vc);
+}
+
+// Explicit instantiation not needed: wait_or_die is only used in this TU.
+
+}  // namespace mc::dsm

@@ -1,0 +1,227 @@
+// A mixed-consistency DSM process (the paper's p_i): the public memory and
+// synchronization API of the model, backed by the Section 6 implementation.
+//
+// Architecture (see DESIGN.md):
+//   - every write/delta is stamped with the process's vector clock and
+//     broadcast over FIFO channels;
+//   - two store views absorb the same update stream: the PRAM view applies
+//     in per-sender FIFO arrival order, the causal view buffers until
+//     causally ready;
+//   - reads block on per-view *floors*: vector clocks raised by the
+//     synchronization machinery (lock grants, barrier releases, await
+//     resolutions) and by previously observed values, implementing the
+//     |-> lock, |-> bar, |-> await orders and the reads-from obligations of
+//     Definitions 2 and 3;
+//   - the causal floor absorbs full vector clocks (transitive visibility);
+//     the PRAM floor is raised only on the components of *direct*
+//     predecessor processes, matching the transitive reduction in
+//     Definition 3.
+//
+// One application thread drives the public API; one internal delivery
+// thread applies incoming fabric traffic.  All shared node state is guarded
+// by a single mutex (CP.20-style scoped locking throughout).
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "common/vector_clock.h"
+#include "dsm/config.h"
+#include "dsm/store.h"
+#include "dsm/trace.h"
+#include "dsm/wire.h"
+#include "net/fabric.h"
+
+namespace mc::dsm {
+
+/// Per-node instrumentation: operation counts and time spent blocked
+/// waiting for consistency obligations (the machine-independent "latency"
+/// the paper's Section 6 reasons about).
+struct NodeStats {
+  Counter reads_pram, reads_causal, writes, deltas, awaits, locks, barriers;
+  Counter fetches;
+  LatencyHistogram read_blocked, await_blocked, lock_blocked, barrier_blocked,
+      unlock_blocked;
+
+  [[nodiscard]] std::uint64_t total_blocked_ns() const {
+    return read_blocked.sum_ns() + await_blocked.sum_ns() + lock_blocked.sum_ns() +
+           barrier_blocked.sum_ns() + unlock_blocked.sum_ns();
+  }
+};
+
+class Node {
+ public:
+  Node(const Config& cfg, ProcId self, net::Fabric& fabric, net::Endpoint lock_mgr,
+       net::Endpoint barrier_mgr);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] ProcId id() const { return self_; }
+
+  // ----- memory operations -----
+
+  /// Read location x under the given label (Definition 4).
+  Value read(VarId x, ReadMode mode);
+
+  /// Write value v to location x.
+  void write(VarId x, Value v);
+
+  /// Commutative decrement of a counter object (Section 5.3).
+  void dec_int(VarId x, std::int64_t amount);
+  /// Commutative decrement of a floating-point accumulator (Section 5.3's
+  /// counter-object Cholesky subtracts L_ij * L_kj from matrix entries).
+  void dec_double(VarId x, double amount);
+
+  // ----- synchronization operations -----
+
+  /// Block until location x holds value v, establishing the |-> await edge
+  /// from the resolving write.  Section 6 implements await as a busy-wait
+  /// loop of PRAM reads (the default); passing ReadMode::kCausal busy-waits
+  /// on the causal view instead — the natural strengthening the Section 5.3
+  /// counter-object algorithm needs before causally reading accumulators
+  /// whose concurrent deltas the single |-> await edge does not cover.
+  void await(VarId x, Value v, ReadMode mode = ReadMode::kPram);
+
+  /// Arrive at barrier object b and block until every process has arrived.
+  void barrier(BarrierId b = 0);
+
+  void rlock(LockId l);
+  void runlock(LockId l);
+  void wlock(LockId l);
+  void wunlock(LockId l);
+
+  // ----- typed conveniences for the numeric applications -----
+
+  [[nodiscard]] double read_double(VarId x, ReadMode mode) { return double_of(read(x, mode)); }
+  void write_double(VarId x, double d) { write(x, value_of(d)); }
+  [[nodiscard]] std::int64_t read_int(VarId x, ReadMode mode) { return int_of(read(x, mode)); }
+  void write_int(VarId x, std::int64_t i) { write(x, value_of(i)); }
+  void await_int(VarId x, std::int64_t i, ReadMode mode = ReadMode::kPram) {
+    await(x, value_of(i), mode);
+  }
+
+  // ----- introspection -----
+
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+
+  /// Join the delivery thread; the fabric must have been shut down first.
+  void stop();
+
+ private:
+  struct PendingUpdate {
+    VarId var;
+    Value value;
+    std::uint64_t flags;
+    WriteId id;
+    VectorClock vc;
+  };
+
+  struct HeldLock {
+    LockRequestKind kind;
+    std::uint64_t episode;
+    std::vector<VarId> cs_writes;  // demand policy: write-set digest
+  };
+
+  struct GrantInfo {
+    std::uint64_t episode;
+    std::uint64_t prev_holders_mask;
+    VectorClock release_vc;
+    std::vector<std::pair<VarId, net::Endpoint>> invalid;
+  };
+
+  struct FetchResult {
+    Value value;
+    WriteId id;
+    VectorClock vc;
+  };
+
+  // Delivery-thread handlers.
+  void run_delivery();
+  void on_update(const net::Message& m);
+  void drain_causal_buffers();
+  void on_fetch_request(const net::Message& m);
+
+  // Absorb an observed value/synchronization context: merge into the
+  // dependency clock and the causal floor; raise the PRAM floor on the
+  // direct predecessor's component only.  In count-vector mode
+  // (Config::omit_timestamps) the entry's per-receiver arrival index raises
+  // the count floor instead.
+  void absorb_entry(const VarEntry& e);
+  // Barriers make every process a direct predecessor.
+  void absorb_all(const VectorClock& vc);
+
+  void do_lock(LockId l, LockRequestKind kind);
+  void do_unlock(LockId l, LockRequestKind kind);
+  void do_delta(VarId x, Value amount, std::uint64_t flags);
+
+  /// Demand-driven miss handling: fetch x from `owner` and install it in
+  /// both views.  Expects `lk` held; may release and reacquire it.
+  void fetch_var(std::unique_lock<std::mutex>& lk, VarId x, net::Endpoint owner);
+
+  /// Wait with a liveness deadline: a consistency protocol that blocks for
+  /// this long is wedged, and tests want a crisp failure.
+  template <typename Pred>
+  void wait_or_die(std::unique_lock<std::mutex>& lk, const char* what, Pred pred);
+
+  [[nodiscard]] VectorClock snapshot_dep_vc();
+  void broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq,
+                        const VectorClock& stamp);
+  [[nodiscard]] bool demand_local_write(VarId x, HeldLock** held_out);
+
+  const Config& cfg_;
+  const ProcId self_;
+  net::Fabric& fabric_;
+  const net::Endpoint lock_mgr_;
+  const net::Endpoint barrier_mgr_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  Store pram_;
+  Store causal_;
+  VectorClock dep_vc_;
+  VectorClock pram_applied_;
+  VectorClock causal_applied_;
+  VectorClock pram_floor_;
+  VectorClock causal_floor_;
+  SeqNo write_counter_ = 0;
+  std::vector<std::deque<PendingUpdate>> causal_buffer_;
+
+  // Count-vector protocol state (Section 6's scheme, omit_timestamps mode):
+  // cumulative update counts per (this sender -> peer) and per
+  // (sender -> this receiver), plus the per-sender expected-count floor
+  // raised by barriers, lock grants, and observed values.
+  VectorClock sent_to_;
+  VectorClock received_from_;
+  VectorClock count_floor_;
+
+  std::map<LockId, HeldLock> held_;
+  std::map<LockId, GrantInfo> pending_grants_;
+
+  std::map<BarrierId, std::uint64_t> barrier_epoch_;
+  std::map<std::pair<BarrierId, std::uint64_t>, VectorClock> barrier_release_;
+
+  std::uint64_t sync_token_counter_ = 0;
+  std::map<std::uint64_t, std::size_t> sync_acks_;
+
+  std::uint64_t fetch_token_counter_ = 0;
+  std::map<std::uint64_t, FetchResult> fetch_results_;
+  std::map<VarId, net::Endpoint> invalid_;
+
+  TraceRecorder trace_;
+  NodeStats stats_;
+
+  std::thread delivery_;
+};
+
+}  // namespace mc::dsm

@@ -1,0 +1,45 @@
+#include "dsm/store.h"
+
+namespace mc::dsm {
+
+void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
+                  const VectorClock& vc, std::uint64_t arrival) {
+  MC_CHECK(x < entries_.size());
+  VarEntry& e = entries_[x];
+  // Each applied update records its own receive index, paired with
+  // e.last's sender (the floor machinery raises per-sender counts).
+  e.arrival = arrival;
+  switch (flags) {
+    case kFlagWrite:
+      e.value = value;
+      e.vc = vc;
+      break;
+    case kFlagIntDelta:
+      e.value = value_of(int_of(e.value) - int_of(value));
+      if (!vc.empty()) {
+        if (e.vc.empty()) e.vc = VectorClock(num_procs_);
+        e.vc.merge(vc);
+      }
+      break;
+    case kFlagDoubleDelta:
+      e.value = value_of(double_of(e.value) - double_of(value));
+      if (!vc.empty()) {
+        if (e.vc.empty()) e.vc = VectorClock(num_procs_);
+        e.vc.merge(vc);
+      }
+      break;
+    default:
+      MC_CHECK_MSG(false, "unknown update flags");
+  }
+  e.last = id;
+}
+
+void Store::install(VarId x, Value value, WriteId id, const VectorClock& vc) {
+  MC_CHECK(x < entries_.size());
+  VarEntry& e = entries_[x];
+  e.value = value;
+  e.last = id;
+  e.vc = vc;
+}
+
+}  // namespace mc::dsm

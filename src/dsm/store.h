@@ -1,0 +1,60 @@
+// A replicated-memory view: the per-process copy of every shared location
+// together with the metadata the consistency machinery needs.
+//
+// Each node keeps *two* Store views fed by the same update stream (see
+// DESIGN.md §6.1): the PRAM view applies updates in per-sender FIFO arrival
+// order, the causal view applies them in vector-timestamp order.  A read's
+// label selects the view, implementing Section 6's "a causal read can
+// return a value only if all preceding operations have been performed
+// locally; a PRAM read returns the most recent value".
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "common/vector_clock.h"
+#include "dsm/wire.h"
+
+namespace mc::dsm {
+
+struct VarEntry {
+  Value value = 0;
+  WriteId last = kInitialWrite;
+  /// Vector clock of the update that produced this value (for deltas, the
+  /// merge of all applied updates).  Empty until first touched, and unused
+  /// in timestamp-elided (count-vector) mode.
+  VectorClock vc;
+  /// Count-vector mode: how many updates from the writing sender this
+  /// replica had applied when this value landed — the per-receiver count
+  /// the Section 6 protocol synchronizes on.
+  std::uint64_t arrival = 0;
+};
+
+class Store {
+ public:
+  Store(std::size_t num_vars, std::size_t num_procs)
+      : num_procs_(num_procs), entries_(num_vars) {}
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] const VarEntry& entry(VarId x) const {
+    MC_CHECK(x < entries_.size());
+    return entries_[x];
+  }
+
+  /// Apply an update (write or delta) with the given flags.  Writes
+  /// overwrite; deltas subtract and merge metadata.  `arrival` is the
+  /// count-vector-mode receive index (0 for local writes and VC mode).
+  void apply(VarId x, Value value, std::uint64_t flags, WriteId id, const VectorClock& vc,
+             std::uint64_t arrival = 0);
+
+  /// Install an out-of-band value (demand-driven fetch response).
+  void install(VarId x, Value value, WriteId id, const VectorClock& vc);
+
+ private:
+  std::size_t num_procs_;
+  std::vector<VarEntry> entries_;
+};
+
+}  // namespace mc::dsm

@@ -1,0 +1,96 @@
+#include "dsm/system.h"
+
+#include <thread>
+
+#include "common/check.h"
+
+namespace mc::dsm {
+
+MixedSystem::MixedSystem(Config cfg)
+    : cfg_(std::move(cfg)),
+      fabric_(cfg_.num_procs + 2, cfg_.latency, cfg_.seed) {
+  MC_CHECK(cfg_.num_procs >= 1);
+  MC_CHECK_MSG(!(cfg_.omit_timestamps && !cfg_.demand_association.empty()),
+               "timestamp elision assumes all writes are broadcast; "
+               "demand-driven locks are incompatible");
+  MC_CHECK_MSG(cfg_.update_subscribers.empty() || cfg_.omit_timestamps,
+               "selective multicast requires count-vector mode "
+               "(Config::omit_timestamps): vector-clock causal delivery "
+               "cannot tolerate per-receiver gaps");
+  for (const auto& [var, subs] : cfg_.update_subscribers) {
+    MC_CHECK_MSG(var < cfg_.num_vars, "subscriber list for an out-of-range variable");
+    for (const ProcId p : subs) MC_CHECK(p < cfg_.num_procs);
+  }
+  register_kind_names(fabric_);
+  const auto lock_ep = static_cast<net::Endpoint>(cfg_.num_procs);
+  const auto barrier_ep = static_cast<net::Endpoint>(cfg_.num_procs + 1);
+  lock_manager_ = std::make_unique<LockManager>(fabric_, lock_ep, cfg_.num_procs,
+                                                cfg_.omit_timestamps);
+  barrier_manager_ =
+      std::make_unique<BarrierManager>(fabric_, barrier_ep, cfg_.num_procs,
+                                       cfg_.barrier_members, cfg_.omit_timestamps);
+  nodes_.reserve(cfg_.num_procs);
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    nodes_.push_back(std::make_unique<Node>(cfg_, p, fabric_, lock_ep, barrier_ep));
+  }
+}
+
+MixedSystem::~MixedSystem() { shutdown(); }
+
+Node& MixedSystem::node(ProcId p) {
+  MC_CHECK(p < nodes_.size());
+  return *nodes_[p];
+}
+
+void MixedSystem::run(const std::function<void(Node&, ProcId)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(cfg_.num_procs);
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    threads.emplace_back([this, &body, p] { body(*nodes_[p], p); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+history::History MixedSystem::collect_history() const {
+  std::vector<const TraceRecorder*> traces;
+  traces.reserve(nodes_.size());
+  for (const auto& n : nodes_) traces.push_back(&n->trace());
+  return merge_traces(cfg_.num_procs, traces);
+}
+
+MetricsSnapshot MixedSystem::metrics() const {
+  MetricsSnapshot snap = fabric_.metrics();
+  std::uint64_t blocked = 0;
+  std::uint64_t reads_pram = 0;
+  std::uint64_t reads_causal = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t deltas = 0;
+  std::uint64_t fetches = 0;
+  for (const auto& n : nodes_) {
+    const NodeStats& s = n->stats();
+    blocked += s.total_blocked_ns();
+    reads_pram += s.reads_pram.get();
+    reads_causal += s.reads_causal.get();
+    writes += s.writes.get();
+    deltas += s.deltas.get();
+    fetches += s.fetches.get();
+  }
+  snap.values["dsm.blocked_ns"] = blocked;
+  snap.values["dsm.reads_pram"] = reads_pram;
+  snap.values["dsm.reads_causal"] = reads_causal;
+  snap.values["dsm.writes"] = writes;
+  snap.values["dsm.deltas"] = deltas;
+  snap.values["dsm.fetches"] = fetches;
+  return snap;
+}
+
+void MixedSystem::shutdown() {
+  if (down_) return;
+  down_ = true;
+  fabric_.shutdown();
+  lock_manager_->join();
+  barrier_manager_->join();
+  for (auto& n : nodes_) n->stop();
+}
+
+}  // namespace mc::dsm

@@ -1,0 +1,59 @@
+// MixedSystem: one mixed-consistency DSM instance — the processes, the
+// simulated fabric connecting them, and the lock/barrier manager processes
+// of Section 6 — with lifecycle management, metrics aggregation, and trace
+// collection.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dsm/barrier_manager.h"
+#include "dsm/config.h"
+#include "dsm/lock_manager.h"
+#include "dsm/node.h"
+#include "history/history.h"
+
+namespace mc::dsm {
+
+class MixedSystem {
+ public:
+  explicit MixedSystem(Config cfg);
+  ~MixedSystem();
+
+  MixedSystem(const MixedSystem&) = delete;
+  MixedSystem& operator=(const MixedSystem&) = delete;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] std::size_t num_procs() const { return cfg_.num_procs; }
+
+  [[nodiscard]] Node& node(ProcId p);
+
+  /// Run `body(node, p)` on one thread per process and join them all.
+  /// May be called repeatedly (phased programs).
+  void run(const std::function<void(Node&, ProcId)>& body);
+
+  /// Merge the per-process traces recorded so far into a formal history
+  /// (requires Config::record_trace).
+  [[nodiscard]] history::History collect_history() const;
+
+  /// Fabric- and node-level metrics (messages, bytes, blocked time).
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+
+  /// Stop managers and delivery threads.  Called by the destructor;
+  /// idempotent.  No public API may be used afterwards.
+  void shutdown();
+
+ private:
+  Config cfg_;
+  net::Fabric fabric_;
+  std::unique_ptr<LockManager> lock_manager_;
+  std::unique_ptr<BarrierManager> barrier_manager_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool down_ = false;
+};
+
+}  // namespace mc::dsm

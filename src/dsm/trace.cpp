@@ -1,0 +1,20 @@
+#include "dsm/trace.h"
+
+#include "common/check.h"
+
+namespace mc::dsm {
+
+history::History merge_traces(std::size_t num_procs,
+                              const std::vector<const TraceRecorder*>& traces) {
+  MC_CHECK(traces.size() == num_procs);
+  history::History h(num_procs);
+  for (ProcId p = 0; p < num_procs; ++p) {
+    for (const history::Operation& op : traces[p]->ops()) {
+      MC_CHECK(op.proc == p);
+      h.add(op);
+    }
+  }
+  return h;
+}
+
+}  // namespace mc::dsm

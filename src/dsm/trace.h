@@ -1,0 +1,44 @@
+// Execution trace recording: every completed memory/synchronization
+// operation of a node is appended to a per-process trace, and the traces of
+// a system merge into a formal History (history/history.h) that the
+// Section 3/4 checkers can validate.
+//
+// This closes the loop between the runtime and the model: integration tests
+// run real programs on the DSM and then assert check_mixed_consistency on
+// the recorded history.
+
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "history/history.h"
+
+namespace mc::dsm {
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Append one completed operation (called by the issuing node under its
+  /// own lock; recorder adds no synchronization of its own).
+  void record(const history::Operation& op) {
+    if (enabled_) ops_.push_back(op);
+  }
+
+  [[nodiscard]] const std::vector<history::Operation>& ops() const { return ops_; }
+
+  void clear() { ops_.clear(); }
+
+ private:
+  bool enabled_;
+  std::vector<history::Operation> ops_;
+};
+
+/// Merge per-process traces into a sequential-process History.
+history::History merge_traces(std::size_t num_procs,
+                              const std::vector<const TraceRecorder*>& traces);
+
+}  // namespace mc::dsm

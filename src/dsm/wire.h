@@ -1,0 +1,76 @@
+// Wire protocol of the mixed-consistency DSM (Section 6 of the paper).
+//
+// Processes broadcast vector-timestamped updates; a lock manager and a
+// barrier manager run as ordinary endpoints above the process endpoints.
+// Payload layouts are documented per kind; scalar fields a..d are assigned
+// per kind below.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "net/fabric.h"
+
+namespace mc::dsm {
+
+enum MsgKind : std::uint16_t {
+  /// Memory update broadcast.  a=var, b=value bits, c=write seq (WriteId),
+  /// d=flags (kFlagWrite / kFlagIntDelta / kFlagDoubleDelta).
+  /// payload = writer's vector clock (num_procs words).
+  kUpdate = 1,
+
+  /// Eager-release flush probe.  a=token.  Receiver replies kSyncAck after
+  /// the probe is processed (FIFO channels imply all of the sender's prior
+  /// updates have been applied to the PRAM view by then).
+  kSyncReq = 2,
+  /// a=token.
+  kSyncAck = 3,
+
+  /// Demand-driven fetch of a lock-protected variable.  a=var, b=token.
+  kFetchReq = 4,
+  /// a=var, b=token, c=value bits, d=(writer<<32)|unused; payload =
+  /// [write seq, variable's vector clock...].
+  kFetchResp = 5,
+
+  /// a=lock, b=request kind (0=read, 1=write).
+  kLockReq = 6,
+  /// a=lock, b=episode, c=releasing endpoint (kNoEndpoint if none yet),
+  /// d=digest length k; payload = [release vector clock (num_procs words),
+  /// k invalid-variable descriptors (var, owner) pairs].
+  kLockGrant = 7,
+  /// a=lock, b=request kind, d=digest length k; payload = [holder's vector
+  /// clock, k written-variable ids].
+  kUnlock = 8,
+
+  /// a=barrier object, b=epoch; payload = arriving process's vector clock.
+  kBarrierArrive = 9,
+  /// a=barrier object, b=epoch; payload = merged vector clock of all
+  /// arrivals.
+  kBarrierRelease = 10,
+};
+
+/// Lock request kinds carried in kLockReq/kUnlock (field b).
+enum class LockRequestKind : std::uint64_t { kRead = 0, kWrite = 1 };
+
+enum UpdateFlags : std::uint64_t {
+  kFlagWrite = 0,
+  kFlagIntDelta = 1,
+  kFlagDoubleDelta = 2,
+};
+
+/// Register human-readable kind names on a fabric (metrics keys).
+inline void register_kind_names(net::Fabric& fabric) {
+  fabric.name_kind(kUpdate, "update");
+  fabric.name_kind(kSyncReq, "sync_req");
+  fabric.name_kind(kSyncAck, "sync_ack");
+  fabric.name_kind(kFetchReq, "fetch_req");
+  fabric.name_kind(kFetchResp, "fetch_resp");
+  fabric.name_kind(kLockReq, "lock_req");
+  fabric.name_kind(kLockGrant, "lock_grant");
+  fabric.name_kind(kUnlock, "unlock");
+  fabric.name_kind(kBarrierArrive, "barrier_arrive");
+  fabric.name_kind(kBarrierRelease, "barrier_release");
+}
+
+}  // namespace mc::dsm

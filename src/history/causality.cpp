@@ -1,0 +1,316 @@
+#include "history/causality.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace mc::history {
+
+namespace {
+
+/// Direct program-order edges: the implicit per-process chain (for
+/// sequential histories) plus every explicit edge.
+BitMatrix build_program_order(const History& h) {
+  BitMatrix po(h.size());
+  if (h.sequential_processes()) {
+    for (ProcId p = 0; p < h.num_procs(); ++p) {
+      const auto& ops = h.ops_of(p);
+      for (std::size_t k = 1; k < ops.size(); ++k) po.set(ops[k - 1], ops[k]);
+    }
+  }
+  for (const auto& [a, b] : h.explicit_program_edges()) po.set(a, b);
+  return po;
+}
+
+[[nodiscard]] constexpr bool is_w_class(OpKind k) {
+  return k == OpKind::kWriteLock || k == OpKind::kWriteUnlock;
+}
+
+/// Object identity for the "one pending invocation per object" condition:
+/// memory ops and awaits address a location; lock ops address a lock.
+/// Barriers are handled by condition 4 instead.
+std::optional<std::uint64_t> object_of(const Operation& op) {
+  if (is_memory_op(op.kind) || op.kind == OpKind::kAwait) {
+    return std::uint64_t{op.var};
+  }
+  if (is_lock_op(op.kind)) return (std::uint64_t{1} << 40) | op.lock;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> check_well_formed(const History& h) {
+  const BitMatrix po = build_program_order(h);
+
+  // Condition 1: program order is acyclic (and, by History's construction,
+  // intra-process only).
+  const auto topo = po.topological_order();
+  if (!topo) return "program order contains a cycle";
+
+  const BitMatrix po_closed = po.closed();
+
+  for (ProcId p = 0; p < h.num_procs(); ++p) {
+    const auto& ops = h.ops_of(p);
+
+    // Condition 2: two operations of one process on the same object must be
+    // program-ordered.  Sequential processes satisfy this by construction.
+    if (!h.sequential_processes()) {
+      for (std::size_t a = 0; a < ops.size(); ++a) {
+        for (std::size_t b = a + 1; b < ops.size(); ++b) {
+          const auto oa = object_of(h.op(ops[a]));
+          const auto ob = object_of(h.op(ops[b]));
+          if (!oa || !ob || *oa != *ob) continue;
+          if (!po_closed.get(ops[a], ops[b]) && !po_closed.get(ops[b], ops[a])) {
+            return "process " + std::to_string(p) +
+                   " has concurrent operations on one object: " +
+                   h.op(ops[a]).to_string() + " and " + h.op(ops[b]).to_string();
+          }
+        }
+      }
+    }
+
+    // Condition 3: unlocks match preceding locks of the same kind on the
+    // same lock, scanned in a program-order-compatible sequence.
+    std::vector<OpRef> order = ops;
+    if (!h.sequential_processes()) {
+      std::sort(order.begin(), order.end(), [&](OpRef x, OpRef y) {
+        if (po_closed.get(x, y)) return true;
+        if (po_closed.get(y, x)) return false;
+        return x < y;
+      });
+    }
+    std::map<LockId, int> read_held;
+    std::map<LockId, int> write_held;
+    for (const OpRef r : order) {
+      const Operation& op = h.op(r);
+      switch (op.kind) {
+        case OpKind::kReadLock: ++read_held[op.lock]; break;
+        case OpKind::kWriteLock:
+          if (++write_held[op.lock] > 1) {
+            return "process " + std::to_string(p) + " re-acquires write lock l" +
+                   std::to_string(op.lock) + " without unlocking";
+          }
+          break;
+        case OpKind::kReadUnlock:
+          if (--read_held[op.lock] < 0) {
+            return "unmatched read unlock on l" + std::to_string(op.lock) +
+                   " by process " + std::to_string(p);
+          }
+          break;
+        case OpKind::kWriteUnlock:
+          if (--write_held[op.lock] < 0) {
+            return "unmatched write unlock on l" + std::to_string(op.lock) +
+                   " by process " + std::to_string(p);
+          }
+          break;
+        default: break;
+      }
+    }
+
+    // Condition 4: barriers are totally ordered with respect to all other
+    // operations of the process.  Trivial for sequential processes.
+    if (!h.sequential_processes()) {
+      for (const OpRef b : ops) {
+        if (h.op(b).kind != OpKind::kBarrier) continue;
+        for (const OpRef o : ops) {
+          if (o == b) continue;
+          if (!po_closed.get(o, b) && !po_closed.get(b, o)) {
+            return "barrier " + h.op(b).to_string() +
+                   " is not ordered with respect to " + h.op(o).to_string();
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Relations> build_relations(const History& h, std::string* error) {
+  auto fail = [&](std::string msg) -> std::optional<Relations> {
+    if (error) *error = std::move(msg);
+    return std::nullopt;
+  };
+
+  if (auto wf = check_well_formed(h)) return fail("malformed history: " + *wf);
+
+  Relations rel{BitMatrix(h.size()), BitMatrix(h.size()), BitMatrix(h.size()),
+                BitMatrix(h.size()), BitMatrix(h.size()), BitMatrix(h.size())};
+  rel.program_order = build_program_order(h);
+
+  // Reads-from |. : writer -> read, resolved through write ids.  Await
+  // resolution feeds the await order instead.
+  std::unordered_map<WriteId, OpRef> writer_of;
+  for (OpRef i = 0; i < h.size(); ++i) {
+    const Operation& op = h.op(i);
+    if (op.kind == OpKind::kWrite || op.kind == OpKind::kDelta) {
+      if (!op.write_id.valid()) return fail("write without a write id: " + op.to_string());
+      if (!writer_of.insert({op.write_id, i}).second) {
+        return fail("duplicate write id on " + op.to_string());
+      }
+    }
+  }
+  for (OpRef i = 0; i < h.size(); ++i) {
+    const Operation& op = h.op(i);
+    if (op.kind != OpKind::kRead && op.kind != OpKind::kAwait) continue;
+    if (!op.write_id.valid()) continue;  // reads the initial value
+    auto it = writer_of.find(op.write_id);
+    if (it == writer_of.end()) {
+      return fail("read resolves to a write that is not in the history: " + op.to_string());
+    }
+    const Operation& w = h.op(it->second);
+    if (w.var != op.var) {
+      return fail("read of x" + std::to_string(op.var) +
+                  " resolves to a write of a different location: " + w.to_string());
+    }
+    if (op.kind == OpKind::kRead) {
+      rel.reads_from.set(it->second, i);
+    } else {
+      rel.sync_await.set(it->second, i);  // |-> await: w(x)v |-> await(x=v)
+    }
+  }
+
+  // |-> lock from grant episodes: all cross-episode pairs where at least one
+  // side is a write-class operation, plus wl -> wu within a write tenure.
+  {
+    std::map<LockId, std::vector<OpRef>> per_lock;
+    for (OpRef i = 0; i < h.size(); ++i) {
+      if (is_lock_op(h.op(i).kind)) per_lock[h.op(i).lock].push_back(i);
+    }
+    for (const auto& [lock, ops] : per_lock) {
+      (void)lock;
+      for (const OpRef a : ops) {
+        for (const OpRef b : ops) {
+          if (a == b) continue;
+          const Operation& oa = h.op(a);
+          const Operation& ob = h.op(b);
+          if (oa.lock_episode < ob.lock_episode) {
+            if (is_w_class(oa.kind) || is_w_class(ob.kind)) rel.sync_lock.set(a, b);
+          } else if (oa.lock_episode == ob.lock_episode &&
+                     oa.kind == OpKind::kWriteLock && ob.kind == OpKind::kWriteUnlock) {
+            rel.sync_lock.set(a, b);
+          }
+        }
+      }
+    }
+  }
+
+  // |-> bar: group by (barrier object, epoch); every operation program-
+  // ordered before a member's barrier precedes *all* members, and every
+  // member precedes all operations program-ordered after any member's
+  // barrier (Section 3.1.2).
+  {
+    const BitMatrix po_closed = rel.program_order.closed();
+    std::map<std::pair<BarrierId, std::uint32_t>, std::vector<OpRef>> instances;
+    for (OpRef i = 0; i < h.size(); ++i) {
+      const Operation& op = h.op(i);
+      if (op.kind == OpKind::kBarrier) {
+        instances[{op.barrier, op.barrier_epoch}].push_back(i);
+      }
+    }
+    for (const auto& [key, members] : instances) {
+      (void)key;
+      for (const OpRef b : members) {
+        const ProcId p = h.op(b).proc;
+        for (const OpRef o : h.ops_of(p)) {
+          if (o == b) continue;
+          if (po_closed.get(o, b)) {
+            for (const OpRef m : members) {
+              if (m != o) rel.sync_bar.set(o, m);
+            }
+          } else if (po_closed.get(b, o)) {
+            for (const OpRef m : members) {
+              if (m != o) rel.sync_bar.set(m, o);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Causality ~>: closure of the union; must be acyclic (Section 3 restricts
+  // attention to histories with acyclic causality relations).
+  rel.causality = rel.program_order;
+  rel.causality.merge(rel.reads_from);
+  rel.causality.merge(rel.sync_lock);
+  rel.causality.merge(rel.sync_bar);
+  rel.causality.merge(rel.sync_await);
+  if (rel.causality.has_cycle()) return fail("causality relation is cyclic");
+  rel.causality.close_transitively();
+  return rel;
+}
+
+bool in_restricted_set(const Operation& op, ProcId i) {
+  return op.proc == i || is_globally_visible(op.kind);
+}
+
+BitMatrix restrict_causal(const History& h, const Relations& rel, ProcId i) {
+  BitMatrix out = rel.causality;
+  std::vector<bool> keep(h.size());
+  for (OpRef r = 0; r < h.size(); ++r) keep[r] = in_restricted_set(h.op(r), i);
+  out.mask(keep);
+  return out;
+}
+
+BitMatrix restrict_group(const History& h, const Relations& rel, ProcId i,
+                         const std::vector<ProcId>& group) {
+  std::vector<bool> member(h.num_procs(), false);
+  for (const ProcId p : group) {
+    MC_CHECK(p < h.num_procs());
+    member[p] = true;
+  }
+  MC_CHECK_MSG(member[i], "the reading process must belong to its causality group");
+
+  BitMatrix pram_sync = rel.sync_lock.reduced();
+  pram_sync.merge(rel.sync_bar.reduced());
+  pram_sync.merge(rel.sync_await.reduced());
+
+  BitMatrix base = rel.program_order;
+  const auto incident = [&](OpRef a, std::size_t b) {
+    return member[h.op(a).proc] || member[h.op(static_cast<OpRef>(b)).proc];
+  };
+  for (OpRef a = 0; a < h.size(); ++a) {
+    for (const std::size_t b : pram_sync.successors(a)) {
+      if (incident(a, b)) base.set(a, b);
+    }
+    for (const std::size_t b : rel.reads_from.successors(a)) {
+      if (incident(a, b)) base.set(a, b);
+    }
+  }
+
+  base.close_transitively();
+  std::vector<bool> keep(h.size());
+  for (OpRef r = 0; r < h.size(); ++r) keep[r] = in_restricted_set(h.op(r), i);
+  base.mask(keep);
+  return base;
+}
+
+BitMatrix restrict_pram(const History& h, const Relations& rel, ProcId i) {
+  // Step 1: transitive reduction of each synchronization order, unioned.
+  BitMatrix pram_sync = rel.sync_lock.reduced();
+  pram_sync.merge(rel.sync_bar.reduced());
+  pram_sync.merge(rel.sync_await.reduced());
+
+  // Step 2: keep only synchronization and reads-from edges incident to
+  // operations of process i.
+  BitMatrix base = rel.program_order;
+  for (OpRef a = 0; a < h.size(); ++a) {
+    for (const std::size_t b : pram_sync.successors(a)) {
+      if (h.op(a).proc == i || h.op(b).proc == i) base.set(a, b);
+    }
+    for (const std::size_t b : rel.reads_from.successors(a)) {
+      if (h.op(a).proc == i || h.op(b).proc == i) base.set(a, b);
+    }
+  }
+
+  // Step 3: close and project onto all operations except reads of other
+  // processes.
+  base.close_transitively();
+  std::vector<bool> keep(h.size());
+  for (OpRef r = 0; r < h.size(); ++r) keep[r] = in_restricted_set(h.op(r), i);
+  base.mask(keep);
+  return base;
+}
+
+}  // namespace mc::history

@@ -1,0 +1,77 @@
+// Construction of the causality relation of a history (Section 3) and of
+// the per-process restricted relations used by Definitions 2 and 3.
+//
+// The causality relation ~> is the transitive closure of
+//     program order (->)  ∪  reads-from (|.)  ∪  synchronization order (|->)
+// where |-> is itself the union of the lock, barrier, and await orders.
+// All relations are materialized as BitMatrix digraphs over the operation
+// indices of the history.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bit_matrix.h"
+#include "history/history.h"
+
+namespace mc::history {
+
+/// All generating relations plus the closed causality relation.
+struct Relations {
+  BitMatrix program_order;  ///< direct -> edges (chain and explicit)
+  BitMatrix reads_from;     ///< |. edges, derived from write ids
+  BitMatrix sync_lock;      ///< |-> lock edges (episode construction)
+  BitMatrix sync_bar;       ///< |-> bar edges
+  BitMatrix sync_await;     ///< |-> await edges
+  BitMatrix causality;      ///< ~>: transitive closure of the union
+};
+
+/// Checks the four well-formedness conditions of Section 3 on every local
+/// history:
+///   1. program order is a (per-process, acyclic) partial order;
+///   2. no two program-order-concurrent operations of one process address
+///      the same object (the "at most one pending invocation per object"
+///      condition, phrased for complete histories);
+///   3. every unlock has a preceding matching lock by the same process on
+///      the same lock object (and tenures do not overlap per process);
+///   4. every barrier operation is totally ordered with respect to all
+///      other operations of its process.
+/// Returns a description of the first violation, or nullopt when well
+/// formed.
+std::optional<std::string> check_well_formed(const History& h);
+
+/// Builds all relations.  Returns std::nullopt (and an error message via
+/// `error`) if the history is malformed or its causality relation is
+/// cyclic.
+std::optional<Relations> build_relations(const History& h, std::string* error = nullptr);
+
+/// The restricted causality relation ~>_{i,C} of Definition 2: the full
+/// causality relation projected onto the operations of process i plus all
+/// globally-visible (write/delta/synchronization) operations of other
+/// processes.  Projection keeps connectivity through excluded operations
+/// (closure first, restriction second).
+BitMatrix restrict_causal(const History& h, const Relations& rel, ProcId i);
+
+/// The PRAM order ~>_{i,P} of Definition 3:
+///  1. transitively reduce each synchronization order separately and union
+///     them into |->_PRAM;
+///  2. keep only |->_PRAM and reads-from edges incident to operations of
+///     process i;
+///  3. close under the full program order and project as in Definition 2.
+BitMatrix restrict_pram(const History& h, const Relations& rel, ProcId i);
+
+/// Section 3.2's generalization: "the definition can be easily generalized
+/// to maintain causality across an arbitrary group of processes; PRAM reads
+/// and causal reads form the two end points of the spectrum."  Keeps
+/// synchronization and reads-from edges incident to *any member of the
+/// group* in step 2 of Definition 3.  group = {i} yields ~>_{i,P}; group =
+/// all processes yields ~>_{i,C}.  `i` must be a member.
+BitMatrix restrict_group(const History& h, const Relations& rel, ProcId i,
+                         const std::vector<ProcId>& group);
+
+/// The operation set underlying both restrictions: ops of process i plus
+/// globally-visible ops of others.  Exposed for the checkers.
+[[nodiscard]] bool in_restricted_set(const Operation& op, ProcId i);
+
+}  // namespace mc::history

@@ -1,0 +1,241 @@
+#include "history/checkers.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace mc::history {
+
+namespace {
+
+/// Is `x` a delta (counter) object in this history?
+std::vector<bool> delta_vars(const History& h) {
+  VarId max_var = 0;
+  for (const Operation& op : h.ops()) {
+    if (op.var != kNoVar) max_var = std::max(max_var, op.var);
+  }
+  std::vector<bool> is_delta(static_cast<std::size_t>(max_var) + 1, false);
+  for (const Operation& op : h.ops()) {
+    if (op.kind == OpKind::kDelta) is_delta[op.var] = true;
+  }
+  return is_delta;
+}
+
+/// Checks a read of a plain (non-counter) location against Definition 2/3
+/// with relation R: the source write must R-precede the read (unless it is
+/// the virtual initial write, which precedes everything), and no
+/// read-or-write of a different value may sit R-between them.
+void check_plain_read(const History& h, const BitMatrix& R, OpRef read,
+                      CheckResult& out) {
+  const Operation& r = h.op(read);
+  OpRef source = kNoOp;
+  if (r.write_id.valid()) {
+    for (OpRef i = 0; i < h.size(); ++i) {
+      const Operation& op = h.op(i);
+      if ((op.kind == OpKind::kWrite || op.kind == OpKind::kDelta) &&
+          op.write_id == r.write_id) {
+        source = i;
+        break;
+      }
+    }
+    MC_CHECK_MSG(source != kNoOp, "build_relations validated write ids");
+    if (!R.get(source, read)) {
+      out.ok = false;
+      out.violations.push_back(r.to_string() + " returns " +
+                               h.op(source).to_string() +
+                               " which does not precede it in the restricted relation");
+      return;
+    }
+  }
+
+  for (OpRef o = 0; o < h.size(); ++o) {
+    if (o == read || o == source) continue;
+    const Operation& op = h.op(o);
+    if (op.var != r.var) continue;
+
+    // Candidate intervening operations o(x)u with u != v: writes of any
+    // process in the restricted set, and reads/awaits of the reading
+    // process itself (other processes' reads are outside the restricted
+    // set by Definition 2).
+    bool different_value = false;
+    if (op.kind == OpKind::kWrite || op.kind == OpKind::kDelta) {
+      different_value = !(r.write_id.valid() && op.write_id == r.write_id);
+    } else if ((op.kind == OpKind::kRead || op.kind == OpKind::kAwait) &&
+               op.proc == r.proc) {
+      different_value = op.write_id != r.write_id;
+    } else {
+      continue;
+    }
+    if (!different_value) continue;
+
+    const bool after_source = source == kNoOp ? true : R.get(source, o);
+    if (after_source && R.get(o, read)) {
+      out.ok = false;
+      out.violations.push_back(r.to_string() + " is stale: " + op.to_string() +
+                               " intervenes between its source and the read");
+      return;
+    }
+  }
+}
+
+/// Set-visibility check for counter (delta) objects: the read value must be
+/// explainable as
+///     base  -  sum(all deltas that R-precede the read)
+///           -  sum(S) for some S among the deltas concurrent with the read,
+/// where base is the R-latest write to the location (or 0 when unwritten).
+void check_counter_read(const History& h, const BitMatrix& R, OpRef read,
+                        CheckResult& out) {
+  const Operation& r = h.op(read);
+
+  // Base value: writes to this location must be R-ordered before the read.
+  OpRef base_ref = kNoOp;
+  for (OpRef o = 0; o < h.size(); ++o) {
+    const Operation& op = h.op(o);
+    if (op.kind != OpKind::kWrite || op.var != r.var) continue;
+    if (!R.get(o, read)) {
+      // A write concurrent with the read makes counter semantics ambiguous;
+      // programs in the counter style initialize before going parallel.
+      out.ok = false;
+      out.violations.push_back(r.to_string() + " races with base write " + op.to_string());
+      return;
+    }
+    if (base_ref == kNoOp || R.get(base_ref, o)) base_ref = o;
+  }
+  const auto base = base_ref == kNoOp
+                        ? std::int64_t{0}
+                        : static_cast<std::int64_t>(h.op(base_ref).value);
+
+  std::int64_t required = 0;
+  std::vector<std::int64_t> optional;
+  for (OpRef o = 0; o < h.size(); ++o) {
+    const Operation& op = h.op(o);
+    if (op.kind != OpKind::kDelta || op.var != r.var) continue;
+    // A delta that precedes the base write is already folded into the
+    // written value (the writer observed it); counting it again would
+    // double-subtract.
+    if (base_ref != kNoOp && R.get(o, base_ref)) continue;
+    if (R.get(o, read)) {
+      required += int_of(op.value);
+    } else if (!R.get(read, o)) {
+      optional.push_back(int_of(op.value));
+    }
+  }
+
+  const auto target = static_cast<std::int64_t>(r.value);
+  // Subset-sum over the concurrent deltas; at history-checking scale the
+  // reachable-sum set stays tiny (counter decrements are small integers).
+  std::unordered_set<std::int64_t> sums{base - required};
+  for (const std::int64_t amt : optional) {
+    std::unordered_set<std::int64_t> next = sums;
+    for (const std::int64_t s : sums) next.insert(s - amt);
+    sums = std::move(next);
+    if (sums.count(target)) return;
+    if (sums.size() > 100000) {
+      out.ok = false;
+      out.violations.push_back(r.to_string() +
+                               ": counter check exceeded the subset-sum budget");
+      return;
+    }
+  }
+  if (!sums.count(target)) {
+    out.ok = false;
+    out.violations.push_back(
+        r.to_string() + " is not explainable: base " + std::to_string(base) +
+        " minus required " + std::to_string(required) + " and any subset of " +
+        std::to_string(optional.size()) + " concurrent deltas");
+  }
+}
+
+CheckResult run_checks(const History& h, ReadDiscipline discipline) {
+  CheckResult out;
+  std::string err;
+  auto rel = build_relations(h, &err);
+  if (!rel) {
+    out.ok = false;
+    out.violations.push_back(err);
+    return out;
+  }
+
+  const std::vector<bool> is_counter = delta_vars(h);
+
+  // Structural await validation: the awaited value must match the resolving
+  // write for plain locations (counters are covered by the value check the
+  // runtime performs; their resolving op is the final delta).
+  for (OpRef i = 0; i < h.size(); ++i) {
+    const Operation& op = h.op(i);
+    if (op.kind != OpKind::kAwait || !op.write_id.valid()) continue;
+    if (is_counter[op.var]) continue;
+    for (OpRef wop = 0; wop < h.size(); ++wop) {
+      const Operation& w = h.op(wop);
+      if (w.kind == OpKind::kWrite && w.write_id == op.write_id &&
+          w.value != op.value) {
+        out.ok = false;
+        out.violations.push_back(op.to_string() + " resolved by " + w.to_string() +
+                                 " with a different value");
+      }
+    }
+  }
+
+  // Lazily build one restricted relation per (process, mode) actually used.
+  std::vector<BitMatrix> causal_rel(h.num_procs());
+  std::vector<BitMatrix> pram_rel(h.num_procs());
+  std::vector<bool> have_causal(h.num_procs(), false);
+  std::vector<bool> have_pram(h.num_procs(), false);
+
+  for (OpRef i = 0; i < h.size(); ++i) {
+    const Operation& op = h.op(i);
+    if (op.kind != OpKind::kRead) continue;
+    ReadMode mode = op.mode;
+    if (discipline == ReadDiscipline::kAllCausal) mode = ReadMode::kCausal;
+    if (discipline == ReadDiscipline::kAllPram) mode = ReadMode::kPram;
+
+    const ProcId p = op.proc;
+    const BitMatrix* R = nullptr;
+    if (mode == ReadMode::kCausal) {
+      if (!have_causal[p]) {
+        causal_rel[p] = restrict_causal(h, *rel, p);
+        have_causal[p] = true;
+      }
+      R = &causal_rel[p];
+    } else {
+      if (!have_pram[p]) {
+        pram_rel[p] = restrict_pram(h, *rel, p);
+        have_pram[p] = true;
+      }
+      R = &pram_rel[p];
+    }
+
+    if (is_counter[op.var]) {
+      check_counter_read(h, *R, i, out);
+    } else {
+      check_plain_read(h, *R, i, out);
+    }
+    if (out.violations.size() >= 8) break;  // enough evidence
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckResult check_mixed_consistency(const History& h) {
+  return run_checks(h, ReadDiscipline::kAsLabeled);
+}
+
+CheckResult check_consistency(const History& h, ReadDiscipline discipline) {
+  return run_checks(h, discipline);
+}
+
+CheckResult check_read(const History& h, const BitMatrix& restricted, OpRef read) {
+  CheckResult out;
+  const std::vector<bool> is_counter = delta_vars(h);
+  MC_CHECK(h.op(read).kind == OpKind::kRead);
+  if (is_counter[h.op(read).var]) {
+    check_counter_read(h, restricted, read, out);
+  } else {
+    check_plain_read(h, restricted, read, out);
+  }
+  return out;
+}
+
+}  // namespace mc::history

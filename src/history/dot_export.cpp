@@ -1,0 +1,76 @@
+#include "history/dot_export.h"
+
+namespace mc::history {
+
+namespace {
+
+void emit_edges(std::string& out, const BitMatrix& rel, const char* attrs) {
+  for (std::size_t a = 0; a < rel.size(); ++a) {
+    for (const std::size_t b : rel.successors(a)) {
+      out += "  n" + std::to_string(a) + " -> n" + std::to_string(b) + " [" + attrs +
+             "];\n";
+    }
+  }
+}
+
+/// Escape the few characters DOT labels care about.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const History& h, const Relations& rel, const DotOptions& opt) {
+  std::string out = "digraph history {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  if (opt.cluster_by_process) {
+    for (ProcId p = 0; p < h.num_procs(); ++p) {
+      out += "  subgraph cluster_p" + std::to_string(p) + " {\n    label=\"p" +
+             std::to_string(p) + "\";\n    style=dashed;\n";
+      for (const OpRef r : h.ops_of(p)) {
+        out += "    n" + std::to_string(r) + " [label=\"" + escape(h.op(r).to_string()) +
+               "\"];\n";
+      }
+      out += "  }\n";
+    }
+  } else {
+    for (OpRef r = 0; r < h.size(); ++r) {
+      out += "  n" + std::to_string(r) + " [label=\"" + escape(h.op(r).to_string()) +
+             "\"];\n";
+    }
+  }
+
+  if (opt.include_program_order) {
+    emit_edges(out, rel.program_order, "color=black, label=\"po\", fontsize=8");
+  }
+  if (opt.include_reads_from) {
+    emit_edges(out, rel.reads_from, "color=blue, label=\"rf\", fontsize=8");
+  }
+  if (opt.include_sync_orders) {
+    emit_edges(out, rel.sync_lock, "color=red, label=\"lock\", fontsize=8");
+    emit_edges(out, rel.sync_bar, "color=darkgreen, label=\"bar\", fontsize=8");
+    emit_edges(out, rel.sync_await, "color=purple, label=\"await\", fontsize=8");
+  }
+  if (opt.include_causality_closure) {
+    emit_edges(out, rel.causality, "color=gray, style=dotted");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const History& h, const DotOptions& opt) {
+  std::string err;
+  const auto rel = build_relations(h, &err);
+  if (!rel) {
+    return "digraph history {\n  // malformed history: " + err + "\n}\n";
+  }
+  return to_dot(h, *rel, opt);
+}
+
+}  // namespace mc::history

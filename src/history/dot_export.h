@@ -1,0 +1,35 @@
+// Graphviz (DOT) export of a history's relations — program order,
+// reads-from, and the three synchronization orders, color-coded — for
+// documentation and debugging of consistency violations.
+//
+//   dot -Tsvg history.dot -o history.svg
+
+#pragma once
+
+#include <string>
+
+#include "history/causality.h"
+#include "history/history.h"
+
+namespace mc::history {
+
+struct DotOptions {
+  bool include_program_order = true;
+  bool include_reads_from = true;
+  bool include_sync_orders = true;
+  /// Also draw the transitive closure (dotted gray) — busy for anything
+  /// beyond litmus-sized histories.
+  bool include_causality_closure = false;
+  /// Cluster operations by process (one column per process).
+  bool cluster_by_process = true;
+};
+
+/// Render the history's relations as a DOT digraph.  The relations must
+/// come from build_relations on the same history.
+std::string to_dot(const History& h, const Relations& rel, const DotOptions& opt = {});
+
+/// Convenience: build relations internally; returns an error-comment-only
+/// graph if the history is malformed.
+std::string to_dot(const History& h, const DotOptions& opt = {});
+
+}  // namespace mc::history

@@ -1,0 +1,138 @@
+#include "history/history.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace mc::history {
+
+OpRef History::add(Operation op) {
+  MC_CHECK(op.proc < num_procs_);
+  const auto ref = static_cast<OpRef>(ops_.size());
+  ops_.push_back(op);
+  by_proc_[op.proc].push_back(ref);
+  return ref;
+}
+
+void History::add_program_edge(OpRef before, OpRef after) {
+  MC_CHECK(before < ops_.size() && after < ops_.size());
+  MC_CHECK_MSG(ops_[before].proc == ops_[after].proc,
+               "program order relates operations of one process only");
+  explicit_po_.push_back({before, after});
+}
+
+OpRef History::read(ProcId p, VarId x, Value v, ReadMode mode, WriteId source) {
+  Operation op;
+  op.kind = OpKind::kRead;
+  op.proc = p;
+  op.var = x;
+  op.value = v;
+  op.mode = mode;
+  op.write_id = source;
+  return add(op);
+}
+
+OpRef History::write(ProcId p, VarId x, Value v) {
+  Operation op;
+  op.kind = OpKind::kWrite;
+  op.proc = p;
+  op.var = x;
+  op.value = v;
+  op.write_id = WriteId{p, ++write_seq_[p]};
+  return add(op);
+}
+
+OpRef History::delta(ProcId p, VarId x, std::int64_t amount) {
+  Operation op;
+  op.kind = OpKind::kDelta;
+  op.proc = p;
+  op.var = x;
+  op.value = value_of(amount);
+  op.write_id = WriteId{p, ++write_seq_[p]};
+  return add(op);
+}
+
+namespace {
+Operation lock_op(OpKind k, ProcId p, LockId l, std::uint64_t episode) {
+  Operation op;
+  op.kind = k;
+  op.proc = p;
+  op.lock = l;
+  op.lock_episode = episode;
+  return op;
+}
+}  // namespace
+
+OpRef History::rlock(ProcId p, LockId l, std::uint64_t e) { return add(lock_op(OpKind::kReadLock, p, l, e)); }
+OpRef History::runlock(ProcId p, LockId l, std::uint64_t e) { return add(lock_op(OpKind::kReadUnlock, p, l, e)); }
+OpRef History::wlock(ProcId p, LockId l, std::uint64_t e) { return add(lock_op(OpKind::kWriteLock, p, l, e)); }
+OpRef History::wunlock(ProcId p, LockId l, std::uint64_t e) { return add(lock_op(OpKind::kWriteUnlock, p, l, e)); }
+
+OpRef History::barrier(ProcId p, std::uint32_t epoch, BarrierId b) {
+  Operation op;
+  op.kind = OpKind::kBarrier;
+  op.proc = p;
+  op.barrier = b;
+  op.barrier_epoch = epoch;
+  return add(op);
+}
+
+OpRef History::await(ProcId p, VarId x, Value v, WriteId resolved_by) {
+  Operation op;
+  op.kind = OpKind::kAwait;
+  op.proc = p;
+  op.var = x;
+  op.value = v;
+  op.write_id = resolved_by;
+  return add(op);
+}
+
+WriteId History::last_write_of(ProcId p) const {
+  MC_CHECK(p < num_procs_);
+  return write_seq_[p] == 0 ? kInitialWrite : WriteId{p, write_seq_[p]};
+}
+
+std::optional<std::string> History::resolve_reads_by_value() {
+  // Map (var, value) -> writing op, flagging duplicates.
+  std::unordered_map<std::uint64_t, OpRef> writers;
+  auto key = [](VarId x, Value v) {
+    return (static_cast<std::uint64_t>(x) << 48) ^ (v * 0x9e3779b97f4a7c15ull);
+  };
+  for (OpRef i = 0; i < ops_.size(); ++i) {
+    const Operation& op = ops_[i];
+    if (op.kind != OpKind::kWrite) continue;
+    auto [it, inserted] = writers.insert({key(op.var, op.value), i});
+    if (!inserted) {
+      return "duplicate written value " + std::to_string(op.value) + " on x" +
+             std::to_string(op.var) +
+             " — unique-values resolution is ambiguous; set write_id explicitly";
+    }
+  }
+  for (Operation& op : ops_) {
+    if ((op.kind != OpKind::kRead && op.kind != OpKind::kAwait) || op.write_id.valid()) {
+      continue;
+    }
+    auto it = writers.find(key(op.var, op.value));
+    if (it != writers.end()) {
+      op.write_id = ops_[it->second].write_id;
+    }
+    // No writer: the read returns the initial value; write_id stays
+    // kInitialWrite, which the checkers treat as the virtual initial write.
+  }
+  return std::nullopt;
+}
+
+std::string History::to_string() const {
+  std::string out;
+  for (ProcId p = 0; p < num_procs_; ++p) {
+    out += "p" + std::to_string(p) + ":";
+    for (const OpRef r : by_proc_[p]) {
+      out += ' ';
+      out += ops_[r].to_string();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mc::history

@@ -1,0 +1,88 @@
+// Histories of the formal model (Section 3).
+//
+// A History is the pair (Op, ~>) of the paper: the set of operations of all
+// processes together with the relations that generate the causality
+// relation.  Program order within each process is a *partial* order — the
+// model explicitly supports concurrency inside a process — represented here
+// as:
+//   - an implicit chain edge between consecutively appended operations of a
+//     process (the common, sequential-process case), which can be turned
+//     off per history, plus
+//   - arbitrary explicit intra-process edges for partial-order tests.
+//
+// Histories are built either by hand (unit tests, litmus tests) with the
+// fluent per-process appenders, or mechanically from runtime traces
+// (dsm/trace.h).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "history/operation.h"
+
+namespace mc::history {
+
+class History {
+ public:
+  explicit History(std::size_t num_procs, bool sequential_processes = true)
+      : num_procs_(num_procs), sequential_(sequential_processes) {}
+
+  [[nodiscard]] std::size_t num_procs() const { return num_procs_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] const Operation& op(OpRef r) const { return ops_[r]; }
+  [[nodiscard]] const std::vector<Operation>& ops() const { return ops_; }
+  [[nodiscard]] const std::vector<OpRef>& ops_of(ProcId p) const { return by_proc_[p]; }
+
+  /// Append an operation; when the history is sequential, a program-order
+  /// edge from the process's previous operation is implied.
+  OpRef add(Operation op);
+
+  /// Explicit intra-process program-order edge (for partial-order
+  /// histories).  Both ends must belong to the same process.
+  void add_program_edge(OpRef before, OpRef after);
+
+  [[nodiscard]] bool sequential_processes() const { return sequential_; }
+  [[nodiscard]] const std::vector<std::pair<OpRef, OpRef>>& explicit_program_edges() const {
+    return explicit_po_;
+  }
+
+  // ----- convenience appenders (tests and examples) -----
+
+  OpRef read(ProcId p, VarId x, Value v, ReadMode mode = ReadMode::kCausal,
+             WriteId source = kInitialWrite);
+  OpRef write(ProcId p, VarId x, Value v);
+  OpRef delta(ProcId p, VarId x, std::int64_t amount);
+  OpRef rlock(ProcId p, LockId l, std::uint64_t episode);
+  OpRef runlock(ProcId p, LockId l, std::uint64_t episode);
+  OpRef wlock(ProcId p, LockId l, std::uint64_t episode);
+  OpRef wunlock(ProcId p, LockId l, std::uint64_t episode);
+  OpRef barrier(ProcId p, std::uint32_t epoch, BarrierId b = 0);
+  OpRef await(ProcId p, VarId x, Value v, WriteId resolved_by);
+
+  /// The WriteId of the most recent `write`/`delta` appended via the
+  /// convenience appenders for process p (handy when wiring reads-from).
+  [[nodiscard]] WriteId last_write_of(ProcId p) const;
+
+  /// Resolve reads-from for reads/awaits whose write_id was left as
+  /// kInitialWrite but whose value matches exactly one write in the history
+  /// — this recovers the paper's unique-written-values convention for
+  /// hand-built histories.  Returns an error description if a value matches
+  /// more than one write.
+  std::optional<std::string> resolve_reads_by_value();
+
+  /// Pretty printer (one process per line).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t num_procs_;
+  bool sequential_;
+  std::vector<Operation> ops_;
+  std::vector<std::vector<OpRef>> by_proc_{num_procs_};
+  std::vector<std::pair<OpRef, OpRef>> explicit_po_;
+  std::vector<SeqNo> write_seq_{std::vector<SeqNo>(num_procs_, 0)};
+};
+
+}  // namespace mc::history

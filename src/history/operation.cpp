@@ -1,0 +1,50 @@
+#include "history/operation.h"
+
+namespace mc::history {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kRead: return "r";
+    case OpKind::kWrite: return "w";
+    case OpKind::kDelta: return "dec";
+    case OpKind::kReadLock: return "rl";
+    case OpKind::kReadUnlock: return "ru";
+    case OpKind::kWriteLock: return "wl";
+    case OpKind::kWriteUnlock: return "wu";
+    case OpKind::kBarrier: return "bar";
+    case OpKind::kAwait: return "await";
+  }
+  return "?";
+}
+
+std::string Operation::to_string() const {
+  std::string out = history::to_string(kind);
+  out += std::to_string(proc);
+  switch (kind) {
+    case OpKind::kRead:
+      out += "(x" + std::to_string(var) + ")" + std::to_string(value);
+      out += mode == ReadMode::kPram ? "/pram" : "/causal";
+      break;
+    case OpKind::kWrite:
+      out += "(x" + std::to_string(var) + ")" + std::to_string(value);
+      break;
+    case OpKind::kDelta:
+      out += "(x" + std::to_string(var) + ")-" + std::to_string(int_of(value));
+      break;
+    case OpKind::kReadLock:
+    case OpKind::kReadUnlock:
+    case OpKind::kWriteLock:
+    case OpKind::kWriteUnlock:
+      out += "(l" + std::to_string(lock) + ")@e" + std::to_string(lock_episode);
+      break;
+    case OpKind::kBarrier:
+      out += "(B" + std::to_string(barrier) + "^" + std::to_string(barrier_epoch) + ")";
+      break;
+    case OpKind::kAwait:
+      out += "(x" + std::to_string(var) + "=" + std::to_string(value) + ")";
+      break;
+  }
+  return out;
+}
+
+}  // namespace mc::history

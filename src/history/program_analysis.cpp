@@ -1,0 +1,199 @@
+#include "history/program_analysis.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace mc::history {
+
+namespace {
+
+bool lock_ops_commute(const Operation& a, const Operation& b) {
+  if (a.lock != b.lock) return true;
+  auto w = [](OpKind k) { return k == OpKind::kWriteLock; };
+  auto r = [](OpKind k) { return k == OpKind::kReadLock; };
+  // Pairs that can be simultaneously enabled and whose order matters:
+  //   rl vs wl  (free lock: rl;wl is not a legal continuation)
+  //   wl vs wl  (free lock: wl;wl is not legal)
+  // Everything else is either order-insensitive (rl/rl, unlock bookkeeping)
+  // or never simultaneously enabled (any pair involving an unlock whose
+  // holder excludes the other operation), hence commutes vacuously under
+  // Definition 5.
+  if (w(a.kind) && w(b.kind)) return false;
+  if ((w(a.kind) && r(b.kind)) || (r(a.kind) && w(b.kind))) return false;
+  return true;
+}
+
+}  // namespace
+
+bool commutes(const Operation& a, const Operation& b) {
+  const bool a_mem = is_memory_op(a.kind) || a.kind == OpKind::kAwait;
+  const bool b_mem = is_memory_op(b.kind) || b.kind == OpKind::kAwait;
+  if (a_mem && b_mem) {
+    if (a.var != b.var) return true;
+    const bool a_read = a.kind == OpKind::kRead || a.kind == OpKind::kAwait;
+    const bool b_read = b.kind == OpKind::kRead || b.kind == OpKind::kAwait;
+    if (a_read && b_read) return true;
+    if (a.kind == OpKind::kDelta && b.kind == OpKind::kDelta) return true;
+    // An await against a mutation of its location: if the mutation leaves
+    // the awaited value in place both orders agree; otherwise one order is
+    // not a legal sequential history while the other is — not commuting.
+    if (a.kind == OpKind::kAwait && b.kind == OpKind::kWrite && b.value == a.value) return true;
+    if (b.kind == OpKind::kAwait && a.kind == OpKind::kWrite && a.value == b.value) return true;
+    return false;
+  }
+  if (is_lock_op(a.kind) && is_lock_op(b.kind)) return lock_ops_commute(a, b);
+  // Barriers change no state; memory-vs-lock pairs touch disjoint objects.
+  return true;
+}
+
+Theorem1Result check_theorem1(const History& h) {
+  Theorem1Result out;
+  std::string err;
+  auto rel = build_relations(h, &err);
+  if (!rel) {
+    out.violations.push_back(err);
+    return out;
+  }
+  out.precondition_holds = true;
+  for (OpRef a = 0; a < h.size() && out.violations.size() < 8; ++a) {
+    for (OpRef b = a + 1; b < h.size(); ++b) {
+      if (rel->causality.get(a, b) || rel->causality.get(b, a)) continue;
+      if (!commutes(h.op(a), h.op(b))) {
+        out.precondition_holds = false;
+        out.violations.push_back("concurrent non-commuting pair: " + h.op(a).to_string() +
+                                 " vs " + h.op(b).to_string());
+        if (out.violations.size() >= 8) break;
+      }
+    }
+  }
+  out.reads_causal = check_consistency(h, ReadDiscipline::kAllCausal).ok;
+  if (!out.reads_causal) out.violations.push_back("some read is not a causal read");
+  return out;
+}
+
+CheckResult check_entry_consistent(const History& h,
+                                   const std::map<VarId, LockId>& association) {
+  CheckResult out;
+  for (ProcId p = 0; p < h.num_procs(); ++p) {
+    std::map<LockId, int> read_held;
+    std::map<LockId, int> write_held;
+    for (const OpRef r : h.ops_of(p)) {
+      const Operation& op = h.op(r);
+      switch (op.kind) {
+        case OpKind::kReadLock: ++read_held[op.lock]; break;
+        case OpKind::kReadUnlock: --read_held[op.lock]; break;
+        case OpKind::kWriteLock: ++write_held[op.lock]; break;
+        case OpKind::kWriteUnlock: --write_held[op.lock]; break;
+        case OpKind::kRead:
+        case OpKind::kWrite:
+        case OpKind::kDelta: {
+          auto it = association.find(op.var);
+          if (it == association.end()) {
+            out.ok = false;
+            out.violations.push_back("x" + std::to_string(op.var) +
+                                     " has no associated lock (accessed by " +
+                                     op.to_string() + ")");
+            break;
+          }
+          const LockId l = it->second;
+          const bool w = write_held[l] > 0;
+          const bool rd = read_held[l] > 0;
+          if (op.kind == OpKind::kRead ? !(w || rd) : !w) {
+            out.ok = false;
+            out.violations.push_back(op.to_string() + " executes outside the required " +
+                                     (op.kind == OpKind::kRead ? "read/write" : "write") +
+                                     " critical section of l" + std::to_string(l));
+          }
+          break;
+        }
+        default: break;
+      }
+      if (out.violations.size() >= 8) return out;
+    }
+  }
+  return out;
+}
+
+std::optional<std::map<VarId, LockId>> infer_lock_association(const History& h) {
+  std::map<VarId, std::set<LockId>> candidates;
+  std::map<VarId, bool> seen;
+  for (ProcId p = 0; p < h.num_procs(); ++p) {
+    std::map<LockId, int> held;
+    for (const OpRef r : h.ops_of(p)) {
+      const Operation& op = h.op(r);
+      if (op.kind == OpKind::kReadLock || op.kind == OpKind::kWriteLock) ++held[op.lock];
+      if (op.kind == OpKind::kReadUnlock || op.kind == OpKind::kWriteUnlock) --held[op.lock];
+      if (!is_memory_op(op.kind)) continue;
+      std::set<LockId> now;
+      for (const auto& [l, n] : held) {
+        if (n > 0) now.insert(l);
+      }
+      if (!seen[op.var]) {
+        candidates[op.var] = now;
+        seen[op.var] = true;
+      } else {
+        std::set<LockId> inter;
+        for (const LockId l : candidates[op.var]) {
+          if (now.count(l)) inter.insert(l);
+        }
+        candidates[op.var] = inter;
+      }
+    }
+  }
+  std::map<VarId, LockId> out;
+  for (const auto& [x, locks] : candidates) {
+    if (locks.empty()) return std::nullopt;
+    out[x] = *locks.begin();
+  }
+  return out;
+}
+
+CheckResult check_pram_consistent_phases(const History& h) {
+  CheckResult out;
+  std::string err;
+  auto rel = build_relations(h, &err);
+  if (!rel) {
+    out.ok = false;
+    out.violations.push_back(err);
+    return out;
+  }
+
+  // Phase of an operation: number of barrier operations preceding it in its
+  // process (sequential processes assumed; traces satisfy this).
+  std::vector<std::uint32_t> phase(h.size(), 0);
+  for (ProcId p = 0; p < h.num_procs(); ++p) {
+    std::uint32_t k = 0;
+    for (const OpRef r : h.ops_of(p)) {
+      phase[r] = k;
+      if (h.op(r).kind == OpKind::kBarrier) ++k;
+    }
+  }
+
+  std::map<std::pair<VarId, std::uint32_t>, OpRef> writer_in_phase;
+  for (OpRef r = 0; r < h.size(); ++r) {
+    const Operation& op = h.op(r);
+    if (op.kind != OpKind::kWrite && op.kind != OpKind::kDelta) continue;
+    auto [it, inserted] = writer_in_phase.insert({{op.var, phase[r]}, r});
+    if (!inserted) {
+      out.ok = false;
+      out.violations.push_back("x" + std::to_string(op.var) + " updated twice in phase " +
+                               std::to_string(phase[r]) + ": " + h.op(it->second).to_string() +
+                               " and " + op.to_string());
+    }
+  }
+  for (OpRef r = 0; r < h.size() && out.violations.size() < 8; ++r) {
+    const Operation& op = h.op(r);
+    if (op.kind != OpKind::kRead) continue;
+    auto it = writer_in_phase.find({op.var, phase[r]});
+    if (it == writer_in_phase.end() || it->second == r) continue;
+    if (!rel->causality.get(it->second, r)) {
+      out.ok = false;
+      out.violations.push_back(op.to_string() + " does not follow same-phase update " +
+                               h.op(it->second).to_string());
+    }
+  }
+  return out;
+}
+
+}  // namespace mc::history

@@ -1,0 +1,67 @@
+// Section 4 of the paper: conditions under which programming against mixed
+// consistency has the same net effect as sequentially consistent memory.
+//
+//  - Definition 5 commutativity, decided syntactically for the operation
+//    vocabulary of the model;
+//  - the Theorem 1 precondition ("every pair of operations not related by
+//    the causality relation commutes");
+//  - Corollary 1's entry-consistency program condition (shared variables
+//    partitioned among locks; reads under a read or write lock; writes
+//    under a write lock);
+//  - Corollary 2's PRAM-consistency program condition (per barrier phase, a
+//    variable is updated at most once and all reads of it follow the
+//    update).
+//
+// These are the checks the paper suggests a compiler could run to decide,
+// transparently to the programmer, that weak reads are safe.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/causality.h"
+#include "history/checkers.h"
+#include "history/history.h"
+
+namespace mc::history {
+
+/// Definition 5, decided syntactically.  Pairs that are never enabled
+/// simultaneously (e.g. a write unlock against a competing lock request)
+/// commute vacuously.
+[[nodiscard]] bool commutes(const Operation& a, const Operation& b);
+
+struct Theorem1Result {
+  bool precondition_holds = false;  ///< all causally-unrelated pairs commute
+  bool reads_causal = false;        ///< every read passes Definition 2
+  std::vector<std::string> violations;
+
+  /// Theorem 1 then promises sequential consistency.
+  [[nodiscard]] bool implies_sequentially_consistent() const {
+    return precondition_holds && reads_causal;
+  }
+};
+
+/// Check both hypotheses of Theorem 1 on a history.
+Theorem1Result check_theorem1(const History& h);
+
+/// Corollary 1's program condition, evaluated on a history against an
+/// explicit variable -> lock association.  Every read of a shared variable
+/// must execute under a read or write lock of the associated lock; every
+/// write under a write lock.
+CheckResult check_entry_consistent(const History& h,
+                                   const std::map<VarId, LockId>& association);
+
+/// Infer a variable -> lock association from a history: for each variable,
+/// the set of locks held across *all* of its accesses.  Returns nullopt if
+/// some access runs outside any common lock.
+std::optional<std::map<VarId, LockId>> infer_lock_association(const History& h);
+
+/// Corollary 2's program condition, evaluated per barrier phase: a variable
+/// is updated at most once per phase, and every read of a variable updated
+/// in the same phase causally follows the update.
+CheckResult check_pram_consistent_phases(const History& h);
+
+}  // namespace mc::history

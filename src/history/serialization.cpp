@@ -1,0 +1,223 @@
+#include "history/serialization.h"
+
+#include <map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "history/causality.h"
+
+namespace mc::history {
+
+namespace {
+
+struct VarState {
+  WriteId last_write{};       // identity of the latest write (plain vars)
+  std::int64_t value = 0;     // numeric value (counters)
+  bool written = false;
+};
+
+struct LockState {
+  ProcId writer = kNoProc;
+  std::map<ProcId, int> readers;  // per-process read-hold counts
+};
+
+class Searcher {
+ public:
+  Searcher(const History& h, const Relations& rel) : h_(h) {
+    const std::size_t n = h.size();
+    preds_.resize(n);
+    for (OpRef c = 0; c < n; ++c) {
+      for (OpRef p = 0; p < n; ++p) {
+        if (p != c && rel.causality.get(p, c)) preds_[c].push_back(p);
+      }
+    }
+    executed_.assign(n, false);
+    for (const Operation& op : h.ops()) {
+      if (op.var != kNoVar) vars_.try_emplace(op.var);
+      if (is_lock_op(op.kind)) locks_.try_emplace(op.lock);
+      if (op.kind == OpKind::kDelta) counters_.insert(op.var);
+    }
+  }
+
+  bool search(std::vector<OpRef>* witness) {
+    if (dfs()) {
+      *witness = path_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  bool eligible(const Operation& op) const {
+    switch (op.kind) {
+      case OpKind::kRead:
+      case OpKind::kAwait: {
+        const VarState& v = vars_.at(op.var);
+        if (counters_.count(op.var)) {
+          return v.value == static_cast<std::int64_t>(op.value);
+        }
+        return v.last_write == op.write_id;
+      }
+      case OpKind::kReadLock: {
+        return locks_.at(op.lock).writer == kNoProc;
+      }
+      case OpKind::kWriteLock: {
+        const LockState& l = locks_.at(op.lock);
+        return l.writer == kNoProc && l.readers.empty();
+      }
+      case OpKind::kReadUnlock: {
+        const LockState& l = locks_.at(op.lock);
+        auto it = l.readers.find(op.proc);
+        return it != l.readers.end() && it->second > 0;
+      }
+      case OpKind::kWriteUnlock: {
+        return locks_.at(op.lock).writer == op.proc;
+      }
+      default:
+        return true;  // writes, deltas, barriers
+    }
+  }
+
+  struct Undo {
+    VarState var;
+    VarId var_id = kNoVar;
+    ProcId lock_writer = kNoProc;
+    bool had_lock = false;
+    LockId lock_id = 0;
+  };
+
+  Undo apply(const Operation& op) {
+    Undo u;
+    if (op.var != kNoVar && is_memory_op(op.kind)) {
+      u.var_id = op.var;
+      u.var = vars_.at(op.var);
+      VarState& v = vars_[op.var];
+      if (op.kind == OpKind::kWrite) {
+        v.last_write = op.write_id;
+        v.value = static_cast<std::int64_t>(op.value);
+        v.written = true;
+      } else if (op.kind == OpKind::kDelta) {
+        v.last_write = op.write_id;
+        v.value -= int_of(op.value);
+        v.written = true;
+      }
+    }
+    if (is_lock_op(op.kind)) {
+      u.had_lock = true;
+      u.lock_id = op.lock;
+      LockState& l = locks_[op.lock];
+      u.lock_writer = l.writer;
+      switch (op.kind) {
+        case OpKind::kReadLock: ++l.readers[op.proc]; break;
+        case OpKind::kReadUnlock:
+          if (--l.readers[op.proc] == 0) l.readers.erase(op.proc);
+          break;
+        case OpKind::kWriteLock: l.writer = op.proc; break;
+        case OpKind::kWriteUnlock: l.writer = kNoProc; break;
+        default: break;
+      }
+    }
+    return u;
+  }
+
+  void undo(const Operation& op, const Undo& u) {
+    if (u.var_id != kNoVar) vars_[u.var_id] = u.var;
+    if (u.had_lock) {
+      LockState& l = locks_[u.lock_id];
+      l.writer = u.lock_writer;
+      switch (op.kind) {
+        case OpKind::kReadLock:
+          if (--l.readers[op.proc] == 0) l.readers.erase(op.proc);
+          break;
+        case OpKind::kReadUnlock: ++l.readers[op.proc]; break;
+        default: break;
+      }
+    }
+  }
+
+  std::string state_key() const {
+    std::string key;
+    key.reserve(executed_.size() / 8 + vars_.size() * 16);
+    for (std::size_t i = 0; i < executed_.size(); i += 8) {
+      char byte = 0;
+      for (std::size_t b = 0; b < 8 && i + b < executed_.size(); ++b) {
+        if (executed_[i + b]) byte = static_cast<char>(byte | (1 << b));
+      }
+      key.push_back(byte);
+    }
+    // Per-variable last-write identity and numeric value: two serializations
+    // of the same executed set can differ in them, so they are part of the
+    // memo key.
+    for (const auto& [x, v] : vars_) {
+      key.append(reinterpret_cast<const char*>(&x), sizeof(x));
+      key.append(reinterpret_cast<const char*>(&v.last_write), sizeof(v.last_write));
+      key.append(reinterpret_cast<const char*>(&v.value), sizeof(v.value));
+    }
+    for (const auto& [l, s] : locks_) {
+      key.append(reinterpret_cast<const char*>(&l), sizeof(l));
+      key.append(reinterpret_cast<const char*>(&s.writer), sizeof(s.writer));
+      key.push_back(static_cast<char>(s.readers.size()));
+    }
+    return key;
+  }
+
+  bool dfs() {
+    if (path_.size() == h_.size()) return true;
+    const std::string key = state_key();
+    if (failed_.count(key)) return false;
+
+    for (OpRef c = 0; c < h_.size(); ++c) {
+      if (executed_[c]) continue;
+      bool ready = true;
+      for (const OpRef p : preds_[c]) {
+        if (!executed_[p]) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      const Operation& op = h_.op(c);
+      if (!eligible(op)) continue;
+
+      executed_[c] = true;
+      path_.push_back(c);
+      const Undo u = apply(op);
+      if (dfs()) return true;
+      undo(op, u);
+      path_.pop_back();
+      executed_[c] = false;
+    }
+    failed_.insert(key);
+    return false;
+  }
+
+  const History& h_;
+  std::vector<std::vector<OpRef>> preds_;
+  std::vector<bool> executed_;
+  std::vector<OpRef> path_;
+  std::map<VarId, VarState> vars_;
+  std::map<LockId, LockState> locks_;
+  std::unordered_set<VarId> counters_;
+  std::unordered_set<std::string> failed_;
+};
+
+}  // namespace
+
+ScResult check_sequential_consistency(const History& h, std::size_t max_ops) {
+  ScResult out;
+  if (h.size() > max_ops) {
+    out.exhausted_budget = true;
+    return out;
+  }
+  std::string err;
+  auto rel = build_relations(h, &err);
+  if (!rel) {
+    out.error = err;
+    return out;
+  }
+  Searcher s(h, *rel);
+  out.sequentially_consistent = s.search(&out.witness);
+  return out;
+}
+
+}  // namespace mc::history

@@ -1,0 +1,38 @@
+// Sequential consistency (Definition 1): a history is sequentially
+// consistent iff some serialization — a total order on its operations that
+// respects the causality relation — is a *sequential* history, i.e. every
+// read (and await) observes the most recent write at its position and lock
+// semantics hold.
+//
+// The checker performs a memoized backtracking search over causality-
+// respecting serializations.  Worst case is exponential; it is intended for
+// litmus-scale histories (tens of operations), which is exactly how the
+// test suites use it.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace mc::history {
+
+struct ScResult {
+  /// True when a sequential serialization exists.
+  bool sequentially_consistent = false;
+  /// A witness serialization when one exists.
+  std::vector<OpRef> witness;
+  /// Set when the history is malformed (cannot even be searched).
+  std::string error;
+  /// True when the search was abandoned because the history exceeds the
+  /// configured size budget (result unknown, not a verdict).
+  bool exhausted_budget = false;
+};
+
+/// Search for a sequential serialization.  `max_ops` bounds the history
+/// size accepted (beyond it, exhausted_budget is reported).
+ScResult check_sequential_consistency(const History& h, std::size_t max_ops = 96);
+
+}  // namespace mc::history

@@ -1,0 +1,232 @@
+#include "history/text_format.h"
+
+#include <charconv>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+namespace mc::history {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ss(line);
+  std::string tok;
+  while (ss >> tok) {
+    if (tok[0] == '#') break;  // trailing comment
+    out.push_back(tok);
+  }
+  return out;
+}
+
+/// Parse an unsigned number, optionally behind a one-letter prefix
+/// (x0, l3, b1, e7).
+std::optional<std::uint64_t> number(const std::string& tok, char prefix = '\0') {
+  std::size_t start = 0;
+  if (prefix != '\0') {
+    if (tok.empty() || tok[0] != prefix) return std::nullopt;
+    start = 1;
+  }
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data() + start, tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> signed_number(const std::string& tok) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) return std::nullopt;
+  return v;
+}
+
+/// Parse a reads-from annotation: "@initial" or "@proc.seq".
+std::optional<WriteId> source(const std::string& tok) {
+  if (tok == "@initial") return kInitialWrite;
+  if (tok.size() < 4 || tok[0] != '@') return std::nullopt;
+  const auto dot = tok.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  const auto proc = number(tok.substr(1, dot - 1));
+  const auto seq = number(tok.substr(dot + 1));
+  if (!proc || !seq) return std::nullopt;
+  return WriteId{static_cast<ProcId>(*proc), *seq};
+}
+
+}  // namespace
+
+ParseResult parse_history(std::istream& in) {
+  ParseResult out;
+  std::string line;
+  int lineno = 0;
+  std::optional<History> h;
+  // Per-process write counters so explicit @proc.seq annotations line up
+  // with the ids the appenders assign.
+  auto fail = [&](const std::string& why) {
+    out.history.reset();
+    out.error = "line " + std::to_string(lineno) + ": " + why;
+    return out;
+  };
+
+  bool needs_value_resolution = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "procs") {
+      if (h.has_value()) return fail("duplicate procs directive");
+      if (toks.size() != 2) return fail("procs needs a count");
+      const auto n = number(toks[1]);
+      if (!n || *n == 0 || *n > 64) return fail("invalid process count");
+      h.emplace(*n);
+      continue;
+    }
+    if (!h.has_value()) return fail("the first directive must be `procs N`");
+
+    const auto proc = number(toks[0]);
+    if (!proc || *proc >= h->num_procs()) return fail("bad process id");
+    const auto p = static_cast<ProcId>(*proc);
+    if (toks.size() < 2) return fail("missing operation kind");
+    const std::string& kind = toks[1];
+
+    if (kind == "write" || kind == "dec") {
+      if (toks.size() != 4) return fail(kind + " needs: xVAR VALUE");
+      const auto var = number(toks[2], 'x');
+      if (!var) return fail("bad variable");
+      if (kind == "write") {
+        const auto v = number(toks[3]);
+        if (!v) return fail("bad value");
+        h->write(p, static_cast<VarId>(*var), *v);
+      } else {
+        const auto amt = signed_number(toks[3]);
+        if (!amt) return fail("bad decrement amount");
+        h->delta(p, static_cast<VarId>(*var), *amt);
+      }
+    } else if (kind == "read") {
+      if (toks.size() != 5 && toks.size() != 6) {
+        return fail("read needs: xVAR VALUE pram|causal [@src]");
+      }
+      const auto var = number(toks[2], 'x');
+      const auto v = number(toks[3]);
+      if (!var || !v) return fail("bad read target");
+      ReadMode mode;
+      if (toks[4] == "pram") {
+        mode = ReadMode::kPram;
+      } else if (toks[4] == "causal") {
+        mode = ReadMode::kCausal;
+      } else {
+        return fail("read label must be pram or causal");
+      }
+      WriteId src = kInitialWrite;
+      if (toks.size() == 6) {
+        const auto s = source(toks[5]);
+        if (!s) return fail("bad reads-from annotation");
+        src = *s;
+      } else {
+        needs_value_resolution = true;
+      }
+      h->read(p, static_cast<VarId>(*var), *v, mode, src);
+    } else if (kind == "await") {
+      if (toks.size() != 4 && toks.size() != 5) {
+        return fail("await needs: xVAR VALUE [@src]");
+      }
+      const auto var = number(toks[2], 'x');
+      const auto v = number(toks[3]);
+      if (!var || !v) return fail("bad await target");
+      WriteId src = kInitialWrite;
+      if (toks.size() == 5) {
+        const auto s = source(toks[4]);
+        if (!s) return fail("bad await annotation");
+        src = *s;
+      } else {
+        needs_value_resolution = true;
+      }
+      h->await(p, static_cast<VarId>(*var), *v, src);
+    } else if (kind == "rlock" || kind == "runlock" || kind == "wlock" ||
+               kind == "wunlock") {
+      if (toks.size() != 4) return fail(kind + " needs: lLOCK eEPISODE");
+      const auto lock = number(toks[2], 'l');
+      const auto ep = number(toks[3], 'e');
+      if (!lock || !ep) return fail("bad lock line");
+      const auto l = static_cast<LockId>(*lock);
+      if (kind == "rlock") h->rlock(p, l, *ep);
+      if (kind == "runlock") h->runlock(p, l, *ep);
+      if (kind == "wlock") h->wlock(p, l, *ep);
+      if (kind == "wunlock") h->wunlock(p, l, *ep);
+    } else if (kind == "barrier") {
+      if (toks.size() != 4) return fail("barrier needs: bBARRIER eEPOCH");
+      const auto b = number(toks[2], 'b');
+      const auto ep = number(toks[3], 'e');
+      if (!b || !ep) return fail("bad barrier line");
+      h->barrier(p, static_cast<std::uint32_t>(*ep), static_cast<BarrierId>(*b));
+    } else {
+      return fail("unknown operation `" + kind + "`");
+    }
+  }
+  if (!h.has_value()) {
+    lineno = 0;
+    return fail("empty input (expected `procs N`)");
+  }
+  if (needs_value_resolution) {
+    if (auto err = h->resolve_reads_by_value()) {
+      lineno = 0;
+      return fail(*err);
+    }
+  }
+  out.history = std::move(h);
+  return out;
+}
+
+ParseResult parse_history_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_history(in);
+}
+
+std::string format_history(const History& h) {
+  std::string out = "procs " + std::to_string(h.num_procs()) + "\n";
+  auto src = [](const WriteId& id) {
+    if (!id.valid()) return std::string(" @initial");
+    return " @" + std::to_string(id.proc) + "." + std::to_string(id.seq);
+  };
+  for (const Operation& op : h.ops()) {
+    out += std::to_string(op.proc);
+    switch (op.kind) {
+      case OpKind::kWrite:
+        out += " write x" + std::to_string(op.var) + " " + std::to_string(op.value);
+        break;
+      case OpKind::kDelta:
+        out += " dec x" + std::to_string(op.var) + " " + std::to_string(int_of(op.value));
+        break;
+      case OpKind::kRead:
+        out += " read x" + std::to_string(op.var) + " " + std::to_string(op.value) +
+               (op.mode == ReadMode::kPram ? " pram" : " causal") + src(op.write_id);
+        break;
+      case OpKind::kAwait:
+        out += " await x" + std::to_string(op.var) + " " + std::to_string(op.value) +
+               src(op.write_id);
+        break;
+      case OpKind::kReadLock:
+      case OpKind::kReadUnlock:
+      case OpKind::kWriteLock:
+      case OpKind::kWriteUnlock: {
+        const char* name = op.kind == OpKind::kReadLock     ? "rlock"
+                           : op.kind == OpKind::kReadUnlock ? "runlock"
+                           : op.kind == OpKind::kWriteLock  ? "wlock"
+                                                            : "wunlock";
+        out += std::string(" ") + name + " l" + std::to_string(op.lock) + " e" +
+               std::to_string(op.lock_episode);
+        break;
+      }
+      case OpKind::kBarrier:
+        out += " barrier b" + std::to_string(op.barrier) + " e" +
+               std::to_string(op.barrier_epoch);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mc::history

@@ -1,0 +1,47 @@
+// A line-oriented text format for histories, so executions can be stored,
+// shared, and fed to the checkers from outside the process (see
+// examples/check_history.cpp).
+//
+//   # comment / blank lines ignored
+//   procs 3
+//   0 write x0 42
+//   1 read x0 42 pram            # reads-from resolved by unique value
+//   1 read x1 7 causal @0.2      # or explicitly: write #2 of process 0
+//   1 read x2 0 pram @initial    # explicitly the initial value
+//   0 dec x5 1
+//   2 await x1 7 @0.2
+//   0 wlock l0 e1
+//   0 wunlock l0 e1
+//   1 rlock l0 e2
+//   1 runlock l0 e2
+//   0 barrier b0 e0
+//
+// Every operation line starts with the issuing process id.  Lock lines
+// carry the grant episode (eN); barrier lines the instance epoch (eN).
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "history/history.h"
+
+namespace mc::history {
+
+struct ParseResult {
+  std::optional<History> history;  // nullopt on error
+  std::string error;               // first problem, with a line number
+};
+
+/// Parse the text format.  Reads-from is taken from explicit `@proc.seq`
+/// annotations where present; remaining reads are resolved by unique
+/// written values (an error if ambiguous).
+ParseResult parse_history(std::istream& in);
+ParseResult parse_history_text(const std::string& text);
+
+/// Print a history in the same format (always with explicit `@`
+/// annotations, so round-trips are exact even with duplicate values).
+std::string format_history(const History& h);
+
+}  // namespace mc::history

@@ -1,0 +1,74 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mc::net {
+
+Fabric::Fabric(std::size_t endpoints, LatencyModel latency, std::uint64_t seed)
+    : stamper_(latency, endpoints, seed), channel_seq_(endpoints * endpoints, 0) {
+  MC_CHECK(endpoints > 0);
+  mailboxes_.reserve(endpoints);
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Mailbox& Fabric::mailbox(Endpoint e) {
+  MC_CHECK(e < mailboxes_.size());
+  return *mailboxes_[e];
+}
+
+void Fabric::send(Message m) {
+  MC_CHECK(m.src < mailboxes_.size());
+  MC_CHECK(m.dst < mailboxes_.size());
+  {
+    std::scoped_lock lk(stamp_mu_);
+    m.channel_seq = channel_seq_[m.src * mailboxes_.size() + m.dst]++;
+    m.deliver_at = stamper_.stamp(m, std::chrono::steady_clock::now());
+  }
+  messages_.add();
+  bytes_.add(m.wire_bytes());
+  per_kind_[std::min<std::size_t>(m.kind, kKindBuckets - 1)].add();
+  const Endpoint dst = m.dst;
+  mailboxes_[dst]->push(std::move(m));
+}
+
+void Fabric::multicast(const Message& m, const std::vector<Endpoint>& dsts) {
+  for (const Endpoint d : dsts) {
+    Message copy = m;
+    copy.dst = d;
+    send(std::move(copy));
+  }
+}
+
+void Fabric::shutdown() {
+  for (auto& mb : mailboxes_) mb->close();
+}
+
+std::uint64_t Fabric::messages_of_kind(std::uint16_t kind) const {
+  return per_kind_[std::min<std::size_t>(kind, kKindBuckets - 1)].get();
+}
+
+void Fabric::name_kind(std::uint16_t kind, std::string name) {
+  MC_CHECK(kind < kKindBuckets);
+  std::scoped_lock lk(names_mu_);
+  kind_names_[kind] = std::move(name);
+}
+
+MetricsSnapshot Fabric::metrics() const {
+  MetricsSnapshot snap;
+  snap.values["net.messages"] = messages_.get();
+  snap.values["net.bytes"] = bytes_.get();
+  std::scoped_lock lk(names_mu_);
+  for (std::size_t k = 0; k < kKindBuckets; ++k) {
+    const std::uint64_t n = per_kind_[k].get();
+    if (n == 0) continue;
+    const std::string& name = kind_names_[k];
+    snap.values["net.msg." + (name.empty() ? std::to_string(k) : name)] = n;
+  }
+  return snap;
+}
+
+}  // namespace mc::net

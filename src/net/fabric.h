@@ -1,0 +1,78 @@
+// The simulated message-passing fabric: a fixed set of endpoints connected
+// by FIFO channels with configurable latency and full traffic accounting.
+//
+// This is the substitute for the workstation network underneath the Maya
+// platform (Section 6): processes and managers are endpoints, each endpoint
+// owns a mailbox, and every protocol byte is counted so benchmarks can
+// report machine-independent costs.
+
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/latency.h"
+#include "net/mailbox.h"
+#include "net/message.h"
+
+namespace mc::net {
+
+class Fabric {
+ public:
+  /// Up to this many distinct protocol message kinds are accounted
+  /// separately (kinds at or above the cap share the last bucket).
+  static constexpr std::size_t kKindBuckets = 64;
+
+  Fabric(std::size_t endpoints, LatencyModel latency = LatencyModel::zero(),
+         std::uint64_t seed = 1);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] std::size_t endpoints() const { return mailboxes_.size(); }
+
+  [[nodiscard]] Mailbox& mailbox(Endpoint e);
+
+  /// Send `m` from m.src to m.dst, stamping channel sequence and simulated
+  /// delivery time.  Thread-safe.
+  void send(Message m);
+
+  /// Send a copy of `m` from `src` to every endpoint in `dsts`.
+  void multicast(const Message& m, const std::vector<Endpoint>& dsts);
+
+  /// Close every mailbox (messages already in flight are still delivered).
+  void shutdown();
+
+  // --- accounting ---
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_.get(); }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_.get(); }
+  [[nodiscard]] std::uint64_t messages_of_kind(std::uint16_t kind) const;
+
+  /// Snapshot of fabric-level metrics, with per-kind counts labeled through
+  /// `kind_name` (protocol layers install their kind names at startup).
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// Register a human-readable name for a message kind (for metrics keys).
+  void name_kind(std::uint16_t kind, std::string name);
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex stamp_mu_;
+  LatencyStamper stamper_;
+  std::vector<std::uint64_t> channel_seq_;  // [src * n + dst]
+
+  Counter messages_;
+  Counter bytes_;
+  std::array<Counter, kKindBuckets> per_kind_;
+
+  mutable std::mutex names_mu_;
+  std::array<std::string, kKindBuckets> kind_names_;
+};
+
+}  // namespace mc::net

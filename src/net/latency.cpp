@@ -1,0 +1,44 @@
+#include "net/latency.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mc::net {
+
+LatencyModel LatencyModel::lan() {
+  using namespace std::chrono_literals;
+  return LatencyModel{.base = 30us, .per_word = 40ns, .jitter = 10us};
+}
+
+LatencyModel LatencyModel::fast() {
+  using namespace std::chrono_literals;
+  return LatencyModel{.base = 2us, .per_word = 5ns, .jitter = 500ns};
+}
+
+LatencyStamper::LatencyStamper(LatencyModel model, std::size_t endpoints, std::uint64_t seed)
+    : model_(model), endpoints_(endpoints), rng_state_(seed | 1),
+      last_(endpoints * endpoints) {}
+
+SimTime LatencyStamper::stamp(const Message& m, SimTime now) {
+  if (model_.is_zero()) return now;
+  auto delay = model_.base + model_.per_word * static_cast<std::int64_t>(m.payload.size());
+  if (model_.jitter.count() > 0) {
+    // SplitMix64 step, inlined to avoid a dependency cycle with common/rng.
+    std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    delay += std::chrono::nanoseconds(
+        static_cast<std::int64_t>(z % static_cast<std::uint64_t>(model_.jitter.count() + 1)));
+  }
+  MC_CHECK(m.src < endpoints_ && m.dst < endpoints_);
+  SimTime& channel_last = last_[m.src * endpoints_ + m.dst];
+  // Clamp to keep the channel FIFO: a later send must never arrive earlier.
+  const SimTime candidate = now + delay;
+  const SimTime stamped = std::max(candidate, channel_last + std::chrono::nanoseconds(1));
+  channel_last = stamped;
+  return stamped;
+}
+
+}  // namespace mc::net

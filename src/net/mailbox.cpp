@@ -1,0 +1,62 @@
+#include "net/mailbox.h"
+
+namespace mc::net {
+
+void Mailbox::push(Message m) {
+  {
+    std::scoped_lock lk(mu_);
+    if (closed_) return;  // late traffic after shutdown is dropped silently
+    heap_.push(Entry{std::move(m), arrivals_++});
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::recv() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (!heap_.empty()) {
+      const SimTime due = heap_.top().msg.deliver_at;
+      const SimTime now = std::chrono::steady_clock::now();
+      if (due <= now) {
+        Message out = heap_.top().msg;
+        heap_.pop();
+        return out;
+      }
+      // Wait until the head becomes deliverable or something earlier/closing
+      // arrives.
+      cv_.wait_until(lk, due);
+      continue;
+    }
+    if (closed_) return std::nullopt;
+    cv_.wait(lk);
+  }
+}
+
+std::optional<Message> Mailbox::try_recv() {
+  std::scoped_lock lk(mu_);
+  if (heap_.empty()) return std::nullopt;
+  if (heap_.top().msg.deliver_at > std::chrono::steady_clock::now()) return std::nullopt;
+  Message out = heap_.top().msg;
+  heap_.pop();
+  return out;
+}
+
+void Mailbox::close() {
+  {
+    std::scoped_lock lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::scoped_lock lk(mu_);
+  return closed_;
+}
+
+std::size_t Mailbox::pending() const {
+  std::scoped_lock lk(mu_);
+  return heap_.size();
+}
+
+}  // namespace mc::net

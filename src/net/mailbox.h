@@ -1,0 +1,59 @@
+// A multi-producer single-consumer mailbox with simulated-latency release.
+//
+// Messages become visible to the consumer only once their `deliver_at`
+// stamp has passed; among deliverable messages the mailbox releases them in
+// arrival order, which — combined with the fabric's per-channel monotone
+// deliver_at stamping — yields the FIFO channels that Section 6 assumes.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+
+#include "net/message.h"
+
+namespace mc::net {
+
+class Mailbox {
+ public:
+  /// Enqueue a message (called by the fabric).  Never blocks.
+  void push(Message m);
+
+  /// Blocking receive.  Returns nullopt once the mailbox is closed *and*
+  /// drained — pending messages are still delivered after close so that
+  /// shutdown cannot drop protocol traffic.
+  std::optional<Message> recv();
+
+  /// Non-blocking receive of a deliverable message.
+  std::optional<Message> try_recv();
+
+  /// Wake all blocked receivers and reject future pushes.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Entry {
+    Message msg;
+    std::uint64_t arrival = 0;
+
+    // Min-heap by (deliver_at, arrival): earliest deliverable first, FIFO
+    // among equal stamps.
+    bool operator>(const Entry& o) const {
+      if (msg.deliver_at != o.msg.deliver_at) return msg.deliver_at > o.msg.deliver_at;
+      return arrival > o.arrival;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t arrivals_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mc::net

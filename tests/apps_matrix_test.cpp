@@ -1,0 +1,88 @@
+// Unit tests for the dense linear-algebra substrate of the Section 5.1
+// application.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/matrix.h"
+
+namespace mc::apps {
+namespace {
+
+TEST(LinearSystem, GeneratorIsStrictlyDiagonallyDominant) {
+  const LinearSystem sys = LinearSystem::random(32, 9);
+  for (std::size_t i = 0; i < sys.n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < sys.n; ++j) {
+      if (j != i) off += std::abs(sys.at(i, j));
+    }
+    EXPECT_GT(sys.at(i, i), off) << "row " << i;
+  }
+}
+
+TEST(LinearSystem, GeneratorIsDeterministicPerSeed) {
+  const LinearSystem a = LinearSystem::random(8, 5);
+  const LinearSystem b = LinearSystem::random(8, 5);
+  const LinearSystem c = LinearSystem::random(8, 6);
+  EXPECT_EQ(a.a, b.a);
+  EXPECT_EQ(a.b, b.b);
+  EXPECT_NE(a.a, c.a);
+}
+
+TEST(Jacobi, ReferenceConvergesOnDominantSystems) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const LinearSystem sys = LinearSystem::random(16, seed);
+    const auto ref = jacobi_reference(sys, 1e-9, 500);
+    EXPECT_TRUE(ref.converged) << "seed " << seed;
+    EXPECT_LT(residual_inf(sys, ref.x), 1e-9);
+  }
+}
+
+TEST(Jacobi, SolutionActuallySolvesTheSystem) {
+  const LinearSystem sys = LinearSystem::random(12, 3);
+  const auto ref = jacobi_reference(sys, 1e-10, 1000);
+  ASSERT_TRUE(ref.converged);
+  for (std::size_t i = 0; i < sys.n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < sys.n; ++j) sum += sys.at(i, j) * ref.x[j];
+    EXPECT_NEAR(sum, sys.b[i], 1e-8);
+  }
+}
+
+TEST(Jacobi, RowsHelperMatchesFullSweep) {
+  const LinearSystem sys = LinearSystem::random(10, 7);
+  std::vector<double> x(sys.n, 0.5);
+  std::vector<double> full(sys.n, 0.0);
+  jacobi_rows(sys, 0, sys.n, [&](std::size_t j) { return x[j]; }, full);
+  // Two half sweeps into the same buffer equal one full sweep.
+  std::vector<double> halves(sys.n, 0.0);
+  jacobi_rows(sys, 0, sys.n / 2, [&](std::size_t j) { return x[j]; }, halves);
+  jacobi_rows(sys, sys.n / 2, sys.n, [&](std::size_t j) { return x[j]; }, halves);
+  EXPECT_EQ(full, halves);
+}
+
+TEST(Jacobi, ZeroIterationBudgetReportsNotConverged) {
+  const LinearSystem sys = LinearSystem::random(8, 11);
+  const auto ref = jacobi_reference(sys, 1e-12, 0);
+  EXPECT_FALSE(ref.converged);
+  EXPECT_EQ(ref.iterations, 0u);
+}
+
+TEST(Residual, ZeroForExactSolution) {
+  LinearSystem sys;
+  sys.n = 2;
+  sys.a = {2, 0, 0, 4};
+  sys.b = {2, 8};
+  EXPECT_DOUBLE_EQ(residual_inf(sys, {1.0, 2.0}), 0.0);
+  EXPECT_GT(residual_inf(sys, {0.0, 0.0}), 0.0);
+}
+
+TEST(MaxAbsDiff, PicksTheWorstComponent) {
+  EXPECT_DOUBLE_EQ(max_abs_diff({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff({1, 2, 3}, {1, 5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff({-1}, {1}), 2.0);
+}
+
+}  // namespace
+}  // namespace mc::apps

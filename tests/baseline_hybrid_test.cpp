@@ -1,0 +1,111 @@
+// The hybrid-consistency comparator (Section 2's closest relative):
+// weak/strong operation semantics and the producer/consumer pattern the
+// C10 experiment benchmarks against mixed consistency's await.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "baseline/hybrid_system.h"
+
+namespace mc::baseline {
+namespace {
+
+HybridConfig small(std::size_t procs) {
+  HybridConfig cfg;
+  cfg.num_procs = procs;
+  cfg.num_vars = 16;
+  return cfg;
+}
+
+TEST(Hybrid, WeakReadSeesOwnWeakWrite) {
+  HybridSystem sys(small(2));
+  sys.node(0).weak_write(0, 42);
+  EXPECT_EQ(sys.node(0).weak_read(0), 42u);
+}
+
+TEST(Hybrid, StrongWritesAreTotallyOrdered) {
+  // Two racing strong writers: every replica converges to the same value.
+  HybridSystem sys(small(3));
+  std::atomic<Value> seen[3];
+  sys.run([&](HybridNode& n, ProcId p) {
+    if (p < 2) n.strong_write(0, p + 1);
+    seen[p] = n.strong_read(0);
+  });
+  // A strong read observes at least the prefix at its ticket; the final
+  // strong reads (after both writes) must agree.
+  HybridSystem sys2(small(2));
+  sys2.run([&](HybridNode& n, ProcId p) {
+    n.strong_write(0, p + 1);
+  });
+  EXPECT_EQ(sys2.node(0).strong_read(0), sys2.node(1).strong_read(0));
+}
+
+TEST(Hybrid, StrongWriteFlushesPrecedingWeakWrites) {
+  // The weak-data-then-strong-flag pattern: once the consumer's strong
+  // read observes the flag, the weak payload must be visible.
+  HybridSystem sys(small(2));
+  sys.run([](HybridNode& n, ProcId p) {
+    if (p == 0) {
+      n.weak_write(0, 1234);   // payload, weak
+      n.strong_write(1, 1);    // flag, strong (flushes the payload first)
+    } else {
+      while (n.strong_read(1) != 1) std::this_thread::yield();
+      EXPECT_EQ(n.weak_read(0), 1234u);
+    }
+  });
+}
+
+TEST(Hybrid, StrongReadObservesSequencedPrefix) {
+  HybridSystem sys(small(2));
+  sys.node(0).strong_write(3, 7);
+  // p1 has not polled anything, but a strong read must catch up to the
+  // global prefix.
+  EXPECT_EQ(sys.node(1).strong_read(3), 7u);
+}
+
+TEST(Hybrid, WeakOperationsAreCheapStrongOnesAreNot) {
+  HybridSystem sys(small(3));
+  sys.run([](HybridNode& n, ProcId p) {
+    if (p == 0) {
+      for (int i = 0; i < 10; ++i) n.weak_write(0, i);
+      n.strong_write(1, 1);
+    }
+  });
+  // The writer unblocks as soon as its own copy of the ordered write is
+  // applied; wait until every replica has it before counting messages.
+  while (sys.node(1).weak_read(1) != 1 || sys.node(2).weak_read(1) != 1) {
+    std::this_thread::yield();
+  }
+  const auto m = sys.metrics();
+  EXPECT_EQ(m.get("net.msg.hy_weak"), 20u);          // 10 writes x 2 peers
+  EXPECT_EQ(m.get("net.msg.hy_flush"), 2u);          // one flush round
+  EXPECT_EQ(m.get("net.msg.hy_strong_write"), 1u);
+  EXPECT_EQ(m.get("net.msg.hy_ordered"), 3u);        // rebroadcast to all
+  EXPECT_GT(sys.node(0).stats().strong_blocked.sum_ns(), 0u);
+}
+
+TEST(Hybrid, ManyHandoffsStayCoherent) {
+  // The producer free-runs (no acknowledgement), so the consumer polls
+  // monotonically and may observe a later round — but the flush before
+  // each strong flag write guarantees the payload is at least as fresh as
+  // whatever flag value was read.
+  HybridSystem sys(small(2));
+  sys.run([](HybridNode& n, ProcId p) {
+    for (int round = 1; round <= 20; ++round) {
+      if (p == 0) {
+        n.weak_write(0, static_cast<Value>(round * 100));
+        n.strong_write(1, static_cast<Value>(round));
+      } else {
+        Value flag = 0;
+        while ((flag = n.strong_read(1)) < static_cast<Value>(round)) {
+          std::this_thread::yield();
+        }
+        EXPECT_GE(n.weak_read(0), flag * 100);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mc::baseline

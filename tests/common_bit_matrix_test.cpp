@@ -1,0 +1,132 @@
+#include "common/bit_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace mc {
+namespace {
+
+TEST(BitMatrix, SetGetClear) {
+  BitMatrix m(70);  // straddles a word boundary
+  EXPECT_FALSE(m.get(0, 65));
+  m.set(0, 65);
+  EXPECT_TRUE(m.get(0, 65));
+  m.clear(0, 65);
+  EXPECT_FALSE(m.get(0, 65));
+}
+
+TEST(BitMatrix, EdgeCount) {
+  BitMatrix m(5);
+  m.set(0, 1);
+  m.set(1, 2);
+  m.set(0, 1);  // idempotent
+  EXPECT_EQ(m.edge_count(), 2u);
+}
+
+TEST(BitMatrix, TransitiveClosureChain) {
+  BitMatrix m(4);
+  m.set(0, 1);
+  m.set(1, 2);
+  m.set(2, 3);
+  m.close_transitively();
+  EXPECT_TRUE(m.get(0, 3));
+  EXPECT_TRUE(m.get(1, 3));
+  EXPECT_TRUE(m.get(0, 2));
+  EXPECT_FALSE(m.get(3, 0));
+  EXPECT_FALSE(m.get(0, 0));
+}
+
+TEST(BitMatrix, ClosureOfDiamond) {
+  BitMatrix m(4);
+  m.set(0, 1);
+  m.set(0, 2);
+  m.set(1, 3);
+  m.set(2, 3);
+  const BitMatrix c = m.closed();
+  EXPECT_TRUE(c.get(0, 3));
+  EXPECT_FALSE(c.get(1, 2));
+  EXPECT_FALSE(c.get(2, 1));
+}
+
+TEST(BitMatrix, ReductionRemovesImpliedEdges) {
+  BitMatrix m(3);
+  m.set(0, 1);
+  m.set(1, 2);
+  m.set(0, 2);  // implied by the chain
+  const BitMatrix r = m.reduced();
+  EXPECT_TRUE(r.get(0, 1));
+  EXPECT_TRUE(r.get(1, 2));
+  EXPECT_FALSE(r.get(0, 2));
+}
+
+TEST(BitMatrix, ReductionKeepsNonRedundantBipartite) {
+  // Square without diagonals: nothing is implied.
+  BitMatrix m(4);
+  m.set(0, 2);
+  m.set(0, 3);
+  m.set(1, 2);
+  m.set(1, 3);
+  EXPECT_EQ(m.reduced(), m);
+}
+
+TEST(BitMatrix, CycleDetection) {
+  BitMatrix m(3);
+  m.set(0, 1);
+  m.set(1, 2);
+  EXPECT_FALSE(m.has_cycle());
+  m.set(2, 0);
+  EXPECT_TRUE(m.has_cycle());
+}
+
+TEST(BitMatrix, SelfLoopIsACycle) {
+  BitMatrix m(2);
+  m.set(1, 1);
+  EXPECT_TRUE(m.has_cycle());
+}
+
+TEST(BitMatrix, TopologicalOrderRespectsEdges) {
+  BitMatrix m(5);
+  m.set(3, 1);
+  m.set(1, 0);
+  m.set(3, 4);
+  m.set(4, 0);
+  const auto order = m.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(5);
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[3], pos[1]);
+  EXPECT_LT(pos[1], pos[0]);
+  EXPECT_LT(pos[3], pos[4]);
+  EXPECT_LT(pos[4], pos[0]);
+}
+
+TEST(BitMatrix, SuccessorsAcrossWords) {
+  BitMatrix m(130);
+  m.set(7, 3);
+  m.set(7, 64);
+  m.set(7, 129);
+  EXPECT_EQ(m.successors(7), (std::vector<std::size_t>{3, 64, 129}));
+}
+
+TEST(BitMatrix, MaskDropsEdgesOutsideSubset) {
+  BitMatrix m(4);
+  m.set(0, 1);
+  m.set(1, 2);
+  m.set(2, 3);
+  m.mask({true, false, true, true});
+  EXPECT_FALSE(m.get(0, 1));
+  EXPECT_FALSE(m.get(1, 2));
+  EXPECT_TRUE(m.get(2, 3));
+}
+
+TEST(BitMatrix, MergeUnionsRelations) {
+  BitMatrix a(3);
+  BitMatrix b(3);
+  a.set(0, 1);
+  b.set(1, 2);
+  a.merge(b);
+  EXPECT_TRUE(a.get(0, 1));
+  EXPECT_TRUE(a.get(1, 2));
+}
+
+}  // namespace
+}  // namespace mc

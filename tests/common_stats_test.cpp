@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mc {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.get(), 5u);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsAreLossless) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.get(), 80000u);
+}
+
+TEST(LatencyHistogram, CountsAndMean) {
+  LatencyHistogram h;
+  h.record_ns(100);
+  h.record_ns(200);
+  h.record_ns(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_ns(), 600u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);
+  EXPECT_EQ(h.max_ns(), 300u);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.record_ns(rng.below(1'000'000));
+  const auto p50 = h.quantile_ns(0.5);
+  const auto p90 = h.quantile_ns(0.9);
+  const auto p99 = h.quantile_ns(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GT(h.quantile_ns(0.0), 0u);
+}
+
+TEST(LatencyHistogram, Reset) {
+  LatencyHistogram h;
+  h.record_ns(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+}
+
+TEST(MetricsSnapshot, SinceComputesDeltas) {
+  MetricsSnapshot before;
+  before.values = {{"msgs", 10}, {"bytes", 100}};
+  MetricsSnapshot after;
+  after.values = {{"msgs", 25}, {"bytes", 400}};
+  const MetricsSnapshot d = after.since(before);
+  EXPECT_EQ(d.get("msgs"), 15u);
+  EXPECT_EQ(d.get("bytes"), 300u);
+  EXPECT_EQ(d.get("missing"), 0u);
+}
+
+TEST(MetricsSnapshot, ToStringIsStable) {
+  MetricsSnapshot s;
+  s.values = {{"b", 2}, {"a", 1}};
+  EXPECT_EQ(s.to_string(), "a=1 b=2");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(123);
+  Rng child = a.split();
+  // The child diverges from the parent's continuation.
+  EXPECT_NE(child.next(), a.next());
+}
+
+}  // namespace
+}  // namespace mc

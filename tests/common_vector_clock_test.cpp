@@ -1,0 +1,79 @@
+#include "common/vector_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace mc {
+namespace {
+
+TEST(VectorClock, StartsAtZero) {
+  VectorClock c(3);
+  EXPECT_EQ(c.size(), 3u);
+  for (ProcId p = 0; p < 3; ++p) EXPECT_EQ(c[p], 0u);
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(VectorClock, TickAdvancesOneComponent) {
+  VectorClock c(3);
+  c.tick(1);
+  c.tick(1);
+  c.tick(2);
+  EXPECT_EQ(c[0], 0u);
+  EXPECT_EQ(c[1], 2u);
+  EXPECT_EQ(c[2], 1u);
+  EXPECT_EQ(c.total(), 3u);
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax) {
+  VectorClock a{3, 0, 5};
+  VectorClock b{1, 4, 2};
+  a.merge(b);
+  EXPECT_EQ(a, (VectorClock{3, 4, 5}));
+}
+
+TEST(VectorClock, CompareEqual) {
+  EXPECT_EQ((VectorClock{1, 2}).compare(VectorClock{1, 2}), ClockOrder::kEqual);
+}
+
+TEST(VectorClock, CompareBeforeAndAfter) {
+  VectorClock lo{1, 2, 3};
+  VectorClock hi{1, 3, 3};
+  EXPECT_EQ(lo.compare(hi), ClockOrder::kBefore);
+  EXPECT_EQ(hi.compare(lo), ClockOrder::kAfter);
+  EXPECT_TRUE(lo.happens_before(hi));
+  EXPECT_FALSE(hi.happens_before(lo));
+}
+
+TEST(VectorClock, CompareConcurrent) {
+  VectorClock a{2, 0};
+  VectorClock b{0, 2};
+  EXPECT_EQ(a.compare(b), ClockOrder::kConcurrent);
+  EXPECT_TRUE(a.concurrent_with(b));
+}
+
+TEST(VectorClock, ReadyAfterRequiresNextInSenderOrder) {
+  // Update stamped [0,2,0] from writer 1 is deliverable at a replica that
+  // has applied exactly one of writer 1's updates and nothing else it
+  // depends on.
+  VectorClock stamp{0, 2, 0};
+  EXPECT_TRUE(stamp.ready_after(VectorClock{0, 1, 0}, 1));
+  EXPECT_FALSE(stamp.ready_after(VectorClock{0, 0, 0}, 1));  // gap in FIFO
+  EXPECT_FALSE(stamp.ready_after(VectorClock{0, 2, 0}, 1));  // already applied
+}
+
+TEST(VectorClock, ReadyAfterWaitsForTransitiveDependencies) {
+  // Writer 2's update was issued after it saw one update from each of
+  // writers 0 and 1.
+  VectorClock stamp{1, 1, 1};
+  EXPECT_FALSE(stamp.ready_after(VectorClock{0, 1, 0}, 2));
+  EXPECT_FALSE(stamp.ready_after(VectorClock{1, 0, 0}, 2));
+  EXPECT_TRUE(stamp.ready_after(VectorClock{1, 1, 0}, 2));
+  // Extra progress on other components does not block delivery.
+  EXPECT_TRUE(stamp.ready_after(VectorClock{5, 7, 0}, 2));
+}
+
+TEST(VectorClock, ToStringIsReadable) {
+  EXPECT_EQ((VectorClock{1, 0, 2}).to_string(), "[1,0,2]");
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,113 @@
+// Direct protocol tests of the barrier manager: arrival aggregation,
+// released clock merging, epoch independence, and subset membership —
+// driven by raw fabric messages.
+
+#include <gtest/gtest.h>
+
+#include "dsm/barrier_manager.h"
+
+namespace mc::dsm {
+namespace {
+
+constexpr std::size_t kProcs = 3;
+constexpr net::Endpoint kMgr = kProcs;
+
+struct Harness {
+  explicit Harness(std::map<BarrierId, std::vector<ProcId>> members = {})
+      : mgr(fabric, kMgr, kProcs, std::move(members)) {}
+  ~Harness() { fabric.shutdown(); }
+
+  net::Fabric fabric{kProcs + 1};
+  BarrierManager mgr;
+
+  void arrive(net::Endpoint who, BarrierId b, std::uint64_t epoch,
+              std::vector<std::uint64_t> vc) {
+    net::Message m;
+    m.src = who;
+    m.dst = kMgr;
+    m.kind = kBarrierArrive;
+    m.a = b;
+    m.b = epoch;
+    m.payload = std::move(vc);
+    fabric.send(std::move(m));
+  }
+
+  net::Message expect_release(net::Endpoint who, BarrierId b, std::uint64_t epoch) {
+    const auto m = fabric.mailbox(who).recv();
+    EXPECT_TRUE(m.has_value());
+    EXPECT_EQ(m->kind, kBarrierRelease);
+    EXPECT_EQ(m->a, b);
+    EXPECT_EQ(m->b, epoch);
+    return *m;
+  }
+
+  void expect_silence(net::Endpoint who) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(fabric.mailbox(who).try_recv().has_value());
+  }
+};
+
+TEST(BarrierManagerProtocol, WaitsForEveryProcess) {
+  Harness h;
+  h.arrive(0, 0, 0, {1, 0, 0});
+  h.arrive(1, 0, 0, {0, 2, 0});
+  h.expect_silence(0);
+  h.arrive(2, 0, 0, {0, 0, 3});
+  for (net::Endpoint e = 0; e < kProcs; ++e) h.expect_release(e, 0, 0);
+}
+
+TEST(BarrierManagerProtocol, ReleaseCarriesComponentwiseMax) {
+  Harness h;
+  h.arrive(0, 0, 0, {5, 1, 0});
+  h.arrive(1, 0, 0, {2, 7, 0});
+  h.arrive(2, 0, 0, {0, 0, 9});
+  const auto rel = h.expect_release(0, 0, 0);
+  EXPECT_EQ(rel.payload, (std::vector<std::uint64_t>{5, 7, 9}));
+}
+
+TEST(BarrierManagerProtocol, EpochsAreIndependent) {
+  Harness h;
+  // p0 races ahead to epoch 1 while others are still at epoch 0.
+  h.arrive(0, 0, 0, {1, 0, 0});
+  h.arrive(0, 0, 1, {2, 0, 0});
+  h.arrive(1, 0, 0, {0, 1, 0});
+  h.arrive(2, 0, 0, {0, 0, 1});
+  h.expect_release(0, 0, 0);
+  h.expect_silence(0);  // epoch 1 still incomplete
+  h.arrive(1, 0, 1, {0, 2, 0});
+  h.arrive(2, 0, 1, {0, 0, 2});
+  h.expect_release(0, 0, 1);
+}
+
+TEST(BarrierManagerProtocol, DistinctBarrierObjectsAreIndependent) {
+  Harness h;
+  h.arrive(0, 0, 0, {0, 0, 0});
+  h.arrive(0, 1, 0, {0, 0, 0});  // wait: same proc arrives at two objects
+  h.arrive(1, 0, 0, {0, 0, 0});
+  h.arrive(2, 0, 0, {0, 0, 0});
+  h.expect_release(0, 0, 0);  // barrier object 0 completes alone
+}
+
+TEST(BarrierManagerProtocol, SubsetBarrierReleasesMembersOnly) {
+  Harness h({{2, {0, 2}}});
+  h.arrive(0, 2, 0, {1, 0, 0});
+  h.arrive(2, 2, 0, {0, 0, 2});
+  h.expect_release(0, 2, 0);
+  h.expect_release(2, 2, 0);
+  h.expect_silence(1);
+}
+
+TEST(BarrierManagerProtocol, DoubleArrivalDies) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        Harness h;
+        h.arrive(0, 0, 0, {0, 0, 0});
+        h.arrive(0, 0, 0, {0, 0, 0});
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      },
+      "double arrival");
+}
+
+}  // namespace
+}  // namespace mc::dsm

@@ -1,0 +1,76 @@
+// Store-view unit tests: write/delta application semantics and metadata
+// tracking.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dsm/store.h"
+
+namespace mc::dsm {
+namespace {
+
+TEST(Store, StartsZeroedAndUnwritten) {
+  Store s(4, 2);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.entry(0).value, 0u);
+  EXPECT_FALSE(s.entry(0).last.valid());
+  EXPECT_TRUE(s.entry(0).vc.empty());
+}
+
+TEST(Store, WriteOverwritesValueAndMetadata) {
+  Store s(4, 2);
+  s.apply(1, 42, kFlagWrite, WriteId{0, 1}, VectorClock{1, 0});
+  EXPECT_EQ(s.entry(1).value, 42u);
+  EXPECT_EQ(s.entry(1).last, (WriteId{0, 1}));
+  EXPECT_EQ(s.entry(1).vc, (VectorClock{1, 0}));
+  s.apply(1, 43, kFlagWrite, WriteId{1, 1}, VectorClock{1, 1});
+  EXPECT_EQ(s.entry(1).value, 43u);
+  EXPECT_EQ(s.entry(1).vc, (VectorClock{1, 1}));
+}
+
+TEST(Store, IntDeltaSubtractsAndMergesClocks) {
+  Store s(4, 2);
+  s.apply(0, value_of(std::int64_t{100}), kFlagWrite, WriteId{0, 1}, VectorClock{1, 0});
+  s.apply(0, value_of(std::int64_t{30}), kFlagIntDelta, WriteId{1, 1}, VectorClock{0, 1});
+  EXPECT_EQ(int_of(s.entry(0).value), 70);
+  EXPECT_EQ(s.entry(0).vc, (VectorClock{1, 1}));
+  EXPECT_EQ(s.entry(0).last, (WriteId{1, 1}));
+}
+
+TEST(Store, IntDeltaOnUnwrittenLocationStartsAtZero) {
+  Store s(4, 2);
+  s.apply(2, value_of(std::int64_t{5}), kFlagIntDelta, WriteId{0, 1}, VectorClock{1, 0});
+  EXPECT_EQ(int_of(s.entry(2).value), -5);
+}
+
+TEST(Store, DoubleDeltaSubtracts) {
+  Store s(4, 2);
+  s.apply(3, value_of(10.5), kFlagWrite, WriteId{0, 1}, VectorClock{1, 0});
+  s.apply(3, value_of(2.25), kFlagDoubleDelta, WriteId{1, 1}, VectorClock{0, 1});
+  EXPECT_DOUBLE_EQ(double_of(s.entry(3).value), 8.25);
+}
+
+TEST(Store, DeltaWithEmptyClockLeavesClockAlone) {
+  Store s(4, 2);
+  s.apply(0, value_of(std::int64_t{1}), kFlagIntDelta, WriteId{0, 1}, VectorClock{});
+  EXPECT_EQ(int_of(s.entry(0).value), -1);
+  EXPECT_TRUE(s.entry(0).vc.empty());
+}
+
+TEST(Store, InstallReplacesEverything) {
+  Store s(4, 2);
+  s.apply(0, 1, kFlagWrite, WriteId{0, 1}, VectorClock{1, 0});
+  s.install(0, 99, WriteId{1, 7}, VectorClock{3, 4});
+  EXPECT_EQ(s.entry(0).value, 99u);
+  EXPECT_EQ(s.entry(0).last, (WriteId{1, 7}));
+  EXPECT_EQ(s.entry(0).vc, (VectorClock{3, 4}));
+}
+
+TEST(Store, OutOfRangeAccessDies) {
+  Store s(2, 2);
+  EXPECT_DEATH(std::ignore = s.entry(5), "MC_CHECK");
+}
+
+}  // namespace
+}  // namespace mc::dsm

@@ -1,0 +1,61 @@
+// The shipped sample history files (examples/histories/) must keep parsing
+// and producing exactly the verdicts their comments document.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "history/checkers.h"
+#include "history/program_analysis.h"
+#include "history/serialization.h"
+#include "history/text_format.h"
+
+namespace mc::history {
+namespace {
+
+History load(const std::string& name) {
+  const std::string path = std::string(MC_HISTORY_SAMPLES_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  auto parsed = parse_history(in);
+  EXPECT_TRUE(parsed.history.has_value()) << parsed.error;
+  return std::move(*parsed.history);
+}
+
+TEST(SampleHistories, TransitiveStaleness) {
+  const History h = load("transitive_staleness.mch");
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+  EXPECT_TRUE(check_consistency(h, ReadDiscipline::kAllPram).ok);
+  EXPECT_FALSE(check_consistency(h, ReadDiscipline::kAllCausal).ok);
+  EXPECT_FALSE(check_sequential_consistency(h).sequentially_consistent);
+}
+
+TEST(SampleHistories, DivergentObservers) {
+  const History h = load("divergent_observers.mch");
+  EXPECT_TRUE(check_consistency(h, ReadDiscipline::kAllCausal).ok);
+  EXPECT_FALSE(check_sequential_consistency(h).sequentially_consistent);
+}
+
+TEST(SampleHistories, EntryConsistentCriticalSections) {
+  const History h = load("entry_consistent_cs.mch");
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+  const auto assoc = infer_lock_association(h);
+  ASSERT_TRUE(assoc.has_value());
+  EXPECT_TRUE(check_entry_consistent(h, *assoc).ok);
+  EXPECT_TRUE(check_sequential_consistency(h).sequentially_consistent);
+}
+
+TEST(SampleHistories, BarrierPhases) {
+  const History h = load("barrier_phases.mch");
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+  EXPECT_TRUE(check_pram_consistent_phases(h).ok);
+  EXPECT_TRUE(check_sequential_consistency(h).sequentially_consistent);
+}
+
+TEST(SampleHistories, CounterObjects) {
+  const History h = load("counter_objects.mch");
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+}
+
+}  // namespace
+}  // namespace mc::history

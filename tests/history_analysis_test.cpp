@@ -1,0 +1,249 @@
+// Section 4: commutativity (Definition 5), Theorem 1, and the two
+// compiler-checkable program conditions (Corollaries 1 and 2).
+
+#include <gtest/gtest.h>
+
+#include "history/program_analysis.h"
+#include "history/serialization.h"
+
+namespace mc::history {
+namespace {
+
+Operation mem(OpKind k, ProcId p, VarId x, Value v) {
+  Operation op;
+  op.kind = k;
+  op.proc = p;
+  op.var = x;
+  op.value = v;
+  return op;
+}
+
+Operation lock(OpKind k, ProcId p, LockId l) {
+  Operation op;
+  op.kind = k;
+  op.proc = p;
+  op.lock = l;
+  return op;
+}
+
+TEST(Commutes, ReadsAlwaysCommute) {
+  EXPECT_TRUE(commutes(mem(OpKind::kRead, 0, 1, 5), mem(OpKind::kRead, 1, 1, 6)));
+}
+
+TEST(Commutes, OperationsOnDistinctLocationsCommute) {
+  EXPECT_TRUE(commutes(mem(OpKind::kWrite, 0, 1, 5), mem(OpKind::kWrite, 1, 2, 6)));
+  EXPECT_TRUE(commutes(mem(OpKind::kWrite, 0, 1, 5), mem(OpKind::kRead, 1, 2, 6)));
+}
+
+TEST(Commutes, ConflictingMemoryOpsDoNot) {
+  EXPECT_FALSE(commutes(mem(OpKind::kWrite, 0, 1, 5), mem(OpKind::kWrite, 1, 1, 6)));
+  EXPECT_FALSE(commutes(mem(OpKind::kWrite, 0, 1, 5), mem(OpKind::kRead, 1, 1, 5)));
+  EXPECT_FALSE(commutes(mem(OpKind::kDelta, 0, 1, value_of(std::int64_t{1})),
+                        mem(OpKind::kRead, 1, 1, 5)));
+}
+
+TEST(Commutes, DeltasCommuteWithEachOther) {
+  EXPECT_TRUE(commutes(mem(OpKind::kDelta, 0, 1, value_of(std::int64_t{1})),
+                       mem(OpKind::kDelta, 1, 1, value_of(std::int64_t{2}))));
+}
+
+TEST(Commutes, AwaitAgainstMutation) {
+  Operation a = mem(OpKind::kAwait, 0, 1, 5);
+  EXPECT_FALSE(commutes(a, mem(OpKind::kWrite, 1, 1, 6)));
+  EXPECT_TRUE(commutes(a, mem(OpKind::kWrite, 1, 1, 5)));  // rewrite of same value
+  EXPECT_TRUE(commutes(a, mem(OpKind::kRead, 1, 1, 9)));
+  EXPECT_TRUE(commutes(a, mem(OpKind::kAwait, 1, 1, 9)));
+}
+
+TEST(Commutes, CompetingLockAcquisitionsConflict) {
+  EXPECT_FALSE(commutes(lock(OpKind::kWriteLock, 0, 1), lock(OpKind::kWriteLock, 1, 1)));
+  EXPECT_FALSE(commutes(lock(OpKind::kReadLock, 0, 1), lock(OpKind::kWriteLock, 1, 1)));
+  EXPECT_TRUE(commutes(lock(OpKind::kReadLock, 0, 1), lock(OpKind::kReadLock, 1, 1)));
+  EXPECT_TRUE(commutes(lock(OpKind::kWriteLock, 0, 1), lock(OpKind::kWriteLock, 1, 2)));
+  // Pairs involving an unlock are never simultaneously enabled against a
+  // competitor, hence commute vacuously.
+  EXPECT_TRUE(commutes(lock(OpKind::kWriteUnlock, 0, 1), lock(OpKind::kWriteLock, 1, 1)));
+  EXPECT_TRUE(commutes(lock(OpKind::kReadUnlock, 0, 1), lock(OpKind::kReadLock, 1, 1)));
+}
+
+TEST(Theorem1, HoldsForCausallyOrderedProducerConsumer) {
+  History h(2);
+  const OpRef w = h.write(0, 0, 7);
+  const OpRef f = h.write(0, 1, 1);
+  h.await(1, 1, 1, h.op(f).write_id);
+  h.read(1, 0, 7, ReadMode::kCausal, h.op(w).write_id);
+  const auto t = check_theorem1(h);
+  EXPECT_TRUE(t.precondition_holds) << (t.violations.empty() ? "" : t.violations[0]);
+  EXPECT_TRUE(t.reads_causal);
+  EXPECT_TRUE(t.implies_sequentially_consistent());
+  // Cross-check the conclusion against the exhaustive SC search.
+  EXPECT_TRUE(check_sequential_consistency(h).sequentially_consistent);
+}
+
+TEST(Theorem1, FlagsConcurrentConflictingWrites) {
+  History h(2);
+  h.write(0, 0, 1);
+  h.write(1, 0, 2);
+  const auto t = check_theorem1(h);
+  EXPECT_FALSE(t.precondition_holds);
+  ASSERT_FALSE(t.violations.empty());
+  EXPECT_NE(t.violations[0].find("non-commuting"), std::string::npos);
+}
+
+TEST(Theorem1, FlagsNonCausalReads) {
+  History h(3);
+  const OpRef wx = h.write(0, 0, 1);
+  h.read(1, 0, 1, ReadMode::kCausal, h.op(wx).write_id);
+  const OpRef wy = h.write(1, 1, 2);
+  h.read(2, 1, 2, ReadMode::kCausal, h.op(wy).write_id);
+  h.read(2, 0, 0, ReadMode::kCausal, kInitialWrite);  // causally stale
+  const auto t = check_theorem1(h);
+  EXPECT_FALSE(t.reads_causal);
+  EXPECT_FALSE(t.implies_sequentially_consistent());
+}
+
+TEST(Theorem1, CommutingConcurrentDeltasSatisfyPrecondition) {
+  History h(2);
+  h.delta(0, 0, 1);
+  h.delta(1, 0, 1);
+  const auto t = check_theorem1(h);
+  EXPECT_TRUE(t.precondition_holds);
+}
+
+// --- Corollary 1: entry consistency ---
+
+History entry_consistent_history(bool protect_write) {
+  History h(2);
+  h.wlock(0, /*lock=*/0, 1);
+  h.write(0, /*x=*/0, 5);
+  h.wunlock(0, 0, 1);
+  if (protect_write) {
+    h.wlock(1, 0, 2);
+  } else {
+    h.rlock(1, 0, 2);
+  }
+  h.write(1, 0, 6);
+  if (protect_write) {
+    h.wunlock(1, 0, 2);
+  } else {
+    h.runlock(1, 0, 2);
+  }
+  return h;
+}
+
+TEST(Corollary1, AcceptsProperlyLockedAccesses) {
+  const auto h = entry_consistent_history(true);
+  const std::map<VarId, LockId> assoc{{0, 0}};
+  EXPECT_TRUE(check_entry_consistent(h, assoc).ok);
+}
+
+TEST(Corollary1, RejectsWriteUnderReadLock) {
+  const auto h = entry_consistent_history(false);
+  const std::map<VarId, LockId> assoc{{0, 0}};
+  const auto res = check_entry_consistent(h, assoc);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.message().find("critical section"), std::string::npos);
+}
+
+TEST(Corollary1, RejectsUnassociatedVariable) {
+  History h(1);
+  h.write(0, 9, 1);
+  const auto res = check_entry_consistent(h, {});
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.message().find("no associated lock"), std::string::npos);
+}
+
+TEST(Corollary1, ReadAllowedUnderReadOrWriteLock) {
+  History h(1);
+  h.rlock(0, 0, 1);
+  h.read(0, 0, 0, ReadMode::kCausal, kInitialWrite);
+  h.runlock(0, 0, 1);
+  h.wlock(0, 0, 2);
+  h.read(0, 0, 0, ReadMode::kCausal, kInitialWrite);
+  h.wunlock(0, 0, 2);
+  EXPECT_TRUE(check_entry_consistent(h, {{0, 0}}).ok);
+}
+
+TEST(Corollary1, EntryConsistentCausalHistoryIsSequentiallyConsistent) {
+  // The corollary's conclusion, cross-checked with the SC search.
+  History h(2);
+  h.wlock(0, 0, 1);
+  const OpRef w = h.write(0, 0, 5);
+  h.wunlock(0, 0, 1);
+  h.wlock(1, 0, 2);
+  h.read(1, 0, 5, ReadMode::kCausal, h.op(w).write_id);
+  h.write(1, 0, 6);
+  h.wunlock(1, 0, 2);
+  ASSERT_TRUE(check_entry_consistent(h, {{0, 0}}).ok);
+  ASSERT_TRUE(check_consistency(h, ReadDiscipline::kAllCausal).ok);
+  EXPECT_TRUE(check_sequential_consistency(h).sequentially_consistent);
+}
+
+TEST(InferAssociation, FindsCommonLock) {
+  const auto h = entry_consistent_history(true);
+  const auto assoc = infer_lock_association(h);
+  ASSERT_TRUE(assoc.has_value());
+  EXPECT_EQ(assoc->at(0), 0u);
+}
+
+TEST(InferAssociation, FailsWhenAccessOutsideLocks) {
+  History h(1);
+  h.write(0, 0, 1);  // no lock held
+  EXPECT_FALSE(infer_lock_association(h).has_value());
+}
+
+// --- Corollary 2: PRAM consistency by phases ---
+
+TEST(Corollary2, AcceptsSingleWriterPerPhase) {
+  // Phase 0: p0 writes x; barrier; phase 1: p1 reads x.
+  History h(2);
+  const OpRef w = h.write(0, 0, 4);
+  h.barrier(0, 0);
+  h.barrier(1, 0);
+  h.read(1, 0, 4, ReadMode::kPram, h.op(w).write_id);
+  EXPECT_TRUE(check_pram_consistent_phases(h).ok);
+}
+
+TEST(Corollary2, RejectsDoubleUpdateInOnePhase) {
+  History h(2);
+  h.write(0, 0, 1);
+  h.write(1, 0, 2);
+  h.barrier(0, 0);
+  h.barrier(1, 0);
+  const auto res = check_pram_consistent_phases(h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.message().find("updated twice"), std::string::npos);
+}
+
+TEST(Corollary2, RejectsReadBeforeSamePhaseUpdate) {
+  History h(2);
+  h.read(1, 0, 0, ReadMode::kPram, kInitialWrite);
+  h.write(0, 0, 1);
+  const auto res = check_pram_consistent_phases(h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.message().find("follow"), std::string::npos);
+}
+
+TEST(Corollary2, SameProcessReadAfterWriteInPhaseIsFine) {
+  History h(1);
+  const OpRef w = h.write(0, 0, 1);
+  h.read(0, 0, 1, ReadMode::kPram, h.op(w).write_id);
+  EXPECT_TRUE(check_pram_consistent_phases(h).ok);
+}
+
+TEST(Corollary2, PramConsistentPhasesWithPramReadsAreSequentiallyConsistent) {
+  // The corollary's conclusion on a two-phase, two-process exchange.
+  History h(2);
+  const OpRef w0 = h.write(0, 0, 10);
+  const OpRef w1 = h.write(1, 1, 11);
+  h.barrier(0, 0);
+  h.barrier(1, 0);
+  h.read(0, 1, 11, ReadMode::kPram, h.op(w1).write_id);
+  h.read(1, 0, 10, ReadMode::kPram, h.op(w0).write_id);
+  ASSERT_TRUE(check_pram_consistent_phases(h).ok);
+  ASSERT_TRUE(check_consistency(h, ReadDiscipline::kAllPram).ok);
+  EXPECT_TRUE(check_sequential_consistency(h).sequentially_consistent);
+}
+
+}  // namespace
+}  // namespace mc::history

@@ -1,0 +1,109 @@
+// Checker API surface: check_read against explicitly-built restricted
+// relations, violation reporting, and diagnostic message quality.
+
+#include <gtest/gtest.h>
+
+#include "history/causality.h"
+#include "history/checkers.h"
+
+namespace mc::history {
+namespace {
+
+TEST(CheckReadApi, SameReadJudgedDifferentlyByRelation) {
+  // The transitive-staleness read: invalid under the causal relation,
+  // valid under the PRAM relation — with the SAME check_read entry point.
+  History h(3);
+  const OpRef wx = h.write(0, 0, 1);
+  h.read(1, 0, 1, ReadMode::kCausal, h.op(wx).write_id);
+  const OpRef wy = h.write(1, 1, 2);
+  h.read(2, 1, 2, ReadMode::kCausal, h.op(wy).write_id);
+  const OpRef stale = h.read(2, 0, 0, ReadMode::kCausal, kInitialWrite);
+
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  const BitMatrix causal = restrict_causal(h, *rel, 2);
+  const BitMatrix pram = restrict_pram(h, *rel, 2);
+  EXPECT_FALSE(check_read(h, causal, stale).ok);
+  EXPECT_TRUE(check_read(h, pram, stale).ok);
+}
+
+TEST(CheckReadApi, GroupRelationInterpolates) {
+  History h(3);
+  const OpRef wx = h.write(0, 0, 1);
+  h.read(1, 0, 1, ReadMode::kCausal, h.op(wx).write_id);
+  const OpRef wy = h.write(1, 1, 2);
+  h.read(2, 1, 2, ReadMode::kCausal, h.op(wy).write_id);
+  const OpRef stale = h.read(2, 0, 0, ReadMode::kCausal, kInitialWrite);
+
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  // Group {1,2}: p1's reads-from edge (w0 |. r1) is incident to p1, a
+  // member — the chain is visible and the stale read invalid, like causal.
+  EXPECT_FALSE(check_read(h, restrict_group(h, *rel, 2, {1, 2}), stale).ok);
+  // Group {2}: PRAM order, chain invisible, read valid.
+  EXPECT_TRUE(check_read(h, restrict_group(h, *rel, 2, {2}), stale).ok);
+}
+
+TEST(Violations, MessagesNameTheOffendingOperations) {
+  History h(2);
+  h.write(0, 3, 7);
+  h.write(0, 3, 8);
+  h.read(1, 3, 8, ReadMode::kPram, WriteId{0, 2});
+  h.read(1, 3, 7, ReadMode::kPram, WriteId{0, 1});  // FIFO violation
+  const auto res = check_mixed_consistency(h);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.message().find("r1(x3)7"), std::string::npos);
+  EXPECT_NE(res.message().find("stale"), std::string::npos);
+}
+
+TEST(Violations, MultipleProblemsAreAllReportedUpToTheCap) {
+  History h(2);
+  h.write(0, 0, 1);
+  h.write(0, 1, 2);
+  // Two independent staleness violations on p1.
+  const OpRef r1 = h.read(1, 0, 1, ReadMode::kPram, WriteId{0, 1});
+  (void)r1;
+  h.read(1, 0, 0, ReadMode::kPram, kInitialWrite);
+  h.read(1, 1, 2, ReadMode::kPram, WriteId{0, 2});
+  h.read(1, 1, 0, ReadMode::kPram, kInitialWrite);
+  const auto res = check_mixed_consistency(h);
+  ASSERT_FALSE(res.ok);
+  EXPECT_GE(res.violations.size(), 2u);
+}
+
+TEST(Violations, CheckResultBoolConversion) {
+  CheckResult ok;
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_TRUE(ok.message().empty());
+  CheckResult bad;
+  bad.ok = false;
+  bad.violations.push_back("boom");
+  EXPECT_FALSE(static_cast<bool>(bad));
+  EXPECT_EQ(bad.message(), "boom");
+}
+
+TEST(Discipline, LabelsOnlyMatterInAsLabeledMode) {
+  // A PRAM-labeled read that is causally stale: mixed consistency accepts,
+  // the forced-causal discipline rejects, the forced-PRAM one accepts.
+  History h(3);
+  const OpRef wx = h.write(0, 0, 1);
+  h.read(1, 0, 1, ReadMode::kPram, h.op(wx).write_id);
+  const OpRef wy = h.write(1, 1, 2);
+  h.read(2, 1, 2, ReadMode::kPram, h.op(wy).write_id);
+  h.read(2, 0, 0, ReadMode::kPram, kInitialWrite);
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+  EXPECT_TRUE(check_consistency(h, ReadDiscipline::kAllPram).ok);
+  EXPECT_FALSE(check_consistency(h, ReadDiscipline::kAllCausal).ok);
+}
+
+TEST(Awaits, MismatchedResolutionValueIsStructurallyInvalid) {
+  History h(2);
+  const OpRef w = h.write(0, 0, 5);
+  h.await(1, 0, 6, h.op(w).write_id);  // awaited 6, resolved by a write of 5
+  const auto res = check_mixed_consistency(h);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.message().find("different value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mc::history

@@ -1,0 +1,120 @@
+// Counter (delta) object semantics in the checker: required vs concurrent
+// delta sets, folding of deltas into later base writes, and interactions
+// with synchronization.
+
+#include <gtest/gtest.h>
+
+#include "history/checkers.h"
+#include "history/history.h"
+
+namespace mc::history {
+namespace {
+
+TEST(CounterSemantics, DeltaBeforeRewriteIsFoldedIn) {
+  // p0: write 10, dec 1, then (having seen its own state: 9) rewrites the
+  // counter to 20.  A later read must see 20, not 19.
+  History h(1);
+  h.write(0, 0, 10);
+  h.delta(0, 0, 1);
+  h.write(0, 0, 20);
+  History good = h;
+  good.read(0, 0, 20, ReadMode::kCausal);
+  EXPECT_TRUE(check_mixed_consistency(good).ok)
+      << check_mixed_consistency(good).message();
+  History bad = h;
+  bad.read(0, 0, 19, ReadMode::kCausal);  // double-counts the folded delta
+  EXPECT_FALSE(check_mixed_consistency(bad).ok);
+}
+
+TEST(CounterSemantics, DeltaConcurrentWithRewriteStaysCountable) {
+  // p0 initializes and (after a sync point) rewrites; p1's delta is
+  // concurrent with the rewrite: reads may see 20 or 19.
+  const auto build = [](Value read_value) {
+    History h(2);
+    const OpRef init = h.write(0, 0, 10);
+    h.await(1, 0, 10, h.op(init).write_id);  // p1 joins after the init
+    h.delta(1, 0, 1);
+    h.write(0, 0, 20);  // concurrent with p1's delta
+    History out = h;
+    out.read(0, 0, read_value, ReadMode::kCausal);
+    return out;
+  };
+  EXPECT_TRUE(check_mixed_consistency(build(20)).ok);
+  EXPECT_TRUE(check_mixed_consistency(build(19)).ok);
+  EXPECT_FALSE(check_mixed_consistency(build(10)).ok);
+  EXPECT_FALSE(check_mixed_consistency(build(9)).ok);
+}
+
+TEST(CounterSemantics, PureDeltaVarStartsAtZero) {
+  History h(2);
+  h.delta(0, 0, 3);
+  h.delta(1, 0, 4);
+  History own = h;
+  own.read(0, 0, static_cast<Value>(-3), ReadMode::kPram);
+  EXPECT_TRUE(check_mixed_consistency(own).ok);
+  History both = h;
+  both.read(0, 0, static_cast<Value>(-7), ReadMode::kPram);
+  EXPECT_TRUE(check_mixed_consistency(both).ok);
+  History phantom = h;
+  phantom.read(0, 0, static_cast<Value>(-10), ReadMode::kPram);
+  EXPECT_FALSE(check_mixed_consistency(phantom).ok);
+}
+
+TEST(CounterSemantics, OwnDeltaIsAlwaysRequired) {
+  History h(1);
+  h.write(0, 0, 5);
+  h.delta(0, 0, 2);
+  h.read(0, 0, 5, ReadMode::kPram);  // must not forget its own decrement
+  EXPECT_FALSE(check_mixed_consistency(h).ok);
+}
+
+TEST(CounterSemantics, BarrierMakesAllDeltasRequired) {
+  History h(2);
+  const OpRef init = h.write(0, 0, 100);
+  h.await(1, 0, 100, h.op(init).write_id);
+  h.delta(0, 0, 1);
+  h.delta(1, 0, 1);
+  h.barrier(0, 0);
+  h.barrier(1, 0);
+  History exact = h;
+  exact.read(0, 0, 98, ReadMode::kPram);
+  EXPECT_TRUE(check_mixed_consistency(exact).ok);
+  History missing = h;
+  missing.read(0, 0, 99, ReadMode::kPram);  // p1's delta crossed the barrier
+  EXPECT_FALSE(check_mixed_consistency(missing).ok);
+}
+
+TEST(CounterSemantics, MixedAmountsUseSubsetSums) {
+  History h(3);
+  const OpRef init = h.write(0, 0, 100);
+  h.await(1, 0, 100, h.op(init).write_id);
+  h.await(2, 0, 100, h.op(init).write_id);
+  h.delta(1, 0, 7);
+  h.delta(2, 0, 11);
+  // p0 may see any subset of the concurrent deltas: 100, 93, 89, 82.
+  for (const std::int64_t ok : {100, 93, 89, 82}) {
+    History g = h;
+    g.read(0, 0, static_cast<Value>(ok), ReadMode::kCausal);
+    EXPECT_TRUE(check_mixed_consistency(g).ok) << ok;
+  }
+  for (const std::int64_t bad : {99, 96, 90, 81}) {
+    History b = h;
+    b.read(0, 0, static_cast<Value>(bad), ReadMode::kCausal);
+    EXPECT_FALSE(check_mixed_consistency(b).ok) << bad;
+  }
+}
+
+TEST(CounterSemantics, AwaitOnCounterResolvesByFinalDelta) {
+  // await(count = 0) in the Figure 5 style: the resolving op is a delta.
+  History h(2);
+  const OpRef init = h.write(0, 0, 2);
+  h.await(1, 0, 2, h.op(init).write_id);
+  h.delta(0, 0, 1);
+  const OpRef last = h.delta(1, 0, 1);
+  h.await(0, 0, 0, h.op(last).write_id);
+  const auto res = check_mixed_consistency(h);
+  EXPECT_TRUE(res.ok) << res.message();
+}
+
+}  // namespace
+}  // namespace mc::history

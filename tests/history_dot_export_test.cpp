@@ -1,0 +1,85 @@
+// DOT export: structure, edge labeling, escaping, and malformed input.
+
+#include <gtest/gtest.h>
+
+#include "history/dot_export.h"
+
+namespace mc::history {
+namespace {
+
+History producer_consumer() {
+  History h(2);
+  const OpRef w = h.write(0, 0, 7);
+  const OpRef f = h.write(0, 1, 1);
+  h.await(1, 1, 1, h.op(f).write_id);
+  h.read(1, 0, 7, ReadMode::kPram, h.op(w).write_id);
+  return h;
+}
+
+TEST(DotExport, ContainsEveryOperationNode) {
+  const History h = producer_consumer();
+  const std::string dot = to_dot(h);
+  for (OpRef r = 0; r < h.size(); ++r) {
+    EXPECT_NE(dot.find("n" + std::to_string(r) + " [label="), std::string::npos) << r;
+  }
+  EXPECT_NE(dot.find("digraph history"), std::string::npos);
+  EXPECT_EQ(dot.find("malformed"), std::string::npos);
+}
+
+TEST(DotExport, LabelsEdgesByRelation) {
+  const std::string dot = to_dot(producer_consumer());
+  EXPECT_NE(dot.find("label=\"po\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"rf\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"await\""), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"lock\""), std::string::npos);  // no lock ops
+}
+
+TEST(DotExport, ClustersByProcessByDefault) {
+  const std::string dot = to_dot(producer_consumer());
+  EXPECT_NE(dot.find("subgraph cluster_p0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_p1"), std::string::npos);
+}
+
+TEST(DotExport, OptionsDisableSections) {
+  DotOptions opt;
+  opt.include_program_order = false;
+  opt.include_reads_from = false;
+  opt.include_sync_orders = false;
+  opt.cluster_by_process = false;
+  const std::string dot = to_dot(producer_consumer(), opt);
+  EXPECT_EQ(dot.find("label=\"po\""), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"rf\""), std::string::npos);
+  EXPECT_EQ(dot.find("subgraph"), std::string::npos);
+}
+
+TEST(DotExport, ClosureEdgesAreOptIn) {
+  DotOptions opt;
+  opt.include_causality_closure = true;
+  const std::string with = to_dot(producer_consumer(), opt);
+  const std::string without = to_dot(producer_consumer());
+  EXPECT_NE(with.find("style=dotted"), std::string::npos);
+  EXPECT_EQ(without.find("style=dotted"), std::string::npos);
+}
+
+TEST(DotExport, MalformedHistoryYieldsCommentGraph) {
+  History h(1);
+  h.wunlock(0, 0, 1);  // unmatched
+  const std::string dot = to_dot(h);
+  EXPECT_NE(dot.find("malformed history"), std::string::npos);
+}
+
+TEST(DotExport, LockAndBarrierEdgesRendered) {
+  History h(2);
+  h.wlock(0, 0, 1);
+  h.wunlock(0, 0, 1);
+  h.wlock(1, 0, 2);
+  h.wunlock(1, 0, 2);
+  h.barrier(0, 0);
+  h.barrier(1, 0);
+  const std::string dot = to_dot(h);
+  EXPECT_NE(dot.find("label=\"lock\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"bar\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mc::history

@@ -1,0 +1,135 @@
+// Section 3.2's generalization: causality maintained across an arbitrary
+// group of processes, with PRAM ({i}) and causal (all processes) as the
+// spectrum's end points.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "history/causality.h"
+#include "history/history.h"
+
+namespace mc::history {
+namespace {
+
+/// A small random well-formed history mixing writes, self-consistent
+/// reads, awaits, and barrier rounds.
+History random_history(std::size_t procs, std::size_t steps, std::uint64_t seed) {
+  History h(procs);
+  Rng rng(seed);
+  std::vector<std::pair<WriteId, std::pair<VarId, Value>>> last_write(procs);
+  std::uint32_t epoch = 0;
+  for (std::size_t step = 0; step < steps; ++step) {
+    if (step % 7 == 6) {
+      for (ProcId p = 0; p < procs; ++p) h.barrier(p, epoch);
+      ++epoch;
+      continue;
+    }
+    for (ProcId p = 0; p < procs; ++p) {
+      const auto x = static_cast<VarId>(rng.below(4));
+      const Value v = (std::uint64_t{p} << 32) | step;
+      if (rng.chance(0.6)) {
+        h.write(p, x, v);
+        last_write[p] = {h.last_write_of(p), {x, v}};
+      } else if (last_write[p].first.valid()) {
+        const auto& [id, loc] = last_write[p];
+        if (rng.chance(0.5)) {
+          h.read(p, loc.first, loc.second, ReadMode::kCausal, id);
+        } else {
+          h.await(p, loc.first, loc.second, id);
+        }
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<ProcId> everyone(std::size_t procs) {
+  std::vector<ProcId> out(procs);
+  for (ProcId p = 0; p < procs; ++p) out[p] = p;
+  return out;
+}
+
+TEST(GroupCausality, SingletonGroupEqualsPramOrder) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const History h = random_history(3, 20, seed);
+    const auto rel = build_relations(h);
+    ASSERT_TRUE(rel.has_value());
+    for (ProcId i = 0; i < 3; ++i) {
+      EXPECT_EQ(restrict_group(h, *rel, i, {i}), restrict_pram(h, *rel, i))
+          << "seed " << seed << " proc " << i;
+    }
+  }
+}
+
+TEST(GroupCausality, FullGroupEqualsCausalRelation) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const History h = random_history(3, 20, seed);
+    const auto rel = build_relations(h);
+    ASSERT_TRUE(rel.has_value());
+    for (ProcId i = 0; i < 3; ++i) {
+      EXPECT_EQ(restrict_group(h, *rel, i, everyone(3)), restrict_causal(h, *rel, i))
+          << "seed " << seed << " proc " << i;
+    }
+  }
+}
+
+TEST(GroupCausality, RelationGrowsMonotonicallyWithTheGroup) {
+  for (std::uint64_t seed = 10; seed <= 14; ++seed) {
+    const History h = random_history(4, 18, seed);
+    const auto rel = build_relations(h);
+    ASSERT_TRUE(rel.has_value());
+    const BitMatrix small = restrict_group(h, *rel, 0, {0});
+    const BitMatrix mid = restrict_group(h, *rel, 0, {0, 1});
+    const BitMatrix big = restrict_group(h, *rel, 0, {0, 1, 2, 3});
+    auto subset = [&](const BitMatrix& a, const BitMatrix& b) {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < a.size(); ++j) {
+          if (a.get(i, j) && !b.get(i, j)) return false;
+        }
+      }
+      return true;
+    };
+    EXPECT_TRUE(subset(small, mid)) << "seed " << seed;
+    EXPECT_TRUE(subset(mid, big)) << "seed " << seed;
+  }
+}
+
+TEST(GroupCausality, IntermediateGroupSeesGroupChainsOnly) {
+  // Await chain p0 -> p1 -> p2 -> p3.  An edge is kept when *either*
+  // endpoint belongs to the group, so for group {2, 3} the p0 -> p1 edge
+  // (both endpoints outside) is dropped and p0's data write stays
+  // invisible to p3.  For group {1, 2, 3} the p0 -> p1 edge is incident to
+  // member p1 and the data flows through; likewise for the full group.
+  History h(4);
+  const OpRef data = h.write(0, 3, 7);
+  const OpRef f1 = h.write(0, 0, 1);
+  h.await(1, 0, 1, h.op(f1).write_id);
+  const OpRef f2 = h.write(1, 1, 1);
+  const OpRef a2 = h.await(2, 1, 1, h.op(f2).write_id);
+  (void)a2;
+  const OpRef f3 = h.write(2, 2, 1);
+  h.await(3, 2, 1, h.op(f3).write_id);
+  const OpRef r3 = h.read(3, 3, 0, ReadMode::kCausal, kInitialWrite);
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+
+  const BitMatrix group23 = restrict_group(h, *rel, 3, {2, 3});
+  EXPECT_TRUE(group23.get(f3, r3));
+  EXPECT_FALSE(group23.get(data, r3));
+
+  const BitMatrix group123 = restrict_group(h, *rel, 3, {1, 2, 3});
+  EXPECT_TRUE(group123.get(data, r3));
+
+  const BitMatrix full = restrict_group(h, *rel, 3, everyone(4));
+  EXPECT_TRUE(full.get(data, r3));
+}
+
+TEST(GroupCausality, ReaderMustBelongToGroup) {
+  const History h = random_history(2, 6, 3);
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_DEATH(restrict_group(h, *rel, 0, {1}), "must belong");
+}
+
+}  // namespace
+}  // namespace mc::history

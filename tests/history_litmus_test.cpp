@@ -1,0 +1,197 @@
+// Litmus tests separating the consistency levels of the paper:
+// PRAM (Definition 3)  ⊋  causal (Definition 2)  ⊋  sequential consistency
+// (Definition 1).  Each test is a tiny history placed on one side of a
+// boundary.
+
+#include <gtest/gtest.h>
+
+#include "history/checkers.h"
+#include "history/history.h"
+#include "history/serialization.h"
+
+namespace mc::history {
+namespace {
+
+// p0: w(x)1           p1: r(x)1, w(y)2         p2: r(y)2, r(x)0
+// Causality carries w(x)1 into p2 through p1's read, so reading the initial
+// x afterwards is causally stale — but PRAM only tracks direct pairwise
+// FIFO, so the same history is PRAM-consistent.
+History transitive_staleness() {
+  History h(3);
+  const OpRef wx = h.write(0, /*x=*/0, 1);
+  h.read(1, 0, 1, ReadMode::kCausal, h.op(wx).write_id);
+  const OpRef wy = h.write(1, /*y=*/1, 2);
+  h.read(2, 1, 2, ReadMode::kCausal, h.op(wy).write_id);
+  h.read(2, 0, 0, ReadMode::kCausal, kInitialWrite);
+  return h;
+}
+
+TEST(Litmus, TransitiveStalenessViolatesCausal) {
+  const auto res = check_consistency(transitive_staleness(), ReadDiscipline::kAllCausal);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.message().find("stale"), std::string::npos);
+}
+
+TEST(Litmus, TransitiveStalenessIsPramConsistent) {
+  EXPECT_TRUE(check_consistency(transitive_staleness(), ReadDiscipline::kAllPram).ok);
+}
+
+TEST(Litmus, MixedLabelsJudgeEachReadByItsOwnLabel) {
+  // Same history, but the stale read is labeled PRAM: mixed consistency
+  // accepts it.  Labeling it causal must be rejected.
+  History ok(3);
+  const OpRef wx = ok.write(0, 0, 1);
+  ok.read(1, 0, 1, ReadMode::kPram, ok.op(wx).write_id);
+  const OpRef wy = ok.write(1, 1, 2);
+  ok.read(2, 1, 2, ReadMode::kPram, ok.op(wy).write_id);
+  ok.read(2, 0, 0, ReadMode::kPram, kInitialWrite);
+  EXPECT_TRUE(check_mixed_consistency(ok).ok);
+
+  EXPECT_FALSE(check_mixed_consistency(transitive_staleness()).ok);
+}
+
+// p0: w(x)1, w(x)2     p1: r(x)2, r(x)1
+// Reading a sender's writes out of issue order violates even PRAM.
+TEST(Litmus, FifoViolationFailsPram) {
+  History h(2);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(0, 0, 2);
+  h.read(1, 0, 2, ReadMode::kPram, h.op(w2).write_id);
+  h.read(1, 0, 1, ReadMode::kPram, h.op(w1).write_id);
+  EXPECT_FALSE(check_consistency(h, ReadDiscipline::kAllPram).ok);
+  EXPECT_FALSE(check_consistency(h, ReadDiscipline::kAllCausal).ok);
+}
+
+TEST(Litmus, FifoOrderReadsPassPram) {
+  History h(2);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(0, 0, 2);
+  h.read(1, 0, 1, ReadMode::kPram, h.op(w1).write_id);
+  h.read(1, 0, 2, ReadMode::kPram, h.op(w2).write_id);
+  EXPECT_TRUE(check_consistency(h, ReadDiscipline::kAllPram).ok);
+  EXPECT_TRUE(check_consistency(h, ReadDiscipline::kAllCausal).ok);
+}
+
+// p0: w(x)1   p1: w(x)2   p2: r(x)1, r(x)2   p3: r(x)2, r(x)1
+// Concurrent writes may be observed in different orders under causal
+// memory, but no single serialization explains both observers.
+History divergent_observers() {
+  History h(4);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(1, 0, 2);
+  h.read(2, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  h.read(2, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  h.read(3, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  h.read(3, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  return h;
+}
+
+TEST(Litmus, DivergentObserversAreCausal) {
+  EXPECT_TRUE(check_consistency(divergent_observers(), ReadDiscipline::kAllCausal).ok);
+}
+
+TEST(Litmus, DivergentObserversAreNotSequentiallyConsistent) {
+  const auto sc = check_sequential_consistency(divergent_observers());
+  EXPECT_FALSE(sc.sequentially_consistent);
+  EXPECT_FALSE(sc.exhausted_budget);
+}
+
+TEST(Litmus, AgreeingObserversAreSequentiallyConsistent) {
+  History h(4);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(1, 0, 2);
+  h.read(2, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  h.read(2, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  h.read(3, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  h.read(3, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  const auto sc = check_sequential_consistency(h);
+  EXPECT_TRUE(sc.sequentially_consistent);
+  EXPECT_EQ(sc.witness.size(), h.size());
+}
+
+// A process must observe its own writes (program order is part of every
+// restricted relation).
+TEST(Litmus, ReadOwnWritePassesBothModes) {
+  History h(1);
+  const OpRef w = h.write(0, 0, 7);
+  h.read(0, 0, 7, ReadMode::kPram, h.op(w).write_id);
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+}
+
+TEST(Litmus, ForgettingOwnWriteFailsBothModes) {
+  History h(1);
+  h.write(0, 0, 7);
+  h.read(0, 0, 0, ReadMode::kPram, kInitialWrite);
+  EXPECT_FALSE(check_consistency(h, ReadDiscipline::kAllPram).ok);
+  EXPECT_FALSE(check_consistency(h, ReadDiscipline::kAllCausal).ok);
+}
+
+TEST(Litmus, OwnReadMakesOlderValueStale) {
+  // p0: w(x)1    p1: r(x)1, r(x)0 — after observing w(x)1, p1 cannot
+  // rewind to the initial value, even under PRAM.
+  History h(2);
+  const OpRef w = h.write(0, 0, 1);
+  h.read(1, 0, 1, ReadMode::kPram, h.op(w).write_id);
+  h.read(1, 0, 0, ReadMode::kPram, kInitialWrite);
+  EXPECT_FALSE(check_consistency(h, ReadDiscipline::kAllPram).ok);
+}
+
+TEST(Litmus, IndependentLocationsAreUnconstrained) {
+  History h(2);
+  h.write(0, 0, 1);
+  h.write(1, 1, 2);
+  h.read(0, 1, 0, ReadMode::kPram, kInitialWrite);
+  h.read(1, 0, 0, ReadMode::kPram, kInitialWrite);
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+  // This is the classic store-buffering outcome (each process writes, then
+  // reads the other location as still-initial).  PRAM and causal memory
+  // both allow it...
+  EXPECT_TRUE(check_consistency(h, ReadDiscipline::kAllCausal).ok);
+  // ...but no serialization does: each read must precede the other
+  // process's write, which contradicts both program orders.
+  EXPECT_FALSE(check_sequential_consistency(h).sequentially_consistent);
+}
+
+// Counter (delta) objects: Section 5.3 semantics.
+TEST(Litmus, CounterReadsSeeRequiredAndMaybeConcurrentDeltas) {
+  History h(3);
+  h.write(0, 0, 2);            // count := 2
+  const OpRef d1 = h.delta(0, 0, 1);  // p0 decrements
+  h.delta(1, 0, 1);            // p1 decrements concurrently
+  // p2 causally sees p0's delta through a read chain on another location.
+  const OpRef wf = h.write(0, 1, 9);
+  h.read(2, 1, 9, ReadMode::kCausal, h.op(wf).write_id);
+  (void)d1;
+  // p2 may read 1 (required delta only) or 0 (both), but not 2.
+  History ok1 = h;
+  ok1.read(2, 0, 1, ReadMode::kCausal);
+  EXPECT_TRUE(check_mixed_consistency(ok1).ok);
+  History ok0 = h;
+  ok0.read(2, 0, 0, ReadMode::kCausal);
+  EXPECT_TRUE(check_mixed_consistency(ok0).ok);
+  History bad = h;
+  bad.read(2, 0, 2, ReadMode::kCausal);
+  EXPECT_FALSE(check_mixed_consistency(bad).ok);
+}
+
+TEST(Litmus, CounterNeverGoesBelowAllDeltas) {
+  History h(2);
+  h.write(1, 0, 5);   // p1 initializes the counter
+  h.delta(0, 0, 1);   // concurrent decrement by p0
+  h.delta(1, 0, 1);   // p1's own decrement
+  h.read(1, 0, 2, ReadMode::kPram);  // 5-1-1 = 3 is the lowest explainable
+  EXPECT_FALSE(check_mixed_consistency(h).ok);
+}
+
+TEST(Litmus, CounterBaseWriteRacingWithReaderIsRejected) {
+  History h(2);
+  h.write(0, 0, 5);  // initializer never synchronized with the reader
+  h.delta(1, 0, 1);
+  h.read(1, 0, 4, ReadMode::kCausal);
+  const auto res = check_mixed_consistency(h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.message().find("races"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mc::history

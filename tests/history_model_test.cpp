@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "history/causality.h"
+#include "history/history.h"
+
+namespace mc::history {
+namespace {
+
+TEST(History, AppendersRecordOperations) {
+  History h(2);
+  const OpRef w = h.write(0, 7, 42);
+  const OpRef r = h.read(1, 7, 42, ReadMode::kPram, h.op(w).write_id);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.op(w).kind, OpKind::kWrite);
+  EXPECT_EQ(h.op(r).mode, ReadMode::kPram);
+  EXPECT_EQ(h.ops_of(0).size(), 1u);
+  EXPECT_EQ(h.ops_of(1).size(), 1u);
+}
+
+TEST(History, WriteIdsAreUniquePerProcessSequence) {
+  History h(2);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(0, 0, 2);
+  const OpRef w3 = h.write(1, 0, 3);
+  EXPECT_NE(h.op(w1).write_id, h.op(w2).write_id);
+  EXPECT_NE(h.op(w1).write_id, h.op(w3).write_id);
+  EXPECT_EQ(h.last_write_of(0), h.op(w2).write_id);
+}
+
+TEST(History, ResolveReadsByValueLinksUniqueWriter) {
+  History h(2);
+  h.write(0, 3, 10);
+  const OpRef r = h.read(1, 3, 10);
+  ASSERT_FALSE(h.resolve_reads_by_value().has_value());
+  EXPECT_EQ(h.op(r).write_id, (WriteId{0, 1}));
+}
+
+TEST(History, ResolveReadsByValueRejectsDuplicates) {
+  History h(2);
+  h.write(0, 3, 10);
+  h.write(1, 3, 10);
+  EXPECT_TRUE(h.resolve_reads_by_value().has_value());
+}
+
+TEST(History, ResolveLeavesInitialReadsUnbound) {
+  History h(1);
+  const OpRef r = h.read(0, 3, 0);
+  ASSERT_FALSE(h.resolve_reads_by_value().has_value());
+  EXPECT_FALSE(h.op(r).write_id.valid());
+}
+
+TEST(WellFormed, SequentialHistoryPasses) {
+  History h(2);
+  h.write(0, 0, 1);
+  h.wlock(0, 0, 1);
+  h.wunlock(0, 0, 1);
+  h.barrier(0, 0);
+  h.barrier(1, 0);
+  EXPECT_FALSE(check_well_formed(h).has_value());
+}
+
+TEST(WellFormed, UnmatchedUnlockIsRejected) {
+  History h(1);
+  h.wunlock(0, 5, 1);
+  const auto err = check_well_formed(h);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("unmatched"), std::string::npos);
+}
+
+TEST(WellFormed, DoubleWriteLockWithoutUnlockIsRejected) {
+  History h(1);
+  h.wlock(0, 2, 1);
+  h.wlock(0, 2, 2);
+  EXPECT_TRUE(check_well_formed(h).has_value());
+}
+
+TEST(WellFormed, ConcurrentOpsOnOneObjectRejectedInPartialOrder) {
+  History h(1, /*sequential_processes=*/false);
+  h.write(0, 4, 1);
+  h.write(0, 4, 2);  // unordered with the first write, same location
+  const auto err = check_well_formed(h);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("concurrent"), std::string::npos);
+}
+
+TEST(WellFormed, ConcurrentOpsOnDifferentObjectsAllowed) {
+  History h(1, /*sequential_processes=*/false);
+  h.write(0, 4, 1);
+  h.write(0, 5, 2);
+  EXPECT_FALSE(check_well_formed(h).has_value());
+}
+
+TEST(WellFormed, BarrierMustBeTotallyOrderedWithinProcess) {
+  History h(1, /*sequential_processes=*/false);
+  const OpRef w = h.write(0, 4, 1);
+  const OpRef b = h.barrier(0, 0);
+  (void)w;
+  (void)b;  // no program edge between them
+  const auto err = check_well_formed(h);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("barrier"), std::string::npos);
+
+  History h2(1, /*sequential_processes=*/false);
+  const OpRef w2 = h2.write(0, 4, 1);
+  const OpRef b2 = h2.barrier(0, 0);
+  h2.add_program_edge(w2, b2);
+  EXPECT_FALSE(check_well_formed(h2).has_value());
+}
+
+TEST(Relations, ProgramOrderChainsSequentialProcesses) {
+  History h(2);
+  const OpRef a = h.write(0, 0, 1);
+  const OpRef b = h.write(0, 1, 2);
+  const OpRef c = h.write(1, 2, 3);
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_TRUE(rel->program_order.get(a, b));
+  EXPECT_FALSE(rel->program_order.get(b, a));
+  EXPECT_FALSE(rel->program_order.get(a, c));
+}
+
+TEST(Relations, ReadsFromEdgeFollowsWriteId) {
+  History h(2);
+  const OpRef w = h.write(0, 0, 5);
+  const OpRef r = h.read(1, 0, 5, ReadMode::kCausal, h.op(w).write_id);
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_TRUE(rel->reads_from.get(w, r));
+  EXPECT_TRUE(rel->causality.get(w, r));
+}
+
+TEST(Relations, ReadResolvingToUnknownWriteFails) {
+  History h(1);
+  h.read(0, 0, 5, ReadMode::kCausal, WriteId{0, 99});
+  std::string err;
+  EXPECT_FALSE(build_relations(h, &err).has_value());
+  EXPECT_NE(err.find("not in the history"), std::string::npos);
+}
+
+TEST(Relations, ReadResolvingToWrongLocationFails) {
+  History h(2);
+  const OpRef w = h.write(0, 0, 5);
+  h.read(1, 1, 5, ReadMode::kCausal, h.op(w).write_id);
+  std::string err;
+  EXPECT_FALSE(build_relations(h, &err).has_value());
+  EXPECT_NE(err.find("different location"), std::string::npos);
+}
+
+TEST(Relations, CausalityIsTransitive) {
+  History h(3);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef r1 = h.read(1, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  const OpRef w2 = h.write(1, 1, 2);
+  const OpRef r2 = h.read(2, 1, 2, ReadMode::kCausal, h.op(w2).write_id);
+  (void)r1;
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_TRUE(rel->causality.get(w1, r2));
+}
+
+TEST(Relations, AwaitProducesSyncEdgeNotReadsFrom) {
+  History h(2);
+  const OpRef w = h.write(0, 0, 5);
+  const OpRef a = h.await(1, 0, 5, h.op(w).write_id);
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_TRUE(rel->sync_await.get(w, a));
+  EXPECT_FALSE(rel->reads_from.get(w, a));
+  EXPECT_TRUE(rel->causality.get(w, a));
+}
+
+TEST(Relations, RestrictedSetExcludesOtherProcessesReads) {
+  History h(2);
+  Operation r;
+  r.kind = OpKind::kRead;
+  r.proc = 1;
+  r.var = 0;
+  EXPECT_TRUE(in_restricted_set(r, 1));
+  EXPECT_FALSE(in_restricted_set(r, 0));
+  Operation w;
+  w.kind = OpKind::kWrite;
+  w.proc = 1;
+  w.var = 0;
+  EXPECT_TRUE(in_restricted_set(w, 0));
+}
+
+TEST(Relations, RestrictCausalKeepsPathsThroughExcludedReads) {
+  // w0(x)1 |. r1(x)1 -> w1(y)2 : even though p1's read is outside p2's
+  // restricted set, w0(x)1 must still causally precede w1(y)2 for p2.
+  History h(3);
+  const OpRef w0 = h.write(0, 0, 1);
+  const OpRef r1 = h.read(1, 0, 1, ReadMode::kCausal, h.op(w0).write_id);
+  const OpRef w1 = h.write(1, 1, 2);
+  (void)r1;
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  const BitMatrix rc = restrict_causal(h, *rel, 2);
+  EXPECT_TRUE(rc.get(w0, w1));
+  // But the excluded read itself carries no edges in the restriction.
+  EXPECT_FALSE(rc.get(w0, r1));
+  EXPECT_FALSE(rc.get(r1, w1));
+}
+
+TEST(Relations, RestrictPramDropsTransitiveReadsFromChains) {
+  // The PRAM order for p2 keeps only reads-from edges incident to p2, so
+  // the w0 -> r1 -> w1 chain does not order w0 before w1 for p2.
+  History h(3);
+  const OpRef w0 = h.write(0, 0, 1);
+  const OpRef r1 = h.read(1, 0, 1, ReadMode::kCausal, h.op(w0).write_id);
+  const OpRef w1 = h.write(1, 1, 2);
+  (void)r1;
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  const BitMatrix rp = restrict_pram(h, *rel, 2);
+  EXPECT_FALSE(rp.get(w0, w1));
+  // Program order of any single process is always preserved.
+  const OpRef w1b = kNoOp;
+  (void)w1b;
+}
+
+TEST(History, ToStringMentionsEveryProcess) {
+  History h(2);
+  h.write(0, 0, 1);
+  h.read(1, 0, 1, ReadMode::kPram);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("p0:"), std::string::npos);
+  EXPECT_NE(s.find("p1:"), std::string::npos);
+  EXPECT_NE(s.find("w0(x0)1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mc::history

@@ -1,0 +1,217 @@
+// Synchronization orders of Section 3.1: |->lock from grant episodes (the
+// three properties of Section 3.1.1 and Figure 1), |->bar (Section 3.1.2),
+// and |->await (Section 3.1.3) — and their effect on read validity.
+
+#include <gtest/gtest.h>
+
+#include "history/causality.h"
+#include "history/checkers.h"
+#include "history/history.h"
+
+namespace mc::history {
+namespace {
+
+TEST(LockOrder, WriteEpisodesAreTotallyOrdered) {
+  History h(2);
+  const OpRef wl1 = h.wlock(0, 0, /*episode=*/1);
+  const OpRef wu1 = h.wunlock(0, 0, 1);
+  const OpRef wl2 = h.wlock(1, 0, 2);
+  const OpRef wu2 = h.wunlock(1, 0, 2);
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_TRUE(rel->sync_lock.get(wu1, wl2));
+  EXPECT_TRUE(rel->sync_lock.get(wl1, wl2));
+  EXPECT_TRUE(rel->sync_lock.get(wl1, wu1));  // within a write tenure
+  EXPECT_FALSE(rel->sync_lock.get(wl2, wu1));
+  EXPECT_TRUE(rel->causality.get(wl1, wu2));
+}
+
+TEST(LockOrder, ConcurrentReadersShareAnEpisodeUnordered) {
+  // Figure 1 shape: a write episode, then overlapping readers, then another
+  // write episode.
+  History h(3);
+  const OpRef wl = h.wlock(0, 0, 1);
+  const OpRef wu = h.wunlock(0, 0, 1);
+  const OpRef rl1 = h.rlock(1, 0, 2);
+  const OpRef ru1 = h.runlock(1, 0, 2);
+  const OpRef rl2 = h.rlock(2, 0, 2);
+  const OpRef ru2 = h.runlock(2, 0, 2);
+  const OpRef wl2 = h.wlock(0, 0, 3);
+  const OpRef wu2 = h.wunlock(0, 0, 3);
+  (void)wl;
+  (void)wu2;
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  // Property 1: readers ordered with respect to write-class operations.
+  EXPECT_TRUE(rel->sync_lock.get(wu, rl1));
+  EXPECT_TRUE(rel->sync_lock.get(wu, rl2));
+  EXPECT_TRUE(rel->sync_lock.get(ru1, wl2));
+  EXPECT_TRUE(rel->sync_lock.get(ru2, wl2));
+  // Readers of one episode stay mutually unordered.
+  EXPECT_FALSE(rel->sync_lock.get(rl1, rl2));
+  EXPECT_FALSE(rel->sync_lock.get(rl2, rl1));
+  EXPECT_FALSE(rel->sync_lock.get(ru1, rl2));
+  EXPECT_FALSE(rel->sync_lock.get(ru2, rl1));
+}
+
+TEST(LockOrder, CriticalSectionUpdatesFlowToNextHolder) {
+  // p0 writes x inside its critical section; p1 acquires next and must see
+  // the write under causal reads.
+  History h(2);
+  h.wlock(0, 0, 1);
+  const OpRef w = h.write(0, /*x=*/5, 42);
+  h.wunlock(0, 0, 1);
+  h.wlock(1, 0, 2);
+  h.read(1, 5, 0, ReadMode::kCausal, kInitialWrite);  // stale!
+  h.wunlock(1, 0, 2);
+  const auto res = check_mixed_consistency(h);
+  EXPECT_FALSE(res.ok);
+
+  History good(2);
+  good.wlock(0, 0, 1);
+  const OpRef gw = good.write(0, 5, 42);
+  good.wunlock(0, 0, 1);
+  good.wlock(1, 0, 2);
+  good.read(1, 5, 42, ReadMode::kCausal, good.op(gw).write_id);
+  good.wunlock(1, 0, 2);
+  EXPECT_TRUE(check_mixed_consistency(good).ok);
+  (void)w;
+}
+
+TEST(LockOrder, PramReadSeesPreviousHolderDirectly) {
+  // The |->lock edge is incident to the acquiring process, so even PRAM
+  // reads must observe the previous holder's critical-section writes.
+  History h(2);
+  h.wlock(0, 0, 1);
+  h.write(0, 5, 42);
+  h.wunlock(0, 0, 1);
+  h.wlock(1, 0, 2);
+  h.read(1, 5, 0, ReadMode::kPram, kInitialWrite);
+  h.wunlock(1, 0, 2);
+  EXPECT_FALSE(check_mixed_consistency(h).ok);
+}
+
+TEST(LockOrder, PramReadMayMissTransitiveHolderChain) {
+  // Three holders in sequence: p0 writes, p1 holds without touching x,
+  // p2 acquires after p1.  The reduced |->lock chain gives p2 a direct
+  // dependency only on p1, so under PRAM p2 may legitimately miss p0's
+  // write; under causal it may not.
+  History h(3);
+  h.wlock(0, 0, 1);
+  h.write(0, 5, 42);
+  h.wunlock(0, 0, 1);
+  h.wlock(1, 0, 2);
+  h.wunlock(1, 0, 2);
+  h.wlock(2, 0, 3);
+  h.read(2, 5, 0, ReadMode::kPram, kInitialWrite);
+  h.wunlock(2, 0, 3);
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+
+  History causal(3);
+  causal.wlock(0, 0, 1);
+  causal.write(0, 5, 42);
+  causal.wunlock(0, 0, 1);
+  causal.wlock(1, 0, 2);
+  causal.wunlock(1, 0, 2);
+  causal.wlock(2, 0, 3);
+  causal.read(2, 5, 0, ReadMode::kCausal, kInitialWrite);
+  causal.wunlock(2, 0, 3);
+  EXPECT_FALSE(check_mixed_consistency(causal).ok);
+}
+
+TEST(BarrierOrder, EdgesSpanAllProcesses) {
+  History h(2);
+  const OpRef w = h.write(0, 0, 1);
+  const OpRef b0 = h.barrier(0, /*epoch=*/0);
+  const OpRef b1 = h.barrier(1, 0);
+  const OpRef r = h.read(1, 0, 1, ReadMode::kPram, h.op(w).write_id);
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  // Pre-barrier operation precedes *both* barrier operations.
+  EXPECT_TRUE(rel->sync_bar.get(w, b0));
+  EXPECT_TRUE(rel->sync_bar.get(w, b1));
+  // Barrier operations precede post-barrier operations of every process.
+  EXPECT_TRUE(rel->sync_bar.get(b0, r));
+  EXPECT_TRUE(rel->causality.get(w, r));
+}
+
+TEST(BarrierOrder, PreBarrierWritesVisibleAfterBarrierEvenUnderPram) {
+  History stale(2);
+  stale.write(0, 0, 3);
+  stale.barrier(0, 0);
+  stale.barrier(1, 0);
+  stale.read(1, 0, 0, ReadMode::kPram, kInitialWrite);
+  EXPECT_FALSE(check_mixed_consistency(stale).ok);
+
+  History fresh(2);
+  const OpRef w = fresh.write(0, 0, 3);
+  fresh.barrier(0, 0);
+  fresh.barrier(1, 0);
+  fresh.read(1, 0, 3, ReadMode::kPram, fresh.op(w).write_id);
+  EXPECT_TRUE(check_mixed_consistency(fresh).ok);
+}
+
+TEST(BarrierOrder, WritesConcurrentWithBarrierEpochAreNotForced) {
+  // p0's write happens after its first barrier; p1 reads after the same
+  // barrier instance — no ordering between them, stale read allowed.
+  History h(2);
+  h.barrier(0, 0);
+  h.write(0, 0, 3);
+  h.barrier(1, 0);
+  h.read(1, 0, 0, ReadMode::kPram, kInitialWrite);
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+}
+
+TEST(BarrierOrder, DistinctEpochsChainSequentially) {
+  History h(2);
+  const OpRef w = h.write(0, 0, 1);
+  h.barrier(0, 0);
+  h.barrier(1, 0);
+  h.barrier(0, 1);
+  h.barrier(1, 1);
+  const OpRef r = h.read(1, 0, 1, ReadMode::kPram, h.op(w).write_id);
+  const auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_TRUE(rel->causality.get(w, r));
+  EXPECT_TRUE(check_mixed_consistency(h).ok);
+}
+
+TEST(AwaitOrder, AwaitCarriesWriterContext) {
+  // p0 fills a buffer then sets a flag; p1 awaits the flag, so even its
+  // PRAM reads must see the buffer (the await edge is incident to p1 and
+  // the buffer write precedes the flag write in p0's program order).
+  History stale(2);
+  stale.write(0, /*buf=*/1, 99);
+  const OpRef wf = stale.write(0, /*flag=*/0, 1);
+  stale.await(1, 0, 1, stale.op(wf).write_id);
+  stale.read(1, 1, 0, ReadMode::kPram, kInitialWrite);
+  EXPECT_FALSE(check_mixed_consistency(stale).ok);
+
+  History fresh(2);
+  const OpRef wb = fresh.write(0, 1, 99);
+  const OpRef wf2 = fresh.write(0, 0, 1);
+  fresh.await(1, 0, 1, fresh.op(wf2).write_id);
+  fresh.read(1, 1, 99, ReadMode::kPram, fresh.op(wb).write_id);
+  EXPECT_TRUE(check_mixed_consistency(fresh).ok);
+}
+
+TEST(AwaitOrder, PramAwaitChainIsNotTransitive) {
+  // p0 writes data, sets f1; p1 awaits f1 (absorbing p0) and sets f2;
+  // p2 awaits f2.  For p2's PRAM reads only the p1 edge is direct: p0's
+  // data write may still be missing.  Causal reads must see it.
+  History h(3);
+  h.write(0, /*data=*/2, 7);
+  const OpRef f1 = h.write(0, 0, 1);
+  h.await(1, 0, 1, h.op(f1).write_id);
+  const OpRef f2 = h.write(1, 1, 1);
+  h.await(2, 1, 1, h.op(f2).write_id);
+  History pram = h;
+  pram.read(2, 2, 0, ReadMode::kPram, kInitialWrite);
+  EXPECT_TRUE(check_mixed_consistency(pram).ok);
+  History causal = h;
+  causal.read(2, 2, 0, ReadMode::kCausal, kInitialWrite);
+  EXPECT_FALSE(check_mixed_consistency(causal).ok);
+}
+
+}  // namespace
+}  // namespace mc::history

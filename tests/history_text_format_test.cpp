@@ -1,0 +1,111 @@
+// Text format round-trips and parse diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "history/checkers.h"
+#include "history/text_format.h"
+
+namespace mc::history {
+namespace {
+
+TEST(TextFormat, ParsesEveryOperationKind) {
+  const auto res = parse_history_text(R"(
+procs 2
+0 write x0 5
+1 read x0 5 pram
+1 read x1 0 causal @initial
+0 dec x2 3
+1 await x0 5 @0.1
+0 wlock l1 e1
+0 wunlock l1 e1
+1 rlock l1 e2
+1 runlock l1 e2
+0 barrier b0 e0
+1 barrier b0 e0
+)");
+  ASSERT_TRUE(res.history.has_value()) << res.error;
+  EXPECT_EQ(res.history->size(), 11u);
+  EXPECT_TRUE(check_mixed_consistency(*res.history).ok);
+}
+
+TEST(TextFormat, ResolvesReadsByUniqueValue) {
+  const auto res = parse_history_text("procs 2\n0 write x0 7\n1 read x0 7 pram\n");
+  ASSERT_TRUE(res.history.has_value()) << res.error;
+  EXPECT_EQ(res.history->op(1).write_id, (WriteId{0, 1}));
+}
+
+TEST(TextFormat, RejectsAmbiguousValues) {
+  const auto res = parse_history_text(
+      "procs 2\n0 write x0 7\n1 write x0 7\n0 read x0 7 pram\n");
+  EXPECT_FALSE(res.history.has_value());
+  EXPECT_NE(res.error.find("ambiguous"), std::string::npos);
+}
+
+TEST(TextFormat, CommentsAndBlankLinesIgnored)
+{
+  const auto res = parse_history_text(R"(
+# a comment
+procs 1
+
+0 write x0 1   # trailing comment
+)");
+  ASSERT_TRUE(res.history.has_value()) << res.error;
+  EXPECT_EQ(res.history->size(), 1u);
+}
+
+TEST(TextFormat, ErrorsCarryLineNumbers) {
+  const auto res = parse_history_text("procs 2\n0 write x0\n");
+  ASSERT_FALSE(res.history.has_value());
+  EXPECT_NE(res.error.find("line 2"), std::string::npos);
+}
+
+TEST(TextFormat, RequiresProcsFirst) {
+  const auto res = parse_history_text("0 write x0 1\n");
+  ASSERT_FALSE(res.history.has_value());
+  EXPECT_NE(res.error.find("procs"), std::string::npos);
+}
+
+TEST(TextFormat, RejectsUnknownKindsAndBadIds) {
+  EXPECT_FALSE(parse_history_text("procs 1\n0 frobnicate x0 1\n").history.has_value());
+  EXPECT_FALSE(parse_history_text("procs 1\n3 write x0 1\n").history.has_value());
+  EXPECT_FALSE(parse_history_text("procs 1\n0 read x0 1 sideways\n").history.has_value());
+  EXPECT_FALSE(parse_history_text("procs 1\n0 read x0 1 pram @zzz\n").history.has_value());
+}
+
+TEST(TextFormat, RoundTripIsExact) {
+  History h(3);
+  const OpRef w = h.write(0, 0, 42);
+  h.read(1, 0, 42, ReadMode::kPram, h.op(w).write_id);
+  h.read(2, 1, 0, ReadMode::kCausal, kInitialWrite);
+  h.delta(0, 2, -5);
+  h.await(1, 0, 42, h.op(w).write_id);
+  h.wlock(2, 0, 1);
+  h.wunlock(2, 0, 1);
+  h.barrier(0, 0);
+  h.barrier(1, 0);
+  h.barrier(2, 0);
+
+  const std::string text = format_history(h);
+  const auto back = parse_history_text(text);
+  ASSERT_TRUE(back.history.has_value()) << back.error;
+  ASSERT_EQ(back.history->size(), h.size());
+  for (OpRef i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(back.history->op(i).to_string(), h.op(i).to_string()) << "op " << i;
+    EXPECT_EQ(back.history->op(i).write_id, h.op(i).write_id) << "op " << i;
+  }
+  // And the re-parsed history checks identically.
+  EXPECT_EQ(check_mixed_consistency(*back.history).ok, check_mixed_consistency(h).ok);
+}
+
+TEST(TextFormat, FormatsDuplicateValuesUnambiguously) {
+  History h(2);
+  const OpRef w1 = h.write(0, 0, 7);
+  h.write(1, 0, 7);  // duplicate value
+  h.read(0, 0, 7, ReadMode::kPram, h.op(w1).write_id);
+  const auto back = parse_history_text(format_history(h));
+  ASSERT_TRUE(back.history.has_value()) << back.error;
+  EXPECT_EQ(back.history->op(2).write_id, (WriteId{0, 1}));
+}
+
+}  // namespace
+}  // namespace mc::history

@@ -1,0 +1,142 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mc::net {
+namespace {
+
+Message make(Endpoint src, Endpoint dst, std::uint16_t kind, std::uint64_t a = 0) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.kind = kind;
+  m.a = a;
+  return m;
+}
+
+TEST(Mailbox, DeliversInFifoOrderWithoutLatency) {
+  Fabric f(2);
+  for (std::uint64_t i = 0; i < 100; ++i) f.send(make(0, 1, 1, i));
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto m = f.mailbox(1).recv();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->a, i);
+    EXPECT_EQ(m->channel_seq, i);
+  }
+}
+
+TEST(Mailbox, TryRecvOnEmptyReturnsNothing) {
+  Fabric f(2);
+  EXPECT_FALSE(f.mailbox(1).try_recv().has_value());
+}
+
+TEST(Mailbox, CloseWakesBlockedReceiver) {
+  Fabric f(2);
+  std::thread t([&f] {
+    const auto m = f.mailbox(1).recv();
+    EXPECT_FALSE(m.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  f.shutdown();
+  t.join();
+}
+
+TEST(Mailbox, DrainsPendingMessagesAfterClose) {
+  Fabric f(2);
+  f.send(make(0, 1, 1, 42));
+  f.shutdown();
+  const auto m = f.mailbox(1).recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->a, 42u);
+  EXPECT_FALSE(f.mailbox(1).recv().has_value());
+}
+
+TEST(Fabric, ChannelsAreFifoPerSenderUnderJitter) {
+  LatencyModel lat;
+  lat.base = std::chrono::microseconds(50);
+  lat.jitter = std::chrono::microseconds(200);
+  Fabric f(3, lat, /*seed=*/7);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    f.send(make(0, 2, 1, i));
+    f.send(make(1, 2, 2, i));
+  }
+  std::uint64_t next_from_0 = 0;
+  std::uint64_t next_from_1 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto m = f.mailbox(2).recv();
+    ASSERT_TRUE(m.has_value());
+    if (m->src == 0) {
+      EXPECT_EQ(m->a, next_from_0++);
+    } else {
+      EXPECT_EQ(m->a, next_from_1++);
+    }
+  }
+  EXPECT_EQ(next_from_0, 50u);
+  EXPECT_EQ(next_from_1, 50u);
+}
+
+TEST(Fabric, LatencyDelaysDelivery) {
+  LatencyModel lat;
+  lat.base = std::chrono::milliseconds(30);
+  Fabric f(2, lat);
+  const auto start = std::chrono::steady_clock::now();
+  f.send(make(0, 1, 1));
+  const auto m = f.mailbox(1).recv();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST(Fabric, MulticastReachesEveryDestination) {
+  Fabric f(4);
+  f.multicast(make(0, kNoEndpoint, 3, 9), {1, 2, 3});
+  for (Endpoint e = 1; e < 4; ++e) {
+    const auto m = f.mailbox(e).recv();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->a, 9u);
+    EXPECT_EQ(m->dst, e);
+  }
+  EXPECT_EQ(f.messages_sent(), 3u);
+}
+
+TEST(Fabric, AccountsMessagesAndBytes) {
+  Fabric f(2);
+  Message m = make(0, 1, 2);
+  m.payload = {1, 2, 3, 4};
+  const std::size_t expected_bytes = m.wire_bytes();
+  f.send(std::move(m));
+  EXPECT_EQ(f.messages_sent(), 1u);
+  EXPECT_EQ(f.bytes_sent(), expected_bytes);
+  EXPECT_EQ(f.messages_of_kind(2), 1u);
+  EXPECT_EQ(f.messages_of_kind(3), 0u);
+}
+
+TEST(Fabric, MetricsUseRegisteredKindNames) {
+  Fabric f(2);
+  f.name_kind(5, "update");
+  f.send(make(0, 1, 5));
+  const auto snap = f.metrics();
+  EXPECT_EQ(snap.get("net.messages"), 1u);
+  EXPECT_EQ(snap.get("net.msg.update"), 1u);
+}
+
+TEST(Fabric, ConcurrentSendersDoNotLoseMessages) {
+  Fabric f(5);
+  std::vector<std::thread> senders;
+  for (Endpoint s = 0; s < 4; ++s) {
+    senders.emplace_back([&f, s] {
+      for (int i = 0; i < 500; ++i) f.send(make(s, 4, 1));
+    });
+  }
+  for (auto& t : senders) t.join();
+  int received = 0;
+  while (f.mailbox(4).try_recv().has_value()) ++received;
+  EXPECT_EQ(received, 2000);
+  EXPECT_EQ(f.messages_sent(), 2000u);
+}
+
+}  // namespace
+}  // namespace mc::net
