@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_emfield"
+  "../bench/bench_emfield.pdb"
+  "CMakeFiles/bench_emfield.dir/bench_emfield.cpp.o"
+  "CMakeFiles/bench_emfield.dir/bench_emfield.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

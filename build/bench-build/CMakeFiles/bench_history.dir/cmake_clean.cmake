@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_history"
+  "../bench/bench_history.pdb"
+  "CMakeFiles/bench_history.dir/bench_history.cpp.o"
+  "CMakeFiles/bench_history.dir/bench_history.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

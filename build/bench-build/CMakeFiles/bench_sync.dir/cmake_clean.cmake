@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sync"
+  "../bench/bench_sync.pdb"
+  "CMakeFiles/bench_sync.dir/bench_sync.cpp.o"
+  "CMakeFiles/bench_sync.dir/bench_sync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

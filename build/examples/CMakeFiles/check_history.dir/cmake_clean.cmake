@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_history.dir/check_history.cpp.o"
+  "CMakeFiles/check_history.dir/check_history.cpp.o.d"
+  "check_history"
+  "check_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

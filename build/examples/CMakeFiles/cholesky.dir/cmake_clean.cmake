@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky.dir/cholesky.cpp.o"
+  "CMakeFiles/cholesky.dir/cholesky.cpp.o.d"
+  "cholesky"
+  "cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

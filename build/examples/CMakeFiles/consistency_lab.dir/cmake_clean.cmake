@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_lab.dir/consistency_lab.cpp.o"
+  "CMakeFiles/consistency_lab.dir/consistency_lab.cpp.o.d"
+  "consistency_lab"
+  "consistency_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_field.dir/em_field.cpp.o"
+  "CMakeFiles/em_field.dir/em_field.cpp.o.d"
+  "em_field"
+  "em_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

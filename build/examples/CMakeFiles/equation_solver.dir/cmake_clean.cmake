@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equation_solver.dir/equation_solver.cpp.o"
+  "CMakeFiles/equation_solver.dir/equation_solver.cpp.o.d"
+  "equation_solver"
+  "equation_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equation_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

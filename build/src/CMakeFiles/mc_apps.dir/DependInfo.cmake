@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cholesky.cpp" "src/CMakeFiles/mc_apps.dir/apps/cholesky.cpp.o" "gcc" "src/CMakeFiles/mc_apps.dir/apps/cholesky.cpp.o.d"
+  "/root/repo/src/apps/em_field.cpp" "src/CMakeFiles/mc_apps.dir/apps/em_field.cpp.o" "gcc" "src/CMakeFiles/mc_apps.dir/apps/em_field.cpp.o.d"
+  "/root/repo/src/apps/em_field2d.cpp" "src/CMakeFiles/mc_apps.dir/apps/em_field2d.cpp.o" "gcc" "src/CMakeFiles/mc_apps.dir/apps/em_field2d.cpp.o.d"
+  "/root/repo/src/apps/equation_solver.cpp" "src/CMakeFiles/mc_apps.dir/apps/equation_solver.cpp.o" "gcc" "src/CMakeFiles/mc_apps.dir/apps/equation_solver.cpp.o.d"
+  "/root/repo/src/apps/matrix.cpp" "src/CMakeFiles/mc_apps.dir/apps/matrix.cpp.o" "gcc" "src/CMakeFiles/mc_apps.dir/apps/matrix.cpp.o.d"
+  "/root/repo/src/apps/sparse.cpp" "src/CMakeFiles/mc_apps.dir/apps/sparse.cpp.o" "gcc" "src/CMakeFiles/mc_apps.dir/apps/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mc_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

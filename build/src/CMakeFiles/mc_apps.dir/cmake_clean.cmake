@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_apps.dir/apps/cholesky.cpp.o"
+  "CMakeFiles/mc_apps.dir/apps/cholesky.cpp.o.d"
+  "CMakeFiles/mc_apps.dir/apps/em_field.cpp.o"
+  "CMakeFiles/mc_apps.dir/apps/em_field.cpp.o.d"
+  "CMakeFiles/mc_apps.dir/apps/em_field2d.cpp.o"
+  "CMakeFiles/mc_apps.dir/apps/em_field2d.cpp.o.d"
+  "CMakeFiles/mc_apps.dir/apps/equation_solver.cpp.o"
+  "CMakeFiles/mc_apps.dir/apps/equation_solver.cpp.o.d"
+  "CMakeFiles/mc_apps.dir/apps/matrix.cpp.o"
+  "CMakeFiles/mc_apps.dir/apps/matrix.cpp.o.d"
+  "CMakeFiles/mc_apps.dir/apps/sparse.cpp.o"
+  "CMakeFiles/mc_apps.dir/apps/sparse.cpp.o.d"
+  "libmc_apps.a"
+  "libmc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

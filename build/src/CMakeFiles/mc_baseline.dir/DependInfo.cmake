@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/hybrid_system.cpp" "src/CMakeFiles/mc_baseline.dir/baseline/hybrid_system.cpp.o" "gcc" "src/CMakeFiles/mc_baseline.dir/baseline/hybrid_system.cpp.o.d"
+  "/root/repo/src/baseline/sc_system.cpp" "src/CMakeFiles/mc_baseline.dir/baseline/sc_system.cpp.o" "gcc" "src/CMakeFiles/mc_baseline.dir/baseline/sc_system.cpp.o.d"
+  "/root/repo/src/baseline/sequencer.cpp" "src/CMakeFiles/mc_baseline.dir/baseline/sequencer.cpp.o" "gcc" "src/CMakeFiles/mc_baseline.dir/baseline/sequencer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

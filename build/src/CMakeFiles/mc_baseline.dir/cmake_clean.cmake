@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_baseline.dir/baseline/hybrid_system.cpp.o"
+  "CMakeFiles/mc_baseline.dir/baseline/hybrid_system.cpp.o.d"
+  "CMakeFiles/mc_baseline.dir/baseline/sc_system.cpp.o"
+  "CMakeFiles/mc_baseline.dir/baseline/sc_system.cpp.o.d"
+  "CMakeFiles/mc_baseline.dir/baseline/sequencer.cpp.o"
+  "CMakeFiles/mc_baseline.dir/baseline/sequencer.cpp.o.d"
+  "libmc_baseline.a"
+  "libmc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

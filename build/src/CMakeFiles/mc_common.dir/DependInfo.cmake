@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bit_matrix.cpp" "src/CMakeFiles/mc_common.dir/common/bit_matrix.cpp.o" "gcc" "src/CMakeFiles/mc_common.dir/common/bit_matrix.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/mc_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/mc_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/mc_common.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/mc_common.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/vector_clock.cpp" "src/CMakeFiles/mc_common.dir/common/vector_clock.cpp.o" "gcc" "src/CMakeFiles/mc_common.dir/common/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_common.dir/common/bit_matrix.cpp.o"
+  "CMakeFiles/mc_common.dir/common/bit_matrix.cpp.o.d"
+  "CMakeFiles/mc_common.dir/common/rng.cpp.o"
+  "CMakeFiles/mc_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/mc_common.dir/common/stats.cpp.o"
+  "CMakeFiles/mc_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/mc_common.dir/common/vector_clock.cpp.o"
+  "CMakeFiles/mc_common.dir/common/vector_clock.cpp.o.d"
+  "libmc_common.a"
+  "libmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

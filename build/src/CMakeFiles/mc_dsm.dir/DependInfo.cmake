@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/barrier_manager.cpp" "src/CMakeFiles/mc_dsm.dir/dsm/barrier_manager.cpp.o" "gcc" "src/CMakeFiles/mc_dsm.dir/dsm/barrier_manager.cpp.o.d"
+  "/root/repo/src/dsm/lock_manager.cpp" "src/CMakeFiles/mc_dsm.dir/dsm/lock_manager.cpp.o" "gcc" "src/CMakeFiles/mc_dsm.dir/dsm/lock_manager.cpp.o.d"
+  "/root/repo/src/dsm/node.cpp" "src/CMakeFiles/mc_dsm.dir/dsm/node.cpp.o" "gcc" "src/CMakeFiles/mc_dsm.dir/dsm/node.cpp.o.d"
+  "/root/repo/src/dsm/store.cpp" "src/CMakeFiles/mc_dsm.dir/dsm/store.cpp.o" "gcc" "src/CMakeFiles/mc_dsm.dir/dsm/store.cpp.o.d"
+  "/root/repo/src/dsm/system.cpp" "src/CMakeFiles/mc_dsm.dir/dsm/system.cpp.o" "gcc" "src/CMakeFiles/mc_dsm.dir/dsm/system.cpp.o.d"
+  "/root/repo/src/dsm/trace.cpp" "src/CMakeFiles/mc_dsm.dir/dsm/trace.cpp.o" "gcc" "src/CMakeFiles/mc_dsm.dir/dsm/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_dsm.dir/dsm/barrier_manager.cpp.o"
+  "CMakeFiles/mc_dsm.dir/dsm/barrier_manager.cpp.o.d"
+  "CMakeFiles/mc_dsm.dir/dsm/lock_manager.cpp.o"
+  "CMakeFiles/mc_dsm.dir/dsm/lock_manager.cpp.o.d"
+  "CMakeFiles/mc_dsm.dir/dsm/node.cpp.o"
+  "CMakeFiles/mc_dsm.dir/dsm/node.cpp.o.d"
+  "CMakeFiles/mc_dsm.dir/dsm/store.cpp.o"
+  "CMakeFiles/mc_dsm.dir/dsm/store.cpp.o.d"
+  "CMakeFiles/mc_dsm.dir/dsm/system.cpp.o"
+  "CMakeFiles/mc_dsm.dir/dsm/system.cpp.o.d"
+  "CMakeFiles/mc_dsm.dir/dsm/trace.cpp.o"
+  "CMakeFiles/mc_dsm.dir/dsm/trace.cpp.o.d"
+  "libmc_dsm.a"
+  "libmc_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

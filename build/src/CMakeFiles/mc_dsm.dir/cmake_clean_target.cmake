@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmc_dsm.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/history/causality.cpp" "src/CMakeFiles/mc_history.dir/history/causality.cpp.o" "gcc" "src/CMakeFiles/mc_history.dir/history/causality.cpp.o.d"
+  "/root/repo/src/history/checkers.cpp" "src/CMakeFiles/mc_history.dir/history/checkers.cpp.o" "gcc" "src/CMakeFiles/mc_history.dir/history/checkers.cpp.o.d"
+  "/root/repo/src/history/dot_export.cpp" "src/CMakeFiles/mc_history.dir/history/dot_export.cpp.o" "gcc" "src/CMakeFiles/mc_history.dir/history/dot_export.cpp.o.d"
+  "/root/repo/src/history/history.cpp" "src/CMakeFiles/mc_history.dir/history/history.cpp.o" "gcc" "src/CMakeFiles/mc_history.dir/history/history.cpp.o.d"
+  "/root/repo/src/history/operation.cpp" "src/CMakeFiles/mc_history.dir/history/operation.cpp.o" "gcc" "src/CMakeFiles/mc_history.dir/history/operation.cpp.o.d"
+  "/root/repo/src/history/program_analysis.cpp" "src/CMakeFiles/mc_history.dir/history/program_analysis.cpp.o" "gcc" "src/CMakeFiles/mc_history.dir/history/program_analysis.cpp.o.d"
+  "/root/repo/src/history/serialization.cpp" "src/CMakeFiles/mc_history.dir/history/serialization.cpp.o" "gcc" "src/CMakeFiles/mc_history.dir/history/serialization.cpp.o.d"
+  "/root/repo/src/history/text_format.cpp" "src/CMakeFiles/mc_history.dir/history/text_format.cpp.o" "gcc" "src/CMakeFiles/mc_history.dir/history/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

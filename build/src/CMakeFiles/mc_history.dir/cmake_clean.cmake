@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_history.dir/history/causality.cpp.o"
+  "CMakeFiles/mc_history.dir/history/causality.cpp.o.d"
+  "CMakeFiles/mc_history.dir/history/checkers.cpp.o"
+  "CMakeFiles/mc_history.dir/history/checkers.cpp.o.d"
+  "CMakeFiles/mc_history.dir/history/dot_export.cpp.o"
+  "CMakeFiles/mc_history.dir/history/dot_export.cpp.o.d"
+  "CMakeFiles/mc_history.dir/history/history.cpp.o"
+  "CMakeFiles/mc_history.dir/history/history.cpp.o.d"
+  "CMakeFiles/mc_history.dir/history/operation.cpp.o"
+  "CMakeFiles/mc_history.dir/history/operation.cpp.o.d"
+  "CMakeFiles/mc_history.dir/history/program_analysis.cpp.o"
+  "CMakeFiles/mc_history.dir/history/program_analysis.cpp.o.d"
+  "CMakeFiles/mc_history.dir/history/serialization.cpp.o"
+  "CMakeFiles/mc_history.dir/history/serialization.cpp.o.d"
+  "CMakeFiles/mc_history.dir/history/text_format.cpp.o"
+  "CMakeFiles/mc_history.dir/history/text_format.cpp.o.d"
+  "libmc_history.a"
+  "libmc_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/mc_net.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/mc_net.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "src/CMakeFiles/mc_net.dir/net/latency.cpp.o" "gcc" "src/CMakeFiles/mc_net.dir/net/latency.cpp.o.d"
+  "/root/repo/src/net/mailbox.cpp" "src/CMakeFiles/mc_net.dir/net/mailbox.cpp.o" "gcc" "src/CMakeFiles/mc_net.dir/net/mailbox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_net.dir/net/fabric.cpp.o"
+  "CMakeFiles/mc_net.dir/net/fabric.cpp.o.d"
+  "CMakeFiles/mc_net.dir/net/latency.cpp.o"
+  "CMakeFiles/mc_net.dir/net/latency.cpp.o.d"
+  "CMakeFiles/mc_net.dir/net/mailbox.cpp.o"
+  "CMakeFiles/mc_net.dir/net/mailbox.cpp.o.d"
+  "libmc_net.a"
+  "libmc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

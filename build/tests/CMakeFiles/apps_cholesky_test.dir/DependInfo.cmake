@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_cholesky_test.cpp" "tests/CMakeFiles/apps_cholesky_test.dir/apps_cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/apps_cholesky_test.dir/apps_cholesky_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

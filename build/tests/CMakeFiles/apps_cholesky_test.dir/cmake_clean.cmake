@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_cholesky_test.dir/apps_cholesky_test.cpp.o"
+  "CMakeFiles/apps_cholesky_test.dir/apps_cholesky_test.cpp.o.d"
+  "apps_cholesky_test"
+  "apps_cholesky_test.pdb"
+  "apps_cholesky_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_cholesky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_em_field_test.dir/apps_em_field_test.cpp.o"
+  "CMakeFiles/apps_em_field_test.dir/apps_em_field_test.cpp.o.d"
+  "apps_em_field_test"
+  "apps_em_field_test.pdb"
+  "apps_em_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_em_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

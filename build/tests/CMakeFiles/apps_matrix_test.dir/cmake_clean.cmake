@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_matrix_test.dir/apps_matrix_test.cpp.o"
+  "CMakeFiles/apps_matrix_test.dir/apps_matrix_test.cpp.o.d"
+  "apps_matrix_test"
+  "apps_matrix_test.pdb"
+  "apps_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

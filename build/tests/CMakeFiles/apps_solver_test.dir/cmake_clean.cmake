@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_solver_test.dir/apps_solver_test.cpp.o"
+  "CMakeFiles/apps_solver_test.dir/apps_solver_test.cpp.o.d"
+  "apps_solver_test"
+  "apps_solver_test.pdb"
+  "apps_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_hybrid_test.dir/baseline_hybrid_test.cpp.o"
+  "CMakeFiles/baseline_hybrid_test.dir/baseline_hybrid_test.cpp.o.d"
+  "baseline_hybrid_test"
+  "baseline_hybrid_test.pdb"
+  "baseline_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

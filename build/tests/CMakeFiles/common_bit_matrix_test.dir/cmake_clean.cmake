@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bit_matrix_test.dir/common_bit_matrix_test.cpp.o"
+  "CMakeFiles/common_bit_matrix_test.dir/common_bit_matrix_test.cpp.o.d"
+  "common_bit_matrix_test"
+  "common_bit_matrix_test.pdb"
+  "common_bit_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bit_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_barrier_manager_test.dir/dsm_barrier_manager_test.cpp.o"
+  "CMakeFiles/dsm_barrier_manager_test.dir/dsm_barrier_manager_test.cpp.o.d"
+  "dsm_barrier_manager_test"
+  "dsm_barrier_manager_test.pdb"
+  "dsm_barrier_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_barrier_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_edge_cases_test.dir/dsm_edge_cases_test.cpp.o"
+  "CMakeFiles/dsm_edge_cases_test.dir/dsm_edge_cases_test.cpp.o.d"
+  "dsm_edge_cases_test"
+  "dsm_edge_cases_test.pdb"
+  "dsm_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

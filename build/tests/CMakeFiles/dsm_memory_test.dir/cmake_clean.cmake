@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_memory_test.dir/dsm_memory_test.cpp.o"
+  "CMakeFiles/dsm_memory_test.dir/dsm_memory_test.cpp.o.d"
+  "dsm_memory_test"
+  "dsm_memory_test.pdb"
+  "dsm_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_multithread_test.dir/dsm_multithread_test.cpp.o"
+  "CMakeFiles/dsm_multithread_test.dir/dsm_multithread_test.cpp.o.d"
+  "dsm_multithread_test"
+  "dsm_multithread_test.pdb"
+  "dsm_multithread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_multithread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_omit_timestamps_test.dir/dsm_omit_timestamps_test.cpp.o"
+  "CMakeFiles/dsm_omit_timestamps_test.dir/dsm_omit_timestamps_test.cpp.o.d"
+  "dsm_omit_timestamps_test"
+  "dsm_omit_timestamps_test.pdb"
+  "dsm_omit_timestamps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_omit_timestamps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

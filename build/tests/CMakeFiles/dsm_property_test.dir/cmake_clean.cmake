@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_property_test.dir/dsm_property_test.cpp.o"
+  "CMakeFiles/dsm_property_test.dir/dsm_property_test.cpp.o.d"
+  "dsm_property_test"
+  "dsm_property_test.pdb"
+  "dsm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

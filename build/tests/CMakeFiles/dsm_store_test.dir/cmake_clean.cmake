@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_store_test.dir/dsm_store_test.cpp.o"
+  "CMakeFiles/dsm_store_test.dir/dsm_store_test.cpp.o.d"
+  "dsm_store_test"
+  "dsm_store_test.pdb"
+  "dsm_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

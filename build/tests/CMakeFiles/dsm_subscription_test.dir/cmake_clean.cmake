@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_subscription_test.dir/dsm_subscription_test.cpp.o"
+  "CMakeFiles/dsm_subscription_test.dir/dsm_subscription_test.cpp.o.d"
+  "dsm_subscription_test"
+  "dsm_subscription_test.pdb"
+  "dsm_subscription_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_subscription_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_subset_barrier_test.dir/dsm_subset_barrier_test.cpp.o"
+  "CMakeFiles/dsm_subset_barrier_test.dir/dsm_subset_barrier_test.cpp.o.d"
+  "dsm_subset_barrier_test"
+  "dsm_subset_barrier_test.pdb"
+  "dsm_subset_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_subset_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_sync_test.dir/dsm_sync_test.cpp.o"
+  "CMakeFiles/dsm_sync_test.dir/dsm_sync_test.cpp.o.d"
+  "dsm_sync_test"
+  "dsm_sync_test.pdb"
+  "dsm_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

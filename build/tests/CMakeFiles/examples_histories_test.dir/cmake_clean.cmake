@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_histories_test.dir/examples_histories_test.cpp.o"
+  "CMakeFiles/examples_histories_test.dir/examples_histories_test.cpp.o.d"
+  "examples_histories_test"
+  "examples_histories_test.pdb"
+  "examples_histories_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_histories_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_analysis_test.dir/history_analysis_test.cpp.o"
+  "CMakeFiles/history_analysis_test.dir/history_analysis_test.cpp.o.d"
+  "history_analysis_test"
+  "history_analysis_test.pdb"
+  "history_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_checker_api_test.dir/history_checker_api_test.cpp.o"
+  "CMakeFiles/history_checker_api_test.dir/history_checker_api_test.cpp.o.d"
+  "history_checker_api_test"
+  "history_checker_api_test.pdb"
+  "history_checker_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_checker_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

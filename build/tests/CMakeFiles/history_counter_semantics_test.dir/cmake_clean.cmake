@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_counter_semantics_test.dir/history_counter_semantics_test.cpp.o"
+  "CMakeFiles/history_counter_semantics_test.dir/history_counter_semantics_test.cpp.o.d"
+  "history_counter_semantics_test"
+  "history_counter_semantics_test.pdb"
+  "history_counter_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_counter_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

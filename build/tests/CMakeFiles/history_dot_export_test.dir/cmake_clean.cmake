@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_dot_export_test.dir/history_dot_export_test.cpp.o"
+  "CMakeFiles/history_dot_export_test.dir/history_dot_export_test.cpp.o.d"
+  "history_dot_export_test"
+  "history_dot_export_test.pdb"
+  "history_dot_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_dot_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_group_test.dir/history_group_test.cpp.o"
+  "CMakeFiles/history_group_test.dir/history_group_test.cpp.o.d"
+  "history_group_test"
+  "history_group_test.pdb"
+  "history_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_hierarchy_property_test.dir/history_hierarchy_property_test.cpp.o"
+  "CMakeFiles/history_hierarchy_property_test.dir/history_hierarchy_property_test.cpp.o.d"
+  "history_hierarchy_property_test"
+  "history_hierarchy_property_test.pdb"
+  "history_hierarchy_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_hierarchy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

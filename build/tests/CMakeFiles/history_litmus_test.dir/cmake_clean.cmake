@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_litmus_test.dir/history_litmus_test.cpp.o"
+  "CMakeFiles/history_litmus_test.dir/history_litmus_test.cpp.o.d"
+  "history_litmus_test"
+  "history_litmus_test.pdb"
+  "history_litmus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_litmus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_model_test.dir/history_model_test.cpp.o"
+  "CMakeFiles/history_model_test.dir/history_model_test.cpp.o.d"
+  "history_model_test"
+  "history_model_test.pdb"
+  "history_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

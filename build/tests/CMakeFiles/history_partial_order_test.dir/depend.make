@@ -1,0 +1,2 @@
+# Empty dependencies file for history_partial_order_test.
+# This may be replaced when dependencies are built.

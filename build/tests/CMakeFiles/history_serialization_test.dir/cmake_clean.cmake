@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_serialization_test.dir/history_serialization_test.cpp.o"
+  "CMakeFiles/history_serialization_test.dir/history_serialization_test.cpp.o.d"
+  "history_serialization_test"
+  "history_serialization_test.pdb"
+  "history_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

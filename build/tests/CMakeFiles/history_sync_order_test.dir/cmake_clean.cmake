@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_sync_order_test.dir/history_sync_order_test.cpp.o"
+  "CMakeFiles/history_sync_order_test.dir/history_sync_order_test.cpp.o.d"
+  "history_sync_order_test"
+  "history_sync_order_test.pdb"
+  "history_sync_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_sync_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

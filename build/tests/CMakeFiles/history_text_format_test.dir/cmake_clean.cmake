@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_text_format_test.dir/history_text_format_test.cpp.o"
+  "CMakeFiles/history_text_format_test.dir/history_text_format_test.cpp.o.d"
+  "history_text_format_test"
+  "history_text_format_test.pdb"
+  "history_text_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_text_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_latency_test.dir/net_latency_test.cpp.o"
+  "CMakeFiles/net_latency_test.dir/net_latency_test.cpp.o.d"
+  "net_latency_test"
+  "net_latency_test.pdb"
+  "net_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
