@@ -6,6 +6,7 @@
 // must show as fewer messages, zero lock traffic, and lower wall time.
 
 #include <cstdio>
+#include <string>
 
 #include "apps/cholesky.h"
 #include "bench_util.h"
@@ -16,7 +17,7 @@ using namespace mc::bench;
 
 namespace {
 
-void run_case(std::size_t n, std::size_t procs) {
+void run_case(Harness& h, std::size_t n, std::size_t procs) {
   const SparseSpd m = SparseSpd::random(n, 3, 0.05, 9000 + n);
   const Symbolic sym = analyze(m);
   CholeskyOptions opt;
@@ -32,24 +33,35 @@ void run_case(std::size_t n, std::size_t procs) {
       {"counter-objects", cholesky_counters(m, sym, opt)},
   };
   for (const Row& row : rows) {
+    const double err = factorization_error(m, row.r.l);
     std::printf("%-18s n=%-4zu procs=%zu nnzL=%-6zu time=%8.2fms msgs=%-8llu "
                 "bytes=%-10llu locks=%-6llu err=%.1e\n",
                 row.name, n, procs, sym.fill_nnz(), row.r.elapsed_ms,
                 msgs(row.r.metrics), bytes(row.r.metrics),
                 static_cast<unsigned long long>(row.r.metrics.get("net.msg.lock_req")),
-                factorization_error(m, row.r.l));
+                err);
+    auto& out = h.add_row(row.name);
+    out.params["n"] = std::to_string(n);
+    out.params["procs"] = std::to_string(procs);
+    out.params["nnzL"] = std::to_string(sym.fill_nnz());
+    out.wall_ms = row.r.elapsed_ms;
+    out.stats["factorization_error"] = err;
+    out.metrics = row.r.metrics;
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_cholesky", argc, argv);
+  h.config("latency", "fast");
+
   print_header("F5/C2 — sparse Cholesky factorization (Section 5.3, Figure 5)",
                "write locks + causal reads vs commutative counter objects; "
                "expect counters to win significantly (Section 7)");
   for (const std::size_t n : {32, 64, 96}) {
     for (const std::size_t procs : {2, 4}) {
-      run_case(n, procs);
+      run_case(h, n, procs);
     }
     std::printf("\n");
   }

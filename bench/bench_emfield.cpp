@@ -8,6 +8,7 @@
 // sequencer round trips on every published value.
 
 #include <cstdio>
+#include <string>
 
 #include "apps/em_field.h"
 #include "apps/em_field2d.h"
@@ -19,7 +20,7 @@ using namespace mc::bench;
 
 namespace {
 
-void run_case(std::size_t m, std::size_t procs) {
+void run_case(Harness& h, std::size_t m, std::size_t procs) {
   EmProblem prob;
   prob.m = m;
   prob.steps = 12;
@@ -44,6 +45,13 @@ void run_case(std::size_t m, std::size_t procs) {
                 "exact=%s\n",
                 row.name, m, procs, row.r.elapsed_ms, msgs(row.r.metrics),
                 bytes(row.r.metrics), exact ? "yes" : "NO");
+    auto& out = h.add_row(row.name);
+    out.params["grid"] = std::to_string(m);
+    out.params["procs"] = std::to_string(procs);
+    out.params["steps"] = std::to_string(prob.steps);
+    out.params["exact"] = exact ? "yes" : "no";
+    out.wall_ms = row.r.elapsed_ms;
+    out.metrics = row.r.metrics;
   }
 }
 
@@ -51,7 +59,7 @@ void run_case(std::size_t m, std::size_t procs) {
 
 namespace {
 
-void run_case_2d(std::size_t nx, std::size_t ny, std::size_t procs) {
+void run_case_2d(Harness& h, std::size_t nx, std::size_t ny, std::size_t procs) {
   Em2dProblem prob;
   prob.nx = nx;
   prob.ny = ny;
@@ -63,17 +71,27 @@ void run_case_2d(std::size_t nx, std::size_t ny, std::size_t procs) {
               "bytes=%-10llu exact=%s\n",
               nx, ny, procs, par.elapsed_ms, msgs(par.metrics), bytes(par.metrics),
               exact ? "yes" : "NO");
+  auto& out = h.add_row("2d-yee-pram");
+  out.params["grid"] = std::to_string(nx) + "x" + std::to_string(ny);
+  out.params["procs"] = std::to_string(procs);
+  out.params["steps"] = std::to_string(prob.steps);
+  out.params["exact"] = exact ? "yes" : "no";
+  out.wall_ms = par.elapsed_ms;
+  out.metrics = par.metrics;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_emfield", argc, argv);
+  h.config("latency", "fast");
+
   print_header("F4 — electromagnetic field computation (Section 5.2, Figure 4)",
                "alternating E/H phases with barriers; PRAM reads suffice "
                "(Corollary 2); ghost sharing slashes update traffic");
   for (const std::size_t m : {64, 128}) {
     for (const std::size_t procs : {2, 4}) {
-      run_case(m, procs);
+      run_case(h, m, procs);
     }
     std::printf("\n");
   }
@@ -81,8 +99,8 @@ int main() {
   print_header("F4b — 2-D TE-mode Yee grid (Madsen-style spatial fields)",
                "row strips, ghost boundary rows over DSM, PRAM reads");
   for (const std::size_t procs : {2, 4}) {
-    run_case_2d(48, 48, procs);
-    run_case_2d(96, 64, procs);
+    run_case_2d(h, 48, 48, procs);
+    run_case_2d(h, 96, 64, procs);
   }
   return 0;
 }

@@ -7,15 +7,17 @@
 // and the full mixed-consistency check on random histories of growing
 // size.  This bounds the history sizes the integration tests can verify.
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "history/causality.h"
 #include "history/checkers.h"
 
 using namespace mc;
+using namespace mc::bench;
 using namespace mc::history;
 
 namespace {
@@ -66,40 +68,44 @@ History random_history(std::size_t procs, std::size_t ops_per_proc, std::uint64_
   return h;
 }
 
-void BM_BuildRelations(benchmark::State& state) {
-  const auto h = random_history(4, static_cast<std::size_t>(state.range(0)), 11);
-  for (auto _ : state) {
-    auto rel = build_relations(h);
-    benchmark::DoNotOptimize(rel);
-  }
-  state.SetLabel(std::to_string(h.size()) + " ops");
+void report(Harness& h, const char* name, std::size_t ops_per_proc, std::size_t history_ops,
+            const MicroResult& r) {
+  std::printf("%-24s ops/proc=%-4zu history=%-5zu ops  %10.1f ns/op  "
+              "(%llu iters in %.1fms)\n",
+              name, ops_per_proc, history_ops, r.ns_per_op,
+              static_cast<unsigned long long>(r.iterations), r.total_ms);
+  auto& row = h.add_row(name);
+  row.params["ops_per_proc"] = std::to_string(ops_per_proc);
+  row.params["history_ops"] = std::to_string(history_ops);
+  row.wall_ms = r.total_ms;
+  row.stats["ns_per_op"] = r.ns_per_op;
+  row.stats["iterations"] = static_cast<double>(r.iterations);
 }
-BENCHMARK(BM_BuildRelations)->Arg(16)->Arg(64)->Arg(128);
 
-void BM_RestrictPram(benchmark::State& state) {
-  const auto h = random_history(4, static_cast<std::size_t>(state.range(0)), 13);
-  const auto rel = build_relations(h);
-  for (auto _ : state) {
-    auto r = restrict_pram(h, *rel, 1);
-    benchmark::DoNotOptimize(r);
+void checker_throughput(Harness& h) {
+  std::printf("\n=== C6 — checker throughput (4 procs, random histories) ===\n");
+  for (const std::size_t ops : {16, 64, 128}) {
+    const auto hist = random_history(4, ops, 11);
+    report(h, "build-relations", ops, hist.size(),
+           measure_op([&] { do_not_optimize(build_relations(hist)); }, 50.0));
+  }
+  for (const std::size_t ops : {16, 64, 128}) {
+    const auto hist = random_history(4, ops, 13);
+    const auto rel = build_relations(hist);
+    report(h, "restrict-pram", ops, hist.size(),
+           measure_op([&] { do_not_optimize(restrict_pram(hist, *rel, 1)); }, 50.0));
+  }
+  for (const std::size_t ops : {16, 64, 128}) {
+    const auto hist = random_history(4, ops, 17);
+    report(h, "check-mixed-consistency", ops, hist.size(),
+           measure_op([&] { do_not_optimize(check_mixed_consistency(hist)); }, 50.0));
   }
 }
-BENCHMARK(BM_RestrictPram)->Arg(16)->Arg(64)->Arg(128);
-
-void BM_CheckMixedConsistency(benchmark::State& state) {
-  const auto h = random_history(4, static_cast<std::size_t>(state.range(0)), 17);
-  for (auto _ : state) {
-    auto res = check_mixed_consistency(h);
-    benchmark::DoNotOptimize(res);
-  }
-  state.SetLabel(std::to_string(h.size()) + " ops");
-}
-BENCHMARK(BM_CheckMixedConsistency)->Arg(16)->Arg(64)->Arg(128);
 
 /// F1: construct the Figure 1 shape — a write episode, two concurrent
 /// reader episodes... (readers share one), another write episode, around a
 /// barrier — and report the derived synchronization-order edges.
-void figure1_table() {
+void figure1_table(Harness& harness) {
   History h(3);
   h.wlock(0, 0, 1);
   h.wunlock(0, 0, 1);
@@ -119,13 +125,22 @@ void figure1_table() {
   std::printf("reduced |->lock edges=%zu (the PRAM order keeps only direct "
               "episode-to-episode dependencies)\n",
               rel->sync_lock.reduced().edge_count());
+  auto& row = harness.add_row("figure1-sync-orders");
+  row.stats["history_ops"] = static_cast<double>(h.size());
+  row.stats["lock_edges"] = static_cast<double>(rel->sync_lock.edge_count());
+  row.stats["bar_edges"] = static_cast<double>(rel->sync_bar.edge_count());
+  row.stats["causality_edges"] = static_cast<double>(rel->causality.edge_count());
+  row.stats["reduced_lock_edges"] =
+      static_cast<double>(rel->sync_lock.reduced().edge_count());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  figure1_table();
+  Harness h("bench_history", argc, argv);
+  h.config("procs", "4");
+
+  checker_throughput(h);
+  figure1_table(h);
   return 0;
 }

@@ -5,14 +5,11 @@
 //   PRAM read  ~  causal read  <  mixed write (local apply + async
 //   broadcast)  <<  SC write (sequencer round trip).
 //
-// Google-benchmark timings cover the unloaded fast path; a second table
-// reports *blocked* time under a LAN-like latency model, where the SC
-// write's round trip dominates.
-
-#include <benchmark/benchmark.h>
+// Hand-rolled timing loops (bench_util.h) cover the unloaded fast path; a
+// second table reports *blocked* time under a LAN-like latency model,
+// where the SC write's round trip dominates.
 
 #include <cstdio>
-#include <memory>
 #include <tuple>
 
 #include "baseline/sc_system.h"
@@ -20,6 +17,7 @@
 #include "dsm/system.h"
 
 using namespace mc;
+using namespace mc::bench;
 
 namespace {
 
@@ -43,64 +41,54 @@ baseline::ScSystem& sc_instance() {
   return *sys;
 }
 
-void BM_MixedPramRead(benchmark::State& state) {
-  dsm::Node& n = mixed_instance().node(0);
-  n.write(0, 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(n.read(0, ReadMode::kPram));
-  }
+void report(Harness& h, const char* name, const MicroResult& r) {
+  std::printf("%-18s %10.1f ns/op  (%llu iters in %.1fms)\n", name, r.ns_per_op,
+              static_cast<unsigned long long>(r.iterations), r.total_ms);
+  auto& row = h.add_row(name);
+  row.wall_ms = r.total_ms;
+  row.stats["ns_per_op"] = r.ns_per_op;
+  row.stats["iterations"] = static_cast<double>(r.iterations);
 }
-BENCHMARK(BM_MixedPramRead);
 
-void BM_MixedCausalRead(benchmark::State& state) {
-  dsm::Node& n = mixed_instance().node(0);
-  n.write(1, 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(n.read(1, ReadMode::kCausal));
+void micro_table(Harness& h) {
+  std::printf("\n=== C3 — memory-operation fast-path latency (unloaded) ===\n");
+  {
+    dsm::Node& n = mixed_instance().node(0);
+    n.write(0, 1);
+    report(h, "mixed-pram-read",
+           measure_op([&] { do_not_optimize(n.read(0, ReadMode::kPram)); }));
+  }
+  {
+    dsm::Node& n = mixed_instance().node(0);
+    n.write(1, 1);
+    report(h, "mixed-causal-read",
+           measure_op([&] { do_not_optimize(n.read(1, ReadMode::kCausal)); }));
+  }
+  {
+    dsm::Node& n = mixed_instance().node(1);
+    Value v = 0;
+    report(h, "mixed-write", measure_op([&] { n.write(2, ++v); }));
+  }
+  {
+    dsm::Node& n = mixed_instance().node(2);
+    report(h, "mixed-delta", measure_op([&] { n.dec_int(3, 1); }));
+  }
+  {
+    baseline::ScNode& n = sc_instance().node(0);
+    n.write(0, 1);
+    report(h, "sc-read", measure_op([&] { do_not_optimize(n.read(0)); }));
+  }
+  {
+    baseline::ScNode& n = sc_instance().node(1);
+    Value v = 0;
+    report(h, "sc-write", measure_op([&] { n.write(2, ++v); }));
   }
 }
-BENCHMARK(BM_MixedCausalRead);
-
-void BM_MixedWrite(benchmark::State& state) {
-  dsm::Node& n = mixed_instance().node(1);
-  Value v = 0;
-  for (auto _ : state) {
-    n.write(2, ++v);
-  }
-}
-BENCHMARK(BM_MixedWrite);
-
-void BM_MixedDelta(benchmark::State& state) {
-  dsm::Node& n = mixed_instance().node(2);
-  for (auto _ : state) {
-    n.dec_int(3, 1);
-  }
-}
-BENCHMARK(BM_MixedDelta);
-
-void BM_ScRead(benchmark::State& state) {
-  baseline::ScNode& n = sc_instance().node(0);
-  n.write(0, 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(n.read(0));
-  }
-}
-BENCHMARK(BM_ScRead);
-
-void BM_ScWrite(benchmark::State& state) {
-  baseline::ScNode& n = sc_instance().node(1);
-  Value v = 0;
-  for (auto _ : state) {
-    n.write(2, ++v);
-  }
-}
-BENCHMARK(BM_ScWrite);
 
 /// Blocked-time table under LAN-like latency: every process writes a slot
 /// and reads all others between barriers; SC pays a sequencer round trip
 /// per write, the mixed system's writes stay asynchronous.
-void latency_table() {
-  using mc::bench::blocked_ms;
+void latency_table(Harness& h) {
   const auto lat = net::LatencyModel::lan();
   constexpr int kRounds = 30;
 
@@ -143,13 +131,33 @@ void latency_table() {
               sc_ms, blocked_ms(sc.metrics(), "sc.blocked_ns"));
   std::printf("expected shape: SC blocks for a round trip per write; the mixed "
               "system only blocks at barriers\n");
+
+  auto& mrow = h.add_row("lan-mixed");
+  mrow.params["latency"] = "lan";
+  mrow.params["rounds"] = std::to_string(kRounds);
+  mrow.wall_ms = mixed_ms;
+  mrow.metrics = mixed.metrics();
+  auto& srow = h.add_row("lan-sc");
+  srow.params["latency"] = "lan";
+  srow.params["rounds"] = std::to_string(kRounds);
+  srow.wall_ms = sc_ms;
+  srow.metrics = sc.metrics();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  latency_table();
+  Harness h("bench_memory_ops", argc, argv);
+  h.config("procs", "4");
+
+  micro_table(h);
+  latency_table(h);
+
+  // The micro rows time the fast path of long-lived systems; attach their
+  // cumulative runtime metrics once so histogram keys appear in the report.
+  auto& mixed_row = h.add_row("micro-mixed-system");
+  mixed_row.metrics = mixed_instance().metrics();
+  auto& sc_row = h.add_row("micro-sc-system");
+  sc_row.metrics = sc_instance().metrics();
   return 0;
 }

@@ -7,6 +7,7 @@
 // messages, bytes, and time blocked in the consistency machinery.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "apps/equation_solver.h"
@@ -18,7 +19,7 @@ using namespace mc::bench;
 
 namespace {
 
-void run_case(std::size_t n, std::size_t workers) {
+void run_case(Harness& h, std::size_t n, std::size_t workers) {
   const LinearSystem sys = LinearSystem::random(n, 1000 + n);
   SolverOptions opt;
   opt.workers = workers;
@@ -54,18 +55,28 @@ void run_case(std::size_t n, std::size_t workers) {
                 row.name, n, workers, row.r.iterations, row.r.elapsed_ms,
                 msgs(row.r.metrics), bytes(row.r.metrics),
                 blocked_ms(row.r.metrics, row.blocked_key));
+    auto& out = h.add_row(row.name);
+    out.params["n"] = std::to_string(n);
+    out.params["workers"] = std::to_string(workers);
+    out.wall_ms = row.r.elapsed_ms;
+    out.stats["iterations"] = static_cast<double>(row.r.iterations);
+    out.metrics = row.r.metrics;
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_solver", argc, argv);
+  h.config("latency", "fast");
+  h.config("tol", "1e-8");
+
   print_header("F2/F3/C1 — iterative equation solver (Section 5.1, Figures 2-3)",
                "barrier+PRAM vs handshake+causal vs SC; expect fig2 cheapest "
                "(fewer messages, less blocking), SC most expensive");
   for (const std::size_t n : {24, 48, 96}) {
     for (const std::size_t workers : {2, 4}) {
-      run_case(n, workers);
+      run_case(h, n, workers);
     }
     std::printf("\n");
   }

@@ -10,6 +10,7 @@
 // process count grows (two messages per process per barrier).
 
 #include <cstdio>
+#include <string>
 
 #include "baseline/hybrid_system.h"
 #include "baseline/sc_system.h"
@@ -22,7 +23,7 @@ using namespace mc::bench;
 
 namespace {
 
-void lock_policy_case(LockPolicy policy, std::size_t procs, int rounds) {
+void lock_policy_case(Harness& h, LockPolicy policy, std::size_t procs, int rounds) {
   Config cfg;
   cfg.num_procs = procs;
   cfg.num_vars = 8;
@@ -53,9 +54,15 @@ void lock_policy_case(LockPolicy policy, std::size_t procs, int rounds) {
               static_cast<unsigned long long>(m.get("net.msg.sync_req")),
               static_cast<unsigned long long>(m.get("net.msg.fetch_req")),
               blocked_ms(m));
+  auto& row = h.add_row(std::string("lock-") + to_string(policy));
+  row.params["policy"] = to_string(policy);
+  row.params["procs"] = std::to_string(procs);
+  row.params["rounds"] = std::to_string(rounds);
+  row.wall_ms = ms;
+  row.metrics = m;
 }
 
-void barrier_case(std::size_t procs, int rounds) {
+void barrier_case(Harness& h, std::size_t procs, int rounds) {
   Config cfg;
   cfg.num_procs = procs;
   cfg.num_vars = 4;
@@ -71,13 +78,20 @@ void barrier_case(std::size_t procs, int rounds) {
               "msgs=%-7llu msgs/barrier=%.1f\n",
               procs, rounds, ms, 1000.0 * ms / rounds, msgs(m),
               static_cast<double>(m.get("net.messages")) / rounds);
+  auto& row = h.add_row("barrier");
+  row.params["procs"] = std::to_string(procs);
+  row.params["rounds"] = std::to_string(rounds);
+  row.wall_ms = ms;
+  row.stats["us_per_barrier"] = 1000.0 * ms / rounds;
+  row.stats["msgs_per_barrier"] = static_cast<double>(m.get("net.messages")) / rounds;
+  row.metrics = m;
 }
 
 /// C10: a repeated producer/consumer handoff — the paper's await primitive
 /// against hybrid consistency's strong operations (Section 2's comparison)
 /// and the SC baseline.  `rounds` payload+flag pairs from p0 to p1, with a
 /// third process as innocent bystander paying broadcast costs.
-void handoff_case(int rounds) {
+void handoff_case(Harness& h, int rounds) {
   const auto lat = net::LatencyModel::fast();
 
   // Mixed consistency: weak writes + await (the |->await edge carries the
@@ -176,30 +190,47 @@ void handoff_case(int rounds) {
   std::printf("sc-baseline     rounds=%d time=%8.2fms msgs=%-7llu bytes=%-9llu "
               "blocked=%8.2fms\n",
               rounds, sc_ms, msgs(sc_m), bytes(sc_m), blocked_ms(sc_m, "sc.blocked_ns"));
+
+  const struct {
+    const char* name;
+    double ms;
+    const MetricsSnapshot* m;
+  } rows[] = {{"handoff-mixed-await", mixed_ms, &mixed_m},
+              {"handoff-hybrid-strong", hybrid_ms, &hybrid_m},
+              {"handoff-sc-baseline", sc_ms, &sc_m}};
+  for (const auto& r : rows) {
+    auto& row = h.add_row(r.name);
+    row.params["rounds"] = std::to_string(rounds);
+    row.wall_ms = r.ms;
+    row.metrics = *r.m;
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_sync", argc, argv);
+  h.config("latency", "fast");
+
   print_header("C4 — lock propagation policies (Section 6)",
                "migratory critical sections under eager / lazy / demand-driven "
                "update propagation");
   for (const std::size_t procs : {2, 4}) {
-    lock_policy_case(LockPolicy::kEager, procs, 40);
-    lock_policy_case(LockPolicy::kLazy, procs, 40);
-    lock_policy_case(LockPolicy::kDemand, procs, 40);
+    lock_policy_case(h, LockPolicy::kEager, procs, 40);
+    lock_policy_case(h, LockPolicy::kLazy, procs, 40);
+    lock_policy_case(h, LockPolicy::kDemand, procs, 40);
     std::printf("\n");
   }
 
   print_header("C5 — count-vector barrier cost (Section 6)",
                "two messages per process per barrier, one manager round trip");
   for (const std::size_t procs : {2, 4, 8}) {
-    barrier_case(procs, 100);
+    barrier_case(h, procs, 100);
   }
 
   print_header("C10 — explicit synchronization vs strong operations (Section 2)",
                "producer/consumer handoff: mixed's await vs hybrid consistency's "
                "strong flag vs the SC baseline");
-  handoff_case(50);
+  handoff_case(h, 50);
   return 0;
 }

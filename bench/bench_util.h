@@ -1,14 +1,23 @@
-// Shared table-printing helpers for the experiment harnesses.
+// Shared helpers for the experiment harnesses: table printing, hand-rolled
+// micro-timing, and the observability wiring (the `--json` / `--trace`
+// flags every bench binary supports).
 //
 // Each bench binary regenerates one experiment row-set from DESIGN.md's
 // per-experiment index, printing machine-independent protocol costs
-// (messages, bytes, blocked time) next to wall time.
+// (messages, bytes, blocked time) next to wall time — and, when asked,
+// emitting the same rows as a versioned RunReport JSON document
+// (docs/METRICS.md) plus an optional Chrome-trace event dump.
 
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 
 #include "common/stats.h"
+#include "obs/run_report.h"
+#include "obs/tracer.h"
 
 namespace mc::bench {
 
@@ -26,6 +35,109 @@ inline unsigned long long bytes(const MetricsSnapshot& m) {
 
 inline double blocked_ms(const MetricsSnapshot& m, const char* key = "dsm.blocked_ns") {
   return static_cast<double>(m.get(key)) / 1e6;
+}
+
+/// Harness-level observability: parses `--json <path>` (emit a RunReport
+/// document on exit) and `--trace <path>` / the MC_TRACE environment
+/// variable (enable the event tracer, dump Chrome-trace JSON on exit).
+/// Construct once at the top of main; rows added via add_row() are written
+/// when the harness is destroyed.
+class Harness {
+ public:
+  Harness(const char* name, int argc, char** argv) {
+    report_.bench = name;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "%s: unknown argument '%s' (supported: --json <path>, "
+                     "--trace <path>)\n",
+                     name, argv[i]);
+        std::exit(2);
+      }
+    }
+    if (trace_path_.empty()) {
+      if (const char* env = std::getenv("MC_TRACE")) trace_path_ = env;
+    }
+    if (!trace_path_.empty()) obs::Tracer::instance().enable();
+  }
+
+  ~Harness() { finish(); }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  /// Run-level configuration recorded in the report's `config` object.
+  void config(const std::string& key, const std::string& value) {
+    report_.config[key] = value;
+  }
+
+  /// Append a result row (fill params/wall_ms/metrics on the reference).
+  obs::RunReport::Row& add_row(std::string name) {
+    return report_.add_row(std::move(name));
+  }
+
+  /// Write the report and/or trace now (idempotent; the destructor calls it).
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (!json_path_.empty()) {
+      if (report_.write_file(json_path_)) {
+        std::fprintf(stderr, "wrote %s (%zu rows)\n", json_path_.c_str(),
+                     report_.rows.size());
+      } else {
+        std::fprintf(stderr, "FAILED to write %s\n", json_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      obs::Tracer::instance().disable();
+      if (obs::Tracer::instance().dump_chrome_trace(trace_path_)) {
+        std::fprintf(stderr, "wrote %s (%llu events)\n", trace_path_.c_str(),
+                     static_cast<unsigned long long>(
+                         obs::Tracer::instance().events_recorded()));
+      } else {
+        std::fprintf(stderr, "FAILED to write %s\n", trace_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  obs::RunReport report_;
+  std::string json_path_;
+  std::string trace_path_;
+  bool finished_ = false;
+};
+
+/// Keep `value` observable so timing loops are not optimized away.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+struct MicroResult {
+  double ns_per_op = 0.0;
+  std::uint64_t iterations = 0;
+  double total_ms = 0.0;
+};
+
+/// Repeat `op` until `min_ms` of wall time has elapsed (after a short
+/// warmup) and report the mean cost per call.
+template <typename F>
+MicroResult measure_op(F&& op, double min_ms = 100.0) {
+  for (int i = 0; i < 1024; ++i) op();
+  MicroResult r;
+  Stopwatch sw;
+  do {
+    for (int i = 0; i < 2048; ++i) op();
+    r.iterations += 2048;
+  } while (sw.elapsed_ms() < min_ms);
+  r.total_ms = sw.elapsed_ms();
+  r.ns_per_op = r.total_ms * 1e6 / static_cast<double>(r.iterations);
+  return r;
 }
 
 }  // namespace mc::bench

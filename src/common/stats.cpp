@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace mc {
@@ -44,6 +45,19 @@ std::uint64_t LatencyHistogram::quantile_ns(double q) const {
   return max_ns();
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  std::uint64_t omax = other.max_.load(std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < omax &&
+         !max_.compare_exchange_weak(prev, omax, std::memory_order_relaxed)) {
+  }
+}
+
 void LatencyHistogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
@@ -57,6 +71,19 @@ MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& base) const {
     out.values[k] = v >= b ? v - b : 0;
   }
   return out;
+}
+
+void MetricsSnapshot::add_histogram(const std::string& base, const LatencyHistogram& h) {
+  const std::uint64_t n = h.count();
+  if (n == 0) return;
+  const std::uint64_t max = h.max_ns();
+  values[base + ".count"] = n;
+  values[base + ".sum"] = h.sum_ns();
+  values[base + ".mean"] = static_cast<std::uint64_t>(h.mean_ns() + 0.5);
+  values[base + ".p50"] = std::min(h.quantile_ns(0.5), max);
+  values[base + ".p90"] = std::min(h.quantile_ns(0.9), max);
+  values[base + ".p99"] = std::min(h.quantile_ns(0.99), max);
+  values[base + ".max"] = max;
 }
 
 std::string MetricsSnapshot::to_string() const {

@@ -45,6 +45,9 @@ class LatencyHistogram {
 
   void reset();
 
+  /// Fold another histogram's samples into this one (bucket-wise sums).
+  void merge(const LatencyHistogram& other);
+
   static constexpr int kBuckets = 64;
 
  private:
@@ -66,6 +69,12 @@ struct MetricsSnapshot {
 
   /// Component-wise difference (this - base), clamped at zero.
   [[nodiscard]] MetricsSnapshot since(const MetricsSnapshot& base) const;
+
+  /// Flatten a histogram into the snapshot as summary keys
+  /// `<base>.{count,sum,mean,p50,p90,p99,max}` (see docs/METRICS.md).
+  /// Quantiles are clamped to the observed maximum.  Histograms with no
+  /// samples emit nothing.
+  void add_histogram(const std::string& base, const LatencyHistogram& h);
 
   [[nodiscard]] std::string to_string() const;
 };

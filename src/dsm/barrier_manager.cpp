@@ -52,6 +52,7 @@ void BarrierManager::handle_arrive(const net::Message& m) {
   if (inst.arrived.empty()) {
     inst.arrived.assign(num_procs_, false);
     inst.merged = VectorClock(num_procs_);
+    inst.first_arrival = std::chrono::steady_clock::now();
   }
   MC_CHECK_MSG(!inst.arrived[m.src], "double arrival at one barrier instance");
   inst.arrived[m.src] = true;
@@ -67,6 +68,8 @@ void BarrierManager::handle_arrive(const net::Message& m) {
   }
 
   if (inst.count == participants.size()) {
+    assemble_ns_.record(std::chrono::steady_clock::now() - inst.first_arrival);
+    releases_.add(participants.size());
     if (count_mode_) {
       // Transpose: receiver i must wait, per sender j, for the number of
       // updates j reported having sent to i before arriving (Section 6).

@@ -11,10 +11,12 @@
 
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/vector_clock.h"
 #include "dsm/wire.h"
 #include "net/fabric.h"
@@ -39,6 +41,11 @@ class BarrierManager {
   /// Join the manager thread (mailbox must have been closed).
   void join();
 
+  /// Time from a barrier instance's first arrival to its release
+  /// (`barriermgr.assemble_ns` in docs/METRICS.md).
+  [[nodiscard]] const LatencyHistogram& assemble_time() const { return assemble_ns_; }
+  [[nodiscard]] std::uint64_t releases_sent() const { return releases_.get(); }
+
  private:
   void run();
   void handle_arrive(const net::Message& m);
@@ -49,6 +56,7 @@ class BarrierManager {
     VectorClock merged;
     /// Count mode: each arriver's sent-count vector, kept for transposition.
     std::map<ProcId, std::vector<std::uint64_t>> payloads;
+    std::chrono::steady_clock::time_point first_arrival;
   };
 
   /// The processes participating in barrier object `b`.
@@ -60,6 +68,8 @@ class BarrierManager {
   bool count_mode_;
   std::map<BarrierId, std::vector<ProcId>> members_;
   std::map<std::pair<BarrierId, std::uint64_t>, Instance> instances_;
+  LatencyHistogram assemble_ns_;
+  Counter releases_;
   std::thread thread_;
 };
 

@@ -31,7 +31,8 @@ void LockManager::handle_request(const net::Message& m) {
   const auto id = static_cast<LockId>(m.a);
   LockState& lock = locks_[id];
   if (lock.release_vc.empty()) lock.release_vc = VectorClock(num_procs_);
-  lock.queue.push_back(Request{m.src, static_cast<LockRequestKind>(m.b)});
+  lock.queue.push_back(Request{m.src, static_cast<LockRequestKind>(m.b),
+                               std::chrono::steady_clock::now()});
   try_grant(id, lock);
 }
 
@@ -74,7 +75,7 @@ void LockManager::try_grant(LockId id, LockState& lock) {
       lock.mode = Mode::kWrite;
       lock.holders.insert(head.who);
       ++lock.episode;
-      send_grant(id, lock, head.who);
+      send_grant(id, lock, head);
       return;
     }
     // Reader at the head: admit into a fresh episode when the lock is free,
@@ -87,11 +88,14 @@ void LockManager::try_grant(LockId id, LockState& lock) {
       ++lock.episode;
     }
     lock.holders.insert(head.who);
-    send_grant(id, lock, head.who);
+    send_grant(id, lock, head);
   }
 }
 
-void LockManager::send_grant(LockId id, LockState& lock, net::Endpoint who) {
+void LockManager::send_grant(LockId id, LockState& lock, const Request& req) {
+  const net::Endpoint who = req.who;
+  grant_wait_ns_.record(std::chrono::steady_clock::now() - req.enqueued);
+  grants_.add();
   net::Message grant;
   grant.src = self_;
   grant.dst = who;

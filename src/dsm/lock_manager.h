@@ -12,11 +12,13 @@
 
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <map>
 #include <set>
 #include <thread>
 
+#include "common/stats.h"
 #include "common/vector_clock.h"
 #include "dsm/wire.h"
 #include "net/fabric.h"
@@ -37,10 +39,16 @@ class LockManager {
 
   void join();
 
+  /// Time a request spent queued at the manager before its grant was sent
+  /// (`lockmgr.grant_wait_ns` in docs/METRICS.md).
+  [[nodiscard]] const LatencyHistogram& grant_wait() const { return grant_wait_ns_; }
+  [[nodiscard]] std::uint64_t grants_sent() const { return grants_.get(); }
+
  private:
   struct Request {
     net::Endpoint who;
     LockRequestKind kind;
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   enum class Mode { kFree, kRead, kWrite };
@@ -62,13 +70,15 @@ class LockManager {
   void handle_request(const net::Message& m);
   void handle_unlock(const net::Message& m);
   void try_grant(LockId id, LockState& lock);
-  void send_grant(LockId id, LockState& lock, net::Endpoint who);
+  void send_grant(LockId id, LockState& lock, const Request& req);
 
   net::Fabric& fabric_;
   net::Endpoint self_;
   std::size_t num_procs_;
   bool count_mode_;
   std::map<LockId, LockState> locks_;
+  LatencyHistogram grant_wait_ns_;
+  Counter grants_;
   std::thread thread_;
 };
 

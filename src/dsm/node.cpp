@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace mc::dsm {
 
@@ -54,6 +55,7 @@ void Node::wait_or_die(std::unique_lock<std::mutex>& lk, const char* what, Pred 
 
 void Node::run_delivery() {
   while (auto m = fabric_.mailbox(self_).recv()) {
+    obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
     switch (m->kind) {
       case kUpdate:
         on_update(*m);
@@ -300,7 +302,11 @@ Value Node::read(VarId x, ReadMode mode) {
   if (!was_ready) {
     wait_or_die(lk, "read blocked past the liveness deadline",
                 [&] { return applied.dominates(floor); });
-    stats_.read_blocked.record(blocked.elapsed());
+    const auto waited = blocked.elapsed();
+    stats_.read_blocked.record(waited);
+    obs::trace_complete_ns("read.block", "dsm",
+                           static_cast<std::uint64_t>(waited.count()), {"var", x},
+                           {"proc", self_});
   }
 
   // Demand-driven miss: the lock grant invalidated this variable.
@@ -314,6 +320,8 @@ Value Node::read(VarId x, ReadMode mode) {
   const VarEntry& e = store.entry(x);
   const Value out = e.value;
   absorb_entry(e);
+  (mode == ReadMode::kPram ? stats_.read_pram_ns : stats_.read_causal_ns)
+      .record(blocked.elapsed());
 
   if (trace_.enabled()) {
     history::Operation op;
@@ -429,7 +437,11 @@ void Node::await(VarId x, Value v, ReadMode mode) {
   wait_or_die(lk, "await blocked past the liveness deadline", [&] {
     return applied.dominates(floor) && store.entry(x).value == v;
   });
-  stats_.await_blocked.record(blocked.elapsed());
+  const auto waited = blocked.elapsed();
+  stats_.await_blocked.record(waited);
+  stats_.await_spin_ns.record(waited);
+  obs::trace_complete_ns("await", "dsm", static_cast<std::uint64_t>(waited.count()),
+                         {"var", x}, {"proc", self_});
 
   const VarEntry& e = store.entry(x);
   absorb_entry(e);
@@ -472,7 +484,12 @@ void Node::barrier(BarrierId b) {
   const auto key = std::make_pair(b, epoch);
   wait_or_die(lk, "barrier blocked past the liveness deadline",
               [&] { return barrier_release_.count(key) > 0; });
-  stats_.barrier_blocked.record(blocked.elapsed());
+  const auto waited = blocked.elapsed();
+  stats_.barrier_blocked.record(waited);
+  stats_.barrier_wait_ns.record(waited);
+  obs::trace_complete_ns("barrier.wait", "dsm",
+                         static_cast<std::uint64_t>(waited.count()), {"barrier", b},
+                         {"proc", self_});
 
   if (cfg_.omit_timestamps) {
     count_floor_.merge(barrier_release_.at(key));
@@ -509,7 +526,12 @@ void Node::do_lock(LockId l, LockRequestKind kind) {
   std::unique_lock lk(mu_);
   wait_or_die(lk, "lock acquisition blocked past the liveness deadline",
               [&] { return pending_grants_.count(l) > 0; });
-  stats_.lock_blocked.record(blocked.elapsed());
+  const auto waited = blocked.elapsed();
+  stats_.lock_blocked.record(waited);
+  stats_.lock_acquire_ns.record(waited);
+  obs::trace_complete_ns("lock.acquire", "dsm",
+                         static_cast<std::uint64_t>(waited.count()), {"lock", l},
+                         {"proc", self_});
 
   GrantInfo info = std::move(pending_grants_.at(l));
   pending_grants_.erase(l);

@@ -49,6 +49,12 @@ struct NodeStats {
   Counter fetches;
   LatencyHistogram read_blocked, await_blocked, lock_blocked, barrier_blocked,
       unlock_blocked;
+  /// Full end-to-end latency of each primitive (recorded on every call,
+  /// blocked or not) — surfaced through MixedSystem::metrics() as the
+  /// `read.pram_ns` / `read.causal_ns` / `await.spin_ns` / `lock.acquire_ns`
+  /// / `barrier.wait_ns` summaries of docs/METRICS.md.
+  LatencyHistogram read_pram_ns, read_causal_ns, await_spin_ns, lock_acquire_ns,
+      barrier_wait_ns;
 
   [[nodiscard]] std::uint64_t total_blocked_ns() const {
     return read_blocked.sum_ns() + await_blocked.sum_ns() + lock_blocked.sum_ns() +

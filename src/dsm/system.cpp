@@ -66,6 +66,9 @@ MetricsSnapshot MixedSystem::metrics() const {
   std::uint64_t writes = 0;
   std::uint64_t deltas = 0;
   std::uint64_t fetches = 0;
+  // Per-primitive latency, merged across all processes (docs/METRICS.md).
+  LatencyHistogram read_pram_ns, read_causal_ns, await_spin_ns, lock_acquire_ns,
+      barrier_wait_ns;
   for (const auto& n : nodes_) {
     const NodeStats& s = n->stats();
     blocked += s.total_blocked_ns();
@@ -74,6 +77,11 @@ MetricsSnapshot MixedSystem::metrics() const {
     writes += s.writes.get();
     deltas += s.deltas.get();
     fetches += s.fetches.get();
+    read_pram_ns.merge(s.read_pram_ns);
+    read_causal_ns.merge(s.read_causal_ns);
+    await_spin_ns.merge(s.await_spin_ns);
+    lock_acquire_ns.merge(s.lock_acquire_ns);
+    barrier_wait_ns.merge(s.barrier_wait_ns);
   }
   snap.values["dsm.blocked_ns"] = blocked;
   snap.values["dsm.reads_pram"] = reads_pram;
@@ -81,6 +89,15 @@ MetricsSnapshot MixedSystem::metrics() const {
   snap.values["dsm.writes"] = writes;
   snap.values["dsm.deltas"] = deltas;
   snap.values["dsm.fetches"] = fetches;
+  snap.add_histogram("read.pram_ns", read_pram_ns);
+  snap.add_histogram("read.causal_ns", read_causal_ns);
+  snap.add_histogram("await.spin_ns", await_spin_ns);
+  snap.add_histogram("lock.acquire_ns", lock_acquire_ns);
+  snap.add_histogram("barrier.wait_ns", barrier_wait_ns);
+  snap.values["lockmgr.grants"] = lock_manager_->grants_sent();
+  snap.add_histogram("lockmgr.grant_wait_ns", lock_manager_->grant_wait());
+  snap.values["barriermgr.releases"] = barrier_manager_->releases_sent();
+  snap.add_histogram("barriermgr.assemble_ns", barrier_manager_->assemble_time());
   return snap;
 }
 

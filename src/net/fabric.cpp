@@ -1,8 +1,10 @@
 #include "net/fabric.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace mc::net {
 
@@ -23,16 +25,21 @@ Mailbox& Fabric::mailbox(Endpoint e) {
 void Fabric::send(Message m) {
   MC_CHECK(m.src < mailboxes_.size());
   MC_CHECK(m.dst < mailboxes_.size());
+  const auto t0 = std::chrono::steady_clock::now();
   {
     std::scoped_lock lk(stamp_mu_);
     m.channel_seq = channel_seq_[m.src * mailboxes_.size() + m.dst]++;
-    m.deliver_at = stamper_.stamp(m, std::chrono::steady_clock::now());
+    m.deliver_at = stamper_.stamp(m, t0);
   }
   messages_.add();
   bytes_.add(m.wire_bytes());
   per_kind_[std::min<std::size_t>(m.kind, kKindBuckets - 1)].add();
+  if (obs::trace_enabled()) {
+    obs::trace_instant("send", "net", {"kind", m.kind}, {"dst", m.dst});
+  }
   const Endpoint dst = m.dst;
   mailboxes_[dst]->push(std::move(m));
+  send_ns_.record(std::chrono::steady_clock::now() - t0);
 }
 
 void Fabric::multicast(const Message& m, const std::vector<Endpoint>& dsts) {
@@ -61,6 +68,7 @@ MetricsSnapshot Fabric::metrics() const {
   MetricsSnapshot snap;
   snap.values["net.messages"] = messages_.get();
   snap.values["net.bytes"] = bytes_.get();
+  snap.add_histogram("net.send_ns", send_ns_);
   std::scoped_lock lk(names_mu_);
   for (std::size_t k = 0; k < kKindBuckets; ++k) {
     const std::uint64_t n = per_kind_[k].get();

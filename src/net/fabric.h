@@ -53,6 +53,10 @@ class Fabric {
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_.get(); }
   [[nodiscard]] std::uint64_t messages_of_kind(std::uint16_t kind) const;
 
+  /// Latency of the send path itself (stamping + mailbox insertion,
+  /// including contention on the stamping lock) — the fabric's hot path.
+  [[nodiscard]] const LatencyHistogram& send_latency() const { return send_ns_; }
+
   /// Snapshot of fabric-level metrics, with per-kind counts labeled through
   /// `kind_name` (protocol layers install their kind names at startup).
   [[nodiscard]] MetricsSnapshot metrics() const;
@@ -70,6 +74,7 @@ class Fabric {
   Counter messages_;
   Counter bytes_;
   std::array<Counter, kKindBuckets> per_kind_;
+  LatencyHistogram send_ns_;
 
   mutable std::mutex names_mu_;
   std::array<std::string, kKindBuckets> kind_names_;

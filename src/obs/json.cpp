@@ -1,0 +1,362 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace mc::obs {
+
+// ----------------------------------------------------------------------
+// Escaping and writing
+// ----------------------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(indent_) * first_in_.size(), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (first_in_.empty()) {
+    MC_CHECK_MSG(out_.empty() || pending_key_, "one top-level JSON value only");
+    return;
+  }
+  if (pending_key_) return;  // key() already positioned us
+  if (!first_in_.back()) out_ += ',';
+  first_in_.back() = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  MC_CHECK_MSG(!first_in_.empty() && !pending_key_, "key() outside an object");
+  if (!first_in_.back()) out_ += ',';
+  first_in_.back() = false;
+  newline_indent();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  pending_key_ = false;
+  out_ += '{';
+  first_in_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MC_CHECK_MSG(!first_in_.empty() && !pending_key_, "unbalanced end_object");
+  const bool empty = first_in_.back();
+  first_in_.pop_back();
+  if (!empty) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  pending_key_ = false;
+  out_ += '[';
+  first_in_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MC_CHECK_MSG(!first_in_.empty() && !pending_key_, "unbalanced end_array");
+  const bool empty = first_in_.back();
+  first_in_.pop_back();
+  if (!empty) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  pending_key_ = false;
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  pending_key_ = false;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  pending_key_ = false;
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  pending_key_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  pending_key_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  pending_key_ = false;
+  char buf[32];
+  // Shortest round-trip representation; JSON has no inf/nan, clamp to null.
+  if (v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    out_ += "null";
+    return *this;
+  }
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, res.ptr);
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  MC_CHECK_MSG(first_in_.empty() && !pending_key_, "unclosed JSON container");
+  return out_;
+}
+
+// ----------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  bool parse_document(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.elements.push_back(std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the writer never emits them).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = s_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return false;
+    out.kind = JsonValue::Kind::kNumber;
+    const auto res =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out.number);
+    if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) return false;
+    if (integral && tok[0] != '-') {
+      std::uint64_t u = 0;
+      const auto ures = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+      if (ures.ec == std::errc{} && ures.ptr == tok.data() + tok.size()) {
+        out.uint_value = u;
+        out.is_uint = true;
+      }
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  JsonValue v;
+  if (!Parser(text).parse_document(v)) return std::nullopt;
+  return v;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace mc::obs

@@ -1,0 +1,86 @@
+// Minimal JSON support for the observability layer: a stream writer with
+// deterministic output (callers control key order; std::map-driven emitters
+// are sorted and therefore stable) and a small recursive-descent parser used
+// by tests and tools to validate emitted documents.
+//
+// No external dependencies — this is the serialization substrate for
+// RunReport (docs/METRICS.md) and the Chrome-trace dump, both of which must
+// be consumable by standard tooling (jq, chrome://tracing, CI scripts).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mc::obs {
+
+/// Escape `s` for embedding inside a JSON string literal (quotes not
+/// included).  Control characters become \uXXXX; UTF-8 passes through.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// An append-only JSON document builder.  Structural errors (value without
+/// a key inside an object, unbalanced end_*) are programming errors and
+/// assert.  `indent > 0` pretty-prints; 0 emits compact JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit the key of the next object member.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& null();
+
+  /// The finished document.  All containers must be closed.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  int indent_;
+  // One frame per open container: true while it has no members yet.
+  std::vector<bool> first_in_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value.  Object member order is preserved as written.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Set (with is_uint) when the number token is a non-negative integer
+  /// that fits in 64 bits — lets tests compare counters exactly.
+  std::uint64_t uint_value = 0;
+  bool is_uint = false;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject
+  std::vector<JsonValue> elements;                          // kArray
+
+  /// Strict parse of a complete document; nullopt on any syntax error or
+  /// trailing garbage.
+  [[nodiscard]] static std::optional<JsonValue> parse(std::string_view text);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+}  // namespace mc::obs

@@ -1,0 +1,60 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace mc::obs {
+
+RunReport::Row& RunReport::add_row(std::string name) {
+  rows.emplace_back();
+  rows.back().name = std::move(name);
+  return rows.back();
+}
+
+std::string RunReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(static_cast<std::int64_t>(kSchemaVersion));
+  w.key("bench").value(bench);
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config) w.key(k).value(v);
+  w.end_object();
+  w.key("rows").begin_array();
+  for (const Row& row : rows) {
+    w.begin_object();
+    w.key("name").value(row.name);
+    w.key("params").begin_object();
+    for (const auto& [k, v] : row.params) w.key(k).value(v);
+    w.end_object();
+    w.key("wall_ms").value(row.wall_ms);
+    if (!row.phase_ms.empty()) {
+      w.key("phases").begin_object();
+      for (const auto& [k, v] : row.phase_ms) w.key(k).value(v);
+      w.end_object();
+    }
+    if (!row.stats.empty()) {
+      w.key("stats").begin_object();
+      for (const auto& [k, v] : row.stats) w.key(k).value(v);
+      w.end_object();
+    }
+    w.key("metrics").begin_object();
+    for (const auto& [k, v] : row.metrics.values) w.key(k).value(v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace mc::obs

@@ -1,0 +1,56 @@
+// RunReport: the machine-readable result document every bench harness can
+// emit next to its human-readable table (the `--json <path>` flag).
+//
+// The layout is versioned (kSchemaVersion, bumped on any incompatible
+// change) and fully documented in docs/METRICS.md.  Key order is stable:
+// fixed fields first, then std::map-sorted dictionaries — so reports diff
+// cleanly across runs and the perf trajectory (BENCH_*.json) can be tracked
+// in version control.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace mc::obs {
+
+struct RunReport {
+  /// Bumped whenever the document layout changes incompatibly.
+  static constexpr int kSchemaVersion = 1;
+
+  /// Harness name, e.g. "bench_sync"; names the BENCH_<name>.json artifact.
+  std::string bench;
+
+  /// Run-level configuration (latency model, build flavor, ...).
+  std::map<std::string, std::string> config;
+
+  /// One row per experiment case.
+  struct Row {
+    std::string name;
+    /// Case parameters (process count, problem size, policy, ...).
+    std::map<std::string, std::string> params;
+    /// End-to-end wall time of the case.
+    double wall_ms = 0.0;
+    /// Optional sub-phase wall times (milliseconds).
+    std::map<std::string, double> phase_ms;
+    /// Optional derived scalar statistics (e.g. ns_per_op).
+    std::map<std::string, double> stats;
+    /// Protocol-cost counters and histogram summaries (docs/METRICS.md).
+    MetricsSnapshot metrics;
+  };
+  std::vector<Row> rows;
+
+  /// Append an empty row and return it for filling.
+  Row& add_row(std::string name);
+
+  /// The full document as pretty-printed JSON.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; false (with errno intact) on I/O failure.
+  bool write_file(const std::string& path) const;
+};
+
+}  // namespace mc::obs

@@ -1,0 +1,152 @@
+// Lightweight event tracer for the runtime: per-thread ring buffers of
+// fixed-size events, dumped as Chrome-trace-format JSON (load the file at
+// chrome://tracing or https://ui.perfetto.dev) so slow runs can be profiled
+// visually — which update broadcast stalled which read, how long a lock
+// grant sat in the manager queue, where barrier time went.
+//
+// Cost model: when disabled (the default), every instrumentation site is a
+// single relaxed atomic load and a predictable branch — no allocation, no
+// clock read, no stores.  When enabled, recording is lock-free: each thread
+// appends to its own pre-allocated ring (oldest events overwritten), and
+// names/categories are required to be string literals so nothing is copied.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mc::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// The global on/off switch, checked at every instrumentation site.
+[[nodiscard]] inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Optional small integer argument attached to an event; `name` must be a
+/// string literal (or otherwise outlive the tracer).
+struct TraceArg {
+  const char* name = nullptr;
+  std::uint64_t value = 0;
+};
+
+/// One recorded event.  `name` and `cat` must be string literals.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char phase = 'i';          // 'X' = complete (has dur), 'i' = instant
+  std::uint64_t ts_ns = 0;   // since process trace epoch
+  std::uint64_t dur_ns = 0;  // 'X' only
+  TraceArg arg0, arg1;
+};
+
+class Tracer {
+ public:
+  /// Events kept per thread; older events are overwritten.
+  static constexpr std::size_t kRingCapacity = 1 << 16;
+
+  static Tracer& instance();
+
+  void enable() { detail::g_trace_enabled.store(true, std::memory_order_relaxed); }
+  void disable() { detail::g_trace_enabled.store(false, std::memory_order_relaxed); }
+
+  /// Nanoseconds since the process trace epoch (steady clock).
+  [[nodiscard]] static std::uint64_t now_ns();
+
+  /// Append one event to the calling thread's ring (no-op when disabled —
+  /// but callers on hot paths should check trace_enabled() first and avoid
+  /// building the event at all).
+  void record(const TraceEvent& ev);
+
+  /// Total events recorded so far (including overwritten ones).
+  [[nodiscard]] std::uint64_t events_recorded() const;
+
+  /// Drop all recorded events (buffers stay allocated).
+  void clear();
+
+  /// Write everything recorded so far as Chrome trace JSON.  Call after the
+  /// traced workload has quiesced (recording threads joined or idle);
+  /// false on I/O failure.
+  bool dump_chrome_trace(const std::string& path) const;
+
+  /// The same document as a string (tests).
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Internal per-thread ring (public so the registry can own instances).
+  struct ThreadBuffer;
+
+ private:
+  Tracer() = default;
+  [[nodiscard]] ThreadBuffer& local_buffer();
+};
+
+/// Record an instant event ('i').
+inline void trace_instant(const char* name, const char* cat, TraceArg a0 = {},
+                          TraceArg a1 = {}) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'i';
+  ev.ts_ns = Tracer::now_ns();
+  ev.arg0 = a0;
+  ev.arg1 = a1;
+  Tracer::instance().record(ev);
+}
+
+/// Record a complete event ('X') that just finished and lasted `dur_ns` —
+/// for sites that already measured the duration with their own stopwatch.
+inline void trace_complete_ns(const char* name, const char* cat, std::uint64_t dur_ns,
+                              TraceArg a0 = {}, TraceArg a1 = {}) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'X';
+  const std::uint64_t now = Tracer::now_ns();
+  ev.ts_ns = now >= dur_ns ? now - dur_ns : 0;
+  ev.dur_ns = dur_ns;
+  ev.arg0 = a0;
+  ev.arg1 = a1;
+  Tracer::instance().record(ev);
+}
+
+/// RAII complete event spanning the enclosing scope.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat, TraceArg a0 = {}, TraceArg a1 = {}) {
+    if (!trace_enabled()) return;
+    name_ = name;
+    cat_ = cat;
+    a0_ = a0;
+    a1_ = a1;
+    start_ns_ = Tracer::now_ns();
+  }
+  ~TraceSpan() {
+    if (name_ == nullptr || !trace_enabled()) return;
+    TraceEvent ev;
+    ev.name = name_;
+    ev.cat = cat_;
+    ev.phase = 'X';
+    ev.ts_ns = start_ns_;
+    ev.dur_ns = Tracer::now_ns() - start_ns_;
+    ev.arg0 = a0_;
+    ev.arg1 = a1_;
+    Tracer::instance().record(ev);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  TraceArg a0_, a1_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace mc::obs

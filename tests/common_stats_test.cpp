@@ -63,6 +63,72 @@ TEST(LatencyHistogram, Reset) {
   EXPECT_EQ(h.max_ns(), 0u);
 }
 
+TEST(LatencyHistogram, EmptyQuantilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile_ns(0.0), 0u);
+  EXPECT_EQ(h.quantile_ns(0.5), 0u);
+  EXPECT_EQ(h.quantile_ns(1.0), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleQuantiles) {
+  LatencyHistogram h;
+  h.record_ns(1000);
+  // Every quantile lands in the sample's bucket; the upper edge bounds it.
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile_ns(q), 1000u) << "q=" << q;
+    EXPECT_LE(h.quantile_ns(q), 2048u) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeCombinesSamples) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record_ns(100);
+  a.record_ns(200);
+  b.record_ns(1'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum_ns(), 1'000'300u);
+  EXPECT_EQ(a.max_ns(), 1'000'000u);
+  a.merge(LatencyHistogram{});  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(MetricsSnapshot, AddHistogramEmitsSummaryKeys) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record_ns(static_cast<std::uint64_t>(i) * 1000);
+  MetricsSnapshot s;
+  s.add_histogram("lock.acquire_ns", h);
+  EXPECT_EQ(s.get("lock.acquire_ns.count"), 100u);
+  EXPECT_EQ(s.get("lock.acquire_ns.sum"), h.sum_ns());
+  EXPECT_EQ(s.get("lock.acquire_ns.max"), 100'000u);
+  EXPECT_GT(s.get("lock.acquire_ns.mean"), 0u);
+  EXPECT_LE(s.get("lock.acquire_ns.p50"), s.get("lock.acquire_ns.p90"));
+  EXPECT_LE(s.get("lock.acquire_ns.p90"), s.get("lock.acquire_ns.p99"));
+  EXPECT_LE(s.get("lock.acquire_ns.p99"), s.get("lock.acquire_ns.max"));
+}
+
+TEST(MetricsSnapshot, AddHistogramOfEmptyEmitsNothing) {
+  MetricsSnapshot s;
+  s.add_histogram("x", LatencyHistogram{});
+  EXPECT_TRUE(s.values.empty());
+}
+
+TEST(MetricsSnapshot, AddHistogramClampsTopBucketQuantiles) {
+  // A sample in the last bucket makes quantile_ns() report the bucket's
+  // unbounded upper edge; the snapshot must clamp to the observed max so
+  // the value survives a JSON round trip as a double.
+  LatencyHistogram h;
+  const std::uint64_t huge = std::uint64_t{1} << 63;
+  h.record_ns(huge);
+  MetricsSnapshot s;
+  s.add_histogram("x", h);
+  EXPECT_EQ(s.get("x.p50"), huge);
+  EXPECT_EQ(s.get("x.p99"), huge);
+  EXPECT_EQ(s.get("x.max"), huge);
+}
+
 TEST(MetricsSnapshot, SinceComputesDeltas) {
   MetricsSnapshot before;
   before.values = {{"msgs", 10}, {"bytes", 100}};

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "dsm/system.h"
 #include "history/checkers.h"
 

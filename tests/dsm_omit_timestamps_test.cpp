@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include <tuple>
 
 #include "apps/equation_solver.h"

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "dsm/system.h"
 #include "history/checkers.h"
 

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include <atomic>
 
 #include "dsm/system.h"

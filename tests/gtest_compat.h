@@ -1,0 +1,12 @@
+// Compatibility shim for GoogleTest versions that predate GTEST_FLAG_SET
+// (added in googletest 1.11): fall back to assigning the flag variable
+// directly through the GTEST_FLAG accessor macro, which exists in every
+// version we target.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#ifndef GTEST_FLAG_SET
+#define GTEST_FLAG_SET(name, value) (::testing::GTEST_FLAG(name) = (value))
+#endif

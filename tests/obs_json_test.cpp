@@ -1,0 +1,132 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "obs/run_report.h"
+
+namespace mc::obs {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world_123"), "hello world_123");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, CompactObject) {
+  JsonWriter w(0);
+  w.begin_object().key("a").value(std::uint64_t{1}).key("b").value("x").end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"x"})");
+}
+
+TEST(JsonWriter, NestedContainersPrettyPrintAndParseBack) {
+  JsonWriter w;
+  w.begin_object()
+      .key("n")
+      .value(3.5)
+      .key("list")
+      .begin_array()
+      .value(std::uint64_t{1})
+      .value(true)
+      .null()
+      .end_array()
+      .end_object();
+  const auto v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->kind, JsonValue::Kind::kObject);
+  EXPECT_DOUBLE_EQ(v->find("n")->number, 3.5);
+  const JsonValue* list = v->find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->elements.size(), 3u);
+  EXPECT_TRUE(list->elements[0].is_uint);
+  EXPECT_EQ(list->elements[0].uint_value, 1u);
+  EXPECT_EQ(list->elements[1].kind, JsonValue::Kind::kBool);
+  EXPECT_EQ(list->elements[2].kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonValue, ParsePreservesExactUint64) {
+  const auto v = JsonValue::parse("18446744073709551615");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_uint);
+  EXPECT_EQ(v->uint_value, ~std::uint64_t{0});
+}
+
+TEST(JsonValue, ParseRejectsGarbage) {
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("nul").has_value());
+}
+
+TEST(JsonValue, ParseDecodesUnicodeEscapes) {
+  // The BMP escape for e-acute must come back as two-byte UTF-8.
+  const auto v = JsonValue::parse("\"a\\u00e9b\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string,
+            "a\xc3\xa9"
+            "b");
+}
+
+TEST(RunReport, StableKeyOrder) {
+  RunReport r;
+  r.bench = "t";
+  r.config["zeta"] = "1";
+  r.config["alpha"] = "2";
+  auto& row = r.add_row("case");
+  row.params["b"] = "2";
+  row.params["a"] = "1";
+  const std::string doc = r.to_json();
+  // std::map iteration sorts dictionary keys; fixed fields come first.
+  EXPECT_LT(doc.find("schema_version"), doc.find("\"bench\""));
+  EXPECT_LT(doc.find("\"alpha\""), doc.find("\"zeta\""));
+  EXPECT_LT(doc.find("\"a\""), doc.find("\"b\""));
+  // Serializing twice yields byte-identical output.
+  EXPECT_EQ(doc, r.to_json());
+}
+
+TEST(RunReport, MetricsSnapshotRoundTrip) {
+  RunReport r;
+  r.bench = "roundtrip";
+  auto& row = r.add_row("case");
+  row.wall_ms = 12.5;
+  row.stats["ns_per_op"] = 42.25;
+  row.metrics.values["net.messages"] = 12345;
+  row.metrics.values["lock.acquire_ns.p99"] = 999;
+
+  const auto v = JsonValue::parse(r.to_json());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("schema_version")->uint_value, 1u);
+  EXPECT_EQ(v->find("bench")->string, "roundtrip");
+  const JsonValue& row_v = v->find("rows")->elements.at(0);
+  EXPECT_EQ(row_v.find("name")->string, "case");
+  EXPECT_DOUBLE_EQ(row_v.find("wall_ms")->number, 12.5);
+  EXPECT_DOUBLE_EQ(row_v.find("stats")->find("ns_per_op")->number, 42.25);
+  const JsonValue* metrics = row_v.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->find("net.messages")->is_uint);
+  EXPECT_EQ(metrics->find("net.messages")->uint_value, 12345u);
+  EXPECT_EQ(metrics->find("lock.acquire_ns.p99")->uint_value, 999u);
+}
+
+TEST(RunReport, EmptyOptionalSectionsAreOmitted) {
+  RunReport r;
+  r.bench = "t";
+  auto& row = r.add_row("case");
+  (void)row;
+  const auto v = JsonValue::parse(r.to_json());
+  ASSERT_TRUE(v.has_value());
+  const JsonValue& row_v = v->find("rows")->elements.at(0);
+  EXPECT_EQ(row_v.find("phases"), nullptr);
+  EXPECT_EQ(row_v.find("stats"), nullptr);
+}
+
+}  // namespace
+}  // namespace mc::obs

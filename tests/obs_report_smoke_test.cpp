@@ -1,0 +1,139 @@
+// End-to-end observability smoke test: run a small mixed-consistency
+// workload, snapshot its metrics into a RunReport, and check that the JSON
+// document round-trips with the keys docs/METRICS.md promises.  Also
+// exercises the event tracer: enable, run, dump, validate the Chrome-trace
+// shape.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dsm/system.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "obs/tracer.h"
+
+namespace mc {
+namespace {
+
+dsm::Config two_proc_config() {
+  dsm::Config cfg;
+  cfg.num_procs = 2;
+  cfg.num_vars = 8;
+  cfg.latency = net::LatencyModel::fast();
+  return cfg;
+}
+
+void contended_workload(dsm::MixedSystem& sys) {
+  sys.run([](dsm::Node& n, ProcId p) {
+    for (int i = 0; i < 20; ++i) {
+      n.wlock(0);
+      n.write_int(0, n.read_int(0, ReadMode::kCausal) + 1);
+      n.wunlock(0);
+      std::ignore = n.read_int(0, ReadMode::kPram);
+      n.barrier();
+    }
+    if (p == 0) n.write(1, 7);
+    n.barrier();
+    n.await(1, 7);
+  });
+}
+
+TEST(ObsSmoke, MixedSystemEmitsPrimitiveHistograms) {
+  dsm::MixedSystem sys(two_proc_config());
+  contended_workload(sys);
+  const MetricsSnapshot m = sys.metrics();
+
+  EXPECT_GT(m.get("net.messages"), 0u);
+  EXPECT_GT(m.get("net.bytes"), 0u);
+  EXPECT_GT(m.get("net.send_ns.count"), 0u);
+  // 2 procs * 20 lock acquisitions each.
+  EXPECT_EQ(m.get("lock.acquire_ns.count"), 40u);
+  EXPECT_GT(m.get("lock.acquire_ns.sum"), 0u);
+  EXPECT_GT(m.get("lock.acquire_ns.max"), 0u);
+  EXPECT_LE(m.get("lock.acquire_ns.p50"), m.get("lock.acquire_ns.max"));
+  EXPECT_EQ(m.get("barrier.wait_ns.count"), 42u);
+  EXPECT_GT(m.get("read.pram_ns.count"), 0u);
+  EXPECT_GT(m.get("read.causal_ns.count"), 0u);
+  EXPECT_GT(m.get("await.spin_ns.count"), 0u);
+  EXPECT_EQ(m.get("lockmgr.grants"), 40u);
+  EXPECT_EQ(m.get("lockmgr.grant_wait_ns.count"), 40u);
+  EXPECT_GT(m.get("barriermgr.releases"), 0u);
+}
+
+TEST(ObsSmoke, RunReportDocumentIsValidAndComplete) {
+  dsm::MixedSystem sys(two_proc_config());
+  contended_workload(sys);
+
+  obs::RunReport report;
+  report.bench = "smoke";
+  report.config["procs"] = "2";
+  auto& row = report.add_row("contended");
+  row.params["rounds"] = "20";
+  row.wall_ms = 1.25;
+  row.metrics = sys.metrics();
+
+  const auto doc = obs::JsonValue::parse(report.to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("schema_version")->uint_value,
+            static_cast<std::uint64_t>(obs::RunReport::kSchemaVersion));
+  EXPECT_EQ(doc->find("config")->find("procs")->string, "2");
+  const obs::JsonValue& row_v = doc->find("rows")->elements.at(0);
+  const obs::JsonValue* metrics = row_v.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("net.messages"), nullptr);
+  EXPECT_GT(metrics->find("net.messages")->uint_value, 0u);
+  ASSERT_NE(metrics->find("lock.acquire_ns.p99"), nullptr);
+  ASSERT_NE(metrics->find("lock.acquire_ns.mean"), nullptr);
+}
+
+TEST(ObsSmoke, TracerCapturesRunAndDumpsChromeTrace) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.enable();
+  {
+    dsm::MixedSystem sys(two_proc_config());
+    contended_workload(sys);
+  }
+  tracer.disable();
+  ASSERT_GT(tracer.events_recorded(), 0u);
+
+  const auto doc = obs::JsonValue::parse(tracer.chrome_trace_json());
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->elements.empty());
+  bool saw_lock = false;
+  bool saw_send = false;
+  for (const auto& ev : events->elements) {
+    const obs::JsonValue* name = ev.find("name");
+    const obs::JsonValue* ph = ev.find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(ev.find("ts"), nullptr);
+    ASSERT_NE(ev.find("pid"), nullptr);
+    ASSERT_NE(ev.find("tid"), nullptr);
+    if (ph->string == "X") {
+      ASSERT_NE(ev.find("dur"), nullptr);
+    }
+    saw_lock |= name->string == "lock.acquire";
+    saw_send |= name->string == "send";
+  }
+  EXPECT_TRUE(saw_lock);
+  EXPECT_TRUE(saw_send);
+  tracer.clear();
+}
+
+TEST(ObsSmoke, TracerDisabledRecordsNothing) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  ASSERT_FALSE(obs::trace_enabled());
+  {
+    dsm::MixedSystem sys(two_proc_config());
+    contended_workload(sys);
+  }
+  EXPECT_EQ(tracer.events_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace mc
