@@ -32,6 +32,11 @@ struct CholeskyOptions {
   std::uint64_t seed = 1;
   bool record_trace = false;
   dsm::LockPolicy lock_policy = dsm::LockPolicy::kLazy;  // lock variant only
+
+  /// Chaos testing (docs/FAULTS.md): optional seeded fault plan plus the
+  /// reliability layer that restores reliable-FIFO delivery beneath it.
+  std::optional<net::FaultPlan> faults;
+  bool reliable = false;
 };
 
 struct CholeskyResult {

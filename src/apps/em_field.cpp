@@ -68,7 +68,8 @@ EmResult em_reference(const EmProblem& prob) {
 
 EmResult em_mixed(const EmProblem& prob, std::size_t procs, ReadMode mode,
                   EmSharing sharing, net::LatencyModel latency, std::uint64_t seed,
-                  bool pattern_optimized) {
+                  bool pattern_optimized, const std::optional<net::FaultPlan>& faults,
+                  bool reliable) {
   MC_CHECK(procs >= 1 && procs <= prob.m);
   MC_CHECK_MSG(!pattern_optimized ||
                    (sharing == EmSharing::kGhost && mode == ReadMode::kPram),
@@ -77,6 +78,8 @@ EmResult em_mixed(const EmProblem& prob, std::size_t procs, ReadMode mode,
   cfg.num_procs = procs;
   cfg.latency = latency;
   cfg.seed = seed;
+  cfg.faults = faults;
+  cfg.reliable = reliable;
 
   EmResult out;
   out.e.assign(prob.m, 0.0);

@@ -34,6 +34,8 @@ dsm::Config make_config(const LinearSystem& sys, const SolverOptions& opt, bool 
   cfg.seed = opt.seed;
   cfg.record_trace = trace;
   cfg.omit_timestamps = opt.omit_timestamps;
+  cfg.faults = opt.faults;
+  cfg.reliable = opt.reliable;
   return cfg;
 }
 

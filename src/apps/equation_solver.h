@@ -39,6 +39,12 @@ struct SolverOptions {
   /// for the Figure 2 (barrier + PRAM) formulation because the program is
   /// PRAM-consistent (Corollary 2); rejected at runtime for Figure 3.
   bool omit_timestamps = false;
+
+  /// Chaos testing (docs/FAULTS.md): optional seeded fault plan applied to
+  /// the fabric, plus the reliability layer that rebuilds the paper's
+  /// reliable-FIFO channel assumption underneath it.
+  std::optional<net::FaultPlan> faults;
+  bool reliable = false;
 };
 
 struct SolverResult {

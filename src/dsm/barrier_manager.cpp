@@ -35,9 +35,31 @@ std::vector<ProcId> BarrierManager::members_of(BarrierId b) const {
 }
 
 void BarrierManager::run() {
-  while (auto m = fabric_.mailbox(self_).recv()) {
+  while (auto m = fabric_.recv(self_)) {
     if (m->kind == kBarrierArrive) handle_arrive(*m);
   }
+}
+
+std::vector<std::string> BarrierManager::dump() const {
+  std::vector<std::string> out;
+  std::scoped_lock lk(state_mu_);
+  for (const auto& [key, inst] : instances_) {
+    const std::vector<ProcId> participants = members_of(key.first);
+    std::string line = "barrier " + std::to_string(key.first) + " epoch " +
+                       std::to_string(key.second) + ": " +
+                       std::to_string(inst.count) + "/" +
+                       std::to_string(participants.size()) +
+                       " arrived, missing=[";
+    bool first = true;
+    for (const ProcId p : participants) {
+      if (inst.arrived[p]) continue;
+      line += (first ? "p" : " p") + std::to_string(p);
+      first = false;
+    }
+    line += "]";
+    out.push_back(std::move(line));
+  }
+  return out;
 }
 
 void BarrierManager::handle_arrive(const net::Message& m) {
@@ -48,6 +70,7 @@ void BarrierManager::handle_arrive(const net::Message& m) {
                "barrier arrival from a non-member process");
 
   const auto key = std::make_pair(barrier, m.b);
+  std::scoped_lock state_lk(state_mu_);
   Instance& inst = instances_[key];
   if (inst.arrived.empty()) {
     inst.arrived.assign(num_procs_, false);

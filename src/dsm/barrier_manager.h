@@ -13,6 +13,8 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,6 +48,10 @@ class BarrierManager {
   [[nodiscard]] const LatencyHistogram& assemble_time() const { return assemble_ns_; }
   [[nodiscard]] std::uint64_t releases_sent() const { return releases_.get(); }
 
+  /// Open (unreleased) barrier instances with their occupancy, for the
+  /// watchdog's diagnostics ("barrier 0 epoch 2: 3/4 arrived, missing=[p1]").
+  [[nodiscard]] std::vector<std::string> dump() const;
+
  private:
   void run();
   void handle_arrive(const net::Message& m);
@@ -67,6 +73,8 @@ class BarrierManager {
   std::size_t num_procs_;
   bool count_mode_;
   std::map<BarrierId, std::vector<ProcId>> members_;
+  /// Guards instances_: the manager thread mutates it, the watchdog reads it.
+  mutable std::mutex state_mu_;
   std::map<std::pair<BarrierId, std::uint64_t>, Instance> instances_;
   LatencyHistogram assemble_ns_;
   Counter releases_;

@@ -4,10 +4,13 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
+#include "net/fault.h"
 #include "net/latency.h"
+#include "net/reliable.h"
 
 namespace mc::dsm {
 
@@ -41,6 +44,17 @@ struct Config {
 
   net::LatencyModel latency = net::LatencyModel::zero();
   std::uint64_t seed = 1;
+
+  /// Seeded fault plan installed on the fabric before any protocol traffic
+  /// (docs/FAULTS.md).  Absent by default: the fabric stays ideal and the
+  /// hot path pays a single null-pointer branch.
+  std::optional<net::FaultPlan> faults;
+
+  /// Layer the ack/retransmit reliability protocol (net/reliable.h) under
+  /// the DSM.  Required for fault plans that drop or duplicate protocol
+  /// traffic — the Section 6 protocols assume reliable FIFO channels.
+  bool reliable = false;
+  net::ReliabilityConfig reliability;
 
   LockPolicy default_lock_policy = LockPolicy::kLazy;
   std::map<LockId, LockPolicy> lock_policy_override;

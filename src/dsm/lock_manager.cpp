@@ -18,7 +18,7 @@ void LockManager::join() {
 }
 
 void LockManager::run() {
-  while (auto m = fabric_.mailbox(self_).recv()) {
+  while (auto m = fabric_.recv(self_)) {
     switch (m->kind) {
       case kLockReq: handle_request(*m); break;
       case kUnlock: handle_unlock(*m); break;
@@ -29,6 +29,7 @@ void LockManager::run() {
 
 void LockManager::handle_request(const net::Message& m) {
   const auto id = static_cast<LockId>(m.a);
+  std::scoped_lock state_lk(state_mu_);
   LockState& lock = locks_[id];
   if (lock.release_vc.empty()) lock.release_vc = VectorClock(num_procs_);
   lock.queue.push_back(Request{m.src, static_cast<LockRequestKind>(m.b),
@@ -38,6 +39,7 @@ void LockManager::handle_request(const net::Message& m) {
 
 void LockManager::handle_unlock(const net::Message& m) {
   const auto id = static_cast<LockId>(m.a);
+  std::scoped_lock state_lk(state_mu_);
   LockState& lock = locks_[id];
   MC_CHECK_MSG(lock.holders.erase(m.src) == 1, "unlock from a non-holder");
 
@@ -90,6 +92,49 @@ void LockManager::try_grant(LockId id, LockState& lock) {
     lock.holders.insert(head.who);
     send_grant(id, lock, head);
   }
+}
+
+std::vector<Watchdog::WaitEdge> LockManager::wait_edges() const {
+  std::vector<Watchdog::WaitEdge> edges;
+  std::scoped_lock lk(state_mu_);
+  for (const auto& [id, lock] : locks_) {
+    if (lock.holders.empty()) continue;
+    for (const Request& req : lock.queue) {
+      for (const net::Endpoint holder : lock.holders) {
+        edges.push_back(Watchdog::WaitEdge{static_cast<ProcId>(req.who),
+                                           static_cast<ProcId>(holder), id});
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<std::string> LockManager::dump() const {
+  std::vector<std::string> out;
+  std::scoped_lock lk(state_mu_);
+  for (const auto& [id, lock] : locks_) {
+    if (lock.holders.empty() && lock.queue.empty()) continue;
+    std::string line = "lock " + std::to_string(id) + ": mode=";
+    line += lock.mode == Mode::kFree ? "free"
+            : lock.mode == Mode::kRead ? "read"
+                                       : "write";
+    line += " episode=" + std::to_string(lock.episode) + " holders=[";
+    bool first = true;
+    for (const net::Endpoint h : lock.holders) {
+      line += (first ? "p" : " p") + std::to_string(h);
+      first = false;
+    }
+    line += "] queue=[";
+    first = true;
+    for (const Request& r : lock.queue) {
+      line += (first ? "p" : " p") + std::to_string(r.who) +
+              (r.kind == LockRequestKind::kWrite ? "(w)" : "(r)");
+      first = false;
+    }
+    line += "]";
+    out.push_back(std::move(line));
+  }
+  return out;
 }
 
 void LockManager::send_grant(LockId id, LockState& lock, const Request& req) {

@@ -15,11 +15,15 @@
 #include <chrono>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <set>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/vector_clock.h"
+#include "dsm/watchdog.h"
 #include "dsm/wire.h"
 #include "net/fabric.h"
 
@@ -43,6 +47,15 @@ class LockManager {
   /// (`lockmgr.grant_wait_ns` in docs/METRICS.md).
   [[nodiscard]] const LatencyHistogram& grant_wait() const { return grant_wait_ns_; }
   [[nodiscard]] std::uint64_t grants_sent() const { return grants_.get(); }
+
+  /// Wait-for edges of the current lock table (each queued requester waits
+  /// for every current holder) — the watchdog's deadlock probe.
+  [[nodiscard]] std::vector<Watchdog::WaitEdge> wait_edges() const;
+
+  /// Human-readable dump of every lock with holders or waiters, for the
+  /// watchdog's diagnostics ("lock 3: mode=write episode=5 holders=[p1]
+  /// queue=[p0(w) p2(r)]").
+  [[nodiscard]] std::vector<std::string> dump() const;
 
  private:
   struct Request {
@@ -76,6 +89,8 @@ class LockManager {
   net::Endpoint self_;
   std::size_t num_procs_;
   bool count_mode_;
+  /// Guards locks_: the manager thread mutates it, the watchdog reads it.
+  mutable std::mutex state_mu_;
   std::map<LockId, LockState> locks_;
   LatencyHistogram grant_wait_ns_;
   Counter grants_;

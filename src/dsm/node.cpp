@@ -21,11 +21,10 @@ Node::Node(const Config& cfg, ProcId self, net::Fabric& fabric, net::Endpoint lo
       fabric_(fabric),
       lock_mgr_(lock_mgr),
       barrier_mgr_(barrier_mgr),
-      pram_(cfg.num_vars, cfg.num_procs),
-      causal_(cfg.num_vars, cfg.num_procs),
+      mem_(cfg.num_vars, cfg.num_procs),
       dep_vc_(cfg.num_procs),
-      pram_applied_(cfg.num_procs),
-      causal_applied_(cfg.num_procs),
+      applied_(cfg.num_procs),
+      update_arrived_(cfg.num_procs),
       pram_floor_(cfg.num_procs),
       causal_floor_(cfg.num_procs),
       causal_buffer_(cfg.num_procs),
@@ -44,8 +43,23 @@ void Node::stop() {
 
 template <typename Pred>
 void Node::wait_or_die(std::unique_lock<std::mutex>& lk, const char* what, Pred pred) {
-  if (!cv_.wait_for(lk, kLivenessDeadline, pred)) {
-    MC_CHECK_MSG(false, what);
+  Watchdog* wd = watchdog_.load(std::memory_order_acquire);
+  if (wd == nullptr) {
+    if (!cv_.wait_for(lk, kLivenessDeadline, pred)) {
+      MC_CHECK_MSG(false, what);
+    }
+    return;
+  }
+  // Watchdog-supervised wait: register while blocked, poll fired() so a
+  // stall anywhere in the system unwinds this thread with StallError
+  // instead of wedging it until its own deadline.
+  if (wd->fired()) throw StallError(what);
+  Watchdog::WaitScope scope(*wd, self_, what);
+  const auto deadline = std::chrono::steady_clock::now() + kLivenessDeadline;
+  for (;;) {
+    if (cv_.wait_for(lk, wd->poll_interval(), pred)) return;
+    if (wd->fired()) throw StallError(what);
+    MC_CHECK_MSG(std::chrono::steady_clock::now() < deadline, what);
   }
 }
 
@@ -54,7 +68,7 @@ void Node::wait_or_die(std::unique_lock<std::mutex>& lk, const char* what, Pred 
 // ----------------------------------------------------------------------
 
 void Node::run_delivery() {
-  while (auto m = fabric_.mailbox(self_).recv()) {
+  while (auto m = fabric_.recv(self_)) {
     obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
     switch (m->kind) {
       case kUpdate:
@@ -141,24 +155,22 @@ void Node::on_update(const net::Message& m) {
   const auto sender = static_cast<ProcId>(m.src);
 
   if (cfg_.omit_timestamps) {
-    // Count-vector fast path (Section 6): both views apply in per-sender
-    // FIFO arrival order and the receive index feeds the count floors.
-    // With selective multicast the writer sequence may skip values for
-    // this receiver; it must still be monotone per channel.
+    // Count-vector fast path (Section 6): apply in per-sender FIFO arrival
+    // order and feed the receive index to the count floors.  With
+    // selective multicast the writer sequence may skip values for this
+    // receiver; it must still be monotone per channel.
     MC_CHECK(m.payload.empty());
     std::scoped_lock lk(mu_);
     if (cfg_.update_subscribers.empty()) {
-      MC_CHECK_MSG(u.id.seq == pram_applied_[sender] + 1,
+      MC_CHECK_MSG(u.id.seq == applied_[sender] + 1,
                    "per-sender FIFO violated on the update channel");
     } else {
-      MC_CHECK_MSG(u.id.seq > pram_applied_[sender],
+      MC_CHECK_MSG(u.id.seq > applied_[sender],
                    "per-sender FIFO violated on the update channel");
     }
     received_from_.set(sender, received_from_[sender] + 1);
-    pram_.apply(u.var, u.value, u.flags, u.id, u.vc, received_from_[sender]);
-    pram_applied_.set(sender, u.id.seq);
-    causal_.apply(u.var, u.value, u.flags, u.id, u.vc, received_from_[sender]);
-    causal_applied_.set(sender, u.id.seq);
+    mem_.apply(u.var, u.value, u.flags, u.id, u.vc, received_from_[sender]);
+    applied_.set(sender, u.id.seq);
     cv_.notify_all();
     return;
   }
@@ -169,12 +181,12 @@ void Node::on_update(const net::Message& m) {
 
   {
     std::scoped_lock lk(mu_);
-    // PRAM view: apply in arrival order; assert the channel stayed FIFO.
-    MC_CHECK_MSG(u.vc[sender] == pram_applied_[sender] + 1,
+    // Arrival must stay FIFO per sender; application to the local copy
+    // happens in causally-ready order (drain_causal_buffers) for both
+    // read modes.
+    MC_CHECK_MSG(u.vc[sender] == update_arrived_[sender] + 1,
                  "per-sender FIFO violated on the update channel");
-    pram_.apply(u.var, u.value, u.flags, u.id, u.vc);
-    pram_applied_.set(sender, u.vc[sender]);
-    // Causal view: buffer until the timestamp is causally ready.
+    update_arrived_.set(sender, u.vc[sender]);
     causal_buffer_[sender].push_back(std::move(u));
     drain_causal_buffers();
   }
@@ -187,10 +199,10 @@ void Node::drain_causal_buffers() {
     progress = false;
     for (ProcId s = 0; s < cfg_.num_procs; ++s) {
       auto& q = causal_buffer_[s];
-      while (!q.empty() && q.front().vc.ready_after(causal_applied_, s)) {
+      while (!q.empty() && q.front().vc.ready_after(applied_, s)) {
         const PendingUpdate& u = q.front();
-        causal_.apply(u.var, u.value, u.flags, u.id, u.vc);
-        causal_applied_.set(s, u.vc[s]);
+        mem_.apply(u.var, u.value, u.flags, u.id, u.vc);
+        applied_.set(s, u.vc[s]);
         q.pop_front();
         progress = true;
       }
@@ -207,7 +219,7 @@ void Node::on_fetch_request(const net::Message& m) {
   resp.b = m.b;
   {
     std::scoped_lock lk(mu_);
-    const VarEntry& e = pram_.entry(static_cast<VarId>(m.a));
+    const VarEntry& e = mem_.entry(static_cast<VarId>(m.a));
     resp.c = e.value;
     resp.d = e.last.proc;
     resp.payload.push_back(e.last.seq);
@@ -293,9 +305,7 @@ Value Node::read(VarId x, ReadMode mode) {
   (mode == ReadMode::kPram ? stats_.reads_pram : stats_.reads_causal).add();
 
   const bool count_mode = cfg_.omit_timestamps;
-  const VectorClock& applied = count_mode ? received_from_
-                               : mode == ReadMode::kPram ? pram_applied_
-                                                         : causal_applied_;
+  const VectorClock& applied = count_mode ? received_from_ : applied_;
   const VectorClock& floor = count_mode ? count_floor_
                              : mode == ReadMode::kPram ? pram_floor_ : causal_floor_;
   const bool was_ready = applied.dominates(floor);
@@ -316,8 +326,7 @@ Value Node::read(VarId x, ReadMode mode) {
     fetch_var(lk, x, owner);
   }
 
-  const Store& store = mode == ReadMode::kPram ? pram_ : causal_;
-  const VarEntry& e = store.entry(x);
+  const VarEntry& e = mem_.entry(x);
   const Value out = e.value;
   absorb_entry(e);
   (mode == ReadMode::kPram ? stats_.read_pram_ns : stats_.read_causal_ns)
@@ -348,14 +357,13 @@ void Node::write(VarId x, Value v) {
       held->cs_writes.push_back(x);
       // Local migratory write: no broadcast, no clock tick (remote causal
       // delivery must not wait for an update that will never arrive).
-      pram_.apply(x, v, kFlagWrite, id, dep_vc_);
-      causal_.apply(x, v, kFlagWrite, id, dep_vc_);
+      // `force` because the untick'd clock can tie the installed entry's —
+      // the write lock orders these writes, so forcing is safe.
+      mem_.apply(x, v, kFlagWrite, id, dep_vc_, 0, /*force=*/true);
     } else {
       dep_vc_.tick(self_);
-      pram_applied_.set(self_, dep_vc_[self_]);
-      causal_applied_.set(self_, dep_vc_[self_]);
-      pram_.apply(x, v, kFlagWrite, id, dep_vc_);
-      causal_.apply(x, v, kFlagWrite, id, dep_vc_);
+      applied_.set(self_, dep_vc_[self_]);
+      mem_.apply(x, v, kFlagWrite, id, dep_vc_);
       // Broadcast while holding the node lock: the model permits
       // multi-threaded user processes, and per-sender FIFO requires this
       // process's updates to enter the fabric in sequence order.
@@ -382,10 +390,8 @@ void Node::do_delta(VarId x, Value amount, std::uint64_t flags) {
     const SeqNo seq = ++write_counter_;
     const WriteId id{self_, seq};
     dep_vc_.tick(self_);
-    pram_applied_.set(self_, dep_vc_[self_]);
-    causal_applied_.set(self_, dep_vc_[self_]);
-    pram_.apply(x, amount, flags, id, dep_vc_);
-    causal_.apply(x, amount, flags, id, dep_vc_);
+    applied_.set(self_, dep_vc_[self_]);
+    mem_.apply(x, amount, flags, id, dep_vc_);
     broadcast_update(x, amount, flags, seq, dep_vc_);
 
     if (trace_.enabled()) {
@@ -428,14 +434,11 @@ void Node::await(VarId x, Value v, ReadMode mode) {
   // Busy-wait loop of reads in the selected view (Section 6), realized as a
   // condition wait re-evaluated on every applied update.
   const bool count_mode = cfg_.omit_timestamps;
-  const Store& store = mode == ReadMode::kPram ? pram_ : causal_;
-  const VectorClock& applied = count_mode ? received_from_
-                               : mode == ReadMode::kPram ? pram_applied_
-                                                         : causal_applied_;
+  const VectorClock& applied = count_mode ? received_from_ : applied_;
   const VectorClock& floor = count_mode ? count_floor_
                              : mode == ReadMode::kPram ? pram_floor_ : causal_floor_;
   wait_or_die(lk, "await blocked past the liveness deadline", [&] {
-    return applied.dominates(floor) && store.entry(x).value == v;
+    return applied.dominates(floor) && mem_.entry(x).value == v;
   });
   const auto waited = blocked.elapsed();
   stats_.await_blocked.record(waited);
@@ -443,7 +446,7 @@ void Node::await(VarId x, Value v, ReadMode mode) {
   obs::trace_complete_ns("await", "dsm", static_cast<std::uint64_t>(waited.count()),
                          {"var", x}, {"proc", self_});
 
-  const VarEntry& e = store.entry(x);
+  const VarEntry& e = mem_.entry(x);
   absorb_entry(e);
 
   if (trace_.enabled()) {
@@ -660,8 +663,7 @@ void Node::fetch_var(std::unique_lock<std::mutex>& lk, VarId x, net::Endpoint ow
   FetchResult res = std::move(fetch_results_.at(token));
   fetch_results_.erase(token);
 
-  pram_.install(x, res.value, res.id, res.vc);
-  causal_.install(x, res.value, res.id, res.vc);
+  mem_.install(x, res.value, res.id, res.vc);
 }
 
 // Explicit instantiation not needed: wait_or_die is only used in this TU.

@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -36,6 +37,7 @@
 #include "dsm/config.h"
 #include "dsm/store.h"
 #include "dsm/trace.h"
+#include "dsm/watchdog.h"
 #include "dsm/wire.h"
 #include "net/fabric.h"
 
@@ -120,6 +122,13 @@ class Node {
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
   [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
 
+  /// Attach (or detach, with nullptr) a watchdog: blocked operations
+  /// register themselves and unwind with StallError once it fires.  Set
+  /// while no application thread is inside a node operation.
+  void set_watchdog(Watchdog* wd) {
+    watchdog_.store(wd, std::memory_order_release);
+  }
+
   /// Join the delivery thread; the fabric must have been shut down first.
   void stop();
 
@@ -171,7 +180,7 @@ class Node {
   void do_delta(VarId x, Value amount, std::uint64_t flags);
 
   /// Demand-driven miss handling: fetch x from `owner` and install it in
-  /// both views.  Expects `lk` held; may release and reacquire it.
+  /// the local copy.  Expects `lk` held; may release and reacquire it.
   void fetch_var(std::unique_lock<std::mutex>& lk, VarId x, net::Endpoint owner);
 
   /// Wait with a liveness deadline: a consistency protocol that blocks for
@@ -189,15 +198,27 @@ class Node {
   net::Fabric& fabric_;
   const net::Endpoint lock_mgr_;
   const net::Endpoint barrier_mgr_;
+  std::atomic<Watchdog*> watchdog_{nullptr};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
 
-  Store pram_;
-  Store causal_;
+  // The single local copy of shared memory (the paper's "performed
+  // locally").  Updates are applied in causally-ready order for *both*
+  // read modes; PRAM and causal reads differ only in which floor they
+  // block on, not in the state they see.  Two stores applied in different
+  // orders (PRAM at arrival, causal at readiness) look identical on the
+  // ideal fabric, whose min-heap mailbox delivers in global deliver_at
+  // order, but diverge on the winner of concurrent writes once re-stamped
+  // retransmissions (docs/FAULTS.md) scramble cross-sender arrival order —
+  // and then one process's trace has no single serialization.
+  Store mem_;
   VectorClock dep_vc_;
-  VectorClock pram_applied_;
-  VectorClock causal_applied_;
+  /// Per-sender clock component of the last update *applied* to mem_.
+  VectorClock applied_;
+  /// Per-sender clock component of the last update *received* (applied or
+  /// still buffered) — guards the per-channel FIFO invariant.
+  VectorClock update_arrived_;
   VectorClock pram_floor_;
   VectorClock causal_floor_;
   SeqNo write_counter_ = 0;

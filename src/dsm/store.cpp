@@ -1,11 +1,46 @@
 #include "dsm/store.h"
 
+#include <tuple>
+
 namespace mc::dsm {
 
 void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
-                  const VectorClock& vc, std::uint64_t arrival) {
+                  const VectorClock& vc, std::uint64_t arrival, bool force) {
   MC_CHECK(x < entries_.size());
   VarEntry& e = entries_[x];
+  // Each variable is a last-writer-wins register under a total order that
+  // extends causality: a causally newer write always replaces the entry,
+  // a causally older (or duplicate) one never does, and *concurrent*
+  // writes are arbitrated by the deterministic key
+  // (vc.total(), proc, seq) — strict dominance implies a strictly larger
+  // component sum, so the key order is a genuine extension.  Because the
+  // winner depends only on the *set* of writes applied, not their arrival
+  // order, the PRAM view (applies at arrival) and the causal view
+  // (applies at causal readiness) converge on the same value even when
+  // re-stamped retransmissions (docs/FAULTS.md) scramble cross-sender
+  // order; otherwise one process's two views could disagree on the winner
+  // and its trace would have no single serialization.  On the ideal
+  // fabric the mailbox's global deliver_at order makes this a no-op.
+  // Deltas are exempt (they commute and every copy must be counted), and
+  // `force` exempts demand-policy migratory writes, whose clocks are
+  // deliberately not ticked — those are write-lock-ordered, so no
+  // concurrent write to the variable can exist.
+  if (!force && flags == kFlagWrite && !vc.empty() && !e.vc.empty()) {
+    switch (vc.compare(e.vc)) {
+      case ClockOrder::kBefore:
+      case ClockOrder::kEqual:
+        return;
+      case ClockOrder::kAfter:
+        break;
+      case ClockOrder::kConcurrent: {
+        const auto key = [](const VectorClock& c, WriteId w) {
+          return std::tuple(c.total(), w.proc, w.seq);
+        };
+        if (key(vc, id) < key(e.vc, e.last)) return;
+        break;
+      }
+    }
+  }
   // Each applied update records its own receive index, paired with
   // e.last's sender (the floor machinery raises per-sender counts).
   e.arrival = arrival;

@@ -1,12 +1,13 @@
 // A replicated-memory view: the per-process copy of every shared location
 // together with the metadata the consistency machinery needs.
 //
-// Each node keeps *two* Store views fed by the same update stream (see
-// DESIGN.md §6.1): the PRAM view applies updates in per-sender FIFO arrival
-// order, the causal view applies them in vector-timestamp order.  A read's
-// label selects the view, implementing Section 6's "a causal read can
-// return a value only if all preceding operations have been performed
-// locally; a PRAM read returns the most recent value".
+// Each node keeps ONE Store (see DESIGN.md §6.1): updates apply in
+// vector-timestamp (causally-ready) order, and each variable behaves as a
+// last-writer-wins register under a total order extending causality (see
+// apply() in store.cpp).  A read's label selects which *floor* it blocks
+// on before returning the copy's value, implementing Section 6's "a causal
+// read can return a value only if all preceding operations have been
+// performed locally; a PRAM read returns the most recent value".
 
 #pragma once
 
@@ -43,11 +44,15 @@ class Store {
     return entries_[x];
   }
 
-  /// Apply an update (write or delta) with the given flags.  Writes
-  /// overwrite; deltas subtract and merge metadata.  `arrival` is the
-  /// count-vector-mode receive index (0 for local writes and VC mode).
+  /// Apply an update (write or delta) with the given flags.  Writes make
+  /// the entry a last-writer-wins register under a total order extending
+  /// causality (see store.cpp), so the PRAM and causal views converge on
+  /// the same winner regardless of apply order; deltas subtract and merge
+  /// metadata.  `arrival` is the count-vector-mode receive index (0 for
+  /// local writes and VC mode).  `force` bypasses the write ordering —
+  /// only for demand-policy migratory writes, whose clocks are not ticked.
   void apply(VarId x, Value value, std::uint64_t flags, WriteId id, const VectorClock& vc,
-             std::uint64_t arrival = 0);
+             std::uint64_t arrival = 0, bool force = false);
 
   /// Install an out-of-band value (demand-driven fetch response).
   void install(VarId x, Value value, WriteId id, const VectorClock& vc);

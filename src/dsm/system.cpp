@@ -22,6 +22,11 @@ MixedSystem::MixedSystem(Config cfg)
     for (const ProcId p : subs) MC_CHECK(p < cfg_.num_procs);
   }
   register_kind_names(fabric_);
+  // Robustness layers, both strictly opt-in (docs/FAULTS.md).  Reliability
+  // goes in first so every protocol message is sequenced from the start;
+  // the fault plan only then makes the channel lossy.
+  if (cfg_.reliable) fabric_.enable_reliability(cfg_.reliability);
+  if (cfg_.faults.has_value()) fabric_.inject_faults(*cfg_.faults);
   const auto lock_ep = static_cast<net::Endpoint>(cfg_.num_procs);
   const auto barrier_ep = static_cast<net::Endpoint>(cfg_.num_procs + 1);
   lock_manager_ = std::make_unique<LockManager>(fabric_, lock_ep, cfg_.num_procs,
@@ -49,6 +54,51 @@ void MixedSystem::run(const std::function<void(Node&, ProcId)>& body) {
     threads.emplace_back([this, &body, p] { body(*nodes_[p], p); });
   }
   for (auto& t : threads) t.join();
+}
+
+MixedSystem::RunOutcome MixedSystem::run(
+    const std::function<void(Node&, ProcId)>& body,
+    std::chrono::nanoseconds timeout) {
+  Watchdog::Options opts;
+  opts.stall_timeout = timeout;
+  Watchdog wd(opts);
+  wd.set_wait_graph_source([this] { return lock_manager_->wait_edges(); });
+  wd.set_diagnostics_source([this](Watchdog::Diagnostics& d) {
+    d.locks = lock_manager_->dump();
+    d.barriers = barrier_manager_->dump();
+    d.in_flight = fabric_.in_flight();
+    if (net::ReliableChannel* rel = fabric_.reliable_channel()) {
+      for (const auto& err : rel->errors()) {
+        d.unreachable.push_back("channel p" + std::to_string(err.src) + " -> p" +
+                                std::to_string(err.dst) + ": seq " +
+                                std::to_string(err.first_unacked) +
+                                " unacked after " + std::to_string(err.retries) +
+                                " retries");
+      }
+    }
+  });
+  for (auto& n : nodes_) n->set_watchdog(&wd);
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg_.num_procs);
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    threads.emplace_back([this, &body, p] {
+      try {
+        body(*nodes_[p], p);
+      } catch (const StallError&) {
+        // The watchdog fired while this thread was blocked; its dump is the
+        // run's result.  Unwinding here keeps the join below prompt.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& n : nodes_) n->set_watchdog(nullptr);
+  wd.stop();
+
+  RunOutcome out;
+  out.stalled = wd.fired();
+  out.diagnostics = wd.diagnostics();
+  return out;
 }
 
 history::History MixedSystem::collect_history() const {

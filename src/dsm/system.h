@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "dsm/config.h"
 #include "dsm/lock_manager.h"
 #include "dsm/node.h"
+#include "dsm/watchdog.h"
 #include "history/history.h"
 
 namespace mc::dsm {
@@ -33,6 +35,20 @@ class MixedSystem {
   /// Run `body(node, p)` on one thread per process and join them all.
   /// May be called repeatedly (phased programs).
   void run(const std::function<void(Node&, ProcId)>& body);
+
+  /// Outcome of a watchdog-supervised run: whether it stalled, and the
+  /// watchdog's dump if it did (embedded in RunReport "diagnostics").
+  struct RunOutcome {
+    bool stalled = false;
+    Watchdog::Diagnostics diagnostics;
+  };
+
+  /// Like run(), but supervised by a watchdog with the given stall
+  /// deadline: a wedged program (lost messages, partitioned manager, lock
+  /// deadlock) terminates with diagnostics instead of hanging the caller.
+  /// Application threads unwind via StallError on the watchdog firing.
+  RunOutcome run(const std::function<void(Node&, ProcId)>& body,
+                 std::chrono::nanoseconds timeout);
 
   /// Merge the per-process traces recorded so far into a formal history
   /// (requires Config::record_trace).

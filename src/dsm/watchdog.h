@@ -1,0 +1,159 @@
+// Stall and deadlock watchdog for a mixed-consistency DSM instance.
+//
+// The Section 6 protocols are designed for reliable FIFO channels; under an
+// adversarial fault plan (net/fault.h) a lost grant or a partitioned
+// manager turns a correct program into a silent hang.  The watchdog makes
+// that hang a crisp, diagnosable failure instead:
+//
+//   - every blocking DSM operation registers itself while blocked; a
+//     monitor thread fires once any wait exceeds the stall deadline;
+//   - the lock manager exposes its wait-for graph; a cycle that persists
+//     across two consecutive polls is reported as a true lock-order
+//     deadlock (with the cycle spelled out) rather than a generic stall;
+//   - on firing, the watchdog assembles a Diagnostics dump — blocked
+//     operations, lock table, barrier occupancy, per-endpoint in-flight
+//     messages, dead reliable channels — which MixedSystem::run(body,
+//     timeout) returns and bench harnesses embed in the RunReport's
+//     "diagnostics" section (docs/METRICS.md).
+//
+// Blocked threads poll Watchdog::fired() on their condition-variable waits
+// and unwind with StallError; the watchdog never unblocks anything itself
+// and never calls back into DSM code while holding its own mutex.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mc::dsm {
+
+/// Thrown out of a blocked memory or synchronization operation once the
+/// watchdog has fired, so every application thread of a wedged run unwinds
+/// promptly instead of waiting out its own deadline.
+class StallError : public std::runtime_error {
+ public:
+  explicit StallError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Watchdog {
+ public:
+  struct Options {
+    /// A single blocked operation older than this fires the watchdog.
+    std::chrono::nanoseconds stall_timeout{std::chrono::seconds(5)};
+    /// Monitor poll period; also the granularity at which blocked threads
+    /// re-check fired().
+    std::chrono::nanoseconds poll{std::chrono::milliseconds(25)};
+  };
+
+  /// Everything the watchdog saw when it fired.
+  struct Diagnostics {
+    bool fired = false;
+    std::string reason;
+    std::vector<std::string> stalled_waits;   ///< "p1: barrier ... (5023 ms)"
+    std::vector<std::string> deadlock_cycle;  ///< "p0 -(lock 1)-> p1"
+    std::vector<std::string> locks;           ///< lock-manager table dump
+    std::vector<std::string> barriers;        ///< open barrier instances
+    std::vector<std::size_t> in_flight;       ///< per-endpoint mailbox depth
+    std::vector<std::string> unreachable;     ///< dead reliable channels
+  };
+
+  /// Edge of the lock wait-for graph: `waiter` is queued on `lock`, which
+  /// `holder` currently holds.
+  struct WaitEdge {
+    ProcId waiter = kNoProc;
+    ProcId holder = kNoProc;
+    LockId lock = 0;
+  };
+
+  explicit Watchdog(Options opts);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Register a blocked operation (cold path — only reached once an
+  /// operation actually blocks).  The token ends the wait.
+  std::uint64_t wait_begin(ProcId proc, const char* what);
+  void wait_end(std::uint64_t token);
+
+  class WaitScope {
+   public:
+    WaitScope(Watchdog& wd, ProcId proc, const char* what)
+        : wd_(wd), token_(wd.wait_begin(proc, what)) {}
+    ~WaitScope() { wd_.wait_end(token_); }
+    WaitScope(const WaitScope&) = delete;
+    WaitScope& operator=(const WaitScope&) = delete;
+
+   private:
+    Watchdog& wd_;
+    std::uint64_t token_;
+  };
+
+  /// Source of lock wait-for edges (the lock manager).  Called from the
+  /// monitor thread without the watchdog mutex held.
+  void set_wait_graph_source(std::function<std::vector<WaitEdge>()> source);
+
+  /// Extra diagnostics filled in when the watchdog fires (lock/barrier
+  /// dumps, fabric in-flight counts).  Called without the mutex held.
+  void set_diagnostics_source(std::function<void(Diagnostics&)> source);
+
+  [[nodiscard]] bool fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::chrono::nanoseconds poll_interval() const {
+    return opts_.poll;
+  }
+
+  /// The dump assembled when the watchdog fired (default-constructed with
+  /// fired == false otherwise).
+  [[nodiscard]] Diagnostics diagnostics() const;
+
+  /// Fire explicitly (first fire wins; later calls are no-ops).
+  void fire(const std::string& reason, std::vector<std::string> cycle = {});
+
+  /// Join the monitor thread.  Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Wait {
+    ProcId proc;
+    const char* what;
+    std::chrono::steady_clock::time_point since;
+  };
+
+  void monitor_loop();
+  [[nodiscard]] std::vector<std::string> describe_waits(
+      std::chrono::steady_clock::time_point now) const;  // expects mu_ held
+  /// One cycle of the wait-for graph as printable edges; empty if acyclic.
+  [[nodiscard]] static std::vector<std::string> find_cycle(
+      const std::vector<WaitEdge>& edges);
+
+  const Options opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::uint64_t next_token_ = 1;
+  std::map<std::uint64_t, Wait> waits_;
+  Diagnostics diag_;
+  std::vector<std::string> prev_cycle_;  // deadlock persistence across polls
+
+  std::function<std::vector<WaitEdge>()> wait_graph_;
+  std::function<void(Diagnostics&)> diag_source_;
+
+  std::atomic<bool> fired_{false};
+  std::thread monitor_;
+};
+
+}  // namespace mc::dsm

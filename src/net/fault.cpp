@@ -1,0 +1,120 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/tracer.h"
+
+namespace mc::net {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t endpoints)
+    : plan_(std::move(plan)),
+      endpoints_(endpoints),
+      rng_(plan_.seed),
+      sends_by_(endpoints, 0),
+      crashed_now_(endpoints, false) {
+  for (const auto& [channel, p] : plan_.channel_drop_prob) {
+    MC_CHECK(channel.first < endpoints_ && channel.second < endpoints_);
+    MC_CHECK(p >= 0.0 && p <= 1.0);
+  }
+  for (const auto& part : plan_.partitions) {
+    for (const Endpoint e : part.group_a) MC_CHECK(e < endpoints_);
+    for (const Endpoint e : part.group_b) MC_CHECK(e < endpoints_);
+  }
+  for (const auto& [e, n] : plan_.crash_after_sends) {
+    (void)n;
+    MC_CHECK(e < endpoints_);
+  }
+}
+
+double FaultInjector::drop_prob_for(Endpoint src, Endpoint dst) const {
+  const auto it = plan_.channel_drop_prob.find({src, dst});
+  return it == plan_.channel_drop_prob.end() ? plan_.drop_prob : it->second;
+}
+
+bool FaultInjector::partitioned_now(Endpoint src, Endpoint dst,
+                                    std::uint64_t send_index) const {
+  for (const auto& part : plan_.partitions) {
+    if (send_index < part.from_send || send_index >= part.until_send) continue;
+    const bool src_a = std::find(part.group_a.begin(), part.group_a.end(), src) !=
+                       part.group_a.end();
+    const bool src_b = std::find(part.group_b.begin(), part.group_b.end(), src) !=
+                       part.group_b.end();
+    const bool dst_a = std::find(part.group_a.begin(), part.group_a.end(), dst) !=
+                       part.group_a.end();
+    const bool dst_b = std::find(part.group_b.begin(), part.group_b.end(), dst) !=
+                       part.group_b.end();
+    if ((src_a && dst_b) || (src_b && dst_a)) return true;
+  }
+  return false;
+}
+
+FaultInjector::Decision FaultInjector::decide(const Message& m,
+                                              std::chrono::nanoseconds modeled_latency) {
+  Decision d;
+  std::scoped_lock lk(mu_);
+  const std::uint64_t index = send_index_++;
+  const std::uint64_t nth_send = ++sends_by_[m.src];
+
+  if (const auto crash = plan_.crash_after_sends.find(m.src);
+      crash != plan_.crash_after_sends.end() && nth_send > crash->second) {
+    crashed_now_[m.src] = true;
+  }
+  if (crashed_now_[m.src] || crashed_now_[m.dst]) {
+    crashed_.add();
+    if (obs::trace_enabled()) {
+      obs::trace_instant("fault.crash_drop", "fault", {"src", m.src}, {"dst", m.dst});
+    }
+    d.drop = true;
+    return d;
+  }
+
+  if (partitioned_now(m.src, m.dst, index)) {
+    partitioned_.add();
+    if (obs::trace_enabled()) {
+      obs::trace_instant("fault.partition_drop", "fault", {"src", m.src}, {"dst", m.dst});
+    }
+    d.drop = true;
+    return d;
+  }
+
+  if (rng_.chance(drop_prob_for(m.src, m.dst))) {
+    dropped_.add();
+    if (obs::trace_enabled()) {
+      obs::trace_instant("fault.drop", "fault", {"kind", m.kind}, {"dst", m.dst});
+    }
+    d.drop = true;
+    return d;
+  }
+
+  if (plan_.dup_prob > 0.0 && rng_.chance(plan_.dup_prob)) {
+    duplicated_.add();
+    if (obs::trace_enabled()) {
+      obs::trace_instant("fault.duplicate", "fault", {"kind", m.kind}, {"dst", m.dst});
+    }
+    d.duplicate = true;
+  }
+
+  if (plan_.delay_prob > 0.0 && rng_.chance(plan_.delay_prob)) {
+    delayed_.add();
+    const auto scaled = modeled_latency * static_cast<std::int64_t>(plan_.delay_factor);
+    d.extra_delay = (scaled > modeled_latency ? scaled - modeled_latency
+                                              : std::chrono::nanoseconds{0}) +
+                    plan_.delay_floor;
+    if (obs::trace_enabled()) {
+      obs::trace_instant("fault.delay", "fault", {"kind", m.kind},
+                         {"extra_ns", static_cast<std::uint64_t>(d.extra_delay.count())});
+    }
+  }
+  return d;
+}
+
+void FaultInjector::add_metrics(MetricsSnapshot& snap) const {
+  snap.values["net.fault.dropped"] = dropped_.get();
+  snap.values["net.fault.duplicated"] = duplicated_.get();
+  snap.values["net.fault.delayed"] = delayed_.get();
+  snap.values["net.fault.partitioned"] = partitioned_.get();
+  snap.values["net.fault.crashed"] = crashed_.get();
+}
+
+}  // namespace mc::net

@@ -1,0 +1,117 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// Section 6 of the paper assumes "processes are connected by reliable FIFO
+// channels".  The ideal fabric grants that assumption for free; this layer
+// takes it away on purpose — seeded, replayable loss, duplication, delay
+// spikes, partition windows, and crash-stop endpoints — so the reliability
+// layer (net/reliable.h) and the DSM protocols above it can be proven to
+// *construct* the paper's channel model instead of inheriting it.
+//
+// Every decision is a pure function of the fault plan, the seed, and the
+// order in which messages reach the injector, so a single-threaded chaos
+// run replays exactly; every injected fault is counted and emitted as a
+// tracer event (`fault.*`) for Chrome-trace visibility.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/message.h"
+
+namespace mc::net {
+
+/// A declarative, seeded chaos plan applied inside `Fabric::send`.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Per-message drop probability applied to every channel.
+  double drop_prob = 0.0;
+  /// Per-channel overrides of `drop_prob` (keyed by (src, dst)).
+  std::map<std::pair<Endpoint, Endpoint>, double> channel_drop_prob;
+
+  /// Per-message probability of delivering a second, independent copy.
+  double dup_prob = 0.0;
+
+  /// Per-message probability of a delay spike.  The spike multiplies the
+  /// message's modeled latency by `delay_factor` and adds `delay_floor`
+  /// (the floor keeps spikes meaningful under the zero-latency model).
+  double delay_prob = 0.0;
+  double delay_factor = 10.0;
+  std::chrono::nanoseconds delay_floor{0};
+
+  /// Partition window: while the fabric-wide send index is inside
+  /// [from_send, until_send), every message between `group_a` and `group_b`
+  /// (either direction) is dropped.  Indexing by send count rather than
+  /// wall clock keeps windows deterministic and replayable.
+  struct Partition {
+    std::vector<Endpoint> group_a;
+    std::vector<Endpoint> group_b;
+    std::uint64_t from_send = 0;
+    std::uint64_t until_send = 0;
+  };
+  std::vector<Partition> partitions;
+
+  /// Crash-stop: after endpoint `e` has sent its Nth message, it is dead —
+  /// everything it sends and everything sent to it is dropped.
+  std::map<Endpoint, std::uint64_t> crash_after_sends;
+
+  [[nodiscard]] bool trivial() const {
+    return drop_prob == 0.0 && channel_drop_prob.empty() && dup_prob == 0.0 &&
+           delay_prob == 0.0 && partitions.empty() && crash_after_sends.empty();
+  }
+};
+
+/// Applies a FaultPlan to each message offered by the fabric.  Thread-safe;
+/// the fabric consults it only when installed (one branch on a null pointer
+/// otherwise — see Fabric::send).
+class FaultInjector {
+ public:
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    std::chrono::nanoseconds extra_delay{0};
+  };
+
+  FaultInjector(FaultPlan plan, std::size_t endpoints);
+
+  /// Decide the fate of `m`; counts and traces whatever it injects.
+  /// `modeled_latency` is the latency the stamper would charge the message
+  /// (delay spikes scale it).
+  Decision decide(const Message& m, std::chrono::nanoseconds modeled_latency);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // --- accounting (docs/FAULTS.md, docs/METRICS.md) ---
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_.get(); }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_.get(); }
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_.get(); }
+  [[nodiscard]] std::uint64_t partitioned() const { return partitioned_.get(); }
+  [[nodiscard]] std::uint64_t crashed_drops() const { return crashed_.get(); }
+
+  void add_metrics(MetricsSnapshot& snap) const;
+
+ private:
+  [[nodiscard]] double drop_prob_for(Endpoint src, Endpoint dst) const;
+  [[nodiscard]] bool partitioned_now(Endpoint src, Endpoint dst,
+                                     std::uint64_t send_index) const;
+
+  const FaultPlan plan_;
+  const std::size_t endpoints_;
+
+  std::mutex mu_;
+  Rng rng_;
+  std::uint64_t send_index_ = 0;            // fabric-wide, monotone
+  std::vector<std::uint64_t> sends_by_;     // per-endpoint send counts
+  std::vector<bool> crashed_now_;           // crash-stop already triggered
+
+  Counter dropped_, duplicated_, delayed_, partitioned_, crashed_;
+};
+
+}  // namespace mc::net

@@ -2,13 +2,14 @@
 
 namespace mc::net {
 
-void Mailbox::push(Message m) {
+bool Mailbox::push(Message m) {
   {
     std::scoped_lock lk(mu_);
-    if (closed_) return;  // late traffic after shutdown is dropped silently
+    if (closed_) return false;  // late traffic after shutdown is rejected
     heap_.push(Entry{std::move(m), arrivals_++});
   }
   cv_.notify_all();
+  return true;
 }
 
 std::optional<Message> Mailbox::recv() {

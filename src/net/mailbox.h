@@ -19,8 +19,11 @@ namespace mc::net {
 
 class Mailbox {
  public:
-  /// Enqueue a message (called by the fabric).  Never blocks.
-  void push(Message m);
+  /// Enqueue a message (called by the fabric).  Never blocks.  Returns
+  /// false — and discards the message — once the mailbox is closed, so the
+  /// fabric can account for shutdown-raced sends instead of losing them
+  /// silently (`net.send_after_close`).
+  [[nodiscard]] bool push(Message m);
 
   /// Blocking receive.  Returns nullopt once the mailbox is closed *and*
   /// drained — pending messages are still delivered after close so that

@@ -43,6 +43,16 @@ struct Message {
   /// Variable-length payload (vector clocks, count vectors, digests).
   std::vector<std::uint64_t> payload;
 
+  // --- stamped by the reliability layer (net/reliable.h) when enabled ---
+
+  /// Per-(src,dst) reliable sequence number; 0 means the message is outside
+  /// the reliable protocol (control traffic, or reliability disabled).
+  std::uint64_t rel_seq = 0;
+
+  /// Piggybacked cumulative ack for the reverse channel (dst -> src):
+  /// the highest in-order sequence the sender has delivered from dst.
+  std::uint64_t rel_ack = 0;
+
   // --- stamped by the fabric on send ---
 
   /// Per-(src,dst) channel sequence number; receivers can assert FIFO.
@@ -52,12 +62,15 @@ struct Message {
   /// before this instant.
   SimTime deliver_at{};
 
-  /// Modeled size on the wire: fixed header plus payload words.
+  /// Modeled size on the wire: fixed header plus payload words, plus the
+  /// reliability header (seq + ack) when the message travels reliably.
   [[nodiscard]] std::size_t wire_bytes() const {
-    return kHeaderBytes + payload.size() * sizeof(std::uint64_t);
+    return kHeaderBytes + payload.size() * sizeof(std::uint64_t) +
+           (rel_seq != 0 || rel_ack != 0 ? kRelHeaderBytes : 0);
   }
 
   static constexpr std::size_t kHeaderBytes = 48;
+  static constexpr std::size_t kRelHeaderBytes = 16;
 };
 
 }  // namespace mc::net

@@ -1,0 +1,194 @@
+#include "net/reliable.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "net/fabric.h"
+#include "obs/tracer.h"
+
+namespace mc::net {
+
+ReliableChannel::ReliableChannel(Fabric& fabric, std::size_t endpoints,
+                                 ReliabilityConfig cfg)
+    : fabric_(fabric),
+      endpoints_(endpoints),
+      cfg_(cfg),
+      send_(endpoints * endpoints),
+      recv_(endpoints * endpoints),
+      ready_(endpoints) {
+  MC_CHECK(cfg_.initial_rto.count() > 0);
+  MC_CHECK(cfg_.max_retries >= 1);
+  timer_ = std::thread([this] { timer_loop(); });
+}
+
+ReliableChannel::~ReliableChannel() { stop(); }
+
+void ReliableChannel::stop() {
+  {
+    std::scoped_lock lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+}
+
+void ReliableChannel::on_send(Message& m) {
+  std::scoped_lock lk(mu_);
+  SendState& st = send_[channel(m.src, m.dst)];
+  m.rel_seq = st.next_seq++;
+  m.rel_ack = recv_[channel(m.dst, m.src)].delivered;
+  if (!st.dead) {
+    InFlight entry;
+    entry.msg = m;
+    entry.rto = cfg_.initial_rto;
+    entry.deadline = std::chrono::steady_clock::now() + entry.rto;
+    st.inflight.emplace(m.rel_seq, std::move(entry));
+  }
+}
+
+Message ReliableChannel::make_ack(Endpoint from, Endpoint to, std::uint64_t acked) const {
+  Message a;
+  a.src = from;
+  a.dst = to;
+  a.kind = kRelAckKind;
+  a.a = acked;
+  return a;
+}
+
+void ReliableChannel::handle_ack(std::size_t ch, std::uint64_t acked) {
+  SendState& st = send_[ch];
+  st.inflight.erase(st.inflight.begin(), st.inflight.upper_bound(acked));
+}
+
+void ReliableChannel::process(Endpoint e, Message m, std::vector<Message>& acks_out) {
+  // Any message carries a cumulative ack for the channel we send on
+  // (e -> m.src), piggybacked or standalone.
+  if (m.rel_ack != 0) handle_ack(channel(e, m.src), m.rel_ack);
+  if (m.kind == kRelAckKind) {
+    handle_ack(channel(e, m.src), m.a);
+    return;
+  }
+  if (m.rel_seq == 0) {
+    // Pre-reliability or control traffic: pass through untouched.
+    ready_[e].push_back(std::move(m));
+    return;
+  }
+
+  const std::size_t ch = channel(m.src, e);
+  RecvState& st = recv_[ch];
+  if (m.rel_seq <= st.delivered || st.reorder.count(m.rel_seq) != 0) {
+    dup_dropped_.add();
+    if (obs::trace_enabled()) {
+      obs::trace_instant("rel.dup_drop", "net", {"src", m.src},
+                         {"seq", m.rel_seq});
+    }
+    // Re-ack so a sender retransmitting into a lost-ack window quiesces.
+    acks_out.push_back(make_ack(e, m.src, st.delivered));
+    return;
+  }
+  const Endpoint sender = m.src;
+  st.reorder.emplace(m.rel_seq, std::move(m));
+  while (!st.reorder.empty() && st.reorder.begin()->first == st.delivered + 1) {
+    ready_[e].push_back(std::move(st.reorder.begin()->second));
+    st.reorder.erase(st.reorder.begin());
+    ++st.delivered;
+  }
+  acks_out.push_back(make_ack(e, sender, st.delivered));
+}
+
+std::optional<Message> ReliableChannel::recv(Endpoint e) {
+  for (;;) {
+    std::vector<Message> acks;
+    {
+      std::scoped_lock lk(mu_);
+      if (!ready_[e].empty()) {
+        Message out = std::move(ready_[e].front());
+        ready_[e].pop_front();
+        return out;
+      }
+    }
+    auto raw = fabric_.mailbox(e).recv();
+    if (!raw.has_value()) {
+      std::scoped_lock lk(mu_);
+      if (ready_[e].empty()) return std::nullopt;
+      Message out = std::move(ready_[e].front());
+      ready_[e].pop_front();
+      return out;
+    }
+    {
+      std::scoped_lock lk(mu_);
+      process(e, std::move(*raw), acks);
+    }
+    for (Message& a : acks) {
+      acks_sent_.add();
+      ack_bytes_.add(a.wire_bytes());
+      fabric_.send_raw(std::move(a));
+    }
+  }
+}
+
+void ReliableChannel::timer_loop() {
+  std::unique_lock lk(mu_);
+  while (!stop_) {
+    timer_cv_.wait_for(lk, cfg_.tick);
+    if (stop_) break;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Message> resends;
+    for (std::size_t ch = 0; ch < send_.size(); ++ch) {
+      SendState& st = send_[ch];
+      if (st.dead || st.inflight.empty()) continue;
+      for (auto& [seq, entry] : st.inflight) {
+        if (entry.deadline > now) continue;
+        if (entry.attempts >= cfg_.max_retries) {
+          st.dead = true;
+          PeerUnreachable err;
+          err.src = static_cast<Endpoint>(ch / endpoints_);
+          err.dst = static_cast<Endpoint>(ch % endpoints_);
+          err.first_unacked = seq;
+          err.retries = entry.attempts;
+          errors_.push_back(err);
+          if (obs::trace_enabled()) {
+            obs::trace_instant("rel.peer_unreachable", "net", {"dst", err.dst},
+                               {"seq", seq});
+          }
+          break;
+        }
+        ++entry.attempts;
+        entry.rto = std::min(entry.rto * 2, cfg_.max_rto);
+        entry.deadline = now + entry.rto;
+        rto_ns_.record(entry.rto);
+        retransmits_.add();
+        if (obs::trace_enabled()) {
+          obs::trace_instant("rel.retransmit", "net", {"dst", entry.msg.dst},
+                             {"seq", seq});
+        }
+        resends.push_back(entry.msg);
+      }
+      if (st.dead) st.inflight.clear();
+    }
+    if (!resends.empty()) {
+      lk.unlock();
+      for (Message& m : resends) fabric_.send_raw(std::move(m));
+      lk.lock();
+    }
+  }
+}
+
+std::vector<ReliableChannel::PeerUnreachable> ReliableChannel::errors() const {
+  std::scoped_lock lk(mu_);
+  return errors_;
+}
+
+void ReliableChannel::add_metrics(MetricsSnapshot& snap) const {
+  snap.values["net.retransmits"] = retransmits_.get();
+  snap.values["net.dup_dropped"] = dup_dropped_.get();
+  snap.values["net.acks"] = acks_sent_.get();
+  snap.values["net.ack_bytes"] = ack_bytes_.get();
+  snap.add_histogram("net.rto_ns", rto_ns_);
+  std::scoped_lock lk(mu_);
+  snap.values["net.peer_unreachable"] = errors_.size();
+}
+
+}  // namespace mc::net

@@ -1,0 +1,145 @@
+// Reliable FIFO channels on top of a lossy fabric.
+//
+// The paper's Section 6 implementation assumes reliable FIFO channels; a
+// workstation network only approximates them.  This layer reconstructs the
+// assumption the way a real deployment must: per-channel sequence numbers,
+// receiver-side dedup and reorder buffering, cumulative acks (piggybacked
+// on reverse traffic and sent standalone), and retransmission on timeout
+// with exponential backoff.  A channel that exhausts its retries surfaces a
+// structured PeerUnreachable record instead of retrying forever — the
+// stall itself is the watchdog's job to report (src/dsm/watchdog.h).
+//
+// The protocol state machine (sender and receiver sides) is documented in
+// docs/FAULTS.md.  When reliability is disabled the fabric never consults
+// this class; when enabled, every non-ack message is sequenced and the
+// fabric's recv path routes through ReliableChannel::recv.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/message.h"
+
+namespace mc::net {
+
+class Fabric;
+
+/// Wire kind of standalone cumulative acks (field a = acked sequence).
+/// Chosen high so protocol layers' own kinds (1..~20) never collide.
+inline constexpr std::uint16_t kRelAckKind = 62;
+
+struct ReliabilityConfig {
+  /// First retransmit timeout for a freshly sent message.
+  std::chrono::nanoseconds initial_rto{std::chrono::milliseconds(2)};
+  /// Backoff cap.
+  std::chrono::nanoseconds max_rto{std::chrono::milliseconds(200)};
+  /// Retransmissions per message before the channel is declared dead.
+  int max_retries = 10;
+  /// Granularity of the retransmit timer thread.
+  std::chrono::nanoseconds tick{std::chrono::microseconds(500)};
+};
+
+class ReliableChannel {
+ public:
+  /// A channel that exhausted its retries.  Surfaced through errors() and
+  /// `net.peer_unreachable`; the watchdog includes it in diagnostics.
+  struct PeerUnreachable {
+    Endpoint src = kNoEndpoint;
+    Endpoint dst = kNoEndpoint;
+    std::uint64_t first_unacked = 0;
+    int retries = 0;
+  };
+
+  ReliableChannel(Fabric& fabric, std::size_t endpoints, ReliabilityConfig cfg);
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Sender side: assign the next per-channel sequence number, piggyback
+  /// the reverse channel's cumulative ack, and buffer a copy for
+  /// retransmission.  Called by Fabric::send before the message enters the
+  /// lossy path.  Thread-safe.
+  void on_send(Message& m);
+
+  /// Receiver side: blocking receive of the next in-order message for
+  /// endpoint `e` — the reliable replacement for Mailbox::recv.  Consumes
+  /// protocol traffic (acks, duplicates, out-of-order buffering)
+  /// internally.  Returns nullopt once the underlying mailbox is closed
+  /// and drained.  One consumer thread per endpoint.
+  std::optional<Message> recv(Endpoint e);
+
+  /// Stop the retransmit timer (idempotent; called by Fabric::shutdown
+  /// before mailboxes close).
+  void stop();
+
+  // --- accounting (docs/METRICS.md) ---
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_.get(); }
+  [[nodiscard]] std::uint64_t dup_dropped() const { return dup_dropped_.get(); }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_.get(); }
+  [[nodiscard]] std::uint64_t ack_bytes() const { return ack_bytes_.get(); }
+  [[nodiscard]] const LatencyHistogram& rto_ns() const { return rto_ns_; }
+  [[nodiscard]] std::vector<PeerUnreachable> errors() const;
+
+  void add_metrics(MetricsSnapshot& snap) const;
+
+ private:
+  struct InFlight {
+    Message msg;  // deliver_at restamped on every (re)send
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::nanoseconds rto;
+    int attempts = 0;
+  };
+
+  struct SendState {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, InFlight> inflight;
+    bool dead = false;
+  };
+
+  struct RecvState {
+    std::uint64_t delivered = 0;  // highest in-order sequence handed up
+    std::map<std::uint64_t, Message> reorder;
+  };
+
+  [[nodiscard]] std::size_t channel(Endpoint src, Endpoint dst) const {
+    return static_cast<std::size_t>(src) * endpoints_ + dst;
+  }
+
+  /// Process one raw message for consumer `e`; in-order app messages are
+  /// appended to ready_[e].  Returns acks to transmit (sent without the
+  /// lock held).
+  void process(Endpoint e, Message m, std::vector<Message>& acks_out);
+  void handle_ack(std::size_t ch, std::uint64_t acked);
+  [[nodiscard]] Message make_ack(Endpoint from, Endpoint to, std::uint64_t acked) const;
+
+  void timer_loop();
+
+  Fabric& fabric_;
+  const std::size_t endpoints_;
+  const ReliabilityConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::vector<SendState> send_;                 // [src * n + dst]
+  std::vector<RecvState> recv_;                 // [src * n + dst]
+  std::vector<std::deque<Message>> ready_;      // per endpoint, in order
+  std::vector<PeerUnreachable> errors_;
+
+  Counter retransmits_, dup_dropped_, acks_sent_, ack_bytes_;
+  LatencyHistogram rto_ns_;
+
+  std::condition_variable timer_cv_;
+  bool stop_ = false;
+  std::thread timer_;
+};
+
+}  // namespace mc::net

@@ -41,6 +41,26 @@ std::string RunReport::to_json() const {
     w.key("metrics").begin_object();
     for (const auto& [k, v] : row.metrics.values) w.key(k).value(v);
     w.end_object();
+    if (row.diagnostics.fired) {
+      const Diagnostics& d = row.diagnostics;
+      const auto string_list = [&w](const char* key,
+                                    const std::vector<std::string>& items) {
+        w.key(key).begin_array();
+        for (const std::string& s : items) w.value(s);
+        w.end_array();
+      };
+      w.key("diagnostics").begin_object();
+      w.key("reason").value(d.reason);
+      string_list("stalled_waits", d.stalled_waits);
+      string_list("deadlock_cycle", d.deadlock_cycle);
+      string_list("locks", d.locks);
+      string_list("barriers", d.barriers);
+      w.key("in_flight").begin_array();
+      for (const std::uint64_t n : d.in_flight) w.value(n);
+      w.end_array();
+      string_list("unreachable", d.unreachable);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

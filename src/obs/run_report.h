@@ -27,6 +27,20 @@ struct RunReport {
   /// Run-level configuration (latency model, build flavor, ...).
   std::map<std::string, std::string> config;
 
+  /// Watchdog dump for a case that stalled (docs/METRICS.md).  Serialized
+  /// under the row's "diagnostics" key only when `fired` is set, so healthy
+  /// runs keep their layout unchanged.
+  struct Diagnostics {
+    bool fired = false;
+    std::string reason;
+    std::vector<std::string> stalled_waits;
+    std::vector<std::string> deadlock_cycle;
+    std::vector<std::string> locks;
+    std::vector<std::string> barriers;
+    std::vector<std::uint64_t> in_flight;
+    std::vector<std::string> unreachable;
+  };
+
   /// One row per experiment case.
   struct Row {
     std::string name;
@@ -40,6 +54,8 @@ struct RunReport {
     std::map<std::string, double> stats;
     /// Protocol-cost counters and histogram summaries (docs/METRICS.md).
     MetricsSnapshot metrics;
+    /// Present (fired == true) only when the case's watchdog fired.
+    Diagnostics diagnostics;
   };
   std::vector<Row> rows;
 

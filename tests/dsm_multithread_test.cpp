@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -91,26 +92,27 @@ TEST(MultiThreadedNode, TraceOfConcurrentThreadsStillChecks) {
   cfg.num_vars = 8;
   cfg.record_trace = true;
   MixedSystem sys(cfg);
-  auto drive = [&](ProcId p) {
-    std::thread t1([&] {
-      for (int i = 0; i < 10; ++i) {
-        sys.node(p).write(p * 2, static_cast<Value>((p + 1) * 1000 + i));
-        sys.node(p).read(0, ReadMode::kPram);
-      }
-    });
-    std::thread t2([&] {
-      for (int i = 0; i < 10; ++i) {
-        sys.node(p).write(p * 2 + 1, static_cast<Value>((p + 1) * 2000 + i));
-        sys.node(p).read(2, ReadMode::kCausal);
-      }
-    });
-    t1.join();
-    t2.join();
-  };
-  std::thread a([&] { drive(0); });
-  std::thread b([&] { drive(1); });
-  a.join();
-  b.join();
+  // Driven through the watchdog-guarded overload: if the interleaving ever
+  // wedges, the run reports a stall diagnosis instead of hanging the suite.
+  const auto outcome = sys.run(
+      [&](Node& node, ProcId p) {
+        std::thread t1([&] {
+          for (int i = 0; i < 10; ++i) {
+            node.write(p * 2, static_cast<Value>((p + 1) * 1000 + i));
+            node.read(0, ReadMode::kPram);
+          }
+        });
+        std::thread t2([&] {
+          for (int i = 0; i < 10; ++i) {
+            node.write(p * 2 + 1, static_cast<Value>((p + 1) * 2000 + i));
+            node.read(2, ReadMode::kCausal);
+          }
+        });
+        t1.join();
+        t2.join();
+      },
+      std::chrono::seconds(30));
+  ASSERT_FALSE(outcome.stalled) << outcome.diagnostics.reason;
   // The recorded trace is a linearization of each node's operations that
   // matches the order in which the node actually absorbed visibility, so
   // it must satisfy mixed consistency.

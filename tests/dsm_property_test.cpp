@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <tuple>
 
 #include "common/rng.h"
@@ -70,7 +71,9 @@ TEST_P(RandomProgramTest, TraceIsAlwaysMixedConsistent) {
   MixedSystem sys(cfg);
   sys.node(0).write_int(counter, 1'000'000);  // plenty of headroom
 
-  sys.run([&](Node& n, ProcId p) {
+  // The watchdog-guarded overload: a wedged sweep case reports a stall
+  // diagnosis instead of hanging the suite.
+  const auto outcome = sys.run([&](Node& n, ProcId p) {
     // Synchronize with the counter initialization (Section 5.3 programs
     // initialize counters before the parallel phase; an unsynchronized
     // base write would be a checker-visible race).  A barrier — not an
@@ -132,7 +135,8 @@ TEST_P(RandomProgramTest, TraceIsAlwaysMixedConsistent) {
       }
     }
     n.barrier();  // final rendezvous keeps barrier counts aligned
-  });
+  }, std::chrono::seconds(60));
+  ASSERT_FALSE(outcome.stalled) << outcome.diagnostics.reason;
 
   const auto h = sys.collect_history();
   const auto res = history::check_mixed_consistency(h);
@@ -149,14 +153,17 @@ TEST(RandomProgram, BarrierPhasedProgramsSatisfyCorollary2Shape) {
   cfg.num_vars = 4;
   cfg.record_trace = true;
   MixedSystem sys(cfg);
-  sys.run([&](Node& n, ProcId p) {
-    for (int phase = 0; phase < 3; ++phase) {
-      n.write_int(p, phase * 10 + p);
-      n.barrier();
-      std::ignore = n.read_int(1 - p, ReadMode::kPram);
-      n.barrier();
-    }
-  });
+  const auto outcome = sys.run(
+      [&](Node& n, ProcId p) {
+        for (int phase = 0; phase < 3; ++phase) {
+          n.write_int(p, phase * 10 + p);
+          n.barrier();
+          std::ignore = n.read_int(1 - p, ReadMode::kPram);
+          n.barrier();
+        }
+      },
+      std::chrono::seconds(60));
+  ASSERT_FALSE(outcome.stalled) << outcome.diagnostics.reason;
   const auto h = sys.collect_history();
   EXPECT_TRUE(history::check_mixed_consistency(h).ok);
   const auto sc = history::check_sequential_consistency(h);

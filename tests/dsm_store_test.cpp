@@ -29,6 +29,38 @@ TEST(Store, WriteOverwritesValueAndMetadata) {
   EXPECT_EQ(s.entry(1).vc, (VectorClock{1, 1}));
 }
 
+TEST(Store, WritesFormAnLwwRegisterOverTheCausalOrder) {
+  Store s(4, 2);
+  s.apply(1, 47, kFlagWrite, WriteId{0, 3}, VectorClock{3, 2});
+  // A retransmission-delayed copy of a causally *earlier* write arrives
+  // late (docs/FAULTS.md): it must not overwrite the newer value.
+  s.apply(1, 7, kFlagWrite, WriteId{1, 2}, VectorClock{0, 2});
+  EXPECT_EQ(s.entry(1).value, 47u);
+  EXPECT_EQ(s.entry(1).last, (WriteId{0, 3}));
+  EXPECT_EQ(s.entry(1).vc, (VectorClock{3, 2}));
+  // An equal clock is a network duplicate of the installed write: no-op.
+  s.apply(1, 47, kFlagWrite, WriteId{0, 3}, VectorClock{3, 2});
+  EXPECT_EQ(s.entry(1).value, 47u);
+  // Concurrent writes are arbitrated by (vc.total(), proc, seq) so both
+  // store views pick the same winner in any apply order.  {2, 4} beats
+  // {3, 2} on component sum (6 > 5) despite being concurrent...
+  s.apply(1, 9, kFlagWrite, WriteId{1, 3}, VectorClock{2, 4});
+  EXPECT_EQ(s.entry(1).value, 9u);
+  EXPECT_EQ(s.entry(1).vc, (VectorClock{2, 4}));
+  // ...and a concurrent write with a *smaller* sum loses.
+  s.apply(1, 13, kFlagWrite, WriteId{0, 4}, VectorClock{4, 1});
+  EXPECT_EQ(s.entry(1).value, 9u);
+  // On a sum tie the (proc, seq) of the write breaks it deterministically:
+  // {4, 2} by p0 loses to the installed {2, 4} by p1 (equal sums, lower
+  // writer id).
+  s.apply(1, 21, kFlagWrite, WriteId{0, 5}, VectorClock{4, 2});
+  EXPECT_EQ(s.entry(1).value, 9u);
+  // `force` (demand-policy migratory writes, untick'd clocks) bypasses the
+  // register order: even a clock equal to the installed one applies.
+  s.apply(1, 33, kFlagWrite, WriteId{0, 6}, VectorClock{2, 4}, 0, /*force=*/true);
+  EXPECT_EQ(s.entry(1).value, 33u);
+}
+
 TEST(Store, IntDeltaSubtractsAndMergesClocks) {
   Store s(4, 2);
   s.apply(0, value_of(std::int64_t{100}), kFlagWrite, WriteId{0, 1}, VectorClock{1, 0});

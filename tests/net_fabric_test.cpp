@@ -123,6 +123,78 @@ TEST(Fabric, MetricsUseRegisteredKindNames) {
   EXPECT_EQ(snap.get("net.msg.update"), 1u);
 }
 
+TEST(Mailbox, PushAfterCloseReturnsFalseAndDiscards) {
+  Fabric f(2);
+  f.mailbox(1).close();
+  EXPECT_FALSE(f.mailbox(1).push(make(0, 1, 1, 7)));
+  EXPECT_EQ(f.mailbox(1).pending(), 0u);
+  EXPECT_FALSE(f.mailbox(1).try_recv().has_value());
+}
+
+TEST(Fabric, CountsSendsAfterClose) {
+  Fabric f(2);
+  f.send(make(0, 1, 1, 1));
+  f.mailbox(1).close();
+  f.send(make(0, 1, 1, 2));
+  f.send(make(0, 1, 1, 3));
+  EXPECT_EQ(f.sends_after_close(), 2u);
+  // The raced sends are still accounted as sent (they left the sender) but
+  // only the pre-close message is deliverable.
+  EXPECT_EQ(f.messages_sent(), 3u);
+  EXPECT_EQ(f.metrics().get("net.send_after_close"), 2u);
+  ASSERT_TRUE(f.mailbox(1).recv().has_value());
+  EXPECT_FALSE(f.mailbox(1).recv().has_value());
+}
+
+TEST(Fabric, CloseRecvRaceAccountsEveryMessage) {
+  // A receiver draining while the fabric shuts down mid-stream: every send
+  // must either be received or show up in sends_after_close — none lost
+  // silently.
+  constexpr std::uint64_t kTotal = 5000;
+  Fabric f(2);
+  std::uint64_t received = 0;
+  std::thread receiver([&] {
+    while (f.mailbox(1).recv().has_value()) ++received;
+  });
+  std::thread sender([&] {
+    for (std::uint64_t i = 0; i < kTotal; ++i) f.send(make(0, 1, 1, i));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  f.shutdown();
+  sender.join();
+  receiver.join();
+  EXPECT_EQ(received + f.sends_after_close(), kTotal);
+  EXPECT_EQ(f.messages_sent(), kTotal);
+}
+
+TEST(Fabric, MulticastAccountingUnderConcurrentSenders) {
+  constexpr int kPerSender = 200;
+  Fabric f(5);
+  const std::vector<Endpoint> dsts{3, 4};
+  std::vector<std::thread> senders;
+  for (Endpoint s = 0; s < 3; ++s) {
+    senders.emplace_back([&f, &dsts, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        Message m = make(s, 0, 2, static_cast<std::uint64_t>(i));
+        m.payload = {1, 2};
+        f.multicast(m, dsts);
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  const std::uint64_t expected = 3ull * kPerSender * dsts.size();
+  EXPECT_EQ(f.messages_sent(), expected);
+  EXPECT_EQ(f.messages_of_kind(2), expected);
+  Message probe = make(0, 3, 2);
+  probe.payload = {1, 2};
+  EXPECT_EQ(f.bytes_sent(), expected * probe.wire_bytes());
+  for (const Endpoint d : dsts) {
+    std::uint64_t got = 0;
+    while (f.mailbox(d).try_recv().has_value()) ++got;
+    EXPECT_EQ(got, 3ull * kPerSender);
+  }
+}
+
 TEST(Fabric, ConcurrentSendersDoNotLoseMessages) {
   Fabric f(5);
   std::vector<std::thread> senders;

@@ -1,0 +1,158 @@
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric.h"
+
+namespace mc::net {
+namespace {
+
+Message make(Endpoint src, Endpoint dst, std::uint16_t kind, std::uint64_t a = 0) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.kind = kind;
+  m.a = a;
+  return m;
+}
+
+std::vector<std::uint64_t> drain(Fabric& f, Endpoint e) {
+  std::vector<std::uint64_t> got;
+  while (const auto m = f.mailbox(e).try_recv()) got.push_back(m->a);
+  return got;
+}
+
+TEST(FaultInjector, SameSeedReplaysIdentically) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_prob = 0.5;
+  plan.dup_prob = 0.1;
+
+  std::vector<std::uint64_t> runs[2];
+  for (auto& run : runs) {
+    Fabric f(2);
+    f.inject_faults(plan);
+    for (std::uint64_t i = 0; i < 500; ++i) f.send(make(0, 1, 1, i));
+    run = drain(f, 1);
+  }
+  EXPECT_FALSE(runs[0].empty());
+  EXPECT_LT(runs[0].size(), 500u);
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+TEST(FaultInjector, DropsRoughlyTheConfiguredFraction) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob = 0.3;
+  Fabric f(2);
+  f.inject_faults(plan);
+  constexpr std::uint64_t kTotal = 2000;
+  for (std::uint64_t i = 0; i < kTotal; ++i) f.send(make(0, 1, 1, i));
+  const auto got = drain(f, 1);
+  const auto snap = f.metrics();
+  EXPECT_EQ(got.size() + snap.get("net.fault.dropped"), kTotal);
+  EXPECT_NEAR(static_cast<double>(snap.get("net.fault.dropped")), 0.3 * kTotal,
+              0.05 * kTotal);
+  // Dropped messages still count as sent: loss happens in flight.
+  EXPECT_EQ(f.messages_sent(), kTotal);
+}
+
+TEST(FaultInjector, PartitionWindowDropsByFabricSendIndex) {
+  FaultPlan plan;
+  FaultPlan::Partition part;
+  part.group_a = {0};
+  part.group_b = {1};
+  part.from_send = 10;
+  part.until_send = 20;
+  plan.partitions.push_back(part);
+  Fabric f(2);
+  f.inject_faults(plan);
+  for (std::uint64_t i = 0; i < 30; ++i) f.send(make(0, 1, 1, i));
+  const auto got = drain(f, 1);
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    if (i < 10 || i >= 20) expected.push_back(i);
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(f.metrics().get("net.fault.partitioned"), 10u);
+}
+
+TEST(FaultInjector, PartitionLeavesOtherChannelsAlone) {
+  FaultPlan plan;
+  FaultPlan::Partition part;
+  part.group_a = {0};
+  part.group_b = {1};
+  part.from_send = 0;
+  part.until_send = 1000;
+  plan.partitions.push_back(part);
+  Fabric f(3);
+  f.inject_faults(plan);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    f.send(make(0, 1, 1, i));  // partitioned
+    f.send(make(0, 2, 1, i));  // unaffected
+    f.send(make(2, 1, 1, i));  // unaffected
+  }
+  EXPECT_TRUE(drain(f, 1).size() == 10u);  // only the 2 -> 1 traffic
+  EXPECT_EQ(drain(f, 2).size(), 10u);
+  EXPECT_EQ(f.metrics().get("net.fault.partitioned"), 10u);
+}
+
+TEST(FaultInjector, CrashStopKillsTrafficBothWays) {
+  FaultPlan plan;
+  plan.crash_after_sends[0] = 5;
+  Fabric f(2);
+  f.inject_faults(plan);
+  for (std::uint64_t i = 0; i < 10; ++i) f.send(make(0, 1, 1, i));
+  f.send(make(1, 0, 1, 99));  // towards the corpse
+  const auto got = drain(f, 1);
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(drain(f, 0).empty());
+  EXPECT_EQ(f.metrics().get("net.fault.crashed"), 6u);
+}
+
+TEST(FaultInjector, DelaySpikeHoldsDeliveryUntilTheFloor) {
+  FaultPlan plan;
+  plan.delay_prob = 1.0;
+  plan.delay_floor = std::chrono::milliseconds(5);
+  Fabric f(2);
+  f.inject_faults(plan);
+  f.send(make(0, 1, 1, 1));
+  // The spike pushed deliver_at into the future: not deliverable yet.
+  EXPECT_FALSE(f.mailbox(1).try_recv().has_value());
+  const auto m = f.mailbox(1).recv();  // blocks until the stamp passes
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->a, 1u);
+  EXPECT_EQ(f.metrics().get("net.fault.delayed"), 1u);
+}
+
+TEST(FaultInjector, DuplicatesDeliverAndAccountTwice) {
+  FaultPlan plan;
+  plan.dup_prob = 1.0;
+  Fabric f(2);
+  f.inject_faults(plan);
+  for (std::uint64_t i = 0; i < 10; ++i) f.send(make(0, 1, 1, i));
+  const auto got = drain(f, 1);
+  EXPECT_EQ(got.size(), 20u);
+  EXPECT_EQ(f.messages_sent(), 20u);  // duplicates are real wire traffic
+  EXPECT_EQ(f.metrics().get("net.fault.duplicated"), 10u);
+}
+
+TEST(FaultInjector, ClearFaultsRestoresTheIdealChannelKeepingCounters) {
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  Fabric f(2);
+  f.inject_faults(plan);
+  for (std::uint64_t i = 0; i < 5; ++i) f.send(make(0, 1, 1, i));
+  EXPECT_TRUE(drain(f, 1).empty());
+  f.clear_faults();
+  for (std::uint64_t i = 0; i < 5; ++i) f.send(make(0, 1, 1, i));
+  EXPECT_EQ(drain(f, 1).size(), 5u);
+  EXPECT_EQ(f.metrics().get("net.fault.dropped"), 5u);
+}
+
+}  // namespace
+}  // namespace mc::net
