@@ -1,0 +1,136 @@
+// Experiment C12 — batched update propagation (DESIGN.md §6.3).
+//
+// PR 4's optimization stack against the C11 baseline, on the Figure 2
+// equation solver with the reliability layer on a *clean* fabric (so every
+// message is protocol cost, none is repair):
+//
+//   unbatched-ack1  — the C11 "reliable" configuration: one kUpdate fan-out
+//                     per write, one standalone ack per delivery.
+//   batch8-ack1     — coalesced kBatch frames (≤8 records), classic acks.
+//   batch32-ack1    — bigger frames; the per-message floor amortizes more.
+//   batch32-ack8    — frames plus delayed cumulative acks (stride 8): the
+//                     full stack, and the configuration the acceptance
+//                     numbers quote.
+//   unbatched-ack8  — delayed acks alone, isolating their contribution.
+//
+// Expected shape: batching cuts wire messages ≥3× on its own (many writes
+// per barrier interval share one frame per destination); delayed acks take
+// the standalone-ack-to-data-message ratio from ~1.0 to ≤0.2; combined,
+// both the message count and the ack ratio collapse.  A second table runs
+// the 2-D Yee grid unbatched vs batched as a stencil cross-check.
+
+#include <cstdio>
+#include <string>
+
+#include "apps/em_field2d.h"
+#include "apps/equation_solver.h"
+#include "bench_util.h"
+
+using namespace mc;
+using namespace mc::apps;
+using namespace mc::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  std::optional<dsm::BatchingConfig> batching;
+  std::uint64_t ack_every = 1;
+};
+
+std::vector<Variant> variants() {
+  dsm::BatchingConfig small;
+  small.max_updates = 8;
+  dsm::BatchingConfig big;
+  big.max_updates = 32;
+  return {
+      {"unbatched-ack1", std::nullopt, 1},
+      {"batch8-ack1", small, 1},
+      {"batch32-ack1", big, 1},
+      {"batch32-ack8", big, 8},
+      {"unbatched-ack8", std::nullopt, 8},
+  };
+}
+
+/// Derived columns shared by both tables: split total traffic into data
+/// messages vs standalone acks, and report the delayed-ack ratio the C12
+/// acceptance numbers quote.
+void report(Harness& h, const std::string& name, double ms, std::size_t iters,
+            const MetricsSnapshot& m, const std::string& app) {
+  const auto total = static_cast<double>(m.get("net.messages"));
+  const auto acks = static_cast<double>(m.get("net.msg.rel_ack"));
+  const double data = total - acks;
+  const double ack_ratio = data > 0 ? acks / data : 0.0;
+  std::printf("%-16s time=%8.2fms msgs=%-8llu data=%-8llu acks=%-8llu "
+              "ack/data=%.2f bytes=%-10llu coalesced=%-7llu upd/msg=%llu\n",
+              name.c_str(), ms, msgs(m),
+              static_cast<unsigned long long>(data),
+              static_cast<unsigned long long>(acks), ack_ratio, bytes(m),
+              static_cast<unsigned long long>(m.get("net.batch.coalesced")),
+              static_cast<unsigned long long>(
+                  m.get("net.batch.updates_per_msg.mean")));
+  auto& row = h.add_row(app + "-" + name);
+  row.params["app"] = app;
+  row.params["variant"] = name;
+  if (iters != 0) row.stats["iterations"] = static_cast<double>(iters);
+  row.wall_ms = ms;
+  row.stats["data_msgs"] = data;
+  row.stats["standalone_acks"] = acks;
+  row.stats["ack_to_data_ratio"] = ack_ratio;
+  row.metrics = m;
+}
+
+void solver_table(Harness& h) {
+  const std::size_t n = h.smoke() ? 16 : 48;
+  const LinearSystem sys = LinearSystem::random(n, 1000 + n);
+  print_header("C12 — batched update propagation: Figure 2 solver, reliable "
+               "clean fabric",
+               "unbatched vs kBatch frames vs delayed cumulative acks; expect "
+               "≥3x fewer messages and ack/data ≤0.2 with the full stack");
+  for (const Variant& v : variants()) {
+    SolverOptions opt;
+    opt.workers = 3;
+    opt.latency = net::LatencyModel::fast();
+    opt.reliable = true;
+    opt.reliability.ack_every = v.ack_every;
+    opt.batching = v.batching;
+    const SolverResult r = solve_barrier_pram(sys, opt);
+    report(h, v.name, r.elapsed_ms, r.iterations, r.metrics, "solver");
+  }
+}
+
+void em2d_table(Harness& h) {
+  Em2dProblem prob;
+  prob.nx = h.smoke() ? 16 : 32;
+  prob.ny = h.smoke() ? 12 : 24;
+  prob.steps = 8;
+  print_header("C12b — 2-D Yee grid stencil cross-check (ghost rows, "
+               "reliable clean fabric)",
+               "whole ghost rows coalesce into one frame per barrier "
+               "interval; ack stride fixed at 1");
+  const struct {
+    const char* name;
+    std::optional<dsm::BatchingConfig> batching;
+  } rows[] = {
+      {"unbatched", std::nullopt},
+      {"batch32", dsm::BatchingConfig{.max_updates = 32}},
+  };
+  for (const auto& v : rows) {
+    const Em2dResult r =
+        em2d_mixed(prob, 3, ReadMode::kPram, net::LatencyModel::fast(), 1,
+                   std::nullopt, /*reliable=*/true, v.batching);
+    report(h, v.name, r.elapsed_ms, 0, r.metrics, "em-field2d");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Harness h("bench_batching", argc, argv);
+  h.config("latency", "fast");
+  h.config("fabric", "clean+reliable");
+
+  solver_table(h);
+  em2d_table(h);
+  return 0;
+}

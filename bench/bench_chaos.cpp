@@ -19,6 +19,7 @@
 
 #include "apps/cholesky.h"
 #include "apps/em_field.h"
+#include "apps/em_field2d.h"
 #include "apps/equation_solver.h"
 #include "bench_util.h"
 #include "net/fault.h"
@@ -98,6 +99,19 @@ void em_case(Harness& h, Mode mode) {
   report(h, "em-field", mode, r.elapsed_ms, r.metrics);
 }
 
+void em2d_case(Harness& h, Mode mode) {
+  Em2dProblem prob;
+  prob.nx = 24;
+  prob.ny = 16;
+  prob.steps = 8;
+  const auto r = em2d_mixed(
+      prob, 3, ReadMode::kPram, {}, 1,
+      mode == Mode::kChaos ? std::optional<net::FaultPlan>(chaos_plan(44))
+                           : std::nullopt,
+      mode != Mode::kIdeal);
+  report(h, "em-field2d", mode, r.elapsed_ms, r.metrics);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,13 +124,19 @@ int main(int argc, char** argv) {
   for (const Mode mode : {Mode::kIdeal, Mode::kReliable, Mode::kChaos}) {
     solver_case(h, mode);
   }
-  std::printf("\n");
-  for (const Mode mode : {Mode::kIdeal, Mode::kReliable, Mode::kChaos}) {
-    cholesky_case(h, mode);
-  }
-  std::printf("\n");
-  for (const Mode mode : {Mode::kIdeal, Mode::kReliable, Mode::kChaos}) {
-    em_case(h, mode);
+  if (!h.smoke()) {
+    std::printf("\n");
+    for (const Mode mode : {Mode::kIdeal, Mode::kReliable, Mode::kChaos}) {
+      cholesky_case(h, mode);
+    }
+    std::printf("\n");
+    for (const Mode mode : {Mode::kIdeal, Mode::kReliable, Mode::kChaos}) {
+      em_case(h, mode);
+    }
+    std::printf("\n");
+    for (const Mode mode : {Mode::kIdeal, Mode::kReliable, Mode::kChaos}) {
+      em2d_case(h, mode);
+    }
   }
 
   h.finish();

@@ -89,8 +89,12 @@ int main(int argc, char** argv) {
   print_header("F4 — electromagnetic field computation (Section 5.2, Figure 4)",
                "alternating E/H phases with barriers; PRAM reads suffice "
                "(Corollary 2); ghost sharing slashes update traffic");
-  for (const std::size_t m : {64, 128}) {
-    for (const std::size_t procs : {2, 4}) {
+  const std::vector<std::size_t> sizes =
+      h.smoke() ? std::vector<std::size_t>{32} : std::vector<std::size_t>{64, 128};
+  const std::vector<std::size_t> proc_counts =
+      h.smoke() ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4};
+  for (const std::size_t m : sizes) {
+    for (const std::size_t procs : proc_counts) {
       run_case(h, m, procs);
     }
     std::printf("\n");
@@ -98,9 +102,9 @@ int main(int argc, char** argv) {
 
   print_header("F4b — 2-D TE-mode Yee grid (Madsen-style spatial fields)",
                "row strips, ghost boundary rows over DSM, PRAM reads");
-  for (const std::size_t procs : {2, 4}) {
-    run_case_2d(h, 48, 48, procs);
-    run_case_2d(h, 96, 64, procs);
+  for (const std::size_t procs : proc_counts) {
+    run_case_2d(h, h.smoke() ? 24 : 48, h.smoke() ? 16 : 48, procs);
+    if (!h.smoke()) run_case_2d(h, 96, 64, procs);
   }
   return 0;
 }

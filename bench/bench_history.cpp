@@ -83,22 +83,25 @@ void report(Harness& h, const char* name, std::size_t ops_per_proc, std::size_t 
 }
 
 void checker_throughput(Harness& h) {
+  const std::vector<std::size_t> sizes =
+      h.smoke() ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 64, 128};
+  const double min_ms = h.smoke() ? 5.0 : 50.0;
   std::printf("\n=== C6 — checker throughput (4 procs, random histories) ===\n");
-  for (const std::size_t ops : {16, 64, 128}) {
+  for (const std::size_t ops : sizes) {
     const auto hist = random_history(4, ops, 11);
     report(h, "build-relations", ops, hist.size(),
-           measure_op([&] { do_not_optimize(build_relations(hist)); }, 50.0));
+           measure_op([&] { do_not_optimize(build_relations(hist)); }, min_ms));
   }
-  for (const std::size_t ops : {16, 64, 128}) {
+  for (const std::size_t ops : sizes) {
     const auto hist = random_history(4, ops, 13);
     const auto rel = build_relations(hist);
     report(h, "restrict-pram", ops, hist.size(),
-           measure_op([&] { do_not_optimize(restrict_pram(hist, *rel, 1)); }, 50.0));
+           measure_op([&] { do_not_optimize(restrict_pram(hist, *rel, 1)); }, min_ms));
   }
-  for (const std::size_t ops : {16, 64, 128}) {
+  for (const std::size_t ops : sizes) {
     const auto hist = random_history(4, ops, 17);
     report(h, "check-mixed-consistency", ops, hist.size(),
-           measure_op([&] { do_not_optimize(check_mixed_consistency(hist)); }, 50.0));
+           measure_op([&] { do_not_optimize(check_mixed_consistency(hist)); }, min_ms));
   }
 }
 

@@ -51,37 +51,40 @@ void report(Harness& h, const char* name, const MicroResult& r) {
 }
 
 void micro_table(Harness& h) {
+  // Smoke runs trim each timing loop to ~2ms — enough to exercise the path,
+  // not enough for stable numbers.
+  const double min_ms = h.smoke() ? 2.0 : 100.0;
   std::printf("\n=== C3 — memory-operation fast-path latency (unloaded) ===\n");
   {
     dsm::Node& n = mixed_instance().node(0);
     n.write(0, 1);
     report(h, "mixed-pram-read",
-           measure_op([&] { do_not_optimize(n.read(0, ReadMode::kPram)); }));
+           measure_op([&] { do_not_optimize(n.read(0, ReadMode::kPram)); }, min_ms));
   }
   {
     dsm::Node& n = mixed_instance().node(0);
     n.write(1, 1);
     report(h, "mixed-causal-read",
-           measure_op([&] { do_not_optimize(n.read(1, ReadMode::kCausal)); }));
+           measure_op([&] { do_not_optimize(n.read(1, ReadMode::kCausal)); }, min_ms));
   }
   {
     dsm::Node& n = mixed_instance().node(1);
     Value v = 0;
-    report(h, "mixed-write", measure_op([&] { n.write(2, ++v); }));
+    report(h, "mixed-write", measure_op([&] { n.write(2, ++v); }, min_ms));
   }
   {
     dsm::Node& n = mixed_instance().node(2);
-    report(h, "mixed-delta", measure_op([&] { n.dec_int(3, 1); }));
+    report(h, "mixed-delta", measure_op([&] { n.dec_int(3, 1); }, min_ms));
   }
   {
     baseline::ScNode& n = sc_instance().node(0);
     n.write(0, 1);
-    report(h, "sc-read", measure_op([&] { do_not_optimize(n.read(0)); }));
+    report(h, "sc-read", measure_op([&] { do_not_optimize(n.read(0)); }, min_ms));
   }
   {
     baseline::ScNode& n = sc_instance().node(1);
     Value v = 0;
-    report(h, "sc-write", measure_op([&] { n.write(2, ++v); }));
+    report(h, "sc-write", measure_op([&] { n.write(2, ++v); }, min_ms));
   }
 }
 
@@ -90,7 +93,7 @@ void micro_table(Harness& h) {
 /// per write, the mixed system's writes stay asynchronous.
 void latency_table(Harness& h) {
   const auto lat = net::LatencyModel::lan();
-  constexpr int kRounds = 30;
+  const int kRounds = h.smoke() ? 3 : 30;
 
   dsm::Config mcfg;
   mcfg.num_procs = 4;
@@ -124,7 +127,8 @@ void latency_table(Harness& h) {
   });
   const double sc_ms = sc_clock.elapsed_ms();
 
-  std::printf("\n=== C3 — blocking under LAN latency (30 write/read rounds, 4 procs) ===\n");
+  std::printf("\n=== C3 — blocking under LAN latency (%d write/read rounds, 4 procs) ===\n",
+              kRounds);
   std::printf("mixed (PRAM reads, async writes): time=%8.2fms blocked=%8.2fms\n",
               mixed_ms, blocked_ms(mixed.metrics()));
   std::printf("SC baseline (sequencer writes):   time=%8.2fms blocked=%8.2fms\n",

@@ -74,8 +74,12 @@ int main(int argc, char** argv) {
   print_header("F2/F3/C1 — iterative equation solver (Section 5.1, Figures 2-3)",
                "barrier+PRAM vs handshake+causal vs SC; expect fig2 cheapest "
                "(fewer messages, less blocking), SC most expensive");
-  for (const std::size_t n : {24, 48, 96}) {
-    for (const std::size_t workers : {2, 4}) {
+  const std::vector<std::size_t> sizes =
+      h.smoke() ? std::vector<std::size_t>{16} : std::vector<std::size_t>{24, 48, 96};
+  const std::vector<std::size_t> worker_counts =
+      h.smoke() ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4};
+  for (const std::size_t n : sizes) {
+    for (const std::size_t workers : worker_counts) {
       run_case(h, n, workers);
     }
     std::printf("\n");

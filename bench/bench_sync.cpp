@@ -215,22 +215,27 @@ int main(int argc, char** argv) {
   print_header("C4 — lock propagation policies (Section 6)",
                "migratory critical sections under eager / lazy / demand-driven "
                "update propagation");
-  for (const std::size_t procs : {2, 4}) {
-    lock_policy_case(h, LockPolicy::kEager, procs, 40);
-    lock_policy_case(h, LockPolicy::kLazy, procs, 40);
-    lock_policy_case(h, LockPolicy::kDemand, procs, 40);
+  const int lock_rounds = h.smoke() ? 8 : 40;
+  const std::vector<std::size_t> lock_procs =
+      h.smoke() ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4};
+  for (const std::size_t procs : lock_procs) {
+    lock_policy_case(h, LockPolicy::kEager, procs, lock_rounds);
+    lock_policy_case(h, LockPolicy::kLazy, procs, lock_rounds);
+    lock_policy_case(h, LockPolicy::kDemand, procs, lock_rounds);
     std::printf("\n");
   }
 
   print_header("C5 — count-vector barrier cost (Section 6)",
                "two messages per process per barrier, one manager round trip");
-  for (const std::size_t procs : {2, 4, 8}) {
-    barrier_case(h, procs, 100);
+  const std::vector<std::size_t> barrier_procs =
+      h.smoke() ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4, 8};
+  for (const std::size_t procs : barrier_procs) {
+    barrier_case(h, procs, h.smoke() ? 10 : 100);
   }
 
   print_header("C10 — explicit synchronization vs strong operations (Section 2)",
                "producer/consumer handoff: mixed's await vs hybrid consistency's "
                "strong flag vs the SC baseline");
-  handoff_case(h, 50);
+  handoff_case(h, h.smoke() ? 5 : 50);
   return 0;
 }

@@ -52,10 +52,12 @@ class Harness {
         json_path_ = argv[++i];
       } else if (arg == "--trace" && i + 1 < argc) {
         trace_path_ = argv[++i];
+      } else if (arg == "--smoke") {
+        smoke_ = true;
       } else {
         std::fprintf(stderr,
                      "%s: unknown argument '%s' (supported: --json <path>, "
-                     "--trace <path>)\n",
+                     "--trace <path>, --smoke)\n",
                      name, argv[i]);
         std::exit(2);
       }
@@ -75,6 +77,11 @@ class Harness {
   void config(const std::string& key, const std::string& value) {
     report_.config[key] = value;
   }
+
+  /// CI smoke mode (`--smoke`): benches shrink to one tiny configuration —
+  /// enough to exercise the measurement path and produce a valid RunReport,
+  /// not enough to produce meaningful numbers.
+  [[nodiscard]] bool smoke() const { return smoke_; }
 
   /// Append a result row (fill params/wall_ms/metrics on the reference).
   obs::RunReport::Row& add_row(std::string name) {
@@ -109,6 +116,7 @@ class Harness {
   obs::RunReport report_;
   std::string json_path_;
   std::string trace_path_;
+  bool smoke_ = false;
   bool finished_ = false;
 };
 

@@ -36,6 +36,7 @@ CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
   cfg.default_lock_policy = opt.lock_policy;
   cfg.faults = opt.faults;
   cfg.reliable = opt.reliable;
+  cfg.batching = opt.batching;
   const auto count_var = [&](std::size_t k) {
     return static_cast<VarId>(tri_size(n) + k);
   };
@@ -114,6 +115,7 @@ CholeskyResult cholesky_counters(const SparseSpd& m, const Symbolic& sym,
   cfg.record_trace = opt.record_trace;
   cfg.faults = opt.faults;
   cfg.reliable = opt.reliable;
+  cfg.batching = opt.batching;
   const auto acc = [](std::size_t i, std::size_t j) { return tri(i, j); };
   const auto cnt = [&](std::size_t k) { return static_cast<VarId>(tri_size(n) + k); };
   const auto res = [&](std::size_t i, std::size_t j) {

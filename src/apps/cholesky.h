@@ -37,6 +37,10 @@ struct CholeskyOptions {
   /// reliability layer that restores reliable-FIFO delivery beneath it.
   std::optional<net::FaultPlan> faults;
   bool reliable = false;
+
+  /// Batched update propagation (Config::batching).  The counter variant
+  /// exercises delta-sum coalescing; the lock variant flush-on-unlock.
+  std::optional<dsm::BatchingConfig> batching;
 };
 
 struct CholeskyResult {

@@ -69,7 +69,7 @@ EmResult em_reference(const EmProblem& prob) {
 EmResult em_mixed(const EmProblem& prob, std::size_t procs, ReadMode mode,
                   EmSharing sharing, net::LatencyModel latency, std::uint64_t seed,
                   bool pattern_optimized, const std::optional<net::FaultPlan>& faults,
-                  bool reliable) {
+                  bool reliable, const std::optional<dsm::BatchingConfig>& batching) {
   MC_CHECK(procs >= 1 && procs <= prob.m);
   MC_CHECK_MSG(!pattern_optimized ||
                    (sharing == EmSharing::kGhost && mode == ReadMode::kPram),
@@ -80,6 +80,7 @@ EmResult em_mixed(const EmProblem& prob, std::size_t procs, ReadMode mode,
   cfg.seed = seed;
   cfg.faults = faults;
   cfg.reliable = reliable;
+  cfg.batching = batching;
 
   EmResult out;
   out.e.assign(prob.m, 0.0);

@@ -85,7 +85,9 @@ Em2dResult em2d_reference(const Em2dProblem& prob) {
 }
 
 Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
-                      net::LatencyModel latency, std::uint64_t seed) {
+                      net::LatencyModel latency, std::uint64_t seed,
+                      const std::optional<net::FaultPlan>& faults, bool reliable,
+                      const std::optional<dsm::BatchingConfig>& batching) {
   MC_CHECK(procs >= 1 && procs <= prob.nx);
   const std::size_t ny = prob.ny;
 
@@ -94,6 +96,9 @@ Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
   cfg.num_vars = 2 * procs * ny;  // per proc: first Ez row + last Hy row
   cfg.latency = latency;
   cfg.seed = seed;
+  cfg.faults = faults;
+  cfg.reliable = reliable;
+  cfg.batching = batching;
   dsm::MixedSystem sys(cfg);
   const auto first_ez = [&](ProcId p, std::size_t j) {
     return static_cast<VarId>(p * ny + j);

@@ -43,8 +43,13 @@ struct Em2dResult {
 Em2dResult em2d_reference(const Em2dProblem& prob);
 
 /// Mixed-consistency run: row strips, ghost boundary rows, barriers, reads
-/// under the given label.
+/// under the given label.  Optional chaos-testing knobs mirror the other
+/// Section 5 applications: a seeded fault plan, the reliability layer that
+/// repairs it, and batched update propagation.
 Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
-                      net::LatencyModel latency = {}, std::uint64_t seed = 1);
+                      net::LatencyModel latency = {}, std::uint64_t seed = 1,
+                      const std::optional<net::FaultPlan>& faults = std::nullopt,
+                      bool reliable = false,
+                      const std::optional<dsm::BatchingConfig>& batching = std::nullopt);
 
 }  // namespace mc::apps

@@ -36,6 +36,8 @@ dsm::Config make_config(const LinearSystem& sys, const SolverOptions& opt, bool 
   cfg.omit_timestamps = opt.omit_timestamps;
   cfg.faults = opt.faults;
   cfg.reliable = opt.reliable;
+  cfg.reliability = opt.reliability;
+  cfg.batching = opt.batching;
   return cfg;
 }
 

@@ -45,6 +45,14 @@ struct SolverOptions {
   /// reliable-FIFO channel assumption underneath it.
   std::optional<net::FaultPlan> faults;
   bool reliable = false;
+  /// Tuning for the reliability layer when `reliable` is set — most
+  /// usefully the delayed-ack knobs (ack_every / ack_flush) bench_batching
+  /// sweeps against the batching configuration.
+  net::ReliabilityConfig reliability;
+
+  /// Batched update propagation (Config::batching): coalesce and frame the
+  /// per-write broadcasts.  Flush-on-sync keeps every variant correct.
+  std::optional<dsm::BatchingConfig> batching;
 };
 
 struct SolverResult {

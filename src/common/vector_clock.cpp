@@ -26,10 +26,14 @@ ClockOrder VectorClock::compare(const VectorClock& other) const {
   return ClockOrder::kConcurrent;
 }
 
-bool VectorClock::ready_after(const VectorClock& applied, ProcId writer) const {
+bool VectorClock::ready_after(const VectorClock& applied, ProcId writer,
+                              bool allow_gap) const {
   MC_CHECK(c_.size() == applied.c_.size());
   MC_CHECK(writer < c_.size());
-  if (c_[writer] != applied.c_[writer] + 1) return false;
+  if (allow_gap ? c_[writer] <= applied.c_[writer]
+                : c_[writer] != applied.c_[writer] + 1) {
+    return false;
+  }
   for (std::size_t k = 0; k < c_.size(); ++k) {
     if (k == writer) continue;
     if (c_[k] > applied.c_[k]) return false;

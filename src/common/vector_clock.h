@@ -65,7 +65,12 @@ class VectorClock {
   /// clock `applied` iff
   ///   (a) it is the next write of `writer`:  (*this)[writer] == applied[writer] + 1
   ///   (b) all other dependencies are in:     (*this)[k] <= applied[k], k != writer
-  [[nodiscard]] bool ready_after(const VectorClock& applied, ProcId writer) const;
+  /// With `allow_gap`, condition (a) relaxes to (*this)[writer] >
+  /// applied[writer]: coalesced batches (dsm/batch.h) legitimately skip
+  /// writer sequence numbers whose updates were collapsed away, but still
+  /// arrive FIFO per channel, so "strictly newer" is the right test.
+  [[nodiscard]] bool ready_after(const VectorClock& applied, ProcId writer,
+                                 bool allow_gap = false) const;
 
   /// True when every component of *this is >= the corresponding component
   /// of `other` (the "applied clock has reached the floor" test).

@@ -1,0 +1,96 @@
+#include "dsm/batch.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/check.h"
+#include "dsm/wire.h"
+
+namespace mc::dsm {
+
+namespace {
+constexpr std::uint64_t kVarBits = 32;
+constexpr std::uint64_t kFlagBits = 8;
+constexpr std::uint64_t kWeightBits = 64 - kVarBits - kFlagBits;
+}  // namespace
+
+net::Message encode_batch(const std::vector<BatchRecord>& recs, std::size_t num_procs,
+                          bool omit_timestamps) {
+  MC_CHECK(!recs.empty());
+  net::Message m;
+  m.kind = kBatch;
+  m.a = recs.size();
+
+  std::vector<std::uint64_t> base;
+  if (!omit_timestamps) {
+    MC_CHECK_MSG(num_procs <= 64, "batch clock-delta masks assume <= 64 processes");
+    base.assign(num_procs, std::numeric_limits<std::uint64_t>::max());
+    for (const BatchRecord& r : recs) {
+      MC_CHECK(r.vc.size() == num_procs);
+      for (ProcId p = 0; p < num_procs; ++p) base[p] = std::min(base[p], r.vc[p]);
+    }
+    m.payload.insert(m.payload.end(), base.begin(), base.end());
+  }
+
+  for (const BatchRecord& r : recs) {
+    MC_CHECK(r.var < (std::uint64_t{1} << kVarBits));
+    MC_CHECK(r.flags < (std::uint64_t{1} << kFlagBits));
+    MC_CHECK(r.weight < (std::uint64_t{1} << kWeightBits));
+    m.payload.push_back(r.var | (r.flags << kVarBits) |
+                        (r.weight << (kVarBits + kFlagBits)));
+    m.payload.push_back(r.value);
+    m.payload.push_back(r.seq);
+    if (omit_timestamps) continue;
+    std::uint64_t mask = 0;
+    for (ProcId p = 0; p < num_procs; ++p) {
+      if (r.vc[p] != base[p]) mask |= std::uint64_t{1} << p;
+    }
+    m.payload.push_back(mask);
+    for (ProcId p = 0; p < num_procs; ++p) {
+      if (mask & (std::uint64_t{1} << p)) m.payload.push_back(r.vc[p] - base[p]);
+    }
+  }
+  return m;
+}
+
+std::vector<BatchRecord> decode_batch(const net::Message& m, std::size_t num_procs,
+                                      bool omit_timestamps) {
+  MC_CHECK(m.kind == kBatch);
+  const std::size_t n = m.a;
+  MC_CHECK(n >= 1);
+  std::vector<BatchRecord> recs;
+  recs.reserve(n);
+  std::size_t i = 0;
+  VectorClock base;
+  if (!omit_timestamps) {
+    MC_CHECK(m.payload.size() >= num_procs);
+    base = VectorClock(num_procs);
+    for (ProcId p = 0; p < num_procs; ++p) base.set(p, m.payload[p]);
+    i = num_procs;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    MC_CHECK(i + 3 <= m.payload.size());
+    BatchRecord r;
+    const std::uint64_t w0 = m.payload[i++];
+    r.var = static_cast<VarId>(w0 & ((std::uint64_t{1} << kVarBits) - 1));
+    r.flags = (w0 >> kVarBits) & ((std::uint64_t{1} << kFlagBits) - 1);
+    r.weight = w0 >> (kVarBits + kFlagBits);
+    r.value = m.payload[i++];
+    r.seq = m.payload[i++];
+    if (!omit_timestamps) {
+      MC_CHECK(i < m.payload.size());
+      const std::uint64_t mask = m.payload[i++];
+      MC_CHECK(i + static_cast<std::size_t>(std::popcount(mask)) <= m.payload.size());
+      r.vc = base;
+      for (ProcId p = 0; p < num_procs; ++p) {
+        if (mask & (std::uint64_t{1} << p)) r.vc.set(p, base[p] + m.payload[i++]);
+      }
+    }
+    recs.push_back(std::move(r));
+  }
+  MC_CHECK(i == m.payload.size());
+  return recs;
+}
+
+}  // namespace mc::dsm

@@ -1,0 +1,61 @@
+// Framed wire batches: N coalesced memory updates in one kBatch Message
+// (Config::batching; DESIGN.md §6.3).
+//
+// Payload layout, vector-clock mode (P = num_procs, P <= 64):
+//
+//   word 0 .. P-1        base clock: component-wise MINIMUM of the record
+//                        clocks (coalescing can make record clocks
+//                        non-monotone within a batch, so min — not the
+//                        first record's clock — is the only safe base)
+//   then per record:
+//     w0                 var (bits 0..31) | flags (bits 32..39)
+//                        | weight (bits 40..63)
+//     w1                 value bits
+//     w2                 writer sequence number (WriteId::seq)
+//     w3                 clock-delta mask m: bit k set <=> vc[k] != base[k]
+//     popcount(m) words  vc[k] - base[k], for each set bit k ascending
+//
+// Count-vector mode (Config::omit_timestamps): no base clock and no clock
+// words; records are w0..w2 only.
+//
+// The payload holds exactly the words a real wire format would ship, so
+// Message::wire_bytes() (header + payload) charges the delta-encoded size —
+// never the P full clocks an unbatched kUpdate stream would have carried.
+//
+// `weight` counts how many original updates were coalesced into the record
+// (last-writer-wins writes, summed deltas).  Count-vector receivers advance
+// their per-sender receive index by `weight`, keeping Section 6's count
+// synchronization truthful even though the collapsed updates never travel.
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "common/vector_clock.h"
+#include "net/message.h"
+
+namespace mc::dsm {
+
+/// One staged (possibly coalesced) update inside a batch.
+struct BatchRecord {
+  VarId var = 0;
+  Value value = 0;
+  std::uint64_t flags = 0;
+  SeqNo seq = 0;
+  std::uint64_t weight = 1;
+  VectorClock vc;  // empty in count-vector mode
+
+  friend bool operator==(const BatchRecord&, const BatchRecord&) = default;
+};
+
+/// Encode records into a kBatch message.  src/dst are left for the caller.
+[[nodiscard]] net::Message encode_batch(const std::vector<BatchRecord>& recs,
+                                        std::size_t num_procs, bool omit_timestamps);
+
+/// Decode a kBatch payload produced by encode_batch.
+[[nodiscard]] std::vector<BatchRecord> decode_batch(const net::Message& m,
+                                                    std::size_t num_procs,
+                                                    bool omit_timestamps);
+
+}  // namespace mc::dsm

@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -38,6 +39,31 @@ enum class LockPolicy : std::uint8_t {
   return "?";
 }
 
+/// Batched update propagation (Section 6: "the access pattern of the
+/// application can be used to reduce the communication cost"; Munin-style
+/// write coalescing, see DESIGN.md §6.3).  Updates destined for the same
+/// endpoint accumulate in a per-channel staging buffer and ship as one
+/// framed kBatch message.  Staged plain writes to the same variable
+/// collapse last-writer-wins and staged deltas merge by summation, so a
+/// flush can carry far fewer records than the writes it covers.  The node
+/// flushes unconditionally before every synchronization action (lock
+/// release, barrier arrival, await, demand-fetch service), which is what
+/// keeps Theorem 1's sufficient conditions intact — see DESIGN.md.
+struct BatchingConfig {
+  /// Flush once any destination's staging buffer holds this many records.
+  std::size_t max_updates = 16;
+  /// ... or once its encoded wire size would exceed roughly this many bytes.
+  std::size_t max_bytes = 4096;
+  /// Upper bound on how long a staged update may sit before the background
+  /// flusher ships it anyway — bounds staleness for asynchronous readers
+  /// (e.g. the Section 5.1 asynchronous solver, which never synchronizes).
+  /// Mandatory flush-on-sync does not wait for this.
+  std::chrono::nanoseconds max_delay{std::chrono::microseconds(200)};
+  /// Collapse same-variable same-kind staged records (writes last-writer-
+  /// wins, deltas by summation).  Off: batching only frames, never merges.
+  bool coalesce = true;
+};
+
 struct Config {
   std::size_t num_procs = 2;
   std::size_t num_vars = 64;
@@ -55,6 +81,11 @@ struct Config {
   /// traffic — the Section 6 protocols assume reliable FIFO channels.
   bool reliable = false;
   net::ReliabilityConfig reliability;
+
+  /// Coalesce and frame update broadcasts into kBatch messages (see
+  /// BatchingConfig above).  Absent by default: every write is its own
+  /// kUpdate fan-out, matching the paper's naive Section 6 sketch.
+  std::optional<BatchingConfig> batching;
 
   LockPolicy default_lock_policy = LockPolicy::kLazy;
   std::map<LockId, LockPolicy> lock_policy_override;

@@ -32,12 +32,22 @@ Node::Node(const Config& cfg, ProcId self, net::Fabric& fabric, net::Endpoint lo
       received_from_(cfg.num_procs),
       count_floor_(cfg.num_procs),
       trace_(cfg.record_trace) {
+  if (cfg_.batching.has_value()) {
+    staged_.resize(cfg_.num_procs);
+    flusher_ = std::thread([this] { run_flusher(); });
+  }
   delivery_ = std::thread([this] { run_delivery(); });
 }
 
 Node::~Node() { stop(); }
 
 void Node::stop() {
+  {
+    std::scoped_lock lk(mu_);
+    flusher_stop_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
   if (delivery_.joinable()) delivery_.join();
 }
 
@@ -73,6 +83,9 @@ void Node::run_delivery() {
     switch (m->kind) {
       case kUpdate:
         on_update(*m);
+        break;
+      case kBatch:
+        on_batch(*m);
         break;
       case kLockGrant: {
         GrantInfo info;
@@ -147,11 +160,11 @@ void Node::run_delivery() {
 }
 
 void Node::on_update(const net::Message& m) {
-  PendingUpdate u;
-  u.var = static_cast<VarId>(m.a);
-  u.value = m.b;
-  u.id = WriteId{static_cast<ProcId>(m.src), m.c};
-  u.flags = m.d;
+  BatchRecord r;
+  r.var = static_cast<VarId>(m.a);
+  r.value = m.b;
+  r.seq = m.c;
+  r.flags = m.d;
   const auto sender = static_cast<ProcId>(m.src);
 
   if (cfg_.omit_timestamps) {
@@ -162,22 +175,26 @@ void Node::on_update(const net::Message& m) {
     MC_CHECK(m.payload.empty());
     std::scoped_lock lk(mu_);
     if (cfg_.update_subscribers.empty()) {
-      MC_CHECK_MSG(u.id.seq == applied_[sender] + 1,
+      MC_CHECK_MSG(r.seq == applied_[sender] + 1,
                    "per-sender FIFO violated on the update channel");
     } else {
-      MC_CHECK_MSG(u.id.seq > applied_[sender],
+      MC_CHECK_MSG(r.seq > applied_[sender],
                    "per-sender FIFO violated on the update channel");
     }
     received_from_.set(sender, received_from_[sender] + 1);
-    mem_.apply(u.var, u.value, u.flags, u.id, u.vc, received_from_[sender]);
-    applied_.set(sender, u.id.seq);
+    mem_.apply(r.var, r.value, r.flags, WriteId{sender, r.seq}, r.vc,
+               received_from_[sender]);
+    applied_.set(sender, r.seq);
     cv_.notify_all();
     return;
   }
 
+  PendingUpdate u;
   u.vc = VectorClock(cfg_.num_procs);
   MC_CHECK(m.payload.size() == cfg_.num_procs);
   for (ProcId p = 0; p < cfg_.num_procs; ++p) u.vc.set(p, m.payload[p]);
+  r.vc = u.vc;
+  u.recs.push_back(std::move(r));
 
   {
     std::scoped_lock lk(mu_);
@@ -193,15 +210,64 @@ void Node::on_update(const net::Message& m) {
   cv_.notify_all();
 }
 
+void Node::on_batch(const net::Message& m) {
+  const auto sender = static_cast<ProcId>(m.src);
+  std::vector<BatchRecord> recs = decode_batch(m, cfg_.num_procs, cfg_.omit_timestamps);
+
+  if (cfg_.omit_timestamps) {
+    // Coalescing keeps a merged record at its original staging position
+    // with its *latest* sequence number, so sequence numbers inside a
+    // batch are neither dense nor monotone — but the batch as a whole must
+    // still move the per-sender channel strictly forward.
+    std::scoped_lock lk(mu_);
+    SeqNo max_seq = 0;
+    for (const BatchRecord& r : recs) max_seq = std::max(max_seq, r.seq);
+    MC_CHECK_MSG(max_seq > applied_[sender],
+                 "per-sender FIFO violated on the batch channel");
+    for (const BatchRecord& r : recs) {
+      // Advance the receive index by the record's weight: the collapsed
+      // originals never travel, but the sender counted them in sent_to_,
+      // and Section 6's count synchronization compares the two.
+      received_from_.set(sender, received_from_[sender] + r.weight);
+      mem_.apply(r.var, r.value, r.flags, WriteId{sender, r.seq}, r.vc,
+                 received_from_[sender]);
+    }
+    applied_.set(sender, std::max(applied_[sender], max_seq));
+    cv_.notify_all();
+    return;
+  }
+
+  PendingUpdate u;
+  u.gap_ok = true;
+  u.vc = VectorClock(cfg_.num_procs);
+  for (const BatchRecord& r : recs) u.vc.merge(r.vc);
+  u.recs = std::move(recs);
+  {
+    std::scoped_lock lk(mu_);
+    MC_CHECK_MSG(u.vc[sender] > update_arrived_[sender],
+                 "per-sender FIFO violated on the batch channel");
+    update_arrived_.set(sender, u.vc[sender]);
+    causal_buffer_[sender].push_back(std::move(u));
+    drain_causal_buffers();
+  }
+  cv_.notify_all();
+}
+
 void Node::drain_causal_buffers() {
   bool progress = true;
   while (progress) {
     progress = false;
     for (ProcId s = 0; s < cfg_.num_procs; ++s) {
       auto& q = causal_buffer_[s];
-      while (!q.empty() && q.front().vc.ready_after(applied_, s)) {
+      while (!q.empty() && q.front().vc.ready_after(applied_, s, q.front().gap_ok)) {
         const PendingUpdate& u = q.front();
-        mem_.apply(u.var, u.value, u.flags, u.id, u.vc);
+        // A batch applies atomically: every record lands under this one
+        // mutex hold, so no reader observes a mid-batch state (which the
+        // coalesced per-write history could not serialize).
+        for (const BatchRecord& r : u.recs) {
+          mem_.apply(r.var, r.value, r.flags, WriteId{s, r.seq},
+                     r.vc.empty() ? u.vc : r.vc);
+        }
         applied_.set(s, u.vc[s]);
         q.pop_front();
         progress = true;
@@ -219,6 +285,10 @@ void Node::on_fetch_request(const net::Message& m) {
   resp.b = m.b;
   {
     std::scoped_lock lk(mu_);
+    // Mandatory flush (batching): serving a demand fetch is update
+    // propagation — the response's clock may cover staged writes, which
+    // must already be travelling when the requester blocks on them.
+    if (cfg_.batching.has_value()) flush_staged_locked();
     const VarEntry& e = mem_.entry(static_cast<VarId>(m.a));
     resp.c = e.value;
     resp.d = e.last.proc;
@@ -263,6 +333,28 @@ VectorClock Node::snapshot_dep_vc() {
 
 void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq,
                             const VectorClock& stamp) {
+  if (cfg_.batching.has_value()) {
+    // Batched propagation: stage per destination; thresholds or the
+    // flusher (or the next synchronization action) ship the batches.
+    const auto subs = cfg_.update_subscribers.find(x);
+    if (subs != cfg_.update_subscribers.end()) {
+      for (const ProcId p : subs->second) {
+        if (p != self_) stage_update(p, x, value, flags, seq, stamp);
+      }
+    } else {
+      for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+        if (p != self_) stage_update(p, x, value, flags, seq, stamp);
+      }
+    }
+    for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+      if (staged_[p].size() >= cfg_.batching->max_updates ||
+          approx_batch_bytes(staged_[p].size()) >= cfg_.batching->max_bytes) {
+        flush_staged_locked();
+        break;
+      }
+    }
+    return;
+  }
   net::Message m;
   m.src = self_;
   m.kind = kUpdate;
@@ -290,6 +382,100 @@ void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq
     copy.dst = p;
     fabric_.send(std::move(copy));
     sent_to_.set(p, sent_to_[p] + 1);
+  }
+}
+
+// ----------------------------------------------------------------------
+// Batched propagation (Config::batching; DESIGN.md §6.3)
+// ----------------------------------------------------------------------
+
+std::size_t Node::approx_batch_bytes(std::size_t records) const {
+  // Estimate of encode_batch's output: header + base clock + ~5 words per
+  // record in VC mode (var/flags/weight, value, seq, delta mask, ~1 clock
+  // delta), 3 words in count mode.  The max_bytes threshold is a staging
+  // heuristic, not an exact wire budget.
+  const std::size_t per_record = cfg_.omit_timestamps ? 3 : 5;
+  const std::size_t base = cfg_.omit_timestamps ? 0 : cfg_.num_procs;
+  return net::Message::kHeaderBytes + (base + per_record * records) * sizeof(std::uint64_t);
+}
+
+void Node::stage_update(ProcId dest, VarId x, Value value, std::uint64_t flags, SeqNo seq,
+                        const VectorClock& stamp) {
+  // Count the staged original immediately: the record WILL travel (every
+  // synchronization action flushes first), and Section 6's count
+  // synchronization compares this against the receiver's weighted index.
+  sent_to_.set(dest, sent_to_[dest] + 1);
+  auto& buf = staged_[dest];
+  if (cfg_.batching->coalesce) {
+    // Coalesce with the *latest* staged record for this variable only —
+    // merging past an intervening record of the other kind would reorder
+    // this process's per-variable update sequence.
+    for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+      if (it->var != x) continue;
+      if (it->flags != flags) break;
+      switch (flags) {
+        case kFlagWrite:
+          it->value = value;  // last writer wins
+          break;
+        case kFlagIntDelta:
+          it->value = value_of(int_of(it->value) + int_of(value));
+          break;
+        case kFlagDoubleDelta:
+          it->value = value_of(double_of(it->value) + double_of(value));
+          break;
+        default:
+          MC_CHECK_MSG(false, "unknown update flags");
+      }
+      it->seq = seq;
+      if (!cfg_.omit_timestamps) it->vc = stamp;
+      ++it->weight;
+      stats_.batch_coalesced.add();
+      return;
+    }
+  }
+  BatchRecord r;
+  r.var = x;
+  r.value = value;
+  r.flags = flags;
+  r.seq = seq;
+  if (!cfg_.omit_timestamps) r.vc = stamp;
+  buf.push_back(std::move(r));
+  if (staged_total_++ == 0) {
+    oldest_staged_ = std::chrono::steady_clock::now();
+    flush_cv_.notify_one();
+  }
+}
+
+void Node::flush_staged_locked() {
+  if (staged_total_ == 0) return;
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    auto& buf = staged_[p];
+    if (buf.empty()) continue;
+    net::Message m = encode_batch(buf, cfg_.num_procs, cfg_.omit_timestamps);
+    m.src = self_;
+    m.dst = p;
+    stats_.batch_msgs.add();
+    stats_.batch_updates.add(buf.size());
+    stats_.batch_updates_per_msg.record_ns(buf.size());
+    fabric_.send(std::move(m));
+    buf.clear();
+  }
+  staged_total_ = 0;
+}
+
+void Node::run_flusher() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    flush_cv_.wait(lk, [&] { return flusher_stop_ || staged_total_ > 0; });
+    if (flusher_stop_) return;
+    const auto deadline = oldest_staged_ + cfg_.batching->max_delay;
+    if (flush_cv_.wait_until(lk, deadline, [&] { return flusher_stop_; })) return;
+    // A mandatory flush may have raced us and new records may have been
+    // staged since; only ship once something has genuinely aged out.
+    if (staged_total_ > 0 &&
+        std::chrono::steady_clock::now() >= oldest_staged_ + cfg_.batching->max_delay) {
+      flush_staged_locked();
+    }
   }
 }
 
@@ -400,6 +586,7 @@ void Node::do_delta(VarId x, Value amount, std::uint64_t flags) {
       op.proc = self_;
       op.var = x;
       op.value = amount;
+      op.fp = flags == kFlagDoubleDelta;
       op.write_id = id;
       trace_.record(op);
     }
@@ -431,6 +618,11 @@ void Node::await(VarId x, Value v, ReadMode mode) {
   stats_.awaits.add();
   Stopwatch blocked;
   std::unique_lock lk(mu_);
+  // Mandatory flush (batching): our own staged writes must be on the wire
+  // before we block — the peer whose write resolves this await may itself
+  // be awaiting one of our staged values (liveness), and the |-> await
+  // edge's visibility obligations assume our prior writes travel first.
+  if (cfg_.batching.has_value()) flush_staged_locked();
   // Busy-wait loop of reads in the selected view (Section 6), realized as a
   // condition wait re-evaluated on every applied update.
   const bool count_mode = cfg_.omit_timestamps;
@@ -476,6 +668,10 @@ void Node::barrier(BarrierId b) {
   arrive.b = epoch;
   {
     std::scoped_lock lk(mu_);
+    // Mandatory flush (batching): the snapshot below promises peers that
+    // every update it counts is on the wire; staged records would make the
+    // promise a lie and Theorem 1's barrier condition unsound.
+    if (cfg_.batching.has_value()) flush_staged_locked();
     // Count mode ships the paper's per-receiver sent-update counts; the
     // manager transposes them.  VC mode ships the dependency clock.
     const VectorClock& snapshot = cfg_.omit_timestamps ? sent_to_ : dep_vc_;
@@ -579,6 +775,10 @@ void Node::do_unlock(LockId l, LockRequestKind kind) {
   std::vector<VarId> digest;
   {
     std::scoped_lock lk(mu_);
+    // Mandatory flush (batching): critical-section updates must precede the
+    // eager flush probes (FIFO makes the probe's ack meaningful) and the
+    // unlock's clock/count snapshot, for every propagation policy.
+    if (cfg_.batching.has_value()) flush_staged_locked();
     auto it = held_.find(l);
     MC_CHECK_MSG(it != held_.end(), "unlock of a lock that is not held");
     MC_CHECK_MSG(it->second.kind == kind, "unlock kind does not match the held lock");

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -34,6 +35,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "common/vector_clock.h"
+#include "dsm/batch.h"
 #include "dsm/config.h"
 #include "dsm/store.h"
 #include "dsm/trace.h"
@@ -57,6 +59,14 @@ struct NodeStats {
   /// / `barrier.wait_ns` summaries of docs/METRICS.md.
   LatencyHistogram read_pram_ns, read_causal_ns, await_spin_ns, lock_acquire_ns,
       barrier_wait_ns;
+  /// Batched propagation (Config::batching; docs/METRICS.md `net.batch.*`):
+  /// kBatch messages sent, update records they carried, and original
+  /// updates absorbed into an already-staged record (LWW writes / summed
+  /// deltas) instead of becoming records of their own.
+  Counter batch_msgs, batch_updates, batch_coalesced;
+  /// Records per flushed kBatch message — samples are counts, not
+  /// nanoseconds (surfaced as the `net.batch.updates_per_msg` summary).
+  LatencyHistogram batch_updates_per_msg;
 
   [[nodiscard]] std::uint64_t total_blocked_ns() const {
     return read_blocked.sum_ns() + await_blocked.sum_ns() + lock_blocked.sum_ns() +
@@ -133,12 +143,16 @@ class Node {
   void stop();
 
  private:
+  /// A unit of causal-buffer admission: one kUpdate (single record) or one
+  /// kBatch (all of its records, applied atomically — partially applying a
+  /// coalesced batch could expose a mid-batch state no per-write history
+  /// serializes).  `vc` is the component-wise max of the record clocks and
+  /// is what readiness and `applied_` advance on.
   struct PendingUpdate {
-    VarId var;
-    Value value;
-    std::uint64_t flags;
-    WriteId id;
+    std::vector<BatchRecord> recs;
     VectorClock vc;
+    /// kBatch: coalescing legitimately skips sender sequence numbers.
+    bool gap_ok = false;
   };
 
   struct HeldLock {
@@ -163,6 +177,7 @@ class Node {
   // Delivery-thread handlers.
   void run_delivery();
   void on_update(const net::Message& m);
+  void on_batch(const net::Message& m);
   void drain_causal_buffers();
   void on_fetch_request(const net::Message& m);
 
@@ -192,6 +207,24 @@ class Node {
   void broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq,
                         const VectorClock& stamp);
   [[nodiscard]] bool demand_local_write(VarId x, HeldLock** held_out);
+
+  // ----- batched propagation (Config::batching; DESIGN.md §6.3) -----
+
+  /// Stage one update for `dest`, coalescing into an already-staged record
+  /// when permitted.  Bumps sent_to_ immediately (the staged record WILL
+  /// travel — flush-before-sync makes the count truthful before anyone
+  /// synchronizes on it).  Requires mu_.
+  void stage_update(ProcId dest, VarId x, Value value, std::uint64_t flags, SeqNo seq,
+                    const VectorClock& stamp);
+  /// Ship every non-empty staging buffer as one kBatch per destination.
+  /// All destinations flush together: uniform flush boundaries keep batch
+  /// dependency edges pointing at earlier-flushed batches only, which is
+  /// the acyclicity argument for deadlock-freedom (DESIGN.md §6.3).
+  /// Requires mu_.
+  void flush_staged_locked();
+  /// Background flusher honoring BatchingConfig::max_delay.
+  void run_flusher();
+  [[nodiscard]] std::size_t approx_batch_bytes(std::size_t records) const;
 
   const Config& cfg_;
   const ProcId self_;
@@ -248,7 +281,15 @@ class Node {
   TraceRecorder trace_;
   NodeStats stats_;
 
+  // Batched propagation state (guarded by mu_; empty unless Config::batching).
+  std::vector<std::vector<BatchRecord>> staged_;  // per destination endpoint
+  std::size_t staged_total_ = 0;
+  std::chrono::steady_clock::time_point oldest_staged_{};
+  bool flusher_stop_ = false;
+  std::condition_variable flush_cv_;
+
   std::thread delivery_;
+  std::thread flusher_;
 };
 
 }  // namespace mc::dsm

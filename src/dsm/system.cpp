@@ -116,9 +116,12 @@ MetricsSnapshot MixedSystem::metrics() const {
   std::uint64_t writes = 0;
   std::uint64_t deltas = 0;
   std::uint64_t fetches = 0;
+  std::uint64_t batch_msgs = 0;
+  std::uint64_t batch_updates = 0;
+  std::uint64_t batch_coalesced = 0;
   // Per-primitive latency, merged across all processes (docs/METRICS.md).
   LatencyHistogram read_pram_ns, read_causal_ns, await_spin_ns, lock_acquire_ns,
-      barrier_wait_ns;
+      barrier_wait_ns, batch_updates_per_msg;
   for (const auto& n : nodes_) {
     const NodeStats& s = n->stats();
     blocked += s.total_blocked_ns();
@@ -127,11 +130,15 @@ MetricsSnapshot MixedSystem::metrics() const {
     writes += s.writes.get();
     deltas += s.deltas.get();
     fetches += s.fetches.get();
+    batch_msgs += s.batch_msgs.get();
+    batch_updates += s.batch_updates.get();
+    batch_coalesced += s.batch_coalesced.get();
     read_pram_ns.merge(s.read_pram_ns);
     read_causal_ns.merge(s.read_causal_ns);
     await_spin_ns.merge(s.await_spin_ns);
     lock_acquire_ns.merge(s.lock_acquire_ns);
     barrier_wait_ns.merge(s.barrier_wait_ns);
+    batch_updates_per_msg.merge(s.batch_updates_per_msg);
   }
   snap.values["dsm.blocked_ns"] = blocked;
   snap.values["dsm.reads_pram"] = reads_pram;
@@ -139,6 +146,13 @@ MetricsSnapshot MixedSystem::metrics() const {
   snap.values["dsm.writes"] = writes;
   snap.values["dsm.deltas"] = deltas;
   snap.values["dsm.fetches"] = fetches;
+  if (cfg_.batching.has_value()) {
+    snap.values["net.batch.msgs"] = batch_msgs;
+    snap.values["net.batch.updates"] = batch_updates;
+    snap.values["net.batch.coalesced"] = batch_coalesced;
+    // Samples are record counts, not nanoseconds (docs/METRICS.md).
+    snap.add_histogram("net.batch.updates_per_msg", batch_updates_per_msg);
+  }
   snap.add_histogram("read.pram_ns", read_pram_ns);
   snap.add_histogram("read.causal_ns", read_causal_ns);
   snap.add_histogram("await.spin_ns", await_spin_ns);

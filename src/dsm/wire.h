@@ -48,6 +48,15 @@ enum MsgKind : std::uint16_t {
   /// a=barrier object, b=epoch; payload = merged vector clock of all
   /// arrivals.
   kBarrierRelease = 10,
+
+  /// Framed batch of coalesced memory updates (Config::batching).
+  /// a = record count N; payload = shared base clock + N (var, value,
+  /// flags, seq, weight, vc-delta) records with vector clocks delta-encoded
+  /// against the base clock — exact layout in dsm/batch.h.  A receiver
+  /// applies the whole batch atomically and tolerates per-sender sequence
+  /// gaps (coalescing collapses superseded writes), unlike kUpdate's
+  /// strict +1 FIFO check.
+  kBatch = 11,
 };
 
 /// Lock request kinds carried in kLockReq/kUnlock (field b).
@@ -71,6 +80,7 @@ inline void register_kind_names(net::Fabric& fabric) {
   fabric.name_kind(kUnlock, "unlock");
   fabric.name_kind(kBarrierArrive, "barrier_arrive");
   fabric.name_kind(kBarrierRelease, "barrier_release");
+  fabric.name_kind(kBatch, "batch");
 }
 
 }  // namespace mc::dsm

@@ -1,6 +1,7 @@
 #include "history/checkers.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -79,6 +80,68 @@ void check_plain_read(const History& h, const BitMatrix& R, OpRef read,
   }
 }
 
+/// Relative-tolerance comparison for fp accumulators.  1e-8 matches the
+/// factorization-error oracle of the counter-object Cholesky (the only
+/// producer of fp deltas) and is loose enough to absorb any reassociation
+/// of at most a few thousand summands.
+bool fp_close(double a, double b) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= 1e-8 * scale;
+}
+
+/// check_counter_read's floating-point branch: same set-visibility rule,
+/// but values are double bit patterns, sums are doubles, and the target
+/// match carries a relative tolerance.  The reachable-sum set is a vector
+/// (tolerant lookups preclude hashing); dedup keeps it from exploding when
+/// concurrent deltas repeat.
+void check_fp_counter_read(const History& h, const BitMatrix& R, OpRef read,
+                           OpRef base_ref, CheckResult& out) {
+  const Operation& r = h.op(read);
+  const double base = base_ref == kNoOp ? 0.0 : double_of(h.op(base_ref).value);
+
+  double required = 0.0;
+  std::vector<double> optional;
+  for (OpRef o = 0; o < h.size(); ++o) {
+    const Operation& op = h.op(o);
+    if (op.kind != OpKind::kDelta || op.var != r.var) continue;
+    const double amt = op.fp ? double_of(op.value)
+                             : static_cast<double>(int_of(op.value));
+    if (base_ref != kNoOp && R.get(o, base_ref)) continue;  // folded into base
+    if (R.get(o, read)) {
+      required += amt;
+    } else if (!R.get(read, o)) {
+      optional.push_back(amt);
+    }
+  }
+
+  const double target = double_of(r.value);
+  std::vector<double> sums{base - required};
+  for (const double amt : optional) {
+    const std::size_t n = sums.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double s = sums[i] - amt;
+      if (fp_close(s, target)) return;
+      bool dup = false;
+      for (std::size_t j = 0; j < sums.size() && !dup; ++j) dup = fp_close(sums[j], s);
+      if (!dup) sums.push_back(s);
+    }
+    if (sums.size() > 100000) {
+      out.ok = false;
+      out.violations.push_back(r.to_string() +
+                               ": fp counter check exceeded the subset-sum budget");
+      return;
+    }
+  }
+  for (const double s : sums) {
+    if (fp_close(s, target)) return;
+  }
+  out.ok = false;
+  out.violations.push_back(
+      r.to_string() + " is not explainable: fp base " + std::to_string(base) +
+      " minus required " + std::to_string(required) + " and any subset of " +
+      std::to_string(optional.size()) + " concurrent fp deltas");
+}
+
 /// Set-visibility check for counter (delta) objects: the read value must be
 /// explainable as
 ///     base  -  sum(all deltas that R-precede the read)
@@ -102,6 +165,18 @@ void check_counter_read(const History& h, const BitMatrix& R, OpRef read,
     }
     if (base_ref == kNoOp || R.get(base_ref, o)) base_ref = o;
   }
+  // Any fp delta makes the whole location an fp accumulator: values are
+  // IEEE-double bit patterns and comparisons carry a relative tolerance
+  // (summation order varies across valid serializations).
+  bool fp = false;
+  for (const Operation& op : h.ops()) {
+    if (op.kind == OpKind::kDelta && op.var == r.var && op.fp) fp = true;
+  }
+  if (fp) {
+    check_fp_counter_read(h, R, read, base_ref, out);
+    return;
+  }
+
   const auto base = base_ref == kNoOp
                         ? std::int64_t{0}
                         : static_cast<std::int64_t>(h.op(base_ref).value);

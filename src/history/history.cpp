@@ -52,6 +52,17 @@ OpRef History::delta(ProcId p, VarId x, std::int64_t amount) {
   return add(op);
 }
 
+OpRef History::delta_double(ProcId p, VarId x, double amount) {
+  Operation op;
+  op.kind = OpKind::kDelta;
+  op.proc = p;
+  op.var = x;
+  op.value = value_of(amount);
+  op.fp = true;
+  op.write_id = WriteId{p, ++write_seq_[p]};
+  return add(op);
+}
+
 namespace {
 Operation lock_op(OpKind k, ProcId p, LockId l, std::uint64_t episode) {
   Operation op;

@@ -55,6 +55,7 @@ class History {
              WriteId source = kInitialWrite);
   OpRef write(ProcId p, VarId x, Value v);
   OpRef delta(ProcId p, VarId x, std::int64_t amount);
+  OpRef delta_double(ProcId p, VarId x, double amount);
   OpRef rlock(ProcId p, LockId l, std::uint64_t episode);
   OpRef runlock(ProcId p, LockId l, std::uint64_t episode);
   OpRef wlock(ProcId p, LockId l, std::uint64_t episode);

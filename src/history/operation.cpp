@@ -29,7 +29,8 @@ std::string Operation::to_string() const {
       out += "(x" + std::to_string(var) + ")" + std::to_string(value);
       break;
     case OpKind::kDelta:
-      out += "(x" + std::to_string(var) + ")-" + std::to_string(int_of(value));
+      out += "(x" + std::to_string(var) + ")-" +
+             (fp ? std::to_string(double_of(value)) : std::to_string(int_of(value)));
       break;
     case OpKind::kReadLock:
     case OpKind::kReadUnlock:

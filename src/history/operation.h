@@ -75,6 +75,15 @@ struct Operation {
   /// Label of a read (Definition 4).  Ignored for other kinds.
   ReadMode mode = ReadMode::kCausal;
 
+  /// Floating-point delta (Section 5.3's counter-object Cholesky subtracts
+  /// IEEE doubles, not integers): `value` holds the bit pattern of the
+  /// double amount.  A variable touched by any fp delta is an fp counter —
+  /// writes and reads of it carry double bit patterns too, and the checkers
+  /// compare its values with a relative tolerance instead of exactly
+  /// (summation order varies across serializations, so bit-exact equality
+  /// would reject correct histories).
+  bool fp = false;
+
   /// Identity bookkeeping replacing the paper's unique-written-values
   /// assumption:
   ///  - writes/deltas: this operation's own WriteId;

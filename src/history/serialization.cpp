@@ -1,5 +1,7 @@
 #include "history/serialization.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_set>
 
@@ -12,7 +14,8 @@ namespace {
 
 struct VarState {
   WriteId last_write{};       // identity of the latest write (plain vars)
-  std::int64_t value = 0;     // numeric value (counters)
+  std::int64_t value = 0;     // numeric value (integer counters)
+  double dvalue = 0.0;        // numeric value (fp counters)
   bool written = false;
 };
 
@@ -35,7 +38,10 @@ class Searcher {
     for (const Operation& op : h.ops()) {
       if (op.var != kNoVar) vars_.try_emplace(op.var);
       if (is_lock_op(op.kind)) locks_.try_emplace(op.lock);
-      if (op.kind == OpKind::kDelta) counters_.insert(op.var);
+      if (op.kind == OpKind::kDelta) {
+        counters_.insert(op.var);
+        if (op.fp) fp_counters_.insert(op.var);
+      }
     }
   }
 
@@ -53,6 +59,13 @@ class Searcher {
       case OpKind::kRead:
       case OpKind::kAwait: {
         const VarState& v = vars_.at(op.var);
+        if (fp_counters_.count(op.var)) {
+          // Fp accumulator: serialization order reassociates the sums, so
+          // the witness search matches with a relative tolerance.
+          const double want = double_of(op.value);
+          const double scale = std::max({1.0, std::abs(want), std::abs(v.dvalue)});
+          return std::abs(v.dvalue - want) <= 1e-8 * scale;
+        }
         if (counters_.count(op.var)) {
           return v.value == static_cast<std::int64_t>(op.value);
         }
@@ -95,10 +108,16 @@ class Searcher {
       if (op.kind == OpKind::kWrite) {
         v.last_write = op.write_id;
         v.value = static_cast<std::int64_t>(op.value);
+        v.dvalue = double_of(op.value);
         v.written = true;
       } else if (op.kind == OpKind::kDelta) {
         v.last_write = op.write_id;
-        v.value -= int_of(op.value);
+        if (op.fp) {
+          v.dvalue -= double_of(op.value);
+        } else {
+          v.value -= int_of(op.value);
+          v.dvalue -= static_cast<double>(int_of(op.value));
+        }
         v.written = true;
       }
     }
@@ -198,6 +217,7 @@ class Searcher {
   std::map<VarId, VarState> vars_;
   std::map<LockId, LockState> locks_;
   std::unordered_set<VarId> counters_;
+  std::unordered_set<VarId> fp_counters_;
   std::unordered_set<std::string> failed_;
 };
 

@@ -91,7 +91,7 @@ ParseResult parse_history(std::istream& in) {
     if (toks.size() < 2) return fail("missing operation kind");
     const std::string& kind = toks[1];
 
-    if (kind == "write" || kind == "dec") {
+    if (kind == "write" || kind == "dec" || kind == "decd") {
       if (toks.size() != 4) return fail(kind + " needs: xVAR VALUE");
       const auto var = number(toks[2], 'x');
       if (!var) return fail("bad variable");
@@ -99,6 +99,12 @@ ParseResult parse_history(std::istream& in) {
         const auto v = number(toks[3]);
         if (!v) return fail("bad value");
         h->write(p, static_cast<VarId>(*var), *v);
+      } else if (kind == "decd") {
+        // Floating-point decrement: the amount is the double's raw bit
+        // pattern as an unsigned word, so round trips stay bit-exact.
+        const auto bits = number(toks[3]);
+        if (!bits) return fail("bad fp decrement bits");
+        h->delta_double(p, static_cast<VarId>(*var), double_of(*bits));
       } else {
         const auto amt = signed_number(toks[3]);
         if (!amt) return fail("bad decrement amount");
@@ -197,7 +203,8 @@ std::string format_history(const History& h) {
         out += " write x" + std::to_string(op.var) + " " + std::to_string(op.value);
         break;
       case OpKind::kDelta:
-        out += " dec x" + std::to_string(op.var) + " " + std::to_string(int_of(op.value));
+        out += op.fp ? " decd x" + std::to_string(op.var) + " " + std::to_string(op.value)
+                     : " dec x" + std::to_string(op.var) + " " + std::to_string(int_of(op.value));
         break;
       case OpKind::kRead:
         out += " read x" + std::to_string(op.var) + " " + std::to_string(op.value) +

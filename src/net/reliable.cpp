@@ -19,6 +19,10 @@ ReliableChannel::ReliableChannel(Fabric& fabric, std::size_t endpoints,
       ready_(endpoints) {
   MC_CHECK(cfg_.initial_rto.count() > 0);
   MC_CHECK(cfg_.max_retries >= 1);
+  MC_CHECK(cfg_.ack_every >= 1);
+  MC_CHECK_MSG(cfg_.ack_every == 1 || cfg_.ack_flush < cfg_.initial_rto,
+               "ack flush window must undercut the retransmit timeout or "
+               "sender backoff fires spuriously");
   timer_ = std::thread([this] { timer_loop(); });
 }
 
@@ -38,7 +42,12 @@ void ReliableChannel::on_send(Message& m) {
   std::scoped_lock lk(mu_);
   SendState& st = send_[channel(m.src, m.dst)];
   m.rel_seq = st.next_seq++;
-  m.rel_ack = recv_[channel(m.dst, m.src)].delivered;
+  RecvState& reverse = recv_[channel(m.dst, m.src)];
+  m.rel_ack = reverse.delivered;
+  // The piggyback satisfies any suppressed standalone ack for the reverse
+  // channel (should this message be lost, the peer's retransmit is re-acked
+  // immediately, same as a lost standalone ack).
+  reverse.acked = reverse.delivered;
   if (!st.dead) {
     InFlight entry;
     entry.msg = m;
@@ -85,17 +94,27 @@ void ReliableChannel::process(Endpoint e, Message m, std::vector<Message>& acks_
                          {"seq", m.rel_seq});
     }
     // Re-ack so a sender retransmitting into a lost-ack window quiesces.
+    st.acked = st.delivered;
     acks_out.push_back(make_ack(e, m.src, st.delivered));
     return;
   }
   const Endpoint sender = m.src;
+  const bool was_pending = st.delivered > st.acked;
   st.reorder.emplace(m.rel_seq, std::move(m));
   while (!st.reorder.empty() && st.reorder.begin()->first == st.delivered + 1) {
     ready_[e].push_back(std::move(st.reorder.begin()->second));
     st.reorder.erase(st.reorder.begin());
     ++st.delivered;
   }
-  acks_out.push_back(make_ack(e, sender, st.delivered));
+  if (cfg_.ack_every <= 1 || st.delivered - st.acked >= cfg_.ack_every) {
+    st.acked = st.delivered;
+    acks_out.push_back(make_ack(e, sender, st.delivered));
+  } else if (st.delivered > st.acked) {
+    // Delayed cumulative ack: suppress the standalone ack; a later k-th
+    // delivery, reverse-traffic piggyback, or the flush timer covers it.
+    if (!was_pending) st.ack_pending_since = std::chrono::steady_clock::now();
+    acks_delayed_.add();
+  }
 }
 
 std::optional<Message> ReliableChannel::recv(Endpoint e) {
@@ -168,9 +187,28 @@ void ReliableChannel::timer_loop() {
       }
       if (st.dead) st.inflight.clear();
     }
-    if (!resends.empty()) {
+    // Flush suppressed acks past their window, so sender RTOs never fire
+    // on a healthy-but-quiet channel.
+    std::vector<Message> ack_flushes;
+    if (cfg_.ack_every > 1) {
+      for (std::size_t ch = 0; ch < recv_.size(); ++ch) {
+        RecvState& st = recv_[ch];
+        if (st.delivered > st.acked && now - st.ack_pending_since >= cfg_.ack_flush) {
+          st.acked = st.delivered;
+          ack_flushes.push_back(make_ack(static_cast<Endpoint>(ch % endpoints_),
+                                         static_cast<Endpoint>(ch / endpoints_),
+                                         st.delivered));
+        }
+      }
+    }
+    if (!resends.empty() || !ack_flushes.empty()) {
       lk.unlock();
       for (Message& m : resends) fabric_.send_raw(std::move(m));
+      for (Message& a : ack_flushes) {
+        acks_sent_.add();
+        ack_bytes_.add(a.wire_bytes());
+        fabric_.send_raw(std::move(a));
+      }
       lk.lock();
     }
   }
@@ -186,6 +224,7 @@ void ReliableChannel::add_metrics(MetricsSnapshot& snap) const {
   snap.values["net.dup_dropped"] = dup_dropped_.get();
   snap.values["net.acks"] = acks_sent_.get();
   snap.values["net.ack_bytes"] = ack_bytes_.get();
+  snap.values["net.ack.delayed"] = acks_delayed_.get();
   snap.add_histogram("net.rto_ns", rto_ns_);
   std::scoped_lock lk(mu_);
   snap.values["net.peer_unreachable"] = errors_.size();

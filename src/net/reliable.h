@@ -46,6 +46,17 @@ struct ReliabilityConfig {
   int max_retries = 10;
   /// Granularity of the retransmit timer thread.
   std::chrono::nanoseconds tick{std::chrono::microseconds(500)};
+
+  /// Delayed cumulative acks: emit a standalone ack only every `ack_every`
+  /// deliveries on a channel (1 = classic ack-per-message).  Acks are
+  /// cumulative, so skipping intermediates loses nothing; duplicates are
+  /// still re-acked immediately (the sender is already retransmitting) and
+  /// reverse traffic still piggybacks the newest ack for free.
+  std::uint64_t ack_every = 1;
+  /// Flush window bounding how long a suppressed ack may wait before the
+  /// timer ships it anyway.  Must stay comfortably below initial_rto or
+  /// sender backoff fires spuriously on perfectly healthy channels.
+  std::chrono::nanoseconds ack_flush{std::chrono::microseconds(500)};
 };
 
 class ReliableChannel {
@@ -87,6 +98,9 @@ class ReliableChannel {
   [[nodiscard]] std::uint64_t dup_dropped() const { return dup_dropped_.get(); }
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_.get(); }
   [[nodiscard]] std::uint64_t ack_bytes() const { return ack_bytes_.get(); }
+  /// Deliveries whose standalone ack was suppressed by ack_every (they were
+  /// covered later by a cumulative ack, a piggyback, or the flush timer).
+  [[nodiscard]] std::uint64_t acks_delayed() const { return acks_delayed_.get(); }
   [[nodiscard]] const LatencyHistogram& rto_ns() const { return rto_ns_; }
   [[nodiscard]] std::vector<PeerUnreachable> errors() const;
 
@@ -108,6 +122,10 @@ class ReliableChannel {
 
   struct RecvState {
     std::uint64_t delivered = 0;  // highest in-order sequence handed up
+    std::uint64_t acked = 0;      // highest sequence the sender knows about
+    /// A suppressed ack is pending since this instant (valid when
+    /// acked < delivered); the timer flushes it after cfg_.ack_flush.
+    std::chrono::steady_clock::time_point ack_pending_since{};
     std::map<std::uint64_t, Message> reorder;
   };
 
@@ -134,7 +152,7 @@ class ReliableChannel {
   std::vector<std::deque<Message>> ready_;      // per endpoint, in order
   std::vector<PeerUnreachable> errors_;
 
-  Counter retransmits_, dup_dropped_, acks_sent_, ack_bytes_;
+  Counter retransmits_, dup_dropped_, acks_sent_, ack_bytes_, acks_delayed_;
   LatencyHistogram rto_ns_;
 
   std::condition_variable timer_cv_;

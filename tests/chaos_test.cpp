@@ -16,6 +16,7 @@
 
 #include "apps/cholesky.h"
 #include "apps/em_field.h"
+#include "apps/em_field2d.h"
 #include "apps/equation_solver.h"
 #include "common/rng.h"
 #include "dsm/system.h"
@@ -98,20 +99,22 @@ TEST_P(ChaosLockPolicy, CholeskyLocksStayCorrectUnderFaults) {
 }
 
 TEST(Chaos, CholeskyCountersStayCorrectUnderFaults) {
-  // No history check here: the checker's delta semantics cover integer
-  // counters, and this variant accumulates floating-point deltas whose bit
-  // patterns don't sum.  Numeric agreement with the reference is the
-  // correctness oracle instead.
+  // Floating-point deltas are checkable since the checkers grew fp counter
+  // semantics (Operation::fp): reads of accumulator locations are matched
+  // with a relative tolerance instead of bit-exact subset sums.
   const SparseSpd m = SparseSpd::random(12, 2, 0.1, 7);
   const Symbolic sym = analyze(m);
   CholeskyOptions opt;
   opt.procs = 2;
   opt.faults = chaos_plan(404);
   opt.reliable = true;
+  opt.record_trace = true;
   const auto par = cholesky_counters(m, sym, opt);
   EXPECT_LT(factorization_error(m, par.l), 1e-8);
   EXPECT_GT(par.metrics.get("net.fault.dropped"), 0u);
   EXPECT_GT(par.metrics.get("net.retransmits"), 0u);
+  const auto res = history::check_mixed_consistency(par.history);
+  EXPECT_TRUE(res.ok) << res.message();
 }
 
 TEST(Chaos, EmFieldMatchesReferenceExactlyUnderFaults) {
@@ -127,6 +130,86 @@ TEST(Chaos, EmFieldMatchesReferenceExactlyUnderFaults) {
                               false, chaos_plan(606), true);
   EXPECT_EQ(ref.e, ghost.e);
   EXPECT_EQ(ref.h, ghost.h);
+}
+
+TEST(Chaos, Em2dFieldMatchesReferenceExactlyUnderFaults) {
+  Em2dProblem prob;
+  prob.nx = 16;
+  prob.ny = 12;
+  prob.steps = 6;
+  const auto ref = em2d_reference(prob);
+  const auto run = em2d_mixed(prob, 3, ReadMode::kPram, {}, 1, chaos_plan(808), true);
+  EXPECT_EQ(ref.ez, run.ez);
+  EXPECT_EQ(ref.hx, run.hx);
+  EXPECT_EQ(ref.hy, run.hy);
+  EXPECT_GT(run.metrics.get("net.fault.dropped"), 0u);
+  EXPECT_GT(run.metrics.get("net.retransmits"), 0u);
+}
+
+TEST(Chaos, Em2dFieldStaysBitwiseCorrectWithBatchingUnderFaults) {
+  // Batching coalesces the per-row boundary writes into framed batches; the
+  // ghost rows are plain writes read only after barrier flush points, so
+  // the result must stay bitwise equal to the sequential reference even
+  // while the fabric drops and duplicates the batches themselves.
+  Em2dProblem prob;
+  prob.nx = 16;
+  prob.ny = 12;
+  prob.steps = 6;
+  const auto ref = em2d_reference(prob);
+  const auto run = em2d_mixed(prob, 3, ReadMode::kPram, {}, 1, chaos_plan(909),
+                              true, dsm::BatchingConfig{});
+  EXPECT_EQ(ref.ez, run.ez);
+  EXPECT_EQ(ref.hx, run.hx);
+  EXPECT_EQ(ref.hy, run.hy);
+  EXPECT_GT(run.metrics.get("net.batch.msgs"), 0u);
+  EXPECT_GT(run.metrics.get("net.fault.dropped"), 0u);
+}
+
+TEST(Chaos, SolverStaysBitwiseCorrectWithBatchingUnderFaults) {
+  const LinearSystem sys = LinearSystem::random(8, 2);
+  SolverOptions opt;
+  opt.workers = 3;
+  opt.faults = chaos_plan(111);
+  opt.reliable = true;
+  opt.batching = dsm::BatchingConfig{};
+  const auto ref = jacobi_reference(sys, opt.tol, opt.max_iters);
+  const auto run = solve_barrier_pram(sys, opt);
+  ASSERT_TRUE(run.converged);
+  EXPECT_EQ(run.iterations, ref.iterations);
+  EXPECT_EQ(max_abs_diff(run.x, ref.x), 0.0);
+  EXPECT_GT(run.metrics.get("net.batch.msgs"), 0u);
+  EXPECT_GT(run.metrics.get("net.fault.dropped"), 0u);
+}
+
+TEST(Chaos, EmFieldStaysBitwiseCorrectWithBatchingUnderFaults) {
+  EmProblem prob;
+  prob.m = 32;
+  prob.steps = 8;
+  const auto ref = em_reference(prob);
+  const auto run = em_mixed(prob, 3, ReadMode::kPram, EmSharing::kGhost, {}, 1,
+                            false, chaos_plan(121), true, dsm::BatchingConfig{});
+  EXPECT_EQ(ref.e, run.e);
+  EXPECT_EQ(ref.h, run.h);
+  EXPECT_GT(run.metrics.get("net.batch.msgs"), 0u);
+}
+
+TEST(Chaos, CholeskyCountersCheckWithBatchingUnderFaults) {
+  // Delta coalescing sums staged fp decrements before they ship, changing
+  // the store's rounding order — covered by the factorization tolerance and
+  // the checker's fp tolerance, both 1e-8.
+  const SparseSpd m = SparseSpd::random(12, 2, 0.1, 7);
+  const Symbolic sym = analyze(m);
+  CholeskyOptions opt;
+  opt.procs = 2;
+  opt.faults = chaos_plan(131);
+  opt.reliable = true;
+  opt.record_trace = true;
+  opt.batching = dsm::BatchingConfig{};
+  const auto par = cholesky_counters(m, sym, opt);
+  EXPECT_LT(factorization_error(m, par.l), 1e-8);
+  EXPECT_GT(par.metrics.get("net.batch.msgs"), 0u);
+  const auto res = history::check_mixed_consistency(par.history);
+  EXPECT_TRUE(res.ok) << res.message();
 }
 
 TEST(Chaos, RandomLitmusProgramStillChecksUnderFaults) {

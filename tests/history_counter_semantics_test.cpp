@@ -104,6 +104,54 @@ TEST(CounterSemantics, MixedAmountsUseSubsetSums) {
   }
 }
 
+TEST(CounterSemantics, FpDeltasCheckWithRelativeTolerance) {
+  // Section 5.3's counter-object Cholesky subtracts doubles: the read value
+  // must be explainable as base minus a visible subset of fp deltas, with a
+  // relative tolerance absorbing summation-order rounding.
+  History h(1);
+  h.write(0, 0, value_of(10.0));
+  h.delta_double(0, 0, 0.25);
+  h.delta_double(0, 0, 1.5);
+  History good = h;
+  good.read(0, 0, value_of(10.0 - (1.5 + 0.25)), ReadMode::kCausal);  // reassociated
+  const auto res = check_mixed_consistency(good);
+  EXPECT_TRUE(res.ok) << res.message();
+  History bad = h;
+  bad.read(0, 0, value_of(10.0 - 0.25), ReadMode::kCausal);  // lost a required delta
+  EXPECT_FALSE(check_mixed_consistency(bad).ok);
+}
+
+TEST(CounterSemantics, FpConcurrentDeltaMayOrMayNotBeVisible) {
+  const auto build = [](double read_value) {
+    History h(2);
+    const OpRef init = h.write(0, 0, value_of(8.0));
+    h.await(1, 0, value_of(8.0), h.op(init).write_id);
+    h.delta_double(1, 0, 0.5);  // concurrent with p0's read
+    History out = h;
+    out.read(0, 0, value_of(read_value), ReadMode::kCausal);
+    return out;
+  };
+  EXPECT_TRUE(check_mixed_consistency(build(8.0)).ok);
+  EXPECT_TRUE(check_mixed_consistency(build(7.5)).ok);
+  EXPECT_FALSE(check_mixed_consistency(build(7.0)).ok);
+}
+
+TEST(CounterSemantics, FpHistoriesStillFindSerialWitnesses) {
+  // The serialization searcher's counter simulation must track fp
+  // accumulators too (tolerant value matching along the witness order).
+  History h(2);
+  const OpRef init = h.write(0, 0, value_of(4.0));
+  h.await(1, 0, value_of(4.0), h.op(init).write_id);
+  h.delta_double(0, 0, 1.0);
+  h.delta_double(1, 0, 2.0);
+  h.barrier(0, 1);
+  h.barrier(1, 1);
+  h.read(0, 0, value_of(1.0), ReadMode::kCausal);
+  h.read(1, 0, value_of(1.0), ReadMode::kCausal);
+  const auto res = check_mixed_consistency(h);
+  EXPECT_TRUE(res.ok) << res.message();
+}
+
 TEST(CounterSemantics, AwaitOnCounterResolvesByFinalDelta) {
   // await(count = 0) in the Figure 5 style: the resolving op is a delta.
   History h(2);

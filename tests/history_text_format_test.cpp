@@ -72,6 +72,21 @@ TEST(TextFormat, RejectsUnknownKindsAndBadIds) {
   EXPECT_FALSE(parse_history_text("procs 1\n0 read x0 1 pram @zzz\n").history.has_value());
 }
 
+TEST(TextFormat, FpDeltasRoundTripBitExactly) {
+  // `decd` carries the double's raw bit pattern, so -0.1 (not representable
+  // exactly) survives a format/parse cycle unchanged.
+  History h(1);
+  h.write(0, 0, value_of(1.0));
+  h.delta_double(0, 0, 0.1);
+  const std::string text = format_history(h);
+  EXPECT_NE(text.find("decd x0 "), std::string::npos) << text;
+  const auto back = parse_history_text(text);
+  ASSERT_TRUE(back.history.has_value()) << back.error;
+  const Operation& d = back.history->op(1);
+  EXPECT_TRUE(d.fp);
+  EXPECT_EQ(d.value, value_of(0.1));
+}
+
 TEST(TextFormat, RoundTripIsExact) {
   History h(3);
   const OpRef w = h.write(0, 0, 42);

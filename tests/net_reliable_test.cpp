@@ -163,6 +163,128 @@ TEST(ReliableChannel, CleanFabricCostsAcksButNoRetransmits) {
   EXPECT_EQ(rel->dup_dropped(), 0u);
 }
 
+TEST(ReliableChannel, DelayedAcksSuppressStandaloneAckTraffic) {
+  // ack_every = 8 on a clean fabric: only every eighth delivery emits a
+  // standalone ack, the rest are recorded as suppressed.  This is the C12
+  // fix for C11's "reliability doubles the message count" observation.
+  constexpr std::uint64_t kTotal = 200;
+  Fabric f(2);
+  ReliabilityConfig cfg;
+  cfg.initial_rto = std::chrono::milliseconds(500);  // no spurious timeouts
+  cfg.ack_every = 8;
+  cfg.ack_flush = std::chrono::milliseconds(50);
+  f.enable_reliability(cfg);
+
+  std::vector<std::uint64_t> got;
+  std::thread receiver([&] {
+    while (got.size() < kTotal) {
+      const auto m = f.recv(1);
+      if (!m.has_value()) break;
+      got.push_back(m->a);
+    }
+  });
+  std::thread ack_drain([&] {
+    while (f.recv(0).has_value()) {
+    }
+  });
+  for (std::uint64_t i = 0; i < kTotal; ++i) f.send(make(0, 1, 1, i));
+  receiver.join();
+  f.shutdown();
+  ack_drain.join();
+
+  ASSERT_EQ(got.size(), kTotal);
+  for (std::uint64_t i = 0; i < kTotal; ++i) EXPECT_EQ(got[i], i);
+  ReliableChannel* rel = f.reliable_channel();
+  EXPECT_EQ(rel->retransmits(), 0u);
+  EXPECT_GT(rel->acks_delayed(), 0u);
+  // ~kTotal/8 stride acks plus at most a trailing flush ack, against
+  // kTotal standalone acks at ack_every = 1.
+  EXPECT_LE(rel->acks_sent(), kTotal / 4);
+  EXPECT_GT(f.metrics().get("net.ack.delayed"), 0u);
+}
+
+TEST(ReliableChannel, AckFlushWindowAcksShortStreamsBeforeRtoFires) {
+  // Fewer messages than the ack stride: only the flush timer can ack them.
+  // It must do so well inside the (huge) retransmit timeout, otherwise the
+  // sender would spuriously back off — the interaction the
+  // ack_flush < initial_rto config check exists for.
+  Fabric f(2);
+  ReliabilityConfig cfg;
+  cfg.initial_rto = std::chrono::milliseconds(500);
+  cfg.ack_every = 64;
+  cfg.ack_flush = std::chrono::milliseconds(2);
+  cfg.tick = std::chrono::microseconds(200);
+  f.enable_reliability(cfg);
+
+  std::vector<std::uint64_t> got;
+  std::thread receiver([&] {
+    while (got.size() < 3) {
+      const auto m = f.recv(1);
+      if (!m.has_value()) break;
+      got.push_back(m->a);
+    }
+  });
+  std::thread ack_drain([&] {
+    while (f.recv(0).has_value()) {
+    }
+  });
+  for (std::uint64_t i = 0; i < 3; ++i) f.send(make(0, 1, 1, i));
+  receiver.join();
+
+  ReliableChannel* rel = f.reliable_channel();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (rel->acks_sent() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  f.shutdown();
+  ack_drain.join();
+
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_GE(rel->acks_sent(), 1u);   // the flush timer fired
+  EXPECT_EQ(rel->retransmits(), 0u); // ...before the sender's RTO did
+  EXPECT_GT(rel->acks_delayed(), 0u);
+}
+
+TEST(ReliableChannel, DelayedAcksStillRepairDropsViaRetransmit) {
+  // Lossy fabric with stride acking: cumulative acks mean a lost stride
+  // ack is subsumed by the next one (or by the flush timer), and dropped
+  // data still triggers retransmission — the stream stays complete FIFO.
+  constexpr std::uint64_t kTotal = 300;
+  Fabric f(2);
+  ReliabilityConfig cfg = fast_cfg();
+  cfg.ack_every = 4;
+  cfg.ack_flush = std::chrono::microseconds(500);  // < initial_rto = 1ms
+  f.enable_reliability(cfg);
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.drop_prob = 0.3;
+  f.inject_faults(plan);
+
+  std::vector<std::uint64_t> got;
+  std::thread receiver([&] {
+    while (got.size() < kTotal) {
+      const auto m = f.recv(1);
+      if (!m.has_value()) break;
+      got.push_back(m->a);
+    }
+  });
+  std::thread ack_drain([&] {
+    while (f.recv(0).has_value()) {
+    }
+  });
+  for (std::uint64_t i = 0; i < kTotal; ++i) f.send(make(0, 1, 1, i));
+  receiver.join();
+  f.shutdown();
+  ack_drain.join();
+
+  ASSERT_EQ(got.size(), kTotal);
+  for (std::uint64_t i = 0; i < kTotal; ++i) EXPECT_EQ(got[i], i);
+  ReliableChannel* rel = f.reliable_channel();
+  EXPECT_GT(rel->retransmits(), 0u);
+  EXPECT_GT(rel->acks_delayed(), 0u);
+  EXPECT_TRUE(rel->errors().empty());
+}
+
 TEST(ReliableChannel, MessagesOutsideTheProtocolPassThrough) {
   // rel_seq == 0 marks a message outside the protocol (e.g. sent before
   // reliability was enabled, or via send_raw with no wrap): it must still
