@@ -26,42 +26,43 @@ void run_case(Harness& h, std::size_t n, std::size_t workers) {
   opt.latency = net::LatencyModel::fast();
   opt.tol = 1e-8;
 
-  struct Row {
-    const char* name;
-    SolverResult r;
-    const char* blocked_key;
-  };
   SolverOptions no_ts = opt;
   no_ts.omit_timestamps = true;  // Section 6: legal because Fig 2 is
                                  // PRAM-consistent (Corollary 2)
-  std::vector<Row> rows;
-  rows.push_back({"fig2-barrier-pram", solve_barrier_pram(sys, opt), "dsm.blocked_ns"});
-  rows.push_back(
-      {"fig2-pram-no-timestamps", solve_barrier_pram(sys, no_ts), "dsm.blocked_ns"});
-  rows.push_back(
-      {"fig3-handshake-causal", solve_handshake_causal(sys, opt), "dsm.blocked_ns"});
+
+  // Run each formulation and report it immediately, so that under --trace
+  // the row's critical-path window covers exactly that solve.
+  const auto run_one = [&](const char* name, auto&& solve,
+                           const char* blocked_key) {
+    h.mark();
+    const SolverResult r = solve();
+    std::printf("%-24s n=%-4zu workers=%zu iters=%-3zu time=%8.2fms msgs=%-8llu "
+                "bytes=%-10llu blocked=%8.2fms\n",
+                name, n, workers, r.iterations, r.elapsed_ms, msgs(r.metrics),
+                bytes(r.metrics), blocked_ms(r.metrics, blocked_key));
+    auto& out = h.add_row(name);
+    out.params["n"] = std::to_string(n);
+    out.params["workers"] = std::to_string(workers);
+    out.wall_ms = r.elapsed_ms;
+    out.stats["iterations"] = static_cast<double>(r.iterations);
+    out.metrics = r.metrics;
+  };
+  run_one("fig2-barrier-pram", [&] { return solve_barrier_pram(sys, opt); },
+          "dsm.blocked_ns");
+  run_one("fig2-pram-no-timestamps", [&] { return solve_barrier_pram(sys, no_ts); },
+          "dsm.blocked_ns");
+  run_one("fig3-handshake-causal", [&] { return solve_handshake_causal(sys, opt); },
+          "dsm.blocked_ns");
   if (n <= 24 && workers == 2) {
     // Section 7's chaotic-relaxation observation: converges with zero
     // synchronization, at the cost of free-running (redundant) sweeps and
     // update traffic.  Reported on the small case only; `iters` counts the
     // coordinator's residual polls.
-    rows.push_back(
-        {"async-gauss-seidel", solve_async_gauss_seidel(sys, opt), "dsm.blocked_ns"});
+    run_one("async-gauss-seidel", [&] { return solve_async_gauss_seidel(sys, opt); },
+            "dsm.blocked_ns");
   }
-  rows.push_back({"sc-baseline", solve_sc_baseline(sys, opt), "sc.blocked_ns"});
-  for (const Row& row : rows) {
-    std::printf("%-24s n=%-4zu workers=%zu iters=%-3zu time=%8.2fms msgs=%-8llu "
-                "bytes=%-10llu blocked=%8.2fms\n",
-                row.name, n, workers, row.r.iterations, row.r.elapsed_ms,
-                msgs(row.r.metrics), bytes(row.r.metrics),
-                blocked_ms(row.r.metrics, row.blocked_key));
-    auto& out = h.add_row(row.name);
-    out.params["n"] = std::to_string(n);
-    out.params["workers"] = std::to_string(workers);
-    out.wall_ms = row.r.elapsed_ms;
-    out.stats["iterations"] = static_cast<double>(row.r.iterations);
-    out.metrics = row.r.metrics;
-  }
+  run_one("sc-baseline", [&] { return solve_sc_baseline(sys, opt); },
+          "sc.blocked_ns");
 }
 
 }  // namespace

@@ -34,6 +34,7 @@ void lock_policy_case(Harness& h, LockPolicy policy, std::size_t procs, int roun
   cfg.latency = net::LatencyModel::fast();
   MixedSystem sys(cfg);
 
+  h.mark();  // critical-path window starts at the timed run, not at setup
   Stopwatch clock;
   sys.run([&](Node& n, ProcId) {
     for (int i = 0; i < rounds; ++i) {
@@ -68,6 +69,7 @@ void barrier_case(Harness& h, std::size_t procs, int rounds) {
   cfg.num_vars = 4;
   cfg.latency = net::LatencyModel::fast();
   MixedSystem sys(cfg);
+  h.mark();
   Stopwatch clock;
   sys.run([&](Node& n, ProcId) {
     for (int i = 0; i < rounds; ++i) n.barrier();
@@ -94,6 +96,15 @@ void barrier_case(Harness& h, std::size_t procs, int rounds) {
 void handoff_case(Harness& h, int rounds) {
   const auto lat = net::LatencyModel::fast();
 
+  // Each variant's report row is appended immediately after its run so the
+  // row's critical-path window covers exactly that sub-run under --trace.
+  const auto emit = [&](const char* name, double ms, const MetricsSnapshot& m) {
+    auto& row = h.add_row(name);
+    row.params["rounds"] = std::to_string(rounds);
+    row.wall_ms = ms;
+    row.metrics = m;
+  };
+
   // Mixed consistency: weak writes + await (the |->await edge carries the
   // producer's context, PRAM reads suffice afterwards).
   double mixed_ms = 0.0;
@@ -104,6 +115,7 @@ void handoff_case(Harness& h, int rounds) {
     cfg.num_vars = 4;
     cfg.latency = lat;
     MixedSystem sys(cfg);
+    h.mark();
     Stopwatch clock;
     // Two-way handshake (the Figure 3 pattern): awaits are exact-value, so
     // the producer must not overwrite the flag before the consumer's
@@ -123,6 +135,7 @@ void handoff_case(Harness& h, int rounds) {
     });
     mixed_ms = clock.elapsed_ms();
     mixed_m = sys.metrics();
+    emit("handoff-mixed-await", mixed_ms, mixed_m);
   }
 
   // Hybrid consistency: weak payload + strong flag, consumer polls with
@@ -135,6 +148,7 @@ void handoff_case(Harness& h, int rounds) {
     cfg.num_vars = 4;
     cfg.latency = lat;
     baseline::HybridSystem sys(cfg);
+    h.mark();
     Stopwatch clock;
     sys.run([&](baseline::HybridNode& n, ProcId p) {
       for (int r = 1; r <= rounds; ++r) {
@@ -151,6 +165,7 @@ void handoff_case(Harness& h, int rounds) {
     });
     hybrid_ms = clock.elapsed_ms();
     hybrid_m = sys.metrics();
+    emit("handoff-hybrid-strong", hybrid_ms, hybrid_m);
   }
 
   // SC baseline: every write through the sequencer, consumer awaits.
@@ -162,6 +177,7 @@ void handoff_case(Harness& h, int rounds) {
     cfg.num_vars = 4;
     cfg.latency = lat;
     baseline::ScSystem sys(cfg);
+    h.mark();
     Stopwatch clock;
     sys.run([&](baseline::ScNode& n, ProcId p) {
       for (int r = 1; r <= rounds; ++r) {
@@ -178,6 +194,7 @@ void handoff_case(Harness& h, int rounds) {
     });
     sc_ms = clock.elapsed_ms();
     sc_m = sys.metrics();
+    emit("handoff-sc-baseline", sc_ms, sc_m);
   }
 
   std::printf("mixed-await     rounds=%d time=%8.2fms msgs=%-7llu bytes=%-9llu "
@@ -190,20 +207,6 @@ void handoff_case(Harness& h, int rounds) {
   std::printf("sc-baseline     rounds=%d time=%8.2fms msgs=%-7llu bytes=%-9llu "
               "blocked=%8.2fms\n",
               rounds, sc_ms, msgs(sc_m), bytes(sc_m), blocked_ms(sc_m, "sc.blocked_ns"));
-
-  const struct {
-    const char* name;
-    double ms;
-    const MetricsSnapshot* m;
-  } rows[] = {{"handoff-mixed-await", mixed_ms, &mixed_m},
-              {"handoff-hybrid-strong", hybrid_ms, &hybrid_m},
-              {"handoff-sc-baseline", sc_ms, &sc_m}};
-  for (const auto& r : rows) {
-    auto& row = h.add_row(r.name);
-    row.params["rounds"] = std::to_string(rounds);
-    row.wall_ms = r.ms;
-    row.metrics = *r.m;
-  }
 }
 
 }  // namespace

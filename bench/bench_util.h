@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "common/stats.h"
+#include "obs/critical_path.h"
 #include "obs/run_report.h"
 #include "obs/tracer.h"
 
@@ -66,6 +67,7 @@ class Harness {
       if (const char* env = std::getenv("MC_TRACE")) trace_path_ = env;
     }
     if (!trace_path_.empty()) obs::Tracer::instance().enable();
+    row_mark_ns_ = tracing() ? obs::Tracer::now_ns() : 0;
   }
 
   ~Harness() { finish(); }
@@ -83,9 +85,39 @@ class Harness {
   /// not enough to produce meaningful numbers.
   [[nodiscard]] bool smoke() const { return smoke_; }
 
+  /// Whether `--trace` / MC_TRACE is active for this run.
+  [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
+
+  /// Start the next row's trace window here (call right before the timed
+  /// run).  Without an explicit mark the window starts at the previous
+  /// add_row(), which also includes inter-case setup.
+  void mark() {
+    if (tracing()) row_mark_ns_ = obs::Tracer::now_ns();
+  }
+
   /// Append a result row (fill params/wall_ms/metrics on the reference).
+  /// Under --trace, the row gets a critical_path section computed from the
+  /// events recorded since the last mark()/add_row() — so call this right
+  /// after the case's run, before any other traced work.
   obs::RunReport::Row& add_row(std::string name) {
-    return report_.add_row(std::move(name));
+    obs::RunReport::Row& row = report_.add_row(std::move(name));
+    if (tracing()) {
+      const std::uint64_t now = obs::Tracer::now_ns();
+      const obs::CriticalPath cp = obs::analyze_trace(
+          obs::Tracer::instance().snapshot(), row_mark_ns_, now);
+      row.critical_path.present = true;
+      row.critical_path.total_ms = static_cast<double>(cp.total_ns) / 1e6;
+      for (std::size_t c = 0; c < obs::kCpCategories; ++c) {
+        if (cp.category_ns[c] == 0) continue;
+        row.critical_path.category_ms[obs::to_string(
+            static_cast<obs::CpCategory>(c))] =
+            static_cast<double>(cp.category_ns[c]) / 1e6;
+      }
+      row.critical_path.dag_nodes = cp.dag_nodes;
+      row.critical_path.path_nodes = cp.path_nodes;
+      row_mark_ns_ = now;
+    }
+    return row;
   }
 
   /// Write the report and/or trace now (idempotent; the destructor calls it).
@@ -116,6 +148,7 @@ class Harness {
   obs::RunReport report_;
   std::string json_path_;
   std::string trace_path_;
+  std::uint64_t row_mark_ns_ = 0;
   bool smoke_ = false;
   bool finished_ = false;
 };

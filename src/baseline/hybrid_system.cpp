@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace mc::baseline {
 
@@ -45,6 +46,8 @@ void HybridNode::stop() {
 
 void HybridNode::run_delivery() {
   while (auto m = fabric_.mailbox(self_).recv()) {
+    obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
+    obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {
       case kHybridWeak: {
         {
@@ -198,6 +201,8 @@ void HybridSystem::run_sequencer() {
   std::vector<net::Endpoint> everyone(cfg_.num_procs);
   for (net::Endpoint e = 0; e < cfg_.num_procs; ++e) everyone[e] = e;
   while (auto m = fabric_.mailbox(seq_ep).recv()) {
+    obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
+    obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {
       case kHybridStrongWrite: {
         net::Message ordered;
@@ -236,7 +241,12 @@ void HybridSystem::run(const std::function<void(HybridNode&, ProcId)>& body) {
   std::vector<std::thread> threads;
   threads.reserve(cfg_.num_procs);
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-    threads.emplace_back([this, &body, p] { body(*nodes_[p], p); });
+    threads.emplace_back([this, &body, p] {
+      // Application-lane marker for the critical-path analyzer.
+      obs::trace_instant("proc.start", "dsm", {"proc", p});
+      body(*nodes_[p], p);
+      obs::trace_instant("proc.end", "dsm", {"proc", p});
+    });
   }
   for (auto& t : threads) t.join();
 }

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace mc::baseline {
 
@@ -35,6 +36,8 @@ void ScNode::stop() {
 
 void ScNode::run_delivery() {
   while (auto m = fabric_.mailbox(self_).recv()) {
+    obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
+    obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {
       case kScOrdered: {
         std::unique_lock lk(mu_);
@@ -189,7 +192,12 @@ void ScSystem::run(const std::function<void(ScNode&, ProcId)>& body) {
   std::vector<std::thread> threads;
   threads.reserve(cfg_.num_procs);
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-    threads.emplace_back([this, &body, p] { body(*nodes_[p], p); });
+    threads.emplace_back([this, &body, p] {
+      // Application-lane marker for the critical-path analyzer.
+      obs::trace_instant("proc.start", "dsm", {"proc", p});
+      body(*nodes_[p], p);
+      obs::trace_instant("proc.end", "dsm", {"proc", p});
+    });
   }
   for (auto& t : threads) t.join();
 }

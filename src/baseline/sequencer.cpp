@@ -1,6 +1,7 @@
 #include "baseline/sequencer.h"
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace mc::baseline {
 
@@ -20,6 +21,8 @@ void Sequencer::run() {
   for (net::Endpoint e = 0; e < num_procs_; ++e) everyone[e] = e;
 
   while (auto m = fabric_.mailbox(self_).recv()) {
+    obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
+    obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {
       case kScWrite: {
         net::Message ordered;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace mc::dsm {
 
@@ -36,6 +37,9 @@ std::vector<ProcId> BarrierManager::members_of(BarrierId b) const {
 
 void BarrierManager::run() {
   while (auto m = fabric_.recv(self_)) {
+    heartbeats_.add();
+    obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
+    obs::trace_flow_end("msg", "net", m->trace_id);
     if (m->kind == kBarrierArrive) handle_arrive(*m);
   }
 }

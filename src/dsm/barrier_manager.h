@@ -48,6 +48,10 @@ class BarrierManager {
   [[nodiscard]] const LatencyHistogram& assemble_time() const { return assemble_ns_; }
   [[nodiscard]] std::uint64_t releases_sent() const { return releases_.get(); }
 
+  /// Messages the manager thread has dequeued (`barriermgr.heartbeats`) —
+  /// see LockManager::heartbeats().
+  [[nodiscard]] std::uint64_t heartbeats() const { return heartbeats_.get(); }
+
   /// Open (unreleased) barrier instances with their occupancy, for the
   /// watchdog's diagnostics ("barrier 0 epoch 2: 3/4 arrived, missing=[p1]").
   [[nodiscard]] std::vector<std::string> dump() const;
@@ -78,6 +82,7 @@ class BarrierManager {
   std::map<std::pair<BarrierId, std::uint64_t>, Instance> instances_;
   LatencyHistogram assemble_ns_;
   Counter releases_;
+  Counter heartbeats_;
   std::thread thread_;
 };
 

@@ -103,6 +103,13 @@ struct Config {
   /// Record every operation into a per-process trace (history checking).
   bool record_trace = false;
 
+  /// Track per-read staleness (docs/METRICS.md `read.staleness_versions.*`
+  /// and `read.staleness_vc.*`): how many issued writes to the variable the
+  /// reading replica had not yet absorbed, split by PRAM vs causal read
+  /// mode.  Off by default — adds one atomic increment per write and a
+  /// short mutexed clock merge per timestamped write.
+  bool track_staleness = false;
+
   /// Section 6's optimization for PRAM-consistent programs (Corollary 2):
   /// "the extra overhead of sending a timestamp in each message and
   /// performing the updates in the timestamp order can be avoided if all

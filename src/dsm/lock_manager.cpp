@@ -1,6 +1,7 @@
 #include "dsm/lock_manager.h"
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace mc::dsm {
 
@@ -19,6 +20,9 @@ void LockManager::join() {
 
 void LockManager::run() {
   while (auto m = fabric_.recv(self_)) {
+    heartbeats_.add();
+    obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
+    obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {
       case kLockReq: handle_request(*m); break;
       case kUnlock: handle_unlock(*m); break;

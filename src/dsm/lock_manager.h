@@ -48,6 +48,12 @@ class LockManager {
   [[nodiscard]] const LatencyHistogram& grant_wait() const { return grant_wait_ns_; }
   [[nodiscard]] std::uint64_t grants_sent() const { return grants_.get(); }
 
+  /// Messages the manager thread has dequeued (`lockmgr.heartbeats`).  A
+  /// heartbeat that freezes while the manager's mailbox has pending traffic
+  /// is a wedged manager thread — the watchdog's manager probe
+  /// (Watchdog::set_manager_probe) flags it directly.
+  [[nodiscard]] std::uint64_t heartbeats() const { return heartbeats_.get(); }
+
   /// Wait-for edges of the current lock table (each queued requester waits
   /// for every current holder) — the watchdog's deadlock probe.
   [[nodiscard]] std::vector<Watchdog::WaitEdge> wait_edges() const;
@@ -94,6 +100,7 @@ class LockManager {
   std::map<LockId, LockState> locks_;
   LatencyHistogram grant_wait_ns_;
   Counter grants_;
+  Counter heartbeats_;
   std::thread thread_;
 };
 

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "dsm/staleness.h"
 #include "obs/tracer.h"
 
 namespace mc::dsm {
@@ -15,12 +16,13 @@ constexpr auto kLivenessDeadline = 30s;
 }  // namespace
 
 Node::Node(const Config& cfg, ProcId self, net::Fabric& fabric, net::Endpoint lock_mgr,
-           net::Endpoint barrier_mgr)
+           net::Endpoint barrier_mgr, StalenessTable* staleness)
     : cfg_(cfg),
       self_(self),
       fabric_(fabric),
       lock_mgr_(lock_mgr),
       barrier_mgr_(barrier_mgr),
+      staleness_(staleness),
       mem_(cfg.num_vars, cfg.num_procs),
       dep_vc_(cfg.num_procs),
       applied_(cfg.num_procs),
@@ -80,6 +82,9 @@ void Node::wait_or_die(std::unique_lock<std::mutex>& lk, const char* what, Pred 
 void Node::run_delivery() {
   while (auto m = fabric_.recv(self_)) {
     obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
+    // Close the message's flow inside the deliver span so the Perfetto
+    // arrow from its send binds to this slice.
+    obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {
       case kUpdate:
         on_update(*m);
@@ -99,6 +104,7 @@ void Node::run_delivery() {
               static_cast<VarId>(m->payload[cfg_.num_procs + 2 * k]),
               static_cast<net::Endpoint>(m->payload[cfg_.num_procs + 2 * k + 1]));
         }
+        info.trace_id = m->trace_id;
         {
           std::scoped_lock lk(mu_);
           pending_grants_[static_cast<LockId>(m->a)] = std::move(info);
@@ -112,7 +118,8 @@ void Node::run_delivery() {
         for (ProcId p = 0; p < cfg_.num_procs; ++p) vc.set(p, m->payload[p]);
         {
           std::scoped_lock lk(mu_);
-          barrier_release_[{static_cast<BarrierId>(m->a), m->b}] = std::move(vc);
+          barrier_release_[{static_cast<BarrierId>(m->a), m->b}] =
+              BarrierRelease{std::move(vc), m->trace_id};
         }
         cv_.notify_all();
         break;
@@ -146,6 +153,7 @@ void Node::run_delivery() {
         res.vc = VectorClock(cfg_.num_procs);
         MC_CHECK(m->payload.size() == 1 + cfg_.num_procs);
         for (ProcId p = 0; p < cfg_.num_procs; ++p) res.vc.set(p, m->payload[1 + p]);
+        res.trace_id = m->trace_id;
         {
           std::scoped_lock lk(mu_);
           fetch_results_[m->b] = std::move(res);
@@ -230,7 +238,7 @@ void Node::on_batch(const net::Message& m) {
       // and Section 6's count synchronization compares the two.
       received_from_.set(sender, received_from_[sender] + r.weight);
       mem_.apply(r.var, r.value, r.flags, WriteId{sender, r.seq}, r.vc,
-                 received_from_[sender]);
+                 received_from_[sender], /*force=*/false, r.weight);
     }
     applied_.set(sender, std::max(applied_[sender], max_seq));
     cv_.notify_all();
@@ -266,7 +274,7 @@ void Node::drain_causal_buffers() {
         // coalesced per-write history could not serialize).
         for (const BatchRecord& r : u.recs) {
           mem_.apply(r.var, r.value, r.flags, WriteId{s, r.seq},
-                     r.vc.empty() ? u.vc : r.vc);
+                     r.vc.empty() ? u.vc : r.vc, 0, /*force=*/false, r.weight);
         }
         applied_.set(s, u.vc[s]);
         q.pop_front();
@@ -518,6 +526,22 @@ Value Node::read(VarId x, ReadMode mode) {
   (mode == ReadMode::kPram ? stats_.read_pram_ns : stats_.read_causal_ns)
       .record(blocked.elapsed());
 
+  if (staleness_ != nullptr) {
+    // How far the returned value trails the freshest write known anywhere:
+    // issued-write count minus the writes this entry has absorbed, and the
+    // vector-clock shortfall against the freshest stamp (dsm/staleness.h).
+    const std::uint64_t issued = staleness_->issued(x);
+    const std::uint64_t lag =
+        issued > e.applied_writes ? issued - e.applied_writes : 0;
+    (mode == ReadMode::kPram ? stats_.staleness_versions_pram
+                             : stats_.staleness_versions_causal)
+        .record_ns(lag);
+    if (!cfg_.omit_timestamps) {
+      (mode == ReadMode::kPram ? stats_.staleness_vc_pram : stats_.staleness_vc_causal)
+          .record_ns(staleness_->vc_distance(x, e.vc));
+    }
+  }
+
   if (trace_.enabled()) {
     history::Operation op;
     op.kind = history::OpKind::kRead;
@@ -546,10 +570,14 @@ void Node::write(VarId x, Value v) {
       // `force` because the untick'd clock can tie the installed entry's —
       // the write lock orders these writes, so forcing is safe.
       mem_.apply(x, v, kFlagWrite, id, dep_vc_, 0, /*force=*/true);
+      if (staleness_ != nullptr) staleness_->on_write(x, dep_vc_);
     } else {
       dep_vc_.tick(self_);
       applied_.set(self_, dep_vc_[self_]);
       mem_.apply(x, v, kFlagWrite, id, dep_vc_);
+      if (staleness_ != nullptr) {
+        staleness_->on_write(x, cfg_.omit_timestamps ? VectorClock{} : dep_vc_);
+      }
       // Broadcast while holding the node lock: the model permits
       // multi-threaded user processes, and per-sender FIFO requires this
       // process's updates to enter the fabric in sequence order.
@@ -578,6 +606,9 @@ void Node::do_delta(VarId x, Value amount, std::uint64_t flags) {
     dep_vc_.tick(self_);
     applied_.set(self_, dep_vc_[self_]);
     mem_.apply(x, amount, flags, id, dep_vc_);
+    if (staleness_ != nullptr) {
+      staleness_->on_write(x, cfg_.omit_timestamps ? VectorClock{} : dep_vc_);
+    }
     broadcast_update(x, amount, flags, seq, dep_vc_);
 
     if (trace_.enabled()) {
@@ -678,6 +709,10 @@ void Node::barrier(BarrierId b) {
     arrive.payload.assign(snapshot.components().begin(), snapshot.components().end());
   }
   fabric_.send(std::move(arrive));
+  // The traced span covers only the post-arrival wait: the arrival send must
+  // precede it so its flow leaves the span (keeps the critical-path DAG
+  // acyclic, src/obs/critical_path.cpp).
+  const std::uint64_t trace_t0 = obs::trace_enabled() ? obs::Tracer::now_ns() : 0;
 
   std::unique_lock lk(mu_);
   const auto key = std::make_pair(b, epoch);
@@ -686,14 +721,17 @@ void Node::barrier(BarrierId b) {
   const auto waited = blocked.elapsed();
   stats_.barrier_blocked.record(waited);
   stats_.barrier_wait_ns.record(waited);
-  obs::trace_complete_ns("barrier.wait", "dsm",
-                         static_cast<std::uint64_t>(waited.count()), {"barrier", b},
-                         {"proc", self_});
+  if (trace_t0 != 0 && obs::trace_enabled()) {
+    // Bind the release message's arrow to this wait, then close the span.
+    obs::trace_flow_end("msg", "net", barrier_release_.at(key).trace_id);
+    obs::trace_complete_ns("barrier.wait", "dsm", obs::Tracer::now_ns() - trace_t0,
+                           {"barrier", b}, {"proc", self_});
+  }
 
   if (cfg_.omit_timestamps) {
-    count_floor_.merge(barrier_release_.at(key));
+    count_floor_.merge(barrier_release_.at(key).vc);
   } else {
-    absorb_all(barrier_release_.at(key));
+    absorb_all(barrier_release_.at(key).vc);
   }
   barrier_release_.erase(key);
 
@@ -721,6 +759,8 @@ void Node::do_lock(LockId l, LockRequestKind kind) {
   req.a = l;
   req.b = static_cast<std::uint64_t>(kind);
   fabric_.send(std::move(req));
+  // Traced span covers only the post-request wait (see barrier()).
+  const std::uint64_t trace_t0 = obs::trace_enabled() ? obs::Tracer::now_ns() : 0;
 
   std::unique_lock lk(mu_);
   wait_or_die(lk, "lock acquisition blocked past the liveness deadline",
@@ -728,12 +768,15 @@ void Node::do_lock(LockId l, LockRequestKind kind) {
   const auto waited = blocked.elapsed();
   stats_.lock_blocked.record(waited);
   stats_.lock_acquire_ns.record(waited);
-  obs::trace_complete_ns("lock.acquire", "dsm",
-                         static_cast<std::uint64_t>(waited.count()), {"lock", l},
-                         {"proc", self_});
 
   GrantInfo info = std::move(pending_grants_.at(l));
   pending_grants_.erase(l);
+  if (trace_t0 != 0 && obs::trace_enabled()) {
+    // Bind the grant message's arrow to this wait, then close the span.
+    obs::trace_flow_end("msg", "net", info.trace_id);
+    obs::trace_complete_ns("lock.acquire", "dsm", obs::Tracer::now_ns() - trace_t0,
+                           {"lock", l}, {"proc", self_});
+  }
 
   // |-> lock obligations: the previous episode's context becomes visible.
   if (cfg_.omit_timestamps) {
@@ -857,13 +900,26 @@ void Node::fetch_var(std::unique_lock<std::mutex>& lk, VarId x, net::Endpoint ow
   req.b = token;
   fabric_.send(std::move(req));
   lk.lock();
+  // Traced span covers only the post-request wait (see barrier()).
+  const std::uint64_t trace_t0 = obs::trace_enabled() ? obs::Tracer::now_ns() : 0;
 
   wait_or_die(lk, "demand fetch blocked past the liveness deadline",
               [&] { return fetch_results_.count(token) > 0; });
   FetchResult res = std::move(fetch_results_.at(token));
   fetch_results_.erase(token);
+  if (trace_t0 != 0 && obs::trace_enabled()) {
+    obs::trace_flow_end("msg", "net", res.trace_id);
+    obs::trace_complete_ns("fetch.wait", "dsm", obs::Tracer::now_ns() - trace_t0,
+                           {"var", x}, {"proc", self_});
+  }
 
   mem_.install(x, res.value, res.id, res.vc);
+  if (staleness_ != nullptr) {
+    // The fetched copy is the owner's current entry: it has absorbed every
+    // write issued so far (demand vars are write-lock serialized), so reset
+    // the local version-lag baseline to the issue counter.
+    mem_.set_applied_writes(x, staleness_->issued(x));
+  }
 }
 
 // Explicit instantiation not needed: wait_or_die is only used in this TU.

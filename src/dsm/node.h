@@ -67,6 +67,12 @@ struct NodeStats {
   /// Records per flushed kBatch message — samples are counts, not
   /// nanoseconds (surfaced as the `net.batch.updates_per_msg` summary).
   LatencyHistogram batch_updates_per_msg;
+  /// Read-staleness monitor (Config::track_staleness; dsm/staleness.h):
+  /// per-read version lag and vector-clock distance behind the freshest
+  /// write known anywhere, split by read mode — samples are counts/
+  /// distances, not nanoseconds.
+  LatencyHistogram staleness_versions_pram, staleness_versions_causal,
+      staleness_vc_pram, staleness_vc_causal;
 
   [[nodiscard]] std::uint64_t total_blocked_ns() const {
     return read_blocked.sum_ns() + await_blocked.sum_ns() + lock_blocked.sum_ns() +
@@ -74,10 +80,12 @@ struct NodeStats {
   }
 };
 
+class StalenessTable;
+
 class Node {
  public:
   Node(const Config& cfg, ProcId self, net::Fabric& fabric, net::Endpoint lock_mgr,
-       net::Endpoint barrier_mgr);
+       net::Endpoint barrier_mgr, StalenessTable* staleness = nullptr);
   ~Node();
 
   Node(const Node&) = delete;
@@ -166,12 +174,21 @@ class Node {
     std::uint64_t prev_holders_mask;
     VectorClock release_vc;
     std::vector<std::pair<VarId, net::Endpoint>> invalid;
+    /// Flow id of the kLockGrant message; the blocked application thread
+    /// re-emits it so the grant arrow binds to the acquisition span.
+    std::uint64_t trace_id = 0;
   };
 
   struct FetchResult {
     Value value;
     WriteId id;
     VectorClock vc;
+    std::uint64_t trace_id = 0;  // kFetchResp flow id (see GrantInfo)
+  };
+
+  struct BarrierRelease {
+    VectorClock vc;
+    std::uint64_t trace_id = 0;  // kBarrierRelease flow id (see GrantInfo)
   };
 
   // Delivery-thread handlers.
@@ -231,6 +248,9 @@ class Node {
   net::Fabric& fabric_;
   const net::Endpoint lock_mgr_;
   const net::Endpoint barrier_mgr_;
+  /// Shared read-staleness registry (owned by MixedSystem); nullptr unless
+  /// Config::track_staleness.
+  StalenessTable* const staleness_;
   std::atomic<Watchdog*> watchdog_{nullptr};
 
   mutable std::mutex mu_;
@@ -269,7 +289,7 @@ class Node {
   std::map<LockId, GrantInfo> pending_grants_;
 
   std::map<BarrierId, std::uint64_t> barrier_epoch_;
-  std::map<std::pair<BarrierId, std::uint64_t>, VectorClock> barrier_release_;
+  std::map<std::pair<BarrierId, std::uint64_t>, BarrierRelease> barrier_release_;
 
   std::uint64_t sync_token_counter_ = 0;
   std::map<std::uint64_t, std::size_t> sync_acks_;

@@ -5,9 +5,14 @@
 namespace mc::dsm {
 
 void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
-                  const VectorClock& vc, std::uint64_t arrival, bool force) {
+                  const VectorClock& vc, std::uint64_t arrival, bool force,
+                  std::uint64_t weight) {
   MC_CHECK(x < entries_.size());
   VarEntry& e = entries_[x];
+  // Reception accounting for the staleness monitor: count every update that
+  // reached this replica, including ones the LWW order rejects below — a
+  // superseded write is not *missing*, it is absorbed.
+  e.applied_writes += weight;
   // Each variable is a last-writer-wins register under a total order that
   // extends causality: a causally newer write always replaces the entry,
   // a causally older (or duplicate) one never does, and *concurrent*

@@ -30,6 +30,12 @@ struct VarEntry {
   /// replica had applied when this value landed — the per-receiver count
   /// the Section 6 protocol synchronizes on.
   std::uint64_t arrival = 0;
+  /// Writes/deltas to this location this replica has *received* (counting
+  /// coalesced batch records by weight, and writes a newer value superseded
+  /// — reception accounting, not value accounting).  The read-staleness
+  /// monitor (dsm/staleness.h) subtracts this from the global issue counter
+  /// to get the version lag of a returned value.
+  std::uint64_t applied_writes = 0;
 };
 
 class Store {
@@ -51,11 +57,20 @@ class Store {
   /// metadata.  `arrival` is the count-vector-mode receive index (0 for
   /// local writes and VC mode).  `force` bypasses the write ordering —
   /// only for demand-policy migratory writes, whose clocks are not ticked.
+  /// `weight` is how many original updates this record stands for (> 1 for
+  /// coalesced batch records) — it advances the entry's applied_writes.
   void apply(VarId x, Value value, std::uint64_t flags, WriteId id, const VectorClock& vc,
-             std::uint64_t arrival = 0, bool force = false);
+             std::uint64_t arrival = 0, bool force = false, std::uint64_t weight = 1);
 
   /// Install an out-of-band value (demand-driven fetch response).
   void install(VarId x, Value value, WriteId id, const VectorClock& vc);
+
+  /// Reset the staleness baseline after a fetch installed the owner's
+  /// up-to-date copy (see VarEntry::applied_writes).
+  void set_applied_writes(VarId x, std::uint64_t n) {
+    MC_CHECK(x < entries_.size());
+    entries_[x].applied_writes = n;
+  }
 
  private:
   std::size_t num_procs_;

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace mc::dsm {
 
@@ -34,9 +35,13 @@ MixedSystem::MixedSystem(Config cfg)
   barrier_manager_ =
       std::make_unique<BarrierManager>(fabric_, barrier_ep, cfg_.num_procs,
                                        cfg_.barrier_members, cfg_.omit_timestamps);
+  if (cfg_.track_staleness) {
+    staleness_ = std::make_unique<StalenessTable>(cfg_.num_vars, cfg_.num_procs);
+  }
   nodes_.reserve(cfg_.num_procs);
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-    nodes_.push_back(std::make_unique<Node>(cfg_, p, fabric_, lock_ep, barrier_ep));
+    nodes_.push_back(std::make_unique<Node>(cfg_, p, fabric_, lock_ep, barrier_ep,
+                                            staleness_.get()));
   }
 }
 
@@ -51,7 +56,13 @@ void MixedSystem::run(const std::function<void(Node&, ProcId)>& body) {
   std::vector<std::thread> threads;
   threads.reserve(cfg_.num_procs);
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-    threads.emplace_back([this, &body, p] { body(*nodes_[p], p); });
+    threads.emplace_back([this, &body, p] {
+      // Marks this thread as an application lane for the critical-path
+      // analyzer (gaps between its events are compute, not idle).
+      obs::trace_instant("proc.start", "dsm", {"proc", p});
+      body(*nodes_[p], p);
+      obs::trace_instant("proc.end", "dsm", {"proc", p});
+    });
   }
   for (auto& t : threads) t.join();
 }
@@ -77,18 +88,31 @@ MixedSystem::RunOutcome MixedSystem::run(
       }
     }
   });
+  wd.set_manager_probe([this] {
+    const std::vector<std::size_t> depth = fabric_.in_flight();
+    const auto lock_ep = static_cast<std::size_t>(cfg_.num_procs);
+    const auto barrier_ep = lock_ep + 1;
+    return std::vector<Watchdog::ManagerHealth>{
+        {"lock manager", lock_manager_->heartbeats(),
+         lock_ep < depth.size() ? depth[lock_ep] : 0},
+        {"barrier manager", barrier_manager_->heartbeats(),
+         barrier_ep < depth.size() ? depth[barrier_ep] : 0},
+    };
+  });
   for (auto& n : nodes_) n->set_watchdog(&wd);
 
   std::vector<std::thread> threads;
   threads.reserve(cfg_.num_procs);
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
     threads.emplace_back([this, &body, p] {
+      obs::trace_instant("proc.start", "dsm", {"proc", p});
       try {
         body(*nodes_[p], p);
       } catch (const StallError&) {
         // The watchdog fired while this thread was blocked; its dump is the
         // run's result.  Unwinding here keeps the join below prompt.
       }
+      obs::trace_instant("proc.end", "dsm", {"proc", p});
     });
   }
   for (auto& t : threads) t.join();
@@ -122,6 +146,8 @@ MetricsSnapshot MixedSystem::metrics() const {
   // Per-primitive latency, merged across all processes (docs/METRICS.md).
   LatencyHistogram read_pram_ns, read_causal_ns, await_spin_ns, lock_acquire_ns,
       barrier_wait_ns, batch_updates_per_msg;
+  LatencyHistogram staleness_versions_pram, staleness_versions_causal,
+      staleness_vc_pram, staleness_vc_causal;
   for (const auto& n : nodes_) {
     const NodeStats& s = n->stats();
     blocked += s.total_blocked_ns();
@@ -139,6 +165,10 @@ MetricsSnapshot MixedSystem::metrics() const {
     lock_acquire_ns.merge(s.lock_acquire_ns);
     barrier_wait_ns.merge(s.barrier_wait_ns);
     batch_updates_per_msg.merge(s.batch_updates_per_msg);
+    staleness_versions_pram.merge(s.staleness_versions_pram);
+    staleness_versions_causal.merge(s.staleness_versions_causal);
+    staleness_vc_pram.merge(s.staleness_vc_pram);
+    staleness_vc_causal.merge(s.staleness_vc_causal);
   }
   snap.values["dsm.blocked_ns"] = blocked;
   snap.values["dsm.reads_pram"] = reads_pram;
@@ -158,10 +188,25 @@ MetricsSnapshot MixedSystem::metrics() const {
   snap.add_histogram("await.spin_ns", await_spin_ns);
   snap.add_histogram("lock.acquire_ns", lock_acquire_ns);
   snap.add_histogram("barrier.wait_ns", barrier_wait_ns);
+  if (cfg_.track_staleness) {
+    // Samples are version / vector-clock distances, not nanoseconds
+    // (docs/METRICS.md "Read staleness").
+    snap.add_histogram("read.staleness_versions.pram", staleness_versions_pram);
+    snap.add_histogram("read.staleness_versions.causal", staleness_versions_causal);
+    if (!cfg_.omit_timestamps) {
+      snap.add_histogram("read.staleness_vc.pram", staleness_vc_pram);
+      snap.add_histogram("read.staleness_vc.causal", staleness_vc_causal);
+    }
+  }
   snap.values["lockmgr.grants"] = lock_manager_->grants_sent();
   snap.add_histogram("lockmgr.grant_wait_ns", lock_manager_->grant_wait());
+  snap.values["lockmgr.heartbeats"] = lock_manager_->heartbeats();
   snap.values["barriermgr.releases"] = barrier_manager_->releases_sent();
   snap.add_histogram("barriermgr.assemble_ns", barrier_manager_->assemble_time());
+  snap.values["barriermgr.heartbeats"] = barrier_manager_->heartbeats();
+  if (obs::trace_enabled()) {
+    snap.values["obs.trace.dropped"] = obs::Tracer::instance().dropped_events();
+  }
   return snap;
 }
 

@@ -14,6 +14,7 @@
 #include "dsm/config.h"
 #include "dsm/lock_manager.h"
 #include "dsm/node.h"
+#include "dsm/staleness.h"
 #include "dsm/watchdog.h"
 #include "history/history.h"
 
@@ -68,6 +69,8 @@ class MixedSystem {
   net::Fabric fabric_;
   std::unique_ptr<LockManager> lock_manager_;
   std::unique_ptr<BarrierManager> barrier_manager_;
+  /// Issued-write counters shared by every node (Config::track_staleness).
+  std::unique_ptr<StalenessTable> staleness_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool down_ = false;
 };

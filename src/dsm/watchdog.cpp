@@ -60,6 +60,12 @@ void Watchdog::set_diagnostics_source(
   diag_source_ = std::move(source);
 }
 
+void Watchdog::set_manager_probe(
+    std::function<std::vector<ManagerHealth>()> probe) {
+  std::scoped_lock lk(mu_);
+  manager_probe_ = std::move(probe);
+}
+
 std::vector<std::string> Watchdog::describe_waits(
     std::chrono::steady_clock::time_point now) const {
   std::vector<std::string> out;
@@ -179,7 +185,44 @@ void Watchdog::monitor_loop() {
       prev_cycle_ = std::move(cycle);
     }
 
-    // 2. Stall probe: any registered wait older than the deadline.
+    // 2. Manager probe: a manager whose heartbeat stays frozen across the
+    //    stall deadline while its mailbox holds traffic is wedged — it will
+    //    never grant or release anything, so don't wait for an application
+    //    thread's own deadline to name the real culprit.
+    std::function<std::vector<ManagerHealth>()> probe = manager_probe_;
+    if (probe) {
+      lk.unlock();
+      std::vector<ManagerHealth> health = probe();
+      lk.lock();
+      if (stop_) break;
+      const auto probe_now = std::chrono::steady_clock::now();
+      for (const ManagerHealth& h : health) {
+        if (h.pending == 0) {
+          manager_track_.erase(h.name);  // idle, not wedged
+          continue;
+        }
+        auto [it, fresh] = manager_track_.try_emplace(
+            h.name, ManagerTrack{h.heartbeat, probe_now});
+        if (!fresh && it->second.heartbeat != h.heartbeat) {
+          it->second = ManagerTrack{h.heartbeat, probe_now};  // made progress
+        } else if (!fresh &&
+                   probe_now - it->second.since >= opts_.stall_timeout) {
+          const std::string reason =
+              "manager thread stalled: " + h.name + " (heartbeat frozen at " +
+              std::to_string(h.heartbeat) + " with " +
+              std::to_string(h.pending) + " pending message" +
+              (h.pending == 1 ? "" : "s") + " for " +
+              format_ms(probe_now - it->second.since) + ")";
+          lk.unlock();
+          fire(reason);
+          lk.lock();
+          break;
+        }
+      }
+      if (stop_ || fired_.load(std::memory_order_relaxed)) continue;
+    }
+
+    // 3. Stall probe: any registered wait older than the deadline.
     const auto now = std::chrono::steady_clock::now();
     const Wait* oldest = nullptr;
     for (const auto& [token, w] : waits_) {

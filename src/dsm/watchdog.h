@@ -76,6 +76,16 @@ class Watchdog {
     LockId lock = 0;
   };
 
+  /// One manager thread's liveness sample: its message-dequeue counter and
+  /// its mailbox depth.  A heartbeat frozen across the stall deadline while
+  /// `pending > 0` means the thread is wedged (not merely idle) — traffic is
+  /// waiting that it never dequeues.
+  struct ManagerHealth {
+    std::string name;            ///< e.g. "lock manager"
+    std::uint64_t heartbeat = 0; ///< messages dequeued so far
+    std::size_t pending = 0;     ///< messages sitting in its mailbox
+  };
+
   explicit Watchdog(Options opts);
   ~Watchdog();
 
@@ -107,6 +117,12 @@ class Watchdog {
   /// Extra diagnostics filled in when the watchdog fires (lock/barrier
   /// dumps, fabric in-flight counts).  Called without the mutex held.
   void set_diagnostics_source(std::function<void(Diagnostics&)> source);
+
+  /// Source of manager liveness samples (heartbeat counter + mailbox
+  /// depth per manager thread).  The monitor fires once a manager's
+  /// heartbeat stays frozen for the stall deadline while its mailbox has
+  /// pending traffic.  Called without the mutex held.
+  void set_manager_probe(std::function<std::vector<ManagerHealth>()> probe);
 
   [[nodiscard]] bool fired() const {
     return fired_.load(std::memory_order_relaxed);
@@ -151,6 +167,13 @@ class Watchdog {
 
   std::function<std::vector<WaitEdge>()> wait_graph_;
   std::function<void(Diagnostics&)> diag_source_;
+  std::function<std::vector<ManagerHealth>()> manager_probe_;
+  struct ManagerTrack {
+    std::uint64_t heartbeat = 0;
+    std::chrono::steady_clock::time_point since;
+  };
+  /// Per-manager last-progress sample, keyed by ManagerHealth::name.
+  std::map<std::string, ManagerTrack> manager_track_;
 
   std::atomic<bool> fired_{false};
   std::thread monitor_;

@@ -29,6 +29,10 @@ Fabric::Fabric(std::size_t endpoints, LatencyModel latency, std::uint64_t seed)
   for (std::size_t i = 0; i < endpoints; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+  // Registered here, not in enable_reliability(): a metrics key must never
+  // degrade to a bare number ("net.msg.62") just because the reliability
+  // layer was attached after the first ack went out, or never attached.
+  name_kind(kRelAckKind, "rel_ack");
 }
 
 Fabric::~Fabric() = default;
@@ -79,7 +83,12 @@ void Fabric::deliver(Message m, Ext* ext) {
   m.deliver_at += fate.extra_delay;
 
   if (obs::trace_enabled()) {
+    // Stamp the flow correlation id (keep ids the reliability layer already
+    // assigned to retransmitted copies) and open the flow; the consumer
+    // emits the matching flow end (docs/TRACING.md).
+    if (m.trace_id == 0) m.trace_id = obs::next_flow_id();
     obs::trace_instant("send", "net", {"kind", m.kind}, {"dst", m.dst});
+    obs::trace_flow_start("msg", "net", m.trace_id, {"kind", m.kind});
   }
   const Endpoint dst = m.dst;
   if (fate.duplicate) {

@@ -55,6 +55,14 @@ struct Message {
 
   // --- stamped by the fabric on send ---
 
+  /// Trace correlation id (obs/tracer.h flow events): stamped by the fabric
+  /// when tracing is enabled, 0 otherwise.  Consumers re-emit it as a flow
+  /// end so Perfetto binds each send to its delivery.  Observability
+  /// metadata, not wire payload — it does not count toward wire_bytes()
+  /// (a real implementation would ship it only in sampled-tracing builds).
+  /// The top bit (obs::kFlowRetransmitBit) marks retransmitted copies.
+  std::uint64_t trace_id = 0;
+
   /// Per-(src,dst) channel sequence number; receivers can assert FIFO.
   std::uint64_t channel_seq = 0;
 

@@ -77,6 +77,9 @@ void ReliableChannel::process(Endpoint e, Message m, std::vector<Message>& acks_
   if (m.rel_ack != 0) handle_ack(channel(e, m.src), m.rel_ack);
   if (m.kind == kRelAckKind) {
     handle_ack(channel(e, m.src), m.a);
+    // Acks are consumed here, never handed up: close their flow so every
+    // flow start has a matching end.
+    obs::trace_flow_end("msg", "net", m.trace_id);
     return;
   }
   if (m.rel_seq == 0) {
@@ -92,6 +95,8 @@ void ReliableChannel::process(Endpoint e, Message m, std::vector<Message>& acks_
     if (obs::trace_enabled()) {
       obs::trace_instant("rel.dup_drop", "net", {"src", m.src},
                          {"seq", m.rel_seq});
+      // This physical copy terminates here; close its flow.
+      obs::trace_flow_end("msg", "net", m.trace_id);
     }
     // Re-ack so a sender retransmitting into a lost-ack window quiesces.
     st.acked = st.delivered;
@@ -184,6 +189,11 @@ void ReliableChannel::timer_loop() {
                              {"seq", seq});
         }
         resends.push_back(entry.msg);
+        if (obs::trace_enabled()) {
+          // Each physical copy gets its own flow, marked so the
+          // critical-path analyzer bills its transit to `retransmit`.
+          resends.back().trace_id = obs::next_flow_id() | obs::kFlowRetransmitBit;
+        }
       }
       if (st.dead) st.inflight.clear();
     }

@@ -1,0 +1,100 @@
+// Offline critical-path analysis of a recorded trace (docs/TRACING.md).
+//
+// The tracer's flow events give every wire message a send point and one or
+// more consumption points, and the runtime's spans mark where threads were
+// blocked (lock.acquire, barrier.wait, fetch.wait, read.block, await) or
+// busy on protocol work (deliver).  From those this module reconstructs the
+// causal DAG of a run window:
+//
+//   - per-thread program order chains the events each thread recorded;
+//     on application threads the gaps between spans are *compute* nodes,
+//     on delivery/manager threads gaps are idle mailbox waits and carry no
+//     weight;
+//   - each flow end inside a span adds a *transit* node (send -> consume)
+//     edged from the sender's enclosing node, so cross-thread causality is
+//     explicit; retransmitted copies (obs::kFlowRetransmitBit) bill their
+//     transit to `retransmit`;
+//   - a wait span whose wake-up message is bound by a flow keeps only its
+//     post-arrival sliver: the pre-arrival wait is *explained* by the path
+//     through the sender, which is the whole point of the analysis.
+//
+// The longest weighted path through that DAG is the run's critical path;
+// its per-category decomposition (compute, lock wait, barrier wait, ...)
+// says what the end-to-end time was actually spent on, which no amount of
+// per-primitive histogram aggregation can (histograms sum overlapping
+// waits; the critical path does not).
+//
+// Bench harnesses run this per row when tracing is on and embed the result
+// as the row's `critical_path` section (docs/METRICS.md, schema v2).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace mc::obs {
+
+/// What a critical-path node's time was spent on.
+enum class CpCategory : std::uint8_t {
+  kCompute = 0,     ///< application-thread gap between instrumented events
+  kLockWait,        ///< lock.acquire post-arrival sliver (or unbound wait)
+  kBarrierWait,     ///< barrier.wait sliver
+  kAwaitSpin,       ///< await predicate re-evaluation
+  kReadBlock,       ///< read.block / fetch.wait: reads gated on missing data
+  kNetTransit,      ///< message flight time, send to consumption
+  kRetransmit,      ///< flight time of a reliability-layer retransmission
+  kDeliver,         ///< delivery/manager thread processing a message
+};
+inline constexpr std::size_t kCpCategories = 8;
+
+[[nodiscard]] const char* to_string(CpCategory c);
+
+/// A causal DAG of weighted nodes.  Exposed (rather than kept internal to
+/// the trace analyzer) so tests can exercise longest_path() on hand-built
+/// graphs.
+class CpDag {
+ public:
+  /// Returns the new node's index.
+  std::size_t add_node(CpCategory cat, std::uint64_t weight_ns);
+  void add_edge(std::size_t from, std::size_t to);
+
+  [[nodiscard]] std::size_t size() const { return weights_.size(); }
+
+ private:
+  friend struct CriticalPath;
+  std::vector<std::uint64_t> weights_;
+  std::vector<CpCategory> cats_;
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::uint32_t> in_degree_;
+};
+
+/// The longest weighted path through a CpDag and its decomposition.
+struct CriticalPath {
+  std::uint64_t total_ns = 0;
+  /// Per-category share of total_ns, indexed by CpCategory.
+  std::array<std::uint64_t, kCpCategories> category_ns{};
+  std::size_t dag_nodes = 0;   ///< nodes considered
+  std::size_t path_nodes = 0;  ///< nodes on the winning path
+  /// Nodes unreachable by the topological sweep (a cycle — possible only on
+  /// a malformed or ring-truncated trace).  They are excluded, not fatal.
+  std::size_t cyclic_nodes = 0;
+
+  [[nodiscard]] std::uint64_t category(CpCategory c) const {
+    return category_ns[static_cast<std::size_t>(c)];
+  }
+
+  /// Longest path via a topological sweep; cycle-tolerant (see above).
+  static CriticalPath longest_path(const CpDag& dag);
+};
+
+/// Reconstruct the causal DAG of `events` restricted to the time window
+/// [t0_ns, t1_ns) and return its critical path.  `events` is a
+/// Tracer::snapshot(); spans straddling the window edges are clipped.
+[[nodiscard]] CriticalPath analyze_trace(
+    const std::vector<Tracer::Recorded>& events, std::uint64_t t0_ns,
+    std::uint64_t t1_ns);
+
+}  // namespace mc::obs

@@ -41,6 +41,17 @@ std::string RunReport::to_json() const {
     w.key("metrics").begin_object();
     for (const auto& [k, v] : row.metrics.values) w.key(k).value(v);
     w.end_object();
+    if (row.critical_path.present) {
+      const CriticalPathSection& cp = row.critical_path;
+      w.key("critical_path").begin_object();
+      w.key("total_ms").value(cp.total_ms);
+      w.key("categories").begin_object();
+      for (const auto& [k, v] : cp.category_ms) w.key(k).value(v);
+      w.end_object();
+      w.key("dag_nodes").value(static_cast<std::int64_t>(cp.dag_nodes));
+      w.key("path_nodes").value(static_cast<std::int64_t>(cp.path_nodes));
+      w.end_object();
+    }
     if (row.diagnostics.fired) {
       const Diagnostics& d = row.diagnostics;
       const auto string_list = [&w](const char* key,

@@ -19,7 +19,8 @@ namespace mc::obs {
 
 struct RunReport {
   /// Bumped whenever the document layout changes incompatibly.
-  static constexpr int kSchemaVersion = 1;
+  /// v2: rows gained an optional "critical_path" section (docs/METRICS.md).
+  static constexpr int kSchemaVersion = 2;
 
   /// Harness name, e.g. "bench_sync"; names the BENCH_<name>.json artifact.
   std::string bench;
@@ -41,6 +42,21 @@ struct RunReport {
     std::vector<std::string> unreachable;
   };
 
+  /// Critical-path decomposition of the case's trace window
+  /// (src/obs/critical_path.h).  Serialized under the row's
+  /// "critical_path" key only when `present` is set — rows from untraced
+  /// runs keep their layout unchanged.
+  struct CriticalPathSection {
+    bool present = false;
+    double total_ms = 0.0;  ///< weight of the longest causal path
+    /// Per-category share of total_ms, keyed by the analyzer's category
+    /// names (compute, lock_wait, barrier_wait, await_spin, read_block,
+    /// net_transit, retransmit, deliver).  Zero categories are omitted.
+    std::map<std::string, double> category_ms;
+    std::uint64_t dag_nodes = 0;
+    std::uint64_t path_nodes = 0;
+  };
+
   /// One row per experiment case.
   struct Row {
     std::string name;
@@ -54,6 +70,8 @@ struct RunReport {
     std::map<std::string, double> stats;
     /// Protocol-cost counters and histogram summaries (docs/METRICS.md).
     MetricsSnapshot metrics;
+    /// Present only for rows measured under `--trace`.
+    CriticalPathSection critical_path;
     /// Present (fired == true) only when the case's watchdog fired.
     Diagnostics diagnostics;
   };

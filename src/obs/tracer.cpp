@@ -1,5 +1,6 @@
 #include "obs/tracer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -12,11 +13,15 @@ namespace mc::obs {
 
 namespace detail {
 std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::uint64_t> g_next_flow_id{0};
 }  // namespace detail
 
 struct Tracer::ThreadBuffer {
-  explicit ThreadBuffer(std::uint32_t tid) : tid(tid), events(kRingCapacity) {}
+  explicit ThreadBuffer(std::uint32_t tid) : tid(tid) {}
   const std::uint32_t tid;
+  // Grown on demand up to kRingCapacity (most threads record far fewer
+  // events than the cap; preallocating the full ring per thread would cost
+  // ~4.7 MB each across the many short-lived systems a bench run creates).
   std::vector<TraceEvent> events;
   // Total appended; the ring index is count % kRingCapacity.  Relaxed is
   // enough: dump_chrome_trace is documented to run only after recording
@@ -37,6 +42,11 @@ std::vector<std::unique_ptr<Tracer::ThreadBuffer>>& registry() {
 std::chrono::steady_clock::time_point trace_epoch() {
   static const auto epoch = std::chrono::steady_clock::now();
   return epoch;
+}
+
+std::uint64_t buffer_dropped(const Tracer::ThreadBuffer& buf) {
+  const std::uint64_t n = buf.count.load(std::memory_order_relaxed);
+  return n > Tracer::kRingCapacity ? n - Tracer::kRingCapacity : 0;
 }
 
 }  // namespace
@@ -67,7 +77,11 @@ void Tracer::record(const TraceEvent& ev) {
   if (!trace_enabled()) return;
   ThreadBuffer& buf = local_buffer();
   const std::uint64_t n = buf.count.load(std::memory_order_relaxed);
-  buf.events[n % kRingCapacity] = ev;
+  if (buf.events.size() < kRingCapacity) {
+    buf.events.push_back(ev);
+  } else {
+    buf.events[n % kRingCapacity] = ev;
+  }
   buf.count.store(n + 1, std::memory_order_relaxed);
 }
 
@@ -78,9 +92,32 @@ std::uint64_t Tracer::events_recorded() const {
   return total;
 }
 
+std::uint64_t Tracer::dropped_events() const {
+  std::scoped_lock lk(g_registry_mu);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : registry()) dropped += buffer_dropped(*buf);
+  return dropped;
+}
+
+std::vector<Tracer::Recorded> Tracer::snapshot() const {
+  std::scoped_lock lk(g_registry_mu);
+  std::vector<Recorded> out;
+  for (const auto& buf : registry()) {
+    const std::uint64_t n = buf->count.load(std::memory_order_relaxed);
+    const std::uint64_t kept = n < kRingCapacity ? n : kRingCapacity;
+    for (std::uint64_t i = n - kept; i < n; ++i) {
+      out.push_back({buf->tid, buf->events[i % kRingCapacity]});
+    }
+  }
+  return out;
+}
+
 void Tracer::clear() {
   std::scoped_lock lk(g_registry_mu);
-  for (const auto& buf : registry()) buf->count.store(0, std::memory_order_relaxed);
+  for (const auto& buf : registry()) {
+    buf->count.store(0, std::memory_order_relaxed);
+    buf->events.clear();
+  }
 }
 
 namespace {
@@ -95,6 +132,8 @@ void emit_event(JsonWriter& w, const TraceEvent& ev, std::uint32_t tid) {
   w.key("ts").value(static_cast<double>(ev.ts_ns) / 1e3);
   if (ev.phase == 'X') w.key("dur").value(static_cast<double>(ev.dur_ns) / 1e3);
   if (ev.phase == 'i') w.key("s").value("t");  // thread-scoped instant
+  if (ev.phase == 's' || ev.phase == 'f') w.key("id").value(ev.flow_id);
+  if (ev.phase == 'f') w.key("bp").value("e");  // bind to enclosing slice
   w.key("pid").value(std::uint64_t{1});
   w.key("tid").value(static_cast<std::uint64_t>(tid));
   if (ev.arg0.name != nullptr || ev.arg1.name != nullptr) {
@@ -114,15 +153,35 @@ std::string Tracer::chrome_trace_json() const {
   w.key("displayTimeUnit").value("ms");
   w.key("traceEvents").begin_array();
   std::scoped_lock lk(g_registry_mu);
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
   for (const auto& buf : registry()) {
+    recorded += buf->count.load(std::memory_order_relaxed);
+    dropped += buffer_dropped(*buf);
     const std::uint64_t n = buf->count.load(std::memory_order_relaxed);
     const std::uint64_t kept = n < kRingCapacity ? n : kRingCapacity;
-    // Oldest first within the ring.
+    // Ring order is completion order (spans are recorded when they close),
+    // so sort each thread's window by start time: viewers cope either way,
+    // but a ts-sorted file is validatable (tools/validate_trace.py) and
+    // diffs sanely.
+    std::vector<const TraceEvent*> window;
+    window.reserve(static_cast<std::size_t>(kept));
     for (std::uint64_t i = n - kept; i < n; ++i) {
-      emit_event(w, buf->events[i % kRingCapacity], buf->tid);
+      window.push_back(&buf->events[i % kRingCapacity]);
     }
+    std::stable_sort(window.begin(), window.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       return a->ts_ns < b->ts_ns;
+                     });
+    for (const TraceEvent* ev : window) emit_event(w, *ev, buf->tid);
   }
   w.end_array();
+  // Truncation metadata: droppedEvents > 0 means the rings wrapped and the
+  // file holds only the most recent window per thread (docs/TRACING.md).
+  w.key("otherData").begin_object();
+  w.key("recordedEvents").value(recorded);
+  w.key("droppedEvents").value(dropped);
+  w.end_object();
   w.end_object();
   return w.str();
 }

@@ -4,27 +4,48 @@
 // visually — which update broadcast stalled which read, how long a lock
 // grant sat in the manager queue, where barrier time went.
 //
+// Besides instants ('i') and complete spans ('X'), the tracer records flow
+// events ('s' start / 'f' end, docs/TRACING.md): every wire message is
+// stamped with a process-unique flow id at send time and the id is re-emitted
+// where the message is consumed, so Perfetto draws an arrow from each send to
+// its delivery (and from each lock/barrier grant to the operation it wakes).
+// The same ids drive the offline critical-path analyzer
+// (src/obs/critical_path.h).
+//
 // Cost model: when disabled (the default), every instrumentation site is a
 // single relaxed atomic load and a predictable branch — no allocation, no
 // clock read, no stores.  When enabled, recording is lock-free: each thread
-// appends to its own pre-allocated ring (oldest events overwritten), and
-// names/categories are required to be string literals so nothing is copied.
+// appends to its own ring (grown on demand up to the fixed capacity, oldest
+// events overwritten past it), and names/categories are required to be
+// string literals so nothing is copied.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mc::obs {
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<std::uint64_t> g_next_flow_id;
 }  // namespace detail
 
 /// The global on/off switch, checked at every instrumentation site.
 [[nodiscard]] inline bool trace_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flow ids with this bit set mark a reliability-layer retransmission; the
+/// critical-path analyzer attributes their transit time to `retransmit`
+/// instead of `net_transit`.  The allocator never sets it.
+inline constexpr std::uint64_t kFlowRetransmitBit = 1ull << 63;
+
+/// Allocate a process-unique, nonzero flow id (0 always means "untraced").
+[[nodiscard]] inline std::uint64_t next_flow_id() {
+  return detail::g_next_flow_id.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 /// Optional small integer argument attached to an event; `name` must be a
@@ -38,9 +59,10 @@ struct TraceArg {
 struct TraceEvent {
   const char* name = nullptr;
   const char* cat = nullptr;
-  char phase = 'i';          // 'X' = complete (has dur), 'i' = instant
+  char phase = 'i';          // 'X' complete, 'i' instant, 's'/'f' flow
   std::uint64_t ts_ns = 0;   // since process trace epoch
   std::uint64_t dur_ns = 0;  // 'X' only
+  std::uint64_t flow_id = 0; // 's'/'f' only
   TraceArg arg0, arg1;
 };
 
@@ -64,6 +86,23 @@ class Tracer {
 
   /// Total events recorded so far (including overwritten ones).
   [[nodiscard]] std::uint64_t events_recorded() const;
+
+  /// Events lost to ring overwrites, summed across threads.  Nonzero means
+  /// the trace window is truncated: flow starts may be unmatched and the
+  /// critical-path analyzer sees only the tail of the run.  Surfaced as
+  /// `obs.trace.dropped` in MixedSystem::metrics() and as trace metadata.
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
+  /// One surviving ring event plus the id of the thread that recorded it.
+  struct Recorded {
+    std::uint32_t tid = 0;
+    TraceEvent ev;
+  };
+
+  /// Copy out every surviving event (oldest first within each thread) —
+  /// the input of the critical-path analyzer.  Like the dump functions,
+  /// call only after the traced workload has quiesced.
+  [[nodiscard]] std::vector<Recorded> snapshot() const;
 
   /// Drop all recorded events (buffers stay allocated).
   void clear();
@@ -113,6 +152,37 @@ inline void trace_complete_ns(const char* name, const char* cat, std::uint64_t d
   ev.arg0 = a0;
   ev.arg1 = a1;
   Tracer::instance().record(ev);
+}
+
+namespace detail {
+inline void trace_flow(const char* name, const char* cat, char phase,
+                       std::uint64_t flow_id, TraceArg a0, TraceArg a1) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = phase;
+  ev.ts_ns = Tracer::now_ns();
+  ev.flow_id = flow_id;
+  ev.arg0 = a0;
+  ev.arg1 = a1;
+  Tracer::instance().record(ev);
+}
+}  // namespace detail
+
+/// Record a flow start ('s') — the producing side of a message arrow.
+inline void trace_flow_start(const char* name, const char* cat, std::uint64_t flow_id,
+                             TraceArg a0 = {}, TraceArg a1 = {}) {
+  if (!trace_enabled() || flow_id == 0) return;
+  detail::trace_flow(name, cat, 's', flow_id, a0, a1);
+}
+
+/// Record a flow end ('f', binding to the enclosing slice) — the consuming
+/// side.  Emit it *inside* the span that consumes the message so the arrow
+/// binds to that slice.
+inline void trace_flow_end(const char* name, const char* cat, std::uint64_t flow_id,
+                           TraceArg a0 = {}, TraceArg a1 = {}) {
+  if (!trace_enabled() || flow_id == 0) return;
+  detail::trace_flow(name, cat, 'f', flow_id, a0, a1);
 }
 
 /// RAII complete event spanning the enclosing scope.

@@ -1,0 +1,84 @@
+// Watchdog manager probe: a manager thread whose heartbeat counter stays
+// frozen while its mailbox holds traffic is reported as wedged; an idle
+// manager (pending == 0) and a progressing one are not.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "dsm/watchdog.h"
+
+namespace mc::dsm {
+namespace {
+
+using namespace std::chrono_literals;
+
+Watchdog::Options fast_options() {
+  Watchdog::Options o;
+  o.stall_timeout = 100ms;
+  o.poll = 10ms;
+  return o;
+}
+
+bool wait_fired(const Watchdog& wd, std::chrono::milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (wd.fired()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return wd.fired();
+}
+
+TEST(ManagerProbeTest, FrozenHeartbeatWithPendingTrafficFires) {
+  Watchdog wd(fast_options());
+  wd.set_manager_probe([] {
+    return std::vector<Watchdog::ManagerHealth>{{"lock manager", 7, 3}};
+  });
+  ASSERT_TRUE(wait_fired(wd, 3000ms));
+  const Watchdog::Diagnostics d = wd.diagnostics();
+  EXPECT_NE(d.reason.find("manager thread stalled"), std::string::npos) << d.reason;
+  EXPECT_NE(d.reason.find("lock manager"), std::string::npos) << d.reason;
+}
+
+TEST(ManagerProbeTest, IdleManagerDoesNotFire) {
+  Watchdog wd(fast_options());
+  wd.set_manager_probe([] {
+    // Heartbeat frozen but nothing pending: merely idle.
+    return std::vector<Watchdog::ManagerHealth>{{"barrier manager", 42, 0}};
+  });
+  std::this_thread::sleep_for(400ms);
+  EXPECT_FALSE(wd.fired());
+}
+
+TEST(ManagerProbeTest, ProgressingManagerDoesNotFire) {
+  Watchdog wd(fast_options());
+  std::atomic<std::uint64_t> hb{0};
+  wd.set_manager_probe([&hb] {
+    return std::vector<Watchdog::ManagerHealth>{
+        {"lock manager", hb.fetch_add(1) + 1, 5}};
+  });
+  std::this_thread::sleep_for(400ms);
+  EXPECT_FALSE(wd.fired());
+}
+
+TEST(ManagerProbeTest, PendingResetClearsTheClock) {
+  Watchdog wd(fast_options());
+  std::atomic<std::uint64_t> polls{0};
+  // Alternate pending on/off on every probe call (the monitor thread itself
+  // drives the toggle, so the cadence is immune to test-thread scheduling):
+  // the tracker resets each time the mailbox drains, and the watchdog stays
+  // quiet no matter how long the test runs.
+  wd.set_manager_probe([&polls] {
+    const bool pending = (polls.fetch_add(1) % 2) == 0;
+    return std::vector<Watchdog::ManagerHealth>{
+        {"lock manager", 9, pending ? std::size_t{1} : std::size_t{0}}};
+  });
+  std::this_thread::sleep_for(400ms);
+  EXPECT_FALSE(wd.fired());
+  EXPECT_GE(polls.load(), 2u);
+}
+
+}  // namespace
+}  // namespace mc::dsm

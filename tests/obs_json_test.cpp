@@ -103,7 +103,7 @@ TEST(RunReport, MetricsSnapshotRoundTrip) {
 
   const auto v = JsonValue::parse(r.to_json());
   ASSERT_TRUE(v.has_value());
-  EXPECT_EQ(v->find("schema_version")->uint_value, 1u);
+  EXPECT_EQ(v->find("schema_version")->uint_value, 2u);
   EXPECT_EQ(v->find("bench")->string, "roundtrip");
   const JsonValue& row_v = v->find("rows")->elements.at(0);
   EXPECT_EQ(row_v.find("name")->string, "case");
