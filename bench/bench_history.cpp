@@ -1,13 +1,22 @@
-// Experiments F1 and C6: the formal-model tooling.
+// Experiments F1, C6 and C13: the formal-model tooling.
 //
 // F1 — Figure 1's synchronization orders: derive |->lock and |->bar edges
 // for a lock/barrier history of the figure's shape and report edge counts.
 //
 // C6 — checker throughput: relation construction, restricted relations,
 // and the full mixed-consistency check on random histories of growing
-// size.  This bounds the history sizes the integration tests can verify.
+// size, with the search and graph backends side by side.  This bounds the
+// history sizes the BitMatrix pipeline can verify.
+//
+// C13 — streaming graph checker at trace scale: feed a generated
+// million-op trace through IncrementalChecker one operation at a time and
+// check it to a verdict (docs/CHECKING.md §8).  The O(n^2)-bit BitMatrix
+// pipeline is infeasible at this size (~10^12 bits of relation state); the
+// graph checker's clocks and sparse edges keep it linear.  A second row
+// injects a stale read mid-trace and must converge to a violation.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -15,6 +24,7 @@
 #include "common/rng.h"
 #include "history/causality.h"
 #include "history/checkers.h"
+#include "history/incremental_checker.h"
 
 using namespace mc;
 using namespace mc::bench;
@@ -100,8 +110,165 @@ void checker_throughput(Harness& h) {
   }
   for (const std::size_t ops : sizes) {
     const auto hist = random_history(4, ops, 17);
-    report(h, "check-mixed-consistency", ops, hist.size(),
-           measure_op([&] { do_not_optimize(check_mixed_consistency(hist)); }, min_ms));
+    report(h, "check-mixed-search", ops, hist.size(),
+           measure_op(
+               [&] {
+                 do_not_optimize(
+                     check_mixed_consistency(hist, CheckerBackend::kSearch));
+               },
+               min_ms));
+    report(h, "check-mixed-graph", ops, hist.size(),
+           measure_op(
+               [&] {
+                 do_not_optimize(check_mixed_consistency(hist, CheckerBackend::kGraph));
+               },
+               min_ms));
+  }
+}
+
+/// C13 trace generator: feed a synthetic shared-memory trace straight into
+/// the streaming checker.  Shape: `procs` processes over 8 shared plain
+/// locations plus one private location per process.
+/// Each barrier epoch designates one writer per shared location (rotating
+/// with the epoch); everyone else reads the owner's final write of the
+/// *previous* epoch, which the barrier made causally visible, so the trace
+/// is consistent by construction.  Round-robin emission across processes is
+/// a causal linear extension.  With `inject`, one read mid-trace resolves
+/// to the owner write from two epochs back instead — stale, because a
+/// newer causally-visible write intervenes.
+struct StreamVerdict {
+  GraphVerdict verdict;
+  MetricsSnapshot metrics;
+  std::size_t ops = 0;
+  double wall_ms = 0.0;
+};
+
+StreamVerdict stream_check(std::size_t procs, std::size_t target_ops, bool inject,
+                           std::uint64_t seed) {
+  constexpr std::size_t kVars = 8;
+  constexpr std::size_t kRoundsPerEpoch = 64;
+
+  IncrementalChecker chk(procs);
+  Rng rng(seed);
+  std::vector<SeqNo> seq(procs, 0);
+
+  struct VarView {
+    WriteId visible;       // owner's final write of the last completed epoch
+    Value visible_val = 0;
+    WriteId stale;         // ... of the epoch before that
+    Value stale_val = 0;
+    WriteId cur;           // owner's latest write in the current epoch
+    Value cur_val = 0;
+  };
+  std::vector<VarView> view(kVars);
+
+  std::uint32_t epoch = 0;
+  bool injected = false;
+  Stopwatch sw;
+
+  const auto feed = [&](const Operation& op) {
+    if (!chk.feed(op)) {
+      std::fprintf(stderr, "stream-check: feed failed: %s\n",
+                   chk.failed() ? "structural error" : "unknown");
+      std::exit(1);
+    }
+  };
+
+  while (chk.num_ops() < target_ops) {
+    for (std::size_t round = 0; round < kRoundsPerEpoch; ++round) {
+      for (ProcId p = 0; p < procs; ++p) {
+        const auto x = static_cast<VarId>(rng.below(kVars));
+        const ProcId owner = static_cast<ProcId>((x + epoch) % procs);
+        Operation op;
+        op.proc = p;
+        if (p == owner) {
+          op.kind = OpKind::kWrite;
+          op.var = x;
+          op.value = (std::uint64_t{epoch} << 16) | (std::uint64_t{x} << 8) | round;
+          op.write_id = WriteId{p, ++seq[p]};
+          view[x].cur = op.write_id;
+          view[x].cur_val = op.value;
+        } else if (view[x].visible.valid()) {
+          op.kind = OpKind::kRead;
+          op.var = x;
+          op.mode = rng.chance(0.5) ? ReadMode::kPram : ReadMode::kCausal;
+          if (inject && !injected && epoch >= 3 && view[x].stale.valid()) {
+            op.write_id = view[x].stale;
+            op.value = view[x].stale_val;
+            injected = true;
+          } else {
+            op.write_id = view[x].visible;
+            op.value = view[x].visible_val;
+          }
+        } else {
+          // Nothing readable yet (first epochs): write the private location.
+          op.kind = OpKind::kWrite;
+          op.var = static_cast<VarId>(kVars + p);
+          op.value = round;
+          op.write_id = WriteId{p, ++seq[p]};
+        }
+        feed(op);
+      }
+    }
+    for (ProcId p = 0; p < procs; ++p) {
+      Operation b;
+      b.kind = OpKind::kBarrier;
+      b.proc = p;
+      b.barrier = 0;
+      b.barrier_epoch = epoch;
+      feed(b);
+    }
+    for (auto& vv : view) {
+      if (vv.cur.valid()) {
+        vv.stale = vv.visible;
+        vv.stale_val = vv.visible_val;
+        vv.visible = vv.cur;
+        vv.visible_val = vv.cur_val;
+        vv.cur = WriteId{};
+      }
+    }
+    ++epoch;
+  }
+
+  StreamVerdict out;
+  out.ops = chk.num_ops();
+  out.verdict = chk.finalize();
+  out.wall_ms = sw.elapsed_ms();
+  out.metrics = chk.metrics();
+  return out;
+}
+
+void streaming_check(Harness& h) {
+  const std::size_t target = h.smoke() ? 50'000 : 1'200'000;
+  std::printf("\n=== C13 — streaming graph checker (4 procs, %zu-op traces) ===\n",
+              target);
+
+  for (const bool inject : {false, true}) {
+    const StreamVerdict r = stream_check(4, target, inject, inject ? 23 : 19);
+    const double ops_per_sec = static_cast<double>(r.ops) / (r.wall_ms / 1e3);
+    const bool expected =
+        inject ? (!r.verdict.mixed.ok &&
+                  r.verdict.mixed.message().find("stale") != std::string::npos)
+               : r.verdict.ok();
+    std::printf("%-24s ops=%-8zu %8.1fms  %12.0f ops/sec  verdict=%s%s\n",
+                inject ? "stream-check-injected" : "stream-check-clean", r.ops,
+                r.wall_ms, ops_per_sec, r.verdict.ok() ? "ok" : "violation",
+                expected ? "" : "  ** UNEXPECTED **");
+    if (!expected) {
+      std::fprintf(stderr, "stream-check: unexpected verdict (%s)\n",
+                   r.verdict.well_formed ? r.verdict.mixed.message().c_str()
+                                         : r.verdict.error.c_str());
+      std::exit(1);
+    }
+    auto& row = h.add_row(inject ? "stream-check-injected" : "stream-check-clean");
+    row.params["procs"] = "4";
+    row.params["target_ops"] = std::to_string(target);
+    row.params["injected"] = inject ? "true" : "false";
+    row.wall_ms = r.wall_ms;
+    row.stats["history_ops"] = static_cast<double>(r.ops);
+    row.stats["ops_per_sec"] = ops_per_sec;
+    row.stats["verdict_ok"] = r.verdict.ok() ? 1.0 : 0.0;
+    row.metrics = r.metrics;
   }
 }
 
@@ -144,6 +311,7 @@ int main(int argc, char** argv) {
   h.config("procs", "4");
 
   checker_throughput(h);
+  streaming_check(h);
   figure1_table(h);
   return 0;
 }

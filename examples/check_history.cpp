@@ -1,14 +1,17 @@
 // check_history: a command-line consistency checker for history files.
 //
-//   build/examples/check_history <file>         # check a history file
-//   build/examples/check_history --demo         # run on a built-in example
-//   build/examples/check_history --dot <file>   # emit Graphviz instead
+//   build/examples/check_history <file>           # check a history file
+//   build/examples/check_history --demo           # run on a built-in example
+//   build/examples/check_history --dot <file>     # emit Graphviz instead
+//   build/examples/check_history --dot-cx <file>  # emit the counterexample
+//                                                 # cycle as Graphviz
 //
 // Reads the text format of history/text_format.h and reports, for the
 // recorded execution: well-formedness, mixed consistency (Definition 4),
 // whether *all* reads would pass as causal / as PRAM, sequential
-// consistency (exhaustive search, small histories), and the Theorem 1 /
-// Corollary 1-2 program analyses.
+// consistency (exhaustive search, small histories, cross-checked against
+// the dependency-graph cycle analysis of docs/CHECKING.md), and the
+// Theorem 1 / Corollary 1-2 program analyses.
 
 #include <cstdio>
 #include <fstream>
@@ -17,6 +20,7 @@
 
 #include "history/checkers.h"
 #include "history/dot_export.h"
+#include "history/incremental_checker.h"
 #include "history/program_analysis.h"
 #include "history/serialization.h"
 #include "history/text_format.h"
@@ -63,6 +67,22 @@ void report(const History& h) {
                 sc.sequentially_consistent ? "yes" : "no");
   }
 
+  const GraphVerdict gv = check_history_graph(h);
+  if (gv.well_formed) {
+    std::printf("graph checker: coherent=%s sc-graph=%s", gv.coherent ? "yes" : "no",
+                gv.sc_acyclic ? "acyclic" : "cyclic");
+    if (!gv.counterexample.empty()) {
+      std::printf("  counterexample cycle: ");
+      for (std::size_t i = 0; i < gv.counterexample.size(); ++i) {
+        const auto& e = gv.counterexample[i];
+        std::printf("%sn%u -%s-> n%u", i == 0 ? "" : ", ", e.from,
+                    edge_type_name(e.type), e.to);
+      }
+      std::printf("  (render with --dot-cx)");
+    }
+    std::printf("\n");
+  }
+
   const auto t1 = check_theorem1(h);
   std::printf("Theorem 1 precondition (commuting):   %s\n",
               t1.precondition_holds ? "yes" : t1.violations.front().c_str());
@@ -82,16 +102,20 @@ void report(const History& h) {
 
 int main(int argc, char** argv) {
   bool dot = false;
+  bool dot_cx = false;
   const char* target = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--dot") {
       dot = true;
+    } else if (std::string(argv[i]) == "--dot-cx") {
+      dot_cx = true;
     } else {
       target = argv[i];
     }
   }
   if (target == nullptr) {
-    std::fprintf(stderr, "usage: %s [--dot] <history-file> | --demo\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--dot | --dot-cx] <history-file> | --demo\n",
+                 argv[0]);
     return 2;
   }
 
@@ -114,6 +138,11 @@ int main(int argc, char** argv) {
   }
   if (dot) {
     std::printf("%s", to_dot(*parsed.history).c_str());
+    return 0;
+  }
+  if (dot_cx) {
+    const GraphVerdict gv = check_history_graph(*parsed.history);
+    std::printf("%s", counterexample_to_dot(*parsed.history, gv.counterexample).c_str());
     return 0;
   }
   report(*parsed.history);

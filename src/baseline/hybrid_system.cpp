@@ -45,7 +45,7 @@ void HybridNode::stop() {
 }
 
 void HybridNode::run_delivery() {
-  while (auto m = fabric_.mailbox(self_).recv()) {
+  while (auto m = fabric_.recv(self_)) {
     obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
     obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {
@@ -186,6 +186,10 @@ Value HybridNode::strong_read(VarId x) {
 HybridSystem::HybridSystem(HybridConfig cfg)
     : cfg_(std::move(cfg)), fabric_(cfg_.num_procs + 1, cfg_.latency, cfg_.seed) {
   register_hybrid_kind_names(fabric_);
+  // Same layering as dsm::MixedSystem: reliability first so every protocol
+  // message is sequenced from the start, then the lossy fault plan.
+  if (cfg_.reliable) fabric_.enable_reliability(cfg_.reliability);
+  if (cfg_.faults.has_value()) fabric_.inject_faults(*cfg_.faults);
   const auto seq_ep = static_cast<net::Endpoint>(cfg_.num_procs);
   nodes_.reserve(cfg_.num_procs);
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
@@ -200,7 +204,7 @@ void HybridSystem::run_sequencer() {
   const auto seq_ep = static_cast<net::Endpoint>(cfg_.num_procs);
   std::vector<net::Endpoint> everyone(cfg_.num_procs);
   for (net::Endpoint e = 0; e < cfg_.num_procs; ++e) everyone[e] = e;
-  while (auto m = fabric_.mailbox(seq_ep).recv()) {
+  while (auto m = fabric_.recv(seq_ep)) {
     obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
     obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {

@@ -26,12 +26,15 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
 #include "net/fabric.h"
+#include "net/fault.h"
+#include "net/reliable.h"
 
 namespace mc::baseline {
 
@@ -57,6 +60,12 @@ struct HybridConfig {
   std::size_t num_vars = 64;
   net::LatencyModel latency = net::LatencyModel::zero();
   std::uint64_t seed = 1;
+  /// Robustness layers, mirroring dsm::Config (docs/FAULTS.md): reliability
+  /// first, then the fault plan, so cross-model comparisons can run all
+  /// three systems on the same faulty fabric.
+  bool reliable = false;
+  net::ReliabilityConfig reliability;
+  std::optional<net::FaultPlan> faults;
 };
 
 struct HybridStats {

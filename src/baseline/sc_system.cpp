@@ -35,7 +35,7 @@ void ScNode::stop() {
 }
 
 void ScNode::run_delivery() {
-  while (auto m = fabric_.mailbox(self_).recv()) {
+  while (auto m = fabric_.recv(self_)) {
     obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
     obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {
@@ -173,6 +173,10 @@ void ScNode::barrier(BarrierId b) {
 ScSystem::ScSystem(ScConfig cfg)
     : cfg_(std::move(cfg)), fabric_(cfg_.num_procs + 1, cfg_.latency, cfg_.seed) {
   register_kind_names(fabric_);
+  // Same layering as dsm::MixedSystem: reliability first so every protocol
+  // message is sequenced from the start, then the lossy fault plan.
+  if (cfg_.reliable) fabric_.enable_reliability(cfg_.reliability);
+  if (cfg_.faults.has_value()) fabric_.inject_faults(*cfg_.faults);
   const auto seq_ep = static_cast<net::Endpoint>(cfg_.num_procs);
   sequencer_ = std::make_unique<Sequencer>(fabric_, seq_ep, cfg_.num_procs);
   nodes_.reserve(cfg_.num_procs);

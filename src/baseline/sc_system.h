@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "common/types.h"
 #include "history/history.h"
 #include "net/fabric.h"
+#include "net/fault.h"
+#include "net/reliable.h"
 
 namespace mc::baseline {
 
@@ -30,6 +33,13 @@ struct ScConfig {
   net::LatencyModel latency = net::LatencyModel::zero();
   std::uint64_t seed = 1;
   bool record_trace = false;
+  /// Robustness layers, mirroring dsm::Config (docs/FAULTS.md): reliability
+  /// is installed before the fault plan so every protocol message is
+  /// sequenced before the channel turns lossy.  Cross-model comparisons can
+  /// then run all three systems on the same faulty fabric.
+  bool reliable = false;
+  net::ReliabilityConfig reliability;
+  std::optional<net::FaultPlan> faults;
 };
 
 struct ScStats {

@@ -20,7 +20,7 @@ void Sequencer::run() {
   std::vector<net::Endpoint> everyone(num_procs_);
   for (net::Endpoint e = 0; e < num_procs_; ++e) everyone[e] = e;
 
-  while (auto m = fabric_.mailbox(self_).recv()) {
+  while (auto m = fabric_.recv(self_)) {
     obs::TraceSpan span("deliver", "net", {"kind", m->kind}, {"src", m->src});
     obs::trace_flow_end("msg", "net", m->trace_id);
     switch (m->kind) {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
+#include "history/incremental_checker.h"
 
 namespace mc::history {
 
@@ -293,11 +295,35 @@ CheckResult run_checks(const History& h, ReadDiscipline discipline) {
 
 }  // namespace
 
+CheckerBackend default_checker_backend(const History& h) {
+  return h.sequential_processes() && h.explicit_program_edges().empty()
+             ? CheckerBackend::kGraph
+             : CheckerBackend::kSearch;
+}
+
 CheckResult check_mixed_consistency(const History& h) {
+  return check_mixed_consistency(h, default_checker_backend(h));
+}
+
+CheckResult check_mixed_consistency(const History& h, CheckerBackend backend) {
+  if (backend == CheckerBackend::kGraph) return check_history_graph(h).mixed;
   return run_checks(h, ReadDiscipline::kAsLabeled);
 }
 
 CheckResult check_consistency(const History& h, ReadDiscipline discipline) {
+  return check_consistency(h, discipline, default_checker_backend(h));
+}
+
+CheckResult check_consistency(const History& h, ReadDiscipline discipline,
+                              CheckerBackend backend) {
+  if (backend == CheckerBackend::kGraph) {
+    GraphVerdict v = check_history_graph(h);
+    switch (discipline) {
+      case ReadDiscipline::kAsLabeled: return std::move(v.mixed);
+      case ReadDiscipline::kAllCausal: return std::move(v.causal);
+      case ReadDiscipline::kAllPram: return std::move(v.pram);
+    }
+  }
   return run_checks(h, discipline);
 }
 

@@ -42,13 +42,28 @@ enum class ReadDiscipline {
   kAllPram,    ///< check every read as a PRAM read (Definition 3)
 };
 
+/// Which implementation answers the check (docs/CHECKING.md §7).
+enum class CheckerBackend {
+  kSearch,  ///< BitMatrix restricted relations + per-read interval search
+  kGraph,   ///< incremental typed-dependency-graph checker (the default)
+};
+
+/// The backend the argument-free entry points pick for `h`: the graph
+/// checker for sequential-process histories without explicit program-order
+/// edges, the BitMatrix search pipeline otherwise (partial program orders
+/// stay with the search checkers, which the graph checker cannot model).
+[[nodiscard]] CheckerBackend default_checker_backend(const History& h);
+
 /// Full mixed-consistency check (Definition 4): well-formedness, acyclic
 /// causality, and per-read validity under the read's label.
 CheckResult check_mixed_consistency(const History& h);
+CheckResult check_mixed_consistency(const History& h, CheckerBackend backend);
 
 /// Check every read under a forced discipline (litmus tests and the
 /// causal/PRAM memory checkers).
 CheckResult check_consistency(const History& h, ReadDiscipline discipline);
+CheckResult check_consistency(const History& h, ReadDiscipline discipline,
+                              CheckerBackend backend);
 
 /// Check a single read (by reference) of the history under the given
 /// restricted relation.  `restricted` must be restrict_causal(..) or

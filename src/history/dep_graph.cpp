@@ -1,0 +1,209 @@
+#include "history/dep_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mc::history {
+
+const char* edge_type_name(EdgeType t) {
+  switch (t) {
+    case EdgeType::kProgram: return "po";
+    case EdgeType::kReadsFrom: return "rf";
+    case EdgeType::kLock: return "lock";
+    case EdgeType::kBarrier: return "bar";
+    case EdgeType::kAwait: return "await";
+    case EdgeType::kWriteOrder: return "ww";
+    case EdgeType::kAntiDep: return "rw";
+  }
+  return "?";
+}
+
+std::uint32_t DepGraph::add_node() {
+  adj_.emplace_back();
+  return static_cast<std::uint32_t>(adj_.size() - 1);
+}
+
+void DepGraph::ensure_nodes(std::size_t n) {
+  if (adj_.size() < n) adj_.resize(n);
+}
+
+void DepGraph::add_edge(std::uint32_t from, std::uint32_t to, EdgeType type) {
+  MC_CHECK(from < adj_.size() && to < adj_.size());
+  adj_[from].push_back({to, type});
+  ++num_edges_;
+  ++by_type_[static_cast<std::size_t>(type)];
+}
+
+BitMatrix DepGraph::to_bit_matrix(EdgeMask mask) const {
+  BitMatrix m(adj_.size());
+  for (std::uint32_t v = 0; v < adj_.size(); ++v) {
+    for (const HalfEdge& e : adj_[v]) {
+      if (mask & edge_bit(e.type)) m.set(v, e.to);
+    }
+  }
+  return m;
+}
+
+DepGraph::SccResult DepGraph::scc(EdgeMask mask) const {
+  // Iterative Tarjan.  An explicit frame stack replaces recursion so the
+  // algorithm survives million-vertex graphs without blowing the C stack.
+  const std::uint32_t n = static_cast<std::uint32_t>(adj_.size());
+  constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+
+  SccResult out;
+  out.component.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+
+  struct Frame {
+    std::uint32_t v;
+    std::uint32_t edge;  // next out-edge to examine
+  };
+  std::vector<Frame> frames;
+  std::uint32_t next_index = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& edges = adj_[f.v];
+      bool descended = false;
+      while (f.edge < edges.size()) {
+        const HalfEdge& e = edges[f.edge++];
+        if (!(mask & edge_bit(e.type))) continue;
+        if (index[e.to] == kUnvisited) {
+          index[e.to] = lowlink[e.to] = next_index++;
+          stack.push_back(e.to);
+          on_stack[e.to] = true;
+          frames.push_back({e.to, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[e.to]) lowlink[f.v] = std::min(lowlink[f.v], index[e.to]);
+      }
+      if (descended) continue;
+
+      const std::uint32_t v = f.v;
+      if (lowlink[v] == index[v]) {
+        std::uint32_t size = 0;
+        for (;;) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component[w] = out.count;
+          ++size;
+          if (w == v) break;
+        }
+        if (size > 1) out.acyclic = false;
+        ++out.count;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().v] = std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+
+  // Self-loops make a singleton component cyclic.
+  if (out.acyclic) {
+    for (std::uint32_t v = 0; v < n && out.acyclic; ++v) {
+      for (const HalfEdge& e : adj_[v]) {
+        if (e.to == v && (mask & edge_bit(e.type))) {
+          out.acyclic = false;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TypedEdge> DepGraph::find_cycle(EdgeMask mask) const {
+  const SccResult s = scc(mask);
+  if (s.acyclic) return {};
+
+  // Locate one non-trivial component (or a self-loop) and walk a cycle
+  // inside it: BFS from any member back to itself using only intra-
+  // component edges.
+  const std::uint32_t n = static_cast<std::uint32_t>(adj_.size());
+  std::vector<std::uint32_t> comp_size(s.count, 0);
+  for (std::uint32_t v = 0; v < n; ++v) ++comp_size[s.component[v]];
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const HalfEdge& e : adj_[v]) {
+      if (e.to == v && (mask & edge_bit(e.type))) return {{v, v, e.type}};
+    }
+  }
+
+  std::uint32_t start = n;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (comp_size[s.component[v]] > 1) {
+      start = v;
+      break;
+    }
+  }
+  MC_CHECK(start < n);
+  const std::uint32_t comp = s.component[start];
+  const auto intra = [&](const TypedEdge& e) {
+    return s.component[e.to] == comp;
+  };
+
+  // First hop off `start`, then shortest path back.
+  for (const HalfEdge& e : adj_[start]) {
+    if (!(mask & edge_bit(e.type)) || s.component[e.to] != comp) continue;
+    if (e.to == start) return {{start, start, e.type}};
+    auto back = find_path(e.to, start, mask, intra);
+    if (!back.empty()) {
+      std::vector<TypedEdge> cycle{{start, e.to, e.type}};
+      cycle.insert(cycle.end(), back.begin(), back.end());
+      return cycle;
+    }
+  }
+  MC_CHECK_MSG(false, "non-trivial SCC must contain a cycle");
+  return {};
+}
+
+std::vector<TypedEdge> DepGraph::find_path(
+    std::uint32_t from, std::uint32_t to, EdgeMask mask,
+    const std::function<bool(const TypedEdge&)>& admit) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(adj_.size());
+  MC_CHECK(from < n && to < n);
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+  std::vector<std::uint32_t> parent(n, kNone);
+  std::vector<EdgeType> via(n, EdgeType::kProgram);
+
+  std::vector<std::uint32_t> queue{from};
+  parent[from] = from;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t v = queue[head];
+    for (const HalfEdge& e : adj_[v]) {
+      if (!(mask & edge_bit(e.type))) continue;
+      if (parent[e.to] != kNone) continue;
+      const TypedEdge te{v, e.to, e.type};
+      if (admit && !admit(te)) continue;
+      parent[e.to] = v;
+      via[e.to] = e.type;
+      if (e.to == to) {
+        std::vector<TypedEdge> path;
+        for (std::uint32_t cur = to; cur != from; cur = parent[cur]) {
+          path.push_back({parent[cur], cur, via[cur]});
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(e.to);
+    }
+  }
+  return {};
+}
+
+}  // namespace mc::history

@@ -1,0 +1,131 @@
+// Typed dependency graph over the operations of a history — the sparse
+// backbone of the incremental checker (docs/CHECKING.md).
+//
+// Steinke & Nutt show that the classical consistency models are all
+// decidable from one dependency structure by varying which edges are
+// admitted; this graph materializes that structure with an explicit type
+// on every edge:
+//
+//   kProgram     ->      program order (per-process chain)
+//   kReadsFrom   |.      write-to-read data dependence        (WR)
+//   kLock/kBarrier/kAwait  the three |-> synchronization orders (SO)
+//   kWriteOrder  forced or candidate write-ordering edges      (WW)
+//   kAntiDep     read-before-overwrite edges                   (RW)
+//
+// The generating relations of causality.h (program order, reads-from and
+// the sync orders) appear as the first five types; WW and RW edges are
+// *derived* by the checker from read observations and only participate in
+// the coherence / sequential-consistency analyses.
+//
+// Unlike common/bit_matrix.h the adjacency is sparse (per-vertex edge
+// vectors), so a graph over a million operations costs O(V + E) memory
+// instead of O(V^2) bits.  `to_bit_matrix` exports any edge subset densely
+// for litmus-scale cross-validation against the BitMatrix pipeline.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "history/operation.h"
+
+namespace mc::history {
+
+enum class EdgeType : std::uint8_t {
+  kProgram = 0,
+  kReadsFrom,
+  kLock,
+  kBarrier,
+  kAwait,
+  kWriteOrder,
+  kAntiDep,
+};
+inline constexpr std::size_t kNumEdgeTypes = 7;
+
+[[nodiscard]] const char* edge_type_name(EdgeType t);
+
+/// Bitmask over edge types for subset selection (Steinke–Nutt style).
+using EdgeMask = std::uint8_t;
+
+[[nodiscard]] constexpr EdgeMask edge_bit(EdgeType t) {
+  return static_cast<EdgeMask>(1u << static_cast<unsigned>(t));
+}
+
+inline constexpr EdgeMask kSyncEdges =
+    edge_bit(EdgeType::kLock) | edge_bit(EdgeType::kBarrier) | edge_bit(EdgeType::kAwait);
+/// The generating relations of the causality relation ~> (Section 3).
+inline constexpr EdgeMask kCausalityEdges =
+    edge_bit(EdgeType::kProgram) | edge_bit(EdgeType::kReadsFrom) | kSyncEdges;
+inline constexpr EdgeMask kAllEdges =
+    kCausalityEdges | edge_bit(EdgeType::kWriteOrder) | edge_bit(EdgeType::kAntiDep);
+
+struct TypedEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  EdgeType type = EdgeType::kProgram;
+
+  friend bool operator==(const TypedEdge&, const TypedEdge&) = default;
+};
+
+class DepGraph {
+ public:
+  DepGraph() = default;
+  explicit DepGraph(std::size_t reserve_nodes) { adj_.reserve(reserve_nodes); }
+
+  /// Append a vertex; returns its index.
+  std::uint32_t add_node();
+  void ensure_nodes(std::size_t n);
+
+  [[nodiscard]] std::size_t num_nodes() const { return adj_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] std::uint64_t edge_count(EdgeType t) const {
+    return by_type_[static_cast<std::size_t>(t)];
+  }
+
+  /// Insert a typed edge.  Duplicate (from, to, type) triples are the
+  /// caller's concern — the graph stores whatever it is given.
+  void add_edge(std::uint32_t from, std::uint32_t to, EdgeType type);
+
+  struct HalfEdge {
+    std::uint32_t to;
+    EdgeType type;
+  };
+  [[nodiscard]] const std::vector<HalfEdge>& out_edges(std::uint32_t v) const {
+    return adj_[v];
+  }
+
+  /// Dense export of the selected edge subset, for cross-validation against
+  /// the BitMatrix relations at litmus scale.  O(V^2) memory — do not call
+  /// on streaming-scale graphs.
+  [[nodiscard]] BitMatrix to_bit_matrix(EdgeMask mask = kAllEdges) const;
+
+  struct SccResult {
+    std::vector<std::uint32_t> component;  ///< vertex -> component id
+    std::uint32_t count = 0;               ///< number of components
+    bool acyclic = true;                   ///< every component is a singleton
+  };
+  /// Strongly connected components of the selected edge subset (iterative
+  /// Tarjan, O(V + E); no recursion, safe at millions of vertices).
+  [[nodiscard]] SccResult scc(EdgeMask mask = kAllEdges) const;
+
+  /// Some cycle of the selected subset as a closed edge sequence
+  /// (edge[i].to == edge[i+1].from, last wraps to first); empty when the
+  /// subset is acyclic.  Used for counterexample extraction.
+  [[nodiscard]] std::vector<TypedEdge> find_cycle(EdgeMask mask = kAllEdges) const;
+
+  /// BFS shortest path from -> to over edges selected by `mask` and
+  /// accepted by `admit` (pass nullptr to accept all).  Empty when
+  /// unreachable or from == to.  Used to close counterexample cycles.
+  [[nodiscard]] std::vector<TypedEdge> find_path(
+      std::uint32_t from, std::uint32_t to, EdgeMask mask = kAllEdges,
+      const std::function<bool(const TypedEdge&)>& admit = nullptr) const;
+
+ private:
+  std::vector<std::vector<HalfEdge>> adj_;
+  std::size_t num_edges_ = 0;
+  std::uint64_t by_type_[kNumEdgeTypes] = {};
+};
+
+}  // namespace mc::history

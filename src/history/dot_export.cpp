@@ -1,14 +1,25 @@
 #include "history/dot_export.h"
 
+#include <unordered_set>
+
 namespace mc::history {
 
 namespace {
 
-void emit_edges(std::string& out, const BitMatrix& rel, const char* attrs) {
+std::uint64_t edge_key(std::size_t a, std::size_t b) {
+  return (std::uint64_t{static_cast<std::uint32_t>(a)} << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+void emit_edges(std::string& out, const BitMatrix& rel, const char* attrs,
+                const std::unordered_set<std::uint64_t>& highlight,
+                const std::string& highlight_attrs) {
   for (std::size_t a = 0; a < rel.size(); ++a) {
     for (const std::size_t b : rel.successors(a)) {
-      out += "  n" + std::to_string(a) + " -> n" + std::to_string(b) + " [" + attrs +
-             "];\n";
+      out += "  n" + std::to_string(a) + " -> n" + std::to_string(b) + " [" + attrs;
+      // Later attributes win in DOT, so appending overrides the base style.
+      if (highlight.count(edge_key(a, b))) out += ", " + highlight_attrs;
+      out += "];\n";
     }
   }
 }
@@ -24,41 +35,66 @@ std::string escape(const std::string& s) {
   return out;
 }
 
+std::unordered_set<std::uint64_t> highlight_set(const DotOptions& opt) {
+  std::unordered_set<std::uint64_t> set;
+  for (const auto& [a, b] : opt.highlight_edges) set.insert(edge_key(a, b));
+  return set;
+}
+
+void emit_node(std::string& out, const History& h, OpRef r, const DotOptions& opt,
+               const std::unordered_set<OpRef>& hot, const char* indent) {
+  out += indent;
+  out += "n" + std::to_string(r) + " [label=\"" + escape(h.op(r).to_string()) + "\"";
+  if (hot.count(r)) out += ", " + opt.highlight_node_attrs;
+  out += "];\n";
+}
+
+std::unordered_set<OpRef> hot_nodes(const DotOptions& opt) {
+  std::unordered_set<OpRef> hot;
+  for (const auto& [a, b] : opt.highlight_edges) {
+    hot.insert(a);
+    hot.insert(b);
+  }
+  return hot;
+}
+
 }  // namespace
 
 std::string to_dot(const History& h, const Relations& rel, const DotOptions& opt) {
   std::string out = "digraph history {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  const auto highlight = highlight_set(opt);
+  const auto hot = hot_nodes(opt);
 
   if (opt.cluster_by_process) {
     for (ProcId p = 0; p < h.num_procs(); ++p) {
       out += "  subgraph cluster_p" + std::to_string(p) + " {\n    label=\"p" +
              std::to_string(p) + "\";\n    style=dashed;\n";
-      for (const OpRef r : h.ops_of(p)) {
-        out += "    n" + std::to_string(r) + " [label=\"" + escape(h.op(r).to_string()) +
-               "\"];\n";
-      }
+      for (const OpRef r : h.ops_of(p)) emit_node(out, h, r, opt, hot, "    ");
       out += "  }\n";
     }
   } else {
-    for (OpRef r = 0; r < h.size(); ++r) {
-      out += "  n" + std::to_string(r) + " [label=\"" + escape(h.op(r).to_string()) +
-             "\"];\n";
-    }
+    for (OpRef r = 0; r < h.size(); ++r) emit_node(out, h, r, opt, hot, "  ");
   }
 
   if (opt.include_program_order) {
-    emit_edges(out, rel.program_order, "color=black, label=\"po\", fontsize=8");
+    emit_edges(out, rel.program_order, "color=black, label=\"po\", fontsize=8",
+               highlight, opt.highlight_attrs);
   }
   if (opt.include_reads_from) {
-    emit_edges(out, rel.reads_from, "color=blue, label=\"rf\", fontsize=8");
+    emit_edges(out, rel.reads_from, "color=blue, label=\"rf\", fontsize=8", highlight,
+               opt.highlight_attrs);
   }
   if (opt.include_sync_orders) {
-    emit_edges(out, rel.sync_lock, "color=red, label=\"lock\", fontsize=8");
-    emit_edges(out, rel.sync_bar, "color=darkgreen, label=\"bar\", fontsize=8");
-    emit_edges(out, rel.sync_await, "color=purple, label=\"await\", fontsize=8");
+    emit_edges(out, rel.sync_lock, "color=red, label=\"lock\", fontsize=8", highlight,
+               opt.highlight_attrs);
+    emit_edges(out, rel.sync_bar, "color=darkgreen, label=\"bar\", fontsize=8",
+               highlight, opt.highlight_attrs);
+    emit_edges(out, rel.sync_await, "color=purple, label=\"await\", fontsize=8",
+               highlight, opt.highlight_attrs);
   }
   if (opt.include_causality_closure) {
-    emit_edges(out, rel.causality, "color=gray, style=dotted");
+    emit_edges(out, rel.causality, "color=gray, style=dotted", highlight,
+               opt.highlight_attrs);
   }
   out += "}\n";
   return out;
@@ -71,6 +107,54 @@ std::string to_dot(const History& h, const DotOptions& opt) {
     return "digraph history {\n  // malformed history: " + err + "\n}\n";
   }
   return to_dot(h, *rel, opt);
+}
+
+std::string counterexample_to_dot(const History& h, const std::vector<TypedEdge>& cycle,
+                                  const DotOptions& opt) {
+  if (cycle.empty()) {
+    return "digraph counterexample {\n  // no counterexample cycle\n}\n";
+  }
+
+  std::string out =
+      "digraph counterexample {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  std::unordered_set<OpRef> hot;
+  for (const TypedEdge& e : cycle) {
+    hot.insert(e.from);
+    hot.insert(e.to);
+  }
+
+  DotOptions node_opt = opt;
+  if (opt.cluster_by_process) {
+    for (ProcId p = 0; p < h.num_procs(); ++p) {
+      out += "  subgraph cluster_p" + std::to_string(p) + " {\n    label=\"p" +
+             std::to_string(p) + "\";\n    style=dashed;\n";
+      for (const OpRef r : h.ops_of(p)) emit_node(out, h, r, node_opt, hot, "    ");
+      out += "  }\n";
+    }
+  } else {
+    for (OpRef r = 0; r < h.size(); ++r) emit_node(out, h, r, node_opt, hot, "  ");
+  }
+
+  // Faint program order for orientation.
+  if (opt.include_program_order) {
+    for (ProcId p = 0; p < h.num_procs(); ++p) {
+      const auto& ops = h.ops_of(p);
+      for (std::size_t k = 1; k < ops.size(); ++k) {
+        out += "  n" + std::to_string(ops[k - 1]) + " -> n" + std::to_string(ops[k]) +
+               " [color=gray, style=dotted];\n";
+      }
+    }
+  }
+
+  for (const TypedEdge& e : cycle) {
+    out += "  n" + std::to_string(e.from) + " -> n" + std::to_string(e.to) +
+           " [label=\"" + edge_type_name(e.type) + "\", fontsize=8, " +
+           opt.highlight_attrs + "];\n";
+  }
+
+  out += "}\n";
+  return out;
 }
 
 }  // namespace mc::history

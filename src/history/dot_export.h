@@ -3,12 +3,20 @@
 // documentation and debugging of consistency violations.
 //
 //   dot -Tsvg history.dot -o history.svg
+//
+// Any edge subset can be emphasized through DotOptions::highlight_edges
+// (used by the incremental checker's counterexample cycles and reusable by
+// hand-written repros); counterexample_to_dot renders a violating cycle
+// from the graph checker directly.
 
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "history/causality.h"
+#include "history/dep_graph.h"
 #include "history/history.h"
 
 namespace mc::history {
@@ -22,6 +30,12 @@ struct DotOptions {
   bool include_causality_closure = false;
   /// Cluster operations by process (one column per process).
   bool cluster_by_process = true;
+  /// OpRef pairs to emphasize: whenever an emitted relation contains one of
+  /// these edges, `highlight_attrs` is appended to (and so overrides) that
+  /// edge's base attributes, and both endpoints get `highlight_node_attrs`.
+  std::vector<std::pair<OpRef, OpRef>> highlight_edges;
+  std::string highlight_attrs = "color=crimson, fontcolor=crimson, penwidth=2.5";
+  std::string highlight_node_attrs = "color=crimson, penwidth=2";
 };
 
 /// Render the history's relations as a DOT digraph.  The relations must
@@ -31,5 +45,13 @@ std::string to_dot(const History& h, const Relations& rel, const DotOptions& opt
 /// Convenience: build relations internally; returns an error-comment-only
 /// graph if the history is malformed.
 std::string to_dot(const History& h, const DotOptions& opt = {});
+
+/// Render a violating cycle from the incremental checker
+/// (GraphVerdict::counterexample, expressed in OpRefs) over the history:
+/// every operation as a node (clustered by process), program order in faint
+/// gray for context, and the cycle's typed edges highlighted.  An empty
+/// cycle yields a comment-only graph.
+std::string counterexample_to_dot(const History& h, const std::vector<TypedEdge>& cycle,
+                                  const DotOptions& opt = {});
 
 }  // namespace mc::history

@@ -1,0 +1,995 @@
+#include "history/incremental_checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace mc::history {
+
+namespace {
+
+/// Same relative tolerance as the batch checker's fp branch (checkers.cpp).
+bool fp_close(double a, double b) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= 1e-8 * scale;
+}
+
+std::uint64_t bar_key(const Operation& op) {
+  return (std::uint64_t{op.barrier} << 32) | op.barrier_epoch;
+}
+
+GraphVerdict error_verdict(std::string msg) {
+  GraphVerdict v;
+  v.well_formed = false;
+  v.error = msg;
+  for (CheckResult* r : {&v.mixed, &v.causal, &v.pram}) {
+    r->ok = false;
+    r->violations.push_back(msg);
+  }
+  return v;
+}
+
+}  // namespace
+
+IncrementalChecker::IncrementalChecker(std::size_t num_procs)
+    : num_procs_(num_procs),
+      prev_node_(num_procs, kNoNode),
+      own_track_(num_procs),
+      read_held_(num_procs),
+      write_held_(num_procs) {
+  MC_CHECK(num_procs > 0);
+}
+
+void IncrementalChecker::fail(std::string msg) {
+  if (error_.empty()) error_ = std::move(msg);
+}
+
+std::uint32_t IncrementalChecker::append_node(const Operation& op, std::uint32_t ext_id) {
+  const auto node = static_cast<std::uint32_t>(ops_.size());
+  ops_.push_back(op);
+  ext_.push_back(ext_id);
+  const std::uint32_t pred = prev_node_[op.proc];
+  pidx_.push_back(pred == kNoNode ? 0 : pidx_[pred] + 1);
+  graph_.add_node();
+  causal_.resize(ops_.size() * num_procs_, 0);
+  pram_.resize(ops_.size() * num_procs_ * num_procs_, 0);
+  return node;
+}
+
+void IncrementalChecker::connect(std::uint32_t node, std::uint32_t src, EdgeType type) {
+  MC_CHECK_MSG(src < node, "dependency edges must point old -> new");
+  in_edges_.push_back({src, type});
+}
+
+void IncrementalChecker::compute_clocks(std::uint32_t node) {
+  const ProcId p = ops_[node].proc;
+  const auto join = [this](std::uint32_t* dst, const std::uint32_t* src) {
+    for (std::size_t q = 0; q < num_procs_; ++q) dst[q] = std::max(dst[q], src[q]);
+  };
+
+  std::uint32_t* c = causal_.data() + static_cast<std::size_t>(node) * num_procs_;
+  for (const auto& [src, type] : in_edges_) {
+    (void)type;
+    join(c, causal_clock(src));
+  }
+  c[p] = std::max(c[p], pidx_[node] + 1);
+
+  // One clock per observer i: Definition 3's construction — full program
+  // order always propagates; synchronization and reads-from edges join only
+  // when incident to an operation of process i.
+  for (ProcId i = 0; i < num_procs_; ++i) {
+    std::uint32_t* g = pram_.data() +
+                       (static_cast<std::size_t>(node) * num_procs_ + i) * num_procs_;
+    for (const auto& [src, type] : in_edges_) {
+      if (type == EdgeType::kProgram || p == i || ops_[src].proc == i) {
+        join(g, pram_clock(src, i));
+      }
+    }
+    g[p] = std::max(g[p], pidx_[node] + 1);
+  }
+}
+
+bool IncrementalChecker::feed(const Operation& op) {
+  return feed(op, static_cast<std::uint32_t>(ops_.size()));
+}
+
+bool IncrementalChecker::feed(const Operation& op, std::uint32_t ext_id) {
+  MC_CHECK_MSG(!finalized_, "feed after finalize");
+  if (failed()) return false;
+  if (op.proc >= num_procs_) {
+    fail("operation of an unknown process: " + op.to_string());
+    return false;
+  }
+
+  const ProcId p = op.proc;
+  const std::uint32_t pred = prev_node_[p];
+  const std::uint32_t node = append_node(op, ext_id);
+  in_edges_.clear();
+
+  if (pred != kNoNode) {
+    connect(node, pred, EdgeType::kProgram);
+    // Barrier release: the first operation after a member joins the
+    // instance's downstream closure of *all* members.
+    if (ops_[pred].kind == OpKind::kBarrier) {
+      BarState& b = barriers_[bar_key(ops_[pred])];
+      b.released = true;
+      for (const std::uint32_t m : b.members) {
+        if (m != pred) connect(node, m, EdgeType::kBarrier);
+      }
+    }
+  }
+
+  std::uint32_t rf_writer = kNoNode;
+  switch (op.kind) {
+    case OpKind::kWrite:
+    case OpKind::kDelta: {
+      if (!op.write_id.valid()) {
+        fail("write without a write id: " + op.to_string());
+        return false;
+      }
+      if (!writers_.insert({op.write_id, node}).second) {
+        fail("duplicate write id on " + op.to_string());
+        return false;
+      }
+      break;
+    }
+    case OpKind::kRead:
+    case OpKind::kAwait: {
+      if (op.write_id.valid()) {
+        auto it = writers_.find(op.write_id);
+        if (it == writers_.end()) {
+          // The writer either does not exist or has not been fed yet; both
+          // breach the reads-from edge of a causal linear extension.
+          fail("read resolves to a write that is not in the history: " + op.to_string());
+          return false;
+        }
+        if (ops_[it->second].var != op.var) {
+          fail("read of x" + std::to_string(op.var) +
+               " resolves to a write of a different location: " +
+               ops_[it->second].to_string());
+          return false;
+        }
+        rf_writer = it->second;
+        connect(node, rf_writer,
+                op.kind == OpKind::kRead ? EdgeType::kReadsFrom : EdgeType::kAwait);
+      }
+      break;
+    }
+    case OpKind::kReadLock:
+    case OpKind::kReadUnlock:
+    case OpKind::kWriteLock:
+    case OpKind::kWriteUnlock: {
+      if (op.kind == OpKind::kReadLock) {
+        ++read_held_[p][op.lock];
+      } else if (op.kind == OpKind::kReadUnlock) {
+        if (--read_held_[p][op.lock] < 0) {
+          fail("malformed history: unmatched read unlock on l" + std::to_string(op.lock) +
+               " by process " + std::to_string(p));
+          return false;
+        }
+      } else if (op.kind == OpKind::kWriteLock) {
+        if (++write_held_[p][op.lock] > 1) {
+          fail("malformed history: process " + std::to_string(p) +
+               " re-acquires write lock l" + std::to_string(op.lock) +
+               " without unlocking");
+          return false;
+        }
+      } else {
+        if (--write_held_[p][op.lock] < 0) {
+          fail("malformed history: unmatched write unlock on l" + std::to_string(op.lock) +
+               " by process " + std::to_string(p));
+          return false;
+        }
+      }
+
+      LockState& s = locks_[op.lock];
+      const std::uint64_t e = op.lock_episode;
+      const bool w_class =
+          op.kind == OpKind::kWriteLock || op.kind == OpKind::kWriteUnlock;
+      if (s.have_w && e < s.w_episode) {
+        fail("operations not fed in causal order: " + op.to_string() +
+             " belongs to an episode before the current write episode of its lock");
+        return false;
+      }
+      if (op.kind == OpKind::kWriteLock) {
+        if (s.have_w && s.w_open && e != s.w_episode) {
+          fail("operations not fed in causal order: " + op.to_string() +
+               " opens a write episode while another is still locked");
+          return false;
+        }
+        if (s.have_w && !s.w_open && e == s.w_episode) {
+          fail("unsupported lock episode structure: " + op.to_string() +
+               " re-enters a closed write episode");
+          return false;
+        }
+        if (s.have_w && s.w_open && e == s.w_episode) {
+          s.open_wls.push_back(node);  // co-held write tenure: no |-> edges
+          break;
+        }
+        // New write episode: attach behind the accumulated read-class
+        // operations, or directly behind the previous write tenure.
+        std::vector<std::uint32_t> still_pending;
+        for (const std::uint32_t r : s.pending_r) {
+          const std::uint64_t re = ops_[r].lock_episode;
+          if (re > e) {
+            fail("operations not fed in causal order: " + op.to_string() +
+                 " arrives after read-class operations of a later episode");
+            return false;
+          }
+          if (re == e) {
+            still_pending.push_back(r);  // same-episode read ops: unrelated
+          } else {
+            connect(node, r, EdgeType::kLock);
+          }
+        }
+        // The previous write tenure's attachment op must reach this episode
+        // directly: same-episode read ops attach to it but do not dominate it.
+        if (s.tail != kNoNode) connect(node, s.tail, EdgeType::kLock);
+        s.prev_tail = s.tail;
+        s.pending_r = std::move(still_pending);
+        s.have_w = true;
+        s.w_open = true;
+        s.w_episode = e;
+        s.open_wls.assign(1, node);
+      } else if (op.kind == OpKind::kWriteUnlock) {
+        if (!(s.have_w && s.w_open && e == s.w_episode)) {
+          fail("unsupported lock episode structure: " + op.to_string() +
+               " unlocks an episode that is not open");
+          return false;
+        }
+        for (const std::uint32_t wl : s.open_wls) connect(node, wl, EdgeType::kLock);
+        s.open_wls.clear();
+        s.w_open = false;
+        s.tail = node;
+      } else {  // read-class
+        (void)w_class;
+        if (s.have_w && s.w_open && e != s.w_episode) {
+          fail("operations not fed in causal order: " + op.to_string() +
+               " arrives while a write episode is still locked");
+          return false;
+        }
+        if (s.have_w && e == s.w_episode) {
+          // Read-class op sharing the write tenure's episode id: the batch
+          // relation orders it only against *other* episodes.
+          if (s.prev_tail != kNoNode) connect(node, s.prev_tail, EdgeType::kLock);
+        } else if (s.have_w) {
+          connect(node, s.tail, EdgeType::kLock);
+        }
+        s.pending_r.push_back(node);
+      }
+      break;
+    }
+    case OpKind::kBarrier: {
+      BarState& b = barriers_[bar_key(op)];
+      if (b.released) {
+        fail("operations not fed in causal order: " + op.to_string() +
+             " joins a barrier instance that already released");
+        return false;
+      }
+      for (std::size_t k = 0; k < b.members.size(); ++k) {
+        if (b.member_pre[k] != kNoNode) {
+          connect(node, b.member_pre[k], EdgeType::kBarrier);
+        }
+      }
+      b.members.push_back(node);
+      b.member_pre.push_back(pred);
+      break;
+    }
+  }
+
+  for (const auto& [src, type] : in_edges_) graph_.add_edge(src, node, type);
+  compute_clocks(node);
+  prev_node_[p] = node;
+
+  switch (op.kind) {
+    case OpKind::kWrite: {
+      ++n_writes_;
+      VarState& vs = vars_[op.var];
+      if (vs.writes_by_proc.empty()) vs.writes_by_proc.resize(num_procs_);
+      vs.writes_by_proc[p].push_back(node);
+      vs.writes.push_back(node);
+      break;
+    }
+    case OpKind::kDelta: {
+      ++n_deltas_;
+      VarState& vs = vars_[op.var];
+      if (vs.writes_by_proc.empty()) vs.writes_by_proc.resize(num_procs_);
+      vs.deltas.push_back(node);
+      vs.counter = true;
+      vs.fp = vs.fp || op.fp;
+      break;
+    }
+    case OpKind::kRead: {
+      ++n_reads_;
+      VarState& vs = vars_[op.var];
+      if (vs.writes_by_proc.empty()) vs.writes_by_proc.resize(num_procs_);
+      vs.reads.push_back(node);
+      if (vs.counter) {
+        ++n_deferred_;  // checked at finalize with the complete delta set
+      } else {
+        check_plain_read(node, /*causal_pass=*/true);
+        check_plain_read(node, /*causal_pass=*/false);
+      }
+      OwnTrack& t = own_track_[p][op.var];
+      if (t.last == kNoNode || ops_[t.last].write_id != op.write_id) {
+        t.prev_distinct = t.last;
+      }
+      t.last = node;
+      break;
+    }
+    case OpKind::kAwait: {
+      ++n_sync_;
+      awaits_.push_back(node);
+      OwnTrack& t = own_track_[p][op.var];
+      if (t.last == kNoNode || ops_[t.last].write_id != op.write_id) {
+        t.prev_distinct = t.last;
+      }
+      t.last = node;
+      break;
+    }
+    default:
+      ++n_sync_;
+      break;
+  }
+  return !failed();
+}
+
+void IncrementalChecker::record_violation(std::uint32_t node, bool causal_pass,
+                                          std::string message, std::uint32_t cycle_with) {
+  const Operation& r = ops_[node];
+  Violation v;
+  v.node = node;
+  v.var = r.var;
+  v.causal_pass = causal_pass;
+  v.mixed_applies = (r.mode == ReadMode::kCausal) == causal_pass;
+  v.message = std::move(message);
+  v.cycle_with = cycle_with;
+  violations_.push_back(std::move(v));
+}
+
+void IncrementalChecker::check_plain_read(std::uint32_t node, bool causal_pass) {
+  const Operation& r = ops_[node];
+  const ProcId i = r.proc;
+  const std::uint32_t* C = causal_pass ? causal_clock(node) : pram_clock(node, i);
+
+  std::uint32_t source = kNoNode;
+  if (r.write_id.valid()) {
+    source = writers_.at(r.write_id);
+    if (!visible(source, C)) {
+      record_violation(node, causal_pass,
+                       r.to_string() + " returns " + ops_[source].to_string() +
+                           " which does not precede it in the restricted relation",
+                       kNoNode);
+      return;
+    }
+  }
+
+  VarState& vs = vars_[r.var];
+  bool reported = false;
+
+  // Intervening writes: per writing process, only the latest visible write
+  // matters (its program-order predecessors reach it transitively), so each
+  // process costs one binary search on the per-process write list.
+  for (ProcId j = 0; j < num_procs_; ++j) {
+    const auto& list = vs.writes_by_proc[j];
+    if (list.empty() || C[j] == 0) continue;
+    auto it = std::upper_bound(list.begin(), list.end(), C[j] - 1,
+                               [this](std::uint32_t limit, std::uint32_t n) {
+                                 return limit < pidx_[n];
+                               });
+    if (it == list.begin()) continue;
+    std::uint32_t w1 = *(it - 1);
+    if (w1 == source) {
+      if (it - 1 == list.begin()) continue;
+      w1 = *(it - 2);
+    }
+    const std::uint32_t* Cw = causal_pass ? causal_clock(w1) : pram_clock(w1, i);
+    const bool after_source = source == kNoNode ? true : visible(source, Cw);
+    if (after_source) {
+      if (!reported) {
+        record_violation(node, causal_pass,
+                         r.to_string() + " is stale: " + ops_[w1].to_string() +
+                             " intervenes between its source and the read",
+                         w1);
+        reported = true;
+      }
+    } else if (causal_pass) {
+      // w1 is causally visible to the read yet not ordered after its source:
+      // any serialization must place w1 before the source (derived WW edge).
+      const std::uint64_t key = (std::uint64_t{w1} << 32) | source;
+      if (forced_seen_.emplace(key, true).second) {
+        forced_[r.var].push_back({w1, source});
+      }
+    }
+  }
+
+  // Intervening reads/awaits of the reading process itself: the latest own
+  // observation of a different write suffices (older ones reach it through
+  // program order).
+  if (!reported) {
+    auto it = own_track_[i].find(r.var);
+    if (it != own_track_[i].end()) {
+      const OwnTrack& t = it->second;
+      std::uint32_t cand = kNoNode;
+      if (t.last != kNoNode && ops_[t.last].write_id != r.write_id) {
+        cand = t.last;
+      } else if (t.last != kNoNode) {
+        cand = t.prev_distinct;  // its id differs from t.last's == the read's
+      }
+      if (cand != kNoNode) {
+        const std::uint32_t* Cc = causal_pass ? causal_clock(cand) : pram_clock(cand, i);
+        const bool after_source = source == kNoNode ? true : visible(source, Cc);
+        if (after_source) {
+          record_violation(node, causal_pass,
+                           r.to_string() + " is stale: " + ops_[cand].to_string() +
+                               " intervenes between its source and the read",
+                           cand);
+        }
+      }
+    }
+  }
+}
+
+void IncrementalChecker::check_counter_read(std::uint32_t node, bool causal_pass,
+                                            std::vector<Violation>& out) {
+  const Operation& r = ops_[node];
+  const ProcId i = r.proc;
+  const std::uint32_t* C = causal_pass ? causal_clock(node) : pram_clock(node, i);
+  const VarState& vs = vars_.at(r.var);
+  const bool mixed_applies = (r.mode == ReadMode::kCausal) == causal_pass;
+
+  const auto emit = [&](std::string msg, std::uint32_t cycle_with) {
+    out.push_back({node, r.var, causal_pass, mixed_applies, std::move(msg), cycle_with});
+  };
+
+  // Base value: every write to the location must precede the read; the base
+  // is the R-latest one (same scan rule as the batch checker).
+  std::uint32_t base = kNoNode;
+  for (const std::uint32_t w : vs.writes) {
+    if (!visible(w, C)) {
+      emit(r.to_string() + " races with base write " + ops_[w].to_string(), w);
+      return;
+    }
+    const std::uint32_t* Cw = causal_pass ? causal_clock(w) : pram_clock(w, i);
+    if (base == kNoNode || visible(base, Cw)) base = w;
+  }
+
+  if (vs.fp) {
+    check_fp_counter_read(node, causal_pass, base, vs, C, out);
+    return;
+  }
+
+  const std::int64_t base_val =
+      base == kNoNode ? 0 : static_cast<std::int64_t>(ops_[base].value);
+  const std::uint32_t* Cb = base == kNoNode
+                                ? nullptr
+                                : (causal_pass ? causal_clock(base) : pram_clock(base, i));
+
+  std::int64_t required = 0;
+  std::vector<std::int64_t> optional;
+  for (const std::uint32_t o : vs.deltas) {
+    if (Cb != nullptr && visible(o, Cb)) continue;  // folded into the base
+    if (visible(o, C)) {
+      required += int_of(ops_[o].value);
+    } else {
+      const std::uint32_t* Co = causal_pass ? causal_clock(o) : pram_clock(o, i);
+      if (!visible(node, Co)) optional.push_back(int_of(ops_[o].value));
+    }
+  }
+
+  const auto target = static_cast<std::int64_t>(r.value);
+  std::unordered_set<std::int64_t> sums{base_val - required};
+  for (const std::int64_t amt : optional) {
+    std::unordered_set<std::int64_t> next = sums;
+    for (const std::int64_t s : sums) next.insert(s - amt);
+    sums = std::move(next);
+    if (sums.count(target)) return;
+    if (sums.size() > 100000) {
+      emit(r.to_string() + ": counter check exceeded the subset-sum budget", kNoNode);
+      return;
+    }
+  }
+  if (!sums.count(target)) {
+    emit(r.to_string() + " is not explainable: base " + std::to_string(base_val) +
+             " minus required " + std::to_string(required) + " and any subset of " +
+             std::to_string(optional.size()) + " concurrent deltas",
+         kNoNode);
+  }
+}
+
+void IncrementalChecker::check_fp_counter_read(std::uint32_t node, bool causal_pass,
+                                               std::uint32_t base, const VarState& vs,
+                                               const std::uint32_t* clock,
+                                               std::vector<Violation>& out) {
+  const Operation& r = ops_[node];
+  const ProcId i = r.proc;
+  const bool mixed_applies = (r.mode == ReadMode::kCausal) == causal_pass;
+  const auto emit = [&](std::string msg) {
+    out.push_back({node, r.var, causal_pass, mixed_applies, std::move(msg), kNoNode});
+  };
+
+  const double base_val = base == kNoNode ? 0.0 : double_of(ops_[base].value);
+  const std::uint32_t* Cb = base == kNoNode
+                                ? nullptr
+                                : (causal_pass ? causal_clock(base) : pram_clock(base, i));
+
+  double required = 0.0;
+  std::vector<double> optional;
+  for (const std::uint32_t o : vs.deltas) {
+    const Operation& op = ops_[o];
+    const double amt =
+        op.fp ? double_of(op.value) : static_cast<double>(int_of(op.value));
+    if (Cb != nullptr && visible(o, Cb)) continue;
+    if (visible(o, clock)) {
+      required += amt;
+    } else {
+      const std::uint32_t* Co = causal_pass ? causal_clock(o) : pram_clock(o, i);
+      if (!visible(node, Co)) optional.push_back(amt);
+    }
+  }
+
+  const double target = double_of(r.value);
+  std::vector<double> sums{base_val - required};
+  for (const double amt : optional) {
+    const std::size_t n = sums.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const double s = sums[k] - amt;
+      if (fp_close(s, target)) return;
+      bool dup = false;
+      for (std::size_t j = 0; j < sums.size() && !dup; ++j) dup = fp_close(sums[j], s);
+      if (!dup) sums.push_back(s);
+    }
+    if (sums.size() > 100000) {
+      emit(r.to_string() + ": fp counter check exceeded the subset-sum budget");
+      return;
+    }
+  }
+  for (const double s : sums) {
+    if (fp_close(s, target)) return;
+  }
+  emit(r.to_string() + " is not explainable: fp base " + std::to_string(base_val) +
+       " minus required " + std::to_string(required) + " and any subset of " +
+       std::to_string(optional.size()) + " concurrent fp deltas");
+}
+
+void IncrementalChecker::derive_order_edges() {
+  // Forced write-order edges (from causal-visibility observations), skipping
+  // counter locations — their reads have no single source write.
+  for (auto& [var, edges] : forced_) {
+    if (vars_.at(var).counter) continue;
+    for (const auto& [a, b] : edges) graph_.add_edge(a, b, EdgeType::kWriteOrder);
+  }
+
+  // Sound anti-dependence edges: a read r of source s must precede, in any
+  // serialization, every write of the location that is causally after s
+  // (and every write at all when s is the initial value).  Per writing
+  // process only the earliest such write is needed.
+  for (auto& [var, vs] : vars_) {
+    (void)var;
+    if (vs.counter) continue;
+    for (const std::uint32_t r : vs.reads) {
+      const Operation& rop = ops_[r];
+      std::uint32_t s = kNoNode;
+      if (rop.write_id.valid()) {
+        auto it = writers_.find(rop.write_id);
+        if (it == writers_.end()) continue;
+        s = it->second;
+      }
+      for (ProcId j = 0; j < num_procs_; ++j) {
+        const auto& list = vs.writes_by_proc[j];
+        if (list.empty()) continue;
+        std::size_t k = 0;
+        if (s != kNoNode) {
+          const ProcId sp = ops_[s].proc;
+          const std::uint32_t need = pidx_[s] + 1;
+          // Clocks grow monotonically along program order, so the first
+          // write of process j that causally includes s is found by search.
+          auto it2 = std::lower_bound(list.begin(), list.end(), need,
+                                      [this, sp](std::uint32_t n, std::uint32_t lim) {
+                                        return causal_clock(n)[sp] < lim;
+                                      });
+          k = static_cast<std::size_t>(it2 - list.begin());
+          if (k < list.size() && list[k] == s) ++k;
+        }
+        if (k < list.size()) {
+          graph_.add_edge(r, list[k], EdgeType::kAntiDep);
+          ++n_rw_edges_;
+        }
+      }
+    }
+  }
+}
+
+void IncrementalChecker::analyze_models(GraphVerdict& v) {
+  const DepGraph::SccResult s = graph_.scc(kAllEdges);
+  v.sc_acyclic = s.acyclic;
+  if (s.acyclic) {
+    v.coherent = true;  // every per-location subgraph embeds in the full graph
+    return;
+  }
+
+  // Coherence: per-location write-serializability.  Each location's
+  // conflict subgraph (program order projected to the location, reads-from,
+  // derived WW and RW edges) embeds into the full graph with program-order
+  // chains expanded, so an acyclic full graph implies coherence; with a
+  // cycle present, test each location separately.
+  v.coherent = true;
+  for (const auto& [var, vs] : vars_) {
+    if (vs.counter) continue;
+    std::unordered_map<std::uint32_t, std::uint32_t> local;
+    DepGraph mini;
+    const auto localize = [&](std::uint32_t n) {
+      auto [it, fresh] = local.try_emplace(n, 0);
+      if (fresh) it->second = mini.add_node();
+      return it->second;
+    };
+    // Per-process chains over this location's operations, in feed order.
+    std::vector<std::uint32_t> last(num_procs_, kNoNode);
+    const auto chain = [&](std::uint32_t n) {
+      const ProcId p = ops_[n].proc;
+      const std::uint32_t l = localize(n);
+      if (last[p] != kNoNode) mini.add_edge(localize(last[p]), l, EdgeType::kProgram);
+      last[p] = n;
+    };
+    std::vector<std::uint32_t> var_ops;
+    for (ProcId j = 0; j < num_procs_; ++j) {
+      for (const std::uint32_t w : vs.writes_by_proc[j]) var_ops.push_back(w);
+    }
+    for (const std::uint32_t r : vs.reads) var_ops.push_back(r);
+    std::sort(var_ops.begin(), var_ops.end());
+    for (const std::uint32_t n : var_ops) chain(n);
+
+    for (const std::uint32_t r : vs.reads) {
+      const Operation& rop = ops_[r];
+      if (rop.write_id.valid()) {
+        auto it = writers_.find(rop.write_id);
+        if (it != writers_.end()) {
+          mini.add_edge(localize(it->second), localize(r), EdgeType::kReadsFrom);
+        }
+      }
+    }
+    if (auto fit = forced_.find(var); fit != forced_.end()) {
+      for (const auto& [a, b] : fit->second) {
+        mini.add_edge(localize(a), localize(b), EdgeType::kWriteOrder);
+      }
+    }
+    // RW edges for this location, recovered from the global graph.
+    for (const std::uint32_t r : vs.reads) {
+      for (const DepGraph::HalfEdge& e : graph_.out_edges(r)) {
+        if (e.type == EdgeType::kAntiDep) {
+          mini.add_edge(localize(r), localize(e.to), EdgeType::kAntiDep);
+        }
+      }
+    }
+    if (!mini.scc(kAllEdges).acyclic) {
+      v.coherent = false;
+      break;
+    }
+  }
+}
+
+void IncrementalChecker::extract_counterexample(GraphVerdict& v) {
+  if (v.sc_acyclic) return;
+  // Report the cycle in external ids (OpRefs when a History was replayed)
+  // so dot_export can render it against the original history.
+  for (const TypedEdge& e : graph_.find_cycle(kAllEdges)) {
+    v.counterexample.push_back({ext_[e.from], ext_[e.to], e.type});
+  }
+}
+
+GraphVerdict IncrementalChecker::finalize() {
+  MC_CHECK_MSG(!finalized_, "finalize called twice");
+  finalized_ = true;
+
+  if (failed()) return error_verdict(error_);
+
+  GraphVerdict v;
+
+  // Structural await validation (plain locations only, as in the batch
+  // checker — a counter's resolving op is its final delta).
+  std::vector<Violation> await_viols;
+  for (const std::uint32_t a : awaits_) {
+    const Operation& op = ops_[a];
+    if (!op.write_id.valid()) continue;
+    if (vars_.at(op.var).counter) continue;
+    const std::uint32_t w = writers_.at(op.write_id);
+    if (ops_[w].kind == OpKind::kWrite && ops_[w].value != op.value) {
+      await_viols.push_back({a, op.var, true, true,
+                             op.to_string() + " resolved by " + ops_[w].to_string() +
+                                 " with a different value",
+                             kNoNode});
+    }
+  }
+  std::sort(await_viols.begin(), await_viols.end(),
+            [this](const Violation& a, const Violation& b) {
+              return ext_[a.node] < ext_[b.node];
+            });
+
+  // Counter reads were deferred (a concurrent delta arriving later can
+  // enlarge the explainable set); check them now.  Reads of a location that
+  // only later turned out to be a counter were plain-checked at feed time —
+  // retract those verdicts and re-check with counter semantics.
+  std::vector<Violation> read_viols;
+  for (Violation& pv : violations_) {
+    if (!vars_.at(pv.var).counter) read_viols.push_back(std::move(pv));
+  }
+  for (auto& [var, vs] : vars_) {
+    (void)var;
+    if (!vs.counter) continue;
+    std::sort(vs.writes.begin(), vs.writes.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return ext_[a] < ext_[b]; });
+    std::sort(vs.deltas.begin(), vs.deltas.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return ext_[a] < ext_[b]; });
+    for (const std::uint32_t r : vs.reads) {
+      check_counter_read(r, /*causal_pass=*/true, read_viols);
+      check_counter_read(r, /*causal_pass=*/false, read_viols);
+    }
+  }
+  std::stable_sort(read_viols.begin(), read_viols.end(),
+                   [this](const Violation& a, const Violation& b) {
+                     return ext_[a.node] < ext_[b.node];
+                   });
+
+  const auto assemble = [&](CheckResult& out, auto&& applies) {
+    for (const Violation& av : await_viols) {
+      out.ok = false;
+      if (out.violations.size() < 8) out.violations.push_back(av.message);
+    }
+    for (const Violation& rv : read_viols) {
+      if (!applies(rv)) continue;
+      out.ok = false;
+      if (out.violations.size() < 8) out.violations.push_back(rv.message);
+    }
+  };
+  assemble(v.causal, [](const Violation& x) { return x.causal_pass; });
+  assemble(v.pram, [](const Violation& x) { return !x.causal_pass; });
+  assemble(v.mixed, [](const Violation& x) { return x.mixed_applies; });
+
+  derive_order_edges();
+  analyze_models(v);
+  extract_counterexample(v);
+  return v;
+}
+
+MetricsSnapshot IncrementalChecker::metrics() const {
+  MetricsSnapshot m;
+  m.values["checker.ops"] = ops_.size();
+  m.values["checker.reads"] = n_reads_;
+  m.values["checker.writes"] = n_writes_;
+  m.values["checker.deltas"] = n_deltas_;
+  m.values["checker.sync_ops"] = n_sync_;
+  m.values["checker.deferred_counter_reads"] = n_deferred_;
+  m.values["checker.violations"] = violations_.size();
+  m.values["checker.edges.po"] = graph_.edge_count(EdgeType::kProgram);
+  m.values["checker.edges.rf"] = graph_.edge_count(EdgeType::kReadsFrom);
+  m.values["checker.edges.lock"] = graph_.edge_count(EdgeType::kLock);
+  m.values["checker.edges.bar"] = graph_.edge_count(EdgeType::kBarrier);
+  m.values["checker.edges.await"] = graph_.edge_count(EdgeType::kAwait);
+  m.values["checker.edges.ww"] = graph_.edge_count(EdgeType::kWriteOrder);
+  m.values["checker.edges.rw"] = graph_.edge_count(EdgeType::kAntiDep);
+  return m;
+}
+
+GraphVerdict IncrementalChecker::check(const History& h) {
+  if (!h.sequential_processes()) {
+    return error_verdict(
+        "the incremental graph checker requires sequential-process histories "
+        "(use the BitMatrix checkers for partial program orders)");
+  }
+  const auto n = static_cast<std::uint32_t>(h.size());
+
+  // Positions within each process, for explicit-edge validation.
+  std::vector<std::uint32_t> pos(n, 0);
+  for (ProcId p = 0; p < h.num_procs(); ++p) {
+    std::uint32_t k = 0;
+    for (const OpRef r : h.ops_of(p)) pos[r] = k++;
+  }
+  for (const auto& [a, b] : h.explicit_program_edges()) {
+    if (pos[a] >= pos[b]) {
+      return error_verdict("malformed history: program order contains a cycle");
+    }
+    // Forward explicit edges are implied by the sequential chain.
+  }
+
+  // Well-formedness condition 3 up front, so malformed-lock errors surface
+  // with the batch checker's precedence and exact messages.
+  for (ProcId p = 0; p < h.num_procs(); ++p) {
+    std::map<LockId, int> read_held, write_held;
+    for (const OpRef r : h.ops_of(p)) {
+      const Operation& op = h.op(r);
+      switch (op.kind) {
+        case OpKind::kReadLock: ++read_held[op.lock]; break;
+        case OpKind::kWriteLock:
+          if (++write_held[op.lock] > 1) {
+            return error_verdict("malformed history: process " + std::to_string(p) +
+                                 " re-acquires write lock l" + std::to_string(op.lock) +
+                                 " without unlocking");
+          }
+          break;
+        case OpKind::kReadUnlock:
+          if (--read_held[op.lock] < 0) {
+            return error_verdict("malformed history: unmatched read unlock on l" +
+                                 std::to_string(op.lock) + " by process " +
+                                 std::to_string(p));
+          }
+          break;
+        case OpKind::kWriteUnlock:
+          if (--write_held[op.lock] < 0) {
+            return error_verdict("malformed history: unmatched write unlock on l" +
+                                 std::to_string(op.lock) + " by process " +
+                                 std::to_string(p));
+          }
+          break;
+        default: break;
+      }
+    }
+  }
+
+  // Sparse generating edges, mirroring build_relations (causality.cpp).
+  std::vector<TypedEdge> edges;
+  for (ProcId p = 0; p < h.num_procs(); ++p) {
+    const auto& ops = h.ops_of(p);
+    for (std::size_t k = 1; k < ops.size(); ++k) {
+      edges.push_back({ops[k - 1], ops[k], EdgeType::kProgram});
+    }
+  }
+
+  std::unordered_map<WriteId, OpRef> writer_of;
+  for (OpRef i = 0; i < n; ++i) {
+    const Operation& op = h.op(i);
+    if (op.kind == OpKind::kWrite || op.kind == OpKind::kDelta) {
+      if (!op.write_id.valid()) {
+        return error_verdict("write without a write id: " + op.to_string());
+      }
+      if (!writer_of.insert({op.write_id, i}).second) {
+        return error_verdict("duplicate write id on " + op.to_string());
+      }
+    }
+  }
+  for (OpRef i = 0; i < n; ++i) {
+    const Operation& op = h.op(i);
+    if ((op.kind != OpKind::kRead && op.kind != OpKind::kAwait) || !op.write_id.valid()) {
+      continue;
+    }
+    auto it = writer_of.find(op.write_id);
+    if (it == writer_of.end()) {
+      return error_verdict("read resolves to a write that is not in the history: " +
+                           op.to_string());
+    }
+    if (h.op(it->second).var != op.var) {
+      return error_verdict("read of x" + std::to_string(op.var) +
+                           " resolves to a write of a different location: " +
+                           h.op(it->second).to_string());
+    }
+    edges.push_back({it->second, i,
+                     op.kind == OpKind::kRead ? EdgeType::kReadsFrom : EdgeType::kAwait});
+  }
+
+  // Lock order: near-transitive-reduction episode edges (same closure as
+  // the all-pairs construction of causality.cpp).
+  {
+    std::map<LockId, std::map<std::uint64_t, std::vector<OpRef>>> per_lock;
+    for (OpRef i = 0; i < n; ++i) {
+      if (is_lock_op(h.op(i).kind)) {
+        per_lock[h.op(i).lock][h.op(i).lock_episode].push_back(i);
+      }
+    }
+    for (const auto& [lock, episodes] : per_lock) {
+      (void)lock;
+      std::vector<OpRef> tails;      // attachment ops of the last write episode
+      std::vector<OpRef> prev_tails; // ... of the one before it
+      std::vector<OpRef> pending_r;  // read-class ops since the last write episode
+      for (const auto& [eid, eops] : episodes) {
+        (void)eid;
+        std::vector<OpRef> wls, wus, rs;
+        for (const OpRef o : eops) {
+          switch (h.op(o).kind) {
+            case OpKind::kWriteLock: wls.push_back(o); break;
+            case OpKind::kWriteUnlock: wus.push_back(o); break;
+            default: rs.push_back(o); break;
+          }
+        }
+        if (wls.empty() && wus.empty()) {
+          for (const OpRef r : rs) {
+            for (const OpRef t : tails) edges.push_back({t, r, EdgeType::kLock});
+            pending_r.push_back(r);
+          }
+          continue;
+        }
+        const std::vector<OpRef>& heads = wls.empty() ? wus : wls;
+        for (const OpRef t : tails) {
+          for (const OpRef hd : heads) edges.push_back({t, hd, EdgeType::kLock});
+        }
+        for (const OpRef r : pending_r) {
+          for (const OpRef hd : heads) edges.push_back({r, hd, EdgeType::kLock});
+        }
+        for (const OpRef wl : wls) {
+          for (const OpRef wu : wus) edges.push_back({wl, wu, EdgeType::kLock});
+        }
+        // Read-class ops sharing a write episode relate only to *other*
+        // episodes: behind the previous write tenure, ahead of the next.
+        prev_tails = tails;
+        for (const OpRef r : rs) {
+          for (const OpRef t : prev_tails) edges.push_back({t, r, EdgeType::kLock});
+        }
+        pending_r = rs;
+        tails = wus.empty() ? wls : wus;
+      }
+    }
+  }
+
+  // Barrier order: members wait for every member's program predecessor;
+  // program successors wait for every member.
+  {
+    std::map<std::pair<BarrierId, std::uint32_t>, std::vector<OpRef>> instances;
+    for (OpRef i = 0; i < n; ++i) {
+      const Operation& op = h.op(i);
+      if (op.kind == OpKind::kBarrier) {
+        instances[{op.barrier, op.barrier_epoch}].push_back(i);
+      }
+    }
+    for (const auto& [key, members] : instances) {
+      (void)key;
+      for (const OpRef m : members) {
+        const ProcId p = h.op(m).proc;
+        const auto& ops = h.ops_of(p);
+        const std::uint32_t at = pos[m];
+        if (at > 0) {
+          for (const OpRef m2 : members) {
+            if (m2 != m) edges.push_back({ops[at - 1], m2, EdgeType::kBarrier});
+          }
+        }
+        if (at + 1 < ops.size()) {
+          for (const OpRef m2 : members) {
+            if (m2 != m) edges.push_back({m2, ops[at + 1], EdgeType::kBarrier});
+          }
+        }
+      }
+    }
+  }
+
+  // Kahn's algorithm: a deterministic causal linear extension, or the cycle
+  // that proves there is none.
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  for (const TypedEdge& e : edges) {
+    succ[e.from].push_back(e.to);
+    ++indegree[e.to];
+  }
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>, std::greater<>> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::uint32_t i = ready.top();
+    ready.pop();
+    order.push_back(i);
+    for (const std::uint32_t j : succ[i]) {
+      if (--indegree[j] == 0) ready.push(j);
+    }
+  }
+  if (order.size() != n) {
+    GraphVerdict v = error_verdict("causality relation is cyclic");
+    DepGraph g;
+    g.ensure_nodes(n);
+    for (const TypedEdge& e : edges) g.add_edge(e.from, e.to, e.type);
+    v.counterexample = g.find_cycle(kAllEdges);
+    return v;
+  }
+
+  IncrementalChecker chk(h.num_procs());
+  for (const std::uint32_t i : order) {
+    if (!chk.feed(h.op(i), i)) break;
+  }
+  return chk.finalize();
+}
+
+GraphVerdict check_history_graph(const History& h) { return IncrementalChecker::check(h); }
+
+}  // namespace mc::history

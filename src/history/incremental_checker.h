@@ -1,0 +1,214 @@
+// Incremental (streaming) consistency checker over the typed dependency
+// graph — the O(n) replacement for the BitMatrix pipeline at trace scale.
+// Full theory, complexity analysis, and the mapping from edge subsets to
+// consistency models in docs/CHECKING.md.
+//
+// Operations are fed one at a time in a *causal linear extension*: each
+// process's operations in program order, and every reads-from /
+// synchronization predecessor before its successor.  Runtime traces satisfy
+// this naturally (an operation completes only after everything it depends
+// on); for an arbitrary sequential History, `IncrementalChecker::check`
+// derives such an order by Kahn's algorithm over the sparse generating
+// edges — or reports the cyclic causality the order cannot exist for.
+//
+// Per-model verdicts come from one pass:
+//   - causal / PRAM / mixed: per-read interval checks against vector-clock
+//     reachability indices (the full causality clock, and one clock per
+//     observer that admits only synchronization and reads-from edges
+//     incident to that observer — Definition 3's filtered closure);
+//   - coherence: per-location write-serializability (Tarjan per variable);
+//   - SC: acyclicity of the full graph after derived write-order (WW) and
+//     anti-dependence (RW) edges are installed — a cycle certifies the
+//     history is not sequentially consistent.
+//
+// The checker accepts only sequential-process histories (partial intra-
+// process orders stay with the BitMatrix checkers) and defers counter
+// (delta-object) reads to finalize(): a concurrent delta arriving later can
+// enlarge the explainable value set, so a streaming-time rejection would
+// disagree with the batch checker.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "history/checkers.h"
+#include "history/dep_graph.h"
+#include "history/history.h"
+
+namespace mc::history {
+
+/// Everything the graph checker decides about one history.
+struct GraphVerdict {
+  /// False on malformed input, cyclic causality, or a feed-order breach;
+  /// `error` then explains, and the per-model results carry it too.
+  bool well_formed = true;
+  std::string error;
+
+  CheckResult mixed;   ///< Definition 4: each read under its own label
+  CheckResult causal;  ///< every read as a causal read (Definition 2)
+  CheckResult pram;    ///< every read as a PRAM read (Definition 3)
+
+  /// Per-location write-serializability under causal visibility: every
+  /// variable's writes admit a total order consistent with ~> and with all
+  /// observations of that variable (docs/CHECKING.md §6).
+  bool coherent = true;
+
+  /// False when the full graph (causality ∪ derived WW ∪ RW) has a cycle —
+  /// a certificate that no sequentially consistent serialization exists.
+  /// True means "no cycle found", not a proof of SC (docs/CHECKING.md §6).
+  bool sc_acyclic = true;
+
+  /// The violating cycle behind the first failure, when one exists as a
+  /// cycle (staleness and SC failures do; a source that never became
+  /// visible is a path *absence* and leaves this empty).  Render with
+  /// counterexample_to_dot (history/dot_export.h).
+  std::vector<TypedEdge> counterexample;
+
+  [[nodiscard]] bool ok() const { return well_formed && mixed.ok; }
+};
+
+class IncrementalChecker {
+ public:
+  explicit IncrementalChecker(std::size_t num_procs);
+
+  /// Feed the next operation (see the file comment for the required feed
+  /// order).  `ext_id` names the operation in diagnostics — pass the OpRef
+  /// when replaying a History; defaults to the feed sequence number.
+  /// Returns false once the checker has hit a structural error (further
+  /// feeds are ignored).
+  bool feed(const Operation& op);
+  bool feed(const Operation& op, std::uint32_t ext_id);
+
+  /// True once a malformed-input / feed-order error has been recorded.
+  [[nodiscard]] bool failed() const { return !error_.empty(); }
+
+  /// Finish: counter-object reads, structural await validation, derived
+  /// WW/RW edges, coherence and SC analyses, counterexample extraction.
+  /// Call exactly once; feed() must not be called afterwards.
+  GraphVerdict finalize();
+
+  [[nodiscard]] std::size_t num_ops() const { return ops_.size(); }
+  [[nodiscard]] std::size_t num_procs() const { return num_procs_; }
+  [[nodiscard]] const DepGraph& graph() const { return graph_; }
+
+  /// Progress counters under "checker.*" keys (docs/METRICS.md).
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// Check a complete sequential-process history: derive a causal linear
+  /// extension by Kahn's algorithm over the sparse generating edges, feed
+  /// it, and finalize.  Reports cyclic causality (with the cycle as the
+  /// counterexample) when no such order exists.
+  static GraphVerdict check(const History& h);
+
+ private:
+  static constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
+
+  struct VarState {
+    std::vector<std::vector<std::uint32_t>> writes_by_proc;  // nodes, po order
+    std::vector<std::uint32_t> writes;  // all writes (kWrite), feed order
+    std::vector<std::uint32_t> deltas;  // all deltas, feed order
+    std::vector<std::uint32_t> reads;   // all reads, feed order
+    bool counter = false;               // any delta seen
+    bool fp = false;                    // any fp delta seen
+  };
+
+  struct LockState {
+    bool have_w = false;   // some write episode seen
+    bool w_open = false;   // write episode locked, unlock pending
+    std::uint64_t w_episode = 0;
+    std::vector<std::uint32_t> open_wls;    // wl nodes of the open episode
+    std::uint32_t tail = kNoNode;           // attachment point of last W episode
+    std::uint32_t prev_tail = kNoNode;      // ... of the W episode before it
+    std::vector<std::uint32_t> pending_r;   // read-class ops since last W closed
+  };
+
+  struct BarState {
+    std::vector<std::uint32_t> members;
+    std::vector<std::uint32_t> member_pre;  // po-predecessor of each member
+    bool released = false;                  // some post-member op arrived
+  };
+
+  struct OwnTrack {
+    std::uint32_t last = kNoNode;           // latest own read/await of the var
+    std::uint32_t prev_distinct = kNoNode;  // latest with a different write id
+  };
+
+  /// A recorded per-read violation, attributed to disciplines and
+  /// retractable when the variable later turns out to be a counter.
+  struct Violation {
+    std::uint32_t node;
+    VarId var;
+    bool causal_pass;   // found under the causal clocks (else PRAM)
+    bool mixed_applies; // the read's own label matches the pass
+    std::string message;
+    std::uint32_t cycle_with = kNoNode;  // intervening op closing a cycle
+  };
+
+  void fail(std::string msg);
+  [[nodiscard]] std::uint32_t append_node(const Operation& op, std::uint32_t ext_id);
+  void connect(std::uint32_t node, std::uint32_t src, EdgeType type);
+  void compute_clocks(std::uint32_t node);
+
+  // Clock accessors: entries count operations per process ("the first k
+  // ops of process q are visible").
+  [[nodiscard]] const std::uint32_t* causal_clock(std::uint32_t node) const {
+    return causal_.data() + static_cast<std::size_t>(node) * num_procs_;
+  }
+  [[nodiscard]] const std::uint32_t* pram_clock(std::uint32_t node, ProcId observer) const {
+    return pram_.data() +
+           (static_cast<std::size_t>(node) * num_procs_ + observer) * num_procs_;
+  }
+  [[nodiscard]] bool visible(std::uint32_t node, const std::uint32_t* clock) const {
+    return clock[ops_[node].proc] >= pidx_[node] + 1;
+  }
+
+  void check_plain_read(std::uint32_t node, bool causal_pass);
+  void record_violation(std::uint32_t node, bool causal_pass, std::string message,
+                        std::uint32_t cycle_with);
+  void check_counter_read(std::uint32_t node, bool causal_pass,
+                          std::vector<Violation>& out);
+  void check_fp_counter_read(std::uint32_t node, bool causal_pass,
+                             std::uint32_t base, const VarState& vs,
+                             const std::uint32_t* clock, std::vector<Violation>& out);
+  void derive_order_edges();
+  void analyze_models(GraphVerdict& v);
+  void extract_counterexample(GraphVerdict& v);
+
+  const std::size_t num_procs_;
+  bool finalized_ = false;
+  std::string error_;
+
+  DepGraph graph_;
+  std::vector<Operation> ops_;
+  std::vector<std::uint32_t> ext_;
+  std::vector<std::uint32_t> pidx_;            // position within own process
+  std::vector<std::uint32_t> prev_node_;       // last node per process
+  std::vector<std::uint32_t> causal_;          // n * p entries
+  std::vector<std::uint32_t> pram_;            // n * p * p entries
+  std::vector<std::pair<std::uint32_t, EdgeType>> in_edges_;  // scratch
+
+  std::unordered_map<WriteId, std::uint32_t> writers_;
+  std::unordered_map<VarId, VarState> vars_;
+  std::unordered_map<LockId, LockState> locks_;
+  std::unordered_map<std::uint64_t, BarState> barriers_;
+  std::vector<std::unordered_map<VarId, OwnTrack>> own_track_;
+  std::vector<std::unordered_map<LockId, int>> read_held_, write_held_;
+  std::vector<std::uint32_t> awaits_;
+
+  std::vector<Violation> violations_;
+  // Derived write-order constraints per variable, deduplicated.
+  std::unordered_map<VarId, std::vector<std::pair<std::uint32_t, std::uint32_t>>> forced_;
+  std::unordered_map<std::uint64_t, bool> forced_seen_;
+
+  std::uint64_t n_reads_ = 0, n_writes_ = 0, n_deltas_ = 0, n_sync_ = 0;
+  std::uint64_t n_deferred_ = 0, n_rw_edges_ = 0;
+};
+
+/// checkers.h backend selection for the free-function API.
+[[nodiscard]] GraphVerdict check_history_graph(const History& h);
+
+}  // namespace mc::history

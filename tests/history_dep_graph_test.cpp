@@ -1,0 +1,137 @@
+// Structural tests for the sparse typed dependency graph underneath the
+// incremental checker (docs/CHECKING.md §4): edge bookkeeping, masked SCC /
+// cycle extraction, path search, and the dense BitMatrix export.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "history/dep_graph.h"
+
+namespace mc::history {
+namespace {
+
+TEST(DepGraph, EdgeBookkeeping) {
+  DepGraph g;
+  g.ensure_nodes(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  g.add_edge(0, 1, EdgeType::kProgram);
+  g.add_edge(1, 2, EdgeType::kReadsFrom);
+  g.add_edge(0, 2, EdgeType::kReadsFrom);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.edge_count(EdgeType::kProgram), 1u);
+  EXPECT_EQ(g.edge_count(EdgeType::kReadsFrom), 2u);
+  EXPECT_EQ(g.edge_count(EdgeType::kLock), 0u);
+  ASSERT_EQ(g.out_edges(0).size(), 2u);
+  EXPECT_EQ(g.out_edges(0)[0].to, 1u);
+  EXPECT_EQ(g.out_edges(0)[0].type, EdgeType::kProgram);
+  EXPECT_TRUE(g.out_edges(2).empty());
+
+  const std::uint32_t v = g.add_node();
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+}
+
+TEST(DepGraph, SccOnChainIsAcyclic) {
+  DepGraph g;
+  g.ensure_nodes(4);
+  for (std::uint32_t i = 0; i + 1 < 4; ++i) g.add_edge(i, i + 1, EdgeType::kProgram);
+  const auto r = g.scc();
+  EXPECT_TRUE(r.acyclic);
+  EXPECT_EQ(r.count, 4u);
+  EXPECT_TRUE(g.find_cycle().empty());
+}
+
+TEST(DepGraph, SccDetectsCycleAndMaskHidesIt) {
+  // 0 -po-> 1 -po-> 2 -rw-> 0, plus an isolated vertex 3.
+  DepGraph g;
+  g.ensure_nodes(4);
+  g.add_edge(0, 1, EdgeType::kProgram);
+  g.add_edge(1, 2, EdgeType::kProgram);
+  g.add_edge(2, 0, EdgeType::kAntiDep);
+
+  const auto full = g.scc(kAllEdges);
+  EXPECT_FALSE(full.acyclic);
+  EXPECT_EQ(full.count, 2u);  // {0,1,2} and {3}
+  EXPECT_EQ(full.component[0], full.component[1]);
+  EXPECT_EQ(full.component[1], full.component[2]);
+  EXPECT_NE(full.component[0], full.component[3]);
+
+  // The causality subset omits the RW edge — the model sees no cycle.
+  const auto causal = g.scc(kCausalityEdges);
+  EXPECT_TRUE(causal.acyclic);
+  EXPECT_TRUE(g.find_cycle(kCausalityEdges).empty());
+}
+
+TEST(DepGraph, FindCycleReturnsClosedEdgeSequence) {
+  DepGraph g;
+  g.ensure_nodes(5);
+  g.add_edge(0, 1, EdgeType::kProgram);
+  g.add_edge(1, 3, EdgeType::kReadsFrom);
+  g.add_edge(3, 4, EdgeType::kProgram);
+  g.add_edge(4, 0, EdgeType::kAntiDep);
+  g.add_edge(2, 3, EdgeType::kProgram);  // off-cycle feeder
+
+  const auto cycle = g.find_cycle();
+  ASSERT_FALSE(cycle.empty());
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    EXPECT_EQ(cycle[i].to, cycle[(i + 1) % cycle.size()].from);
+    EXPECT_NE(cycle[i].from, 2u);  // the feeder is not on any cycle
+  }
+}
+
+TEST(DepGraph, SelfLoopIsACycle) {
+  DepGraph g;
+  g.ensure_nodes(2);
+  g.add_edge(1, 1, EdgeType::kWriteOrder);
+  EXPECT_FALSE(g.scc().acyclic);
+  const auto cycle = g.find_cycle();
+  ASSERT_EQ(cycle.size(), 1u);
+  EXPECT_EQ(cycle[0].from, 1u);
+  EXPECT_EQ(cycle[0].to, 1u);
+}
+
+TEST(DepGraph, FindPathHonorsMaskAndAdmitFilter) {
+  // Two routes 0 -> 3: a sync route through 1 and an RW shortcut through 2.
+  DepGraph g;
+  g.ensure_nodes(4);
+  g.add_edge(0, 1, EdgeType::kLock);
+  g.add_edge(1, 3, EdgeType::kBarrier);
+  g.add_edge(0, 2, EdgeType::kAntiDep);
+  g.add_edge(2, 3, EdgeType::kAntiDep);
+
+  const auto any = g.find_path(0, 3);
+  ASSERT_EQ(any.size(), 2u);  // BFS: both routes have two hops
+
+  const auto sync_only = g.find_path(0, 3, kSyncEdges);
+  ASSERT_EQ(sync_only.size(), 2u);
+  EXPECT_EQ(sync_only[0].type, EdgeType::kLock);
+  EXPECT_EQ(sync_only[1].type, EdgeType::kBarrier);
+
+  const auto no_mid1 = g.find_path(0, 3, kAllEdges,
+                                   [](const TypedEdge& e) { return e.to != 1; });
+  ASSERT_EQ(no_mid1.size(), 2u);
+  EXPECT_EQ(no_mid1[0].to, 2u);
+
+  EXPECT_TRUE(g.find_path(3, 0).empty());  // unreachable
+  EXPECT_TRUE(g.find_path(0, 0).empty());  // trivial path excluded
+}
+
+TEST(DepGraph, ToBitMatrixExportsSelectedSubset) {
+  DepGraph g;
+  g.ensure_nodes(3);
+  g.add_edge(0, 1, EdgeType::kProgram);
+  g.add_edge(1, 2, EdgeType::kAntiDep);
+
+  const BitMatrix all = g.to_bit_matrix(kAllEdges);
+  EXPECT_TRUE(all.get(0, 1));
+  EXPECT_TRUE(all.get(1, 2));
+  EXPECT_FALSE(all.get(0, 2));  // direct edges only, no closure
+
+  const BitMatrix causal = g.to_bit_matrix(kCausalityEdges);
+  EXPECT_TRUE(causal.get(0, 1));
+  EXPECT_FALSE(causal.get(1, 2));
+}
+
+}  // namespace
+}  // namespace mc::history

@@ -1,0 +1,165 @@
+// Differential oracle for the graph checker (docs/CHECKING.md §7): every
+// history in the litmus corpus, every shipped sample file, and a seeded sweep
+// of randomized histories go through BOTH backends — the serialization-search
+// checker and the incremental dependency-graph checker — and must agree.
+//
+// The contract being enforced:
+//   - mixed / all-causal / all-PRAM verdicts are identical (ok flags always
+//     match; on the curated corpus the first message matches too — both
+//     backends scan reads in OpRef order, but when several writes intervene
+//     they may name different witnesses, so randoms compare verdicts only);
+//   - the graph's SC verdict is *sound*: a cycle over all edges means the
+//     search checker must also reject the history (the converse need not
+//     hold — the graph only inserts order edges it can prove).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "history/checkers.h"
+#include "history/incremental_checker.h"
+#include "history/serialization.h"
+#include "history/text_format.h"
+#include "litmus_histories.h"
+
+namespace mc::history {
+namespace {
+
+void expect_backends_agree(const History& h, const std::string& name,
+                           bool compare_messages) {
+  const CheckResult mixed_s = check_mixed_consistency(h, CheckerBackend::kSearch);
+  const CheckResult mixed_g = check_mixed_consistency(h, CheckerBackend::kGraph);
+  EXPECT_EQ(mixed_s.ok, mixed_g.ok) << name << " (mixed)";
+  if (compare_messages && !mixed_s.ok && !mixed_g.ok) {
+    ASSERT_FALSE(mixed_s.violations.empty()) << name;
+    ASSERT_FALSE(mixed_g.violations.empty()) << name;
+    EXPECT_EQ(mixed_s.violations.front(), mixed_g.violations.front()) << name;
+  }
+
+  for (const ReadDiscipline d : {ReadDiscipline::kAllCausal, ReadDiscipline::kAllPram}) {
+    const char* dn = d == ReadDiscipline::kAllCausal ? "causal" : "pram";
+    const CheckResult s = check_consistency(h, d, CheckerBackend::kSearch);
+    const CheckResult g = check_consistency(h, d, CheckerBackend::kGraph);
+    EXPECT_EQ(s.ok, g.ok) << name << " (" << dn << ")";
+    if (compare_messages && !s.ok && !g.ok) {
+      ASSERT_FALSE(s.violations.empty()) << name;
+      ASSERT_FALSE(g.violations.empty()) << name;
+      EXPECT_EQ(s.violations.front(), g.violations.front()) << name << " (" << dn << ")";
+    }
+  }
+
+  // SC soundness: a cycle in the full dependency graph certifies that no
+  // serialization exists, so search must reject too (unless it gave up).
+  const GraphVerdict gv = check_history_graph(h);
+  if (gv.well_formed && !gv.sc_acyclic) {
+    const auto sc = check_sequential_consistency(h);
+    if (!sc.exhausted_budget) {
+      EXPECT_FALSE(sc.sequentially_consistent) << name << " (graph cycle but search says SC)";
+    }
+    EXPECT_FALSE(gv.counterexample.empty()) << name;
+  }
+}
+
+TEST(Differential, LitmusCorpus) {
+  for (const auto& [name, h] : litmus::corpus()) {
+    SCOPED_TRACE(name);
+    expect_backends_agree(h, name, /*compare_messages=*/true);
+  }
+}
+
+// On the hand-named corpus the graph's sound edges are strong enough to
+// decide SC exactly — except for counter-object value violations, which are
+// arithmetic facts rather than order cycles and therefore invisible to the
+// acyclicity test (docs/CHECKING.md §6); those histories are excluded.
+TEST(Differential, LitmusCorpusScAgreesExactly) {
+  for (const auto& [name, h] : litmus::corpus()) {
+    bool has_delta = false;
+    for (OpRef i = 0; i < h.size(); ++i) {
+      has_delta |= h.op(i).kind == OpKind::kDelta;
+    }
+    if (has_delta && !check_mixed_consistency(h).ok) continue;
+    const GraphVerdict gv = check_history_graph(h);
+    ASSERT_TRUE(gv.well_formed) << name;
+    const auto sc = check_sequential_consistency(h);
+    ASSERT_FALSE(sc.exhausted_budget) << name;
+    EXPECT_EQ(sc.sequentially_consistent, gv.sc_acyclic) << name;
+  }
+}
+
+TEST(Differential, SampleHistoryFiles) {
+  const std::filesystem::path dir(MC_HISTORY_SAMPLES_DIR);
+  std::size_t n_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".mch") continue;
+    ++n_files;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.is_open()) << entry.path();
+    auto parsed = parse_history(in);
+    ASSERT_TRUE(parsed.history.has_value()) << entry.path() << ": " << parsed.error;
+    SCOPED_TRACE(entry.path().filename().string());
+    expect_backends_agree(*parsed.history, entry.path().filename().string(),
+                          /*compare_messages=*/true);
+  }
+  EXPECT_GE(n_files, 6u);  // the shipped samples, including store_buffer.mch
+}
+
+// Randomized sweep: small histories over a few variables where readers
+// sometimes pick a deliberately stale source, plus occasional barriers so
+// sync edges participate.  Every seed must produce identical verdicts.
+History random_history(std::mt19937_64& rng) {
+  const std::size_t procs = 2 + rng() % 3;
+  const std::size_t vars = 1 + rng() % 3;
+  History h(procs);
+  // All writes observed so far, per var, in issue order.
+  std::vector<std::vector<OpRef>> writes(vars);
+  const std::size_t ops = 12 + rng() % 28;
+  std::uint32_t epoch = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto p = static_cast<ProcId>(rng() % procs);
+    const auto x = static_cast<VarId>(rng() % vars);
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2:
+        writes[x].push_back(h.write(p, x, rng() % 5));
+        break;
+      case 3: {  // barrier round: everyone joins, then writes are fresh news
+        for (ProcId q = 0; q < procs; ++q) h.barrier(q, epoch);
+        ++epoch;
+        break;
+      }
+      default: {
+        if (writes[x].empty() || rng() % 5 == 0) {
+          h.read(p, x, 0, ReadMode::kCausal, kInitialWrite);  // maybe stale
+        } else {
+          // Usually the latest write; sometimes an older (possibly stale) one.
+          const std::size_t pick = rng() % 3 == 0 ? rng() % writes[x].size()
+                                                  : writes[x].size() - 1;
+          const OpRef w = writes[x][pick];
+          const auto mode = rng() % 2 == 0 ? ReadMode::kCausal : ReadMode::kPram;
+          h.read(p, x, h.op(w).value, mode, h.op(w).write_id);
+        }
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+TEST(Differential, RandomizedHistories) {
+  std::mt19937_64 rng(20260808);
+  for (int trial = 0; trial < 400; ++trial) {
+    const History h = random_history(rng);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    expect_backends_agree(h, "trial " + std::to_string(trial),
+                          /*compare_messages=*/false);
+  }
+}
+
+}  // namespace
+}  // namespace mc::history

@@ -1,0 +1,233 @@
+// Unit tests for the incremental graph checker itself (docs/CHECKING.md):
+// streaming edge insertion reproduces the BitMatrix causality closure,
+// feed-order and malformed-input errors are caught, counter reads defer to
+// finalize(), counterexample cycles come back closed over OpRefs, and the
+// "checker.*" metrics are populated.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "history/causality.h"
+#include "history/checkers.h"
+#include "history/incremental_checker.h"
+#include "litmus_histories.h"
+
+namespace mc::history {
+namespace {
+
+/// Feed a history whose OpRef order is already a causal linear extension
+/// (all litmus builders are constructed that way).
+void feed_in_opref_order(IncrementalChecker& chk, const History& h) {
+  for (OpRef i = 0; i < h.size(); ++i) {
+    chk.feed(h.op(i), i);
+  }
+}
+
+// The sparse generating edges, transitively closed, must reproduce the
+// BitMatrix causality relation exactly on memory-only histories: same
+// generating set (po chains, reads-from), same closure.
+TEST(IncrementalChecker, ClosureMatchesBatchCausalityOnLitmusCorpus) {
+  for (const auto& [name, h] : litmus::corpus()) {
+    SCOPED_TRACE(name);
+    auto rel = build_relations(h);
+    ASSERT_TRUE(rel.has_value());
+
+    IncrementalChecker chk(h.num_procs());
+    feed_in_opref_order(chk, h);
+    ASSERT_FALSE(chk.failed());
+    BitMatrix closed = chk.graph().to_bit_matrix(kCausalityEdges);
+    closed.close_transitively();
+
+    ASSERT_EQ(closed.size(), h.size());
+    for (OpRef a = 0; a < h.size(); ++a) {
+      for (OpRef b = 0; b < h.size(); ++b) {
+        EXPECT_EQ(closed.get(a, b), rel->causality.get(a, b))
+            << name << ": pair (" << a << ", " << b << ")";
+      }
+    }
+  }
+}
+
+// With barriers the incremental graph wires releases through the first
+// post-barrier operation rather than materializing every pre(m) -> member
+// edge, so in-edges *into* barrier ops can be sparser than the batch
+// relation; everything the models actually consult — reachability into
+// memory operations — must still agree.
+TEST(IncrementalChecker, BarrierClosureMatchesBatchOnMemoryTargets) {
+  History h(3);
+  h.write(0, 0, 1);
+  h.write(1, 1, 2);
+  for (ProcId p = 0; p < 3; ++p) h.barrier(p, 0);
+  h.read(2, 0, 1, ReadMode::kCausal, h.op(0).write_id);
+  h.read(2, 1, 2, ReadMode::kCausal, h.op(1).write_id);
+  h.write(2, 2, 3);
+  for (ProcId p = 0; p < 3; ++p) h.barrier(p, 1);
+  h.read(0, 2, 3, ReadMode::kCausal, h.op(7).write_id);
+
+  auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  IncrementalChecker chk(h.num_procs());
+  feed_in_opref_order(chk, h);
+  ASSERT_FALSE(chk.failed());
+  BitMatrix closed = chk.graph().to_bit_matrix(kCausalityEdges);
+  closed.close_transitively();
+
+  for (OpRef a = 0; a < h.size(); ++a) {
+    for (OpRef b = 0; b < h.size(); ++b) {
+      if (h.op(b).kind == OpKind::kBarrier) continue;
+      EXPECT_EQ(closed.get(a, b), rel->causality.get(a, b))
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+}
+
+// Lock episodes: the incremental machine chains episode tails instead of
+// emitting the full batch edge set; reachability between memory operations
+// must come out identical.
+TEST(IncrementalChecker, LockClosureMatchesBatchOnMemoryOps) {
+  History h(2);
+  h.wlock(0, 0, 1);
+  h.write(0, 0, 10);
+  h.wunlock(0, 0, 1);
+  h.rlock(1, 0, 1);
+  h.read(1, 0, 10, ReadMode::kCausal, h.op(1).write_id);
+  h.runlock(1, 0, 1);
+  h.wlock(1, 0, 2);
+  h.write(1, 0, 20);
+  h.wunlock(1, 0, 2);
+  h.rlock(0, 0, 2);
+  h.read(0, 0, 20, ReadMode::kCausal, h.op(7).write_id);
+  h.runlock(0, 0, 2);
+
+  auto rel = build_relations(h);
+  ASSERT_TRUE(rel.has_value());
+  IncrementalChecker chk(h.num_procs());
+  feed_in_opref_order(chk, h);
+  ASSERT_FALSE(chk.failed());
+  BitMatrix closed = chk.graph().to_bit_matrix(kCausalityEdges);
+  closed.close_transitively();
+
+  for (OpRef a = 0; a < h.size(); ++a) {
+    if (is_lock_op(h.op(a).kind)) continue;
+    for (OpRef b = 0; b < h.size(); ++b) {
+      if (is_lock_op(h.op(b).kind)) continue;
+      EXPECT_EQ(closed.get(a, b), rel->causality.get(a, b))
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+}
+
+TEST(IncrementalChecker, StreamingFeedMatchesBatchVerdicts) {
+  IncrementalChecker chk(3);
+  const History h = litmus::transitive_staleness();
+  for (OpRef i = 0; i < h.size(); ++i) {
+    EXPECT_TRUE(chk.feed(h.op(i), i));
+  }
+  EXPECT_EQ(chk.num_ops(), h.size());
+  GraphVerdict v = chk.finalize();
+  ASSERT_TRUE(v.well_formed) << v.error;
+  EXPECT_FALSE(v.mixed.ok);
+  EXPECT_FALSE(v.causal.ok);
+  EXPECT_TRUE(v.pram.ok);
+  EXPECT_TRUE(v.coherent);
+  ASSERT_FALSE(v.mixed.violations.empty());
+  EXPECT_NE(v.mixed.violations.front().find("stale"), std::string::npos);
+}
+
+TEST(IncrementalChecker, ReadBeforeItsWriteIsAFeedOrderError) {
+  History h(2);
+  const OpRef w = h.write(0, 0, 1);
+  Operation read = h.op(h.read(1, 0, 1, ReadMode::kCausal, h.op(w).write_id));
+
+  IncrementalChecker chk(2);
+  EXPECT_FALSE(chk.feed(read));  // reads-from predecessor not fed yet
+  EXPECT_TRUE(chk.failed());
+  EXPECT_FALSE(chk.feed(h.op(w)));  // ignored after the error
+  const GraphVerdict v = chk.finalize();
+  EXPECT_FALSE(v.well_formed);
+  EXPECT_FALSE(v.error.empty());
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(IncrementalChecker, DuplicateWriteIdIsMalformed) {
+  History h(2);
+  h.write(0, 0, 1);
+  IncrementalChecker chk(2);
+  EXPECT_TRUE(chk.feed(h.op(0)));
+  EXPECT_FALSE(chk.feed(h.op(0)));  // same WriteId again
+  const GraphVerdict v = chk.finalize();
+  EXPECT_FALSE(v.well_formed);
+  EXPECT_NE(v.error.find("duplicate write id"), std::string::npos);
+}
+
+// Counter reads cannot be judged at feed time — a delta-object read's
+// explainable set is base minus required deltas minus any subset of
+// *concurrent* deltas, and concurrency is only settled once the whole
+// history is in.  Here the read needs the concurrent delta from p1 to be
+// counted, so a streaming-time verdict would be premature.
+TEST(IncrementalChecker, CounterReadsDeferToFinalize) {
+  History h(3);
+  h.write(0, 0, 2);                                      // counter base
+  h.delta(1, 0, 1);                                      // concurrent with the read
+  const OpRef wf = h.write(0, 1, 9);                     // flag
+  h.read(2, 1, 9, ReadMode::kCausal, h.op(wf).write_id); // syncs base
+  h.read(2, 0, 1, ReadMode::kCausal);                    // 2 - 0 - {1} = 1
+
+  IncrementalChecker chk(3);
+  for (OpRef i = 0; i < h.size(); ++i) ASSERT_TRUE(chk.feed(h.op(i), i));
+  const MetricsSnapshot m = chk.metrics();
+  EXPECT_GE(m.get("checker.deferred_counter_reads"), 1u);
+  const GraphVerdict v = chk.finalize();
+  ASSERT_TRUE(v.well_formed) << v.error;
+  EXPECT_TRUE(v.mixed.ok) << (v.mixed.violations.empty() ? "" : v.mixed.violations.front());
+  // And the batch checker agrees the history is fine.
+  EXPECT_TRUE(check_mixed_consistency(h, CheckerBackend::kSearch).ok);
+}
+
+TEST(IncrementalChecker, CounterexampleIsAClosedCycleOverOpRefs) {
+  for (const auto* name : {"divergent_observers", "store_buffer"}) {
+    SCOPED_TRACE(name);
+    const History h = std::string(name) == "store_buffer"
+                          ? litmus::store_buffer()
+                          : litmus::divergent_observers();
+    const GraphVerdict v = check_history_graph(h);
+    ASSERT_TRUE(v.well_formed) << v.error;
+    EXPECT_FALSE(v.sc_acyclic);
+    ASSERT_FALSE(v.counterexample.empty());
+    for (std::size_t i = 0; i < v.counterexample.size(); ++i) {
+      const TypedEdge& e = v.counterexample[i];
+      EXPECT_LT(e.from, h.size());  // external ids, not feed order
+      EXPECT_LT(e.to, h.size());
+      EXPECT_EQ(e.to, v.counterexample[(i + 1) % v.counterexample.size()].from);
+    }
+  }
+  // Acyclic histories yield no counterexample.
+  const GraphVerdict ok = check_history_graph(litmus::agreeing_observers());
+  EXPECT_TRUE(ok.sc_acyclic);
+  EXPECT_TRUE(ok.counterexample.empty());
+}
+
+TEST(IncrementalChecker, NonSequentialHistoriesAreRejected) {
+  History h(2, /*sequential_processes=*/false);
+  h.write(0, 0, 1);
+  const GraphVerdict v = IncrementalChecker::check(h);
+  EXPECT_FALSE(v.well_formed);
+  EXPECT_NE(v.error.find("sequential"), std::string::npos);
+}
+
+TEST(IncrementalChecker, MetricsCountOpsAndEdges) {
+  const History h = litmus::transitive_staleness();
+  IncrementalChecker chk(h.num_procs());
+  feed_in_opref_order(chk, h);
+  const MetricsSnapshot m = chk.metrics();
+  EXPECT_EQ(m.get("checker.ops"), h.size());
+  EXPECT_EQ(m.get("checker.writes"), 2u);
+  EXPECT_EQ(m.get("checker.reads"), 3u);
+  EXPECT_EQ(m.get("checker.edges.rf"), 2u);  // two sourced reads
+  EXPECT_EQ(m.get("checker.edges.po"), 2u);  // two two-op processes
+}
+
+}  // namespace
+}  // namespace mc::history

@@ -1,0 +1,174 @@
+// The litmus corpus, shared between the boundary tests
+// (history_litmus_test.cpp) and the search-vs-graph differential suite
+// (history_differential_test.cpp).  Each builder returns a tiny history
+// sitting on one side of a consistency boundary; corpus() names them all.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "history/history.h"
+
+namespace mc::history::litmus {
+
+// p0: w(x)1           p1: r(x)1, w(y)2         p2: r(y)2, r(x)0
+// Causality carries w(x)1 into p2 through p1's read, so reading the initial
+// x afterwards is causally stale — but PRAM only tracks direct pairwise
+// FIFO, so the same history is PRAM-consistent.
+inline History transitive_staleness() {
+  History h(3);
+  const OpRef wx = h.write(0, /*x=*/0, 1);
+  h.read(1, 0, 1, ReadMode::kCausal, h.op(wx).write_id);
+  const OpRef wy = h.write(1, /*y=*/1, 2);
+  h.read(2, 1, 2, ReadMode::kCausal, h.op(wy).write_id);
+  h.read(2, 0, 0, ReadMode::kCausal, kInitialWrite);
+  return h;
+}
+
+/// The same shape with every read labeled PRAM: mixed-consistent.
+inline History transitive_staleness_pram_labels() {
+  History h(3);
+  const OpRef wx = h.write(0, 0, 1);
+  h.read(1, 0, 1, ReadMode::kPram, h.op(wx).write_id);
+  const OpRef wy = h.write(1, 1, 2);
+  h.read(2, 1, 2, ReadMode::kPram, h.op(wy).write_id);
+  h.read(2, 0, 0, ReadMode::kPram, kInitialWrite);
+  return h;
+}
+
+// p0: w(x)1, w(x)2     p1: r(x)2, r(x)1 — out of issue order.
+inline History fifo_violation() {
+  History h(2);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(0, 0, 2);
+  h.read(1, 0, 2, ReadMode::kPram, h.op(w2).write_id);
+  h.read(1, 0, 1, ReadMode::kPram, h.op(w1).write_id);
+  return h;
+}
+
+inline History fifo_order() {
+  History h(2);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(0, 0, 2);
+  h.read(1, 0, 1, ReadMode::kPram, h.op(w1).write_id);
+  h.read(1, 0, 2, ReadMode::kPram, h.op(w2).write_id);
+  return h;
+}
+
+// p0: w(x)1   p1: w(x)2   p2: r(x)1, r(x)2   p3: r(x)2, r(x)1
+// Causal, but no single serialization explains both observers.
+inline History divergent_observers() {
+  History h(4);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(1, 0, 2);
+  h.read(2, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  h.read(2, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  h.read(3, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  h.read(3, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  return h;
+}
+
+inline History agreeing_observers() {
+  History h(4);
+  const OpRef w1 = h.write(0, 0, 1);
+  const OpRef w2 = h.write(1, 0, 2);
+  h.read(2, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  h.read(2, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  h.read(3, 0, 1, ReadMode::kCausal, h.op(w1).write_id);
+  h.read(3, 0, 2, ReadMode::kCausal, h.op(w2).write_id);
+  return h;
+}
+
+inline History read_own_write() {
+  History h(1);
+  const OpRef w = h.write(0, 0, 7);
+  h.read(0, 0, 7, ReadMode::kPram, h.op(w).write_id);
+  return h;
+}
+
+inline History forgetting_own_write() {
+  History h(1);
+  h.write(0, 0, 7);
+  h.read(0, 0, 0, ReadMode::kPram, kInitialWrite);
+  return h;
+}
+
+// p0: w(x)1    p1: r(x)1, r(x)0 — rewinding past an observed write.
+inline History own_read_staleness() {
+  History h(2);
+  const OpRef w = h.write(0, 0, 1);
+  h.read(1, 0, 1, ReadMode::kPram, h.op(w).write_id);
+  h.read(1, 0, 0, ReadMode::kPram, kInitialWrite);
+  return h;
+}
+
+// The classic store-buffering outcome: PRAM/causal allow it, SC does not.
+inline History store_buffer() {
+  History h(2);
+  h.write(0, 0, 1);
+  h.write(1, 1, 2);
+  h.read(0, 1, 0, ReadMode::kPram, kInitialWrite);
+  h.read(1, 0, 0, ReadMode::kPram, kInitialWrite);
+  return h;
+}
+
+/// Counter (delta) objects, Section 5.3: base 2, one required delta (made
+/// visible through a read chain), one concurrent delta, and a final read of
+/// `observed`.  1 and 0 are explainable; 2 is not.
+inline History counter_read(Value observed) {
+  History h(3);
+  h.write(0, 0, 2);
+  h.delta(0, 0, 1);
+  h.delta(1, 0, 1);
+  const OpRef wf = h.write(0, 1, 9);
+  h.read(2, 1, 9, ReadMode::kCausal, h.op(wf).write_id);
+  h.read(2, 0, observed, ReadMode::kCausal);
+  return h;
+}
+
+inline History counter_below_all_deltas() {
+  History h(2);
+  h.write(1, 0, 5);
+  h.delta(0, 0, 1);
+  h.delta(1, 0, 1);
+  h.read(1, 0, 2, ReadMode::kPram);
+  return h;
+}
+
+inline History counter_racing_base() {
+  History h(2);
+  h.write(0, 0, 5);
+  h.delta(1, 0, 1);
+  h.read(1, 0, 4, ReadMode::kCausal);
+  return h;
+}
+
+struct NamedHistory {
+  std::string name;
+  History h;
+};
+
+/// Every litmus shape above, for corpus-wide sweeps.
+inline std::vector<NamedHistory> corpus() {
+  std::vector<NamedHistory> all;
+  all.push_back({"transitive_staleness", transitive_staleness()});
+  all.push_back({"transitive_staleness_pram_labels", transitive_staleness_pram_labels()});
+  all.push_back({"fifo_violation", fifo_violation()});
+  all.push_back({"fifo_order", fifo_order()});
+  all.push_back({"divergent_observers", divergent_observers()});
+  all.push_back({"agreeing_observers", agreeing_observers()});
+  all.push_back({"read_own_write", read_own_write()});
+  all.push_back({"forgetting_own_write", forgetting_own_write()});
+  all.push_back({"own_read_staleness", own_read_staleness()});
+  all.push_back({"store_buffer", store_buffer()});
+  all.push_back({"counter_read_1", counter_read(1)});
+  all.push_back({"counter_read_0", counter_read(0)});
+  all.push_back({"counter_read_2", counter_read(2)});
+  all.push_back({"counter_below_all_deltas", counter_below_all_deltas()});
+  all.push_back({"counter_racing_base", counter_racing_base()});
+  return all;
+}
+
+}  // namespace mc::history::litmus
