@@ -1,0 +1,369 @@
+// Chaos soak — long-horizon fault soak with the online consistency monitor
+// and the time-series sampler attached (docs/FAULTS.md, docs/CHECKING.md §10).
+//
+// The Section 5 applications loop under a seeded fault plan (drops,
+// duplicates, delay spikes) with the reliability layer repairing the
+// channel.  Every iteration runs with a live ConsistencyMonitor attached to
+// the nodes' operation sinks, so consistency is checked *while* the faults
+// are active, not post-mortem; a background MetricsSampler diffs the merged
+// metrics into timestamped delta records.  The run streams as JSONL
+// (--jsonl): one meta line, sample lines from the time-series, one line per
+// iteration with its verdict, a violation line (with the counterexample DOT
+// embedded) if the monitor ever fires, and a final summary line.
+// tools/validate_soak.py checks the stream's invariants.
+//
+//   bench_soak --duration 30 --seed 1 --jsonl soak.jsonl
+//   bench_soak --smoke               # one quick pass per app
+//
+// Clean runs must report zero violations: the faults live strictly below
+// the reliability layer, so the memory-model guarantees still hold — that
+// is the soak's whole point.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "apps/cholesky.h"
+#include "apps/equation_solver.h"
+#include "bench_util.h"
+#include "dsm/system.h"
+#include "net/fault.h"
+#include "obs/json.h"
+#include "obs/monitor.h"
+#include "obs/timeseries.h"
+
+using namespace mc;
+using namespace mc::apps;
+using namespace mc::bench;
+
+namespace {
+
+net::FaultPlan chaos_plan(std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = 0.05;
+  plan.dup_prob = 0.05;
+  plan.delay_prob = 0.02;
+  plan.delay_factor = 10.0;
+  plan.delay_floor = std::chrono::microseconds(50);
+  return plan;
+}
+
+/// splitmix64: decorrelate per-iteration seeds from the master seed.
+std::uint64_t mix_seed(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Everything the sampler thread reads while iterations come and go.  The
+/// cumulative snapshot accumulates counters (and overwrites gauges) across
+/// finished iterations; the live monitor of the current iteration is
+/// layered on top, so counter deltas stay monotone over the whole soak.
+struct SoakState {
+  std::mutex mu;
+  MetricsSnapshot cumulative;
+  obs::ConsistencyMonitor* live = nullptr;
+  std::uint64_t iterations = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t violations_causal = 0;
+  std::uint64_t violations_pram = 0;
+  std::uint64_t violations_mixed = 0;
+
+  void merge(const MetricsSnapshot& add) {
+    for (const auto& [k, v] : add.values) {
+      if (obs::timeseries_is_gauge(k)) {
+        cumulative.values[k] = v;
+      } else {
+        cumulative.values[k] += v;
+      }
+    }
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() {
+    std::scoped_lock lk(mu);
+    MetricsSnapshot snap = cumulative;
+    std::uint64_t vc = violations_causal, vp = violations_pram, vm = violations_mixed;
+    if (live != nullptr) {
+      const auto st = live->status();
+      for (const auto& [k, v] : live->metrics().values) {
+        if (obs::timeseries_is_gauge(k)) {
+          snap.values[k] = v;
+        } else {
+          snap.values[k] += v;
+        }
+      }
+      vc += st.counts.violations_causal;
+      vp += st.counts.violations_pram;
+      vm += st.counts.violations_mixed;
+    }
+    // Soak-wide rolling verdicts (1 = no violation of that model so far),
+    // overriding the current iteration's local view.
+    snap.values["monitor.verdict.causal"] = vc == 0 ? 1 : 0;
+    snap.values["monitor.verdict.pram"] = vp == 0 ? 1 : 0;
+    snap.values["monitor.verdict.mixed"] = vm == 0 ? 1 : 0;
+    snap.values["soak.iterations"] = iterations;
+    snap.values["watchdog.stalls"] = stalls;
+    return snap;
+  }
+};
+
+struct IterationOutcome {
+  std::string app;
+  double wall_ms = 0.0;
+  bool stalled = false;
+  std::string stall_reason;
+  history::GraphVerdict verdict;
+  obs::ConsistencyMonitor::Status status;
+  std::string first_dot;
+  MetricsSnapshot metrics;
+};
+
+/// One application run under chaos with a fresh monitor attached.  The
+/// monitor is per-iteration because WriteId sequence numbers restart with
+/// each MixedSystem.
+IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, SoakState& state) {
+  IterationOutcome out;
+  const auto cases = which % 4;
+
+  std::size_t procs = 4;  // workers + coordinator
+  if (cases == 2 || cases == 3) procs = 3;
+  auto monitor = std::make_unique<obs::ConsistencyMonitor>(procs);
+  {
+    std::scoped_lock lk(state.mu);
+    state.live = monitor.get();
+  }
+  const auto hook = [&](dsm::MixedSystem& sys) { sys.attach_op_sink(monitor.get()); };
+  const auto stall_timeout = std::chrono::seconds(10);
+
+  if (cases == 0 || cases == 1) {
+    const LinearSystem sys = LinearSystem::random(16, 2);
+    SolverOptions opt;
+    opt.workers = procs - 1;
+    opt.seed = seed;
+    opt.faults = chaos_plan(seed);
+    opt.reliable = true;
+    opt.system_hook = hook;
+    opt.stall_timeout = stall_timeout;
+    const SolverResult r =
+        cases == 0 ? solve_barrier_pram(sys, opt) : solve_handshake_causal(sys, opt);
+    out.app = cases == 0 ? "solver-barrier" : "solver-handshake";
+    out.wall_ms = r.elapsed_ms;
+    out.stalled = r.stalled;
+    out.stall_reason = r.stall_reason;
+    out.metrics = r.metrics;
+  } else {
+    const SparseSpd m = SparseSpd::random(20, 3, 0.1, 3);
+    const Symbolic sym = analyze(m);
+    CholeskyOptions opt;
+    opt.procs = procs;
+    opt.seed = seed;
+    opt.faults = chaos_plan(seed);
+    opt.reliable = true;
+    opt.system_hook = hook;
+    opt.stall_timeout = stall_timeout;
+    const CholeskyResult r =
+        cases == 2 ? cholesky_locks(m, sym, opt) : cholesky_counters(m, sym, opt);
+    out.app = cases == 2 ? "cholesky-locks" : "cholesky-counters";
+    out.wall_ms = r.elapsed_ms;
+    out.stalled = r.stalled;
+    out.stall_reason = r.stall_reason;
+    out.metrics = r.metrics;
+  }
+
+  // Detach from the sampler before the monitor is finalized and destroyed.
+  {
+    std::scoped_lock lk(state.mu);
+    state.live = nullptr;
+  }
+  out.verdict = monitor->finalize();
+  out.status = monitor->status();
+  out.first_dot = monitor->first_violation_dot();
+
+  std::scoped_lock lk(state.mu);
+  state.merge(out.metrics);
+  state.merge(monitor->metrics());
+  ++state.iterations;
+  if (out.stalled) ++state.stalls;
+  state.violations_causal += out.status.counts.violations_causal;
+  state.violations_pram += out.status.counts.violations_pram;
+  state.violations_mixed += out.status.counts.violations_mixed;
+  return out;
+}
+
+void jsonl_verdict(obs::JsonWriter& w, const history::GraphVerdict& v) {
+  w.key("verdict").begin_object();
+  w.key("well_formed").value(v.well_formed);
+  w.key("mixed").value(v.mixed.ok);
+  w.key("causal").value(v.causal.ok);
+  w.key("pram").value(v.pram.ok);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duration_s = 10.0;
+  std::uint64_t seed = 1;
+  std::string jsonl_path;
+
+  // Peel off our own flags before Harness (which rejects unknown ones).
+  std::vector<char*> pass{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--duration" && i + 1 < argc) {
+      duration_s = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--jsonl" && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  Harness h("bench_soak", static_cast<int>(pass.size()), pass.data());
+  h.config("fault_plan", "drop=0.05 dup=0.05 delay=0.02x10+50us");
+  h.config("seed", std::to_string(seed));
+  if (h.smoke()) duration_s = 0.0;  // one rotation through the apps
+
+  print_header("Chaos soak — online consistency monitoring under faults",
+               "each iteration: one Section 5 app under chaos, live monitor "
+               "attached, verdict per model");
+
+  SoakState state;
+  obs::MetricsSampler sampler([&state] { return state.snapshot(); },
+                              std::chrono::milliseconds(250),
+                              /*capacity=*/1 << 16);
+
+  std::vector<std::string> iteration_lines;
+  std::string violation_line;
+  std::uint64_t violations_total = 0;
+  std::uint64_t skipped_total = 0;
+  bool structural_failure = false;
+
+  Stopwatch clock;
+  std::size_t iter = 0;
+  // At least one full rotation through the app mix, then run out the clock.
+  while (iter < 4 || clock.elapsed_ms() < duration_s * 1000.0) {
+    const IterationOutcome out = run_iteration(iter, mix_seed(seed + iter), state);
+
+    const auto& c = out.status.counts;
+    const std::uint64_t iter_violations =
+        c.violations_causal + c.violations_pram + c.violations_mixed;
+    violations_total += iter_violations;
+    skipped_total += out.status.skipped;
+    structural_failure = structural_failure || out.status.structural_failed;
+
+    obs::JsonWriter w(0);
+    w.begin_object();
+    w.key("type").value("iteration");
+    w.key("n").value(static_cast<std::uint64_t>(iter));
+    w.key("app").value(out.app);
+    w.key("wall_ms").value(out.wall_ms);
+    w.key("stalled").value(out.stalled);
+    jsonl_verdict(w, out.verdict);
+    w.key("ops").value(c.fed);
+    w.key("live_nodes").value(c.live_nodes);
+    w.key("retired").value(c.retired);
+    w.key("prunes").value(c.prunes);
+    w.key("skipped").value(out.status.skipped);
+    w.end_object();
+    iteration_lines.push_back(w.str());
+
+    if (iter_violations > 0 && violation_line.empty()) {
+      obs::JsonWriter vw(0);
+      vw.begin_object();
+      vw.key("type").value("violation");
+      vw.key("iteration").value(static_cast<std::uint64_t>(iter));
+      vw.key("app").value(out.app);
+      vw.key("message").value(out.verdict.mixed.ok ? out.verdict.causal.message()
+                                                   : out.verdict.mixed.message());
+      vw.key("dot").value(out.first_dot);
+      vw.end_object();
+      violation_line = vw.str();
+      if (!jsonl_path.empty() && !out.first_dot.empty()) {
+        std::ofstream dot(jsonl_path + ".cx.dot");
+        dot << out.first_dot;
+      }
+    }
+
+    std::printf("iter %-4zu %-18s %7.1fms  verdict mixed=%s causal=%s pram=%s "
+                "ops=%-6llu live=%-5llu prunes=%-4llu%s\n",
+                iter, out.app.c_str(), out.wall_ms,
+                out.verdict.mixed.ok ? "ok" : "VIOLATION",
+                out.verdict.causal.ok ? "ok" : "violation",
+                out.verdict.pram.ok ? "ok" : "violation",
+                static_cast<unsigned long long>(c.fed),
+                static_cast<unsigned long long>(c.live_nodes),
+                static_cast<unsigned long long>(c.prunes),
+                out.stalled ? "  STALLED" : "");
+
+    auto& row = h.add_row("soak-" + std::to_string(iter) + "-" + out.app);
+    row.params["app"] = out.app;
+    row.params["seed"] = std::to_string(mix_seed(seed + iter));
+    row.wall_ms = out.wall_ms;
+    row.metrics = out.metrics;
+    ++iter;
+  }
+
+  sampler.stop();
+  const MetricsSnapshot last = state.snapshot();
+
+  if (!jsonl_path.empty()) {
+    std::ofstream f(jsonl_path);
+    obs::JsonWriter meta(0);
+    meta.begin_object();
+    meta.key("type").value("meta");
+    meta.key("bench").value("bench_soak");
+    meta.key("seed").value(seed);
+    meta.key("duration_s").value(duration_s);
+    meta.key("smoke").value(h.smoke());
+    meta.key("apps").begin_array();
+    for (const char* a : {"solver-barrier", "solver-handshake", "cholesky-locks",
+                          "cholesky-counters"}) {
+      meta.value(a);
+    }
+    meta.end_array();
+    meta.end_object();
+    f << meta.str() << '\n';
+    f << sampler.series().to_jsonl();
+    for (const auto& line : iteration_lines) f << line << '\n';
+    if (!violation_line.empty()) f << violation_line << '\n';
+
+    obs::JsonWriter fin(0);
+    fin.begin_object();
+    fin.key("type").value("final");
+    fin.key("iterations").value(static_cast<std::uint64_t>(iter));
+    fin.key("stalls").value(state.stalls);
+    fin.key("violations").value(violations_total);
+    fin.key("skipped").value(skipped_total);
+    fin.key("structural_failure").value(structural_failure);
+    fin.key("verdict").begin_object();
+    fin.key("causal").value(last.get("monitor.verdict.causal") == 1);
+    fin.key("pram").value(last.get("monitor.verdict.pram") == 1);
+    fin.key("mixed").value(last.get("monitor.verdict.mixed") == 1);
+    fin.end_object();
+    fin.key("samples").value(static_cast<std::uint64_t>(sampler.series().size()));
+    fin.key("samples_dropped").value(sampler.series().dropped());
+    fin.key("elapsed_s").value(clock.elapsed_ms() / 1000.0);
+    fin.end_object();
+    f << fin.str() << '\n';
+    std::fprintf(stderr, "wrote %s (%zu samples, %zu iterations)\n",
+                 jsonl_path.c_str(), sampler.series().size(), iter);
+  }
+
+  std::printf("\nsoak: %zu iterations, %llu violations, %llu stalls, "
+              "%zu samples (%llu dropped)\n",
+              iter, static_cast<unsigned long long>(violations_total),
+              static_cast<unsigned long long>(state.stalls),
+              sampler.series().size(),
+              static_cast<unsigned long long>(sampler.series().dropped()));
+
+  h.finish();
+  return violations_total == 0 && !structural_failure ? 0 : 1;
+}

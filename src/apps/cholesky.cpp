@@ -20,6 +20,21 @@ ProcId owner_of(std::size_t j, std::size_t procs) {
   return static_cast<ProcId>(j % procs);
 }
 
+/// Shared run shim: apply the observer hook, then run either bare or under
+/// a watchdog (CholeskyOptions::stall_timeout) with the outcome folded into
+/// the result.
+void run_app(dsm::MixedSystem& sys, const CholeskyOptions& opt, CholeskyResult& out,
+             const std::function<void(dsm::Node&, ProcId)>& body) {
+  if (opt.system_hook) opt.system_hook(sys);
+  if (opt.stall_timeout.count() > 0) {
+    const auto outcome = sys.run(body, opt.stall_timeout);
+    out.stalled = outcome.stalled;
+    out.stall_reason = outcome.diagnostics.reason;
+  } else {
+    sys.run(body);
+  }
+}
+
 }  // namespace
 
 CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
@@ -46,7 +61,7 @@ CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
   out.l.assign(n * n, 0.0);
 
   Stopwatch clock;
-  sys.run([&](dsm::Node& node, ProcId p) {
+  run_app(sys, opt, out, [&](dsm::Node& node, ProcId p) {
     // Process 0 installs the input (A's lower pattern values and the
     // dependency counts); the barrier makes initialization visible before
     // anyone awaits.
@@ -91,9 +106,13 @@ CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
   });
   out.elapsed_ms = clock.elapsed_ms();
 
-  for (std::size_t j = 0; j < n; ++j) {
-    for (const std::uint32_t i : sym.col_rows[j]) {
-      out.l[i * n + j] = sys.node(0).read_double(tri(i, j), ReadMode::kCausal);
+  // A stalled run has no coherent factor to extract — and a post-stall
+  // causal read could itself block.
+  if (!out.stalled) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (const std::uint32_t i : sym.col_rows[j]) {
+        out.l[i * n + j] = sys.node(0).read_double(tri(i, j), ReadMode::kCausal);
+      }
     }
   }
   out.metrics = sys.metrics();
@@ -127,7 +146,7 @@ CholeskyResult cholesky_counters(const SparseSpd& m, const Symbolic& sym,
   out.l.assign(n * n, 0.0);
 
   Stopwatch clock;
-  sys.run([&](dsm::Node& node, ProcId p) {
+  run_app(sys, opt, out, [&](dsm::Node& node, ProcId p) {
     // No initialization step: accumulators and counts are pure counter
     // objects starting at zero, and A is replicated program input.
     std::vector<double> colj(n, 0.0);
@@ -161,9 +180,11 @@ CholeskyResult cholesky_counters(const SparseSpd& m, const Symbolic& sym,
   });
   out.elapsed_ms = clock.elapsed_ms();
 
-  for (std::size_t j = 0; j < n; ++j) {
-    for (const std::uint32_t i : sym.col_rows[j]) {
-      out.l[i * n + j] = sys.node(0).read_double(res(i, j), ReadMode::kCausal);
+  if (!out.stalled) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (const std::uint32_t i : sym.col_rows[j]) {
+        out.l[i * n + j] = sys.node(0).read_double(res(i, j), ReadMode::kCausal);
+      }
     }
   }
   out.metrics = sys.metrics();

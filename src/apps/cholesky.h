@@ -17,12 +17,19 @@
 
 #pragma once
 
+#include <chrono>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "apps/sparse.h"
 #include "common/stats.h"
 #include "dsm/config.h"
 #include "history/history.h"
+
+namespace mc::dsm {
+class MixedSystem;
+}
 
 namespace mc::apps {
 
@@ -41,6 +48,14 @@ struct CholeskyOptions {
   /// Batched update propagation (Config::batching).  The counter variant
   /// exercises delta-sum coalescing; the lock variant flush-on-unlock.
   std::optional<dsm::BatchingConfig> batching;
+
+  /// Observer hook, called with the constructed MixedSystem before any
+  /// process thread starts (see SolverOptions::system_hook).
+  std::function<void(dsm::MixedSystem&)> system_hook;
+
+  /// When nonzero, run under a watchdog with this stall deadline: a wedged
+  /// run terminates with CholeskyResult::stalled set instead of hanging.
+  std::chrono::nanoseconds stall_timeout{0};
 };
 
 struct CholeskyResult {
@@ -48,6 +63,9 @@ struct CholeskyResult {
   double elapsed_ms = 0.0;
   MetricsSnapshot metrics;
   history::History history{0};
+  /// Watchdog outcome (only when CholeskyOptions::stall_timeout is set).
+  bool stalled = false;
+  std::string stall_reason;
 };
 
 /// Figure 5: write locks + causal reads.

@@ -41,6 +41,21 @@ dsm::Config make_config(const LinearSystem& sys, const SolverOptions& opt, bool 
   return cfg;
 }
 
+/// Shared run shim: apply the observer hook, then run either bare or under
+/// a watchdog (SolverOptions::stall_timeout) with the outcome folded into
+/// the result.
+void run_app(dsm::MixedSystem& dsm_sys, const SolverOptions& opt, SolverResult& out,
+             const std::function<void(dsm::Node&, ProcId)>& body) {
+  if (opt.system_hook) opt.system_hook(dsm_sys);
+  if (opt.stall_timeout.count() > 0) {
+    const auto outcome = dsm_sys.run(body, opt.stall_timeout);
+    out.stalled = outcome.stalled;
+    out.stall_reason = outcome.diagnostics.reason;
+  } else {
+    dsm_sys.run(body);
+  }
+}
+
 SolverRun run_barrier(const LinearSystem& sys, const SolverOptions& opt, ReadMode mode,
                       bool trace) {
   MC_CHECK(opt.workers >= 1);
@@ -49,7 +64,7 @@ SolverRun run_barrier(const LinearSystem& sys, const SolverOptions& opt, ReadMod
 
   SolverRun out;
   Stopwatch clock;
-  dsm_sys.run([&](dsm::Node& node, ProcId p) {
+  run_app(dsm_sys, opt, out.result, [&](dsm::Node& node, ProcId p) {
     if (p == 0) {
       // Coordinator (Figure 2, left column): convergence checks between
       // barrier pairs.
@@ -101,7 +116,7 @@ SolverRun run_handshake(const LinearSystem& sys, const SolverOptions& opt, bool 
 
   SolverRun out;
   Stopwatch clock;
-  dsm_sys.run([&](dsm::Node& node, ProcId p) {
+  run_app(dsm_sys, opt, out.result, [&](dsm::Node& node, ProcId p) {
     if (p == 0) {
       // Coordinator (Figure 3): four handshake rounds per phase.
       std::vector<double> xs(sys.n);
@@ -187,7 +202,7 @@ SolverResult solve_async_gauss_seidel(const LinearSystem& sys, const SolverOptio
 
   SolverResult out;
   Stopwatch clock;
-  dsm_sys.run([&](dsm::Node& node, ProcId p) {
+  run_app(dsm_sys, opt, out, [&](dsm::Node& node, ProcId p) {
     if (p == 0) {
       // Coordinator: poll the estimate until the residual is small.  No
       // synchronization with the workers at all — the only exit channel is

@@ -18,12 +18,19 @@
 
 #pragma once
 
+#include <chrono>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "apps/matrix.h"
 #include "baseline/sc_system.h"
 #include "common/stats.h"
 #include "dsm/config.h"
+
+namespace mc::dsm {
+class MixedSystem;
+}
 
 namespace mc::apps {
 
@@ -53,6 +60,16 @@ struct SolverOptions {
   /// Batched update propagation (Config::batching): coalesce and frame the
   /// per-write broadcasts.  Flush-on-sync keeps every variant correct.
   std::optional<dsm::BatchingConfig> batching;
+
+  /// Observer hook, called with the constructed MixedSystem before any
+  /// process thread starts — the soak harness uses it to attach a live
+  /// ConsistencyMonitor (obs/monitor.h).  The system is destroyed before
+  /// the solve call returns, so anything attached must outlive the call.
+  std::function<void(dsm::MixedSystem&)> system_hook;
+
+  /// When nonzero, run under a watchdog with this stall deadline: a wedged
+  /// run terminates with SolverResult::stalled set instead of hanging.
+  std::chrono::nanoseconds stall_timeout{0};
 };
 
 struct SolverResult {
@@ -61,6 +78,9 @@ struct SolverResult {
   bool converged = false;
   double elapsed_ms = 0.0;
   MetricsSnapshot metrics;
+  /// Watchdog outcome (only when SolverOptions::stall_timeout is set).
+  bool stalled = false;
+  std::string stall_reason;
 };
 
 /// Figure 2: barriers + PRAM reads on mixed consistency.

@@ -39,7 +39,12 @@ class LatencyHistogram {
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] std::uint64_t sum_ns() const { return sum_.load(std::memory_order_relaxed); }
   [[nodiscard]] double mean_ns() const;
-  /// q in [0,1]; returns the upper edge of the bucket containing quantile q.
+  /// q in [0,1] (clamped); returns the upper edge of the bucket containing
+  /// quantile q.  An empty histogram (count() == 0) returns 0 for every q —
+  /// there is no sample to bound, and 0 is unambiguous because any recorded
+  /// sample lands in a bucket with a positive upper edge.  Flattened
+  /// snapshots rely on this contract by emitting no keys at all for empty
+  /// histograms (add_histogram below).
   [[nodiscard]] std::uint64_t quantile_ns(double q) const;
   [[nodiscard]] std::uint64_t max_ns() const { return max_.load(std::memory_order_relaxed); }
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "dsm/staleness.h"
+#include "obs/op_sink.h"
 #include "obs/tracer.h"
 
 namespace mc::dsm {
@@ -491,6 +492,18 @@ void Node::run_flusher() {
 // Memory operations
 // ----------------------------------------------------------------------
 
+void Node::emit_op(history::Operation& op) {
+  if (obs::trace_enabled()) {
+    // Correlation id: the same value appears on this trace instant and on
+    // the operation handed to the monitor, so a live counterexample (DOT)
+    // can name the exact trace events on the cycle (docs/TRACING.md).
+    op.trace_id = obs::next_flow_id();
+    obs::trace_instant("op", "monitor", {"id", op.trace_id}, {"proc", self_});
+  }
+  trace_.record(op);
+  if (auto* sink = op_sink_.load(std::memory_order_acquire)) sink->on_op(op);
+}
+
 Value Node::read(VarId x, ReadMode mode) {
   MC_CHECK_MSG(!(cfg_.omit_timestamps && mode == ReadMode::kCausal),
                "causal reads require vector timestamps (Config::omit_timestamps)");
@@ -542,7 +555,7 @@ Value Node::read(VarId x, ReadMode mode) {
     }
   }
 
-  if (trace_.enabled()) {
+  if (observing_ops()) {
     history::Operation op;
     op.kind = history::OpKind::kRead;
     op.proc = self_;
@@ -550,7 +563,7 @@ Value Node::read(VarId x, ReadMode mode) {
     op.value = out;
     op.mode = mode;
     op.write_id = e.last;
-    trace_.record(op);
+    emit_op(op);
   }
   return out;
 }
@@ -562,6 +575,13 @@ void Node::write(VarId x, Value v) {
     const SeqNo seq = ++write_counter_;
     const WriteId id{self_, seq};
 
+    history::Operation op;
+    op.kind = history::OpKind::kWrite;
+    op.proc = self_;
+    op.var = x;
+    op.value = v;
+    op.write_id = id;
+
     HeldLock* held = nullptr;
     if (demand_local_write(x, &held)) {
       held->cs_writes.push_back(x);
@@ -571,6 +591,7 @@ void Node::write(VarId x, Value v) {
       // the write lock orders these writes, so forcing is safe.
       mem_.apply(x, v, kFlagWrite, id, dep_vc_, 0, /*force=*/true);
       if (staleness_ != nullptr) staleness_->on_write(x, dep_vc_);
+      if (observing_ops()) emit_op(op);
     } else {
       dep_vc_.tick(self_);
       applied_.set(self_, dep_vc_[self_]);
@@ -578,20 +599,13 @@ void Node::write(VarId x, Value v) {
       if (staleness_ != nullptr) {
         staleness_->on_write(x, cfg_.omit_timestamps ? VectorClock{} : dep_vc_);
       }
+      // Sink before broadcast (obs/op_sink.h): no peer can observe this
+      // write before the live monitor has it.
+      if (observing_ops()) emit_op(op);
       // Broadcast while holding the node lock: the model permits
       // multi-threaded user processes, and per-sender FIFO requires this
       // process's updates to enter the fabric in sequence order.
       broadcast_update(x, v, kFlagWrite, seq, dep_vc_);
-    }
-
-    if (trace_.enabled()) {
-      history::Operation op;
-      op.kind = history::OpKind::kWrite;
-      op.proc = self_;
-      op.var = x;
-      op.value = v;
-      op.write_id = id;
-      trace_.record(op);
     }
   }
   cv_.notify_all();
@@ -609,9 +623,8 @@ void Node::do_delta(VarId x, Value amount, std::uint64_t flags) {
     if (staleness_ != nullptr) {
       staleness_->on_write(x, cfg_.omit_timestamps ? VectorClock{} : dep_vc_);
     }
-    broadcast_update(x, amount, flags, seq, dep_vc_);
-
-    if (trace_.enabled()) {
+    // Sink before broadcast (obs/op_sink.h), as in write().
+    if (observing_ops()) {
       history::Operation op;
       op.kind = history::OpKind::kDelta;
       op.proc = self_;
@@ -619,8 +632,9 @@ void Node::do_delta(VarId x, Value amount, std::uint64_t flags) {
       op.value = amount;
       op.fp = flags == kFlagDoubleDelta;
       op.write_id = id;
-      trace_.record(op);
+      emit_op(op);
     }
+    broadcast_update(x, amount, flags, seq, dep_vc_);
   }
   cv_.notify_all();
 }
@@ -672,14 +686,14 @@ void Node::await(VarId x, Value v, ReadMode mode) {
   const VarEntry& e = mem_.entry(x);
   absorb_entry(e);
 
-  if (trace_.enabled()) {
+  if (observing_ops()) {
     history::Operation op;
     op.kind = history::OpKind::kAwait;
     op.proc = self_;
     op.var = x;
     op.value = v;
     op.write_id = e.last;
-    trace_.record(op);
+    emit_op(op);
   }
 }
 
@@ -735,13 +749,13 @@ void Node::barrier(BarrierId b) {
   }
   barrier_release_.erase(key);
 
-  if (trace_.enabled()) {
+  if (observing_ops()) {
     history::Operation op;
     op.kind = history::OpKind::kBarrier;
     op.proc = self_;
     op.barrier = b;
     op.barrier_epoch = static_cast<std::uint32_t>(epoch);
-    trace_.record(op);
+    emit_op(op);
   }
 }
 
@@ -799,14 +813,14 @@ void Node::do_lock(LockId l, LockRequestKind kind) {
 
   held_[l] = HeldLock{kind, info.episode, {}};
 
-  if (trace_.enabled()) {
+  if (observing_ops()) {
     history::Operation op;
     op.kind = kind == LockRequestKind::kWrite ? history::OpKind::kWriteLock
                                               : history::OpKind::kReadLock;
     op.proc = self_;
     op.lock = l;
     op.lock_episode = info.episode;
-    trace_.record(op);
+    emit_op(op);
   }
 }
 
@@ -869,9 +883,11 @@ void Node::do_unlock(LockId l, LockRequestKind kind) {
   }
   unlock.d = digest.size();
   for (const VarId x : digest) unlock.payload.push_back(x);
-  fabric_.send(std::move(unlock));
 
-  if (trace_.enabled()) {
+  // Sink before the kUnlock message leaves (obs/op_sink.h): the manager may
+  // grant the next episode the instant it arrives, and that episode's lock
+  // operations must reach the live monitor after this one.
+  if (observing_ops()) {
     std::scoped_lock lk(mu_);
     history::Operation op;
     op.kind = kind == LockRequestKind::kWrite ? history::OpKind::kWriteUnlock
@@ -879,8 +895,9 @@ void Node::do_unlock(LockId l, LockRequestKind kind) {
     op.proc = self_;
     op.lock = l;
     op.lock_episode = episode;
-    trace_.record(op);
+    emit_op(op);
   }
+  fabric_.send(std::move(unlock));
 }
 
 void Node::rlock(LockId l) { do_lock(l, LockRequestKind::kRead); }

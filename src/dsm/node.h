@@ -43,6 +43,10 @@
 #include "dsm/wire.h"
 #include "net/fabric.h"
 
+namespace mc::obs {
+class OpSink;
+}
+
 namespace mc::dsm {
 
 /// Per-node instrumentation: operation counts and time spent blocked
@@ -147,6 +151,14 @@ class Node {
     watchdog_.store(wd, std::memory_order_release);
   }
 
+  /// Attach (or detach, with nullptr) a live operation sink (obs/op_sink.h):
+  /// every completed operation is handed over as it happens, independently
+  /// of Config::record_trace.  Set while no application thread is inside a
+  /// node operation.
+  void set_op_sink(obs::OpSink* sink) {
+    op_sink_.store(sink, std::memory_order_release);
+  }
+
   /// Join the delivery thread; the fabric must have been shut down first.
   void stop();
 
@@ -220,6 +232,17 @@ class Node {
   template <typename Pred>
   void wait_or_die(std::unique_lock<std::mutex>& lk, const char* what, Pred pred);
 
+  /// True when some consumer (trace recorder or live sink) wants completed
+  /// operations materialized.
+  [[nodiscard]] bool observing_ops() const {
+    return trace_.enabled() || op_sink_.load(std::memory_order_acquire) != nullptr;
+  }
+  /// Stamp a trace correlation id (when tracing), emit the matching trace
+  /// instant, record into the trace, and hand the op to the live sink.
+  /// Call with mu_ held, at the op's completion point (see obs/op_sink.h
+  /// for the ordering contract).
+  void emit_op(history::Operation& op);
+
   [[nodiscard]] VectorClock snapshot_dep_vc();
   void broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq,
                         const VectorClock& stamp);
@@ -252,6 +275,7 @@ class Node {
   /// Config::track_staleness.
   StalenessTable* const staleness_;
   std::atomic<Watchdog*> watchdog_{nullptr};
+  std::atomic<obs::OpSink*> op_sink_{nullptr};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -125,6 +125,16 @@ MixedSystem::RunOutcome MixedSystem::run(
   return out;
 }
 
+void MixedSystem::attach_op_sink(obs::OpSink* sink) {
+  for (auto& n : nodes_) n->set_op_sink(sink);
+}
+
+std::map<BarrierId, std::size_t> MixedSystem::barrier_membership() const {
+  std::map<BarrierId, std::size_t> m;
+  for (const auto& [bar, members] : cfg_.barrier_members) m[bar] = members.size();
+  return m;
+}
+
 history::History MixedSystem::collect_history() const {
   std::vector<const TraceRecorder*> traces;
   traces.reserve(nodes_.size());

@@ -58,6 +58,16 @@ class MixedSystem {
   /// Fabric- and node-level metrics (messages, bytes, blocked time).
   [[nodiscard]] MetricsSnapshot metrics() const;
 
+  /// Attach a live operation sink to every node (nullptr detaches).  The
+  /// sink sees each operation as it completes (obs/op_sink.h) — this is how
+  /// an online ConsistencyMonitor observes the run.  Attach before run();
+  /// the sink must outlive the system or be detached first.
+  void attach_op_sink(obs::OpSink* sink);
+
+  /// Expected member count per subset barrier (Config::barrier_members),
+  /// in the shape ConsistencyMonitor wants.
+  [[nodiscard]] std::map<BarrierId, std::size_t> barrier_membership() const;
+
   [[nodiscard]] net::Fabric& fabric() { return fabric_; }
 
   /// Stop managers and delivery threads.  Called by the destructor;

@@ -127,6 +127,12 @@ class Watchdog {
   [[nodiscard]] bool fired() const {
     return fired_.load(std::memory_order_relaxed);
   }
+  /// Number of operations currently registered as blocked — a liveness
+  /// gauge for the time-series sampler (obs/timeseries.h).
+  [[nodiscard]] std::size_t blocked_waits() const {
+    std::scoped_lock lk(mu_);
+    return waits_.size();
+  }
   [[nodiscard]] std::chrono::nanoseconds poll_interval() const {
     return opts_.poll;
   }

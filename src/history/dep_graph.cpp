@@ -172,6 +172,26 @@ std::vector<TypedEdge> DepGraph::find_cycle(EdgeMask mask) const {
   return {};
 }
 
+void DepGraph::compact(const std::vector<std::uint32_t>& remap, std::uint32_t live) {
+  MC_CHECK(remap.size() == adj_.size());
+  constexpr std::uint32_t kGone = ~std::uint32_t{0};
+  std::vector<std::vector<HalfEdge>> next(live);
+  num_edges_ = 0;
+  for (auto& c : by_type_) c = 0;
+  for (std::uint32_t v = 0; v < adj_.size(); ++v) {
+    if (remap[v] == kGone) continue;
+    std::vector<HalfEdge>& out = next[remap[v]];
+    out.reserve(adj_[v].size());
+    for (const HalfEdge& e : adj_[v]) {
+      if (remap[e.to] == kGone) continue;
+      out.push_back({remap[e.to], e.type});
+      ++num_edges_;
+      ++by_type_[static_cast<std::size_t>(e.type)];
+    }
+  }
+  adj_ = std::move(next);
+}
+
 std::vector<TypedEdge> DepGraph::find_path(
     std::uint32_t from, std::uint32_t to, EdgeMask mask,
     const std::function<bool(const TypedEdge&)>& admit) const {

@@ -122,6 +122,13 @@ class DepGraph {
       std::uint32_t from, std::uint32_t to, EdgeMask mask = kAllEdges,
       const std::function<bool(const TypedEdge&)>& admit = nullptr) const;
 
+  /// Drop retired vertices and renumber the survivors (windowed pruning,
+  /// docs/CHECKING.md §10).  `remap[v]` is the new index of vertex v or
+  /// `~0u` when v is retired; the mapping must be monotone on survivors.
+  /// `live` is the surviving vertex count.  Edges with a retired endpoint
+  /// disappear and the per-type edge counts are recomputed.
+  void compact(const std::vector<std::uint32_t>& remap, std::uint32_t live);
+
  private:
   std::vector<std::vector<HalfEdge>> adj_;
   std::size_t num_edges_ = 0;

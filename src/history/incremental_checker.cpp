@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <queue>
+#include <type_traits>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -40,7 +41,9 @@ IncrementalChecker::IncrementalChecker(std::size_t num_procs)
       prev_node_(num_procs, kNoNode),
       own_track_(num_procs),
       read_held_(num_procs),
-      write_held_(num_procs) {
+      write_held_(num_procs),
+      frontier_line_(num_procs, 0),
+      retired_seq_(num_procs, 0) {
   MC_CHECK(num_procs > 0);
 }
 
@@ -108,6 +111,7 @@ bool IncrementalChecker::feed(const Operation& op, std::uint32_t ext_id) {
   const ProcId p = op.proc;
   const std::uint32_t pred = prev_node_[p];
   const std::uint32_t node = append_node(op, ext_id);
+  ++n_fed_;
   in_edges_.clear();
 
   if (pred != kNoNode) {
@@ -120,10 +124,29 @@ bool IncrementalChecker::feed(const Operation& op, std::uint32_t ext_id) {
       for (const std::uint32_t m : b.members) {
         if (m != pred) connect(node, m, EdgeType::kBarrier);
       }
+      // Frontier detection (docs/CHECKING.md §10): a full-membership
+      // instance whose every member has also fed its program successor.
+      // From here on, every future operation's causal clock and every one
+      // of its PRAM clocks dominate all operations at or before the
+      // members, which is what makes retirement sound.
+      if (++b.succ_fed == num_procs_ && b.members.size() == num_procs_) {
+        std::vector<std::uint32_t> line(num_procs_, kNoNode);
+        bool complete = true;
+        for (const std::uint32_t m : b.members) {
+          if (line[ops_[m].proc] != kNoNode) complete = false;  // defensive
+          line[ops_[m].proc] = pidx_[m];
+        }
+        for (const std::uint32_t l : line) complete = complete && l != kNoNode;
+        if (complete) {
+          frontier_line_ = std::move(line);
+          frontier_valid_ = true;
+        }
+      }
     }
   }
 
   std::uint32_t rf_writer = kNoNode;
+  bool rf_retired = false;
   switch (op.kind) {
     case OpKind::kWrite:
     case OpKind::kDelta: {
@@ -142,6 +165,18 @@ bool IncrementalChecker::feed(const Operation& op, std::uint32_t ext_id) {
       if (op.write_id.valid()) {
         auto it = writers_.find(op.write_id);
         if (it == writers_.end()) {
+          if (op.write_id.proc < num_procs_ &&
+              op.write_id.seq <= retired_seq_[op.write_id.proc]) {
+            // The source was retired by pruning.  Retirement proves it is
+            // superseded in every clock family, so for a plain location a
+            // read of it is stale in both passes; for a counter location the
+            // read is value-checked later and the dropped reads-from edge is
+            // clock-neutral (the reader's clocks already dominate the
+            // frontier).  Awaits of retired sources lose only the frozen
+            // value cross-check (docs/CHECKING.md §10).
+            rf_retired = true;
+            break;
+          }
           // The writer either does not exist or has not been fed yet; both
           // breach the reads-from edge of a causal linear extension.
           fail("read resolves to a write that is not in the history: " + op.to_string());
@@ -264,6 +299,12 @@ bool IncrementalChecker::feed(const Operation& op, std::uint32_t ext_id) {
       break;
     }
     case OpKind::kBarrier: {
+      if (auto it = retired_epoch_.find(op.barrier); it != retired_epoch_.end() &&
+                                                     op.barrier_epoch <= it->second) {
+        fail("operations not fed in causal order: " + op.to_string() +
+             " joins a barrier instance that already released");
+        return false;
+      }
       BarState& b = barriers_[bar_key(op)];
       if (b.released) {
         fail("operations not fed in causal order: " + op.to_string() +
@@ -310,6 +351,16 @@ bool IncrementalChecker::feed(const Operation& op, std::uint32_t ext_id) {
       vs.reads.push_back(node);
       if (vs.counter) {
         ++n_deferred_;  // checked at finalize with the complete delta set
+      } else if (rf_retired) {
+        // Retirement certifies a later same-location write in every clock
+        // family, so this read is stale under both disciplines.
+        for (const bool causal_pass : {true, false}) {
+          record_violation(node, causal_pass,
+                           op.to_string() +
+                               " is stale: it returns a retired write already "
+                               "superseded before the last pruned barrier frontier",
+                           kNoNode);
+        }
       } else {
         check_plain_read(node, /*causal_pass=*/true);
         check_plain_read(node, /*causal_pass=*/false);
@@ -349,6 +400,68 @@ void IncrementalChecker::record_violation(std::uint32_t node, bool causal_pass,
   v.message = std::move(message);
   v.cycle_with = cycle_with;
   violations_.push_back(std::move(v));
+  if (live_capture_ && first_cx_dot_.empty()) {
+    // Capture eagerly: a later prune may retire nodes on the cycle's path.
+    first_cx_dot_ = render_violation_dot(node, cycle_with);
+  }
+}
+
+void IncrementalChecker::freeze_violation(FrozenViolation fv) {
+  if (frozen_.size() >= kMaxFrozen) {
+    ++frozen_dropped_;
+    return;
+  }
+  frozen_.push_back(std::move(fv));
+}
+
+std::string IncrementalChecker::render_violation_dot(std::uint32_t node,
+                                                     std::uint32_t cycle_with) const {
+  // A staleness violation is a cycle: the intervening write reaches the read
+  // through causality, and the read must precede the intervener in any
+  // serialization (anti-dependence).  Violations without an intervener (a
+  // source that never became visible) have no cycle to draw.
+  std::vector<TypedEdge> cycle;
+  if (cycle_with != kNoNode) {
+    cycle = graph_.find_path(cycle_with, node, kCausalityEdges);
+    cycle.push_back({node, cycle_with, EdgeType::kAntiDep});
+  }
+  if (cycle_with == kNoNode || cycle.size() < 2) {
+    return "digraph counterexample {\n  // no counterexample cycle\n}\n";
+  }
+
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+
+  std::string out =
+      "digraph counterexample {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  std::unordered_set<std::uint32_t> hot;
+  for (const TypedEdge& e : cycle) {
+    hot.insert(e.from);
+    hot.insert(e.to);
+  }
+  for (const std::uint32_t v : hot) {
+    const Operation& op = ops_[v];
+    std::string label = "p" + std::to_string(op.proc) + " " + op.to_string();
+    // Trace correlation: link the operation back to its Chrome-trace
+    // instant (docs/TRACING.md) when the runtime stamped one.
+    if (op.trace_id != 0) label += "\\ntrace=" + std::to_string(op.trace_id);
+    out += "  n" + std::to_string(ext_[v]) + " [label=\"" + escape(label) +
+           "\", color=crimson, penwidth=2.0];\n";
+  }
+  for (const TypedEdge& e : cycle) {
+    out += "  n" + std::to_string(ext_[e.from]) + " -> n" + std::to_string(ext_[e.to]) +
+           " [label=\"" + edge_type_name(e.type) +
+           "\", fontsize=8, color=crimson, penwidth=2.0];\n";
+  }
+  out += "}\n";
+  return out;
 }
 
 void IncrementalChecker::check_plain_read(std::uint32_t node, bool causal_pass) {
@@ -481,6 +594,15 @@ void IncrementalChecker::check_counter_read(std::uint32_t node, bool causal_pass
     }
   }
 
+  // Retired-delta carry (docs/CHECKING.md §10): deltas released by pruning
+  // are visible to every surviving read, so they are required except where
+  // already folded into the base under this clock family.
+  if (base == kNoNode) {
+    required += vs.nobase_i;
+  } else if (auto cit = vs.carry_i.find(base); cit != vs.carry_i.end()) {
+    required += cit->second[causal_pass ? num_procs_ : i];
+  }
+
   const auto target = static_cast<std::int64_t>(r.value);
   std::unordered_set<std::int64_t> sums{base_val - required};
   for (const std::int64_t amt : optional) {
@@ -529,6 +651,21 @@ void IncrementalChecker::check_fp_counter_read(std::uint32_t node, bool causal_p
     } else {
       const std::uint32_t* Co = causal_pass ? causal_clock(o) : pram_clock(o, i);
       if (!visible(node, Co)) optional.push_back(amt);
+    }
+  }
+
+  // Retired-delta carry (docs/CHECKING.md §10); an fp location may have
+  // accumulated integer deltas before its first fp one, so both carry maps
+  // contribute here.
+  if (base == kNoNode) {
+    required += vs.nobase_d + static_cast<double>(vs.nobase_i);
+  } else {
+    const std::size_t fam = causal_pass ? num_procs_ : i;
+    if (auto cit = vs.carry_i.find(base); cit != vs.carry_i.end()) {
+      required += static_cast<double>(cit->second[fam]);
+    }
+    if (auto cit = vs.carry_d.find(base); cit != vs.carry_d.end()) {
+      required += cit->second[fam];
     }
   }
 
@@ -695,8 +832,11 @@ GraphVerdict IncrementalChecker::finalize() {
   for (const std::uint32_t a : awaits_) {
     const Operation& op = ops_[a];
     if (!op.write_id.valid()) continue;
-    if (vars_.at(op.var).counter) continue;
-    const std::uint32_t w = writers_.at(op.write_id);
+    auto vit = vars_.find(op.var);
+    if (vit != vars_.end() && vit->second.counter) continue;
+    auto wit = writers_.find(op.write_id);
+    if (wit == writers_.end()) continue;  // source retired: value check waived
+    const std::uint32_t w = wit->second;
     if (ops_[w].kind == OpKind::kWrite && ops_[w].value != op.value) {
       await_viols.push_back({a, op.var, true, true,
                              op.to_string() + " resolved by " + ops_[w].to_string() +
@@ -734,7 +874,18 @@ GraphVerdict IncrementalChecker::finalize() {
                      return ext_[a.node] < ext_[b.node];
                    });
 
-  const auto assemble = [&](CheckResult& out, auto&& applies) {
+  // Verdicts frozen at prune time come first (they carry the oldest ext
+  // ids); awaits apply to every model, reads to their own passes.
+  std::sort(frozen_.begin(), frozen_.end(),
+            [](const FrozenViolation& a, const FrozenViolation& b) {
+              return a.ext < b.ext;
+            });
+  const auto assemble = [&](CheckResult& out, auto&& applies, auto&& applies_frozen) {
+    for (const FrozenViolation& fv : frozen_) {
+      if (!fv.is_await && !applies_frozen(fv)) continue;
+      out.ok = false;
+      if (out.violations.size() < 8) out.violations.push_back(fv.message);
+    }
     for (const Violation& av : await_viols) {
       out.ok = false;
       if (out.violations.size() < 8) out.violations.push_back(av.message);
@@ -745,9 +896,12 @@ GraphVerdict IncrementalChecker::finalize() {
       if (out.violations.size() < 8) out.violations.push_back(rv.message);
     }
   };
-  assemble(v.causal, [](const Violation& x) { return x.causal_pass; });
-  assemble(v.pram, [](const Violation& x) { return !x.causal_pass; });
-  assemble(v.mixed, [](const Violation& x) { return x.mixed_applies; });
+  assemble(v.causal, [](const Violation& x) { return x.causal_pass; },
+           [](const FrozenViolation& x) { return x.causal_pass; });
+  assemble(v.pram, [](const Violation& x) { return !x.causal_pass; },
+           [](const FrozenViolation& x) { return !x.causal_pass; });
+  assemble(v.mixed, [](const Violation& x) { return x.mixed_applies; },
+           [](const FrozenViolation& x) { return x.mixed_applies; });
 
   derive_order_edges();
   analyze_models(v);
@@ -755,15 +909,389 @@ GraphVerdict IncrementalChecker::finalize() {
   return v;
 }
 
+std::size_t IncrementalChecker::prune() {
+  if (!frontier_valid_ || failed() || finalized_) return 0;
+  frontier_valid_ = false;
+
+  const auto n = static_cast<std::uint32_t>(ops_.size());
+  constexpr std::uint32_t kGone = ~std::uint32_t{0};
+
+  // Everything at or before the frontier member of its process is "behind
+  // the frontier": fully visible, in every clock family, to every operation
+  // that will ever be fed from now on.
+  const auto pre = [&](std::uint32_t v) {
+    return pidx_[v] <= frontier_line_[ops_[v].proc];
+  };
+
+  // ---- keep-set -----------------------------------------------------
+  // Pre-frontier operations survive only while some live structure still
+  // needs them: lock-episode attachment points, own-observation tracking,
+  // per-process tails, members of instances that cannot retire, counter
+  // bases, and plain writes not yet superseded in every family.
+  std::vector<bool> keep(n, false);
+  const auto mark = [&](std::uint32_t v) {
+    if (v != kNoNode) keep[v] = true;
+  };
+
+  for (const auto& [lock, s] : locks_) {
+    (void)lock;
+    mark(s.tail);
+    mark(s.prev_tail);
+    for (const std::uint32_t v : s.open_wls) mark(v);
+    for (const std::uint32_t v : s.pending_r) mark(v);
+  }
+  for (const auto& per_proc : own_track_) {
+    for (const auto& [var, t] : per_proc) {
+      (void)var;
+      mark(t.last);
+      mark(t.prev_distinct);
+    }
+  }
+  for (const std::uint32_t v : prev_node_) mark(v);
+
+  // Barrier instances wholly behind the frontier (and released) retire with
+  // an epoch watermark; any other instance pins its members and their
+  // attachment predecessors.
+  std::vector<std::uint64_t> erase_bars;
+  for (const auto& [key, b] : barriers_) {
+    bool all_pre = b.released;
+    for (const std::uint32_t m : b.members) all_pre = all_pre && pre(m);
+    if (all_pre) {
+      erase_bars.push_back(key);
+    } else {
+      for (const std::uint32_t m : b.members) mark(m);
+      for (const std::uint32_t m : b.member_pre) mark(m);
+    }
+  }
+
+  // Counter locations never retire writes: any of them can serve as the
+  // base of a future read's scan.
+  for (const auto& [var, vs] : vars_) {
+    (void)var;
+    if (!vs.counter) continue;
+    for (const std::uint32_t w : vs.writes) keep[w] = true;
+  }
+
+  // A plain write may go only once some later write of the same location
+  // supersedes it under the causal clock *and* under every observer's PRAM
+  // clock — then no future read can name it (stale by watermark) and no
+  // future intervener search can need it (the superseding write's clocks
+  // contain its whole visibility cone).  Reverse feed-order scan with one
+  // running column-max per family; visibility is single-component, so the
+  // maxima decide supersession exactly.
+  //
+  // Only *pre-frontier* writes supply supersession evidence.  The barrier
+  // frontier guarantees every future operation sees the pre-frontier
+  // superseder (member ~> future op, superseder ~> member), which is what
+  // licenses the stale-by-watermark classification of stragglers.  A
+  // post-frontier superseder carries no such guarantee: a straggler read
+  // fed after this prune may be concurrent with it and legally return the
+  // latest pre-frontier write, so that write must survive until a frontier
+  // forms past its superseder.
+  {
+    const std::size_t fams = num_procs_ + 1;  // observers 0..p-1, then causal
+    std::vector<std::uint32_t> maxv;
+    for (const auto& [var, vs] : vars_) {
+      (void)var;
+      if (vs.counter || vs.writes.empty()) continue;
+      maxv.assign(fams * num_procs_, 0);
+      for (auto it = vs.writes.rbegin(); it != vs.writes.rend(); ++it) {
+        const std::uint32_t w = *it;
+        if (!pre(w)) continue;  // not a candidate, and no evidence either
+        const ProcId p = ops_[w].proc;
+        const std::uint32_t need = pidx_[w] + 1;
+        bool superseded = true;
+        for (std::size_t f = 0; f < fams && superseded; ++f) {
+          superseded = maxv[f * num_procs_ + p] >= need;
+        }
+        if (!superseded) keep[w] = true;
+        for (ProcId i = 0; i < num_procs_; ++i) {
+          const std::uint32_t* g = pram_clock(w, i);
+          std::uint32_t* m = maxv.data() + static_cast<std::size_t>(i) * num_procs_;
+          for (std::size_t q = 0; q < num_procs_; ++q) m[q] = std::max(m[q], g[q]);
+        }
+        const std::uint32_t* c = causal_clock(w);
+        std::uint32_t* m = maxv.data() + static_cast<std::size_t>(num_procs_) * num_procs_;
+        for (std::size_t q = 0; q < num_procs_; ++q) m[q] = std::max(m[q], c[q]);
+      }
+    }
+  }
+
+  std::vector<bool> retire(n, false);
+  for (std::uint32_t v = 0; v < n; ++v) retire[v] = pre(v) && !keep[v];
+
+  // ---- settle pre-frontier verdicts on the spot ---------------------
+  // Counter reads behind the frontier see their final delta set already:
+  // every future delta is post-frontier, hence neither required (not in the
+  // read's clock) nor optional (the read is in *its* clock).  Check them now
+  // with finalize's exact procedure and freeze the outcomes.
+  for (auto& [var, vs] : vars_) {
+    (void)var;
+    if (!vs.counter) continue;
+    std::sort(vs.writes.begin(), vs.writes.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return ext_[a] < ext_[b]; });
+    std::sort(vs.deltas.begin(), vs.deltas.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return ext_[a] < ext_[b]; });
+    std::vector<std::uint32_t> later_reads;
+    std::vector<Violation> settled;
+    for (const std::uint32_t r : vs.reads) {
+      if (!pre(r)) {
+        later_reads.push_back(r);
+        continue;
+      }
+      check_counter_read(r, /*causal_pass=*/true, settled);
+      check_counter_read(r, /*causal_pass=*/false, settled);
+    }
+    vs.reads = std::move(later_reads);
+    for (Violation& sv : settled) {
+      freeze_violation({/*is_await=*/false, sv.causal_pass, sv.mixed_applies,
+                        ext_[sv.node], std::move(sv.message)});
+    }
+
+    // Fold the retiring deltas into per-base per-family carries.  Bases fed
+    // after the frontier dominate every retiring delta, so their carry is
+    // identically zero and stays absent.
+    std::vector<std::uint32_t> gone;
+    for (const std::uint32_t o : vs.deltas) {
+      if (retire[o]) gone.push_back(o);
+    }
+    if (gone.empty()) continue;
+    for (const std::uint32_t o : gone) {
+      if (ops_[o].fp) {
+        vs.nobase_d += double_of(ops_[o].value);
+      } else {
+        vs.nobase_i += int_of(ops_[o].value);
+      }
+    }
+    for (const std::uint32_t w : vs.writes) {
+      if (!pre(w)) continue;
+      for (std::size_t f = 0; f <= num_procs_; ++f) {
+        const std::uint32_t* Cw =
+            f == num_procs_ ? causal_clock(w) : pram_clock(w, static_cast<ProcId>(f));
+        std::int64_t ci = 0;
+        double cd = 0.0;
+        for (const std::uint32_t o : gone) {
+          if (visible(o, Cw)) continue;  // already folded into this base
+          if (ops_[o].fp) {
+            cd += double_of(ops_[o].value);
+          } else {
+            ci += int_of(ops_[o].value);
+          }
+        }
+        if (ci != 0) {
+          auto& vec = vs.carry_i[w];
+          if (vec.empty()) vec.assign(num_procs_ + 1, 0);
+          vec[f] += ci;
+        }
+        if (cd != 0.0) {
+          auto& vec = vs.carry_d[w];
+          if (vec.empty()) vec.assign(num_procs_ + 1, 0.0);
+          vec[f] += cd;
+        }
+      }
+    }
+  }
+
+  // Pre-frontier awaits: run finalize's structural value check now.  A
+  // retiring source forfeits only the frozen-value cross-check — retirement
+  // already proves the awaited write existed and was superseded.
+  {
+    std::vector<std::uint32_t> later;
+    for (const std::uint32_t a : awaits_) {
+      if (!pre(a)) {
+        later.push_back(a);
+        continue;
+      }
+      const Operation& op = ops_[a];
+      if (!op.write_id.valid()) continue;
+      auto vit = vars_.find(op.var);
+      if (vit != vars_.end() && vit->second.counter) continue;
+      auto wit = writers_.find(op.write_id);
+      if (wit == writers_.end() || retire[wit->second]) continue;
+      const std::uint32_t w = wit->second;
+      if (ops_[w].kind == OpKind::kWrite && ops_[w].value != op.value) {
+        freeze_violation({/*is_await=*/true, /*causal_pass=*/true,
+                          /*mixed_applies=*/true, ext_[a],
+                          op.to_string() + " resolved by " + ops_[w].to_string() +
+                              " with a different value"});
+      }
+    }
+    awaits_ = std::move(later);
+  }
+
+  // Violations attached to retiring reads: retract the ones finalize would
+  // retract (plain checks on locations now known to be counters), freeze the
+  // rest.  NB: frozen verdicts do not retract if the location turns into a
+  // counter only after this prune (docs/CHECKING.md §10).
+  {
+    std::vector<Violation> still_live;
+    for (Violation& v : violations_) {
+      if (!retire[v.node]) {
+        still_live.push_back(std::move(v));
+        continue;
+      }
+      auto vit = vars_.find(v.var);
+      if (vit != vars_.end() && vit->second.counter) continue;  // retracted
+      freeze_violation({/*is_await=*/false, v.causal_pass, v.mixed_applies,
+                        ext_[v.node], std::move(v.message)});
+    }
+    violations_ = std::move(still_live);
+  }
+
+  // ---- index maintenance --------------------------------------------
+  for (auto it = writers_.begin(); it != writers_.end();) {
+    if (retire[it->second]) {
+      if (it->first.proc < num_procs_) {
+        retired_seq_[it->first.proc] = std::max(retired_seq_[it->first.proc], it->first.seq);
+      }
+      it = writers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const std::uint64_t key : erase_bars) {
+    const auto bid = static_cast<BarrierId>(key >> 32);
+    const auto epoch = static_cast<std::uint32_t>(key & 0xffffffffu);
+    auto& wm = retired_epoch_[bid];
+    wm = std::max(wm, epoch);
+    barriers_.erase(key);
+  }
+  for (auto& [var, edges] : forced_) {
+    (void)var;
+    std::erase_if(edges, [&](const std::pair<std::uint32_t, std::uint32_t>& e) {
+      return retire[e.first] || retire[e.second];
+    });
+  }
+
+  // ---- compaction ---------------------------------------------------
+  std::vector<std::uint32_t> remap(n, kGone);
+  std::uint32_t live = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!retire[v]) remap[v] = live++;
+  }
+
+  const std::size_t P = num_procs_;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t nv = remap[v];
+    if (nv == kGone || nv == v) continue;  // monotone remap: nv < v
+    ops_[nv] = std::move(ops_[v]);
+    ext_[nv] = ext_[v];
+    pidx_[nv] = pidx_[v];  // positions are preserved, only rows move
+    std::copy(causal_.begin() + static_cast<std::ptrdiff_t>(v) * P,
+              causal_.begin() + static_cast<std::ptrdiff_t>(v + 1) * P,
+              causal_.begin() + static_cast<std::ptrdiff_t>(nv) * P);
+    std::copy(pram_.begin() + static_cast<std::ptrdiff_t>(v) * P * P,
+              pram_.begin() + static_cast<std::ptrdiff_t>(v + 1) * P * P,
+              pram_.begin() + static_cast<std::ptrdiff_t>(nv) * P * P);
+  }
+  ops_.resize(live);
+  ext_.resize(live);
+  pidx_.resize(live);
+  causal_.resize(static_cast<std::size_t>(live) * P);
+  pram_.resize(static_cast<std::size_t>(live) * P * P);
+  graph_.compact(remap, live);
+
+  const auto rm = [&](std::uint32_t& v) {
+    if (v == kNoNode) return;
+    MC_CHECK_MSG(remap[v] != kGone, "pruning retired a referenced node");
+    v = remap[v];
+  };
+  const auto rm_or_drop = [&](std::uint32_t& v) {
+    if (v != kNoNode) v = remap[v];  // kGone == kNoNode: retired refs vanish
+  };
+  static_assert(kGone == IncrementalChecker::kNoNode);
+
+  for (std::uint32_t& v : prev_node_) rm(v);
+  for (auto& [wid, v] : writers_) {
+    (void)wid;
+    rm(v);
+  }
+  for (auto& [lock, s] : locks_) {
+    (void)lock;
+    rm_or_drop(s.tail);
+    rm_or_drop(s.prev_tail);
+    for (std::uint32_t& v : s.open_wls) rm(v);
+    for (std::uint32_t& v : s.pending_r) rm(v);
+  }
+  for (auto& [key, b] : barriers_) {
+    (void)key;
+    for (std::uint32_t& m : b.members) rm(m);
+    for (std::uint32_t& m : b.member_pre) rm_or_drop(m);
+  }
+  for (auto& per_proc : own_track_) {
+    for (auto& [var, t] : per_proc) {
+      (void)var;
+      rm_or_drop(t.last);
+      rm_or_drop(t.prev_distinct);
+    }
+  }
+  for (std::uint32_t& a : awaits_) rm(a);
+  for (Violation& v : violations_) {
+    rm(v.node);
+    rm_or_drop(v.cycle_with);  // a retired intervener: keep the verdict, lose the cycle
+  }
+  for (auto& [var, vs] : vars_) {
+    (void)var;
+    const auto filter = [&](std::vector<std::uint32_t>& list) {
+      std::erase_if(list, [&](std::uint32_t v) { return retire[v]; });
+      for (std::uint32_t& v : list) v = remap[v];
+    };
+    for (auto& list : vs.writes_by_proc) filter(list);
+    filter(vs.writes);
+    filter(vs.deltas);
+    filter(vs.reads);
+    const auto rekey = [&](auto& carry) {
+      std::remove_cvref_t<decltype(carry)> next;
+      for (auto& [base, vec] : carry) next.emplace(remap[base], std::move(vec));
+      carry = std::move(next);
+    };
+    rekey(vs.carry_i);
+    rekey(vs.carry_d);
+  }
+  forced_seen_.clear();
+  for (auto& [var, edges] : forced_) {
+    (void)var;
+    for (auto& [a, b] : edges) {
+      a = remap[a];
+      b = remap[b];
+      forced_seen_.emplace((std::uint64_t{a} << 32) | b, true);
+    }
+  }
+
+  const std::size_t retired = n - live;
+  n_retired_ += retired;
+  ++n_prunes_;
+  return retired;
+}
+
+IncrementalChecker::LiveCounts IncrementalChecker::live_counts() const {
+  LiveCounts c;
+  c.fed = n_fed_;
+  c.live_nodes = ops_.size();
+  c.retired = n_retired_;
+  c.prunes = n_prunes_;
+  const auto tally = [&](bool is_await, bool causal_pass, bool mixed_applies) {
+    if (is_await || causal_pass) ++c.violations_causal;
+    if (is_await || !causal_pass) ++c.violations_pram;
+    if (is_await || mixed_applies) ++c.violations_mixed;
+  };
+  for (const Violation& v : violations_) tally(false, v.causal_pass, v.mixed_applies);
+  for (const FrozenViolation& f : frozen_) tally(f.is_await, f.causal_pass, f.mixed_applies);
+  return c;
+}
+
 MetricsSnapshot IncrementalChecker::metrics() const {
   MetricsSnapshot m;
-  m.values["checker.ops"] = ops_.size();
+  m.values["checker.ops"] = n_fed_;
+  m.values["checker.live_nodes"] = ops_.size();
+  m.values["checker.retired_total"] = n_retired_;
+  m.values["checker.prunes"] = n_prunes_;
   m.values["checker.reads"] = n_reads_;
   m.values["checker.writes"] = n_writes_;
   m.values["checker.deltas"] = n_deltas_;
   m.values["checker.sync_ops"] = n_sync_;
   m.values["checker.deferred_counter_reads"] = n_deferred_;
-  m.values["checker.violations"] = violations_.size();
+  m.values["checker.violations"] = violations_.size() + frozen_.size() + frozen_dropped_;
   m.values["checker.edges.po"] = graph_.edge_count(EdgeType::kProgram);
   m.values["checker.edges.rf"] = graph_.edge_count(EdgeType::kReadsFrom);
   m.values["checker.edges.lock"] = graph_.edge_count(EdgeType::kLock);

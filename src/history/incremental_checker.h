@@ -91,6 +91,46 @@ class IncrementalChecker {
   /// Call exactly once; feed() must not be called afterwards.
   GraphVerdict finalize();
 
+  /// Epoch-windowed pruning (docs/CHECKING.md §10): once every process has
+  /// fed a member of some full-membership barrier instance *and* the
+  /// operation after it, everything at or before those members is fully
+  /// visible to all future operations in every clock family and can retire.
+  /// Pre-frontier counter reads and awaits are checked on the spot (their
+  /// verdicts freeze into the final result); superseded plain writes,
+  /// retired deltas (folded into per-base carries), and their graph rows are
+  /// released.  Returns the number of operations retired (0 when no frontier
+  /// is pending).  Per-model read verdicts are unchanged by pruning; SC /
+  /// coherence verdicts become window-local (see the doc).  Only valid when
+  /// operations are fed in feed-sequence ext order (the default).
+  std::size_t prune();
+
+  /// True when a completed barrier frontier is pending, i.e. the next
+  /// prune() call will actually attempt retirement.
+  [[nodiscard]] bool prune_pending() const { return frontier_valid_; }
+
+  /// Capture a DOT counterexample for the first violation as it is recorded
+  /// (live monitoring): the staleness cycle rendered with per-operation
+  /// trace correlation ids.  Must be set before the violating feed.
+  void set_live_capture(bool on) { live_capture_ = on; }
+
+  /// The captured DOT document; empty until a violation with a cycle has
+  /// been recorded (violations without a cycle capture a placeholder).
+  [[nodiscard]] const std::string& first_violation_dot() const { return first_cx_dot_; }
+
+  /// Rolling counters for live monitoring.  Violation counts are
+  /// provisional: plain-read verdicts on locations that later turn out to
+  /// be counters are retracted at finalize (or frozen at prune time).
+  struct LiveCounts {
+    std::uint64_t fed = 0;         ///< operations fed since construction
+    std::uint64_t live_nodes = 0;  ///< operations currently resident
+    std::uint64_t retired = 0;     ///< operations released by prune()
+    std::uint64_t prunes = 0;      ///< prune() calls that found a frontier
+    std::uint64_t violations_causal = 0;
+    std::uint64_t violations_pram = 0;
+    std::uint64_t violations_mixed = 0;
+  };
+  [[nodiscard]] LiveCounts live_counts() const;
+
   [[nodiscard]] std::size_t num_ops() const { return ops_.size(); }
   [[nodiscard]] std::size_t num_procs() const { return num_procs_; }
   [[nodiscard]] const DepGraph& graph() const { return graph_; }
@@ -114,6 +154,18 @@ class IncrementalChecker {
     std::vector<std::uint32_t> reads;   // all reads, feed order
     bool counter = false;               // any delta seen
     bool fp = false;                    // any fp delta seen
+    bool writes_retired = false;        // pruning retired a plain write
+
+    // Retired-delta carries (docs/CHECKING.md §10): per surviving base
+    // write, the sum of retired delta amounts NOT folded into that base
+    // under each clock family (index 0..p-1 = PRAM observer, p = causal).
+    // Post-frontier bases see every retired delta folded, so they carry 0
+    // and are simply absent.  `nobase` is the family-independent sum added
+    // when the location has no base write at all.
+    std::unordered_map<std::uint32_t, std::vector<std::int64_t>> carry_i;
+    std::unordered_map<std::uint32_t, std::vector<double>> carry_d;
+    std::int64_t nobase_i = 0;
+    double nobase_d = 0.0;
   };
 
   struct LockState {
@@ -130,6 +182,7 @@ class IncrementalChecker {
     std::vector<std::uint32_t> members;
     std::vector<std::uint32_t> member_pre;  // po-predecessor of each member
     bool released = false;                  // some post-member op arrived
+    std::uint32_t succ_fed = 0;             // members whose po-successor fed
   };
 
   struct OwnTrack {
@@ -166,9 +219,22 @@ class IncrementalChecker {
     return clock[ops_[node].proc] >= pidx_[node] + 1;
   }
 
+  /// A violation whose operation has been retired: the attribution flags
+  /// and message survive, the node does not.  Awaits apply to every model.
+  struct FrozenViolation {
+    bool is_await = false;
+    bool causal_pass = false;
+    bool mixed_applies = false;
+    std::uint32_t ext = 0;
+    std::string message;
+  };
+
   void check_plain_read(std::uint32_t node, bool causal_pass);
   void record_violation(std::uint32_t node, bool causal_pass, std::string message,
                         std::uint32_t cycle_with);
+  void freeze_violation(FrozenViolation fv);
+  [[nodiscard]] std::string render_violation_dot(std::uint32_t node,
+                                                 std::uint32_t cycle_with) const;
   void check_counter_read(std::uint32_t node, bool causal_pass,
                           std::vector<Violation>& out);
   void check_fp_counter_read(std::uint32_t node, bool causal_pass,
@@ -204,8 +270,28 @@ class IncrementalChecker {
   std::unordered_map<VarId, std::vector<std::pair<std::uint32_t, std::uint32_t>>> forced_;
   std::unordered_map<std::uint64_t, bool> forced_seen_;
 
+  // --- windowed pruning state (docs/CHECKING.md §10) ---
+  bool frontier_valid_ = false;
+  std::vector<std::uint32_t> frontier_line_;  // per proc: pidx of its member
+  /// Per process: highest write/delta sequence number among retired writes.
+  /// A read resolving below this watermark names a retired (hence provably
+  /// superseded) write: an immediate violation in both passes for plain
+  /// locations, and a clock-neutral no-op for counter locations.
+  std::vector<SeqNo> retired_seq_;
+  /// Per barrier object: highest retired instance epoch, so a straggler
+  /// arriving at an erased instance still fails feed-order like it would
+  /// against the live `released` flag.
+  std::unordered_map<BarrierId, std::uint32_t> retired_epoch_;
+  static constexpr std::size_t kMaxFrozen = 4096;
+  std::vector<FrozenViolation> frozen_;
+  std::uint64_t frozen_dropped_ = 0;
+
+  bool live_capture_ = false;
+  std::string first_cx_dot_;
+
   std::uint64_t n_reads_ = 0, n_writes_ = 0, n_deltas_ = 0, n_sync_ = 0;
   std::uint64_t n_deferred_ = 0, n_rw_edges_ = 0;
+  std::uint64_t n_fed_ = 0, n_retired_ = 0, n_prunes_ = 0;
 };
 
 /// checkers.h backend selection for the free-function API.

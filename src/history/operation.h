@@ -100,6 +100,13 @@ struct Operation {
   /// is derived from them (see causality.cpp).
   std::uint64_t lock_episode = 0;
 
+  /// Chrome-trace correlation id (runtime-only; 0 = none).  When tracing is
+  /// enabled the node stamps each operation with a flow id and emits a
+  /// matching trace instant, so a live-monitor counterexample (DOT) can name
+  /// the exact trace events involved.  Not part of the formal model and not
+  /// serialized with histories.
+  std::uint64_t trace_id = 0;
+
   [[nodiscard]] std::string to_string() const;
 };
 

@@ -1,0 +1,171 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mc::obs {
+
+ConsistencyMonitor::ConsistencyMonitor(std::size_t num_procs,
+                                       std::map<BarrierId, std::size_t> barrier_membership)
+    : num_procs_(num_procs),
+      membership_(std::move(barrier_membership)),
+      checker_(num_procs),
+      queues_(num_procs),
+      fed_wseq_(num_procs, 0),
+      bar_gate_(num_procs, kNoGate) {
+  checker_.set_live_capture(true);
+}
+
+std::size_t ConsistencyMonitor::expected_members(std::uint64_t key) const {
+  const auto bid = static_cast<BarrierId>(key >> 32);
+  auto it = membership_.find(bid);
+  return it == membership_.end() ? num_procs_ : it->second;
+}
+
+void ConsistencyMonitor::on_op(const history::Operation& op) {
+  std::scoped_lock lk(mu_);
+  if (finalized_ || op.proc >= num_procs_) {
+    ++skipped_;
+    return;
+  }
+  ++enqueued_;
+  ++queued_;
+  if (history::is_lock_op(op.kind)) {
+    lock_pending_[op.lock].insert(op.lock_episode);
+  }
+  queues_[op.proc].push_back(op);
+  pump();
+}
+
+bool ConsistencyMonitor::ready(const history::Operation& op, ProcId p) const {
+  // Barrier-successor gate: nothing after a member until the instance's
+  // expected membership has been fed.  Member counting deadlocks are
+  // impossible because the gate counts *fed* members, and members are
+  // themselves never gated by anything that waits on this process.
+  if (bar_gate_[p] != kNoGate) {
+    auto it = bar_fed_.find(bar_gate_[p]);
+    // A missing entry means the instance completed and was retired after
+    // every gated successor passed — nothing left to wait for.
+    if (it != bar_fed_.end() && it->second.fed < expected_members(bar_gate_[p])) {
+      return false;
+    }
+  }
+  switch (op.kind) {
+    case history::OpKind::kRead:
+    case history::OpKind::kAwait:
+      // The source write must be fed first; sources of other systems (the
+      // initial value's kNoProc) pass through.
+      return !op.write_id.valid() || op.write_id.proc >= num_procs_ ||
+             fed_wseq_[op.write_id.proc] >= op.write_id.seq;
+    case history::OpKind::kReadLock:
+    case history::OpKind::kReadUnlock:
+    case history::OpKind::kWriteLock:
+    case history::OpKind::kWriteUnlock: {
+      // Episode order: this operation goes only when no earlier episode of
+      // the lock is still enqueued-unfed anywhere.
+      auto it = lock_pending_.find(op.lock);
+      MC_CHECK(it != lock_pending_.end() && !it->second.empty());
+      return *it->second.begin() >= op.lock_episode;
+    }
+    default:
+      return true;  // writes, deltas, barrier members
+  }
+}
+
+void ConsistencyMonitor::feed_one(const history::Operation& op, ProcId p) {
+  checker_.feed(op, next_ext_++);
+  --queued_;
+  // This op just passed p's barrier gate (ready() said so); the instance's
+  // counter can be retired once every member's successor has passed.  The
+  // gate itself clears even when the op is another barrier member — the new
+  // instance's gate replaces it below.
+  if (bar_gate_[p] != kNoGate) {
+    auto it = bar_fed_.find(bar_gate_[p]);
+    if (it != bar_fed_.end() &&
+        ++it->second.passed >= expected_members(bar_gate_[p])) {
+      bar_fed_.erase(it);
+    }
+    bar_gate_[p] = kNoGate;
+  }
+  switch (op.kind) {
+    case history::OpKind::kWrite:
+    case history::OpKind::kDelta:
+      fed_wseq_[p] = std::max(fed_wseq_[p], op.write_id.seq);
+      break;
+    case history::OpKind::kReadLock:
+    case history::OpKind::kReadUnlock:
+    case history::OpKind::kWriteLock:
+    case history::OpKind::kWriteUnlock: {
+      auto& pending = lock_pending_.at(op.lock);
+      pending.erase(pending.find(op.lock_episode));
+      if (pending.empty()) lock_pending_.erase(op.lock);
+      break;
+    }
+    case history::OpKind::kBarrier:
+      ++bar_fed_[bar_key(op)].fed;
+      bar_gate_[p] = bar_key(op);
+      break;
+    default:
+      break;
+  }
+  if (checker_.prune_pending()) checker_.prune();
+}
+
+void ConsistencyMonitor::pump() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (ProcId p = 0; p < num_procs_; ++p) {
+      while (!queues_[p].empty() && ready(queues_[p].front(), p)) {
+        const history::Operation op = std::move(queues_[p].front());
+        queues_[p].pop_front();
+        feed_one(op, p);
+        progress = true;
+      }
+    }
+  }
+}
+
+ConsistencyMonitor::Status ConsistencyMonitor::status() const {
+  std::scoped_lock lk(mu_);
+  Status s;
+  s.counts = checker_.live_counts();
+  s.enqueued = enqueued_;
+  s.queued = queued_;
+  s.skipped = skipped_;
+  s.structural_failed = checker_.failed();
+  return s;
+}
+
+MetricsSnapshot ConsistencyMonitor::metrics() const {
+  std::scoped_lock lk(mu_);
+  MetricsSnapshot m = checker_.metrics();
+  const auto counts = checker_.live_counts();
+  m.values["monitor.enqueued"] = enqueued_;
+  m.values["monitor.queued"] = queued_;
+  m.values["monitor.skipped"] = skipped_;
+  m.values["monitor.verdict.causal"] = counts.violations_causal == 0 ? 1 : 0;
+  m.values["monitor.verdict.pram"] = counts.violations_pram == 0 ? 1 : 0;
+  m.values["monitor.verdict.mixed"] = counts.violations_mixed == 0 ? 1 : 0;
+  m.values["monitor.structural_ok"] = checker_.failed() ? 0 : 1;
+  return m;
+}
+
+std::string ConsistencyMonitor::first_violation_dot() const {
+  std::scoped_lock lk(mu_);
+  return checker_.first_violation_dot();
+}
+
+history::GraphVerdict ConsistencyMonitor::finalize() {
+  std::scoped_lock lk(mu_);
+  MC_CHECK_MSG(!finalized_, "monitor finalized twice");
+  finalized_ = true;
+  pump();
+  for (const auto& q : queues_) skipped_ += q.size();
+  queued_ = 0;
+  for (auto& q : queues_) q.clear();
+  return checker_.finalize();
+}
+
+}  // namespace mc::obs

@@ -1,0 +1,117 @@
+// Online consistency monitor: a live IncrementalChecker fed from the nodes'
+// operation sinks while the system runs (docs/CHECKING.md §10).
+//
+// Each node hands its completed operations over in program order
+// (obs/op_sink.h), but the checker demands a *causal linear extension*
+// across processes: a read may not be fed before the write it returns, a
+// lock episode not before its predecessor episode released, a barrier
+// successor not before every member arrived.  The monitor restores that
+// order with per-process FIFO queues and readiness gates:
+//
+//   - read/await of write (p, s): gated until p's writes up to s are fed;
+//   - lock operation of episode e: gated until e is the smallest episode
+//     among enqueued-but-unfed operations of that lock (the sink ordering
+//     contract guarantees the predecessor episode is already enqueued);
+//   - the first operation after a barrier member: gated until the
+//     instance's expected membership has been fed (members themselves are
+//     never gated — they arrive before their own release by construction).
+//
+// The gates only ever wait for operations that are already enqueued or are
+// enqueued by a process that is making progress, so the pump drains to a
+// fixpoint on every delivery — no monitor thread needed.  After each barrier
+// frontier the checker's epoch-windowed pruning retires the settled prefix,
+// keeping resident state bounded over arbitrarily long runs.
+//
+// On the first violation the checker captures the counterexample cycle as a
+// DOT document whose node labels carry trace correlation ids (trace=<id>)
+// matching the `op` instants in the Chrome trace.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "history/incremental_checker.h"
+#include "obs/op_sink.h"
+
+namespace mc::obs {
+
+class ConsistencyMonitor final : public OpSink {
+ public:
+  /// `barrier_membership` lists the expected member count per barrier
+  /// object for subset barriers (Config::barrier_members); objects not
+  /// listed are full barriers over all `num_procs` processes.
+  explicit ConsistencyMonitor(std::size_t num_procs,
+                              std::map<BarrierId, std::size_t> barrier_membership = {});
+
+  void on_op(const history::Operation& op) override;
+
+  /// Rolling picture for the time-series sampler.
+  struct Status {
+    history::IncrementalChecker::LiveCounts counts;
+    std::uint64_t enqueued = 0;  ///< operations received from the sinks
+    std::uint64_t queued = 0;    ///< received but still gated
+    std::uint64_t skipped = 0;   ///< dropped unfed at finalize
+    bool structural_failed = false;
+  };
+  [[nodiscard]] Status status() const;
+
+  /// Checker counters plus `monitor.*` keys (docs/METRICS.md): the rolling
+  /// per-model verdict gauges are 1 while no violation of that model has
+  /// been recorded.
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// DOT counterexample of the first recorded violation (empty while the
+  /// run is clean).  Node labels carry `trace=<id>` correlation ids.
+  [[nodiscard]] std::string first_violation_dot() const;
+
+  /// Drain what is drainable, drop operations still gated (counted in
+  /// Status::skipped — e.g. a read whose source write never surfaced
+  /// because the run was cut short), and finalize the checker.  Call once,
+  /// after the system has quiesced; on_op must not race with it.
+  history::GraphVerdict finalize();
+
+ private:
+  [[nodiscard]] bool ready(const history::Operation& op, ProcId p) const;
+  void feed_one(const history::Operation& op, ProcId p);
+  void pump();
+
+  static std::uint64_t bar_key(const history::Operation& op) {
+    return (std::uint64_t{op.barrier} << 32) | op.barrier_epoch;
+  }
+  [[nodiscard]] std::size_t expected_members(std::uint64_t key) const;
+
+  const std::size_t num_procs_;
+  const std::map<BarrierId, std::size_t> membership_;
+
+  mutable std::mutex mu_;
+  history::IncrementalChecker checker_;
+  std::vector<std::deque<history::Operation>> queues_;
+  std::vector<SeqNo> fed_wseq_;                       // per proc, highest fed write seq
+  std::map<LockId, std::multiset<std::uint64_t>> lock_pending_;  // enqueued-unfed episodes
+  /// Per barrier instance: members fed so far, and gated successors that
+  /// have passed.  Erased once every member's successor passed, so the map
+  /// stays bounded on long runs.
+  struct BarGate {
+    std::size_t fed = 0;
+    std::size_t passed = 0;
+  };
+  std::map<std::uint64_t, BarGate> bar_fed_;
+  std::vector<std::uint64_t> bar_gate_;               // per proc, pending instance or ~0
+  static constexpr std::uint64_t kNoGate = ~std::uint64_t{0};
+
+  std::uint32_t next_ext_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t queued_ = 0;
+  std::uint64_t skipped_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mc::obs

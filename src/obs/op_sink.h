@@ -1,0 +1,32 @@
+// Live operation tap: a node (dsm/node.h) hands every completed memory /
+// synchronization operation to an attached sink the moment it completes,
+// before the update that carries it leaves for the fabric.  This is what
+// lets an online monitor (obs/monitor.h) observe the execution *as it
+// evolves* instead of post-mortem from merged traces.
+//
+// Ordering contract (what makes online checking sound):
+//   - per process, operations arrive in program order;
+//   - a write/delta is sunk before its update is broadcast, so no other
+//     process can complete (and sink) a read of it first in real time;
+//   - an unlock is sunk before the kUnlock message reaches the lock
+//     manager, so the next episode's lock operations sink later.
+//
+// Implementations are called with the issuing node's mutex held — they must
+// not call back into the node and should do bounded work.
+
+#pragma once
+
+#include "history/operation.h"
+
+namespace mc::obs {
+
+class OpSink {
+ public:
+  virtual ~OpSink() = default;
+
+  /// One completed operation of process `op.proc`.  Called under the
+  /// issuing node's lock, possibly from many nodes concurrently.
+  virtual void on_op(const history::Operation& op) = 0;
+};
+
+}  // namespace mc::obs

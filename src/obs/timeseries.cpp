@@ -1,0 +1,138 @@
+#include "obs/timeseries.h"
+
+#include <utility>
+
+#include "obs/json.h"
+
+namespace mc::obs {
+
+bool timeseries_is_gauge(std::string_view key) {
+  static constexpr std::string_view kSuffixes[] = {".mean", ".p50", ".p90",
+                                                   ".p99", ".max"};
+  for (std::string_view s : kSuffixes) {
+    if (key.ends_with(s)) return true;
+  }
+  static constexpr std::string_view kLevels[] = {
+      "checker.live_nodes",   "monitor.queued",
+      "monitor.verdict.causal", "monitor.verdict.pram",
+      "monitor.verdict.mixed",  "monitor.structural_ok",
+      "net.peer_unreachable",   "watchdog.blocked_waits",
+      "watchdog.fired",
+  };
+  for (std::string_view k : kLevels) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+std::string TimeSeriesRecord::to_jsonl() const {
+  JsonWriter w(0);
+  w.begin_object();
+  w.key("type").value("sample");
+  w.key("t_ms").value(t_ms);
+  w.key("dt_ms").value(dt_ms);
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters) w.key(k).value(v);
+  w.end_object();
+  if (dt_ms > 0) {
+    w.key("rates").begin_object();
+    for (const auto& [k, v] : counters) {
+      w.key(k).value(static_cast<double>(v) * 1000.0 / static_cast<double>(dt_ms));
+    }
+    w.end_object();
+  }
+  w.key("gauges").begin_object();
+  for (const auto& [k, v] : gauges) w.key(k).value(v);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+TimeSeries::TimeSeries(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TimeSeriesRecord TimeSeries::sample(const MetricsSnapshot& snap, std::uint64_t t_ms) {
+  std::scoped_lock lk(mu_);
+  TimeSeriesRecord rec;
+  rec.t_ms = t_ms;
+  rec.dt_ms = have_prev_ ? (t_ms >= prev_t_ms_ ? t_ms - prev_t_ms_ : 0) : t_ms;
+  for (const auto& [k, v] : snap.values) {
+    if (timeseries_is_gauge(k)) {
+      rec.gauges[k] = v;
+    } else {
+      const std::uint64_t base = have_prev_ ? prev_.get(k) : 0;
+      // Clamp like MetricsSnapshot::since: a reset counter reads as quiet,
+      // not as a huge negative delta wrapped around.
+      rec.counters[k] = v >= base ? v - base : 0;
+    }
+  }
+  prev_ = snap;
+  prev_t_ms_ = t_ms;
+  have_prev_ = true;
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(rec);
+  return rec;
+}
+
+std::size_t TimeSeries::size() const {
+  std::scoped_lock lk(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TimeSeries::dropped() const {
+  std::scoped_lock lk(mu_);
+  return dropped_;
+}
+
+std::vector<TimeSeriesRecord> TimeSeries::records() const {
+  std::scoped_lock lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string TimeSeries::to_jsonl() const {
+  std::string out;
+  for (const auto& rec : records()) {
+    out += rec.to_jsonl();
+    out += '\n';
+  }
+  return out;
+}
+
+MetricsSampler::MetricsSampler(std::function<MetricsSnapshot()> source,
+                               std::chrono::milliseconds period,
+                               std::size_t capacity)
+    : source_(std::move(source)),
+      period_(period.count() > 0 ? period : std::chrono::milliseconds(1)),
+      series_(capacity) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::stop() {
+  {
+    std::scoped_lock lk(mu_);
+    if (stopped_) return;
+    stop_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final sample so even a sub-period run yields a record, and so the last
+  // partial interval is not lost.
+  series_.sample(source_(), static_cast<std::uint64_t>(clock_.elapsed_ms()));
+}
+
+void MetricsSampler::loop() {
+  std::unique_lock lk(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lk, period_, [this] { return stop_; })) break;
+    lk.unlock();
+    series_.sample(source_(), static_cast<std::uint64_t>(clock_.elapsed_ms()));
+    lk.lock();
+  }
+}
+
+}  // namespace mc::obs

@@ -1,0 +1,116 @@
+// Live time-series telemetry: periodic MetricsSnapshot diffing into
+// timestamped delta records, retained in a bounded ring and streamed as
+// JSONL (docs/METRICS.md "Time series").
+//
+// A MetricsSnapshot is a flat key -> uint64 map mixing two kinds of values:
+// monotone counters (net.messages, checker.ops, histogram .count/.sum keys)
+// and levels (checker.live_nodes, monitor.queued, histogram quantiles).
+// The sampler splits each sample accordingly: counters are reported as
+// deltas over the interval (with derived per-second rates in the JSONL),
+// gauges as their current value.  That makes a long soak readable — a flat
+// `checker.live_nodes` gauge under growing `checker.ops` deltas is the
+// bounded-memory story in one plot.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace mc::obs {
+
+/// True for keys that report a current level rather than a monotone count:
+/// histogram summary keys (.mean/.p50/.p90/.p99/.max), resident-state sizes
+/// (checker.live_nodes, monitor.queued), rolling verdicts, and liveness
+/// probes (watchdog.*, net.peer_unreachable).
+[[nodiscard]] bool timeseries_is_gauge(std::string_view key);
+
+/// One sampling interval: counter deltas plus gauge levels at time `t_ms`.
+struct TimeSeriesRecord {
+  std::uint64_t t_ms = 0;   ///< sample time, ms since the sampler's epoch
+  std::uint64_t dt_ms = 0;  ///< interval the counter deltas cover
+  std::map<std::string, std::uint64_t> counters;  ///< deltas over [t-dt, t]
+  std::map<std::string, std::uint64_t> gauges;    ///< levels at t
+
+  /// The record as one compact JSONL line (type "sample", no trailing
+  /// newline).  Counter rates (events/s) are derived when dt_ms > 0.
+  [[nodiscard]] std::string to_jsonl() const;
+};
+
+/// Bounded ring of TimeSeriesRecords built by diffing successive snapshots.
+/// Thread-safe; writers (sample) and readers (records/to_jsonl) may race.
+class TimeSeries {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TimeSeries(std::size_t capacity = kDefaultCapacity);
+
+  /// Diff `snap` against the previous sample and append the record; the
+  /// first call establishes the baseline (dt_ms = t_ms).  When the ring is
+  /// full the oldest record is dropped (counted, never silently).
+  TimeSeriesRecord sample(const MetricsSnapshot& snap, std::uint64_t t_ms);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Retained records, oldest first.
+  [[nodiscard]] std::vector<TimeSeriesRecord> records() const;
+
+  /// Retained records as newline-terminated JSONL sample lines.
+  [[nodiscard]] std::string to_jsonl() const;
+
+ private:
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::deque<TimeSeriesRecord> ring_;
+  std::uint64_t dropped_ = 0;
+  MetricsSnapshot prev_;
+  std::uint64_t prev_t_ms_ = 0;
+  bool have_prev_ = false;
+};
+
+/// Background sampler: polls a snapshot source every `period` into a
+/// TimeSeries.  stop() (and the destructor) takes one final sample so short
+/// runs always produce at least one record.
+class MetricsSampler {
+ public:
+  MetricsSampler(std::function<MetricsSnapshot()> source,
+                 std::chrono::milliseconds period = std::chrono::milliseconds(250),
+                 std::size_t capacity = TimeSeries::kDefaultCapacity);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Take a final sample and join the polling thread.  Idempotent.
+  void stop();
+
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+
+ private:
+  void loop();
+
+  const std::function<MetricsSnapshot()> source_;
+  const std::chrono::milliseconds period_;
+  TimeSeries series_;
+  Stopwatch clock_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mc::obs

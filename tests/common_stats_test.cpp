@@ -140,6 +140,20 @@ TEST(MetricsSnapshot, SinceComputesDeltas) {
   EXPECT_EQ(d.get("missing"), 0u);
 }
 
+TEST(MetricsSnapshot, SinceClampsResetCounters) {
+  // A counter that went backwards (reset between snapshots) reads as a
+  // zero delta, not a wrapped-around huge one; keys that never fired stay
+  // absent rather than appearing as zeros.
+  MetricsSnapshot before;
+  before.values = {{"msgs", 50}, {"resets", 3}};
+  MetricsSnapshot after;
+  after.values = {{"msgs", 10}, {"resets", 3}};
+  const MetricsSnapshot d = after.since(before);
+  EXPECT_EQ(d.get("msgs"), 0u);
+  EXPECT_EQ(d.get("resets"), 0u);
+  EXPECT_EQ(d.values.count("never_fired"), 0u);
+}
+
 TEST(MetricsSnapshot, ToStringIsStable) {
   MetricsSnapshot s;
   s.values = {{"b", 2}, {"a", 1}};

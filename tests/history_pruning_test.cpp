@@ -1,0 +1,220 @@
+// Differential check for epoch-windowed pruning (docs/CHECKING.md §10):
+// the same randomized barrier-phased feed goes to a checker that prunes at
+// every frontier and to one that never prunes.  Per-model read verdicts
+// must be identical — pruning only releases state the window proof says no
+// future operation can implicate.  (SC / coherence become window-local
+// under pruning and are deliberately not compared.)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "history/incremental_checker.h"
+#include "history/operation.h"
+
+namespace mc::history {
+namespace {
+
+constexpr std::size_t kProcs = 3;
+constexpr std::size_t kVars = 6;  // var v is owned (written) by proc v % kProcs
+
+struct WriteRec {
+  WriteId id;
+  Value value;
+  std::uint32_t phase;
+};
+
+/// A randomized phased program: every phase each process writes some of its
+/// owned variables, issues reads, and crosses a full barrier.  Reads
+/// usually return the owner's latest write; with `stale_prob` they return a
+/// write already superseded before the current phase began — a guaranteed
+/// staleness violation (the superseding write is barrier-ordered before the
+/// read).
+std::vector<Operation> random_phased_feed(std::uint64_t seed, std::uint32_t phases,
+                                          double stale_prob) {
+  Rng rng(seed);
+  std::vector<Operation> feed;
+  std::vector<SeqNo> next_seq(kProcs, 1);
+  std::vector<std::vector<WriteRec>> writes(kVars);
+  Value next_value = 1;
+
+  for (std::uint32_t phase = 0; phase < phases; ++phase) {
+    // All writes of the phase first, then all reads, then the barrier: a
+    // causal linear extension that still respects per-process order.
+    for (ProcId p = 0; p < kProcs; ++p) {
+      const std::size_t n = 1 + rng.below(2);
+      for (std::size_t i = 0; i < n; ++i) {
+        const VarId x = static_cast<VarId>(p + kProcs * rng.below(kVars / kProcs));
+        Operation op;
+        op.kind = OpKind::kWrite;
+        op.proc = p;
+        op.var = x;
+        op.value = next_value++;
+        op.write_id = WriteId{p, next_seq[p]++};
+        writes[x].push_back({op.write_id, op.value, phase});
+        feed.push_back(op);
+      }
+    }
+    for (ProcId p = 0; p < kProcs; ++p) {
+      const VarId x = static_cast<VarId>(rng.below(kVars));
+      const auto& hist = writes[x];
+      if (hist.empty()) continue;
+      Operation op;
+      op.kind = OpKind::kRead;
+      op.proc = p;
+      op.var = x;
+      op.mode = rng.below(2) == 0 ? ReadMode::kPram : ReadMode::kCausal;
+      const WriteRec* src = &hist.back();
+      if (rng.uniform() < stale_prob) {
+        // A write superseded before this phase: pick any non-final write
+        // whose successor already existed in an earlier phase.
+        for (std::size_t i = 0; i + 1 < hist.size(); ++i) {
+          if (hist[i + 1].phase < phase) {
+            src = &hist[i];
+            break;
+          }
+        }
+      }
+      op.value = src->value;
+      op.write_id = src->id;
+      feed.push_back(op);
+    }
+    for (ProcId p = 0; p < kProcs; ++p) {
+      Operation op;
+      op.kind = OpKind::kBarrier;
+      op.proc = p;
+      op.barrier = 0;
+      op.barrier_epoch = phase;
+      feed.push_back(op);
+    }
+  }
+  return feed;
+}
+
+struct DifferentialOutcome {
+  GraphVerdict pruned;
+  GraphVerdict unpruned;
+  IncrementalChecker::LiveCounts pruned_counts;
+};
+
+DifferentialOutcome run_differential(const std::vector<Operation>& feed) {
+  IncrementalChecker pruned(kProcs);
+  IncrementalChecker unpruned(kProcs);
+  for (const auto& op : feed) {
+    pruned.feed(op);
+    unpruned.feed(op);
+    if (pruned.prune_pending()) pruned.prune();
+  }
+  DifferentialOutcome out;
+  out.pruned_counts = pruned.live_counts();
+  out.pruned = pruned.finalize();
+  out.unpruned = unpruned.finalize();
+  return out;
+}
+
+void expect_same_read_verdicts(const DifferentialOutcome& o, std::uint64_t seed) {
+  ASSERT_TRUE(o.pruned.well_formed) << "seed " << seed << ": " << o.pruned.error;
+  ASSERT_TRUE(o.unpruned.well_formed) << "seed " << seed << ": " << o.unpruned.error;
+  EXPECT_EQ(o.pruned.mixed.ok, o.unpruned.mixed.ok)
+      << "seed " << seed << " mixed: pruned='" << o.pruned.mixed.message()
+      << "' unpruned='" << o.unpruned.mixed.message() << "'";
+  EXPECT_EQ(o.pruned.causal.ok, o.unpruned.causal.ok)
+      << "seed " << seed << " causal: pruned='" << o.pruned.causal.message()
+      << "' unpruned='" << o.unpruned.causal.message() << "'";
+  EXPECT_EQ(o.pruned.pram.ok, o.unpruned.pram.ok)
+      << "seed " << seed << " pram: pruned='" << o.pruned.pram.message()
+      << "' unpruned='" << o.unpruned.pram.message() << "'";
+}
+
+TEST(PruningDifferential, CleanFeedsAgreeAndRetire) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto feed = random_phased_feed(seed, /*phases=*/12, /*stale_prob=*/0.0);
+    const auto o = run_differential(feed);
+    expect_same_read_verdicts(o, seed);
+    EXPECT_TRUE(o.pruned.mixed.ok) << "seed " << seed;
+    EXPECT_GT(o.pruned_counts.prunes, 0u) << "seed " << seed;
+    EXPECT_GT(o.pruned_counts.retired, 0u) << "seed " << seed;
+    // The resident window is a small suffix of the feed, not the whole run.
+    EXPECT_LT(o.pruned_counts.live_nodes, feed.size() / 2) << "seed " << seed;
+  }
+}
+
+TEST(PruningDifferential, InjectedStaleReadsAgree) {
+  std::size_t violating_runs = 0;
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    const auto feed = random_phased_feed(seed, /*phases=*/12, /*stale_prob=*/0.15);
+    const auto o = run_differential(feed);
+    expect_same_read_verdicts(o, seed);
+    violating_runs += !o.unpruned.mixed.ok;
+  }
+  // With 15% stale probability over 12 phases most runs must violate; if
+  // none did, the generator stopped injecting and the test is vacuous.
+  EXPECT_GT(violating_runs, 10u);
+}
+
+// Regression: a straggler read fed after a prune may legally name the
+// latest *pre-frontier* write even though a newer post-frontier write of
+// the same location was already fed — the frontier barrier does not make
+// the post-frontier superseder visible to the reader.  The write must
+// therefore survive that prune (supersession evidence is pre-frontier
+// only), and the read verdict must stay clean.
+TEST(PruningDifferential, StragglerMayNameLatestPreFrontierWrite) {
+  IncrementalChecker pruned(2);
+  IncrementalChecker unpruned(2);
+  std::vector<Operation> feed;
+  const auto add = [&](Operation op) { feed.push_back(op); };
+
+  Operation w;
+  w.kind = OpKind::kWrite;
+  Operation b;
+  b.kind = OpKind::kBarrier;
+  Operation r;
+  r.kind = OpKind::kRead;
+  r.mode = ReadMode::kCausal;
+
+  // Phase 0: both procs write their own var, then barrier 0.
+  w.proc = 0; w.var = 0; w.value = 10; w.write_id = WriteId{0, 1}; add(w);
+  w.proc = 1; w.var = 1; w.value = 20; w.write_id = WriteId{1, 1}; add(w);
+  b.barrier_epoch = 0; b.proc = 0; add(b); b.proc = 1; add(b);
+  // Phase 1, program order write-then-read: p0's new write (the barrier
+  // successor) completes the frontier, so the prune below runs before p1's
+  // read of {0,1} arrives — the straggler.
+  w.proc = 0; w.var = 0; w.value = 11; w.write_id = WriteId{0, 2}; add(w);
+  w.proc = 1; w.var = 1; w.value = 21; w.write_id = WriteId{1, 2}; add(w);
+  r.proc = 1; r.var = 0; r.value = 10; r.write_id = WriteId{0, 1}; add(r);
+  b.barrier_epoch = 1; b.proc = 0; add(b); b.proc = 1; add(b);
+
+  for (const auto& op : feed) {
+    pruned.feed(op);
+    unpruned.feed(op);
+    if (pruned.prune_pending()) pruned.prune();
+  }
+  const auto vp = pruned.finalize();
+  const auto vu = unpruned.finalize();
+  ASSERT_TRUE(vp.well_formed) << vp.error;
+  EXPECT_TRUE(vp.causal.ok) << vp.causal.message();
+  EXPECT_TRUE(vp.mixed.ok) << vp.mixed.message();
+  EXPECT_TRUE(vu.mixed.ok) << vu.mixed.message();
+}
+
+TEST(PruningDifferential, LongRunMemoryPlateaus) {
+  // Memory-boundedness: quadrupling the run length must not move the
+  // post-frontier plateau (it only grows the retired count).
+  const auto short_feed = random_phased_feed(7, /*phases=*/16, 0.0);
+  const auto long_feed = random_phased_feed(7, /*phases=*/64, 0.0);
+  const auto a = run_differential(short_feed);
+  const auto b = run_differential(long_feed);
+  EXPECT_TRUE(a.pruned.ok());
+  EXPECT_TRUE(b.pruned.ok());
+  EXPECT_GT(b.pruned_counts.retired, a.pruned_counts.retired);
+  // Same generator, same seed: the live window at the end of the long run
+  // stays within 2x of the short run's (identical plateau modulo the
+  // random per-phase op counts).
+  EXPECT_LE(b.pruned_counts.live_nodes, 2 * a.pruned_counts.live_nodes + 8);
+}
+
+}  // namespace
+}  // namespace mc::history

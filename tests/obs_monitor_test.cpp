@@ -1,0 +1,194 @@
+#include "obs/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "apps/equation_solver.h"
+#include "common/types.h"
+#include "dsm/system.h"
+#include "history/operation.h"
+
+namespace mc::obs {
+namespace {
+
+using history::OpKind;
+using history::Operation;
+
+Operation write(ProcId p, VarId x, SeqNo seq, Value v, std::uint64_t trace = 0) {
+  Operation op;
+  op.kind = OpKind::kWrite;
+  op.proc = p;
+  op.var = x;
+  op.value = v;
+  op.write_id = WriteId{p, seq};
+  op.trace_id = trace;
+  return op;
+}
+
+Operation read(ProcId p, VarId x, WriteId from, Value v, ReadMode mode,
+               std::uint64_t trace = 0) {
+  Operation op;
+  op.kind = OpKind::kRead;
+  op.proc = p;
+  op.var = x;
+  op.value = v;
+  op.mode = mode;
+  op.write_id = from;
+  op.trace_id = trace;
+  return op;
+}
+
+Operation barrier(ProcId p, BarrierId b, std::uint32_t epoch) {
+  Operation op;
+  op.kind = OpKind::kBarrier;
+  op.proc = p;
+  op.barrier = b;
+  op.barrier_epoch = epoch;
+  return op;
+}
+
+// A long phased run: every phase each process writes its own variable,
+// reads the other's previous-phase value, and crosses a full barrier.
+// Pruning must keep resident state flat no matter how many phases run.
+TEST(ConsistencyMonitor, PhasedRunPrunesAndStaysBounded) {
+  constexpr std::size_t kPhases = 60;
+  ConsistencyMonitor mon(2);
+  for (std::uint32_t phase = 0; phase < kPhases; ++phase) {
+    for (ProcId p = 0; p < 2; ++p) {
+      mon.on_op(write(p, /*x=*/p, /*seq=*/phase + 1, /*v=*/phase + 1));
+      if (phase > 0) {
+        const ProcId other = 1 - p;
+        mon.on_op(read(p, other, WriteId{other, phase}, phase,
+                       p == 0 ? ReadMode::kPram : ReadMode::kCausal));
+      }
+      mon.on_op(barrier(p, /*b=*/0, phase));
+    }
+  }
+  const auto st = mon.status();
+  EXPECT_EQ(st.queued, 0u) << "gating wedged";
+  EXPECT_EQ(st.skipped, 0u);
+  EXPECT_GT(st.counts.prunes, kPhases / 2);
+  EXPECT_GT(st.counts.retired, st.counts.live_nodes);
+  // ~6 ops enter per phase; the window holds the frontier phase plus the
+  // current one.  A plateau far below the total proves retirement works.
+  EXPECT_LT(st.counts.live_nodes, 30u);
+  EXPECT_EQ(st.counts.violations_mixed, 0u);
+  EXPECT_TRUE(mon.first_violation_dot().empty());
+
+  const auto verdict = mon.finalize();
+  EXPECT_TRUE(verdict.ok()) << verdict.error << " " << verdict.mixed.message();
+  EXPECT_TRUE(verdict.causal.ok);
+  EXPECT_TRUE(verdict.pram.ok);
+}
+
+TEST(ConsistencyMonitor, ReadArrivingBeforeItsWriteIsGated) {
+  ConsistencyMonitor mon(2);
+  mon.on_op(read(1, /*x=*/0, WriteId{0, 1}, /*v=*/7, ReadMode::kCausal));
+  auto st = mon.status();
+  EXPECT_EQ(st.counts.fed, 0u);  // gated: source write not fed yet
+  EXPECT_EQ(st.queued, 1u);
+
+  mon.on_op(write(0, /*x=*/0, /*seq=*/1, /*v=*/7));
+  st = mon.status();
+  EXPECT_EQ(st.counts.fed, 2u);  // write fed, then the pump released the read
+  EXPECT_EQ(st.queued, 0u);
+
+  const auto verdict = mon.finalize();
+  EXPECT_TRUE(verdict.ok()) << verdict.error;
+}
+
+// The acceptance test for live monitoring: an injected stale read is
+// reported *while the run is open* — violation counters move and the DOT
+// counterexample (with trace correlation ids) is captured before finalize.
+TEST(ConsistencyMonitor, InjectedStaleReadIsCaughtLiveWithTraceIds) {
+  ConsistencyMonitor mon(2);
+  mon.on_op(write(0, /*x=*/3, /*seq=*/1, /*v=*/1, /*trace=*/101));
+  mon.on_op(write(0, /*x=*/3, /*seq=*/2, /*v=*/2, /*trace=*/102));
+  // p1 sees the newer write first, then reads the superseded one: the
+  // classic staleness cycle (docs/CHECKING.md §5).
+  mon.on_op(read(1, 3, WriteId{0, 2}, 2, ReadMode::kCausal, /*trace=*/201));
+  mon.on_op(read(1, 3, WriteId{0, 1}, 1, ReadMode::kCausal, /*trace=*/202));
+
+  const auto st = mon.status();
+  EXPECT_GE(st.counts.violations_causal, 1u);
+  EXPECT_GE(st.counts.violations_mixed, 1u);
+
+  const std::string dot = mon.first_violation_dot();
+  ASSERT_FALSE(dot.empty()) << "live capture missed the violation";
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("trace="), std::string::npos)
+      << "counterexample nodes must carry trace correlation ids";
+
+  const auto verdict = mon.finalize();
+  EXPECT_TRUE(verdict.well_formed) << verdict.error;
+  EXPECT_FALSE(verdict.causal.ok);
+  EXPECT_FALSE(verdict.mixed.ok);
+}
+
+TEST(ConsistencyMonitor, MetricsExposeRollingVerdicts) {
+  ConsistencyMonitor mon(2);
+  mon.on_op(write(0, 0, 1, 5));
+  auto m = mon.metrics();
+  EXPECT_EQ(m.get("monitor.verdict.mixed"), 1u);
+  EXPECT_EQ(m.get("monitor.verdict.causal"), 1u);
+  EXPECT_EQ(m.get("monitor.verdict.pram"), 1u);
+  EXPECT_EQ(m.get("monitor.structural_ok"), 1u);
+  EXPECT_EQ(m.get("monitor.enqueued"), 1u);
+
+  mon.on_op(write(0, 0, 2, 6));
+  mon.on_op(read(1, 0, WriteId{0, 2}, 6, ReadMode::kPram));
+  mon.on_op(read(1, 0, WriteId{0, 1}, 5, ReadMode::kPram));  // stale
+  m = mon.metrics();
+  EXPECT_EQ(m.get("monitor.verdict.pram"), 0u);
+  mon.finalize();
+}
+
+TEST(ConsistencyMonitor, FinalizeCountsOperationsLeftGated) {
+  ConsistencyMonitor mon(2);
+  // The source write never surfaces (e.g. the run was cut short): the read
+  // can never be fed in causal order, so finalize drops and counts it.
+  mon.on_op(read(1, 0, WriteId{0, 5}, 9, ReadMode::kCausal));
+  const auto verdict = mon.finalize();
+  EXPECT_TRUE(verdict.well_formed) << verdict.error;
+  EXPECT_EQ(mon.status().skipped, 1u);
+}
+
+TEST(ConsistencyMonitor, OutOfRangeProcessIsSkippedNotFed) {
+  ConsistencyMonitor mon(2);
+  mon.on_op(write(7, 0, 1, 1));
+  const auto st = mon.status();
+  EXPECT_EQ(st.counts.fed, 0u);
+  EXPECT_EQ(st.skipped, 1u);
+  mon.finalize();
+}
+
+// End-to-end: the Figure 2 solver with the monitor attached live through
+// SolverOptions::system_hook — the soak harness wiring, in miniature.
+TEST(ConsistencyMonitor, MonitorsRealSolverRunClean) {
+  const auto sys = apps::LinearSystem::random(12, 2);
+  apps::SolverOptions opt;
+  opt.workers = 3;
+  opt.seed = 42;
+  auto monitor = std::make_unique<ConsistencyMonitor>(opt.workers + 1);
+  opt.system_hook = [&monitor](dsm::MixedSystem& s) { s.attach_op_sink(monitor.get()); };
+  opt.stall_timeout = std::chrono::seconds(30);
+
+  const auto result = apps::solve_barrier_pram(sys, opt);
+  EXPECT_TRUE(result.converged);
+  EXPECT_FALSE(result.stalled) << result.stall_reason;
+
+  const auto st = monitor->status();
+  EXPECT_GT(st.counts.fed, 0u);
+  EXPECT_EQ(st.queued, 0u) << "monitor gating wedged on a live run";
+  EXPECT_EQ(st.skipped, 0u);
+  EXPECT_GE(st.counts.prunes, 1u) << "barrier frontiers must retire state";
+  EXPECT_LT(st.counts.live_nodes, st.counts.fed);
+
+  const auto verdict = monitor->finalize();
+  EXPECT_TRUE(verdict.ok()) << verdict.error << " " << verdict.mixed.message();
+}
+
+}  // namespace
+}  // namespace mc::obs

@@ -1,0 +1,196 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "common/stats.h"
+#include "obs/json.h"
+
+namespace mc::obs {
+namespace {
+
+MetricsSnapshot snap(std::initializer_list<std::pair<const std::string, std::uint64_t>> kv) {
+  MetricsSnapshot s;
+  s.values = kv;
+  return s;
+}
+
+TEST(TimeSeriesIsGauge, SplitsKeysByKind) {
+  // Histogram summary keys are levels; .count/.sum are monotone.
+  EXPECT_TRUE(timeseries_is_gauge("lock.acquire_ns.mean"));
+  EXPECT_TRUE(timeseries_is_gauge("lock.acquire_ns.p50"));
+  EXPECT_TRUE(timeseries_is_gauge("lock.acquire_ns.p99"));
+  EXPECT_TRUE(timeseries_is_gauge("lock.acquire_ns.max"));
+  EXPECT_FALSE(timeseries_is_gauge("lock.acquire_ns.count"));
+  EXPECT_FALSE(timeseries_is_gauge("lock.acquire_ns.sum"));
+  // Resident-state sizes and rolling verdicts are levels.
+  EXPECT_TRUE(timeseries_is_gauge("checker.live_nodes"));
+  EXPECT_TRUE(timeseries_is_gauge("monitor.queued"));
+  EXPECT_TRUE(timeseries_is_gauge("monitor.verdict.mixed"));
+  EXPECT_TRUE(timeseries_is_gauge("monitor.structural_ok"));
+  EXPECT_TRUE(timeseries_is_gauge("watchdog.blocked_waits"));
+  // Everything else counts up.
+  EXPECT_FALSE(timeseries_is_gauge("net.messages"));
+  EXPECT_FALSE(timeseries_is_gauge("checker.ops"));
+  EXPECT_FALSE(timeseries_is_gauge("monitor.enqueued"));
+}
+
+TEST(TimeSeries, FirstSampleIsTheBaseline) {
+  TimeSeries ts;
+  const auto r = ts.sample(snap({{"net.messages", 40}, {"checker.live_nodes", 7}}), 100);
+  EXPECT_EQ(r.t_ms, 100u);
+  EXPECT_EQ(r.dt_ms, 100u);  // interval since the sampler's epoch
+  EXPECT_EQ(r.counters.at("net.messages"), 40u);
+  EXPECT_EQ(r.gauges.at("checker.live_nodes"), 7u);
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(TimeSeries, CountersDeltaGaugesLevel) {
+  TimeSeries ts;
+  ts.sample(snap({{"net.messages", 40}, {"checker.live_nodes", 7}}), 100);
+  const auto r = ts.sample(snap({{"net.messages", 100}, {"checker.live_nodes", 3}}), 350);
+  EXPECT_EQ(r.t_ms, 350u);
+  EXPECT_EQ(r.dt_ms, 250u);
+  EXPECT_EQ(r.counters.at("net.messages"), 60u);    // delta
+  EXPECT_EQ(r.gauges.at("checker.live_nodes"), 3u);  // current level, may shrink
+}
+
+TEST(TimeSeries, ResetCounterClampsToZeroDelta) {
+  TimeSeries ts;
+  ts.sample(snap({{"net.messages", 90}}), 100);
+  const auto r = ts.sample(snap({{"net.messages", 10}}), 200);
+  EXPECT_EQ(r.counters.at("net.messages"), 0u);  // went backwards: clamp, don't wrap
+}
+
+TEST(TimeSeries, NeverFiredKeysStayAbsent) {
+  TimeSeries ts;
+  ts.sample(snap({{"net.messages", 1}}), 100);
+  const auto r = ts.sample(snap({{"net.messages", 2}, {"net.drops", 5}}), 200);
+  // A key appearing mid-run deltas against an implicit zero baseline.
+  EXPECT_EQ(r.counters.at("net.drops"), 5u);
+  EXPECT_EQ(r.counters.count("never_fired"), 0u);
+  EXPECT_EQ(r.gauges.count("never_fired"), 0u);
+}
+
+TEST(TimeSeries, GrowingHistogramRoundTrips) {
+  // A histogram that keeps absorbing samples: .count/.sum advance as
+  // deltas, the quantile levels track the current distribution.
+  LatencyHistogram h;
+  h.record_ns(1000);
+  MetricsSnapshot s1;
+  s1.add_histogram("op_ns", h);
+  TimeSeries ts;
+  ts.sample(s1, 100);
+
+  h.record_ns(2000);
+  h.record_ns(4000);
+  MetricsSnapshot s2;
+  s2.add_histogram("op_ns", h);
+  const auto r = ts.sample(s2, 200);
+  EXPECT_EQ(r.counters.at("op_ns.count"), 2u);
+  EXPECT_EQ(r.counters.at("op_ns.sum"), 6000u);
+  EXPECT_GE(r.gauges.at("op_ns.max"), 4000u);
+  EXPECT_EQ(r.counters.count("op_ns.p50"), 0u);  // quantiles are gauges
+  EXPECT_GT(r.gauges.at("op_ns.p50"), 0u);
+}
+
+TEST(TimeSeries, RingDropsOldestAtCapacity) {
+  TimeSeries ts(2);
+  ts.sample(snap({{"c", 1}}), 10);
+  ts.sample(snap({{"c", 2}}), 20);
+  ts.sample(snap({{"c", 3}}), 30);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.dropped(), 1u);
+  const auto recs = ts.records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs.front().t_ms, 20u);  // oldest retained
+  EXPECT_EQ(recs.back().t_ms, 30u);
+}
+
+TEST(TimeSeriesRecord, JsonlLineParsesWithExpectedShape) {
+  TimeSeries ts;
+  ts.sample(snap({{"net.messages", 100}, {"checker.live_nodes", 7}}), 500);
+  const auto r = ts.sample(snap({{"net.messages", 600}, {"checker.live_nodes", 9}}), 1500);
+  const auto doc = JsonValue::parse(r.to_jsonl());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->kind, JsonValue::Kind::kObject);
+  ASSERT_NE(doc->find("type"), nullptr);
+  EXPECT_EQ(doc->find("type")->string, "sample");
+  EXPECT_EQ(doc->find("t_ms")->uint_value, 1500u);
+  EXPECT_EQ(doc->find("dt_ms")->uint_value, 1000u);
+  const auto* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("net.messages")->uint_value, 500u);
+  const auto* gauges = doc->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->find("checker.live_nodes")->uint_value, 9u);
+  // Two-sample rate: 500 events over 1000 ms -> 500 events/s.
+  const auto* rates = doc->find("rates");
+  ASSERT_NE(rates, nullptr);
+  EXPECT_EQ(rates->find("net.messages")->uint_value, 500u);
+}
+
+TEST(TimeSeriesRecord, BaselineRecordOmitsRatesWhenInstant) {
+  TimeSeries ts;
+  const auto r = ts.sample(snap({{"c", 3}}), 0);  // t=0: no interval yet
+  const auto doc = JsonValue::parse(r.to_jsonl());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("rates"), nullptr);
+}
+
+TEST(TimeSeries, ToJsonlEmitsOneLinePerRecord) {
+  TimeSeries ts;
+  ts.sample(snap({{"c", 1}}), 10);
+  ts.sample(snap({{"c", 2}}), 20);
+  const std::string out = ts.to_jsonl();
+  std::size_t lines = 0;
+  for (const char ch : out) lines += ch == '\n';
+  EXPECT_EQ(lines, 2u);
+  // Every line is a complete JSON document.
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    EXPECT_TRUE(JsonValue::parse(out.substr(start, end - start)).has_value());
+    start = end + 1;
+  }
+}
+
+TEST(MetricsSampler, StopTakesAFinalSample) {
+  std::atomic<std::uint64_t> calls{0};
+  MetricsSampler sampler(
+      [&calls] {
+        MetricsSnapshot s;
+        s.values = {{"probe.calls", calls.fetch_add(1) + 1}};
+        return s;
+      },
+      std::chrono::hours(1));  // period never fires: only the stop sample
+  sampler.stop();
+  EXPECT_GE(sampler.series().size(), 1u);
+  EXPECT_GE(calls.load(), 1u);
+  sampler.stop();  // idempotent
+}
+
+TEST(MetricsSampler, PeriodicSamplesAccumulate) {
+  std::atomic<std::uint64_t> n{0};
+  MetricsSampler sampler(
+      [&n] {
+        MetricsSnapshot s;
+        s.values = {{"ticks", n.fetch_add(1)}};
+        return s;
+      },
+      std::chrono::milliseconds(5));
+  while (n.load() < 3) std::this_thread::yield();
+  sampler.stop();
+  EXPECT_GE(sampler.series().size(), 3u);
+  // Timestamps are monotone non-decreasing.
+  const auto recs = sampler.series().records();
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].t_ms, recs[i].t_ms);
+  }
+}
+
+}  // namespace
+}  // namespace mc::obs

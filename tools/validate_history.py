@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Structural validation for checker counterexample DOT files (docs/CHECKING.md §9).
 
-  validate_history.py <counterexample.dot> [--allow-empty]
+  validate_history.py <counterexample.dot> [--allow-empty] [--require-trace-ids]
 
 Checks a DOT file produced by `check_history --dot-cx` (or
 counterexample_to_dot): every node referenced by an edge is declared,
@@ -10,91 +10,27 @@ every highlighted (cycle) edge carries a known edge-type label
 cycle (each edge starts where the previous one ends, and the last wraps
 to the first), and every node on the cycle is outlined as a cycle
 member.  With --allow-empty, the "no counterexample cycle" placeholder
-emitted for consistent histories also passes.
+emitted for consistent histories also passes.  With --require-trace-ids,
+every cycle node's label must carry a trace=<id> correlation id (DOT
+captured by the live monitor, docs/CHECKING.md §10).
 
 Exit status 0 on success; 1 with a diagnostic on the first hard failure.
 """
 
 import argparse
-import re
-import sys
 
-EDGE_TYPES = {"po", "rf", "lock", "bar", "await", "ww", "rw"}
-
-NODE_RE = re.compile(r'^\s*(n\d+)\s*\[label="([^"]*)"(.*)\];')
-EDGE_RE = re.compile(r'^\s*(n\d+)\s*->\s*(n\d+)\s*(?:\[(.*)\])?;')
-LABEL_RE = re.compile(r'label="([^"]*)"')
+from validators_common import fail, validate_dot_text
 
 
-def fail(msg):
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
-
-
-def validate(path, allow_empty):
-    with open(path) as f:
-        text = f.read()
-    if "digraph" not in text:
-        fail(f"{path}: not a DOT digraph")
-
-    if "no counterexample cycle" in text:
-        if allow_empty:
-            print(f"{path}: OK (empty counterexample placeholder)")
-            return
-        fail(f"{path}: empty counterexample (pass --allow-empty to accept)")
-
-    nodes = {}       # name -> full attribute text
-    plain_edges = []
-    cycle_edges = []
-    for line in text.splitlines():
-        m = NODE_RE.match(line)
-        if m:
-            nodes[m.group(1)] = m.group(3)
-            continue
-        m = EDGE_RE.match(line)
-        if m:
-            attrs = m.group(3) or ""
-            edge = (m.group(1), m.group(2), attrs)
-            # Cycle edges are the highlighted, type-labeled ones.
-            if "penwidth" in attrs:
-                cycle_edges.append(edge)
-            else:
-                plain_edges.append(edge)
-
-    if not nodes:
-        fail(f"{path}: no nodes declared")
-    if not cycle_edges:
-        fail(f"{path}: no highlighted counterexample edges")
-
-    for src, dst, attrs in cycle_edges + plain_edges:
-        if src not in nodes:
-            fail(f"{path}: edge references undeclared node {src}")
-        if dst not in nodes:
-            fail(f"{path}: edge references undeclared node {dst}")
-
-    for src, dst, attrs in cycle_edges:
-        m = LABEL_RE.search(attrs)
-        if not m:
-            fail(f"{path}: cycle edge {src} -> {dst} has no type label")
-        if m.group(1) not in EDGE_TYPES:
-            fail(f"{path}: cycle edge {src} -> {dst} has unknown type "
-                 f"'{m.group(1)}' (expected one of {sorted(EDGE_TYPES)})")
-
-    # The highlighted edges must chain into one closed cycle.
-    for i, (src, dst, _) in enumerate(cycle_edges):
-        nxt = cycle_edges[(i + 1) % len(cycle_edges)][0]
-        if dst != nxt:
-            fail(f"{path}: cycle breaks at edge {i}: {src} -> {dst} "
-                 f"but the next edge starts at {nxt}")
-
-    # Every operation on the cycle is outlined as a cycle member.
-    for src, dst, _ in cycle_edges:
-        for v in (src, dst):
-            if "penwidth" not in nodes[v]:
-                fail(f"{path}: cycle node {v} is not highlighted")
-
-    print(f"{path}: OK ({len(nodes)} nodes, {len(cycle_edges)}-edge cycle, "
-          f"types {sorted({LABEL_RE.search(a).group(1) for _, _, a in cycle_edges})})")
+def validate(path, allow_empty, require_trace_ids):
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    summary = validate_dot_text(text, path, allow_empty=allow_empty,
+                                require_trace_ids=require_trace_ids)
+    print(f"{path}: OK ({summary})")
 
 
 def main():
@@ -103,8 +39,11 @@ def main():
     ap.add_argument("dot", help="counterexample DOT file from check_history --dot-cx")
     ap.add_argument("--allow-empty", action="store_true",
                     help="accept the 'no counterexample cycle' placeholder")
+    ap.add_argument("--require-trace-ids", action="store_true",
+                    help="require trace=<id> correlation ids on cycle nodes "
+                         "(live-monitor captures)")
     args = ap.parse_args()
-    validate(args.dot, args.allow_empty)
+    validate(args.dot, args.allow_empty, args.require_trace_ids)
 
 
 if __name__ == "__main__":

@@ -22,18 +22,12 @@ Exit status 0 on success; 1 with a diagnostic on the first hard failure.
 
 import argparse
 import collections
-import json
-import sys
 
-
-def fail(msg):
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+from validators_common import fail, load_json
 
 
 def validate_trace(path, min_bind):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path)
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail(f"{path}: no traceEvents")
@@ -91,8 +85,7 @@ def validate_trace(path, min_bind):
 
 
 def validate_report(path, tolerance, min_wall_ms):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path)
     if doc.get("schema_version") != 2:
         fail(f"{path}: schema_version {doc.get('schema_version')} != 2")
     rows = doc.get("rows", [])

@@ -1,0 +1,136 @@
+"""Shared helpers for the artifact validators (validate_trace.py,
+validate_history.py, validate_soak.py): uniform failure reporting, JSON /
+JSONL loading, and the counterexample-DOT structural check used both for
+standalone DOT files and for DOT documents embedded in soak streams.
+
+Every check failure exits 1 with a single FAIL diagnostic, so CI logs show
+the first broken invariant rather than a Python traceback.
+"""
+
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    """Parse one JSON document, failing with the path on any error."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"{path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: invalid JSON: {e}")
+
+
+def load_jsonl(path):
+    """Parse a JSONL stream into a list of objects, failing with the path
+    and 1-based line number on the first malformed line.  Blank lines are
+    rejected — a well-formed stream has exactly one document per line."""
+    records = []
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.rstrip("\n")
+                if not line.strip():
+                    fail(f"{path}:{lineno}: blank line in JSONL stream")
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: invalid JSON: {e}")
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not records:
+        fail(f"{path}: empty JSONL stream")
+    return records
+
+
+# Counterexample DOT structure (docs/CHECKING.md §9): edge-type vocabulary
+# and the node/edge line shapes emitted by counterexample_to_dot and the
+# live monitor's render path.
+EDGE_TYPES = {"po", "rf", "lock", "bar", "await", "ww", "rw"}
+
+NODE_RE = re.compile(r'^\s*(n\d+)\s*\[label="([^"]*)"(.*)\];')
+EDGE_RE = re.compile(r'^\s*(n\d+)\s*->\s*(n\d+)\s*(?:\[(.*)\])?;')
+LABEL_RE = re.compile(r'label="([^"]*)"')
+
+
+def validate_dot_text(text, where, allow_empty=False, require_trace_ids=False):
+    """Structural check of a counterexample DOT document.
+
+    `where` names the source in diagnostics (a path, or "path:line" for an
+    embedded document).  With `require_trace_ids`, every cycle node's label
+    must carry a `trace=<id>` correlation id (live-monitor captures).
+    Returns a short summary string on success.
+    """
+    if "digraph" not in text:
+        fail(f"{where}: not a DOT digraph")
+
+    if "no counterexample cycle" in text:
+        if allow_empty:
+            return "empty counterexample placeholder"
+        fail(f"{where}: empty counterexample (pass --allow-empty to accept)")
+
+    nodes = {}       # name -> full attribute text
+    labels = {}      # name -> label text
+    plain_edges = []
+    cycle_edges = []
+    for line in text.splitlines():
+        m = NODE_RE.match(line)
+        if m:
+            nodes[m.group(1)] = m.group(3)
+            labels[m.group(1)] = m.group(2)
+            continue
+        m = EDGE_RE.match(line)
+        if m:
+            attrs = m.group(3) or ""
+            edge = (m.group(1), m.group(2), attrs)
+            # Cycle edges are the highlighted, type-labeled ones.
+            if "penwidth" in attrs:
+                cycle_edges.append(edge)
+            else:
+                plain_edges.append(edge)
+
+    if not nodes:
+        fail(f"{where}: no nodes declared")
+    if not cycle_edges:
+        fail(f"{where}: no highlighted counterexample edges")
+
+    for src, dst, attrs in cycle_edges + plain_edges:
+        if src not in nodes:
+            fail(f"{where}: edge references undeclared node {src}")
+        if dst not in nodes:
+            fail(f"{where}: edge references undeclared node {dst}")
+
+    for src, dst, attrs in cycle_edges:
+        m = LABEL_RE.search(attrs)
+        if not m:
+            fail(f"{where}: cycle edge {src} -> {dst} has no type label")
+        if m.group(1) not in EDGE_TYPES:
+            fail(f"{where}: cycle edge {src} -> {dst} has unknown type "
+                 f"'{m.group(1)}' (expected one of {sorted(EDGE_TYPES)})")
+
+    # The highlighted edges must chain into one closed cycle.
+    for i, (src, dst, _) in enumerate(cycle_edges):
+        nxt = cycle_edges[(i + 1) % len(cycle_edges)][0]
+        if dst != nxt:
+            fail(f"{where}: cycle breaks at edge {i}: {src} -> {dst} "
+                 f"but the next edge starts at {nxt}")
+
+    # Every operation on the cycle is outlined as a cycle member.
+    for src, dst, _ in cycle_edges:
+        for v in (src, dst):
+            if "penwidth" not in nodes[v]:
+                fail(f"{where}: cycle node {v} is not highlighted")
+            if require_trace_ids and "trace=" not in labels[v]:
+                fail(f"{where}: cycle node {v} has no trace correlation id "
+                     f"(label: '{labels[v]}')")
+
+    types = sorted({LABEL_RE.search(a).group(1) for _, _, a in cycle_edges})
+    return (f"{len(nodes)} nodes, {len(cycle_edges)}-edge cycle, "
+            f"types {types}")
