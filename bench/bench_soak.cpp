@@ -14,6 +14,13 @@
 //
 //   bench_soak --duration 30 --seed 1 --jsonl soak.jsonl
 //   bench_soak --smoke               # one quick pass per app
+//   bench_soak --crash-rate 1 ...    # every iteration crash-stops a process
+//
+// With --crash-rate in (0, 1], that fraction of iterations runs an elastic
+// variant (docs/FAULTS.md "Membership and views") and crash-stops one
+// process mid-run on top of the usual chaos: the survivors must complete
+// via the view change, the monitor must stay clean across the eviction, and
+// each such iteration emits a view_change JSONL record with the final epoch.
 //
 // Clean runs must report zero violations: the faults live strictly below
 // the reliability layer, so the memory-model guarantees still hold — that
@@ -71,6 +78,8 @@ struct SoakState {
   obs::ConsistencyMonitor* live = nullptr;
   std::uint64_t iterations = 0;
   std::uint64_t stalls = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t view_changes = 0;
   std::uint64_t violations_causal = 0;
   std::uint64_t violations_pram = 0;
   std::uint64_t violations_mixed = 0;
@@ -108,6 +117,8 @@ struct SoakState {
     snap.values["monitor.verdict.pram"] = vp == 0 ? 1 : 0;
     snap.values["monitor.verdict.mixed"] = vm == 0 ? 1 : 0;
     snap.values["soak.iterations"] = iterations;
+    snap.values["soak.crashes"] = crashes;
+    snap.values["soak.view_changes"] = view_changes;
     snap.values["watchdog.stalls"] = stalls;
     return snap;
   }
@@ -118,6 +129,7 @@ struct IterationOutcome {
   double wall_ms = 0.0;
   bool stalled = false;
   std::string stall_reason;
+  bool crashed = false;
   history::GraphVerdict verdict;
   obs::ConsistencyMonitor::Status status;
   std::string first_dot;
@@ -126,14 +138,19 @@ struct IterationOutcome {
 
 /// One application run under chaos with a fresh monitor attached.  The
 /// monitor is per-iteration because WriteId sequence numbers restart with
-/// each MixedSystem.
-IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, SoakState& state) {
+/// each MixedSystem.  Crash iterations run the elastic variants and
+/// crash-stop one process on top of the chaos plan.
+IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash,
+                               SoakState& state) {
   IterationOutcome out;
+  out.crashed = crash;
   const auto cases = which % 4;
 
   std::size_t procs = 4;  // workers + coordinator
-  if (cases == 2 || cases == 3) procs = 3;
+  if (!crash && (cases == 2 || cases == 3)) procs = 3;
+  if (crash && cases % 2 == 1) procs = 3;
   auto monitor = std::make_unique<obs::ConsistencyMonitor>(procs);
+  if (crash) monitor->enable_elastic(dsm::full_mask(procs));
   {
     std::scoped_lock lk(state.mu);
     state.live = monitor.get();
@@ -141,7 +158,52 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, SoakState&
   const auto hook = [&](dsm::MixedSystem& sys) { sys.attach_op_sink(monitor.get()); };
   const auto stall_timeout = std::chrono::seconds(10);
 
-  if (cases == 0 || cases == 1) {
+  if (crash) {
+    if (cases % 2 == 0) {
+      // Elastic barrier solver: one worker goes silent after an early
+      // sweep; the coordinator keeps planning it until the reliability
+      // layer's give-up verdict drives the eviction.
+      const LinearSystem sys = LinearSystem::random(16, 2);
+      SolverOptions opt;
+      opt.workers = procs - 1;
+      opt.seed = seed;
+      opt.faults = chaos_plan(seed);
+      opt.reliable = true;
+      opt.system_hook = hook;
+      opt.stall_timeout = stall_timeout;
+      ElasticSchedule sched;
+      sched.crash_after[seed % opt.workers] = (seed >> 8) % 3;
+      const SolverResult r = solve_barrier_elastic(sys, opt, sched);
+      out.app = "solver-elastic-crash";
+      out.wall_ms = r.elapsed_ms;
+      out.stalled = r.stalled;
+      out.stall_reason = r.stall_reason;
+      out.metrics = r.metrics;
+    } else {
+      // Cholesky crash drill: the victim finishes its columns, then skips
+      // the final barrier; the survivors complete via the view change.
+      const SparseSpd m = SparseSpd::random(20, 3, 0.1, 3);
+      const Symbolic sym = analyze(m);
+      CholeskyOptions opt;
+      opt.procs = procs;
+      opt.seed = seed;
+      // No chaos on top of the crash: the drill's contract is that the
+      // victim's contributions all propagated before it went silent, but a
+      // chaos-dropped copy whose retransmit the crash injector then kills
+      // is lost forever — a survivor awaiting that count decrement stalls.
+      // The solver iteration covers chaos+crash (sweeps self-heal).
+      opt.reliable = true;
+      opt.system_hook = hook;
+      opt.stall_timeout = stall_timeout;
+      opt.crash_proc = static_cast<ProcId>(1 + seed % (procs - 1));
+      const CholeskyResult r = cholesky_locks(m, sym, opt);
+      out.app = "cholesky-locks-crash";
+      out.wall_ms = r.elapsed_ms;
+      out.stalled = r.stalled;
+      out.stall_reason = r.stall_reason;
+      out.metrics = r.metrics;
+    }
+  } else if (cases == 0 || cases == 1) {
     const LinearSystem sys = LinearSystem::random(16, 2);
     SolverOptions opt;
     opt.workers = procs - 1;
@@ -190,6 +252,8 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, SoakState&
   state.merge(monitor->metrics());
   ++state.iterations;
   if (out.stalled) ++state.stalls;
+  if (crash) ++state.crashes;
+  state.view_changes += out.metrics.get("view.changes");
   state.violations_causal += out.status.counts.violations_causal;
   state.violations_pram += out.status.counts.violations_pram;
   state.violations_mixed += out.status.counts.violations_mixed;
@@ -209,6 +273,7 @@ void jsonl_verdict(obs::JsonWriter& w, const history::GraphVerdict& v) {
 
 int main(int argc, char** argv) {
   double duration_s = 10.0;
+  double crash_rate = 0.0;
   std::uint64_t seed = 1;
   std::string jsonl_path;
 
@@ -222,6 +287,8 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--jsonl" && i + 1 < argc) {
       jsonl_path = argv[++i];
+    } else if (arg == "--crash-rate" && i + 1 < argc) {
+      crash_rate = std::atof(argv[++i]);
     } else {
       pass.push_back(argv[i]);
     }
@@ -229,6 +296,7 @@ int main(int argc, char** argv) {
   Harness h("bench_soak", static_cast<int>(pass.size()), pass.data());
   h.config("fault_plan", "drop=0.05 dup=0.05 delay=0.02x10+50us");
   h.config("seed", std::to_string(seed));
+  h.config("crash_rate", std::to_string(crash_rate));
   if (h.smoke()) duration_s = 0.0;  // one rotation through the apps
 
   print_header("Chaos soak — online consistency monitoring under faults",
@@ -249,8 +317,15 @@ int main(int argc, char** argv) {
   Stopwatch clock;
   std::size_t iter = 0;
   // At least one full rotation through the app mix, then run out the clock.
+  std::uint64_t view_changes_cum = 0;
   while (iter < 4 || clock.elapsed_ms() < duration_s * 1000.0) {
-    const IterationOutcome out = run_iteration(iter, mix_seed(seed + iter), state);
+    // Seeded crash decision: deterministic per (seed, iter), so a given
+    // command line always crashes the same iterations.
+    const bool crash =
+        crash_rate > 0.0 &&
+        static_cast<double>(mix_seed(seed * 1000003 + iter) % 1000000) <
+            crash_rate * 1e6;
+    const IterationOutcome out = run_iteration(iter, mix_seed(seed + iter), crash, state);
 
     const auto& c = out.status.counts;
     const std::uint64_t iter_violations =
@@ -274,6 +349,25 @@ int main(int argc, char** argv) {
     w.key("skipped").value(out.status.skipped);
     w.end_object();
     iteration_lines.push_back(w.str());
+
+    if (out.crashed) {
+      // One membership record per crash iteration: the epoch the survivors
+      // finished under plus the cumulative view-change count (monotone
+      // across the stream — validate_soak.py checks both).
+      view_changes_cum += out.metrics.get("view.changes");
+      obs::JsonWriter vw(0);
+      vw.begin_object();
+      vw.key("type").value("view_change");
+      vw.key("iteration").value(static_cast<std::uint64_t>(iter));
+      vw.key("app").value(out.app);
+      vw.key("epoch").value(out.metrics.get("view.epoch"));
+      vw.key("faults").value(out.metrics.get("view.faults"));
+      vw.key("locks_revoked").value(out.metrics.get("view.locks_revoked"));
+      vw.key("reseed_assignments").value(out.metrics.get("view.reseed_assignments"));
+      vw.key("total").value(view_changes_cum);
+      vw.end_object();
+      iteration_lines.push_back(vw.str());
+    }
 
     if (iter_violations > 0 && violation_line.empty()) {
       obs::JsonWriter vw(0);
@@ -323,6 +417,7 @@ int main(int argc, char** argv) {
     meta.key("seed").value(seed);
     meta.key("duration_s").value(duration_s);
     meta.key("smoke").value(h.smoke());
+    meta.key("crash_rate").value(crash_rate);
     meta.key("apps").begin_array();
     for (const char* a : {"solver-barrier", "solver-handshake", "cholesky-locks",
                           "cholesky-counters"}) {
@@ -340,6 +435,8 @@ int main(int argc, char** argv) {
     fin.key("type").value("final");
     fin.key("iterations").value(static_cast<std::uint64_t>(iter));
     fin.key("stalls").value(state.stalls);
+    fin.key("crashes").value(state.crashes);
+    fin.key("view_changes").value(state.view_changes);
     fin.key("violations").value(violations_total);
     fin.key("skipped").value(skipped_total);
     fin.key("structural_failure").value(structural_failure);

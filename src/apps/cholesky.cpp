@@ -51,7 +51,12 @@ CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
   cfg.default_lock_policy = opt.lock_policy;
   cfg.faults = opt.faults;
   cfg.reliable = opt.reliable;
+  cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
+  if (opt.crash_proc) {
+    MC_CHECK(opt.reliable && *opt.crash_proc != 0 && *opt.crash_proc < opt.procs);
+    cfg.elastic = true;
+  }
   const auto count_var = [&](std::size_t k) {
     return static_cast<VarId>(tri_size(n) + k);
   };
@@ -102,6 +107,17 @@ CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
         node.wunlock(static_cast<LockId>(k));
       }
     }
+    if (opt.crash_proc && *opt.crash_proc == p) {
+      // Crash drill: every column and critical section of this process is
+      // done, so go silent instead of joining the final barrier.  The
+      // first send after the fault install is dropped by the injector, so
+      // the tripwire write below never leaves this node.
+      net::FaultPlan crash = opt.faults.value_or(net::FaultPlan{});
+      crash.crash_after_sends[static_cast<net::Endpoint>(p)] = 0;
+      sys.fabric().inject_faults(crash);
+      node.write_int(count_var(0), 0);
+      return;
+    }
     node.barrier();
   });
   out.elapsed_ms = clock.elapsed_ms();
@@ -134,6 +150,7 @@ CholeskyResult cholesky_counters(const SparseSpd& m, const Symbolic& sym,
   cfg.record_trace = opt.record_trace;
   cfg.faults = opt.faults;
   cfg.reliable = opt.reliable;
+  cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
   const auto acc = [](std::size_t i, std::size_t j) { return tri(i, j); };
   const auto cnt = [&](std::size_t k) { return static_cast<VarId>(tri_size(n) + k); };

@@ -44,6 +44,17 @@ struct CholeskyOptions {
   /// reliability layer that restores reliable-FIFO delivery beneath it.
   std::optional<net::FaultPlan> faults;
   bool reliable = false;
+  /// Tuning for the reliability layer when `reliable` is set.
+  net::ReliabilityConfig reliability;
+
+  /// Crash drill (lock variant only; requires `reliable`): run elastic and
+  /// crash-stop this process after it finishes its own columns — it goes
+  /// silent instead of entering the final barrier, and the survivors
+  /// complete once the view change evicts it.  Because the victim has
+  /// already released every critical section, the survivors extract the
+  /// complete factor (equal to a crash-free run's up to the usual
+  /// schedule-dependent update ordering).
+  std::optional<ProcId> crash_proc;
 
   /// Batched update propagation (Config::batching).  The counter variant
   /// exercises delta-sum coalescing; the lock variant flush-on-unlock.

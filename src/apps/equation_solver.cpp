@@ -176,7 +176,189 @@ SolverRun run_handshake(const LinearSystem& sys, const SolverOptions& opt, bool 
   return out;
 }
 
+// ----- elastic-membership barrier solver (ElasticSchedule) -----
+
+/// Variable layout of the elastic variant: the estimate, the done flag, the
+/// coordinator's per-sweep plan word (bit w = worker w computes), and one
+/// readiness flag per worker for the join handshake.
+///
+/// The plan is double-buffered by sweep parity: the plan governing sweep k
+/// lives in slot k%2.  A worker reads slot (k+1)%2 right after sweep k's
+/// install barrier, and the coordinator's next write to that slot (the plan
+/// for sweep k+3, at the top of sweep k+2) happens strictly after sweep
+/// k+1's install barrier releases — which the reader passed first.  A
+/// single unversioned plan variable would race: the coordinator can
+/// overwrite it for sweep k+2 before a slow worker reads the sweep-(k+1)
+/// word, splitting the workers across two different partitions and leaving
+/// a row uncovered for one sweep.
+struct ElasticLayout {
+  std::size_t n;
+  std::size_t workers;
+  [[nodiscard]] VarId x(std::size_t i) const { return static_cast<VarId>(i); }
+  [[nodiscard]] VarId done() const { return static_cast<VarId>(n); }
+  [[nodiscard]] VarId plan(std::size_t slot) const { return static_cast<VarId>(n + 1 + slot); }
+  [[nodiscard]] VarId ready(std::size_t w) const { return static_cast<VarId>(n + 3 + w); }
+  [[nodiscard]] std::size_t num_vars() const { return n + 3 + workers; }
+
+  /// Rows of worker `w` under `plan`: the row range split evenly across the
+  /// planned workers, by rank.  Empty when w is not planned.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> rows_under(
+      std::uint64_t plan, std::size_t w) const {
+    if (((plan >> w) & 1) == 0) return {0, 0};
+    std::size_t rank = 0, active = 0;
+    for (std::size_t v = 0; v < workers; ++v) {
+      if (((plan >> v) & 1) == 0) continue;
+      if (v < w) ++rank;
+      ++active;
+    }
+    return {rank * n / active, (rank + 1) * n / active};
+  }
+};
+
 }  // namespace
+
+SolverResult solve_barrier_elastic(const LinearSystem& sys, const SolverOptions& opt,
+                                   const ElasticSchedule& sched) {
+  MC_CHECK(opt.workers >= 1 && opt.workers <= 62);
+  const ElasticLayout lay{sys.n, opt.workers};
+
+  std::uint64_t initial = 0;
+  if (sched.initial_workers.empty()) {
+    for (std::size_t w = 0; w < opt.workers; ++w) initial |= std::uint64_t{1} << w;
+  } else {
+    for (const std::size_t w : sched.initial_workers) {
+      MC_CHECK(w < opt.workers);
+      initial |= std::uint64_t{1} << w;
+    }
+  }
+  for (const std::size_t w : sched.joiners) {
+    MC_CHECK(w < opt.workers && ((initial >> w) & 1) == 0);
+  }
+
+  dsm::Config cfg;
+  cfg.num_procs = opt.workers + 1;
+  cfg.num_vars = lay.num_vars();
+  cfg.latency = opt.latency;
+  cfg.seed = opt.seed;
+  cfg.record_trace = opt.record_trace;
+  cfg.faults = opt.faults;
+  cfg.reliable = opt.reliable;
+  cfg.reliability = opt.reliability;
+  cfg.batching = opt.batching;
+  cfg.elastic = true;
+  std::vector<ProcId> members{0};
+  for (std::size_t w = 0; w < opt.workers; ++w) {
+    if ((initial >> w) & 1) members.push_back(static_cast<ProcId>(w + 1));
+  }
+  cfg.initial_members = std::move(members);
+  dsm::MixedSystem dsm_sys(cfg);
+
+  SolverResult out;
+  Stopwatch clock;
+  run_app(dsm_sys, opt, out, [&](dsm::Node& node, ProcId p) {
+    if (p == 0) {
+      // Coordinator: convergence check, then publish the next sweep's plan
+      // before the compute barrier — workers pick it up after the install
+      // barrier, one sweep ahead of using it.
+      std::vector<double> xs(sys.n);
+      std::vector<bool> ready_seen(opt.workers, false);
+      std::size_t sweep = 0;
+      for (;;) {
+        for (const std::size_t w : sched.joiners) {
+          if (!ready_seen[w] && node.read_int(lay.ready(w), ReadMode::kPram) != 0) {
+            ready_seen[w] = true;
+          }
+        }
+        for (std::size_t i = 0; i < sys.n; ++i) {
+          xs[i] = node.read_double(lay.x(i), ReadMode::kPram);
+        }
+        const double resid = residual_inf(sys, xs);
+        const bool stop = resid < opt.tol || sweep >= opt.max_iters;
+        if (stop) node.write_int(lay.done(), 1);
+        const dsm::View view = node.view();
+        std::uint64_t plan = 0;
+        for (std::size_t w = 0; w < opt.workers; ++w) {
+          const bool scripted = ((initial >> w) & 1) != 0 || ready_seen[w];
+          const auto lv = sched.leave_after.find(w);
+          const bool left = lv != sched.leave_after.end() && sweep + 1 > lv->second;
+          if (scripted && !left && view.is_alive(static_cast<ProcId>(w + 1))) {
+            plan |= std::uint64_t{1} << w;
+          }
+        }
+        node.write_int(lay.plan((sweep + 1) % 2), static_cast<std::int64_t>(plan));
+        node.barrier();
+        node.barrier();
+        if (stop) {
+          out.x = xs;
+          out.iterations = sweep;
+          out.converged = resid < opt.tol;
+          break;
+        }
+        ++sweep;
+      }
+      return;
+    }
+
+    const std::size_t w = p - 1;
+    std::uint64_t plan = initial;
+    std::size_t sweep = 0;
+    if (((initial >> w) & 1) == 0) {
+      // Joiner: enter the view, align with the two-barriers-per-sweep
+      // structure already in flight, and announce readiness.  The plan can
+      // only name this worker after the announcement is read, and the plan
+      // itself is always read at the sweep boundary, so there is no sweep
+      // where this worker is planned without knowing it.
+      node.join();
+      if (node.read_int(lay.done(), ReadMode::kPram) != 0) return;
+      if (node.next_barrier_epoch() % 2 == 1) {
+        node.barrier();  // consume the pending install-phase barrier
+        if (node.read_int(lay.done(), ReadMode::kPram) != 0) return;
+      }
+      node.write_int(lay.ready(w), 1);
+      plan = 0;  // passive until the coordinator plans us in
+      // Recover the global sweep number from the barrier instance: sweep k
+      // uses instances 2k (compute) and 2k+1 (install), so after the
+      // alignment the next pending instance is sweep*2.
+      sweep = node.next_barrier_epoch() / 2;
+    }
+    std::vector<double> temp(sys.n, 0.0);
+    for (;;) {
+      const auto [r0, r1] = lay.rows_under(plan, w);
+      jacobi_rows(sys, r0, r1,
+                  [&](std::size_t j) { return node.read_double(lay.x(j), ReadMode::kPram); },
+                  temp);
+      node.barrier();
+      const bool stop = node.read_int(lay.done(), ReadMode::kPram) != 0;
+      if (!stop) {
+        for (std::size_t i = r0; i < r1; ++i) node.write_double(lay.x(i), temp[i]);
+      }
+      node.barrier();
+      if (stop) break;
+      const auto lv = sched.leave_after.find(w);
+      if (lv != sched.leave_after.end() && sweep == lv->second) {
+        node.leave();
+        return;
+      }
+      const auto cr = sched.crash_after.find(w);
+      if (cr != sched.crash_after.end() && sweep == cr->second) {
+        // Crash-stop: silence the endpoint at the fabric, trip the plan
+        // with one dropped write, and fall off the thread.  Survivors only
+        // learn of this through keepalive probes giving up.
+        net::FaultPlan crash = opt.faults.value_or(net::FaultPlan{});
+        crash.crash_after_sends[static_cast<net::Endpoint>(p)] = 0;
+        dsm_sys.fabric().inject_faults(crash);
+        node.write_int(lay.ready(w), -1);
+        return;
+      }
+      plan = static_cast<std::uint64_t>(
+          node.read_int(lay.plan((sweep + 1) % 2), ReadMode::kPram));
+      ++sweep;
+    }
+  });
+  out.elapsed_ms = clock.elapsed_ms();
+  out.metrics = dsm_sys.metrics();
+  return out;
+}
 
 SolverResult solve_barrier_pram(const LinearSystem& sys, const SolverOptions& opt) {
   return run_barrier(sys, opt, ReadMode::kPram, opt.record_trace).result;

@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,36 @@ SolverResult solve_handshake_causal(const LinearSystem& sys, const SolverOptions
 
 /// Figure 2's algorithm on the sequentially consistent baseline.
 SolverResult solve_sc_baseline(const LinearSystem& sys, const SolverOptions& opt);
+
+/// Membership script for solve_barrier_elastic.  Workers are named by
+/// worker index w (process w+1); the coordinator (process 0) is always a
+/// member and never departs.
+struct ElasticSchedule {
+  /// Workers in view 0.  Empty means every worker starts as a member.
+  std::vector<std::size_t> initial_workers;
+  /// worker -> last sweep it computes; it leaves gracefully right after.
+  std::map<std::size_t, std::size_t> leave_after;
+  /// worker -> sweep after which it crash-stops (goes silent mid-run).
+  /// The coordinator does NOT consult this: it keeps planning the victim
+  /// until the reliability layer's give-up verdict evicts it — the honest
+  /// failure-detection path.  Requires SolverOptions::reliable.
+  std::map<std::size_t, std::size_t> crash_after;
+  /// Workers outside view 0 that join as soon as their thread starts.
+  std::vector<std::size_t> joiners;
+};
+
+/// Elastic-membership variant of the Figure 2 barrier solver
+/// (Config::elastic).  The coordinator publishes a per-sweep plan of
+/// active workers (scripted membership ∩ live view); workers re-partition
+/// rows each sweep from the plan; graceful leavers exit at sweep
+/// boundaries; joiners align with the in-flight barrier structure via
+/// Node::next_barrier_epoch and announce readiness before being planned.
+/// A Jacobi sweep is partition-independent, so any crash-free schedule
+/// converges bitwise-identically to the fixed-membership solver; runs with
+/// crashes still converge (a victim's rows go stale only between its last
+/// install and the eviction commit).
+SolverResult solve_barrier_elastic(const LinearSystem& sys, const SolverOptions& opt,
+                                   const ElasticSchedule& sched);
 
 /// Section 7's closing observation: "equivalence to a sequentially
 /// consistent computation may not always be necessary — some asynchronous

@@ -76,6 +76,43 @@ class VectorClock {
   /// of `other` (the "applied clock has reached the floor" test).
   [[nodiscard]] bool dominates(const VectorClock& other) const;
 
+  /// `dominates`, restricted to the components whose bit is set in
+  /// `alive_mask`.  Elastic membership (dsm/view.h) fences waits to the
+  /// live view: a dependency on a crashed process that can never be
+  /// satisfied is waived instead of wedging the reader.  Components at or
+  /// beyond bit 64 are always checked (membership masks cap at 64 procs).
+  [[nodiscard]] bool dominates_masked(const VectorClock& other,
+                                      std::uint64_t alive_mask) const {
+    MC_CHECK(c_.size() == other.c_.size());
+    for (std::size_t k = 0; k < c_.size(); ++k) {
+      if (k < 64 && ((alive_mask >> k) & 1) == 0) continue;
+      if (c_[k] < other.c_[k]) return false;
+    }
+    return true;
+  }
+
+  /// `ready_after`, restricted to the live view: dependency components of
+  /// crashed processes are waived (their missing updates will never arrive;
+  /// re-mastering re-seeds surviving state instead).  The writer's own
+  /// FIFO condition is never waived — a dead writer's queue is discarded
+  /// wholesale, not drained.
+  [[nodiscard]] bool ready_after_masked(const VectorClock& applied,
+                                        ProcId writer, bool allow_gap,
+                                        std::uint64_t alive_mask) const {
+    MC_CHECK(c_.size() == applied.c_.size());
+    MC_CHECK(writer < c_.size());
+    if (allow_gap ? c_[writer] <= applied.c_[writer]
+                  : c_[writer] != applied.c_[writer] + 1) {
+      return false;
+    }
+    for (std::size_t k = 0; k < c_.size(); ++k) {
+      if (k == writer) continue;
+      if (k < 64 && ((alive_mask >> k) & 1) == 0) continue;
+      if (c_[k] > applied.c_[k]) return false;
+    }
+    return true;
+  }
+
   /// Raise component p to at least v.
   void raise(ProcId p, std::uint64_t v) {
     MC_CHECK(p < c_.size());

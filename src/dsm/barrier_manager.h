@@ -12,14 +12,17 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/vector_clock.h"
+#include "dsm/view.h"
 #include "dsm/wire.h"
 #include "net/fabric.h"
 
@@ -32,9 +35,18 @@ class BarrierManager {
   /// (Section 6's scheme, timestamp-elided systems) arrivals carry
   /// per-receiver sent-update counts which the release transposes; in the
   /// default mode arrivals carry vector clocks which the release merges.
+  ///
+  /// With `initial_alive` the manager participates in elastic membership
+  /// (dsm/view.h): kViewCommit messages from the view manager update the
+  /// live mask, stranded instances are re-checked under the shrunk
+  /// membership (a dead process's pending arrival is waived; its recorded
+  /// arrival clock stands), and a committed joiner is assigned a starting
+  /// epoch per barrier object (kViewBarrierSync) so its local counters
+  /// line up with the instances already in flight.
   BarrierManager(net::Fabric& fabric, net::Endpoint self, std::size_t num_procs,
                  std::map<BarrierId, std::vector<ProcId>> members = {},
-                 bool count_mode = false);
+                 bool count_mode = false,
+                 std::optional<std::uint64_t> initial_alive = std::nullopt);
   ~BarrierManager();
 
   BarrierManager(const BarrierManager&) = delete;
@@ -56,9 +68,17 @@ class BarrierManager {
   /// watchdog's diagnostics ("barrier 0 epoch 2: 3/4 arrived, missing=[p1]").
   [[nodiscard]] std::vector<std::string> dump() const;
 
+  /// Invoked (elastic) once per barrier object when a commit admits a
+  /// joiner: (barrier, joiner, first participating epoch).  The op sink
+  /// needs it to gate cross-view barrier instances correctly.  Called from
+  /// the manager thread without state_mu_ held.
+  using JoinListener = std::function<void(BarrierId, ProcId, std::uint64_t)>;
+  void set_join_listener(JoinListener listener);
+
  private:
   void run();
   void handle_arrive(const net::Message& m);
+  void handle_view_commit(const net::Message& m);
 
   struct Instance {
     std::vector<bool> arrived;
@@ -71,15 +91,35 @@ class BarrierManager {
 
   /// The processes participating in barrier object `b`.
   [[nodiscard]] std::vector<ProcId> members_of(BarrierId b) const;
+  /// Elastic: the members of instance (b, epoch) under the current view —
+  /// configured members, alive, and admitted at or before `epoch`.
+  [[nodiscard]] std::vector<ProcId> participants_at(BarrierId b,
+                                                    std::uint64_t epoch) const;
+  /// Release instance `key` if every current participant has arrived
+  /// (vacuously, if membership shrank to none).  Expects state_mu_ held;
+  /// erases the instance on release.  Returns true when released.
+  bool maybe_release(const std::pair<BarrierId, std::uint64_t>& key);
 
   net::Fabric& fabric_;
   net::Endpoint self_;
   std::size_t num_procs_;
   bool count_mode_;
+  bool elastic_ = false;
   std::map<BarrierId, std::vector<ProcId>> members_;
   /// Guards instances_: the manager thread mutates it, the watchdog reads it.
   mutable std::mutex state_mu_;
   std::map<std::pair<BarrierId, std::uint64_t>, Instance> instances_;
+
+  // Elastic membership state (guarded by state_mu_).
+  std::uint64_t alive_mask_ = 0;
+  std::uint64_t view_epoch_ = 0;
+  /// Barrier-local epoch each late joiner participates from; processes
+  /// absent here are members since epoch 0.
+  std::map<BarrierId, std::map<ProcId, std::uint64_t>> member_from_;
+  /// Next unreleased barrier-local epoch per object (maintained on release).
+  std::map<BarrierId, std::uint64_t> next_epoch_;
+  JoinListener join_listener_;
+
   LatencyHistogram assemble_ns_;
   Counter releases_;
   Counter heartbeats_;

@@ -45,6 +45,9 @@ struct BatchRecord {
   SeqNo seq = 0;
   std::uint64_t weight = 1;
   VectorClock vc;  // empty in count-vector mode
+  /// View epoch of the write (elastic kUpdate path only; the batch wire
+  /// format does not carry it, so decoded batch records stay at 0).
+  std::uint64_t epoch = 0;
 
   friend bool operator==(const BatchRecord&, const BatchRecord&) = default;
 };

@@ -100,6 +100,23 @@ struct Config {
   /// members may arrive at a subset barrier.
   std::map<BarrierId, std::vector<ProcId>> barrier_members;
 
+  /// Elastic membership (dsm/view.h, docs/FAULTS.md "Membership and
+  /// views").  The lock manager doubles as a view manager distributing
+  /// epoch-stamped membership views: a PeerUnreachable verdict from the
+  /// reliability layer (or an explicit MixedSystem::join / Node::leave)
+  /// triggers a propose/ack/commit reconfiguration that revokes the
+  /// departed process's locks, recomputes barrier membership, and re-seeds
+  /// variables whose latest write lived only on the departed node from the
+  /// causally-latest surviving replica.  Requires vector-clock mode
+  /// (incompatible with omit_timestamps: count vectors have no per-writer
+  /// causality to fence).
+  bool elastic = false;
+
+  /// Initial view-0 membership (elastic only).  Absent: every process is a
+  /// member from the start.  A configured process left out here starts
+  /// outside the view and must MixedSystem::join before running app code.
+  std::optional<std::vector<ProcId>> initial_members;
+
   /// Record every operation into a per-process trace (history checking).
   bool record_trace = false;
 

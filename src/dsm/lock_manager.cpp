@@ -6,9 +6,14 @@
 namespace mc::dsm {
 
 LockManager::LockManager(net::Fabric& fabric, net::Endpoint self, std::size_t num_procs,
-                         bool count_mode)
-    : fabric_(fabric), self_(self), num_procs_(num_procs), count_mode_(count_mode) {
+                         bool count_mode, std::optional<std::uint64_t> initial_alive)
+    : fabric_(fabric), self_(self), num_procs_(num_procs), count_mode_(count_mode),
+      elastic_(initial_alive.has_value()) {
   MC_CHECK_MSG(num_procs <= 64, "episode holder sets are encoded as 64-bit masks");
+  if (elastic_) {
+    MC_CHECK_MSG(!count_mode_, "elastic membership requires vector-clock mode");
+    view_.alive_mask = *initial_alive & full_mask(num_procs);
+  }
   thread_ = std::thread([this] { run(); });
 }
 
@@ -26,6 +31,10 @@ void LockManager::run() {
     switch (m->kind) {
       case kLockReq: handle_request(*m); break;
       case kUnlock: handle_unlock(*m); break;
+      case kViewFault:
+      case kViewJoin:
+      case kViewLeave: handle_view_trigger(*m); break;
+      case kViewAck: handle_view_ack(*m); break;
       default: break;
     }
   }
@@ -34,6 +43,9 @@ void LockManager::run() {
 void LockManager::handle_request(const net::Message& m) {
   const auto id = static_cast<LockId>(m.a);
   std::scoped_lock state_lk(state_mu_);
+  // Elastic: requests from processes outside the current view are stale
+  // traffic from before their eviction — granting would wedge the lock.
+  if (elastic_ && (m.src >= num_procs_ || !view_.is_alive(m.src))) return;
   LockState& lock = locks_[id];
   if (lock.release_vc.empty()) lock.release_vc = VectorClock(num_procs_);
   lock.queue.push_back(Request{m.src, static_cast<LockRequestKind>(m.b),
@@ -44,6 +56,9 @@ void LockManager::handle_request(const net::Message& m) {
 void LockManager::handle_unlock(const net::Message& m) {
   const auto id = static_cast<LockId>(m.a);
   std::scoped_lock state_lk(state_mu_);
+  // Elastic: an unlock racing the sender's eviction arrives after the
+  // commit already revoked its tenure — drop it instead of asserting.
+  if (elastic_ && (m.src >= num_procs_ || !view_.is_alive(m.src))) return;
   LockState& lock = locks_[id];
   MC_CHECK_MSG(lock.holders.erase(m.src) == 1, "unlock from a non-holder");
 
@@ -139,6 +154,240 @@ std::vector<std::string> LockManager::dump() const {
     out.push_back(std::move(line));
   }
   return out;
+}
+
+View LockManager::view() const {
+  std::scoped_lock lk(state_mu_);
+  return view_;
+}
+
+void LockManager::set_view_listener(ViewListener listener) {
+  std::scoped_lock lk(state_mu_);
+  view_listener_ = std::move(listener);
+}
+
+void LockManager::handle_view_trigger(const net::Message& m) {
+  std::function<void()> post;
+  {
+    std::scoped_lock state_lk(state_mu_);
+    if (!elastic_) return;
+    const auto p = static_cast<ProcId>(m.a);
+    if (p >= num_procs_) return;
+    const std::uint64_t bit = std::uint64_t{1} << p;
+    if (m.kind == kViewJoin) {
+      const bool member_soon = (pending_ && (pending_->mask & bit) != 0) ||
+                               (deferred_join_mask_ & bit) != 0;
+      if ((view_.alive_mask & bit) != 0 || member_soon) return;  // duplicate
+      view_joins_.add();
+      deferred_join_mask_ |= bit;
+      deferred_remove_mask_ &= ~bit;
+    } else {
+      const bool in_view = (view_.alive_mask & bit) != 0;
+      const bool in_pending = pending_ && (pending_->mask & bit) != 0;
+      if (!in_view && !in_pending && (deferred_join_mask_ & bit) == 0) {
+        return;  // already out — duplicate fault verdicts are routine
+      }
+      if (m.kind == kViewFault) view_faults_.add(); else view_leaves_.add();
+      deferred_join_mask_ &= ~bit;
+      if (in_pending && m.kind == kViewFault) {
+        // A dead proposed member will never ack: drop it from the pending
+        // proposal in place (same epoch; acks already collected stay
+        // valid) so the commit isn't wedged on a dead acker.
+        pending_->mask &= ~bit;
+        pending_->acked_mask &= ~bit;
+        pending_->acked_vc.erase(p);
+        if (pending_->joiner == p) pending_->joiner = kNoProc;
+      } else {
+        // A live leaver keeps acking; removal waits for the next proposal.
+        deferred_remove_mask_ |= bit;
+      }
+    }
+    maybe_propose();
+    if (pending_ && (pending_->acked_mask & pending_->mask) == pending_->mask) {
+      post = commit_pending();
+    }
+  }
+  if (post) post();
+}
+
+void LockManager::handle_view_ack(const net::Message& m) {
+  std::function<void()> post;
+  {
+    std::scoped_lock state_lk(state_mu_);
+    if (!elastic_ || !pending_ || m.a != pending_->epoch) return;  // stale
+    const auto p = static_cast<ProcId>(m.src);
+    if (p >= num_procs_ || ((pending_->mask >> p) & 1) == 0) return;
+    pending_->acked_mask |= std::uint64_t{1} << p;
+    VectorClock vc(num_procs_);
+    if (m.payload.size() >= num_procs_) {
+      for (ProcId k = 0; k < num_procs_; ++k) vc.set(k, m.payload[k]);
+    }
+    pending_->acked_vc[p] = std::move(vc);
+    if ((pending_->acked_mask & pending_->mask) == pending_->mask) {
+      post = commit_pending();
+    }
+  }
+  if (post) post();
+}
+
+void LockManager::maybe_propose() {
+  if (pending_) return;
+  deferred_join_mask_ &= ~view_.alive_mask;  // raced a commit that admitted
+  const std::uint64_t removes = deferred_remove_mask_ & view_.alive_mask;
+  deferred_remove_mask_ = 0;
+  ProcId joiner = kNoProc;
+  std::uint64_t join_bit = 0;
+  for (ProcId p = 0; p < static_cast<ProcId>(num_procs_); ++p) {
+    const std::uint64_t bit = std::uint64_t{1} << p;
+    if ((deferred_join_mask_ & bit) != 0) {
+      joiner = p;
+      join_bit = bit;
+      break;  // one joiner per view change; the rest wait their turn
+    }
+  }
+  deferred_join_mask_ &= ~join_bit;
+  const std::uint64_t new_mask = (view_.alive_mask & ~removes) | join_bit;
+  if (new_mask == view_.alive_mask) return;
+  PendingView pv;
+  pv.epoch = view_.epoch + 1;
+  pv.mask = new_mask;
+  pv.joiner = joiner;
+  pending_ = std::move(pv);
+  for (ProcId p = 0; p < static_cast<ProcId>(num_procs_); ++p) {
+    if (((new_mask >> p) & 1) == 0) continue;
+    net::Message msg;
+    msg.src = self_;
+    msg.dst = p;
+    msg.kind = kViewPropose;
+    msg.a = pending_->epoch;
+    msg.b = new_mask;
+    msg.c = view_.alive_mask;
+    fabric_.send(std::move(msg));
+  }
+}
+
+std::function<void()> LockManager::commit_pending() {
+  MC_CHECK(pending_.has_value());
+  const PendingView pv = *pending_;
+  pending_.reset();
+  const std::uint64_t old_mask = view_.alive_mask;
+  const std::uint64_t departed = old_mask & ~pv.mask;
+  view_.epoch = pv.epoch;
+  view_.alive_mask = pv.mask;
+  view_changes_.add();
+
+  // Re-master lock state: purge dead requesters, revoke dead holders to
+  // their episode boundary, drop dead demand-ownership (those migratory
+  // writes lived only on the departed node — a documented loss, see
+  // docs/FAULTS.md "Membership and views").
+  for (auto& [id, lock] : locks_) {
+    for (auto it = lock.queue.begin(); it != lock.queue.end();) {
+      if (it->who < num_procs_ && ((departed >> it->who) & 1) != 0) {
+        it = lock.queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    bool revoked = false;
+    for (auto it = lock.holders.begin(); it != lock.holders.end();) {
+      if (*it < num_procs_ && ((departed >> *it) & 1) != 0) {
+        locks_revoked_.add();
+        revoked = true;
+        it = lock.holders.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = lock.ownership.begin(); it != lock.ownership.end();) {
+      if (it->second < num_procs_ && ((departed >> it->second) & 1) != 0) {
+        it = lock.ownership.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (revoked && lock.holders.empty()) {
+      lock.mode = Mode::kFree;
+      // The revoked episode ends at its boundary: survivors' unlock clocks
+      // stand; the dead holder's unflushed tail is simply not part of the
+      // release set the next grant forwards.
+      lock.prev_holders_mask = lock.current_unlockers_mask;
+      lock.current_unlockers_mask = 0;
+    }
+    try_grant(id, lock);
+  }
+
+  // Re-mastering assignments: for each departed d, the survivor whose
+  // acked applied clock absorbed the most of d's writes re-broadcasts the
+  // d-authored state it holds (LWW makes redundant copies harmless); a
+  // joiner snapshot-fetches from the most caught-up member.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> assignments;
+  for (ProcId d = 0; d < static_cast<ProcId>(num_procs_); ++d) {
+    if (((departed >> d) & 1) == 0) continue;
+    ProcId donor = kNoProc;
+    std::uint64_t best = 0;
+    for (const auto& [p, vc] : pv.acked_vc) {
+      if (((pv.mask >> p) & 1) == 0) continue;
+      if (donor == kNoProc || vc[d] > best) {
+        donor = p;
+        best = vc[d];
+      }
+    }
+    if (donor != kNoProc) {
+      assignments.emplace_back(d, donor);
+      reseed_assignments_.add();
+    }
+  }
+  if (pv.joiner != kNoProc) {
+    ProcId donor = kNoProc;
+    std::uint64_t best = 0;
+    for (const auto& [p, vc] : pv.acked_vc) {
+      if (p == pv.joiner || ((pv.mask >> p) & 1) == 0) continue;
+      if (donor == kNoProc || vc.total() > best) {
+        donor = p;
+        best = vc.total();
+      }
+    }
+    if (donor != kNoProc) assignments.emplace_back(pv.joiner, donor);
+  }
+
+  // Commit goes to every node of the old and new views (a graceful leaver
+  // is waiting for it) plus the barrier manager at self+1 (MixedSystem's
+  // endpoint layout), so stranded barrier instances re-complete.
+  const std::uint64_t notify = old_mask | pv.mask;
+  auto make_commit = [&](net::Endpoint dst) {
+    net::Message msg;
+    msg.src = self_;
+    msg.dst = dst;
+    msg.kind = kViewCommit;
+    msg.a = view_.epoch;
+    msg.b = view_.alive_mask;
+    msg.c = pv.joiner == kNoProc ? ~std::uint64_t{0} : pv.joiner;
+    msg.d = assignments.size();
+    for (const auto& [target, donor] : assignments) {
+      msg.payload.push_back(target);
+      msg.payload.push_back(donor);
+    }
+    return msg;
+  };
+  for (ProcId p = 0; p < static_cast<ProcId>(num_procs_); ++p) {
+    if (((notify >> p) & 1) == 0) continue;
+    fabric_.send(make_commit(p));
+  }
+  fabric_.send(make_commit(static_cast<net::Endpoint>(self_ + 1)));
+  if (obs::trace_enabled()) {
+    obs::trace_instant("view.commit", "dsm", {"epoch", view_.epoch},
+                       {"mask", view_.alive_mask});
+  }
+
+  // Accumulated churn that arrived while this change was in flight.
+  maybe_propose();
+
+  const View committed = view_;
+  const ProcId joiner = pv.joiner;
+  auto listener = view_listener_;
+  return [listener = std::move(listener), committed, departed, joiner] {
+    if (listener) listener(committed, departed, joiner);
+  };
 }
 
 void LockManager::send_grant(LockId id, LockState& lock, const Request& req) {

@@ -14,8 +14,10 @@
 
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -23,6 +25,7 @@
 
 #include "common/stats.h"
 #include "common/vector_clock.h"
+#include "dsm/view.h"
 #include "dsm/watchdog.h"
 #include "dsm/wire.h"
 #include "net/fabric.h"
@@ -34,8 +37,17 @@ class LockManager {
   /// In count mode (timestamp-elided systems) unlocks carry per-receiver
   /// sent-update counts and each grant ships, per sender, the count the
   /// acquirer must have received — Section 6's lazy implementation.
+  ///
+  /// With `initial_alive` the manager doubles as the *view manager*
+  /// (dsm/view.h): it distributes epoch-stamped membership views in a
+  /// propose/ack/commit exchange on fault reports, joins, and leaves, and
+  /// re-masters lock state at each commit (dead holders revoked to their
+  /// episode boundary, dead requests purged, dead demand-ownership
+  /// dropped).  The mask names view 0's members; the barrier manager is
+  /// assumed at endpoint self+1 (MixedSystem's layout).
   LockManager(net::Fabric& fabric, net::Endpoint self, std::size_t num_procs,
-              bool count_mode = false);
+              bool count_mode = false,
+              std::optional<std::uint64_t> initial_alive = std::nullopt);
   ~LockManager();
 
   LockManager(const LockManager&) = delete;
@@ -63,6 +75,30 @@ class LockManager {
   /// queue=[p0(w) p2(r)]").
   [[nodiscard]] std::vector<std::string> dump() const;
 
+  // --- view manager (elastic membership, dsm/view.h) ---
+
+  [[nodiscard]] bool elastic() const { return elastic_; }
+  /// Current committed view.
+  [[nodiscard]] View view() const;
+  [[nodiscard]] std::string view_string() const { return view().to_string(); }
+
+  /// Invoked — from the manager thread, without state_mu_ held — right
+  /// after each view commit has been multicast.  `departed_mask` names the
+  /// processes removed by this commit; `joiner` is kNoProc unless this
+  /// commit admits one.  MixedSystem uses it to silence dead reliable
+  /// channels and to inform the op sink.
+  using ViewListener =
+      std::function<void(const View&, std::uint64_t departed_mask, ProcId joiner)>;
+  void set_view_listener(ViewListener listener);
+
+  // view.* accounting (docs/METRICS.md)
+  [[nodiscard]] std::uint64_t view_changes() const { return view_changes_.get(); }
+  [[nodiscard]] std::uint64_t view_joins() const { return view_joins_.get(); }
+  [[nodiscard]] std::uint64_t view_leaves() const { return view_leaves_.get(); }
+  [[nodiscard]] std::uint64_t view_faults() const { return view_faults_.get(); }
+  [[nodiscard]] std::uint64_t locks_revoked() const { return locks_revoked_.get(); }
+  [[nodiscard]] std::uint64_t reseed_assignments() const { return reseed_assignments_.get(); }
+
  private:
   struct Request {
     net::Endpoint who;
@@ -85,22 +121,54 @@ class LockManager {
     std::map<VarId, net::Endpoint> ownership;  // demand-driven: var -> owner
   };
 
+  /// An in-flight view proposal awaiting acks from every proposed member.
+  struct PendingView {
+    std::uint64_t epoch = 0;
+    std::uint64_t mask = 0;
+    std::uint64_t acked_mask = 0;
+    ProcId joiner = kNoProc;
+    /// Each acker's applied clock (snapshotted after flushing its staging
+    /// buffers) — the donor-selection input for re-mastering.
+    std::map<ProcId, VectorClock> acked_vc;
+  };
+
   void run();
   void handle_request(const net::Message& m);
   void handle_unlock(const net::Message& m);
   void try_grant(LockId id, LockState& lock);
   void send_grant(LockId id, LockState& lock, const Request& req);
 
+  // View protocol (all expect state_mu_ held; sends happen under it, the
+  // manager's existing idiom).  `maybe_propose` starts a proposal whenever
+  // deferred membership changes exist and none is pending.
+  void handle_view_trigger(const net::Message& m);
+  void handle_view_ack(const net::Message& m);
+  void maybe_propose();
+  /// Commit the pending view.  Returns the listener invocation to run
+  /// after state_mu_ is released.
+  [[nodiscard]] std::function<void()> commit_pending();
+
   net::Fabric& fabric_;
   net::Endpoint self_;
   std::size_t num_procs_;
   bool count_mode_;
+  bool elastic_ = false;
   /// Guards locks_: the manager thread mutates it, the watchdog reads it.
   mutable std::mutex state_mu_;
   std::map<LockId, LockState> locks_;
+
+  // View-manager state (guarded by state_mu_).
+  View view_;
+  std::optional<PendingView> pending_;
+  std::uint64_t deferred_remove_mask_ = 0;
+  std::uint64_t deferred_join_mask_ = 0;
+  ViewListener view_listener_;
+
   LatencyHistogram grant_wait_ns_;
   Counter grants_;
   Counter heartbeats_;
+  Counter view_changes_, view_joins_, view_leaves_, view_faults_;
+  Counter locks_revoked_, reseed_assignments_;
   std::thread thread_;
 };
 

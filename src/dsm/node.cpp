@@ -34,7 +34,13 @@ Node::Node(const Config& cfg, ProcId self, net::Fabric& fabric, net::Endpoint lo
       sent_to_(cfg.num_procs),
       received_from_(cfg.num_procs),
       count_floor_(cfg.num_procs),
+      elastic_(cfg.elastic),
       trace_(cfg.record_trace) {
+  if (elastic_) {
+    view_.alive_mask = cfg_.initial_members.has_value()
+                           ? mask_of(*cfg_.initial_members)
+                           : full_mask(cfg_.num_procs);
+  }
   if (cfg_.batching.has_value()) {
     staged_.resize(cfg_.num_procs);
     flusher_ = std::thread([this] { run_flusher(); });
@@ -56,11 +62,17 @@ void Node::stop() {
 
 template <typename Pred>
 void Node::wait_or_die(std::unique_lock<std::mutex>& lk, const char* what, Pred pred) {
+  // Elastic: an evicted process has no further obligations anyone will
+  // meet — unwind it instead of letting it stall (system.cpp treats
+  // EvictedError as a clean per-process exit).
+  if (evicted_) throw EvictedError(what);
+  auto stop = [&] { return evicted_ || pred(); };
   Watchdog* wd = watchdog_.load(std::memory_order_acquire);
   if (wd == nullptr) {
-    if (!cv_.wait_for(lk, kLivenessDeadline, pred)) {
+    if (!cv_.wait_for(lk, kLivenessDeadline, stop)) {
       MC_CHECK_MSG(false, what);
     }
+    if (evicted_) throw EvictedError(what);
     return;
   }
   // Watchdog-supervised wait: register while blocked, poll fired() so a
@@ -70,7 +82,10 @@ void Node::wait_or_die(std::unique_lock<std::mutex>& lk, const char* what, Pred 
   Watchdog::WaitScope scope(*wd, self_, what);
   const auto deadline = std::chrono::steady_clock::now() + kLivenessDeadline;
   for (;;) {
-    if (cv_.wait_for(lk, wd->poll_interval(), pred)) return;
+    if (cv_.wait_for(lk, wd->poll_interval(), stop)) {
+      if (evicted_) throw EvictedError(what);
+      return;
+    }
     if (wd->fired()) throw StallError(what);
     MC_CHECK_MSG(std::chrono::steady_clock::now() < deadline, what);
   }
@@ -147,6 +162,21 @@ void Node::run_delivery() {
       case kFetchReq:
         on_fetch_request(*m);
         break;
+      case kViewPropose:
+        if (elastic_) on_view_propose(*m);
+        break;
+      case kViewCommit:
+        if (elastic_) on_view_commit(*m);
+        break;
+      case kViewState:
+        if (elastic_) on_view_state(*m);
+        break;
+      case kViewBarrierSync:
+        if (elastic_) on_view_barrier_sync(*m);
+        break;
+      case kViewHello:
+        if (elastic_) on_view_hello(*m);
+        break;
       case kFetchResp: {
         FetchResult res;
         res.value = m->c;
@@ -200,8 +230,10 @@ void Node::on_update(const net::Message& m) {
 
   PendingUpdate u;
   u.vc = VectorClock(cfg_.num_procs);
-  MC_CHECK(m.payload.size() == cfg_.num_procs);
+  // Elastic updates carry one extra word: the writer's view epoch (wire.h).
+  MC_CHECK(m.payload.size() == cfg_.num_procs + (elastic_ ? 1 : 0));
   for (ProcId p = 0; p < cfg_.num_procs; ++p) u.vc.set(p, m.payload[p]);
+  if (elastic_) r.epoch = m.payload[cfg_.num_procs];
   r.vc = u.vc;
   u.recs.push_back(std::move(r));
 
@@ -268,14 +300,20 @@ void Node::drain_causal_buffers() {
     progress = false;
     for (ProcId s = 0; s < cfg_.num_procs; ++s) {
       auto& q = causal_buffer_[s];
-      while (!q.empty() && q.front().vc.ready_after(applied_, s, q.front().gap_ok)) {
+      auto ready = [&](const PendingUpdate& u) {
+        return elastic_
+                   ? u.vc.ready_after_masked(applied_, s, u.gap_ok, view_.alive_mask)
+                   : u.vc.ready_after(applied_, s, u.gap_ok);
+      };
+      while (!q.empty() && ready(q.front())) {
         const PendingUpdate& u = q.front();
         // A batch applies atomically: every record lands under this one
         // mutex hold, so no reader observes a mid-batch state (which the
         // coalesced per-write history could not serialize).
         for (const BatchRecord& r : u.recs) {
           mem_.apply(r.var, r.value, r.flags, WriteId{s, r.seq},
-                     r.vc.empty() ? u.vc : r.vc, 0, /*force=*/false, r.weight);
+                     r.vc.empty() ? u.vc : r.vc, 0, /*force=*/false, r.weight,
+                     r.epoch);
         }
         applied_.set(s, u.vc[s]);
         q.pop_front();
@@ -306,6 +344,271 @@ void Node::on_fetch_request(const net::Message& m) {
     resp.payload.insert(resp.payload.end(), vc.components().begin(), vc.components().end());
   }
   fabric_.send(std::move(resp));
+}
+
+// ----------------------------------------------------------------------
+// Elastic membership (Config::elastic; dsm/view.h, docs/FAULTS.md)
+// ----------------------------------------------------------------------
+
+void Node::on_view_propose(const net::Message& m) {
+  // Ack = "my staging buffers are flushed and this applied clock is
+  // truthful" — the manager picks re-seed donors from these snapshots.
+  net::Message ack;
+  ack.src = self_;
+  ack.dst = m.src;
+  ack.kind = kViewAck;
+  ack.a = m.a;
+  std::scoped_lock lk(mu_);
+  if (cfg_.batching.has_value()) flush_staged_locked();
+  ack.payload.assign(applied_.components().begin(), applied_.components().end());
+  fabric_.send(std::move(ack));
+}
+
+void Node::on_view_commit(const net::Message& m) {
+  std::scoped_lock lk(mu_);
+  if (m.a <= view_.epoch) return;  // stale — epochs are monotone
+  const std::uint64_t prev_mask = view_.alive_mask;
+  view_.epoch = m.a;
+  view_.alive_mask = m.b;
+  const std::uint64_t departed = prev_mask & ~m.b;
+  const ProcId joiner =
+      m.c == ~std::uint64_t{0} ? kNoProc : static_cast<ProcId>(m.c);
+
+  if (self_ < 64 && ((prev_mask >> self_) & 1) != 0 && !view_.is_alive(self_)) {
+    if (leaving_) left_ = true;
+    else evicted_ = true;
+  }
+
+  // Staged updates to the departed will never be acknowledged; drop them.
+  // Their sent_to_ counts stand — nobody synchronizes on a dead sender's
+  // counts again.
+  if (cfg_.batching.has_value()) {
+    for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+      if (p < 64 && ((departed >> p) & 1) != 0 && !staged_[p].empty()) {
+        staged_total_ -= staged_[p].size();
+        staged_[p].clear();
+      }
+    }
+  }
+  // Demand-driven invalidations pointing at a dead owner: fall back to the
+  // local copy (the re-mastering pass re-seeds it if the owner's write was
+  // the global winner).
+  for (auto it = invalid_.begin(); it != invalid_.end();) {
+    const auto owner = it->second;
+    if (owner < 64 && ((departed >> owner) & 1) != 0) it = invalid_.erase(it);
+    else ++it;
+  }
+  // Buffered updates gated on a dead component may be ready under the mask.
+  drain_causal_buffers();
+
+  // Donor duties: re-seed each departed process's surviving latest writes,
+  // or ship the joiner a full snapshot.
+  MC_CHECK(m.payload.size() >= 2 * m.d);
+  for (std::uint64_t k = 0; k < m.d; ++k) {
+    const auto target = static_cast<ProcId>(m.payload[2 * k]);
+    const auto donor = static_cast<ProcId>(m.payload[2 * k + 1]);
+    if (donor != self_) continue;
+    const bool to_joiner = target == joiner && joiner != kNoProc;
+    net::Message st;
+    st.src = self_;
+    st.kind = kViewState;
+    st.b = view_.epoch;
+    st.c = to_joiner ? 1 : 0;
+    std::uint64_t count = 0;
+    for (VarId x = 0; x < mem_.size(); ++x) {
+      const VarEntry& e = mem_.entry(x);
+      if (to_joiner) {
+        // Full snapshot: every entry ever touched, counters included (the
+        // joiner has no local applications to double-count against).
+        if (!e.last.valid() && e.vc.empty()) continue;
+      } else {
+        // Re-seed: only entries whose latest write is the departed
+        // process's, and never counters (a delta-merged value is a sum of
+        // per-replica applications, not a replicable LWW winner).
+        if (e.last.proc != target || e.delta_touched) continue;
+      }
+      st.payload.push_back(x);
+      st.payload.push_back(e.value);
+      st.payload.push_back(e.last.proc);
+      st.payload.push_back(e.last.seq);
+      st.payload.push_back(e.delta_touched ? 1 : 0);
+      st.payload.push_back(e.epoch);
+      const VectorClock vc = e.vc.empty() ? VectorClock(cfg_.num_procs) : e.vc;
+      st.payload.insert(st.payload.end(), vc.components().begin(),
+                        vc.components().end());
+      ++count;
+    }
+    st.a = count;
+    stats_.reseeds_out.add(count);
+    if (to_joiner) {
+      st.dst = joiner;
+      fabric_.send(std::move(st));
+    } else {
+      // Every survivor might be missing some of the departed's writes.
+      for (const ProcId p : view_.members()) {
+        if (p == self_ || p >= cfg_.num_procs) continue;
+        net::Message copy = st;
+        copy.dst = p;
+        fabric_.send(std::move(copy));
+      }
+    }
+  }
+
+  // FIFO baseline for the admitted joiner, sent under mu_ so any update we
+  // broadcast afterwards is sequenced behind it on the same channel.
+  if (joiner != kNoProc && joiner != self_ && view_.is_alive(self_)) {
+    // Self backfill first: the designated donor's snapshot races with
+    // updates third parties broadcast to the OLD membership only — such a
+    // write can reach the donor after it snapshots and is then never sent
+    // to the joiner.  Each survivor therefore re-offers its own latest
+    // writes; LWW arbitration at the joiner picks the same winner the
+    // survivors converged on, in either arrival order.  Counters stay
+    // snapshot-only (a delta-merged value is not a replicable LWW winner).
+    net::Message bf;
+    bf.src = self_;
+    bf.dst = joiner;
+    bf.kind = kViewState;
+    bf.b = view_.epoch;
+    bf.c = 2;
+    std::uint64_t count = 0;
+    for (VarId x = 0; x < mem_.size(); ++x) {
+      const VarEntry& e = mem_.entry(x);
+      if (e.last.proc != self_ || e.delta_touched) continue;
+      bf.payload.push_back(x);
+      bf.payload.push_back(e.value);
+      bf.payload.push_back(e.last.proc);
+      bf.payload.push_back(e.last.seq);
+      bf.payload.push_back(0);
+      bf.payload.push_back(e.epoch);
+      const VectorClock vc = e.vc.empty() ? VectorClock(cfg_.num_procs) : e.vc;
+      bf.payload.insert(bf.payload.end(), vc.components().begin(),
+                        vc.components().end());
+      ++count;
+    }
+    bf.a = count;
+    stats_.reseeds_out.add(count);
+    fabric_.send(std::move(bf));
+
+    net::Message hello;
+    hello.src = self_;
+    hello.dst = joiner;
+    hello.kind = kViewHello;
+    hello.a = write_counter_;
+    hello.b = view_.epoch;
+    hello.payload.assign(dep_vc_.components().begin(), dep_vc_.components().end());
+    fabric_.send(std::move(hello));
+  }
+  cv_.notify_all();
+}
+
+void Node::on_view_state(const net::Message& m) {
+  // c distinguishes the shipment flavours: 1 = the donor's full snapshot
+  // to the joiner, 2 = a survivor's self-backfill to the joiner (see
+  // on_view_commit; re-seeding to survivors travels as flagged kUpdate
+  // writes instead).
+  const bool full_snapshot = m.c == 1;
+  const std::size_t stride = 6 + cfg_.num_procs;
+  std::scoped_lock lk(mu_);
+  MC_CHECK(m.payload.size() >= m.a * stride);
+  for (std::uint64_t k = 0; k < m.a; ++k) {
+    const std::uint64_t* rec = m.payload.data() + k * stride;
+    const auto x = static_cast<VarId>(rec[0]);
+    const Value value = rec[1];
+    const WriteId id{static_cast<ProcId>(rec[2]), rec[3]};
+    const bool delta_touched = rec[4] != 0;
+    const std::uint64_t wepoch = rec[5];
+    VectorClock vc(cfg_.num_procs);
+    for (ProcId p = 0; p < cfg_.num_procs; ++p) vc.set(p, rec[6 + p]);
+    if (full_snapshot && delta_touched) {
+      // Counter baseline: an absolute value the joiner has no local
+      // applications to double-count against — install verbatim.
+      mem_.install(x, value, id, vc, delta_touched, wepoch);
+    } else if (!mem_.entry(x).delta_touched) {
+      // LWW arbitration (store.cpp) picks the winner between the shipped
+      // copy and whatever this replica already holds — snapshots,
+      // backfills, and direct updates commute to the same result, and the
+      // record's original write epoch keeps a dead process's
+      // partially-delivered last write from beating a new-view overwrite.
+      mem_.apply(x, value, kFlagWrite, id, vc, 0, /*force=*/false, 1, wepoch);
+    }
+    stats_.reseeds_in.add();
+  }
+  if (full_snapshot) snapshot_done_ = true;
+  cv_.notify_all();
+}
+
+void Node::on_view_barrier_sync(const net::Message& m) {
+  std::scoped_lock lk(mu_);
+  MC_CHECK(m.payload.size() >= 2 * m.a);
+  for (std::uint64_t k = 0; k < m.a; ++k) {
+    const auto b = static_cast<BarrierId>(m.payload[2 * k]);
+    auto& e = barrier_epoch_[b];
+    e = std::max(e, m.payload[2 * k + 1]);
+  }
+  barrier_synced_ = true;
+  cv_.notify_all();
+}
+
+void Node::on_view_hello(const net::Message& m) {
+  const auto sender = static_cast<ProcId>(m.src);
+  std::scoped_lock lk(mu_);
+  // The sender's pre-admission updates were broadcast to the old
+  // membership only; waive them.  FIFO sequencing (the hello travels the
+  // same channel as the sender's later updates) makes the baseline exact.
+  update_arrived_.set(sender, std::max(update_arrived_[sender], m.a));
+  applied_.set(sender, std::max(applied_[sender], m.a));
+  cv_.notify_all();
+}
+
+View Node::view() const {
+  std::scoped_lock lk(mu_);
+  return view_;
+}
+
+std::uint64_t Node::next_barrier_epoch(BarrierId b) const {
+  std::scoped_lock lk(mu_);
+  const auto it = barrier_epoch_.find(b);
+  return it == barrier_epoch_.end() ? 0 : it->second;
+}
+
+void Node::join() {
+  MC_CHECK_MSG(elastic_, "join requires Config::elastic");
+  {
+    std::scoped_lock lk(mu_);
+    MC_CHECK_MSG(!view_.is_alive(self_), "join by a process already in the view");
+  }
+  net::Message req;
+  req.src = self_;
+  req.dst = lock_mgr_;
+  req.kind = kViewJoin;
+  req.a = self_;
+  fabric_.send(std::move(req));
+  std::unique_lock lk(mu_);
+  wait_or_die(lk, "join blocked past the liveness deadline", [&] {
+    // Admitted, barrier counters aligned, and the donor snapshot landed
+    // (vacuous when this process is the view's only member).
+    return view_.is_alive(self_) && barrier_synced_ &&
+           (snapshot_done_ || view_.live_count() == 1);
+  });
+}
+
+void Node::leave() {
+  MC_CHECK_MSG(elastic_, "leave requires Config::elastic");
+  {
+    std::scoped_lock lk(mu_);
+    MC_CHECK_MSG(held_.empty(), "leave while holding a lock");
+    MC_CHECK_MSG(view_.is_alive(self_), "leave by a process outside the view");
+    leaving_ = true;
+    if (cfg_.batching.has_value()) flush_staged_locked();
+  }
+  net::Message req;
+  req.src = self_;
+  req.dst = lock_mgr_;
+  req.kind = kViewLeave;
+  req.a = self_;
+  fabric_.send(std::move(req));
+  std::unique_lock lk(mu_);
+  wait_or_die(lk, "leave blocked past the liveness deadline", [&] { return left_; });
 }
 
 // ----------------------------------------------------------------------
@@ -341,7 +644,7 @@ VectorClock Node::snapshot_dep_vc() {
 }
 
 void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq,
-                            const VectorClock& stamp) {
+                            const VectorClock& stamp, std::uint64_t epoch) {
   if (cfg_.batching.has_value()) {
     // Batched propagation: stage per destination; thresholds or the
     // flusher (or the next synchronization action) ship the batches.
@@ -352,7 +655,8 @@ void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq
       }
     } else {
       for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-        if (p != self_) stage_update(p, x, value, flags, seq, stamp);
+        if (p == self_ || (elastic_ && !view_.is_alive(p))) continue;
+        stage_update(p, x, value, flags, seq, stamp);
       }
     }
     for (ProcId p = 0; p < cfg_.num_procs; ++p) {
@@ -373,6 +677,9 @@ void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq
   m.d = flags;
   if (!cfg_.omit_timestamps) {
     m.payload.assign(stamp.components().begin(), stamp.components().end());
+    // Elastic updates append the writer's view epoch (wire.h) so the
+    // receiver's LWW arbitration can prefer new-view writes (store.cpp).
+    if (elastic_) m.payload.push_back(epoch);
   }
   const auto subs = cfg_.update_subscribers.find(x);
   if (subs != cfg_.update_subscribers.end()) {
@@ -386,7 +693,9 @@ void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq
     return;
   }
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-    if (p == self_) continue;
+    // Elastic: non-members get nothing — the departed are gone, and a
+    // not-yet-admitted joiner gets its baseline via kViewHello instead.
+    if (p == self_ || (elastic_ && !view_.is_alive(p))) continue;
     net::Message copy = m;
     copy.dst = p;
     fabric_.send(std::move(copy));
@@ -493,6 +802,7 @@ void Node::run_flusher() {
 // ----------------------------------------------------------------------
 
 void Node::emit_op(history::Operation& op) {
+  if (elastic_) op.view_epoch = view_.epoch;
   if (obs::trace_enabled()) {
     // Correlation id: the same value appears on this trace instant and on
     // the operation handed to the monitor, so a live counterexample (DOT)
@@ -515,10 +825,10 @@ Value Node::read(VarId x, ReadMode mode) {
   const VectorClock& applied = count_mode ? received_from_ : applied_;
   const VectorClock& floor = count_mode ? count_floor_
                              : mode == ReadMode::kPram ? pram_floor_ : causal_floor_;
-  const bool was_ready = applied.dominates(floor);
+  const bool was_ready = floors_met(applied, floor);
   if (!was_ready) {
     wait_or_die(lk, "read blocked past the liveness deadline",
-                [&] { return applied.dominates(floor); });
+                [&] { return floors_met(applied, floor); });
     const auto waited = blocked.elapsed();
     stats_.read_blocked.record(waited);
     obs::trace_complete_ns("read.block", "dsm",
@@ -582,6 +892,7 @@ void Node::write(VarId x, Value v) {
     op.value = v;
     op.write_id = id;
 
+    const std::uint64_t ep = elastic_ ? view_.epoch : 0;
     HeldLock* held = nullptr;
     if (demand_local_write(x, &held)) {
       held->cs_writes.push_back(x);
@@ -589,13 +900,13 @@ void Node::write(VarId x, Value v) {
       // delivery must not wait for an update that will never arrive).
       // `force` because the untick'd clock can tie the installed entry's —
       // the write lock orders these writes, so forcing is safe.
-      mem_.apply(x, v, kFlagWrite, id, dep_vc_, 0, /*force=*/true);
+      mem_.apply(x, v, kFlagWrite, id, dep_vc_, 0, /*force=*/true, 1, ep);
       if (staleness_ != nullptr) staleness_->on_write(x, dep_vc_);
       if (observing_ops()) emit_op(op);
     } else {
       dep_vc_.tick(self_);
       applied_.set(self_, dep_vc_[self_]);
-      mem_.apply(x, v, kFlagWrite, id, dep_vc_);
+      mem_.apply(x, v, kFlagWrite, id, dep_vc_, 0, /*force=*/false, 1, ep);
       if (staleness_ != nullptr) {
         staleness_->on_write(x, cfg_.omit_timestamps ? VectorClock{} : dep_vc_);
       }
@@ -605,7 +916,7 @@ void Node::write(VarId x, Value v) {
       // Broadcast while holding the node lock: the model permits
       // multi-threaded user processes, and per-sender FIFO requires this
       // process's updates to enter the fabric in sequence order.
-      broadcast_update(x, v, kFlagWrite, seq, dep_vc_);
+      broadcast_update(x, v, kFlagWrite, seq, dep_vc_, ep);
     }
   }
   cv_.notify_all();
@@ -675,7 +986,7 @@ void Node::await(VarId x, Value v, ReadMode mode) {
   const VectorClock& floor = count_mode ? count_floor_
                              : mode == ReadMode::kPram ? pram_floor_ : causal_floor_;
   wait_or_die(lk, "await blocked past the liveness deadline", [&] {
-    return applied.dominates(floor) && mem_.entry(x).value == v;
+    return floors_met(applied, floor) && mem_.entry(x).value == v;
   });
   const auto waited = blocked.elapsed();
   stats_.await_blocked.record(waited);
@@ -850,12 +1161,17 @@ void Node::do_unlock(LockId l, LockRequestKind kind) {
     // applied; only then does the unlock reach the manager (Section 6's
     // eager implementation).
     std::uint64_t token = 0;
+    std::uint64_t probed = 0;
     {
       std::scoped_lock lk(mu_);
       token = ++sync_token_counter_;
+      for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+        if (p == self_ || (elastic_ && !view_.is_alive(p))) continue;
+        probed |= std::uint64_t{1} << p;
+      }
     }
     for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-      if (p == self_) continue;
+      if ((probed & (std::uint64_t{1} << p)) == 0) continue;
       net::Message probe;
       probe.src = self_;
       probe.dst = p;
@@ -864,8 +1180,13 @@ void Node::do_unlock(LockId l, LockRequestKind kind) {
       fabric_.send(std::move(probe));
     }
     std::unique_lock lk(mu_);
-    wait_or_die(lk, "eager unlock blocked past the liveness deadline",
-                [&] { return sync_acks_[token] == cfg_.num_procs - 1; });
+    wait_or_die(lk, "eager unlock blocked past the liveness deadline", [&] {
+      // Elastic: a probed peer evicted mid-wait will never ack; its
+      // visibility obligation dies with it.
+      if (!elastic_) return sync_acks_[token] == cfg_.num_procs - 1;
+      return sync_acks_[token] + popcount64(probed & ~view_.alive_mask) >=
+             popcount64(probed);
+    });
     sync_acks_.erase(token);
     stats_.unlock_blocked.record(blocked.elapsed());
   }

@@ -39,6 +39,7 @@
 #include "dsm/config.h"
 #include "dsm/store.h"
 #include "dsm/trace.h"
+#include "dsm/view.h"
 #include "dsm/watchdog.h"
 #include "dsm/wire.h"
 #include "net/fabric.h"
@@ -77,6 +78,10 @@ struct NodeStats {
   /// distances, not nanoseconds.
   LatencyHistogram staleness_versions_pram, staleness_versions_causal,
       staleness_vc_pram, staleness_vc_causal;
+  /// Elastic membership (Config::elastic; docs/METRICS.md `view.*`):
+  /// re-seed / snapshot records this node sent as a donor and applied as a
+  /// receiver during view changes.
+  Counter reseeds_out, reseeds_in;
 
   [[nodiscard]] std::uint64_t total_blocked_ns() const {
     return read_blocked.sum_ns() + await_blocked.sum_ns() + lock_blocked.sum_ns() +
@@ -128,6 +133,28 @@ class Node {
   void runlock(LockId l);
   void wlock(LockId l);
   void wunlock(LockId l);
+
+  // ----- elastic membership (Config::elastic; dsm/view.h) -----
+
+  /// Enter the system live: request admission from the view manager and
+  /// block until the admitting view has committed, the barrier-epoch sync
+  /// has arrived, and the snapshot donor's state transfer has landed.  Must
+  /// be called before any other operation by a process left out of
+  /// Config::initial_members.
+  void join();
+
+  /// Leave gracefully: request exclusion and block until a view without
+  /// this process commits.  No lock may be held; no operation may follow.
+  void leave();
+
+  /// The membership view this node has fenced to (elastic only).
+  [[nodiscard]] View view() const;
+
+  /// The instance of barrier `b` this process will arrive at next.  A
+  /// joiner starts at the instance the view manager synced it to, not 0 —
+  /// phased programs use this to align a joiner with the barrier structure
+  /// already in flight (e.g. which half of a two-barrier sweep comes next).
+  [[nodiscard]] std::uint64_t next_barrier_epoch(BarrierId b = 0) const;
 
   // ----- typed conveniences for the numeric applications -----
 
@@ -210,6 +237,23 @@ class Node {
   void drain_causal_buffers();
   void on_fetch_request(const net::Message& m);
 
+  // Elastic view handlers (delivery thread).
+  void on_view_propose(const net::Message& m);
+  void on_view_commit(const net::Message& m);
+  void on_view_state(const net::Message& m);
+  void on_view_barrier_sync(const net::Message& m);
+  void on_view_hello(const net::Message& m);
+
+  /// Elastic fence: floor dominance with the dead components waived — a
+  /// departed process's updates past our applied frontier will never
+  /// arrive, and the view commit's re-mastering covers their effects.
+  /// Expects mu_.
+  [[nodiscard]] bool floors_met(const VectorClock& applied,
+                                const VectorClock& floor) const {
+    return elastic_ ? applied.dominates_masked(floor, view_.alive_mask)
+                    : applied.dominates(floor);
+  }
+
   // Absorb an observed value/synchronization context: merge into the
   // dependency clock and the causal floor; raise the PRAM floor on the
   // direct predecessor's component only.  In count-vector mode
@@ -245,7 +289,7 @@ class Node {
 
   [[nodiscard]] VectorClock snapshot_dep_vc();
   void broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq,
-                        const VectorClock& stamp);
+                        const VectorClock& stamp, std::uint64_t epoch = 0);
   [[nodiscard]] bool demand_local_write(VarId x, HeldLock** held_out);
 
   // ----- batched propagation (Config::batching; DESIGN.md §6.3) -----
@@ -321,6 +365,21 @@ class Node {
   std::uint64_t fetch_token_counter_ = 0;
   std::map<std::uint64_t, FetchResult> fetch_results_;
   std::map<VarId, net::Endpoint> invalid_;
+
+  // Elastic membership state (Config::elastic; guarded by mu_).
+  const bool elastic_;
+  View view_;
+  /// Removed from the view without asking: every subsequent blocking
+  /// operation unwinds with EvictedError (MixedSystem::run treats it as a
+  /// clean per-process exit).
+  bool evicted_ = false;
+  /// This process requested its own exclusion (leave()); suppresses the
+  /// eviction error when the commit lands.
+  bool leaving_ = false;
+  bool left_ = false;
+  /// Joiner handshake progress: barrier-epoch sync and snapshot received.
+  bool barrier_synced_ = false;
+  bool snapshot_done_ = false;
 
   TraceRecorder trace_;
   NodeStats stats_;

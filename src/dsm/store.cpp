@@ -6,7 +6,7 @@ namespace mc::dsm {
 
 void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
                   const VectorClock& vc, std::uint64_t arrival, bool force,
-                  std::uint64_t weight) {
+                  std::uint64_t weight, std::uint64_t epoch) {
   MC_CHECK(x < entries_.size());
   VarEntry& e = entries_[x];
   // Reception accounting for the staleness monitor: count every update that
@@ -38,10 +38,19 @@ void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
       case ClockOrder::kAfter:
         break;
       case ClockOrder::kConcurrent: {
-        const auto key = [](const VectorClock& c, WriteId w) {
-          return std::tuple(c.total(), w.proc, w.seq);
+        // Epoch-first: a crash-stopped process's last write can be
+        // concurrent with a new-view overwrite of the same variable (the
+        // overwriter's PRAM reads never raised its dependency clock), and
+        // the re-seed that carries the dead write must lose to the
+        // overwrite at every replica regardless of arrival order —
+        // otherwise a replica that already applied the newer write would
+        // regress when the transfer record lands (a PRAM staleness
+        // violation).  Within one epoch the deterministic key is as
+        // before.
+        const auto key = [](std::uint64_t ep, const VectorClock& c, WriteId w) {
+          return std::tuple(ep, c.total(), w.proc, w.seq);
         };
-        if (key(vc, id) < key(e.vc, e.last)) return;
+        if (key(epoch, vc, id) < key(e.epoch, e.vc, e.last)) return;
         break;
       }
     }
@@ -53,9 +62,11 @@ void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
     case kFlagWrite:
       e.value = value;
       e.vc = vc;
+      e.epoch = epoch;
       break;
     case kFlagIntDelta:
       e.value = value_of(int_of(e.value) - int_of(value));
+      e.delta_touched = true;
       if (!vc.empty()) {
         if (e.vc.empty()) e.vc = VectorClock(num_procs_);
         e.vc.merge(vc);
@@ -63,6 +74,7 @@ void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
       break;
     case kFlagDoubleDelta:
       e.value = value_of(double_of(e.value) - double_of(value));
+      e.delta_touched = true;
       if (!vc.empty()) {
         if (e.vc.empty()) e.vc = VectorClock(num_procs_);
         e.vc.merge(vc);
@@ -74,12 +86,15 @@ void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
   e.last = id;
 }
 
-void Store::install(VarId x, Value value, WriteId id, const VectorClock& vc) {
+void Store::install(VarId x, Value value, WriteId id, const VectorClock& vc,
+                    bool delta_touched, std::uint64_t epoch) {
   MC_CHECK(x < entries_.size());
   VarEntry& e = entries_[x];
   e.value = value;
   e.last = id;
   e.vc = vc;
+  e.delta_touched = e.delta_touched || delta_touched;
+  e.epoch = epoch;
 }
 
 }  // namespace mc::dsm

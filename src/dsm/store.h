@@ -36,6 +36,17 @@ struct VarEntry {
   /// monitor (dsm/staleness.h) subtracts this from the global issue counter
   /// to get the version lag of a returned value.
   std::uint64_t applied_writes = 0;
+  /// Ever updated by a commutative delta.  Elastic re-mastering skips such
+  /// entries: a counter's value is a *sum* of per-replica applications, so
+  /// no single replica's copy is a re-seedable LWW winner (docs/FAULTS.md).
+  bool delta_touched = false;
+  /// View epoch the winning write was issued under (0 outside elastic
+  /// mode).  Concurrent writes from different epochs are arbitrated
+  /// epoch-first (see apply() in store.cpp): a crash-stopped process's
+  /// partially-delivered last write is concurrent with a new-view
+  /// overwrite of the same variable, and the re-seed must not resurrect
+  /// it over the overwrite at replicas that already applied the newer one.
+  std::uint64_t epoch = 0;
 };
 
 class Store {
@@ -59,11 +70,17 @@ class Store {
   /// only for demand-policy migratory writes, whose clocks are not ticked.
   /// `weight` is how many original updates this record stands for (> 1 for
   /// coalesced batch records) — it advances the entry's applied_writes.
+  /// `epoch` is the view epoch the write was issued under (0 outside
+  /// elastic mode); concurrent writes are arbitrated epoch-first.
   void apply(VarId x, Value value, std::uint64_t flags, WriteId id, const VectorClock& vc,
-             std::uint64_t arrival = 0, bool force = false, std::uint64_t weight = 1);
+             std::uint64_t arrival = 0, bool force = false, std::uint64_t weight = 1,
+             std::uint64_t epoch = 0);
 
-  /// Install an out-of-band value (demand-driven fetch response).
-  void install(VarId x, Value value, WriteId id, const VectorClock& vc);
+  /// Install an out-of-band value (demand-driven fetch response, or a
+  /// joiner's elastic state-transfer snapshot — the latter propagates the
+  /// donor's delta_touched flag so later re-seeds keep skipping counters).
+  void install(VarId x, Value value, WriteId id, const VectorClock& vc,
+               bool delta_touched = false, std::uint64_t epoch = 0);
 
   /// Reset the staleness baseline after a fetch installed the owner's
   /// up-to-date copy (see VarEntry::applied_writes).

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "obs/op_sink.h"
 #include "obs/tracer.h"
 
 namespace mc::dsm {
@@ -22,19 +23,80 @@ MixedSystem::MixedSystem(Config cfg)
     MC_CHECK_MSG(var < cfg_.num_vars, "subscriber list for an out-of-range variable");
     for (const ProcId p : subs) MC_CHECK(p < cfg_.num_procs);
   }
+  MC_CHECK_MSG(!(cfg_.elastic && cfg_.omit_timestamps),
+               "elastic membership requires vector-clock mode: count vectors "
+               "carry no per-writer causality to fence at a view change");
+  MC_CHECK_MSG(!cfg_.elastic || cfg_.num_procs <= 64,
+               "elastic membership encodes views as 64-bit masks");
+  MC_CHECK_MSG(!cfg_.initial_members.has_value() || cfg_.elastic,
+               "initial_members only means something with Config::elastic");
+  if (cfg_.initial_members.has_value()) {
+    MC_CHECK_MSG(!cfg_.initial_members->empty(), "view 0 needs at least one member");
+    for (const ProcId p : *cfg_.initial_members) MC_CHECK(p < cfg_.num_procs);
+  }
   register_kind_names(fabric_);
   // Robustness layers, both strictly opt-in (docs/FAULTS.md).  Reliability
   // goes in first so every protocol message is sequenced from the start;
   // the fault plan only then makes the channel lossy.
+  if (cfg_.elastic && cfg_.reliable && cfg_.reliability.keepalive.count() == 0) {
+    // Elastic needs a failure detector that works while every survivor is
+    // blocked in synchronization (no app traffic probes the dead peer):
+    // keepalive pings on idle channels, paced by the backoff ceiling.
+    cfg_.reliability.keepalive = cfg_.reliability.max_rto;
+  }
   if (cfg_.reliable) fabric_.enable_reliability(cfg_.reliability);
   if (cfg_.faults.has_value()) fabric_.inject_faults(*cfg_.faults);
   const auto lock_ep = static_cast<net::Endpoint>(cfg_.num_procs);
   const auto barrier_ep = static_cast<net::Endpoint>(cfg_.num_procs + 1);
+  const std::optional<std::uint64_t> initial_alive =
+      cfg_.elastic ? std::optional<std::uint64_t>(
+                         cfg_.initial_members.has_value()
+                             ? mask_of(*cfg_.initial_members)
+                             : full_mask(cfg_.num_procs))
+                   : std::nullopt;
   lock_manager_ = std::make_unique<LockManager>(fabric_, lock_ep, cfg_.num_procs,
-                                                cfg_.omit_timestamps);
+                                                cfg_.omit_timestamps, initial_alive);
   barrier_manager_ =
       std::make_unique<BarrierManager>(fabric_, barrier_ep, cfg_.num_procs,
-                                       cfg_.barrier_members, cfg_.omit_timestamps);
+                                       cfg_.barrier_members, cfg_.omit_timestamps,
+                                       initial_alive);
+  if (cfg_.elastic) {
+    // Crash detection: the reliability layer's give-up verdict becomes a
+    // fault report to the view manager (a suspect manager endpoint is not
+    // reconfigurable — that failure stays a watchdog matter).
+    if (net::ReliableChannel* rel = fabric_.reliable_channel()) {
+      rel->set_unreachable_callback(
+          [this, lock_ep](const net::ReliableChannel::PeerUnreachable& err) {
+            if (err.dst >= cfg_.num_procs || err.src == err.dst) return;
+            net::Message fault;
+            fault.src = err.src;
+            fault.dst = lock_ep;
+            fault.kind = kViewFault;
+            fault.a = err.dst;
+            fabric_.send(std::move(fault));
+          });
+    }
+    lock_manager_->set_view_listener(
+        [this](const View& v, std::uint64_t departed_mask, ProcId joiner) {
+          (void)joiner;
+          // Silence retransmissions to the removed: their channels would
+          // otherwise keep reporting the same corpse.
+          if (net::ReliableChannel* rel = fabric_.reliable_channel()) {
+            for (ProcId p = 0; p < cfg_.num_procs && p < 64; ++p) {
+              if ((departed_mask >> p) & 1) rel->mark_dead(p);
+            }
+          }
+          if (obs::OpSink* sink = op_sink_.load(std::memory_order_acquire)) {
+            sink->on_view(v.epoch, v.alive_mask);
+          }
+        });
+    barrier_manager_->set_join_listener(
+        [this](BarrierId b, ProcId p, std::uint64_t from_epoch) {
+          if (obs::OpSink* sink = op_sink_.load(std::memory_order_acquire)) {
+            sink->on_barrier_member_from(b, p, from_epoch);
+          }
+        });
+  }
   if (cfg_.track_staleness) {
     staleness_ = std::make_unique<StalenessTable>(cfg_.num_vars, cfg_.num_procs);
   }
@@ -60,7 +122,12 @@ void MixedSystem::run(const std::function<void(Node&, ProcId)>& body) {
       // Marks this thread as an application lane for the critical-path
       // analyzer (gaps between its events are compute, not idle).
       obs::trace_instant("proc.start", "dsm", {"proc", p});
-      body(*nodes_[p], p);
+      try {
+        body(*nodes_[p], p);
+      } catch (const EvictedError&) {
+        // Elastic: this process was removed from the view mid-body; the
+        // survivors carry on and its exit is clean, not a stall.
+      }
       obs::trace_instant("proc.end", "dsm", {"proc", p});
     });
   }
@@ -78,6 +145,7 @@ MixedSystem::RunOutcome MixedSystem::run(
     d.locks = lock_manager_->dump();
     d.barriers = barrier_manager_->dump();
     d.in_flight = fabric_.in_flight();
+    if (cfg_.elastic) d.view = lock_manager_->view_string();
     if (net::ReliableChannel* rel = fabric_.reliable_channel()) {
       for (const auto& err : rel->errors()) {
         d.unreachable.push_back("channel p" + std::to_string(err.src) + " -> p" +
@@ -108,6 +176,9 @@ MixedSystem::RunOutcome MixedSystem::run(
       obs::trace_instant("proc.start", "dsm", {"proc", p});
       try {
         body(*nodes_[p], p);
+      } catch (const EvictedError&) {
+        // Elastic: removed from the view mid-body — a clean per-process
+        // exit (the watchdog never fired), not a stall.
       } catch (const StallError&) {
         // The watchdog fired while this thread was blocked; its dump is the
         // run's result.  Unwinding here keeps the join below prompt.
@@ -126,7 +197,13 @@ MixedSystem::RunOutcome MixedSystem::run(
 }
 
 void MixedSystem::attach_op_sink(obs::OpSink* sink) {
+  op_sink_.store(sink, std::memory_order_release);
   for (auto& n : nodes_) n->set_op_sink(sink);
+}
+
+View MixedSystem::view() const {
+  MC_CHECK_MSG(cfg_.elastic, "view() requires Config::elastic");
+  return lock_manager_->view();
 }
 
 std::map<BarrierId, std::size_t> MixedSystem::barrier_membership() const {
@@ -207,6 +284,23 @@ MetricsSnapshot MixedSystem::metrics() const {
       snap.add_histogram("read.staleness_vc.pram", staleness_vc_pram);
       snap.add_histogram("read.staleness_vc.causal", staleness_vc_causal);
     }
+  }
+  if (cfg_.elastic) {
+    std::uint64_t reseeds_out = 0;
+    std::uint64_t reseeds_in = 0;
+    for (const auto& n : nodes_) {
+      reseeds_out += n->stats().reseeds_out.get();
+      reseeds_in += n->stats().reseeds_in.get();
+    }
+    snap.values["view.epoch"] = lock_manager_->view().epoch;
+    snap.values["view.changes"] = lock_manager_->view_changes();
+    snap.values["view.joins"] = lock_manager_->view_joins();
+    snap.values["view.leaves"] = lock_manager_->view_leaves();
+    snap.values["view.faults"] = lock_manager_->view_faults();
+    snap.values["view.locks_revoked"] = lock_manager_->locks_revoked();
+    snap.values["view.reseed_assignments"] = lock_manager_->reseed_assignments();
+    snap.values["view.reseed_records_out"] = reseeds_out;
+    snap.values["view.reseed_records_in"] = reseeds_in;
   }
   snap.values["lockmgr.grants"] = lock_manager_->grants_sent();
   snap.add_histogram("lockmgr.grant_wait_ns", lock_manager_->grant_wait());

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -51,6 +52,19 @@ class MixedSystem {
   RunOutcome run(const std::function<void(Node&, ProcId)>& body,
                  std::chrono::nanoseconds timeout);
 
+  // ----- elastic membership (Config::elastic; dsm/view.h) -----
+
+  /// Admit process p into the current view (blocks until the join
+  /// handshake completes — see Node::join).  p must have been left out of
+  /// Config::initial_members.
+  void join(ProcId p) { node(p).join(); }
+
+  /// Remove process p gracefully (blocks until a view without it commits).
+  void leave(ProcId p) { node(p).leave(); }
+
+  /// The view manager's current committed view.
+  [[nodiscard]] View view() const;
+
   /// Merge the per-process traces recorded so far into a formal history
   /// (requires Config::record_trace).
   [[nodiscard]] history::History collect_history() const;
@@ -82,6 +96,9 @@ class MixedSystem {
   /// Issued-write counters shared by every node (Config::track_staleness).
   std::unique_ptr<StalenessTable> staleness_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// The attached live sink (attach_op_sink); the elastic view listeners
+  /// forward membership events to it from manager threads.
+  std::atomic<obs::OpSink*> op_sink_{nullptr};
   bool down_ = false;
 };
 

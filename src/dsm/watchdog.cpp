@@ -135,6 +135,15 @@ void Watchdog::fire(const std::string& reason, std::vector<std::string> cycle) {
   // Collectors take their own leaf locks (lock table, mailboxes); never
   // call them while holding the watchdog mutex.
   if (source) source(d);
+  // Crash context belongs in the one-line verdict, not just the dump: a
+  // stall caused by a dead peer should say so (docs/FAULTS.md).
+  if (!d.unreachable.empty()) {
+    d.reason += "; unreachable: " + d.unreachable.front();
+    if (d.unreachable.size() > 1) {
+      d.reason += " (+" + std::to_string(d.unreachable.size() - 1) + " more)";
+    }
+  }
+  if (!d.view.empty()) d.reason += "; view: " + d.view;
 
   {
     std::scoped_lock lk(mu_);

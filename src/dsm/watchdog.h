@@ -46,6 +46,16 @@ class StallError : public std::runtime_error {
   explicit StallError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown out of a blocked operation on a process that a committed view
+/// change removed from the membership (crash-stop simulation or eviction
+/// by fault verdict).  A StallError subtype so existing unwind paths catch
+/// it, but MixedSystem::run treats it as a clean per-process exit — the
+/// surviving processes keep running and the run does not count as stalled.
+class EvictedError : public StallError {
+ public:
+  explicit EvictedError(const std::string& what) : StallError(what) {}
+};
+
 class Watchdog {
  public:
   struct Options {
@@ -66,6 +76,7 @@ class Watchdog {
     std::vector<std::string> barriers;        ///< open barrier instances
     std::vector<std::size_t> in_flight;       ///< per-endpoint mailbox depth
     std::vector<std::string> unreachable;     ///< dead reliable channels
+    std::string view;                         ///< membership view (elastic)
   };
 
   /// Edge of the lock wait-for graph: `waiter` is queued on `lock`, which

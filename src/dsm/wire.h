@@ -17,7 +17,9 @@ namespace mc::dsm {
 enum MsgKind : std::uint16_t {
   /// Memory update broadcast.  a=var, b=value bits, c=write seq (WriteId),
   /// d=flags (kFlagWrite / kFlagIntDelta / kFlagDoubleDelta).
-  /// payload = writer's vector clock (num_procs words).
+  /// payload = writer's vector clock (num_procs words); elastic runs
+  /// append one more word, the writer's view epoch, which joins the
+  /// concurrent-write LWW tiebreak (store.cpp).
   kUpdate = 1,
 
   /// Eager-release flush probe.  a=token.  Receiver replies kSyncAck after
@@ -57,6 +59,46 @@ enum MsgKind : std::uint16_t {
   /// gaps (coalescing collapses superseded writes), unlike kUpdate's
   /// strict +1 FIFO check.
   kBatch = 11,
+
+  // --- elastic membership (dsm/view.h, docs/FAULTS.md) -------------------
+  // The view manager is colocated with the lock manager endpoint; all view
+  // traffic flows through it.
+
+  /// Fault report: the reliability layer gave up on a peer.  a=suspect
+  /// process.  Sent node -> view manager.
+  kViewFault = 12,
+  /// Join request.  a=joining process.  Sent joiner -> view manager.
+  kViewJoin = 13,
+  /// Graceful-leave request.  a=leaving process.  Sent leaver -> manager.
+  kViewLeave = 14,
+  /// View proposal.  a=proposed epoch, b=proposed alive mask, c=previous
+  /// alive mask.  Multicast manager -> members of the proposed view.
+  kViewPropose = 15,
+  /// View acknowledgement.  a=acked epoch; payload = the acker's applied
+  /// vector clock snapshot (num_procs words), taken after flushing its
+  /// staging buffers — the manager uses it to pick re-seed donors.
+  kViewAck = 16,
+  /// View commit.  a=epoch, b=alive mask, c=joiner (~0 if none),
+  /// d=re-seed assignment count k; payload = k (departed proc, donor proc)
+  /// pairs.  Multicast manager -> view members and the barrier manager.
+  kViewCommit = 17,
+  /// Re-seed / join snapshot transfer.  a=record count N, b=epoch,
+  /// c=flavour (0=re-seed to survivors, 1=donor full snapshot to the
+  /// joiner, 2=survivor self-backfill to the joiner); payload = N (var,
+  /// value bits, writer, seq, delta-touched flag, write epoch,
+  /// vc[num_procs]) records.  Counter baselines install verbatim;
+  /// everything else LWW-applies (and the write epoch joins the
+  /// concurrent-write tiebreak — see store.cpp).
+  kViewState = 18,
+  /// Barrier-epoch sync for a joiner.  a=pair count N, b=epoch; payload =
+  /// N (barrier, next local epoch) pairs so the joiner's local barrier
+  /// counters line up with the instances already in flight.
+  kViewBarrierSync = 19,
+  /// Survivor -> joiner FIFO baseline.  a=sender's write counter, b=epoch;
+  /// payload = sender's dependency clock.  Sent atomically with adding the
+  /// joiner to the sender's broadcast set, so the joiner can initialise its
+  /// per-sender FIFO expectation and applied floor for that component.
+  kViewHello = 20,
 };
 
 /// Lock request kinds carried in kLockReq/kUnlock (field b).
@@ -81,6 +123,15 @@ inline void register_kind_names(net::Fabric& fabric) {
   fabric.name_kind(kBarrierArrive, "barrier_arrive");
   fabric.name_kind(kBarrierRelease, "barrier_release");
   fabric.name_kind(kBatch, "batch");
+  fabric.name_kind(kViewFault, "view_fault");
+  fabric.name_kind(kViewJoin, "view_join");
+  fabric.name_kind(kViewLeave, "view_leave");
+  fabric.name_kind(kViewPropose, "view_propose");
+  fabric.name_kind(kViewAck, "view_ack");
+  fabric.name_kind(kViewCommit, "view_commit");
+  fabric.name_kind(kViewState, "view_state");
+  fabric.name_kind(kViewBarrierSync, "view_barrier_sync");
+  fabric.name_kind(kViewHello, "view_hello");
 }
 
 }  // namespace mc::dsm

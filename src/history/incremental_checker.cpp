@@ -42,9 +42,17 @@ IncrementalChecker::IncrementalChecker(std::size_t num_procs)
       own_track_(num_procs),
       read_held_(num_procs),
       write_held_(num_procs),
+      departed_at_(num_procs, kNoNode),
       frontier_line_(num_procs, 0),
       retired_seq_(num_procs, 0) {
   MC_CHECK(num_procs > 0);
+}
+
+void IncrementalChecker::on_proc_departed(ProcId p) {
+  if (p >= num_procs_ || finalized_) return;
+  if (departed_at_[p] == kNoNode) {
+    departed_at_[p] = static_cast<std::uint32_t>(ops_.size());
+  }
 }
 
 void IncrementalChecker::fail(std::string msg) {
@@ -353,13 +361,19 @@ bool IncrementalChecker::feed(const Operation& op, std::uint32_t ext_id) {
         ++n_deferred_;  // checked at finalize with the complete delta set
       } else if (rf_retired) {
         // Retirement certifies a later same-location write in every clock
-        // family, so this read is stale under both disciplines.
-        for (const bool causal_pass : {true, false}) {
-          record_violation(node, causal_pass,
-                           op.to_string() +
-                               " is stale: it returns a retired write already "
-                               "superseded before the last pruned barrier frontier",
-                           kNoNode);
+        // family, so this read is stale under both disciplines.  Unless a
+        // process has since been evicted: the certificate assumed delivery,
+        // and the superseding chain may run through writes the crash
+        // permanently lost (waived by the masked floors), so the verdict is
+        // void for post-departure reads.
+        if (!departed_before(node)) {
+          for (const bool causal_pass : {true, false}) {
+            record_violation(node, causal_pass,
+                             op.to_string() +
+                                 " is stale: it returns a retired write already "
+                                 "superseded before the last pruned barrier frontier",
+                             kNoNode);
+          }
         }
       } else {
         check_plain_read(node, /*causal_pass=*/true);
@@ -488,6 +502,12 @@ void IncrementalChecker::check_plain_read(std::uint32_t node, bool causal_pass) 
   // matters (its program-order predecessors reach it transitively), so each
   // process costs one binary search on the per-process write list.
   for (ProcId j = 0; j < num_procs_; ++j) {
+    // A process evicted from the view before this read was fed owes it no
+    // freshness: the DSM may have permanently lost the victim's tail (a
+    // crashed channel drops retransmits too) and the post-eviction masked
+    // applied floors waive exactly those writes.  The own-observation check
+    // below still runs, so real regressions stay violations.
+    if (node >= departed_at_[j]) continue;
     const auto& list = vs.writes_by_proc[j];
     if (list.empty() || C[j] == 0) continue;
     auto it = std::upper_bound(list.begin(), list.end(), C[j] - 1,
@@ -874,12 +894,32 @@ GraphVerdict IncrementalChecker::finalize() {
                      return ext_[a.node] < ext_[b.node];
                    });
 
+  // Elastic crash-loss waiver, retroactive by necessity: the crash predates
+  // the keepalive give-up verdict by design, so stale reads caused by the
+  // victim's permanently lost write tail were recorded live, before
+  // on_proc_departed() could mark a feed boundary.  Now that the departed
+  // set is complete, drop the read verdicts a departure explains (see
+  // waived_read()); survivor-only verdicts all stand.
+  if (departed_any()) {
+    std::erase_if(read_viols, [this](const Violation& x) {
+      return waived_read(ops_[x.node].proc, guilty_proc(x.cycle_with));
+    });
+  }
+
   // Verdicts frozen at prune time come first (they carry the oldest ext
   // ids); awaits apply to every model, reads to their own passes.
   std::sort(frozen_.begin(), frozen_.end(),
             [](const FrozenViolation& a, const FrozenViolation& b) {
               return a.ext < b.ext;
             });
+  // Frozen read verdicts get the same crash-loss waiver (their waiver
+  // inputs were captured at freeze time); erase so live_counts() agrees.
+  if (departed_any()) {
+    std::erase_if(frozen_, [this](const FrozenViolation& f) {
+      return !f.is_await && waived_read(f.reader, f.guilty);
+    });
+  }
+
   const auto assemble = [&](CheckResult& out, auto&& applies, auto&& applies_frozen) {
     for (const FrozenViolation& fv : frozen_) {
       if (!fv.is_await && !applies_frozen(fv)) continue;
@@ -906,6 +946,12 @@ GraphVerdict IncrementalChecker::finalize() {
   derive_order_edges();
   analyze_models(v);
   extract_counterexample(v);
+
+  // Post-finalize live_counts()/metrics() must tally the final verdict
+  // set — counter retraction and the crash-loss waiver both happened here —
+  // so rebuild the stored violations from the survivors.
+  violations_ = std::move(read_viols);
+  for (Violation& av : await_viols) violations_.push_back(std::move(av));
   return v;
 }
 
@@ -1133,7 +1179,8 @@ std::size_t IncrementalChecker::prune() {
       auto vit = vars_.find(v.var);
       if (vit != vars_.end() && vit->second.counter) continue;  // retracted
       freeze_violation({/*is_await=*/false, v.causal_pass, v.mixed_applies,
-                        ext_[v.node], std::move(v.message)});
+                        ext_[v.node], std::move(v.message), ops_[v.node].proc,
+                        guilty_proc(v.cycle_with)});
     }
     violations_ = std::move(still_live);
   }

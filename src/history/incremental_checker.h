@@ -83,6 +83,15 @@ class IncrementalChecker {
   bool feed(const Operation& op);
   bool feed(const Operation& op, std::uint32_t ext_id);
 
+  /// Elastic membership (docs/FAULTS.md): mark process `p` as evicted from
+  /// the view.  A crash-stopped process's unreplicated write suffix may be
+  /// permanently lost — after the view change the DSM's masked applied
+  /// floors waive it by design — so `p`'s writes stop generating freshness
+  /// obligations for reads fed after this call.  Reads are still validated
+  /// against the reading process's own prior observations, so a genuine
+  /// value regression at a single process remains a violation.
+  void on_proc_departed(ProcId p);
+
   /// True once a malformed-input / feed-order error has been recorded.
   [[nodiscard]] bool failed() const { return !error_.empty(); }
 
@@ -227,6 +236,12 @@ class IncrementalChecker {
     bool mixed_applies = false;
     std::uint32_t ext = 0;
     std::string message;
+    /// Elastic crash-loss waiver inputs (read verdicts only): the reading
+    /// process and the process owing the freshness obligation (kNoNode =
+    /// certificate-based, waived by any departure).  Departures are only
+    /// fully known at finalize, so the frozen record carries the inputs.
+    std::uint32_t reader = kNoNode;
+    std::uint32_t guilty = kNoNode;
   };
 
   void check_plain_read(std::uint32_t node, bool causal_pass);
@@ -264,6 +279,48 @@ class IncrementalChecker {
   std::vector<std::unordered_map<VarId, OwnTrack>> own_track_;
   std::vector<std::unordered_map<LockId, int>> read_held_, write_held_;
   std::vector<std::uint32_t> awaits_;
+  /// Per process: ops_.size() at the moment on_proc_departed() marked it
+  /// (kNoNode = still a member).  Reads at node indices >= this boundary
+  /// owe no freshness to that process's writes.
+  std::vector<std::uint32_t> departed_at_;
+  [[nodiscard]] bool departed_before(std::uint32_t node) const {
+    for (const std::uint32_t d : departed_at_) {
+      if (node >= d) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool departed(std::uint32_t p) const {
+    return p < num_procs_ && departed_at_[p] != kNoNode;
+  }
+  [[nodiscard]] bool departed_any() const {
+    for (const std::uint32_t d : departed_at_) {
+      if (d != kNoNode) return true;
+    }
+    return false;
+  }
+  /// The process owing the freshness obligation behind a read violation:
+  /// the intervening write's process, or for an own-observation cycle the
+  /// writer of the value that observation returned.  kNoNode when the
+  /// verdict has no intervening node (source / retirement certificates).
+  [[nodiscard]] std::uint32_t guilty_proc(std::uint32_t cycle_with) const {
+    if (cycle_with == kNoNode) return kNoNode;
+    const Operation& g = ops_[cycle_with];
+    return g.kind == OpKind::kWrite || g.kind == OpKind::kDelta
+               ? g.proc
+               : g.write_id.proc;
+  }
+  /// Elastic crash-loss waiver (docs/FAULTS.md), applied at finalize when
+  /// the departed set is fully known: a crash predates its keepalive
+  /// verdict, so honest crash-loss staleness is recorded live before
+  /// on_proc_departed() can mark the boundary.  A read verdict is waived
+  /// when the reader itself was evicted (its post-crash tail runs outside
+  /// the view), when the obligation traces to an evicted process's write,
+  /// or — for certificate-based verdicts, which assume delivery — when any
+  /// process departed.
+  [[nodiscard]] bool waived_read(std::uint32_t reader, std::uint32_t guilty) const {
+    if (departed(reader)) return true;
+    return guilty == kNoNode ? departed_any() : departed(guilty);
+  }
 
   std::vector<Violation> violations_;
   // Derived write-order constraints per variable, deduplicated.

@@ -100,6 +100,14 @@ struct Operation {
   /// is derived from them (see causality.cpp).
   std::uint64_t lock_episode = 0;
 
+  /// Membership view epoch the issuing process had fenced to when the
+  /// operation completed (elastic membership, dsm/view.h).  Always 0 in
+  /// fixed-membership runs.  The online monitor uses it to gate barrier
+  /// instances across view changes; the offline checkers ignore it (the
+  /// |-> orders are derived from the operations themselves) and the text
+  /// format does not carry it, like trace_id below.
+  std::uint64_t view_epoch = 0;
+
   /// Chrome-trace correlation id (runtime-only; 0 = none).  When tracing is
   /// enabled the node stamps each operation with a flow id and emits a
   /// matching trace instant, so a live-monitor counterexample (DOT) can name

@@ -9,6 +9,34 @@
 
 namespace mc::net {
 
+namespace {
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::chrono::nanoseconds ReliableChannel::backoff_rto(
+    std::chrono::nanoseconds prev, const ReliabilityConfig& cfg,
+    std::uint64_t channel, std::uint64_t seq, int attempt) {
+  auto next = std::min(prev * 2, cfg.max_rto);
+  if (cfg.jitter > 0.0) {
+    std::uint64_t h = cfg.jitter_seed;
+    h = splitmix64(h ^ channel);
+    h = splitmix64(h ^ seq);
+    h = splitmix64(h ^ static_cast<std::uint64_t>(attempt));
+    // 53 uniform bits -> u in [-1, 1).
+    const double u =
+        static_cast<double>(h >> 11) / 4503599627370496.0 - 1.0;
+    const auto scaled = std::chrono::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(next.count()) * (1.0 + cfg.jitter * u)));
+    next = std::clamp(scaled, std::chrono::nanoseconds(1), cfg.max_rto);
+  }
+  return next;
+}
+
 ReliableChannel::ReliableChannel(Fabric& fabric, std::size_t endpoints,
                                  ReliabilityConfig cfg)
     : fabric_(fabric),
@@ -20,6 +48,7 @@ ReliableChannel::ReliableChannel(Fabric& fabric, std::size_t endpoints,
   MC_CHECK(cfg_.initial_rto.count() > 0);
   MC_CHECK(cfg_.max_retries >= 1);
   MC_CHECK(cfg_.ack_every >= 1);
+  MC_CHECK(cfg_.jitter >= 0.0 && cfg_.jitter <= 1.0);
   MC_CHECK_MSG(cfg_.ack_every == 1 || cfg_.ack_flush < cfg_.initial_rto,
                "ack flush window must undercut the retransmit timeout or "
                "sender backoff fires spuriously");
@@ -38,6 +67,21 @@ void ReliableChannel::stop() {
   if (timer_.joinable()) timer_.join();
 }
 
+void ReliableChannel::set_unreachable_callback(
+    std::function<void(const PeerUnreachable&)> cb) {
+  std::scoped_lock lk(mu_);
+  unreachable_cb_ = std::move(cb);
+}
+
+void ReliableChannel::mark_dead(Endpoint e) {
+  std::scoped_lock lk(mu_);
+  for (std::size_t src = 0; src < endpoints_; ++src) {
+    SendState& st = send_[channel(static_cast<Endpoint>(src), e)];
+    st.dead = true;
+    st.inflight.clear();
+  }
+}
+
 void ReliableChannel::on_send(Message& m) {
   std::scoped_lock lk(mu_);
   SendState& st = send_[channel(m.src, m.dst)];
@@ -48,11 +92,12 @@ void ReliableChannel::on_send(Message& m) {
   // channel (should this message be lost, the peer's retransmit is re-acked
   // immediately, same as a lost standalone ack).
   reverse.acked = reverse.delivered;
+  st.last_activity = std::chrono::steady_clock::now();
   if (!st.dead) {
     InFlight entry;
     entry.msg = m;
     entry.rto = cfg_.initial_rto;
-    entry.deadline = std::chrono::steady_clock::now() + entry.rto;
+    entry.deadline = st.last_activity + entry.rto;
     st.inflight.emplace(m.rel_seq, std::move(entry));
   }
 }
@@ -69,6 +114,7 @@ Message ReliableChannel::make_ack(Endpoint from, Endpoint to, std::uint64_t acke
 void ReliableChannel::handle_ack(std::size_t ch, std::uint64_t acked) {
   SendState& st = send_[ch];
   st.inflight.erase(st.inflight.begin(), st.inflight.upper_bound(acked));
+  st.last_activity = std::chrono::steady_clock::now();
 }
 
 void ReliableChannel::process(Endpoint e, Message m, std::vector<Message>& acks_out) {
@@ -107,9 +153,17 @@ void ReliableChannel::process(Endpoint e, Message m, std::vector<Message>& acks_
   const bool was_pending = st.delivered > st.acked;
   st.reorder.emplace(m.rel_seq, std::move(m));
   while (!st.reorder.empty() && st.reorder.begin()->first == st.delivered + 1) {
-    ready_[e].push_back(std::move(st.reorder.begin()->second));
+    Message next = std::move(st.reorder.begin()->second);
     st.reorder.erase(st.reorder.begin());
     ++st.delivered;
+    if (next.kind == kRelPingKind) {
+      // Keepalive probes occupy sequence space (so they are acked and
+      // retransmitted like anything else) but carry no payload for the
+      // application: consume them here.
+      obs::trace_flow_end("msg", "net", next.trace_id);
+    } else {
+      ready_[e].push_back(std::move(next));
+    }
   }
   if (cfg_.ack_every <= 1 || st.delivered - st.acked >= cfg_.ack_every) {
     st.acked = st.delivered;
@@ -160,6 +214,7 @@ void ReliableChannel::timer_loop() {
     if (stop_) break;
     const auto now = std::chrono::steady_clock::now();
     std::vector<Message> resends;
+    std::vector<PeerUnreachable> new_errors;
     for (std::size_t ch = 0; ch < send_.size(); ++ch) {
       SendState& st = send_[ch];
       if (st.dead || st.inflight.empty()) continue;
@@ -173,6 +228,7 @@ void ReliableChannel::timer_loop() {
           err.first_unacked = seq;
           err.retries = entry.attempts;
           errors_.push_back(err);
+          new_errors.push_back(err);
           if (obs::trace_enabled()) {
             obs::trace_instant("rel.peer_unreachable", "net", {"dst", err.dst},
                                {"seq", seq});
@@ -180,7 +236,7 @@ void ReliableChannel::timer_loop() {
           break;
         }
         ++entry.attempts;
-        entry.rto = std::min(entry.rto * 2, cfg_.max_rto);
+        entry.rto = backoff_rto(entry.rto, cfg_, ch, seq, entry.attempts);
         entry.deadline = now + entry.rto;
         rto_ns_.record(entry.rto);
         retransmits_.add();
@@ -197,6 +253,28 @@ void ReliableChannel::timer_loop() {
       }
       if (st.dead) st.inflight.clear();
     }
+    // Keepalive probing: a once-used channel with nothing in flight and no
+    // recent ack gets a sequenced ping, so a silently dead peer is detected
+    // even when every sender is blocked and producing no app traffic.
+    std::vector<Message> pings;
+    if (cfg_.keepalive.count() > 0) {
+      for (std::size_t ch = 0; ch < send_.size(); ++ch) {
+        SendState& st = send_[ch];
+        const auto src = static_cast<Endpoint>(ch / endpoints_);
+        const auto dst = static_cast<Endpoint>(ch % endpoints_);
+        if (st.dead || src == dst || st.next_seq == 1 || !st.inflight.empty()) {
+          continue;
+        }
+        if (now - st.last_activity < cfg_.keepalive) continue;
+        Message ping;
+        ping.src = src;
+        ping.dst = dst;
+        ping.kind = kRelPingKind;
+        pings.push_back(ping);
+        st.last_activity = now;  // rate-limit until on_send restamps it
+        keepalives_.add();
+      }
+    }
     // Flush suppressed acks past their window, so sender RTOs never fire
     // on a healthy-but-quiet channel.
     std::vector<Message> ack_flushes;
@@ -211,13 +289,23 @@ void ReliableChannel::timer_loop() {
         }
       }
     }
-    if (!resends.empty() || !ack_flushes.empty()) {
+    if (!resends.empty() || !ack_flushes.empty() || !new_errors.empty() ||
+        !pings.empty()) {
+      // Snapshot the callback under the lock; invoke it outside so it may
+      // re-enter the fabric (e.g. to send a view-fault report).
+      auto cb = unreachable_cb_;
       lk.unlock();
       for (Message& m : resends) fabric_.send_raw(std::move(m));
+      // Pings take the full send path: they must be sequenced (on_send) and
+      // are subject to the fault plan like any other message.
+      for (Message& m : pings) fabric_.send(std::move(m));
       for (Message& a : ack_flushes) {
         acks_sent_.add();
         ack_bytes_.add(a.wire_bytes());
         fabric_.send_raw(std::move(a));
+      }
+      if (cb) {
+        for (const PeerUnreachable& err : new_errors) cb(err);
       }
       lk.lock();
     }
@@ -235,6 +323,7 @@ void ReliableChannel::add_metrics(MetricsSnapshot& snap) const {
   snap.values["net.acks"] = acks_sent_.get();
   snap.values["net.ack_bytes"] = ack_bytes_.get();
   snap.values["net.ack.delayed"] = acks_delayed_.get();
+  snap.values["net.keepalives"] = keepalives_.get();
   snap.add_histogram("net.rto_ns", rto_ns_);
   std::scoped_lock lk(mu_);
   snap.values["net.peer_unreachable"] = errors_.size();

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -36,6 +37,12 @@ class Fabric;
 /// Wire kind of standalone cumulative acks (field a = acked sequence).
 /// Chosen high so protocol layers' own kinds (1..~20) never collide.
 inline constexpr std::uint16_t kRelAckKind = 62;
+
+/// Wire kind of keepalive probes (ReliabilityConfig::keepalive).  Probes
+/// are sequenced like app traffic — so an unreachable peer fails them
+/// through the normal retransmit/give-up path — but the receiver consumes
+/// them after acking; they are never handed up.
+inline constexpr std::uint16_t kRelPingKind = 61;
 
 struct ReliabilityConfig {
   /// First retransmit timeout for a freshly sent message.
@@ -57,6 +64,24 @@ struct ReliabilityConfig {
   /// timer ships it anyway.  Must stay comfortably below initial_rto or
   /// sender backoff fires spuriously on perfectly healthy channels.
   std::chrono::nanoseconds ack_flush{std::chrono::microseconds(500)};
+
+  /// Deterministic seeded backoff jitter in [0, 1].  Each doubled RTO is
+  /// scaled by a factor in [1-jitter, 1+jitter] drawn from a splitmix64
+  /// hash of (jitter_seed, channel, seq, attempt), then re-clamped to
+  /// max_rto — retransmit storms from many channels against one dead peer
+  /// de-synchronize, while the give-up verdict stays bounded by
+  /// max_retries * max_rto per message.  0 disables jitter.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 1;
+
+  /// Failure detection on quiet channels: a channel that has carried
+  /// sequenced traffic but has been idle (nothing in flight, no acks) for
+  /// this long sends a ping.  The ping rides the normal sequence space, so
+  /// a dead peer fails it through retransmit/give-up and surfaces a
+  /// PeerUnreachable verdict even when every survivor is blocked in a
+  /// barrier and generating no app traffic of its own.  0 disables probing
+  /// (the default); elastic membership turns it on (dsm/system.cpp).
+  std::chrono::nanoseconds keepalive{0};
 };
 
 class ReliableChannel {
@@ -93,6 +118,24 @@ class ReliableChannel {
   /// before mailboxes close).
   void stop();
 
+  /// Register a callback invoked — outside the channel lock, from the
+  /// timer thread — each time a channel exhausts its retries.  Elastic
+  /// membership (dsm/view.h) routes the verdict to the view manager as a
+  /// fault report.  Install before protocol traffic flows.
+  void set_unreachable_callback(std::function<void(const PeerUnreachable&)> cb);
+
+  /// Declare endpoint `e` dead: every channel *to* it is marked dead and
+  /// its retransmit buffers are discarded.  Called after a view change has
+  /// evicted the peer, so survivors stop retransmitting into the void.
+  void mark_dead(Endpoint e);
+
+  /// The next backoff step for a message on `channel` with sequence `seq`
+  /// entering retransmit `attempt`: doubled, jittered, clamped to
+  /// cfg.max_rto.  Pure — exposed for unit testing the jitter contract.
+  [[nodiscard]] static std::chrono::nanoseconds backoff_rto(
+      std::chrono::nanoseconds prev, const ReliabilityConfig& cfg,
+      std::uint64_t channel, std::uint64_t seq, int attempt);
+
   // --- accounting (docs/METRICS.md) ---
   [[nodiscard]] std::uint64_t retransmits() const { return retransmits_.get(); }
   [[nodiscard]] std::uint64_t dup_dropped() const { return dup_dropped_.get(); }
@@ -101,6 +144,8 @@ class ReliableChannel {
   /// Deliveries whose standalone ack was suppressed by ack_every (they were
   /// covered later by a cumulative ack, a piggyback, or the flush timer).
   [[nodiscard]] std::uint64_t acks_delayed() const { return acks_delayed_.get(); }
+  /// Keepalive probes sent (ReliabilityConfig::keepalive).
+  [[nodiscard]] std::uint64_t keepalives() const { return keepalives_.get(); }
   [[nodiscard]] const LatencyHistogram& rto_ns() const { return rto_ns_; }
   [[nodiscard]] std::vector<PeerUnreachable> errors() const;
 
@@ -118,6 +163,9 @@ class ReliableChannel {
     std::uint64_t next_seq = 1;
     std::map<std::uint64_t, InFlight> inflight;
     bool dead = false;
+    /// Last send or ack on this channel; keepalive probes fire once a
+    /// once-used channel has been quiet past cfg_.keepalive.
+    std::chrono::steady_clock::time_point last_activity{};
   };
 
   struct RecvState {
@@ -151,8 +199,10 @@ class ReliableChannel {
   std::vector<RecvState> recv_;                 // [src * n + dst]
   std::vector<std::deque<Message>> ready_;      // per endpoint, in order
   std::vector<PeerUnreachable> errors_;
+  std::function<void(const PeerUnreachable&)> unreachable_cb_;
 
   Counter retransmits_, dup_dropped_, acks_sent_, ack_bytes_, acks_delayed_;
+  Counter keepalives_;
   LatencyHistogram rto_ns_;
 
   std::condition_variable timer_cv_;

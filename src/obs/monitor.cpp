@@ -1,6 +1,7 @@
 #include "obs/monitor.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.h"
 
@@ -17,10 +18,77 @@ ConsistencyMonitor::ConsistencyMonitor(std::size_t num_procs,
   checker_.set_live_capture(true);
 }
 
-std::size_t ConsistencyMonitor::expected_members(std::uint64_t key) const {
+std::uint64_t ConsistencyMonitor::needed_mask(std::uint64_t key) const {
+  // Alive members admitted at or before this instance (elastic runs only).
+  const auto bid = static_cast<BarrierId>(key >> 32);
+  const std::uint64_t epoch = key & 0xffffffffull;
+  const auto mf = member_from_.find(bid);
+  std::uint64_t mask = 0;
+  for (ProcId p = 0; p < num_procs_ && p < 64; ++p) {
+    if (((alive_mask_ >> p) & 1) == 0) continue;
+    if (mf != member_from_.end()) {
+      const auto jt = mf->second.find(p);
+      if (jt != mf->second.end() && jt->second > epoch) continue;
+    }
+    mask |= std::uint64_t{1} << p;
+  }
+  return mask;
+}
+
+bool ConsistencyMonitor::gate_open(std::uint64_t key, const BarGate& g) const {
   const auto bid = static_cast<BarrierId>(key >> 32);
   auto it = membership_.find(bid);
-  return it == membership_.end() ? num_procs_ : it->second;
+  if (it != membership_.end()) return g.fed >= it->second;  // subset barrier
+  if (!elastic_) return g.fed >= num_procs_;
+  // Elastic full barrier: every alive member admitted at this instance must
+  // have fed its own arrival.  A head count is not enough — a departed
+  // member's early feed must not stand in for a live member still queued.
+  // Feeds from since-departed members beyond the needed set are harmless:
+  // their arrivals were counted by the release that let everyone through.
+  return (needed_mask(key) & ~g.fed_mask) == 0;
+}
+
+bool ConsistencyMonitor::gate_done(std::uint64_t key, const BarGate& g) const {
+  // Retire the instance once it released and every member that fed has had
+  // its successor pass.  A member whose process emits nothing further (a
+  // graceful leave right after the barrier) leaves the entry resident until
+  // finalize — bounded by live barrier objects, not by run length.
+  if (!gate_open(key, g)) return false;
+  const auto bid = static_cast<BarrierId>(key >> 32);
+  const bool full = membership_.find(bid) == membership_.end();
+  const std::size_t feds =
+      elastic_ && full ? static_cast<std::size_t>(std::popcount(g.fed_mask)) : (full ? num_procs_ : g.fed);
+  return g.passed >= feds;
+}
+
+void ConsistencyMonitor::enable_elastic(std::uint64_t initial_alive) {
+  std::scoped_lock lk(mu_);
+  elastic_ = true;
+  alive_mask_ = initial_alive;
+}
+
+void ConsistencyMonitor::on_view(std::uint64_t epoch, std::uint64_t alive_mask) {
+  std::scoped_lock lk(mu_);
+  if (!elastic_ || finalized_ || epoch <= view_epoch_) return;
+  const std::uint64_t departed = alive_mask_ & ~alive_mask;
+  view_epoch_ = epoch;
+  alive_mask_ = alive_mask;
+  // Evicted members stop owing freshness to later reads: the DSM's masked
+  // floors waive the victim's possibly-lost write tail, and the checker
+  // must waive it too or honest crash-loss reads as staleness.
+  for (ProcId p = 0; p < num_procs_ && p < 64; ++p) {
+    if ((departed >> p) & 1) checker_.on_proc_departed(p);
+  }
+  // Membership shrank: gates waiting on a now-dead member can open.
+  pump();
+}
+
+void ConsistencyMonitor::on_barrier_member_from(BarrierId barrier, ProcId joiner,
+                                                std::uint64_t from_epoch) {
+  std::scoped_lock lk(mu_);
+  if (!elastic_ || finalized_) return;
+  member_from_[barrier][joiner] = from_epoch;
+  pump();
 }
 
 void ConsistencyMonitor::on_op(const history::Operation& op) {
@@ -47,7 +115,7 @@ bool ConsistencyMonitor::ready(const history::Operation& op, ProcId p) const {
     auto it = bar_fed_.find(bar_gate_[p]);
     // A missing entry means the instance completed and was retired after
     // every gated successor passed — nothing left to wait for.
-    if (it != bar_fed_.end() && it->second.fed < expected_members(bar_gate_[p])) {
+    if (it != bar_fed_.end() && !gate_open(bar_gate_[p], it->second)) {
       return false;
     }
   }
@@ -82,9 +150,9 @@ void ConsistencyMonitor::feed_one(const history::Operation& op, ProcId p) {
   // instance's gate replaces it below.
   if (bar_gate_[p] != kNoGate) {
     auto it = bar_fed_.find(bar_gate_[p]);
-    if (it != bar_fed_.end() &&
-        ++it->second.passed >= expected_members(bar_gate_[p])) {
-      bar_fed_.erase(it);
+    if (it != bar_fed_.end()) {
+      ++it->second.passed;
+      if (gate_done(bar_gate_[p], it->second)) bar_fed_.erase(it);
     }
     bar_gate_[p] = kNoGate;
   }
@@ -102,10 +170,13 @@ void ConsistencyMonitor::feed_one(const history::Operation& op, ProcId p) {
       if (pending.empty()) lock_pending_.erase(op.lock);
       break;
     }
-    case history::OpKind::kBarrier:
-      ++bar_fed_[bar_key(op)].fed;
+    case history::OpKind::kBarrier: {
+      BarGate& g = bar_fed_[bar_key(op)];
+      ++g.fed;
+      if (p < 64) g.fed_mask |= std::uint64_t{1} << p;
       bar_gate_[p] = bar_key(op);
       break;
+    }
     default:
       break;
   }

@@ -53,6 +53,16 @@ class ConsistencyMonitor final : public OpSink {
 
   void on_op(const history::Operation& op) override;
 
+  /// Elastic membership (Config::elastic): gate barrier instances against
+  /// the *live* membership instead of all num_procs processes.  Call before
+  /// the run with view 0's alive mask; subsequent view changes arrive
+  /// through the OpSink hooks below.  Subset barriers (explicit
+  /// `barrier_membership` entries) keep their configured counts.
+  void enable_elastic(std::uint64_t initial_alive);
+  void on_view(std::uint64_t epoch, std::uint64_t alive_mask) override;
+  void on_barrier_member_from(BarrierId barrier, ProcId joiner,
+                              std::uint64_t from_epoch) override;
+
   /// Rolling picture for the time-series sampler.
   struct Status {
     history::IncrementalChecker::LiveCounts counts;
@@ -86,7 +96,7 @@ class ConsistencyMonitor final : public OpSink {
   static std::uint64_t bar_key(const history::Operation& op) {
     return (std::uint64_t{op.barrier} << 32) | op.barrier_epoch;
   }
-  [[nodiscard]] std::size_t expected_members(std::uint64_t key) const;
+  [[nodiscard]] std::uint64_t needed_mask(std::uint64_t key) const;
 
   const std::size_t num_procs_;
   const std::map<BarrierId, std::size_t> membership_;
@@ -102,10 +112,25 @@ class ConsistencyMonitor final : public OpSink {
   struct BarGate {
     std::size_t fed = 0;
     std::size_t passed = 0;
+    /// Which processes fed their member op (elastic runs): a view change
+    /// must not let feeds from a since-departed member stand in for a
+    /// still-alive member that has not surfaced its arrival yet.
+    std::uint64_t fed_mask = 0;
   };
+  [[nodiscard]] bool gate_open(std::uint64_t key, const BarGate& g) const;
+  [[nodiscard]] bool gate_done(std::uint64_t key, const BarGate& g) const;
   std::map<std::uint64_t, BarGate> bar_fed_;
   std::vector<std::uint64_t> bar_gate_;               // per proc, pending instance or ~0
   static constexpr std::uint64_t kNoGate = ~std::uint64_t{0};
+
+  // Elastic membership (enable_elastic; guarded by mu_).  A barrier
+  // instance expects only configured members that are alive and were
+  // admitted at or before its epoch — a dead member's arrival will never
+  // be fed, and waiting for it would wedge every survivor's gate.
+  bool elastic_ = false;
+  std::uint64_t alive_mask_ = 0;
+  std::uint64_t view_epoch_ = 0;
+  std::map<BarrierId, std::map<ProcId, std::uint64_t>> member_from_;
 
   std::uint32_t next_ext_ = 0;
   std::uint64_t enqueued_ = 0;

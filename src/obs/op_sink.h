@@ -16,6 +16,8 @@
 
 #pragma once
 
+#include <cstdint>
+
 #include "history/operation.h"
 
 namespace mc::obs {
@@ -27,6 +29,22 @@ class OpSink {
   /// One completed operation of process `op.proc`.  Called under the
   /// issuing node's lock, possibly from many nodes concurrently.
   virtual void on_op(const history::Operation& op) = 0;
+
+  /// Elastic membership events (Config::elastic; dsm/view.h), forwarded by
+  /// MixedSystem from the manager threads.  A committed view change names
+  /// the new epoch and alive mask; a committed join additionally names, per
+  /// barrier object, the first instance the joiner participates in.  Both
+  /// default to no-ops so fixed-membership sinks need not care.
+  virtual void on_view(std::uint64_t epoch, std::uint64_t alive_mask) {
+    (void)epoch;
+    (void)alive_mask;
+  }
+  virtual void on_barrier_member_from(BarrierId barrier, ProcId joiner,
+                                      std::uint64_t from_epoch) {
+    (void)barrier;
+    (void)joiner;
+    (void)from_epoch;
+  }
 };
 
 }  // namespace mc::obs

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -296,6 +298,124 @@ TEST(ReliableChannel, MessagesOutsideTheProtocolPassThrough) {
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(m->a, 77u);
   EXPECT_EQ(m->rel_seq, 0u);
+  f.shutdown();
+}
+
+TEST(ReliableChannel, BackoffDoublesAndCapsAtMaxRto) {
+  ReliabilityConfig cfg;
+  cfg.initial_rto = std::chrono::milliseconds(2);
+  cfg.max_rto = std::chrono::milliseconds(20);
+  cfg.jitter = 0.0;
+  auto rto = cfg.initial_rto;
+  rto = ReliableChannel::backoff_rto(rto, cfg, 0, 1, 1);
+  EXPECT_EQ(rto, std::chrono::milliseconds(4));
+  rto = ReliableChannel::backoff_rto(rto, cfg, 0, 1, 2);
+  EXPECT_EQ(rto, std::chrono::milliseconds(8));
+  rto = ReliableChannel::backoff_rto(rto, cfg, 0, 1, 3);
+  EXPECT_EQ(rto, std::chrono::milliseconds(16));
+  // Ceiling: doubling saturates at max_rto and stays there.
+  rto = ReliableChannel::backoff_rto(rto, cfg, 0, 1, 4);
+  EXPECT_EQ(rto, cfg.max_rto);
+  rto = ReliableChannel::backoff_rto(rto, cfg, 0, 1, 5);
+  EXPECT_EQ(rto, cfg.max_rto);
+}
+
+TEST(ReliableChannel, BackoffJitterIsDeterministicBoundedAndDesynchronizing) {
+  ReliabilityConfig cfg;
+  cfg.initial_rto = std::chrono::milliseconds(2);
+  cfg.max_rto = std::chrono::milliseconds(200);
+  cfg.jitter = 0.25;
+  cfg.jitter_seed = 42;
+  const auto prev = std::chrono::milliseconds(8);
+
+  // Deterministic: same (seed, channel, seq, attempt) -> same step.
+  const auto a = ReliableChannel::backoff_rto(prev, cfg, 3, 17, 2);
+  const auto b = ReliableChannel::backoff_rto(prev, cfg, 3, 17, 2);
+  EXPECT_EQ(a, b);
+
+  // Bounded: every step lands in [(1-j)*2*prev, (1+j)*2*prev] and never
+  // exceeds max_rto — the give-up verdict stays within
+  // max_retries * max_rto even with jitter on.
+  const double lo = 16e6 * (1.0 - cfg.jitter);
+  const double hi = 16e6 * (1.0 + cfg.jitter);
+  bool varied = false;
+  for (std::uint64_t ch = 0; ch < 32; ++ch) {
+    const auto step = ReliableChannel::backoff_rto(prev, cfg, ch, 17, 2);
+    EXPECT_GE(static_cast<double>(step.count()), lo);
+    EXPECT_LE(static_cast<double>(step.count()), hi);
+    EXPECT_LE(step, cfg.max_rto);
+    if (step != a) varied = true;
+  }
+  // De-synchronizing: distinct channels against one dead peer must not all
+  // share a retransmit schedule.
+  EXPECT_TRUE(varied);
+
+  // Jitter never breaks the cap.
+  cfg.max_rto = std::chrono::milliseconds(10);
+  for (int attempt = 1; attempt < 8; ++attempt) {
+    EXPECT_LE(ReliableChannel::backoff_rto(std::chrono::milliseconds(9), cfg, 1,
+                                           1, attempt),
+              cfg.max_rto);
+  }
+
+  // A different seed reshuffles the schedule.
+  ReliabilityConfig other = cfg;
+  other.max_rto = std::chrono::milliseconds(200);
+  other.jitter_seed = 43;
+  cfg.max_rto = std::chrono::milliseconds(200);
+  bool seed_differs = false;
+  for (std::uint64_t seq = 1; seq <= 16 && !seed_differs; ++seq) {
+    seed_differs = ReliableChannel::backoff_rto(prev, cfg, 3, seq, 2) !=
+                   ReliableChannel::backoff_rto(prev, other, 3, seq, 2);
+  }
+  EXPECT_TRUE(seed_differs);
+}
+
+TEST(ReliableChannel, UnreachableCallbackFiresAndMarkDeadSilencesChannel) {
+  Fabric f(2);
+  ReliabilityConfig cfg;
+  cfg.initial_rto = std::chrono::microseconds(200);
+  cfg.max_rto = std::chrono::milliseconds(1);
+  cfg.max_retries = 3;
+  cfg.tick = std::chrono::microseconds(100);
+  cfg.jitter = 0.5;
+  cfg.jitter_seed = 7;
+  f.enable_reliability(cfg);
+  ReliableChannel* rel = f.reliable_channel();
+
+  std::atomic<int> fired{0};
+  ReliableChannel::PeerUnreachable seen;
+  std::mutex seen_mu;
+  rel->set_unreachable_callback([&](const ReliableChannel::PeerUnreachable& e) {
+    std::scoped_lock lk(seen_mu);
+    seen = e;
+    fired.fetch_add(1);
+  });
+
+  FaultPlan plan;
+  plan.channel_drop_prob[{0, 1}] = 1.0;
+  f.inject_faults(plan);
+  f.send(make(0, 1, 1, 9));
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fired.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(fired.load(), 1);
+  {
+    std::scoped_lock lk(seen_mu);
+    EXPECT_EQ(seen.src, 0u);
+    EXPECT_EQ(seen.dst, 1u);
+    EXPECT_EQ(seen.retries, cfg.max_retries);
+  }
+
+  // Declare the peer dead: channels to it stop retransmitting, so later
+  // sends into the void do not produce a second verdict.
+  rel->mark_dead(1);
+  f.send(make(0, 1, 1, 10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(rel->errors().size(), 1u);
   f.shutdown();
 }
 

@@ -25,7 +25,7 @@ import argparse
 
 from validators_common import fail, load_jsonl, validate_dot_text
 
-KNOWN_TYPES = {"meta", "sample", "iteration", "violation", "final"}
+KNOWN_TYPES = {"meta", "sample", "iteration", "violation", "view_change", "final"}
 
 
 def nonneg_number_map(obj, where, key):
@@ -62,6 +62,7 @@ def validate(path, expect_clean, min_samples):
     samples = 0
     iterations = []
     violations = []
+    view_changes = []
     finals = []
     last_t = None
     for lineno, rec in enumerate(records[1:], start=2):
@@ -98,6 +99,19 @@ def validate(path, expect_clean, min_samples):
                 if key not in rec:
                     fail(f"{where}: iteration record missing '{key}'")
             iterations.append(rec)
+        elif rtype == "view_change":
+            for key in ("iteration", "app", "epoch", "faults", "total"):
+                if key not in rec:
+                    fail(f"{where}: view_change record missing '{key}'")
+            if not isinstance(rec["epoch"], int) or rec["epoch"] < 1:
+                fail(f"{where}: view_change epoch must be a positive integer, "
+                     f"got {rec['epoch']!r}")
+            if not isinstance(rec["total"], int) or rec["total"] < 1:
+                fail(f"{where}: view_change total must be a positive integer")
+            if view_changes and rec["total"] < view_changes[-1]["total"]:
+                fail(f"{where}: view_change cumulative total not monotone: "
+                     f"{rec['total']} after {view_changes[-1]['total']}")
+            view_changes.append(rec)
         elif rtype == "violation":
             dot = rec.get("dot", "")
             if dot:
@@ -125,10 +139,16 @@ def validate(path, expect_clean, min_samples):
         fail(f"{path}: only {samples} samples (< {min_samples})")
     if not iterations:
         fail(f"{path}: no iteration records")
+    if view_changes and "view_changes" in final:
+        if final["view_changes"] != view_changes[-1]["total"]:
+            fail(f"{where}: final.view_changes {final['view_changes']} != "
+                 f"last view_change cumulative total {view_changes[-1]['total']}")
 
     if expect_clean:
         if final["violations"] != 0:
             fail(f"{where}: clean run reported {final['violations']} violations")
+        if final["stalls"] != 0:
+            fail(f"{where}: clean run reported {final['stalls']} stalls")
         if final.get("structural_failure"):
             fail(f"{where}: clean run reported a structural checker failure")
         if final["skipped"] != 0:
@@ -141,6 +161,7 @@ def validate(path, expect_clean, min_samples):
             fail(f"{path}: clean run contains a violation record")
 
     print(f"OK: {path}: {samples} samples, {len(iterations)} iterations, "
+          f"{len(view_changes)} view changes, "
           f"{len(violations)} violation records, "
           f"final verdict mixed={final['verdict']['mixed']} "
           f"causal={final['verdict']['causal']} pram={final['verdict']['pram']}")
