@@ -53,6 +53,7 @@ CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
   cfg.reliable = opt.reliable;
   cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
+  cfg.directory = opt.directory;
   if (opt.crash_proc) {
     MC_CHECK(opt.reliable && *opt.crash_proc != 0 && *opt.crash_proc < opt.procs);
     cfg.elastic = true;
@@ -152,6 +153,7 @@ CholeskyResult cholesky_counters(const SparseSpd& m, const Symbolic& sym,
   cfg.reliable = opt.reliable;
   cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
+  cfg.directory = opt.directory;
   const auto acc = [](std::size_t i, std::size_t j) { return tri(i, j); };
   const auto cnt = [&](std::size_t k) { return static_cast<VarId>(tri_size(n) + k); };
   const auto res = [&](std::size_t i, std::size_t j) {

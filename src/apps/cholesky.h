@@ -60,6 +60,11 @@ struct CholeskyOptions {
   /// exercises delta-sum coalescing; the lock variant flush-on-unlock.
   std::optional<dsm::BatchingConfig> batching;
 
+  /// Directory-based partial replication (Config::directory; requires
+  /// `batching`).  The counter variant additionally exercises delta
+  /// write-allocation (a delta to an uncached variable fills first).
+  std::optional<dsm::DirectoryConfig> directory;
+
   /// Observer hook, called with the constructed MixedSystem before any
   /// process thread starts (see SolverOptions::system_hook).
   std::function<void(dsm::MixedSystem&)> system_hook;

@@ -69,11 +69,15 @@ EmResult em_reference(const EmProblem& prob) {
 EmResult em_mixed(const EmProblem& prob, std::size_t procs, ReadMode mode,
                   EmSharing sharing, net::LatencyModel latency, std::uint64_t seed,
                   bool pattern_optimized, const std::optional<net::FaultPlan>& faults,
-                  bool reliable, const std::optional<dsm::BatchingConfig>& batching) {
+                  bool reliable, const std::optional<dsm::BatchingConfig>& batching,
+                  const std::optional<dsm::DirectoryConfig>& directory) {
   MC_CHECK(procs >= 1 && procs <= prob.m);
   MC_CHECK_MSG(!pattern_optimized ||
                    (sharing == EmSharing::kGhost && mode == ReadMode::kPram),
                "pattern optimization requires ghost sharing and PRAM reads");
+  MC_CHECK_MSG(!(pattern_optimized && directory.has_value()),
+               "the directory supersedes static subscriber lists; "
+               "pick one sharing optimization");
   dsm::Config cfg;
   cfg.num_procs = procs;
   cfg.latency = latency;
@@ -81,6 +85,7 @@ EmResult em_mixed(const EmProblem& prob, std::size_t procs, ReadMode mode,
   cfg.faults = faults;
   cfg.reliable = reliable;
   cfg.batching = batching;
+  cfg.directory = directory;
 
   EmResult out;
   out.e.assign(prob.m, 0.0);

@@ -87,7 +87,8 @@ Em2dResult em2d_reference(const Em2dProblem& prob) {
 Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
                       net::LatencyModel latency, std::uint64_t seed,
                       const std::optional<net::FaultPlan>& faults, bool reliable,
-                      const std::optional<dsm::BatchingConfig>& batching) {
+                      const std::optional<dsm::BatchingConfig>& batching,
+                      const std::optional<dsm::DirectoryConfig>& directory) {
   MC_CHECK(procs >= 1 && procs <= prob.nx);
   const std::size_t ny = prob.ny;
 
@@ -99,6 +100,7 @@ Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
   cfg.faults = faults;
   cfg.reliable = reliable;
   cfg.batching = batching;
+  cfg.directory = directory;
   dsm::MixedSystem sys(cfg);
   const auto first_ez = [&](ProcId p, std::size_t j) {
     return static_cast<VarId>(p * ny + j);

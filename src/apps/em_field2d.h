@@ -50,6 +50,7 @@ Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
                       net::LatencyModel latency = {}, std::uint64_t seed = 1,
                       const std::optional<net::FaultPlan>& faults = std::nullopt,
                       bool reliable = false,
-                      const std::optional<dsm::BatchingConfig>& batching = std::nullopt);
+                      const std::optional<dsm::BatchingConfig>& batching = std::nullopt,
+                      const std::optional<dsm::DirectoryConfig>& directory = std::nullopt);
 
 }  // namespace mc::apps

@@ -38,6 +38,7 @@ dsm::Config make_config(const LinearSystem& sys, const SolverOptions& opt, bool 
   cfg.reliable = opt.reliable;
   cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
+  cfg.directory = opt.directory;
   return cfg;
 }
 
@@ -245,6 +246,7 @@ SolverResult solve_barrier_elastic(const LinearSystem& sys, const SolverOptions&
   cfg.reliable = opt.reliable;
   cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
+  cfg.directory = opt.directory;
   cfg.elastic = true;
   std::vector<ProcId> members{0};
   for (std::size_t w = 0; w < opt.workers; ++w) {

@@ -62,6 +62,12 @@ struct SolverOptions {
   /// per-write broadcasts.  Flush-on-sync keeps every variant correct.
   std::optional<dsm::BatchingConfig> batching;
 
+  /// Directory-based partial replication (Config::directory; requires
+  /// `batching`): updates multicast only to registered sharers, replicas
+  /// demand-page in, cold replicas evict under the budget.  Converged
+  /// results are bitwise-identical to full replication.
+  std::optional<dsm::DirectoryConfig> directory;
+
   /// Observer hook, called with the constructed MixedSystem before any
   /// process thread starts — the soak harness uses it to attach a live
   /// ConsistencyMonitor (obs/monitor.h).  The system is destroyed before

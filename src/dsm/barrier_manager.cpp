@@ -11,9 +11,12 @@ BarrierManager::BarrierManager(net::Fabric& fabric, net::Endpoint self,
                                std::size_t num_procs,
                                std::map<BarrierId, std::vector<ProcId>> members,
                                bool count_mode,
-                               std::optional<std::uint64_t> initial_alive)
+                               std::optional<std::uint64_t> initial_alive,
+                               bool dir_mode)
     : fabric_(fabric), self_(self), num_procs_(num_procs), count_mode_(count_mode),
-      elastic_(initial_alive.has_value()), members_(std::move(members)) {
+      dir_mode_(dir_mode), elastic_(initial_alive.has_value()),
+      members_(std::move(members)) {
+  MC_CHECK_MSG(!(count_mode && dir_mode), "directory mode requires vector clocks");
   for (const auto& [b, procs] : members_) {
     (void)b;
     MC_CHECK_MSG(!procs.empty(), "a subset barrier needs at least one member");
@@ -116,12 +119,17 @@ void BarrierManager::handle_arrive(const net::Message& m) {
   inst.arrived[m.src] = true;
   ++inst.count;
 
-  MC_CHECK(m.payload.size() == num_procs_);
-  if (count_mode_) {
-    inst.payloads[src] = m.payload;
-  } else {
+  // Directory mode stacks both synchronization currencies: the arriver's
+  // per-receiver sent-counts first, then its dependency clock.
+  const std::size_t vc_at = dir_mode_ ? num_procs_ : 0;
+  MC_CHECK(m.payload.size() == vc_at + num_procs_);
+  if (count_mode_ || dir_mode_) {
+    inst.payloads[src] = std::vector<std::uint64_t>(
+        m.payload.begin(), m.payload.begin() + num_procs_);
+  }
+  if (!count_mode_) {
     VectorClock vc(num_procs_);
-    for (ProcId p = 0; p < num_procs_; ++p) vc.set(p, m.payload[p]);
+    for (ProcId p = 0; p < num_procs_; ++p) vc.set(p, m.payload[vc_at + p]);
     inst.merged.merge(vc);
   }
 
@@ -141,9 +149,10 @@ bool BarrierManager::maybe_release(
 
   assemble_ns_.record(std::chrono::steady_clock::now() - inst.first_arrival);
   releases_.add(participants.size());
-  if (count_mode_) {
+  if (count_mode_ || dir_mode_) {
     // Transpose: receiver i must wait, per sender j, for the number of
     // updates j reported having sent to i before arriving (Section 6).
+    // Directory mode appends the merged clock after the counts.
     for (const ProcId i : participants) {
       net::Message release;
       release.src = self_;
@@ -153,6 +162,11 @@ bool BarrierManager::maybe_release(
       release.b = key.second;
       release.payload.assign(num_procs_, 0);
       for (const auto& [j, sent] : inst.payloads) release.payload[j] = sent[i];
+      if (dir_mode_) {
+        release.payload.insert(release.payload.end(),
+                               inst.merged.components().begin(),
+                               inst.merged.components().end());
+      }
       fabric_.send(std::move(release));
     }
   } else {

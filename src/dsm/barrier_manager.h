@@ -43,10 +43,16 @@ class BarrierManager {
   /// arrival clock stands), and a committed joiner is assigned a starting
   /// epoch per barrier object (kViewBarrierSync) so its local counters
   /// line up with the instances already in flight.
+  /// In directory mode (partial replication, docs/DIRECTORY.md) arrivals
+  /// carry BOTH per-receiver sent-counts and the arriver's dependency
+  /// clock; each release ships the transposed counts plus the merged
+  /// clock — arrivers synchronize on counts and merge the clock into
+  /// their dependency clock only.
   BarrierManager(net::Fabric& fabric, net::Endpoint self, std::size_t num_procs,
                  std::map<BarrierId, std::vector<ProcId>> members = {},
                  bool count_mode = false,
-                 std::optional<std::uint64_t> initial_alive = std::nullopt);
+                 std::optional<std::uint64_t> initial_alive = std::nullopt,
+                 bool dir_mode = false);
   ~BarrierManager();
 
   BarrierManager(const BarrierManager&) = delete;
@@ -104,6 +110,7 @@ class BarrierManager {
   net::Endpoint self_;
   std::size_t num_procs_;
   bool count_mode_;
+  bool dir_mode_;
   bool elastic_ = false;
   std::map<BarrierId, std::vector<ProcId>> members_;
   /// Guards instances_: the manager thread mutates it, the watchdog reads it.

@@ -41,6 +41,9 @@ net::Message encode_batch(const std::vector<BatchRecord>& recs, std::size_t num_
                         (r.weight << (kVarBits + kFlagBits)));
     m.payload.push_back(r.value);
     m.payload.push_back(r.seq);
+    if (r.flags & kFlagHasWriter) m.payload.push_back(r.writer);
+    if (r.flags & kFlagHasEpoch) m.payload.push_back(r.epoch);
+    if (r.flags & kFlagHasBaseline) m.payload.push_back(r.baseline);
     if (omit_timestamps) continue;
     std::uint64_t mask = 0;
     for (ProcId p = 0; p < num_procs; ++p) {
@@ -56,7 +59,7 @@ net::Message encode_batch(const std::vector<BatchRecord>& recs, std::size_t num_
 
 std::vector<BatchRecord> decode_batch(const net::Message& m, std::size_t num_procs,
                                       bool omit_timestamps) {
-  MC_CHECK(m.kind == kBatch);
+  MC_CHECK(m.kind == kBatch || m.kind == kFetchBulkResp);
   const std::size_t n = m.a;
   MC_CHECK(n >= 1);
   std::vector<BatchRecord> recs;
@@ -78,6 +81,18 @@ std::vector<BatchRecord> decode_batch(const net::Message& m, std::size_t num_pro
     r.weight = w0 >> (kVarBits + kFlagBits);
     r.value = m.payload[i++];
     r.seq = m.payload[i++];
+    if (r.flags & kFlagHasWriter) {
+      MC_CHECK(i < m.payload.size());
+      r.writer = static_cast<ProcId>(m.payload[i++]);
+    }
+    if (r.flags & kFlagHasEpoch) {
+      MC_CHECK(i < m.payload.size());
+      r.epoch = m.payload[i++];
+    }
+    if (r.flags & kFlagHasBaseline) {
+      MC_CHECK(i < m.payload.size());
+      r.baseline = m.payload[i++];
+    }
     if (!omit_timestamps) {
       MC_CHECK(i < m.payload.size());
       const std::uint64_t mask = m.payload[i++];

@@ -12,11 +12,20 @@
 //                        | weight (bits 40..63)
 //     w1                 value bits
 //     w2                 writer sequence number (WriteId::seq)
-//     w3                 clock-delta mask m: bit k set <=> vc[k] != base[k]
+//     optional words     writer (kFlagHasWriter), write epoch
+//                        (kFlagHasEpoch), staleness baseline
+//                        (kFlagHasBaseline) — in that order, each present
+//                        only when its flag bit is set
+//     w_m                clock-delta mask m: bit k set <=> vc[k] != base[k]
 //     popcount(m) words  vc[k] - base[k], for each set bit k ascending
 //
 // Count-vector mode (Config::omit_timestamps): no base clock and no clock
-// words; records are w0..w2 only.
+// words; records are w0..w2 plus the optional words only.
+//
+// The flags byte packs the operation in its low bits (kFlagOpMask) and the
+// record options above it; consumers must mask with kFlagOpMask before
+// switching on the operation.  Directory fills (kFetchBulkResp) reuse this
+// codec with the optional words carrying per-variable install metadata.
 //
 // The payload holds exactly the words a real wire format would ship, so
 // Message::wire_bytes() (header + payload) charges the delta-encoded size —
@@ -45,9 +54,14 @@ struct BatchRecord {
   SeqNo seq = 0;
   std::uint64_t weight = 1;
   VectorClock vc;  // empty in count-vector mode
-  /// View epoch of the write (elastic kUpdate path only; the batch wire
-  /// format does not carry it, so decoded batch records stay at 0).
+  /// View epoch of the write; travels on the wire only when kFlagHasEpoch
+  /// is set (elastic runs), else decoded records stay at 0.
   std::uint64_t epoch = 0;
+  /// Explicit writer (kFlagHasWriter); kNoProc means "the frame sender".
+  ProcId writer = kNoProc;
+  /// Staleness baseline shipped with directory fills (kFlagHasBaseline):
+  /// the home's applied-write count for the variable.
+  std::uint64_t baseline = 0;
 
   friend bool operator==(const BatchRecord&, const BatchRecord&) = default;
 };

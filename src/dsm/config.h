@@ -64,6 +64,24 @@ struct BatchingConfig {
   bool coalesce = true;
 };
 
+/// Directory-based partial replication (docs/DIRECTORY.md).  Every variable
+/// has a *home* node (static modular striping over live processes); writes
+/// multicast only to the variable's registered sharers plus its home, and a
+/// replica demand-pages in on first read through a bulk fill frame
+/// (kFetchBulkResp) served by the home.  Cold replicas are evicted under
+/// `replica_budget` with directory deregistration; the home's own copy is
+/// pinned, so eviction never drops the last replica.
+struct DirectoryConfig {
+  /// Maximum demand-paged (non-homed, non-pinned) replicas a node keeps
+  /// cached; 0 means unlimited.  Exceeding the budget evicts the least
+  /// recently used unpinned replica.
+  std::size_t replica_budget = 0;
+  /// Upper bound on variables per fill frame: a read miss requests the
+  /// missing variable plus up to this many same-home neighbours (working-
+  /// set prefetch into one kFetchBulkResp).
+  std::size_t fetch_frame = 16;
+};
+
 struct Config {
   std::size_t num_procs = 2;
   std::size_t num_vars = 64;
@@ -148,6 +166,14 @@ struct Config {
   /// omit_timestamps (count-vector synchronization tolerates per-receiver
   /// gaps; vector-clock causal delivery does not).
   std::map<VarId, std::vector<ProcId>> update_subscribers;
+
+  /// Directory-based partial replication (see DirectoryConfig above).
+  /// Requires batching (fills reuse the batch codec and the staging
+  /// buffers carry the sharer-only multicast) and vector-clock mode;
+  /// incompatible with update_subscribers (the directory subsumes static
+  /// subscription).  Elastic membership is supported: view commits purge
+  /// departed sharers and re-home their variables.
+  std::optional<DirectoryConfig> directory;
 
   [[nodiscard]] LockPolicy policy_of(LockId l) const {
     auto it = lock_policy_override.find(l);

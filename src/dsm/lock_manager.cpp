@@ -6,9 +6,11 @@
 namespace mc::dsm {
 
 LockManager::LockManager(net::Fabric& fabric, net::Endpoint self, std::size_t num_procs,
-                         bool count_mode, std::optional<std::uint64_t> initial_alive)
+                         bool count_mode, std::optional<std::uint64_t> initial_alive,
+                         bool dir_mode)
     : fabric_(fabric), self_(self), num_procs_(num_procs), count_mode_(count_mode),
-      elastic_(initial_alive.has_value()) {
+      dir_mode_(dir_mode), elastic_(initial_alive.has_value()) {
+  MC_CHECK_MSG(!(count_mode && dir_mode), "directory mode requires vector clocks");
   MC_CHECK_MSG(num_procs <= 64, "episode holder sets are encoded as 64-bit masks");
   if (elastic_) {
     MC_CHECK_MSG(!count_mode_, "elastic membership requires vector-clock mode");
@@ -62,13 +64,17 @@ void LockManager::handle_unlock(const net::Message& m) {
   LockState& lock = locks_[id];
   MC_CHECK_MSG(lock.holders.erase(m.src) == 1, "unlock from a non-holder");
 
-  MC_CHECK(m.payload.size() >= num_procs_ + m.d);
-  if (count_mode_) {
+  // Directory mode stacks both synchronization currencies: the releaser's
+  // per-receiver sent-counts first, then its dependency clock.
+  const std::size_t vc_at = dir_mode_ ? num_procs_ : 0;
+  MC_CHECK(m.payload.size() >= vc_at + num_procs_ + m.d);
+  if (count_mode_ || dir_mode_) {
     lock.unlock_counts[m.src] =
         std::vector<std::uint64_t>(m.payload.begin(), m.payload.begin() + num_procs_);
-  } else {
+  }
+  if (!count_mode_) {
     VectorClock vc(num_procs_);
-    for (ProcId p = 0; p < num_procs_; ++p) vc.set(p, m.payload[p]);
+    for (ProcId p = 0; p < num_procs_; ++p) vc.set(p, m.payload[vc_at + p]);
     lock.release_vc.merge(vc);
   }
   lock.current_unlockers_mask |= std::uint64_t{1} << m.src;
@@ -76,7 +82,7 @@ void LockManager::handle_unlock(const net::Message& m) {
   // Demand-driven digest: variables written in the critical section now
   // have the releaser as their authoritative owner.
   for (std::uint64_t k = 0; k < m.d; ++k) {
-    lock.ownership[static_cast<VarId>(m.payload[num_procs_ + k])] = m.src;
+    lock.ownership[static_cast<VarId>(m.payload[vc_at + num_procs_ + k])] = m.src;
   }
 
   if (lock.holders.empty()) {
@@ -401,15 +407,18 @@ void LockManager::send_grant(LockId id, LockState& lock, const Request& req) {
   grant.a = id;
   grant.b = lock.episode;
   grant.c = lock.prev_holders_mask;
-  if (count_mode_) {
+  if (count_mode_ || dir_mode_) {
     // Per sender j: how many updates j had shipped to `who` when it last
     // unlocked.  The acquirer waits for that many before reading.
     grant.payload.assign(num_procs_, 0);
     for (const auto& [j, sent] : lock.unlock_counts) {
       if (j < num_procs_ && who < sent.size()) grant.payload[j] = sent[who];
     }
-  } else {
-    grant.payload.assign(lock.release_vc.components().begin(),
+  }
+  if (!count_mode_) {
+    // Directory mode appends the merged release clock after the counts.
+    grant.payload.insert(grant.payload.end(),
+                         lock.release_vc.components().begin(),
                          lock.release_vc.components().end());
   }
   std::uint64_t digest = 0;

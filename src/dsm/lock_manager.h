@@ -45,9 +45,16 @@ class LockManager {
   /// episode boundary, dead requests purged, dead demand-ownership
   /// dropped).  The mask names view 0's members; the barrier manager is
   /// assumed at endpoint self+1 (MixedSystem's layout).
+  ///
+  /// In directory mode (partial replication, docs/DIRECTORY.md) unlocks
+  /// carry BOTH per-receiver sent-counts and the releaser's dependency
+  /// clock, and each grant ships counts plus the merged release clock —
+  /// the acquirer synchronizes on counts and merges the clock into its
+  /// dependency clock only (no read-floor raise).
   LockManager(net::Fabric& fabric, net::Endpoint self, std::size_t num_procs,
               bool count_mode = false,
-              std::optional<std::uint64_t> initial_alive = std::nullopt);
+              std::optional<std::uint64_t> initial_alive = std::nullopt,
+              bool dir_mode = false);
   ~LockManager();
 
   LockManager(const LockManager&) = delete;
@@ -152,6 +159,7 @@ class LockManager {
   net::Endpoint self_;
   std::size_t num_procs_;
   bool count_mode_;
+  bool dir_mode_;
   bool elastic_ = false;
   /// Guards locks_: the manager thread mutates it, the watchdog reads it.
   mutable std::mutex state_mu_;

@@ -34,12 +34,26 @@ Node::Node(const Config& cfg, ProcId self, net::Fabric& fabric, net::Endpoint lo
       sent_to_(cfg.num_procs),
       received_from_(cfg.num_procs),
       count_floor_(cfg.num_procs),
+      dir_mode_(cfg.directory.has_value()),
       elastic_(cfg.elastic),
       trace_(cfg.record_trace) {
   if (elastic_) {
     view_.alive_mask = cfg_.initial_members.has_value()
                            ? mask_of(*cfg_.initial_members)
                            : full_mask(cfg_.num_procs);
+  }
+  if (dir_mode_) {
+    sharer_mask_.assign(cfg_.num_vars, 0);
+    cached_.assign(cfg_.num_vars, false);
+    last_use_.assign(cfg_.num_vars, 0);
+    fill_inflight_.assign(cfg_.num_vars, false);
+    resolved_ = VectorClock(cfg_.num_procs);
+    // Owner pin: the home's copy of each of its variables is always
+    // resident, so eviction elsewhere can never drop the last replica.
+    // Demand-association variables keep full replication.
+    for (VarId x = 0; x < cfg_.num_vars; ++x) {
+      if (!dir_managed(x) || effective_home(x) == self_) cached_[x] = true;
+    }
   }
   if (cfg_.batching.has_value()) {
     staged_.resize(cfg_.num_procs);
@@ -113,12 +127,21 @@ void Node::run_delivery() {
         info.episode = m->b;
         info.prev_holders_mask = m->c;
         info.release_vc = VectorClock(cfg_.num_procs);
-        MC_CHECK(m->payload.size() >= cfg_.num_procs + 2 * m->d);
-        for (ProcId p = 0; p < cfg_.num_procs; ++p) info.release_vc.set(p, m->payload[p]);
+        // Directory mode ships BOTH payload forms: per-sender unlock counts
+        // first, then the merged release clock (see LockManager::send_grant).
+        const std::size_t vc_at = dir_mode_ ? cfg_.num_procs : 0;
+        MC_CHECK(m->payload.size() >= vc_at + cfg_.num_procs + 2 * m->d);
+        if (dir_mode_) {
+          info.counts = VectorClock(cfg_.num_procs);
+          for (ProcId p = 0; p < cfg_.num_procs; ++p) info.counts.set(p, m->payload[p]);
+        }
+        for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+          info.release_vc.set(p, m->payload[vc_at + p]);
+        }
         for (std::uint64_t k = 0; k < m->d; ++k) {
           info.invalid.emplace_back(
-              static_cast<VarId>(m->payload[cfg_.num_procs + 2 * k]),
-              static_cast<net::Endpoint>(m->payload[cfg_.num_procs + 2 * k + 1]));
+              static_cast<VarId>(m->payload[vc_at + cfg_.num_procs + 2 * k]),
+              static_cast<net::Endpoint>(m->payload[vc_at + cfg_.num_procs + 2 * k + 1]));
         }
         info.trace_id = m->trace_id;
         {
@@ -129,13 +152,21 @@ void Node::run_delivery() {
         break;
       }
       case kBarrierRelease: {
-        VectorClock vc(cfg_.num_procs);
-        MC_CHECK(m->payload.size() == cfg_.num_procs);
-        for (ProcId p = 0; p < cfg_.num_procs; ++p) vc.set(p, m->payload[p]);
+        // Directory mode: transposed sent-counts first, merged clock second
+        // (see BarrierManager::maybe_release).
+        const std::size_t vc_at = dir_mode_ ? cfg_.num_procs : 0;
+        MC_CHECK(m->payload.size() == vc_at + cfg_.num_procs);
+        BarrierRelease rel;
+        rel.vc = VectorClock(cfg_.num_procs);
+        for (ProcId p = 0; p < cfg_.num_procs; ++p) rel.vc.set(p, m->payload[vc_at + p]);
+        if (dir_mode_) {
+          rel.counts = VectorClock(cfg_.num_procs);
+          for (ProcId p = 0; p < cfg_.num_procs; ++p) rel.counts.set(p, m->payload[p]);
+        }
+        rel.trace_id = m->trace_id;
         {
           std::scoped_lock lk(mu_);
-          barrier_release_[{static_cast<BarrierId>(m->a), m->b}] =
-              BarrierRelease{std::move(vc), m->trace_id};
+          barrier_release_[{static_cast<BarrierId>(m->a), m->b}] = std::move(rel);
         }
         cv_.notify_all();
         break;
@@ -176,6 +207,52 @@ void Node::run_delivery() {
         break;
       case kViewHello:
         if (elastic_) on_view_hello(*m);
+        break;
+      case kFetchBulkReq:
+        on_fetch_bulk_req(*m);
+        break;
+      case kFetchBulkResp:
+        on_fetch_bulk_resp(*m);
+        break;
+      case kDirSharerAdd:
+        on_dir_sharer_add(*m);
+        break;
+      case kDirAck:
+        on_dir_ack(*m);
+        break;
+      case kDirUnregister:
+        on_dir_unregister(*m);
+        break;
+      case kDirSharerDel:
+        on_dir_sharer_del(*m);
+        break;
+      case kFrontierReq: {
+        // Flush first, reply second, same channel: FIFO puts every staged
+        // write ahead of the frontier stamp, so the stamp's promise ("all
+        // my writes up to this counter are on the wire to you") holds.
+        net::Message resp;
+        resp.dst = m->src;
+        {
+          std::scoped_lock lk(mu_);
+          if (cfg_.batching.has_value()) flush_staged_locked();
+          resp.src = self_;
+          resp.kind = kFrontierResp;
+          resp.a = write_counter_;
+        }
+        fabric_.send(std::move(resp));
+        break;
+      }
+      case kFrontierResp: {
+        {
+          std::scoped_lock lk(mu_);
+          resolved_.set(static_cast<ProcId>(m->src),
+                        std::max(resolved_[static_cast<ProcId>(m->src)], m->a));
+        }
+        cv_.notify_all();
+        break;
+      }
+      case kDirSharerSync:
+        on_dir_sharer_sync(*m);
         break;
       case kFetchResp: {
         FetchResult res;
@@ -278,6 +355,49 @@ void Node::on_batch(const net::Message& m) {
     return;
   }
 
+  if (dir_mode_) {
+    // Directory mode applies at arrival with no causal buffering: each
+    // variable is an apply-order-independent LWW register (store.cpp), and
+    // the read gate blocks on the resolved frontier instead of waiting for
+    // causally-ready application.  Records for variables this node does not
+    // cache are counted (the sender counted them in sent_to_, and Section
+    // 6's count synchronization compares the two) but not applied.
+    std::scoped_lock lk(mu_);
+    for (const BatchRecord& r : recs) {
+      received_from_.set(sender, received_from_[sender] + r.weight);
+      // Re-homing offers carry the original writer's id (kFlagHasWriter).
+      const ProcId writer = r.writer == kNoProc ? sender : r.writer;
+      if (cached_[r.var]) {
+        mem_.apply(r.var, r.value, r.flags, WriteId{writer, r.seq}, r.vc,
+                   received_from_[sender], /*force=*/false, r.weight, r.epoch);
+      } else if (fill_inflight_[r.var]) {
+        // The fill's ack fence already registered us, so writers multicast
+        // here before our snapshot arrives.  The home's snapshot is fixed
+        // when its last fence ack lands — it may or may not cover this
+        // write — so hold the record and let the install replay it against
+        // the snapshot clock (on_fetch_bulk_resp).
+        BatchRecord held = r;
+        held.writer = writer;
+        fill_backlog_[r.var].push_back(std::move(held));
+      } else if (r.writer != kNoProc) {
+        // A re-homing offer or leave handoff addressed to this node as an
+        // incoming home: the offer and the view commit that pins cached_
+        // race on independent channels, so apply it to the store either
+        // way — the entry only becomes readable once the pin (or a fill)
+        // marks the variable cached.
+        mem_.apply(r.var, r.value, r.flags, WriteId{writer, r.seq}, r.vc,
+                   received_from_[sender], /*force=*/false, r.weight, r.epoch);
+      }
+      applied_.set(sender, std::max(applied_[sender], r.vc[sender]));
+      update_arrived_.set(sender, std::max(update_arrived_[sender], r.vc[sender]));
+    }
+    // The flush stamp: everything this sender addressed to us up to its
+    // m.b-th write has now arrived (per-channel FIFO).
+    resolved_.set(sender, std::max(resolved_[sender], m.b));
+    cv_.notify_all();
+    return;
+  }
+
   PendingUpdate u;
   u.gap_ok = true;
   u.vc = VectorClock(cfg_.num_procs);
@@ -365,7 +485,8 @@ void Node::on_view_propose(const net::Message& m) {
 }
 
 void Node::on_view_commit(const net::Message& m) {
-  std::scoped_lock lk(mu_);
+  std::vector<net::Message> replay;
+  std::unique_lock lk(mu_);
   if (m.a <= view_.epoch) return;  // stale — epochs are monotone
   const std::uint64_t prev_mask = view_.alive_mask;
   view_.epoch = m.a;
@@ -401,6 +522,88 @@ void Node::on_view_commit(const net::Message& m) {
   // Buffered updates gated on a dead component may be ready under the mask.
   drain_causal_buffers();
 
+  // Directory reconfiguration (docs/DIRECTORY.md): purge dead sharers,
+  // re-home, and unwind fills that straddle the view change.
+  if (dir_mode_) {
+    // A departed process can never receive another update; clear its bits
+    // from every mirror row so multicasts stop addressing it.
+    if (departed != 0) {
+      for (VarId x = 0; x < cfg_.num_vars; ++x) {
+        const std::uint64_t purged = sharer_mask_[x] & departed;
+        if (purged == 0) continue;
+        sharer_mask_[x] &= ~departed;
+        stats_.dir_sharers_purged.add(popcount64(purged));
+      }
+    }
+    if (view_.is_alive(self_)) {
+      // Re-home: a variable whose effective home moved to this node is
+      // pinned here from now on; when it moved *away*, offer our copy to
+      // the new home — which may never have been a sharer.  LWW
+      // arbitration dedupes offers from multiple holders.  Counters are
+      // skipped: a delta-merged value is a sum of per-replica
+      // applications, not a transplantable winner (docs/FAULTS.md — same
+      // class as re-seeding).
+      for (VarId x = 0; x < cfg_.num_vars; ++x) {
+        if (!dir_managed(x)) continue;
+        const ProcId old_home = home_under(prev_mask, x);
+        const ProcId new_home = home_under(view_.alive_mask, x);
+        if (old_home == new_home) continue;
+        if (new_home == self_) {
+          cached_[x] = true;  // owner pin: the home always holds a copy
+        } else if (cached_[x]) {
+          const VarEntry& e = mem_.entry(x);
+          if (e.last.valid() && !e.delta_touched && cfg_.batching.has_value()) {
+            stage_update(new_home, x, e.value, kFlagWrite, e.last.seq, e.vc,
+                         e.epoch, e.last.proc);
+          }
+          // The owner pin lapses with the homing: a pin-only copy has no
+          // row bit, so the new home's multicasts would never refresh it —
+          // drop it rather than serve stale reads.  Demand-registered
+          // copies (own row bit set) stay live, and counter copies stay
+          // because a delta sum is not transplantable.
+          if (old_home == self_ && !e.delta_touched &&
+              ((sharer_mask_[x] >> self_) & 1) == 0) {
+            cached_[x] = false;
+          }
+        }
+      }
+    }
+    // Home-side fills: a dead requester's fill is abandoned, dead ackers
+    // leave the fence, and a variable re-homed away is the new home's
+    // problem (its requester re-faults below).
+    for (auto it = fills_serving_.begin(); it != fills_serving_.end();) {
+      ServingFill& f = it->second;
+      if (!view_.is_alive(f.requester) ||
+          effective_home(f.vars.front()) != self_) {
+        it = fills_serving_.erase(it);
+        continue;
+      }
+      f.need_acks &= view_.alive_mask;
+      if (f.need_acks == 0) {
+        send_fill_response_locked(it->first.second, f);
+        it = fills_serving_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Requester-side fills: abort rather than re-aim — re-homing can even
+    // split a prefetch frame across new homes.  The blocked reader wakes,
+    // re-checks its miss, and re-faults under the new view.
+    for (auto& [token, pf] : fills_) {
+      if (pf.done) continue;
+      for (const VarId x : pf.vars) {
+        fill_inflight_[x] = false;
+        // Held raced-the-fill records die with the fill: the re-issued
+        // fill's fence re-covers anything a surviving writer sent.
+        fill_backlog_.erase(x);
+      }
+      pf.done = true;
+    }
+    // Handlers deferred to this epoch re-run once mu_ drops at the end of
+    // this function (they take the lock themselves, and may re-defer).
+    replay.swap(dir_deferred_);
+  }
+
   // Donor duties: re-seed each departed process's surviving latest writes,
   // or ship the joiner a full snapshot.
   MC_CHECK(m.payload.size() >= 2 * m.d);
@@ -416,6 +619,9 @@ void Node::on_view_commit(const net::Message& m) {
     st.c = to_joiner ? 1 : 0;
     std::uint64_t count = 0;
     for (VarId x = 0; x < mem_.size(); ++x) {
+      // Directory mode: only ship variables this node actually caches — an
+      // evicted replica's stale entry is not a donatable copy.
+      if (dir_mode_ && dir_managed(x) && !cached_[x]) continue;
       const VarEntry& e = mem_.entry(x);
       if (to_joiner) {
         // Full snapshot: every entry ever touched, counters included (the
@@ -472,6 +678,7 @@ void Node::on_view_commit(const net::Message& m) {
     bf.c = 2;
     std::uint64_t count = 0;
     for (VarId x = 0; x < mem_.size(); ++x) {
+      if (dir_mode_ && dir_managed(x) && !cached_[x]) continue;
       const VarEntry& e = mem_.entry(x);
       if (e.last.proc != self_ || e.delta_touched) continue;
       bf.payload.push_back(x);
@@ -497,8 +704,43 @@ void Node::on_view_commit(const net::Message& m) {
     hello.b = view_.epoch;
     hello.payload.assign(dep_vc_.components().begin(), dep_vc_.components().end());
     fabric_.send(std::move(hello));
+
+    if (dir_mode_) {
+      // Authoritative directory rows for the joiner's mirror: this node's
+      // homed variables.  Sent even when empty — the joiner counts sync
+      // senders before finishing join(), and FIFO sequencing puts the sync
+      // ahead of any later kDirSharerAdd we multicast.
+      net::Message sync;
+      sync.src = self_;
+      sync.dst = joiner;
+      sync.kind = kDirSharerSync;
+      sync.b = view_.epoch;
+      std::uint64_t pairs = 0;
+      for (VarId x = 0; x < cfg_.num_vars; ++x) {
+        if (!dir_managed(x)) continue;
+        // Own homed rows, plus rows this node just handed to the joiner by
+        // re-homing — the joiner serializes those from now on and must
+        // know their registered sharers (every survivor mirrors the row,
+        // so duplicate shipments OR-merge to the same value).
+        const bool mine = effective_home(x) == self_;
+        const bool handed_off =
+            home_under(prev_mask, x) == self_ && effective_home(x) == joiner;
+        if (!mine && !handed_off) continue;
+        if (sharer_mask_[x] == 0) continue;
+        sync.payload.push_back(x);
+        sync.payload.push_back(sharer_mask_[x]);
+        ++pairs;
+      }
+      sync.a = pairs;
+      fabric_.send(std::move(sync));
+    }
   }
   cv_.notify_all();
+  lk.unlock();
+  for (net::Message& dm : replay) {
+    if (dm.kind == kFetchBulkReq) on_fetch_bulk_req(dm);
+    else if (dm.kind == kDirSharerAdd) on_dir_sharer_add(dm);
+  }
 }
 
 void Node::on_view_state(const net::Message& m) {
@@ -513,6 +755,10 @@ void Node::on_view_state(const net::Message& m) {
   for (std::uint64_t k = 0; k < m.a; ++k) {
     const std::uint64_t* rec = m.payload.data() + k * stride;
     const auto x = static_cast<VarId>(rec[0]);
+    // Directory mode: a snapshot record for a variable this node does not
+    // cache must not materialize a replica outside the directory's
+    // knowledge — skip it; a later read demand-pages a fresh copy.
+    if (dir_mode_ && dir_managed(x) && !cached_[x]) continue;
     const Value value = rec[1];
     const WriteId id{static_cast<ProcId>(rec[2]), rec[3]};
     const bool delta_touched = rec[4] != 0;
@@ -557,6 +803,10 @@ void Node::on_view_hello(const net::Message& m) {
   // same channel as the sender's later updates) makes the baseline exact.
   update_arrived_.set(sender, std::max(update_arrived_[sender], m.a));
   applied_.set(sender, std::max(applied_[sender], m.a));
+  // Directory mode: the hello's write counter is also the sender's
+  // resolved frontier — everything before it was broadcast to the old
+  // membership only and is waived for this node.
+  if (dir_mode_) resolved_.set(sender, std::max(resolved_[sender], m.a));
   cv_.notify_all();
 }
 
@@ -585,21 +835,66 @@ void Node::join() {
   fabric_.send(std::move(req));
   std::unique_lock lk(mu_);
   wait_or_die(lk, "join blocked past the liveness deadline", [&] {
-    // Admitted, barrier counters aligned, and the donor snapshot landed
-    // (vacuous when this process is the view's only member).
+    // Admitted, barrier counters aligned, the donor snapshot landed
+    // (vacuous when this process is the view's only member), and — in
+    // directory mode — every other live node's authoritative sharer rows
+    // arrived (kDirSharerSync, sent even when empty).
     return view_.is_alive(self_) && barrier_synced_ &&
-           (snapshot_done_ || view_.live_count() == 1);
+           (snapshot_done_ || view_.live_count() == 1) &&
+           (!dir_mode_ ||
+            (view_.alive_mask & ~(std::uint64_t{1} << self_) & ~dir_sync_from_) == 0);
   });
 }
 
 void Node::leave() {
   MC_CHECK_MSG(elastic_, "leave requires Config::elastic");
+  std::uint64_t handoff = 0;
   {
     std::scoped_lock lk(mu_);
     MC_CHECK_MSG(held_.empty(), "leave while holding a lock");
     MC_CHECK_MSG(view_.is_alive(self_), "leave by a process outside the view");
     leaving_ = true;
+    if (dir_mode_) {
+      // Sole-copy handoff: a variable homed here may have no other sharer,
+      // so its state would leave with us.  Offer each cached LWW entry to
+      // its next home (ring successor under the shrunken mask) and fence
+      // the transfer below, BEFORE asking the manager for the view change:
+      // by commit time the new home must already hold the copy, or its
+      // owner pin would expose an empty entry to fresh reads.
+      const std::uint64_t next =
+          view_.alive_mask & ~(std::uint64_t{1} << self_);
+      for (VarId x = 0; next != 0 && x < cfg_.num_vars; ++x) {
+        if (!dir_managed(x) || !cached_[x]) continue;
+        if (home_under(view_.alive_mask, x) != self_) continue;
+        const VarEntry& e = mem_.entry(x);
+        if (!e.last.valid() || e.delta_touched) continue;
+        stage_update(home_under(next, x), x, e.value, kFlagWrite, e.last.seq,
+                     e.vc, e.epoch, e.last.proc);
+        handoff |= std::uint64_t{1} << home_under(next, x);
+      }
+    }
     if (cfg_.batching.has_value()) flush_staged_locked();
+    dir_handoff_wait_ = handoff;
+    for (ProcId p = 0; handoff != 0 && p < cfg_.num_procs; ++p) {
+      if ((handoff >> p & 1) == 0) continue;
+      // Flush-and-ack probe (a kDirSharerAdd carrying no variables): FIFO
+      // sequences the ack behind the offers just flushed on this channel,
+      // so a cleared wait bit means the new home has applied them.
+      net::Message probe;
+      probe.src = self_;
+      probe.dst = p;
+      probe.kind = kDirSharerAdd;
+      probe.a = 0;
+      probe.b = kDirHandoffToken;
+      probe.c = self_;
+      probe.d = view_.epoch;
+      fabric_.send(std::move(probe));
+    }
+  }
+  if (handoff != 0) {
+    std::unique_lock lk(mu_);
+    wait_or_die(lk, "leave handoff blocked past the liveness deadline",
+                [&] { return dir_handoff_wait_ == 0; });
   }
   net::Message req;
   req.src = self_;
@@ -609,6 +904,384 @@ void Node::leave() {
   fabric_.send(std::move(req));
   std::unique_lock lk(mu_);
   wait_or_die(lk, "leave blocked past the liveness deadline", [&] { return left_; });
+}
+
+// ----------------------------------------------------------------------
+// Directory-based partial replication (Config::directory; docs/DIRECTORY.md)
+// ----------------------------------------------------------------------
+
+bool Node::dir_managed(VarId x) const {
+  return dir_mode_ &&
+         cfg_.demand_association.find(x) == cfg_.demand_association.end();
+}
+
+ProcId Node::static_home(VarId x) const {
+  const std::size_t stride = (cfg_.num_vars + cfg_.num_procs - 1) / cfg_.num_procs;
+  return static_cast<ProcId>(std::min<std::size_t>(x / stride, cfg_.num_procs - 1));
+}
+
+ProcId Node::home_under(std::uint64_t mask, VarId x) const {
+  const ProcId h = static_home(x);
+  for (std::size_t i = 0; i < cfg_.num_procs; ++i) {
+    const auto p = static_cast<ProcId>((h + i) % cfg_.num_procs);
+    if ((mask >> p & 1) != 0) return p;
+  }
+  return h;  // empty mask: unreachable while this node itself is alive
+}
+
+ProcId Node::effective_home(VarId x) const {
+  return elastic_ ? home_under(view_.alive_mask, x) : static_home(x);
+}
+
+bool Node::replica_pinned(VarId x) const {
+  return effective_home(x) == self_ || mem_.entry(x).delta_touched ||
+         fill_inflight_[x];
+}
+
+void Node::request_fill(std::unique_lock<std::mutex>& lk, VarId x) {
+  MC_CHECK(dir_managed(x));
+  // Another thread's fill for x is already in flight: piggyback on it.
+  if (fill_inflight_[x]) {
+    wait_or_die(lk, "directory fill blocked past the liveness deadline",
+                [&] { return cached_[x]; });
+    return;
+  }
+  const ProcId h = effective_home(x);
+  if (h == self_) {
+    // Just re-homed to us (the commit's pin races the faulting thread).
+    cached_[x] = true;
+    return;
+  }
+  Stopwatch sw;
+  stats_.dir_fills.add();
+  const std::uint64_t token = ++fill_token_counter_;
+  PendingFill& pf = fills_[token];
+  pf.vars.push_back(x);
+  fill_inflight_[x] = true;
+  // Same-home prefetch: pull a working-set frame in one bulk reply.  Capped
+  // by the budget so the sweep after install cannot evict the frame itself.
+  std::size_t frame = cfg_.directory->fetch_frame;
+  if (cfg_.directory->replica_budget > 0) {
+    frame = std::min(frame, cfg_.directory->replica_budget);
+  }
+  for (VarId y = 0; y < cfg_.num_vars && pf.vars.size() < frame; ++y) {
+    if (y == x || cached_[y] || fill_inflight_[y] || !dir_managed(y)) continue;
+    if (effective_home(y) != h) continue;
+    pf.vars.push_back(y);
+    fill_inflight_[y] = true;
+  }
+  // Flush first, request second: our own staged writes travel ahead of the
+  // request on our channel to the home, so the fill reflects them
+  // (read-your-writes across a miss).
+  if (cfg_.batching.has_value()) flush_staged_locked();
+  net::Message req;
+  req.src = self_;
+  req.dst = h;
+  req.kind = kFetchBulkReq;
+  req.a = pf.vars.size();
+  req.b = token;
+  req.c = elastic_ ? view_.epoch : 0;
+  req.payload.assign(pf.vars.begin(), pf.vars.end());
+  fabric_.send(std::move(req));
+  wait_or_die(lk, "directory fill blocked past the liveness deadline", [&] {
+    const auto it = fills_.find(token);
+    return it == fills_.end() || it->second.done;
+  });
+  fills_.erase(token);
+  stats_.dir_fill_wait_ns.record(sw.elapsed());
+}
+
+void Node::on_fetch_bulk_req(const net::Message& m) {
+  const auto requester = static_cast<ProcId>(m.src);
+  std::scoped_lock lk(mu_);
+  if (elastic_ && m.c > view_.epoch) {
+    // Sent under a view we have not committed yet: our home assignment and
+    // the re-homing offers other holders stage at that commit are not in
+    // place.  Replay once the commit lands.
+    dir_deferred_.push_back(m);
+    return;
+  }
+  MC_CHECK(m.payload.size() >= m.a && m.a >= 1);
+  std::vector<VarId> vars(m.payload.begin(), m.payload.begin() + m.a);
+  // No longer this variable's home (same-epoch assignment is deterministic,
+  // so the requester was behind): it re-issues at its own commit.
+  if (effective_home(vars[0]) != self_) return;
+  ServingFill f;
+  f.requester = requester;
+  f.vars = std::move(vars);
+  for (const VarId x : f.vars) {
+    if ((sharer_mask_[x] >> requester & 1) == 0) {
+      sharer_mask_[x] |= std::uint64_t{1} << requester;
+      stats_.dir_sharer_adds.add();
+    }
+  }
+  // Ack fence: every third party flushes its staging buffers before the
+  // snapshot ships.  A write causally preceding the requester's floor was
+  // issued before this fill was requested, so at its writer it is either
+  // already sent (FIFO ahead of the ack on the writer->home channel) or
+  // still staged (the flush ships it ahead of the ack) — either way the
+  // snapshot covers it.
+  std::uint64_t fence = elastic_ ? view_.alive_mask : full_mask(cfg_.num_procs);
+  fence &= ~(std::uint64_t{1} << requester);
+  fence &= ~(std::uint64_t{1} << self_);
+  if (fence == 0) {
+    send_fill_response_locked(m.b, f);
+    return;
+  }
+  f.need_acks = fence;
+  net::Message add;
+  add.src = self_;
+  add.kind = kDirSharerAdd;
+  add.a = f.vars.size();
+  add.b = m.b;
+  add.c = requester;
+  add.d = elastic_ ? view_.epoch : 0;
+  add.payload.assign(f.vars.begin(), f.vars.end());
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    if ((fence >> p & 1) == 0) continue;
+    net::Message copy = add;
+    copy.dst = p;
+    fabric_.send(std::move(copy));
+  }
+  fills_serving_[{requester, m.b}] = std::move(f);
+}
+
+void Node::on_dir_sharer_add(const net::Message& m) {
+  std::scoped_lock lk(mu_);
+  if (elastic_ && m.d > view_.epoch) {
+    // Epoch agreement: ack only once our commit for the home's epoch has
+    // run, so re-homing offers staged at that commit flush under the fence
+    // and the ack travels behind them (FIFO).
+    dir_deferred_.push_back(m);
+    return;
+  }
+  MC_CHECK(m.payload.size() >= m.a);
+  for (std::uint64_t k = 0; k < m.a; ++k) {
+    sharer_mask_[static_cast<VarId>(m.payload[k])] |= std::uint64_t{1} << m.c;
+  }
+  if (cfg_.batching.has_value()) flush_staged_locked();
+  net::Message ack;
+  ack.src = self_;
+  ack.dst = m.src;
+  ack.kind = kDirAck;
+  ack.a = m.b;
+  ack.b = m.c;
+  fabric_.send(std::move(ack));
+}
+
+void Node::on_dir_ack(const net::Message& m) {
+  std::scoped_lock lk(mu_);
+  if (m.a == kDirHandoffToken) {
+    // Ack for a pre-leave handoff probe (leave()): the target has applied
+    // our re-homing offers.
+    dir_handoff_wait_ &= ~(std::uint64_t{1} << static_cast<ProcId>(m.src));
+    cv_.notify_all();
+    return;
+  }
+  const auto key = std::make_pair(static_cast<ProcId>(m.b), m.a);
+  const auto it = fills_serving_.find(key);
+  if (it == fills_serving_.end()) return;  // answered at a view commit re-mask
+  it->second.need_acks &= ~(std::uint64_t{1} << static_cast<ProcId>(m.src));
+  if (it->second.need_acks == 0) {
+    send_fill_response_locked(m.a, it->second);
+    fills_serving_.erase(it);
+  }
+}
+
+void Node::send_fill_response_locked(std::uint64_t token, const ServingFill& f) {
+  // Our own staged writes are not fenced by the acks; flush them into the
+  // snapshot too.
+  if (cfg_.batching.has_value()) flush_staged_locked();
+  std::vector<BatchRecord> recs;
+  recs.reserve(f.vars.size());
+  for (const VarId x : f.vars) {
+    const VarEntry& e = mem_.entry(x);
+    BatchRecord r;
+    r.var = x;
+    r.value = e.value;
+    r.seq = e.last.seq;
+    r.writer = e.last.proc;
+    r.flags = kFlagWrite | kFlagHasWriter | kFlagHasBaseline;
+    if (e.delta_touched) r.flags |= kFlagCounterBase;
+    if (elastic_) {
+      r.flags |= kFlagHasEpoch;
+      r.epoch = e.epoch;
+    }
+    r.baseline = e.applied_writes;
+    r.vc = e.vc.empty() ? VectorClock(cfg_.num_procs) : e.vc;
+    recs.push_back(std::move(r));
+  }
+  net::Message resp = encode_batch(recs, cfg_.num_procs, /*omit_timestamps=*/false);
+  resp.kind = kFetchBulkResp;
+  resp.src = self_;
+  resp.dst = f.requester;
+  resp.b = token;
+  fabric_.send(std::move(resp));
+}
+
+void Node::on_fetch_bulk_resp(const net::Message& m) {
+  std::vector<BatchRecord> recs =
+      decode_batch(m, cfg_.num_procs, /*omit_timestamps=*/false);
+  {
+    std::scoped_lock lk(mu_);
+    const auto it = fills_.find(m.b);
+    if (it == fills_.end() || it->second.done) return;  // duplicate after a re-issue
+    for (const BatchRecord& r : recs) {
+      const VarId x = r.var;
+      if (r.writer != kNoProc) {
+        if (r.flags & kFlagCounterBase) {
+          // Counter baseline: an absolute value with no local applications
+          // to double-count against — install verbatim.  delta_touched pins
+          // the replica, so it is never evicted and refetched (a refetch
+          // would double-count the deltas applied since).
+          mem_.install(x, r.value, WriteId{r.writer, r.seq}, r.vc,
+                       /*delta_touched=*/true, r.epoch);
+          mem_.set_applied_writes(x, r.baseline);
+        } else {
+          // LWW arbitration against whatever this replica already holds (a
+          // local write can race the fill): either apply order converges on
+          // the same winner (store.cpp).
+          mem_.apply(x, r.value, kFlagWrite, WriteId{r.writer, r.seq}, r.vc, 0,
+                     /*force=*/false, /*weight=*/0, r.epoch);
+          mem_.set_applied_writes(
+              x, std::max(mem_.entry(x).applied_writes, r.baseline));
+        }
+      }
+      // Replay updates that raced the fill (on_batch held them): the
+      // snapshot clock decides, per writer, which of them the home had
+      // already folded into the snapshot and which are genuinely newer.
+      if (const auto held = fill_backlog_.find(x); held != fill_backlog_.end()) {
+        for (const BatchRecord& q : held->second) {
+          if (q.vc[q.writer] <= r.vc[q.writer]) continue;  // in the snapshot
+          mem_.apply(x, q.value, q.flags, WriteId{q.writer, q.seq}, q.vc, 0,
+                     /*force=*/false, q.weight, q.epoch);
+        }
+        fill_backlog_.erase(held);
+      }
+      cached_[x] = true;
+      fill_inflight_[x] = false;
+      sharer_mask_[x] |= std::uint64_t{1} << self_;
+      last_use_[x] = ++use_tick_;
+      stats_.dir_fill_records.add();
+    }
+    // The faulting variable (first in the frame) must survive the budget
+    // sweep below: give it the freshest tick.
+    last_use_[it->second.vars.front()] = ++use_tick_;
+    it->second.done = true;
+    enforce_budget_locked();
+  }
+  cv_.notify_all();
+}
+
+void Node::enforce_budget_locked() {
+  if (!dir_mode_ || cfg_.directory->replica_budget == 0) return;
+  const std::size_t budget = cfg_.directory->replica_budget;
+  std::vector<std::vector<VarId>> dropped(cfg_.num_procs);
+  bool any = false;
+  for (;;) {
+    std::size_t unpinned = 0;
+    bool found = false;
+    VarId victim = 0;
+    for (VarId x = 0; x < cfg_.num_vars; ++x) {
+      if (!dir_managed(x) || !cached_[x] || replica_pinned(x)) continue;
+      ++unpinned;
+      if (!found || last_use_[x] < last_use_[victim]) {
+        victim = x;
+        found = true;
+      }
+    }
+    // Best effort: pinned replicas (homed variables, counters, in-flight
+    // fills) stay resident even over budget.
+    if (unpinned <= budget || !found) break;
+    mem_.evict(victim);
+    cached_[victim] = false;
+    sharer_mask_[victim] &= ~(std::uint64_t{1} << self_);
+    stats_.dir_evictions.add();
+    dropped[effective_home(victim)].push_back(victim);
+    any = true;
+  }
+  if (!any) return;
+  // Deregister with each home.  No drain fence is needed: a write already
+  // in flight to us lands counted-but-unapplied (the replica is gone), and
+  // a later refill's ack fence folds it into the snapshot baseline.
+  for (ProcId h = 0; h < cfg_.num_procs; ++h) {
+    if (dropped[h].empty()) continue;
+    net::Message unreg;
+    unreg.src = self_;
+    unreg.dst = h;
+    unreg.kind = kDirUnregister;
+    unreg.a = dropped[h].size();
+    unreg.payload.assign(dropped[h].begin(), dropped[h].end());
+    fabric_.send(std::move(unreg));
+  }
+}
+
+void Node::on_dir_unregister(const net::Message& m) {
+  const auto evictor = static_cast<ProcId>(m.src);
+  std::scoped_lock lk(mu_);
+  MC_CHECK(m.payload.size() >= m.a);
+  std::vector<VarId> vars;
+  for (std::uint64_t k = 0; k < m.a; ++k) {
+    const auto x = static_cast<VarId>(m.payload[k]);
+    // Re-homed since the evictor sent this: the stale bit errs in the
+    // harmless direction (extra update traffic, never a missed update).
+    if (effective_home(x) != self_) continue;
+    if ((sharer_mask_[x] >> evictor & 1) != 0) {
+      sharer_mask_[x] &= ~(std::uint64_t{1} << evictor);
+      stats_.dir_sharer_dels.add();
+      vars.push_back(x);
+    }
+  }
+  if (vars.empty()) return;
+  net::Message del;
+  del.src = self_;
+  del.kind = kDirSharerDel;
+  del.a = vars.size();
+  del.c = evictor;
+  del.payload.assign(vars.begin(), vars.end());
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    if (p == self_ || p == evictor) continue;
+    if (elastic_ && !view_.is_alive(p)) continue;
+    net::Message copy = del;
+    copy.dst = p;
+    fabric_.send(std::move(copy));
+  }
+}
+
+void Node::on_dir_sharer_del(const net::Message& m) {
+  std::scoped_lock lk(mu_);
+  MC_CHECK(m.payload.size() >= m.a);
+  for (std::uint64_t k = 0; k < m.a; ++k) {
+    sharer_mask_[static_cast<VarId>(m.payload[k])] &=
+        ~(std::uint64_t{1} << m.c);
+  }
+}
+
+void Node::on_dir_sharer_sync(const net::Message& m) {
+  std::scoped_lock lk(mu_);
+  MC_CHECK(m.payload.size() >= 2 * m.a);
+  // Authoritative rows for the sender's homed variables.  Row changes flow
+  // only from a variable's home, on the same FIFO channel as this sync, so
+  // later kDirSharerAdd/Del multicasts cannot be clobbered by it.
+  for (std::uint64_t k = 0; k < m.a; ++k) {
+    sharer_mask_[static_cast<VarId>(m.payload[2 * k])] = m.payload[2 * k + 1];
+  }
+  dir_sync_from_ |= std::uint64_t{1} << static_cast<ProcId>(m.src);
+  cv_.notify_all();
+}
+
+void Node::ping_lagging_locked(const VectorClock& floor, VectorClock& pinged) {
+  for (ProcId s = 0; s < cfg_.num_procs; ++s) {
+    if (s == self_ || (elastic_ && !view_.is_alive(s))) continue;
+    if (resolved_[s] >= floor[s] || pinged[s] >= floor[s]) continue;
+    pinged.set(s, floor[s]);
+    stats_.dir_frontier_pings.add();
+    net::Message probe;
+    probe.src = self_;
+    probe.dst = s;
+    probe.kind = kFrontierReq;
+    fabric_.send(std::move(probe));
+  }
 }
 
 // ----------------------------------------------------------------------
@@ -649,14 +1322,23 @@ void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq
     // Batched propagation: stage per destination; thresholds or the
     // flusher (or the next synchronization action) ship the batches.
     const auto subs = cfg_.update_subscribers.find(x);
-    if (subs != cfg_.update_subscribers.end()) {
+    if (dir_managed(x)) {
+      // Directory multicast: registered sharers plus the home, nobody else.
+      std::uint64_t dests =
+          sharer_mask_[x] | (std::uint64_t{1} << effective_home(x));
+      dests &= ~(std::uint64_t{1} << self_);
+      if (elastic_) dests &= view_.alive_mask;
+      for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+        if ((dests >> p & 1) != 0) stage_update(p, x, value, flags, seq, stamp, epoch);
+      }
+    } else if (subs != cfg_.update_subscribers.end()) {
       for (const ProcId p : subs->second) {
-        if (p != self_) stage_update(p, x, value, flags, seq, stamp);
+        if (p != self_) stage_update(p, x, value, flags, seq, stamp, epoch);
       }
     } else {
       for (ProcId p = 0; p < cfg_.num_procs; ++p) {
         if (p == self_ || (elastic_ && !view_.is_alive(p))) continue;
-        stage_update(p, x, value, flags, seq, stamp);
+        stage_update(p, x, value, flags, seq, stamp, epoch);
       }
     }
     for (ProcId p = 0; p < cfg_.num_procs; ++p) {
@@ -718,20 +1400,26 @@ std::size_t Node::approx_batch_bytes(std::size_t records) const {
 }
 
 void Node::stage_update(ProcId dest, VarId x, Value value, std::uint64_t flags, SeqNo seq,
-                        const VectorClock& stamp) {
+                        const VectorClock& stamp, std::uint64_t epoch, ProcId writer) {
   // Count the staged original immediately: the record WILL travel (every
   // synchronization action flushes first), and Section 6's count
   // synchronization compares this against the receiver's weighted index.
   sent_to_.set(dest, sent_to_[dest] + 1);
+  // Elastic batches carry the write's view epoch on the wire (the LWW
+  // tiebreak in store.cpp is epoch-first); re-homing offers additionally
+  // carry the original writer's id.
+  if (elastic_ && epoch != 0 && !cfg_.omit_timestamps) flags |= kFlagHasEpoch;
+  if (writer != kNoProc) flags |= kFlagHasWriter;
   auto& buf = staged_[dest];
   if (cfg_.batching->coalesce) {
     // Coalesce with the *latest* staged record for this variable only —
     // merging past an intervening record of the other kind would reorder
-    // this process's per-variable update sequence.
+    // this process's per-variable update sequence.  Option bits must match
+    // too: records differing in epoch or writer never merge.
     for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
       if (it->var != x) continue;
-      if (it->flags != flags) break;
-      switch (flags) {
+      if (it->flags != flags || it->epoch != epoch || it->writer != writer) break;
+      switch (flags & kFlagOpMask) {
         case kFlagWrite:
           it->value = value;  // last writer wins
           break;
@@ -756,6 +1444,8 @@ void Node::stage_update(ProcId dest, VarId x, Value value, std::uint64_t flags, 
   r.value = value;
   r.flags = flags;
   r.seq = seq;
+  r.epoch = epoch;
+  r.writer = writer;
   if (!cfg_.omit_timestamps) r.vc = stamp;
   buf.push_back(std::move(r));
   if (staged_total_++ == 0) {
@@ -772,6 +1462,8 @@ void Node::flush_staged_locked() {
     net::Message m = encode_batch(buf, cfg_.num_procs, cfg_.omit_timestamps);
     m.src = self_;
     m.dst = p;
+    // Directory mode: stamp the resolved frontier (wire.h kBatch).
+    if (dir_mode_) m.b = write_counter_;
     stats_.batch_msgs.add();
     stats_.batch_updates.add(buf.size());
     stats_.batch_updates_per_msg.record_ns(buf.size());
@@ -825,10 +1517,25 @@ Value Node::read(VarId x, ReadMode mode) {
   const VectorClock& applied = count_mode ? received_from_ : applied_;
   const VectorClock& floor = count_mode ? count_floor_
                              : mode == ReadMode::kPram ? pram_floor_ : causal_floor_;
-  const bool was_ready = floors_met(applied, floor);
+  // Directory mode blocks on two gates: the count floor against the
+  // weighted receive index (everything peers addressed to us has landed)
+  // and the read-label floor against the resolved frontier — applied_ alone
+  // cannot witness writes that travel to other sharers only; the fill ack
+  // fence covers those once resolved_ catches up (see node.h).
+  VectorClock pinged;
+  if (dir_mode_) pinged = VectorClock(cfg_.num_procs);
+  auto gate = [&] {
+    if (!dir_mode_) return floors_met(applied, floor);
+    if (!floors_met(received_from_, count_floor_)) return false;
+    if (floors_met(resolved_, floor)) return true;
+    // A lagging component may never send to us again; probe it (once per
+    // floor level) so its flushed frontier unblocks the wait.
+    ping_lagging_locked(floor, pinged);
+    return false;
+  };
+  const bool was_ready = gate();
   if (!was_ready) {
-    wait_or_die(lk, "read blocked past the liveness deadline",
-                [&] { return floors_met(applied, floor); });
+    wait_or_die(lk, "read blocked past the liveness deadline", gate);
     const auto waited = blocked.elapsed();
     stats_.read_blocked.record(waited);
     obs::trace_complete_ns("read.block", "dsm",
@@ -841,6 +1548,13 @@ Value Node::read(VarId x, ReadMode mode) {
     const net::Endpoint owner = it->second;
     invalid_.erase(it);
     fetch_var(lk, x, owner);
+  }
+
+  // Directory miss: demand-page the replica in (loop: a concurrent fill's
+  // budget sweep can evict it again before this thread wakes).
+  if (dir_managed(x)) {
+    while (!cached_[x]) request_fill(lk, x);
+    last_use_[x] = ++use_tick_;
   }
 
   const VarEntry& e = mem_.entry(x);
@@ -906,6 +1620,13 @@ void Node::write(VarId x, Value v) {
     } else {
       dep_vc_.tick(self_);
       applied_.set(self_, dep_vc_[self_]);
+      if (dir_mode_) {
+        // Own writes are self-resolved by definition.  No write-allocate:
+        // writing an uncached variable applies locally and ships to the
+        // sharers and home; a later fill LWW-arbitrates against our copy.
+        resolved_.set(self_, dep_vc_[self_]);
+        if (cached_[x] && dir_managed(x)) last_use_[x] = ++use_tick_;
+      }
       mem_.apply(x, v, kFlagWrite, id, dep_vc_, 0, /*force=*/false, 1, ep);
       if (staleness_ != nullptr) {
         staleness_->on_write(x, cfg_.omit_timestamps ? VectorClock{} : dep_vc_);
@@ -925,11 +1646,21 @@ void Node::write(VarId x, Value v) {
 void Node::do_delta(VarId x, Value amount, std::uint64_t flags) {
   stats_.deltas.add();
   {
-    std::scoped_lock lk(mu_);
+    std::unique_lock lk(mu_);
+    // Directory mode write-allocates DELTAS (unlike plain writes): a delta
+    // applied to an uncached entry would be lost when a later fill installs
+    // the home's absolute value over it.  Fill first; the installed entry
+    // is delta_touched afterwards (counter pin), so it is never evicted and
+    // the race cannot recur.
+    if (dir_managed(x)) {
+      while (!cached_[x]) request_fill(lk, x);
+      last_use_[x] = ++use_tick_;
+    }
     const SeqNo seq = ++write_counter_;
     const WriteId id{self_, seq};
     dep_vc_.tick(self_);
     applied_.set(self_, dep_vc_[self_]);
+    if (dir_mode_) resolved_.set(self_, dep_vc_[self_]);
     mem_.apply(x, amount, flags, id, dep_vc_);
     if (staleness_ != nullptr) {
       staleness_->on_write(x, cfg_.omit_timestamps ? VectorClock{} : dep_vc_);
@@ -979,15 +1710,29 @@ void Node::await(VarId x, Value v, ReadMode mode) {
   // be awaiting one of our staged values (liveness), and the |-> await
   // edge's visibility obligations assume our prior writes travel first.
   if (cfg_.batching.has_value()) flush_staged_locked();
+  // Directory miss: register as a sharer first, so the write that resolves
+  // this await is multicast to us at all.
+  if (dir_managed(x)) {
+    while (!cached_[x]) request_fill(lk, x);
+    last_use_[x] = ++use_tick_;
+  }
   // Busy-wait loop of reads in the selected view (Section 6), realized as a
   // condition wait re-evaluated on every applied update.
   const bool count_mode = cfg_.omit_timestamps;
   const VectorClock& applied = count_mode ? received_from_ : applied_;
   const VectorClock& floor = count_mode ? count_floor_
                              : mode == ReadMode::kPram ? pram_floor_ : causal_floor_;
-  wait_or_die(lk, "await blocked past the liveness deadline", [&] {
-    return floors_met(applied, floor) && mem_.entry(x).value == v;
-  });
+  VectorClock pinged;
+  if (dir_mode_) pinged = VectorClock(cfg_.num_procs);
+  auto gate = [&] {
+    if (!dir_mode_) return floors_met(applied, floor);
+    if (!floors_met(received_from_, count_floor_)) return false;
+    if (floors_met(resolved_, floor)) return true;
+    ping_lagging_locked(floor, pinged);  // see read()
+    return false;
+  };
+  wait_or_die(lk, "await blocked past the liveness deadline",
+              [&] { return gate() && mem_.entry(x).value == v; });
   const auto waited = blocked.elapsed();
   stats_.await_blocked.record(waited);
   stats_.await_spin_ns.record(waited);
@@ -1030,8 +1775,17 @@ void Node::barrier(BarrierId b) {
     if (cfg_.batching.has_value()) flush_staged_locked();
     // Count mode ships the paper's per-receiver sent-update counts; the
     // manager transposes them.  VC mode ships the dependency clock.
-    const VectorClock& snapshot = cfg_.omit_timestamps ? sent_to_ : dep_vc_;
-    arrive.payload.assign(snapshot.components().begin(), snapshot.components().end());
+    // Directory mode ships both: counts gate reception, the merged clock
+    // keeps later-phase writes dominant in the LWW order (see barrier
+    // resume below).
+    if (dir_mode_) {
+      arrive.payload.assign(sent_to_.components().begin(), sent_to_.components().end());
+      arrive.payload.insert(arrive.payload.end(), dep_vc_.components().begin(),
+                            dep_vc_.components().end());
+    } else {
+      const VectorClock& snapshot = cfg_.omit_timestamps ? sent_to_ : dep_vc_;
+      arrive.payload.assign(snapshot.components().begin(), snapshot.components().end());
+    }
   }
   fabric_.send(std::move(arrive));
   // The traced span covers only the post-arrival wait: the arrival send must
@@ -1053,7 +1807,18 @@ void Node::barrier(BarrierId b) {
                            {"barrier", b}, {"proc", self_});
   }
 
-  if (cfg_.omit_timestamps) {
+  if (dir_mode_) {
+    // Directory mode: raise the count floor (all pre-barrier updates
+    // addressed to us must land) and merge the clock into the dependency
+    // clock ONLY — not the read floors.  Raising pram/causal floors here
+    // would demand the resolved frontier of every peer on every
+    // post-barrier read (a ping storm); reception counts plus the fill ack
+    // fence already give barrier-ordered visibility, and the dep_vc merge
+    // keeps later-phase writes dominant in the LWW order (bitwise identity
+    // with full replication for race-free phased programs).
+    count_floor_.merge(barrier_release_.at(key).counts);
+    dep_vc_.merge(barrier_release_.at(key).vc);
+  } else if (cfg_.omit_timestamps) {
     count_floor_.merge(barrier_release_.at(key).vc);
   } else {
     absorb_all(barrier_release_.at(key).vc);
@@ -1104,7 +1869,12 @@ void Node::do_lock(LockId l, LockRequestKind kind) {
   }
 
   // |-> lock obligations: the previous episode's context becomes visible.
-  if (cfg_.omit_timestamps) {
+  if (dir_mode_) {
+    // Directory mode: counts gate reception, the release clock merges into
+    // the dependency clock only — same reasoning as the barrier resume.
+    count_floor_.merge(info.counts);
+    dep_vc_.merge(info.release_vc);
+  } else if (cfg_.omit_timestamps) {
     // Count mode: the grant carries, per sender, how many updates that
     // sender had shipped to *us* when it last unlocked (Section 6's lazy
     // implementation: "waits for the required number of messages").
@@ -1199,8 +1969,15 @@ void Node::do_unlock(LockId l, LockRequestKind kind) {
   unlock.b = static_cast<std::uint64_t>(kind);
   {
     std::scoped_lock lk(mu_);
-    const VectorClock& snapshot = cfg_.omit_timestamps ? sent_to_ : dep_vc_;
-    unlock.payload.assign(snapshot.components().begin(), snapshot.components().end());
+    if (dir_mode_) {
+      // Counts first, clock second (see kUnlock in wire.h).
+      unlock.payload.assign(sent_to_.components().begin(), sent_to_.components().end());
+      unlock.payload.insert(unlock.payload.end(), dep_vc_.components().begin(),
+                            dep_vc_.components().end());
+    } else {
+      const VectorClock& snapshot = cfg_.omit_timestamps ? sent_to_ : dep_vc_;
+      unlock.payload.assign(snapshot.components().begin(), snapshot.components().end());
+    }
   }
   unlock.d = digest.size();
   for (const VarId x : digest) unlock.payload.push_back(x);

@@ -82,6 +82,15 @@ struct NodeStats {
   /// re-seed / snapshot records this node sent as a donor and applied as a
   /// receiver during view changes.
   Counter reseeds_out, reseeds_in;
+  /// Directory-based partial replication (Config::directory;
+  /// docs/METRICS.md `directory.*`): bulk fills requested, records they
+  /// installed, replicas evicted under the budget, frontier probes sent
+  /// from blocked reads, sharer registrations/deregistrations seen at this
+  /// node's home role, and departed-sharer bits purged at view commits.
+  Counter dir_fills, dir_fill_records, dir_evictions, dir_frontier_pings,
+      dir_sharer_adds, dir_sharer_dels, dir_sharers_purged;
+  /// Time a read/delta spent blocked on a demand-page fill.
+  LatencyHistogram dir_fill_wait_ns;
 
   [[nodiscard]] std::uint64_t total_blocked_ns() const {
     return read_blocked.sum_ns() + await_blocked.sum_ns() + lock_blocked.sum_ns() +
@@ -212,6 +221,9 @@ class Node {
     std::uint64_t episode;
     std::uint64_t prev_holders_mask;
     VectorClock release_vc;
+    /// Directory mode: per-sender unlock sent-counts (the count-mode grant
+    /// payload), shipped alongside the release clock.
+    VectorClock counts;
     std::vector<std::pair<VarId, net::Endpoint>> invalid;
     /// Flow id of the kLockGrant message; the blocked application thread
     /// re-emits it so the grant arrow binds to the acquisition span.
@@ -227,7 +239,28 @@ class Node {
 
   struct BarrierRelease {
     VectorClock vc;
+    /// Directory mode: transposed per-sender sent-counts (see GrantInfo).
+    VectorClock counts;
     std::uint64_t trace_id = 0;  // kBarrierRelease flow id (see GrantInfo)
+  };
+
+  /// Requester side of a directory fill (docs/DIRECTORY.md): the variables
+  /// requested and whether the bulk frame has installed.  Kept until the
+  /// blocked thread wakes so a view commit can re-issue the request to a
+  /// re-homed variable's new home.
+  struct PendingFill {
+    std::vector<VarId> vars;
+    bool done = false;
+  };
+
+  /// Home side of a directory fill: the snapshot is deferred until every
+  /// third party has flushed its staging buffers and acknowledged the
+  /// sharer registration (the ack fence that makes a freshly paged-in
+  /// replica satisfy the requester's causal floor).
+  struct ServingFill {
+    ProcId requester = kNoProc;
+    std::vector<VarId> vars;
+    std::uint64_t need_acks = 0;  // procs whose kDirAck is still pending
   };
 
   // Delivery-thread handlers.
@@ -243,6 +276,48 @@ class Node {
   void on_view_state(const net::Message& m);
   void on_view_barrier_sync(const net::Message& m);
   void on_view_hello(const net::Message& m);
+
+  // ----- directory-based partial replication (Config::directory) -----
+
+  /// Variable participates in directory management (demand-association
+  /// variables keep their migratory protocol and full-broadcast updates).
+  [[nodiscard]] bool dir_managed(VarId x) const;
+  /// Static home: modular striping of the variable space over processes.
+  [[nodiscard]] ProcId static_home(VarId x) const;
+  /// First process in ring order from the static home that is present in
+  /// `mask` (elastic re-homing rule, evaluated under an arbitrary view).
+  [[nodiscard]] ProcId home_under(std::uint64_t mask, VarId x) const;
+  /// home_under the current view's alive mask (the static home outside
+  /// elastic mode).  Expects mu_.
+  [[nodiscard]] ProcId effective_home(VarId x) const;
+  /// Pinned replicas are never evicted: the home's own copy (the last-copy
+  /// guarantee), counters (a delta-merged value is a sum of local
+  /// applications, not refetchable), and fills still in flight.  Expects mu_.
+  [[nodiscard]] bool replica_pinned(VarId x) const;
+  /// Demand-page x (plus a same-home prefetch frame) from its home and
+  /// block until the bulk fill installs.  Expects lk held; releases it
+  /// while blocked.
+  void request_fill(std::unique_lock<std::mutex>& lk, VarId x);
+  /// Home side: snapshot the fill's variables into one kFetchBulkResp.
+  /// Expects mu_.
+  void send_fill_response_locked(std::uint64_t token, const ServingFill& f);
+  /// Evict least-recently-used unpinned replicas until the budget holds,
+  /// deregistering each from its home.  Expects mu_.
+  void enforce_budget_locked();
+  /// Send one kFrontierReq to every alive component whose resolved frontier
+  /// lags `floor` and has not been probed at this floor yet (`pinged`
+  /// remembers probed levels across predicate re-evaluations).  Expects mu_.
+  void ping_lagging_locked(const VectorClock& floor, VectorClock& pinged);
+
+  // Directory handlers (delivery thread; replayed from on_view_commit for
+  // messages deferred until this node's view epoch caught up).
+  void on_fetch_bulk_req(const net::Message& m);
+  void on_fetch_bulk_resp(const net::Message& m);
+  void on_dir_sharer_add(const net::Message& m);
+  void on_dir_ack(const net::Message& m);
+  void on_dir_unregister(const net::Message& m);
+  void on_dir_sharer_del(const net::Message& m);
+  void on_dir_sharer_sync(const net::Message& m);
 
   /// Elastic fence: floor dominance with the dead components waived — a
   /// departed process's updates past our applied frontier will never
@@ -297,9 +372,13 @@ class Node {
   /// Stage one update for `dest`, coalescing into an already-staged record
   /// when permitted.  Bumps sent_to_ immediately (the staged record WILL
   /// travel — flush-before-sync makes the count truthful before anyone
-  /// synchronizes on it).  Requires mu_.
+  /// synchronizes on it).  `epoch` is the writer's view epoch (travels with
+  /// the record when nonzero); `writer` overrides the record's write id
+  /// owner for directory re-homing offers, where the new home must apply
+  /// the original writer's id, not the carrier's.  Requires mu_.
   void stage_update(ProcId dest, VarId x, Value value, std::uint64_t flags, SeqNo seq,
-                    const VectorClock& stamp);
+                    const VectorClock& stamp, std::uint64_t epoch = 0,
+                    ProcId writer = kNoProc);
   /// Ship every non-empty staging buffer as one kBatch per destination.
   /// All destinations flush together: uniform flush boundaries keep batch
   /// dependency edges pointing at earlier-flushed batches only, which is
@@ -365,6 +444,51 @@ class Node {
   std::uint64_t fetch_token_counter_ = 0;
   std::map<std::uint64_t, FetchResult> fetch_results_;
   std::map<VarId, net::Endpoint> invalid_;
+
+  // Directory state (Config::directory; guarded by mu_).
+  const bool dir_mode_;
+  /// Full directory mirror: bit p of sharer_mask_[x] set means process p
+  /// holds a demand-paged replica of x.  Every change to x's row flows
+  /// through x's home (kDirSharerAdd / kDirSharerDel multicasts on the
+  /// home's FIFO channels), so all mirrors see one order; the home's own
+  /// rows for its homed variables are the authority.
+  std::vector<std::uint64_t> sharer_mask_;
+  /// Replica presence: homed variables are pinned from the start, others
+  /// demand-page in via request_fill and may be evicted back out.
+  std::vector<bool> cached_;
+  std::vector<std::uint64_t> last_use_;  // LRU ticks ordering eviction
+  std::uint64_t use_tick_ = 0;
+  /// Resolved frontier: resolved_[s] >= k promises that every one of s's
+  /// first k writes has either been applied here or was never addressed to
+  /// a variable this node caches (in which case the fill ack fence covers
+  /// it).  Advanced by kBatch flush stamps, kFrontierResp, and kViewHello —
+  /// never by fill installs, whose sender's direct channel may still carry
+  /// in-flight writes.  Directory-mode reads gate their vector-clock floors
+  /// on this instead of applied_.
+  VectorClock resolved_;
+  std::uint64_t fill_token_counter_ = 0;
+  std::map<std::uint64_t, PendingFill> fills_;  // requester side, by token
+  std::vector<bool> fill_inflight_;             // per variable
+  /// Updates that arrived for a variable whose fill is still in flight:
+  /// the ack fence registered us before the snapshot shipped, so writers
+  /// already multicast to us, but the snapshot may or may not cover each
+  /// such write.  They are replayed after the install, deduplicated by the
+  /// snapshot clock (on_fetch_bulk_resp).
+  std::map<VarId, std::vector<BatchRecord>> fill_backlog_;
+  /// Home side, keyed by (requester, requester-local token).
+  std::map<std::pair<ProcId, std::uint64_t>, ServingFill> fills_serving_;
+  /// Reserved token for the pre-leave handoff probe (fill tokens count up
+  /// from 1, so the sentinel can never collide).
+  static constexpr std::uint64_t kDirHandoffToken = ~std::uint64_t{0};
+  /// New homes whose flush-and-ack probe is still outstanding during a
+  /// graceful leave's sole-copy handoff (leave() / on_dir_ack).
+  std::uint64_t dir_handoff_wait_ = 0;
+  /// Joiner handshake: alive peers whose kDirSharerSync rows have landed.
+  std::uint64_t dir_sync_from_ = 0;
+  /// Directory messages stamped with a view epoch ahead of ours; replayed
+  /// after each commit (epoch agreement makes the ack fence sound across
+  /// reconfigurations — see on_dir_sharer_add).
+  std::vector<net::Message> dir_deferred_;
 
   // Elastic membership state (Config::elastic; guarded by mu_).
   const bool elastic_;

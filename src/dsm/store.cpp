@@ -30,7 +30,8 @@ void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
   // `force` exempts demand-policy migratory writes, whose clocks are
   // deliberately not ticked — those are write-lock-ordered, so no
   // concurrent write to the variable can exist.
-  if (!force && flags == kFlagWrite && !vc.empty() && !e.vc.empty()) {
+  const std::uint64_t op = flags & kFlagOpMask;
+  if (!force && op == kFlagWrite && !vc.empty() && !e.vc.empty()) {
     switch (vc.compare(e.vc)) {
       case ClockOrder::kBefore:
       case ClockOrder::kEqual:
@@ -58,7 +59,7 @@ void Store::apply(VarId x, Value value, std::uint64_t flags, WriteId id,
   // Each applied update records its own receive index, paired with
   // e.last's sender (the floor machinery raises per-sender counts).
   e.arrival = arrival;
-  switch (flags) {
+  switch (op) {
     case kFlagWrite:
       e.value = value;
       e.vc = vc;

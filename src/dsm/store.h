@@ -89,6 +89,13 @@ class Store {
     entries_[x].applied_writes = n;
   }
 
+  /// Drop the replica (directory-mode eviction): the entry resets to its
+  /// initial state and a later read must demand-page a fresh copy in.
+  void evict(VarId x) {
+    MC_CHECK(x < entries_.size());
+    entries_[x] = VarEntry{};
+  }
+
  private:
   std::size_t num_procs_;
   std::vector<VarEntry> entries_;

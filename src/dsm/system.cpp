@@ -12,6 +12,19 @@ MixedSystem::MixedSystem(Config cfg)
     : cfg_(std::move(cfg)),
       fabric_(cfg_.num_procs + 2, cfg_.latency, cfg_.seed) {
   MC_CHECK(cfg_.num_procs >= 1);
+  if (cfg_.directory.has_value()) {
+    MC_CHECK_MSG(cfg_.batching.has_value(),
+                 "the directory protocol rides the batch codec "
+                 "(staging buffers, fill frames): Config::batching required");
+    MC_CHECK_MSG(!cfg_.omit_timestamps,
+                 "directory mode needs vector timestamps: fills install "
+                 "LWW winners and deltas merge clocks");
+    MC_CHECK_MSG(cfg_.update_subscribers.empty(),
+                 "directory mode derives each update's destination set from "
+                 "the sharer directory; static subscriber lists conflict");
+    MC_CHECK_MSG(cfg_.num_procs <= 64,
+                 "directory sharer sets are encoded as 64-bit masks");
+  }
   MC_CHECK_MSG(!(cfg_.omit_timestamps && !cfg_.demand_association.empty()),
                "timestamp elision assumes all writes are broadcast; "
                "demand-driven locks are incompatible");
@@ -55,11 +68,12 @@ MixedSystem::MixedSystem(Config cfg)
                              : full_mask(cfg_.num_procs))
                    : std::nullopt;
   lock_manager_ = std::make_unique<LockManager>(fabric_, lock_ep, cfg_.num_procs,
-                                                cfg_.omit_timestamps, initial_alive);
+                                                cfg_.omit_timestamps, initial_alive,
+                                                cfg_.directory.has_value());
   barrier_manager_ =
       std::make_unique<BarrierManager>(fabric_, barrier_ep, cfg_.num_procs,
                                        cfg_.barrier_members, cfg_.omit_timestamps,
-                                       initial_alive);
+                                       initial_alive, cfg_.directory.has_value());
   if (cfg_.elastic) {
     // Crash detection: the reliability layer's give-up verdict becomes a
     // fault report to the view manager (a suspect manager endpoint is not
@@ -284,6 +298,30 @@ MetricsSnapshot MixedSystem::metrics() const {
       snap.add_histogram("read.staleness_vc.pram", staleness_vc_pram);
       snap.add_histogram("read.staleness_vc.causal", staleness_vc_causal);
     }
+  }
+  if (cfg_.directory.has_value()) {
+    std::uint64_t fills = 0, fill_records = 0, evictions = 0, pings = 0;
+    std::uint64_t adds = 0, dels = 0, purged = 0;
+    LatencyHistogram fill_wait_ns;
+    for (const auto& n : nodes_) {
+      const NodeStats& s = n->stats();
+      fills += s.dir_fills.get();
+      fill_records += s.dir_fill_records.get();
+      evictions += s.dir_evictions.get();
+      pings += s.dir_frontier_pings.get();
+      adds += s.dir_sharer_adds.get();
+      dels += s.dir_sharer_dels.get();
+      purged += s.dir_sharers_purged.get();
+      fill_wait_ns.merge(s.dir_fill_wait_ns);
+    }
+    snap.values["directory.fills"] = fills;
+    snap.values["directory.fill_records"] = fill_records;
+    snap.values["directory.evictions"] = evictions;
+    snap.values["directory.frontier_pings"] = pings;
+    snap.values["directory.sharer_adds"] = adds;
+    snap.values["directory.sharer_dels"] = dels;
+    snap.values["directory.sharers_purged"] = purged;
+    snap.add_histogram("directory.fill_wait_ns", fill_wait_ns);
   }
   if (cfg_.elastic) {
     std::uint64_t reseeds_out = 0;

@@ -39,16 +39,20 @@ enum MsgKind : std::uint16_t {
   kLockReq = 6,
   /// a=lock, b=episode, c=releasing endpoint (kNoEndpoint if none yet),
   /// d=digest length k; payload = [release vector clock (num_procs words),
-  /// k invalid-variable descriptors (var, owner) pairs].
+  /// k invalid-variable descriptors (var, owner) pairs].  Directory mode
+  /// prepends num_procs per-sender unlock sent-counts before the clock.
   kLockGrant = 7,
   /// a=lock, b=request kind, d=digest length k; payload = [holder's vector
-  /// clock, k written-variable ids].
+  /// clock, k written-variable ids].  Directory mode prepends the holder's
+  /// num_procs sent-to counts before the clock.
   kUnlock = 8,
 
-  /// a=barrier object, b=epoch; payload = arriving process's vector clock.
+  /// a=barrier object, b=epoch; payload = arriving process's vector clock
+  /// (directory mode: sent-to counts first, then the dependency clock).
   kBarrierArrive = 9,
   /// a=barrier object, b=epoch; payload = merged vector clock of all
-  /// arrivals.
+  /// arrivals (directory mode: transposed per-sender counts first, then
+  /// the merged clock).
   kBarrierRelease = 10,
 
   /// Framed batch of coalesced memory updates (Config::batching).
@@ -57,7 +61,8 @@ enum MsgKind : std::uint16_t {
   /// against the base clock — exact layout in dsm/batch.h.  A receiver
   /// applies the whole batch atomically and tolerates per-sender sequence
   /// gaps (coalescing collapses superseded writes), unlike kUpdate's
-  /// strict +1 FIFO check.
+  /// strict +1 FIFO check.  Directory mode stamps b = the sender's write
+  /// counter at flush time — the receiver's resolved frontier (node.h).
   kBatch = 11,
 
   // --- elastic membership (dsm/view.h, docs/FAULTS.md) -------------------
@@ -99,6 +104,49 @@ enum MsgKind : std::uint16_t {
   /// joiner to the sender's broadcast set, so the joiner can initialise its
   /// per-sender FIFO expectation and applied floor for that component.
   kViewHello = 20,
+
+  // --- directory-based partial replication (docs/DIRECTORY.md) -----------
+  // Every variable has a *home* node; updates multicast only to registered
+  // sharers plus the home, and replicas demand-page in on first read.
+
+  /// Bulk fill request: requester -> home.  a=var count N, b=fill token
+  /// (requester-local), c=requester's view epoch (0 outside elastic mode);
+  /// payload = N variable ids (the missing variable plus same-home
+  /// prefetch candidates).  A home behind the stamped epoch defers the
+  /// request until its own commit catches up.
+  kFetchBulkReq = 21,
+  /// Bulk fill reply: home -> requester.  a=record count N, b=fill token;
+  /// payload = batch-codec frame (dsm/batch.h) of N records carrying
+  /// value, writer, seq, delta-encoded vector clock, write epoch, counter
+  /// baseline flag, and staleness baseline per variable.
+  kFetchBulkResp = 22,
+  /// Sharer registration, home-serialized.  a=var count N, b=fill token,
+  /// c=requesting process, d=home's view epoch; payload = N variable ids.
+  /// Multicast home -> every other live node; each receiver updates its
+  /// directory mirror, flushes staged updates, and acks (deferring until
+  /// its own view epoch catches up to d, so re-homing offers staged at
+  /// that commit flush under the fence).
+  kDirSharerAdd = 23,
+  /// Registration ack: node -> home.  a=fill token, b=requesting process
+  /// (tokens are requester-local).  FIFO-ordered behind the acker's
+  /// flushed updates, so the home's fill snapshot includes every write
+  /// that causally precedes the requester's read floor.
+  kDirAck = 24,
+  /// Eviction deregistration: evictor -> home.  a=var count N; payload =
+  /// N variable ids.
+  kDirUnregister = 25,
+  /// Sharer removal fan-out: home -> other live nodes.  a=var count N,
+  /// c=evicting process; payload = N variable ids.
+  kDirSharerDel = 26,
+  /// Write-frontier probe for a blocked read.  No fields: the receiver
+  /// flushes its staged updates and replies with its write counter.
+  kFrontierReq = 27,
+  /// a=responder's write counter, FIFO-ordered behind its flushed updates.
+  kFrontierResp = 28,
+  /// Joiner directory sync: each home -> joiner at view commit.  a=pair
+  /// count N, b=view epoch; payload = N (var, sharer mask) pairs for the
+  /// sender's own homed variables (authoritative).
+  kDirSharerSync = 29,
 };
 
 /// Lock request kinds carried in kLockReq/kUnlock (field b).
@@ -108,6 +156,20 @@ enum UpdateFlags : std::uint64_t {
   kFlagWrite = 0,
   kFlagIntDelta = 1,
   kFlagDoubleDelta = 2,
+
+  /// Mask selecting the operation out of a flags word; the bits above it
+  /// are batch-codec record options (dsm/batch.h) that travel with fill
+  /// frames and elastic batches.
+  kFlagOpMask = 0x7,
+  /// Install the record verbatim as a counter baseline (delta-touched
+  /// entry shipped whole), bypassing the LWW guard.
+  kFlagCounterBase = 0x08,
+  /// Record carries an explicit writer word (defaults to the frame sender).
+  kFlagHasWriter = 0x10,
+  /// Record carries the write's view epoch (elastic LWW tiebreak).
+  kFlagHasEpoch = 0x20,
+  /// Record carries a staleness baseline (issued-write count at the home).
+  kFlagHasBaseline = 0x40,
 };
 
 /// Register human-readable kind names on a fabric (metrics keys).
@@ -132,6 +194,15 @@ inline void register_kind_names(net::Fabric& fabric) {
   fabric.name_kind(kViewState, "view_state");
   fabric.name_kind(kViewBarrierSync, "view_barrier_sync");
   fabric.name_kind(kViewHello, "view_hello");
+  fabric.name_kind(kFetchBulkReq, "fetch_bulk_req");
+  fabric.name_kind(kFetchBulkResp, "fetch_bulk_resp");
+  fabric.name_kind(kDirSharerAdd, "dir_sharer_add");
+  fabric.name_kind(kDirAck, "dir_ack");
+  fabric.name_kind(kDirUnregister, "dir_unregister");
+  fabric.name_kind(kDirSharerDel, "dir_sharer_del");
+  fabric.name_kind(kFrontierReq, "frontier_req");
+  fabric.name_kind(kFrontierResp, "frontier_resp");
+  fabric.name_kind(kDirSharerSync, "dir_sharer_sync");
 }
 
 }  // namespace mc::dsm

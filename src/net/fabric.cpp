@@ -66,7 +66,11 @@ void Fabric::deliver(Message m, Ext* ext) {
   }
   messages_.add();
   bytes_.add(m.wire_bytes());
-  per_kind_[std::min<std::size_t>(m.kind, kKindBuckets - 1)].add();
+  {
+    const std::size_t bucket = std::min<std::size_t>(m.kind, kKindBuckets - 1);
+    per_kind_[bucket].add();
+    per_kind_bytes_[bucket].add(m.wire_bytes());
+  }
 
   FaultInjector::Decision fate;
   if (ext != nullptr) {
@@ -96,7 +100,11 @@ void Fabric::deliver(Message m, Ext* ext) {
     // deliver it with identical stamps (the mailbox keeps arrival order).
     messages_.add();
     bytes_.add(m.wire_bytes());
-    per_kind_[std::min<std::size_t>(m.kind, kKindBuckets - 1)].add();
+    {
+      const std::size_t bucket = std::min<std::size_t>(m.kind, kKindBuckets - 1);
+      per_kind_[bucket].add();
+      per_kind_bytes_[bucket].add(m.wire_bytes());
+    }
     Message copy = m;
     if (!mailboxes_[dst]->push(std::move(copy))) send_after_close_.add();
   }
@@ -180,6 +188,10 @@ std::uint64_t Fabric::messages_of_kind(std::uint16_t kind) const {
   return per_kind_[std::min<std::size_t>(kind, kKindBuckets - 1)].get();
 }
 
+std::uint64_t Fabric::bytes_of_kind(std::uint16_t kind) const {
+  return per_kind_bytes_[std::min<std::size_t>(kind, kKindBuckets - 1)].get();
+}
+
 std::vector<std::size_t> Fabric::in_flight() const {
   std::vector<std::size_t> counts;
   counts.reserve(mailboxes_.size());
@@ -205,7 +217,9 @@ MetricsSnapshot Fabric::metrics() const {
       const std::uint64_t n = per_kind_[k].get();
       if (n == 0) continue;
       const std::string& name = kind_names_[k];
-      snap.values["net.msg." + (name.empty() ? std::to_string(k) : name)] = n;
+      const std::string label = name.empty() ? std::to_string(k) : name;
+      snap.values["net.msg." + label] = n;
+      snap.values["net.bytes." + label] = per_kind_bytes_[k].get();
     }
   }
   {

@@ -93,6 +93,7 @@ class Fabric {
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_.get(); }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_.get(); }
   [[nodiscard]] std::uint64_t messages_of_kind(std::uint16_t kind) const;
+  [[nodiscard]] std::uint64_t bytes_of_kind(std::uint16_t kind) const;
 
   /// Sends rejected because the destination mailbox had already been
   /// closed — shutdown races, visible instead of silent.
@@ -136,6 +137,7 @@ class Fabric {
   Counter bytes_;
   Counter send_after_close_;
   std::array<Counter, kKindBuckets> per_kind_;
+  std::array<Counter, kKindBuckets> per_kind_bytes_;
   LatencyHistogram send_ns_;
 
   mutable std::mutex names_mu_;

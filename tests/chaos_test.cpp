@@ -212,6 +212,92 @@ TEST(Chaos, CholeskyCountersCheckWithBatchingUnderFaults) {
   EXPECT_TRUE(res.ok) << res.message();
 }
 
+TEST(Chaos, DirectorySolverStaysBitwiseCorrectUnderFaults) {
+  // Directory mode rides on kFetchBulkReq/kFetchBulkResp and the sharer
+  // registration frames — all of which the fault plan drops, duplicates,
+  // and delays here.  The reliability layer retransmits and dedups them
+  // like any other protocol message, so demand paging stays exact.
+  const LinearSystem sys = LinearSystem::random(8, 2);
+  SolverOptions opt;
+  opt.workers = 3;
+  opt.faults = chaos_plan(141);
+  opt.reliable = true;
+  opt.batching = dsm::BatchingConfig{};
+  opt.directory = dsm::DirectoryConfig{};
+  const auto ref = jacobi_reference(sys, opt.tol, opt.max_iters);
+  const auto run = solve_barrier_pram(sys, opt);
+  ASSERT_TRUE(run.converged);
+  EXPECT_EQ(run.iterations, ref.iterations);
+  EXPECT_EQ(max_abs_diff(run.x, ref.x), 0.0);
+  EXPECT_GT(run.metrics.get("directory.fills"), 0u);
+  EXPECT_GT(run.metrics.get("net.fault.dropped"), 0u);
+  EXPECT_GT(run.metrics.get("net.retransmits"), 0u);
+}
+
+TEST(Chaos, DirectoryEvictRefetchChurnSurvivesDroppedFillFrames) {
+  // A replica budget of 1 forces an evict → re-fetch cycle on nearly every
+  // remote read, so the run's correctness leans entirely on fill frames
+  // (and their unregister/sharer-del companions) surviving loss and
+  // duplication.  A dropped kFetchBulkResp must be retransmitted, a
+  // duplicated one discarded by the requester's token check.
+  dsm::Config cfg;
+  cfg.num_procs = 3;
+  cfg.num_vars = 9;
+  cfg.faults = chaos_plan(151);
+  cfg.reliable = true;
+  cfg.batching = dsm::BatchingConfig{};
+  dsm::DirectoryConfig dir;
+  dir.replica_budget = 1;
+  dir.fetch_frame = 1;
+  cfg.directory = dir;
+  dsm::MixedSystem sys(cfg);
+  constexpr int kRounds = 8;
+  sys.run([](dsm::Node& n, ProcId p) {
+    for (int round = 0; round < kRounds; ++round) {
+      for (VarId x = 0; x < 3; ++x) {
+        n.write_int(static_cast<VarId>(3 * p + x),
+                    1000 * round + 10 * p + static_cast<Value>(x));
+      }
+      n.barrier();
+      for (ProcId q = 0; q < 3; ++q) {
+        if (q == p) continue;
+        for (VarId x = 0; x < 3; ++x) {
+          EXPECT_EQ(n.read_int(static_cast<VarId>(3 * q + x), ReadMode::kPram),
+                    1000 * round + 10 * q + static_cast<Value>(x));
+        }
+      }
+      n.barrier();
+    }
+  });
+  const MetricsSnapshot snap = sys.metrics();
+  EXPECT_GT(snap.values.at("directory.fills"), 0u);
+  EXPECT_GT(snap.values.at("directory.evictions"), 0u);
+  EXPECT_GT(snap.values.at("net.msg.fetch_bulk_req"), 0u);
+  EXPECT_GT(snap.values.at("net.fault.dropped"), 0u);
+  EXPECT_GT(snap.values.at("net.retransmits"), 0u);
+}
+
+TEST(Chaos, DirectoryCholeskyCountersCheckUnderFaults) {
+  // Delta write-allocation (fill-first) under a lossy fabric: decrements
+  // land on demand-paged accumulators while the frames that page them in
+  // are themselves being dropped and duplicated.
+  const SparseSpd m = SparseSpd::random(12, 2, 0.1, 7);
+  const Symbolic sym = analyze(m);
+  CholeskyOptions opt;
+  opt.procs = 2;
+  opt.faults = chaos_plan(161);
+  opt.reliable = true;
+  opt.record_trace = true;
+  opt.batching = dsm::BatchingConfig{};
+  opt.directory = dsm::DirectoryConfig{};
+  const auto par = cholesky_counters(m, sym, opt);
+  EXPECT_LT(factorization_error(m, par.l), 1e-8);
+  EXPECT_GT(par.metrics.get("directory.fills"), 0u);
+  EXPECT_GT(par.metrics.get("net.fault.dropped"), 0u);
+  const auto res = history::check_mixed_consistency(par.history);
+  EXPECT_TRUE(res.ok) << res.message();
+}
+
 TEST(Chaos, RandomLitmusProgramStillChecksUnderFaults) {
   constexpr std::size_t kVars = 4;
   constexpr std::size_t kLocks = 2;

@@ -1,0 +1,574 @@
+// Directory-based partial replication (Config::directory; docs/DIRECTORY.md).
+//
+// Protocol-level coverage: demand-paging on first read, sharer-multicast
+// instead of broadcast, LRU eviction under the replica budget with
+// deregistration and re-fetch freshness, the owner pin (eviction never
+// drops the last copy), delta write-allocation, read-floor soundness on
+// freshly paged-in replicas across barriers and locks, and the directory.*
+// / net.bytes.* metrics surface.  App-level bitwise equivalence lives in
+// apps_directory_test.cpp; chaos and elastic interplay in chaos_test.cpp
+// and the elastic sections below.
+
+#include <gtest/gtest.h>
+
+#include "gtest_compat.h"
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "dsm/system.h"
+#include "history/checkers.h"
+#include "obs/monitor.h"
+
+namespace mc::dsm {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A staging window only the mandatory flush points can close within test
+/// lifetime (same idiom as dsm_batching_test.cpp): any update that arrives
+/// did so because a synchronization action shipped it.
+BatchingConfig sync_only_batching() {
+  BatchingConfig b;
+  b.max_updates = 1 << 20;
+  b.max_bytes = std::size_t{1} << 30;
+  b.max_delay = 1h;
+  return b;
+}
+
+Config dir_config(std::size_t procs, std::size_t vars, std::size_t budget = 0,
+                  std::size_t fetch_frame = 16) {
+  Config cfg;
+  cfg.num_procs = procs;
+  cfg.num_vars = vars;
+  cfg.batching = sync_only_batching();
+  DirectoryConfig dir;
+  dir.replica_budget = budget;
+  dir.fetch_frame = fetch_frame;
+  cfg.directory = dir;
+  return cfg;
+}
+
+/// The static home striping MixedSystem uses (min(x / ceil(V/P), P-1)).
+ProcId home_of(VarId x, std::size_t vars, std::size_t procs) {
+  const std::size_t per = (vars + procs - 1) / procs;
+  const std::size_t h = x / per;
+  return static_cast<ProcId>(h < procs - 1 ? h : procs - 1);
+}
+
+// ----------------------------------------------------------------------
+// Demand paging
+// ----------------------------------------------------------------------
+
+TEST(Directory, DemandPagesOnFirstRead) {
+  // 8 vars over 2 procs: vars 0..3 homed at p0, 4..7 at p1.
+  MixedSystem sys(dir_config(2, 8));
+  ASSERT_EQ(home_of(5, 8, 2), 1);
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(5, 42);  // homed at p1: ships to the home
+      n.barrier();
+      n.barrier();
+    } else {
+      n.barrier();
+      // Home copy, pinned: no fill needed.
+      EXPECT_EQ(n.read_int(5, ReadMode::kPram), 42);
+      n.barrier();
+    }
+  });
+  const MetricsSnapshot snap = sys.metrics();
+  EXPECT_EQ(snap.values.at("directory.fills"), 0u);
+}
+
+TEST(Directory, NonHomeReaderFillsOnce) {
+  MixedSystem sys(dir_config(2, 8, /*budget=*/0, /*fetch_frame=*/1));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 1) {
+      n.write_int(4, 7);  // p1's own homed var
+      n.barrier();
+      n.barrier();
+    } else {
+      n.barrier();
+      // First read demand-pages the replica in; repeats hit the cache.
+      EXPECT_EQ(n.read_int(4, ReadMode::kPram), 7);
+      EXPECT_EQ(n.read_int(4, ReadMode::kPram), 7);
+      EXPECT_EQ(n.read_int(4, ReadMode::kCausal), 7);
+      n.barrier();
+    }
+  });
+  const MetricsSnapshot snap = sys.metrics();
+  EXPECT_EQ(snap.values.at("directory.fills"), 1u);
+  EXPECT_GE(snap.values.at("directory.sharer_adds"), 1u);
+  // The fill round flowed over the new frame kinds, and per-kind byte
+  // attribution saw them.
+  EXPECT_GE(snap.values.at("net.msg.fetch_bulk_req"), 1u);
+  EXPECT_GE(snap.values.at("net.msg.fetch_bulk_resp"), 1u);
+  EXPECT_GT(snap.values.at("net.bytes.fetch_bulk_req"), 0u);
+  EXPECT_GT(snap.values.at("net.bytes.fetch_bulk_resp"), 0u);
+}
+
+TEST(Directory, FillSeesWriteOrderedBeforeReadFloor) {
+  // The ack-fence argument, as a litmus: p0 stages a huge batch (only
+  // mandatory flushes ship it), writes x, arrives at a barrier.  p1 leaves
+  // the barrier and demand-pages x for its FIRST read — the fill snapshot
+  // plus the resolved-frontier gate must deliver the fresh value even
+  // though p1 never applied p0's broadcast (it was never a sharer).
+  MixedSystem sys(dir_config(3, 9));  // vars 0..2 p0, 3..5 p1, 6..8 p2
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(0, 1234);  // own homed var: no traffic needed
+      n.barrier();
+      n.barrier();
+    } else {
+      n.barrier();
+      EXPECT_EQ(n.read_int(0, ReadMode::kPram), 1234);
+      EXPECT_EQ(n.read_int(0, ReadMode::kCausal), 1234);
+      n.barrier();
+    }
+  });
+}
+
+TEST(Directory, SharersReceiveSubsequentWritesInPlace) {
+  MixedSystem sys(dir_config(2, 8));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(2, 1);
+      n.barrier();  // p1 fills var 2 after this
+      n.barrier();
+      n.write_int(2, 2);  // p1 is now a registered sharer: direct multicast
+      n.barrier();
+      n.barrier();
+    } else {
+      n.barrier();
+      EXPECT_EQ(n.read_int(2, ReadMode::kPram), 1);
+      n.barrier();
+      n.barrier();
+      EXPECT_EQ(n.read_int(2, ReadMode::kPram), 2);
+      n.barrier();
+    }
+  });
+  // The second write travelled as a normal batch to the registered sharer:
+  // exactly one fill in the whole run.
+  EXPECT_EQ(sys.metrics().values.at("directory.fills"), 1u);
+}
+
+// ----------------------------------------------------------------------
+// Eviction
+// ----------------------------------------------------------------------
+
+TEST(Directory, EvictsColdReplicaAndRefetchesFresh) {
+  // Budget 1 at each node: reading var 1 evicts the var-0 replica; a later
+  // read of var 0 must re-fetch and see the write that landed in between.
+  MixedSystem sys(dir_config(2, 8, /*budget=*/1, /*fetch_frame=*/1));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(0, 10);
+      n.write_int(1, 11);
+      n.barrier();
+      n.barrier();
+      n.write_int(0, 99);  // p1 just deregistered from var 0
+      n.barrier();
+      n.barrier();
+    } else {
+      n.barrier();
+      EXPECT_EQ(n.read_int(0, ReadMode::kPram), 10);  // fill var 0
+      EXPECT_EQ(n.read_int(1, ReadMode::kPram), 11);  // fill var 1, evict var 0
+      n.barrier();
+      n.barrier();
+      // Stale replica is gone; the re-fetch must deliver the new value.
+      EXPECT_EQ(n.read_int(0, ReadMode::kPram), 99);
+      n.barrier();
+    }
+  });
+  const MetricsSnapshot snap = sys.metrics();
+  EXPECT_GE(snap.values.at("directory.evictions"), 1u);
+  EXPECT_GE(snap.values.at("net.msg.dir_unregister"), 1u);
+  EXPECT_GE(snap.values.at("directory.fills"), 3u);
+}
+
+TEST(Directory, HomePinNeverEvicted) {
+  // p0 cycles through every foreign replica under budget 1; its own homed
+  // variables never leave its store (the owner pin), so the system-wide
+  // last copy survives arbitrary cache pressure.
+  MixedSystem sys(dir_config(2, 8, /*budget=*/1, /*fetch_frame=*/1));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      for (VarId x = 0; x < 4; ++x) n.write_int(x, 100 + x);
+      n.barrier();
+      n.barrier();
+      // Thrash the budget with p1's vars; own vars must stay readable
+      // without fills.
+      for (VarId x = 4; x < 8; ++x) (void)n.read_int(x, ReadMode::kPram);
+      for (VarId x = 0; x < 4; ++x) {
+        EXPECT_EQ(n.read_int(x, ReadMode::kPram), 100 + x);
+      }
+      n.barrier();
+      n.barrier();
+    } else {
+      for (VarId x = 4; x < 8; ++x) n.write_int(x, 200 + x);
+      n.barrier();
+      n.barrier();
+      n.barrier();
+      // p0's homed vars are still live at their home after the thrash.
+      for (VarId x = 0; x < 4; ++x) {
+        EXPECT_EQ(n.read_int(x, ReadMode::kPram), 100 + x);
+      }
+      n.barrier();
+    }
+  });
+  // p0's four foreign reads each filled (budget 1, frame 1): four fills,
+  // at least three evictions on p0.  Its own vars contributed none.
+  const MetricsSnapshot snap = sys.metrics();
+  EXPECT_GE(snap.values.at("directory.evictions"), 3u);
+}
+
+TEST(Directory, PrefetchCappedByBudget) {
+  // fetch_frame 16 but budget 2: a miss must not page in a frame larger
+  // than the cache, or the install would evict the faulting variable.
+  MixedSystem sys(dir_config(2, 16, /*budget=*/2, /*fetch_frame=*/16));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      for (VarId x = 0; x < 8; ++x) n.write_int(x, 10 + x);
+      n.barrier();
+      n.barrier();
+    } else {
+      n.barrier();
+      for (VarId x = 0; x < 8; ++x) {
+        EXPECT_EQ(n.read_int(x, ReadMode::kPram), 10 + x);
+      }
+      n.barrier();
+    }
+  });
+}
+
+// ----------------------------------------------------------------------
+// Deltas
+// ----------------------------------------------------------------------
+
+TEST(Directory, DeltaWriteAllocatesAndPins) {
+  // Counter homed at p0; p1 decrements it without ever reading first — the
+  // delta write-allocates (fills, then applies locally and ships), and the
+  // delta-touched replica is pinned against eviction so its local
+  // applications are never lost.
+  MixedSystem sys(dir_config(2, 8, /*budget=*/1, /*fetch_frame=*/1));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(0, 100);
+      n.barrier();
+      n.barrier();
+      n.barrier();
+      EXPECT_EQ(n.read_int(0, ReadMode::kCausal), 100 - 30);
+    } else {
+      n.barrier();
+      n.dec_int(0, 30);
+      // Thrash the budget: the delta-touched counter must survive.
+      (void)n.read_int(1, ReadMode::kPram);
+      (void)n.read_int(2, ReadMode::kPram);
+      n.barrier();
+      EXPECT_EQ(n.read_int(0, ReadMode::kPram), 100 - 30);
+      n.barrier();
+    }
+  });
+}
+
+TEST(Directory, ConcurrentDeltasFromBothSidesSum) {
+  MixedSystem sys(dir_config(2, 8));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(4, 1000);  // homed at p1
+      n.barrier();
+      n.dec_int(4, 7);
+      n.barrier();
+      EXPECT_EQ(n.read_int(4, ReadMode::kCausal), 1000 - 7 - 5);
+    } else {
+      n.barrier();
+      n.dec_int(4, 5);
+      n.barrier();
+      EXPECT_EQ(n.read_int(4, ReadMode::kCausal), 1000 - 7 - 5);
+    }
+  });
+}
+
+// ----------------------------------------------------------------------
+// Synchronization floors on paged-in replicas
+// ----------------------------------------------------------------------
+
+TEST(Directory, LockProtectedTransferThroughFill) {
+  // Message-passing litmus under a write lock: the grant's count floor
+  // must gate p1's first (demand-paged) read of both variables.
+  MixedSystem sys(dir_config(2, 8));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.wlock(0);
+      n.write_int(1, 41);
+      n.write_int(2, 42);
+      n.wunlock(0);
+      n.barrier();
+    } else {
+      for (;;) {
+        n.wlock(0);
+        const bool ready = n.read_int(2, ReadMode::kPram) == 42;
+        if (ready) {
+          EXPECT_EQ(n.read_int(1, ReadMode::kPram), 41);
+          n.wunlock(0);
+          break;
+        }
+        n.wunlock(0);
+      }
+      n.barrier();
+    }
+  });
+}
+
+TEST(Directory, LockSerializedIncrementsNeverLoseUpdates) {
+  // Read-modify-write under one write lock from every node, with a replica
+  // budget of 1 forcing constant evict/re-fetch churn on the shared
+  // counter.  Any stale read under the lock (a fill or cached copy missing
+  // the previous holder's write) loses an increment and breaks the total.
+  constexpr int kIters = 12;
+  MixedSystem sys(dir_config(3, 9, /*budget=*/1, /*fetch_frame=*/1));
+  sys.run([](Node& n, ProcId p) {
+    for (int i = 0; i < kIters; ++i) {
+      n.wlock(0);
+      n.write_int(0, n.read_int(0, ReadMode::kCausal) + 1);
+      n.wunlock(0);
+      // Thrash the budget between critical sections so the counter's
+      // replica is usually evicted when the lock comes back.
+      (void)n.read_int(static_cast<VarId>(3 * ((p + 1) % 3) + 1),
+                       ReadMode::kPram);
+    }
+    n.barrier();
+    EXPECT_EQ(n.read_int(0, ReadMode::kCausal), 3 * kIters);
+    n.barrier();
+  });
+}
+
+TEST(Directory, AwaitResolvesThroughFill) {
+  // Figure 3's handshake shape: p1 awaits a flag it never cached, then
+  // causally reads data written before the flag.
+  MixedSystem sys(dir_config(2, 8));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(1, 2024);   // data, homed at p0
+      n.write_int(0, 1);      // flag, homed at p0
+      n.barrier();
+    } else {
+      n.await_int(0, 1, ReadMode::kCausal);
+      EXPECT_EQ(n.read_int(1, ReadMode::kCausal), 2024);
+      n.barrier();
+    }
+  });
+}
+
+TEST(Directory, CausalChainAcrossThreeNodes) {
+  // A -> B -> C causality where C pages both variables in cold: p2's
+  // causal read of y=1 must imply visibility of x=1 (written before y
+  // at another process).
+  MixedSystem sys(dir_config(3, 9));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(0, 1);  // x, homed at p0
+      n.barrier();
+    } else if (p == 1) {
+      n.await_int(0, 1, ReadMode::kCausal);
+      n.write_int(3, 1);  // y, homed at p1, causally after x=1
+      n.barrier();
+    } else {
+      n.await_int(3, 1, ReadMode::kCausal);
+      EXPECT_EQ(n.read_int(0, ReadMode::kCausal), 1);
+      n.barrier();
+    }
+  });
+}
+
+// ----------------------------------------------------------------------
+// History and monitor integration
+// ----------------------------------------------------------------------
+
+TEST(Directory, TracedRunPassesMixedChecker) {
+  Config cfg = dir_config(3, 9);
+  cfg.record_trace = true;
+  MixedSystem sys(cfg);
+  sys.run([](Node& n, ProcId p) {
+    const VarId mine = static_cast<VarId>(3 * p);
+    n.write_int(mine, 10 + p);
+    n.barrier();
+    for (ProcId q = 0; q < 3; ++q) {
+      EXPECT_EQ(n.read_int(static_cast<VarId>(3 * q), ReadMode::kPram),
+                10 + q);
+    }
+    n.barrier();
+    n.wlock(0);
+    n.write_int(1, int_of(n.read(1, ReadMode::kPram)) + 1);
+    n.wunlock(0);
+    n.barrier();
+    EXPECT_EQ(n.read_int(1, ReadMode::kCausal), 3);
+  });
+  const history::History h = sys.collect_history();
+  const auto verdict = history::check_mixed_consistency(h);
+  EXPECT_TRUE(verdict.ok) << verdict.message();
+}
+
+// ----------------------------------------------------------------------
+// Configuration validation
+// ----------------------------------------------------------------------
+
+using DirectoryDeathTest = ::testing::Test;
+
+TEST(DirectoryDeathTest, RequiresBatching) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Config cfg;
+  cfg.num_procs = 2;
+  cfg.num_vars = 8;
+  cfg.directory = DirectoryConfig{};
+  EXPECT_DEATH(MixedSystem{cfg}, "batching");
+}
+
+TEST(DirectoryDeathTest, RejectsTimestampElision) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Config cfg = dir_config(2, 8);
+  cfg.omit_timestamps = true;
+  EXPECT_DEATH(MixedSystem{cfg}, "vector timestamps");
+}
+
+TEST(DirectoryDeathTest, RejectsStaticSubscriberLists) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Config cfg = dir_config(2, 8);
+  cfg.update_subscribers[0] = {1};
+  EXPECT_DEATH(MixedSystem{cfg}, "sharer directory");
+}
+
+// ----------------------------------------------------------------------
+// Metrics surface
+// ----------------------------------------------------------------------
+
+TEST(Directory, MetricsExposeDirectoryKeys) {
+  MixedSystem sys(dir_config(2, 8, /*budget=*/1, /*fetch_frame=*/1));
+  sys.run([](Node& n, ProcId p) {
+    if (p == 0) {
+      n.write_int(0, 5);
+      n.write_int(1, 6);
+      n.barrier();
+      n.barrier();
+    } else {
+      n.barrier();
+      (void)n.read_int(0, ReadMode::kPram);
+      (void)n.read_int(1, ReadMode::kPram);  // evicts var 0
+      n.barrier();
+    }
+  });
+  const MetricsSnapshot snap = sys.metrics();
+  for (const char* key :
+       {"directory.fills", "directory.fill_records", "directory.evictions",
+        "directory.frontier_pings", "directory.sharer_adds",
+        "directory.sharer_dels", "directory.sharers_purged"}) {
+    EXPECT_TRUE(snap.values.count(key)) << key;
+  }
+  EXPECT_TRUE(snap.values.count("directory.fill_wait_ns.count"));
+  EXPECT_GE(snap.values.at("directory.fills"), 2u);
+  EXPECT_GE(snap.values.at("directory.fill_records"), 2u);
+}
+
+// ----------------------------------------------------------------------
+// Elastic membership interplay (docs/FAULTS.md "Membership and views")
+// ----------------------------------------------------------------------
+
+TEST(ElasticDirectory, GracefulLeavePurgesDepartedSharers) {
+  // p2 demand-pages replicas of p0's variables (registering in the sharer
+  // directory everywhere), then leaves.  The view commit must purge its
+  // sharer bits — survivors' subsequent writes stop multicasting to the
+  // corpse — and the directory keeps serving fills under the new view.
+  Config cfg = dir_config(3, 9);
+  cfg.elastic = true;
+  MixedSystem sys(cfg);
+
+  obs::ConsistencyMonitor mon(3);
+  mon.enable_elastic(full_mask(3));
+  sys.attach_op_sink(&mon);
+
+  const auto outcome = sys.run(
+      [&](Node& n, ProcId p) {
+        n.write_int(static_cast<VarId>(3 * p), 10 + p);
+        n.barrier();
+        // Everyone (p2 included) registers as a sharer of p0's var 0.
+        EXPECT_EQ(n.read_int(0, ReadMode::kPram), 10);
+        n.barrier();
+        if (p == 2) {
+          n.leave();
+          return;
+        }
+        while (n.view().epoch == 0) std::this_thread::sleep_for(200us);
+        // Post-leave: writes multicast only to surviving sharers, and
+        // fills still work — including for var 6, whose home (p2) is gone
+        // and which re-homed to a survivor.
+        n.write_int(static_cast<VarId>(3 * p + 1), 20 + p);
+        n.barrier();
+        EXPECT_EQ(n.read_int(static_cast<VarId>(3 * (1 - p) + 1), ReadMode::kPram),
+                  20 + (1 - p));
+        EXPECT_EQ(n.read_int(6, ReadMode::kCausal), 12);
+      },
+      30s);
+  EXPECT_FALSE(outcome.stalled) << outcome.diagnostics.reason;
+
+  const MetricsSnapshot snap = sys.metrics();
+  EXPECT_EQ(snap.get("view.leaves"), 1u);
+  EXPECT_GT(snap.get("directory.sharers_purged"), 0u)
+      << "the departed sharer's registration bits must leave the directory";
+
+  const auto verdict = mon.finalize();
+  EXPECT_TRUE(verdict.well_formed) << verdict.error;
+  EXPECT_TRUE(verdict.causal.ok && verdict.pram.ok && verdict.mixed.ok);
+  EXPECT_FALSE(mon.status().structural_failed);
+}
+
+TEST(ElasticDirectory, LiveJoinReceivesSharerMapAndRehomedVariables) {
+  // A joiner enters an already-populated directory: survivors send it
+  // their sharer rows (kDirSharerSync), variables statically homed at the
+  // joiner re-home to it with their current values, and its first reads of
+  // foreign variables demand-page like any member's.
+  Config cfg = dir_config(3, 9);
+  cfg.elastic = true;
+  cfg.initial_members = std::vector<ProcId>{0, 1};
+  MixedSystem sys(cfg);
+
+  const auto outcome = sys.run(
+      [&](Node& n, ProcId p) {
+        if (p == 2) {
+          n.join();
+          EXPECT_TRUE(n.view().is_alive(2));
+          // Var 6 re-homed to us at the commit; the previous ring home's
+          // re-offer carries the pre-join value.  Foreign variables
+          // demand-page (and register us) under the new epoch.
+          n.await_int(6, 42);
+          n.await_int(0, 10);
+          n.await_int(3, 11);
+          n.write_int(8, 99);  // statically ours again now
+          n.barrier();
+          n.barrier();
+        } else {
+          n.write_int(p == 0 ? 0 : 3, 10 + p);
+          if (p == 0) n.write_int(6, 42);  // ring-homed at p0 while p2 is out
+          // Awaiting each other's vars registers sharers pre-join, so the
+          // joiner's kDirSharerSync actually has rows to ship.
+          n.await_int(p == 0 ? 3 : 0, 11 - p);
+          while (!n.view().is_alive(2)) std::this_thread::sleep_for(200us);
+          n.barrier();
+          // p2's pre-barrier write: our stale ring-era pin on var 8 lapsed
+          // at the commit, so this read demand-pages from the joiner.
+          EXPECT_EQ(n.read_int(8, ReadMode::kCausal), 99);
+          n.barrier();
+        }
+      },
+      30s);
+  EXPECT_FALSE(outcome.stalled) << outcome.diagnostics.reason;
+
+  const MetricsSnapshot snap = sys.metrics();
+  EXPECT_EQ(snap.get("view.joins"), 1u);
+  EXPECT_GT(snap.get("directory.fills"), 0u);
+}
+
+}  // namespace
+}  // namespace mc::dsm

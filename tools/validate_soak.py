@@ -27,6 +27,31 @@ from validators_common import fail, load_jsonl, validate_dot_text
 
 KNOWN_TYPES = {"meta", "sample", "iteration", "violation", "view_change", "final"}
 
+# Cumulative counters of the ownership directory (docs/DIRECTORY.md,
+# docs/METRICS.md).  Histogram flats ride under directory.fill_wait_ns.*.
+DIRECTORY_KEYS = {
+    "directory.fills",
+    "directory.fill_records",
+    "directory.evictions",
+    "directory.frontier_pings",
+    "directory.sharer_adds",
+    "directory.sharer_dels",
+    "directory.sharers_purged",
+}
+
+
+def check_directory_counters(counters, prev, where):
+    """Directory keys must be known and, being cumulative, monotone."""
+    for k, v in counters.items():
+        if not k.startswith("directory."):
+            continue
+        if k not in DIRECTORY_KEYS and not k.startswith("directory.fill_wait_ns"):
+            fail(f"{where}: unknown directory counter {k!r}")
+        if k in prev and v < prev[k]:
+            fail(f"{where}: cumulative counter {k} went backwards: "
+                 f"{v} after {prev[k]}")
+        prev[k] = v
+
 
 def nonneg_number_map(obj, where, key):
     m = obj.get(key)
@@ -65,6 +90,7 @@ def validate(path, expect_clean, min_samples):
     view_changes = []
     finals = []
     last_t = None
+    dir_prev = {}
     for lineno, rec in enumerate(records[1:], start=2):
         where = f"{path}:{lineno}"
         rtype = rec.get("type")
@@ -87,6 +113,7 @@ def validate(path, expect_clean, min_samples):
                      f"{t - last_t}")
             last_t = t
             counters = nonneg_number_map(rec, where, "counters")
+            check_directory_counters(counters, dir_prev, where)
             nonneg_number_map(rec, where, "gauges")
             if "rates" in rec:
                 rates = nonneg_number_map(rec, where, "rates")
