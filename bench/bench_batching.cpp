@@ -55,8 +55,9 @@ std::vector<Variant> variants() {
 /// Derived columns shared by both tables: split total traffic into data
 /// messages vs standalone acks, and report the delayed-ack ratio the C12
 /// acceptance numbers quote.
-void report(Harness& h, const std::string& name, double ms, std::size_t iters,
-            const MetricsSnapshot& m, const std::string& app) {
+obs::RunReport::Row& report(Harness& h, const std::string& name, double ms,
+                            std::size_t iters, const MetricsSnapshot& m,
+                            const std::string& app) {
   const auto total = static_cast<double>(m.get("net.messages"));
   const auto acks = static_cast<double>(m.get("net.msg.rel_ack"));
   const double data = total - acks;
@@ -78,6 +79,7 @@ void report(Harness& h, const std::string& name, double ms, std::size_t iters,
   row.stats["standalone_acks"] = acks;
   row.stats["ack_to_data_ratio"] = ack_ratio;
   row.metrics = m;
+  return row;
 }
 
 void solver_table(Harness& h) {
@@ -94,8 +96,10 @@ void solver_table(Harness& h) {
     opt.reliable = true;
     opt.reliability.ack_every = v.ack_every;
     opt.batching = v.batching;
+    if (h.profiling()) opt.profile = h.profile_options();
     const SolverResult r = solve_barrier_pram(sys, opt);
-    report(h, v.name, r.elapsed_ms, r.iterations, r.metrics, "solver");
+    auto& row = report(h, v.name, r.elapsed_ms, r.iterations, r.metrics, "solver");
+    if (h.profiling() && !r.profile.empty()) Harness::set_profile(row, r.profile);
   }
 }
 
@@ -116,10 +120,12 @@ void em2d_table(Harness& h) {
       {"batch32", dsm::BatchingConfig{.max_updates = 32}},
   };
   for (const auto& v : rows) {
-    const Em2dResult r =
-        em2d_mixed(prob, 3, ReadMode::kPram, net::LatencyModel::fast(), 1,
-                   std::nullopt, /*reliable=*/true, v.batching);
-    report(h, v.name, r.elapsed_ms, 0, r.metrics, "em-field2d");
+    const Em2dResult r = em2d_mixed(
+        prob, 3, ReadMode::kPram, net::LatencyModel::fast(), 1, std::nullopt,
+        /*reliable=*/true, v.batching, std::nullopt,
+        h.profiling() ? std::optional(h.profile_options()) : std::nullopt);
+    auto& row = report(h, v.name, r.elapsed_ms, 0, r.metrics, "em-field2d");
+    if (h.profiling() && !r.profile.empty()) Harness::set_profile(row, r.profile);
   }
 }
 

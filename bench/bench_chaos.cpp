@@ -72,8 +72,12 @@ void solver_case(Harness& h, Mode mode) {
   opt.workers = 3;
   opt.reliable = mode != Mode::kIdeal;
   if (mode == Mode::kChaos) opt.faults = chaos_plan(11);
+  if (h.profiling()) opt.profile = h.profile_options();
   const auto r = solve_barrier_pram(sys, opt);
   report(h, "solver", mode, r.elapsed_ms, r.metrics);
+  if (h.profiling() && !r.profile.empty()) {
+    Harness::set_profile(h.last_row(), r.profile);
+  }
 }
 
 void cholesky_case(Harness& h, Mode mode) {
@@ -83,8 +87,12 @@ void cholesky_case(Harness& h, Mode mode) {
   opt.procs = 3;
   opt.reliable = mode != Mode::kIdeal;
   if (mode == Mode::kChaos) opt.faults = chaos_plan(22);
+  if (h.profiling()) opt.profile = h.profile_options();
   const auto r = cholesky_locks(m, sym, opt);
   report(h, "cholesky", mode, r.elapsed_ms, r.metrics);
+  if (h.profiling() && !r.profile.empty()) {
+    Harness::set_profile(h.last_row(), r.profile);
+  }
 }
 
 void em_case(Harness& h, Mode mode) {

@@ -23,6 +23,7 @@ void run_case(Harness& h, std::size_t n, std::size_t procs) {
   CholeskyOptions opt;
   opt.procs = procs;
   opt.latency = net::LatencyModel::fast();
+  if (h.profiling()) opt.profile = h.profile_options();
 
   struct Row {
     const char* name;
@@ -47,6 +48,9 @@ void run_case(Harness& h, std::size_t n, std::size_t procs) {
     out.wall_ms = row.r.elapsed_ms;
     out.stats["factorization_error"] = err;
     out.metrics = row.r.metrics;
+    if (h.profiling() && !row.r.profile.empty()) {
+      Harness::set_profile(out, row.r.profile);
+    }
   }
 }
 

@@ -42,14 +42,21 @@ struct Shape {
 struct RunResult {
   double wall_ms = 0.0;
   MetricsSnapshot metrics;
+  bool profiled = false;
+  obs::ProfileReport profile;
 };
 
-RunResult run_case(const Shape& s, std::optional<dsm::DirectoryConfig> directory) {
+RunResult run_case(const Harness& h, const Shape& s,
+                   std::optional<dsm::DirectoryConfig> directory) {
   dsm::Config cfg;
   cfg.num_procs = s.procs;
   cfg.num_vars = s.procs * s.stripe;
   cfg.batching = dsm::BatchingConfig{};
   cfg.directory = directory;
+  // Profile every variable (top_k = num_vars): the CI gate reads the full
+  // per-variable fetch attribution to check that the boundary rows of each
+  // stripe carry >= 90% of the fetch traffic (docs/PROFILING.md).
+  if (h.profiling()) cfg.profile = h.profile_options(cfg.num_vars);
   dsm::MixedSystem sys(cfg);
   const auto t0 = std::chrono::steady_clock::now();
   sys.run([&](dsm::Node& n, ProcId p) {
@@ -77,6 +84,10 @@ RunResult run_case(const Shape& s, std::optional<dsm::DirectoryConfig> directory
                     std::chrono::steady_clock::now() - t0)
                     .count();
   out.metrics = sys.metrics();
+  if (h.profiling()) {
+    out.profiled = true;
+    out.profile = sys.profile();
+  }
   return out;
 }
 
@@ -93,9 +104,12 @@ void report(Harness& h, const std::string& name, const Shape& s,
   row.params["variant"] = name;
   row.params["procs"] = std::to_string(s.procs);
   row.params["vars"] = std::to_string(s.procs * s.stripe);
+  row.params["stripe"] = std::to_string(s.stripe);
+  row.params["window"] = std::to_string(s.window);
   row.wall_ms = r.wall_ms;
   row.stats["rounds"] = static_cast<double>(s.rounds);
   row.metrics = r.metrics;
+  if (r.profiled) Harness::set_profile(row, r.profile);
 }
 
 }  // namespace
@@ -119,7 +133,7 @@ int main(int argc, char** argv) {
                "directory must beat full replication on BOTH wire bytes and "
                "wall time (CI acceptance gate at 64 processes)");
 
-  const RunResult full = run_case(s, std::nullopt);
+  const RunResult full = run_case(h, s, std::nullopt);
   report(h, "full-replication", s, full);
 
   dsm::DirectoryConfig dir;
@@ -127,7 +141,7 @@ int main(int argc, char** argv) {
   // are pinned and never count against it.
   dir.replica_budget = s.window + 2;
   dir.fetch_frame = s.window;
-  const RunResult directed = run_case(s, dir);
+  const RunResult directed = run_case(h, s, dir);
   report(h, "directory", s, directed);
 
   const double byte_shrink = static_cast<double>(bytes(full.metrics)) /

@@ -99,6 +99,7 @@ void latency_table(Harness& h) {
   mcfg.num_procs = 4;
   mcfg.num_vars = 8;
   mcfg.latency = lat;
+  if (h.profiling()) mcfg.profile = h.profile_options();
   dsm::MixedSystem mixed(mcfg);
   Stopwatch mix_clock;
   mixed.run([&](dsm::Node& n, ProcId p) {
@@ -141,6 +142,7 @@ void latency_table(Harness& h) {
   mrow.params["rounds"] = std::to_string(kRounds);
   mrow.wall_ms = mixed_ms;
   mrow.metrics = mixed.metrics();
+  if (h.profiling()) Harness::set_profile(mrow, mixed.profile());
   auto& srow = h.add_row("lan-sc");
   srow.params["latency"] = "lan";
   srow.params["rounds"] = std::to_string(kRounds);

@@ -134,6 +134,7 @@ struct IterationOutcome {
   obs::ConsistencyMonitor::Status status;
   std::string first_dot;
   MetricsSnapshot metrics;
+  obs::ProfileReport profile;  ///< only under --profile
 };
 
 /// One application run under chaos with a fresh monitor attached.  The
@@ -141,6 +142,7 @@ struct IterationOutcome {
 /// each MixedSystem.  Crash iterations run the elastic variants and
 /// crash-stop one process on top of the chaos plan.
 IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash,
+                               const std::optional<obs::ProfilerOptions>& prof,
                                SoakState& state) {
   IterationOutcome out;
   out.crashed = crash;
@@ -171,6 +173,7 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash
       opt.reliable = true;
       opt.system_hook = hook;
       opt.stall_timeout = stall_timeout;
+      opt.profile = prof;
       ElasticSchedule sched;
       sched.crash_after[seed % opt.workers] = (seed >> 8) % 3;
       const SolverResult r = solve_barrier_elastic(sys, opt, sched);
@@ -179,6 +182,7 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash
       out.stalled = r.stalled;
       out.stall_reason = r.stall_reason;
       out.metrics = r.metrics;
+      out.profile = r.profile;
     } else {
       // Cholesky crash drill: the victim finishes its columns, then skips
       // the final barrier; the survivors complete via the view change.
@@ -195,6 +199,7 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash
       opt.reliable = true;
       opt.system_hook = hook;
       opt.stall_timeout = stall_timeout;
+      opt.profile = prof;
       opt.crash_proc = static_cast<ProcId>(1 + seed % (procs - 1));
       const CholeskyResult r = cholesky_locks(m, sym, opt);
       out.app = "cholesky-locks-crash";
@@ -202,6 +207,7 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash
       out.stalled = r.stalled;
       out.stall_reason = r.stall_reason;
       out.metrics = r.metrics;
+      out.profile = r.profile;
     }
   } else if (cases == 0 || cases == 1) {
     const LinearSystem sys = LinearSystem::random(16, 2);
@@ -212,6 +218,7 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash
     opt.reliable = true;
     opt.system_hook = hook;
     opt.stall_timeout = stall_timeout;
+    opt.profile = prof;
     const SolverResult r =
         cases == 0 ? solve_barrier_pram(sys, opt) : solve_handshake_causal(sys, opt);
     out.app = cases == 0 ? "solver-barrier" : "solver-handshake";
@@ -219,6 +226,7 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash
     out.stalled = r.stalled;
     out.stall_reason = r.stall_reason;
     out.metrics = r.metrics;
+    out.profile = r.profile;
   } else {
     const SparseSpd m = SparseSpd::random(20, 3, 0.1, 3);
     const Symbolic sym = analyze(m);
@@ -229,6 +237,7 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash
     opt.reliable = true;
     opt.system_hook = hook;
     opt.stall_timeout = stall_timeout;
+    opt.profile = prof;
     const CholeskyResult r =
         cases == 2 ? cholesky_locks(m, sym, opt) : cholesky_counters(m, sym, opt);
     out.app = cases == 2 ? "cholesky-locks" : "cholesky-counters";
@@ -236,6 +245,7 @@ IterationOutcome run_iteration(std::size_t which, std::uint64_t seed, bool crash
     out.stalled = r.stalled;
     out.stall_reason = r.stall_reason;
     out.metrics = r.metrics;
+    out.profile = r.profile;
   }
 
   // Detach from the sampler before the monitor is finalized and destroyed.
@@ -314,6 +324,14 @@ int main(int argc, char** argv) {
   std::uint64_t skipped_total = 0;
   bool structural_failure = false;
 
+  // Under --profile, each iteration's contention profile merges into a
+  // soak-cumulative report; the stream carries one `profile` record per
+  // iteration (tracked/overflow counts are monotone — validate_soak.py
+  // checks that).
+  const std::optional<obs::ProfilerOptions> prof =
+      h.profiling() ? std::optional(h.profile_options()) : std::nullopt;
+  obs::ProfileReport cumulative_profile(prof.value_or(obs::ProfilerOptions{}));
+
   Stopwatch clock;
   std::size_t iter = 0;
   // At least one full rotation through the app mix, then run out the clock.
@@ -325,7 +343,8 @@ int main(int argc, char** argv) {
         crash_rate > 0.0 &&
         static_cast<double>(mix_seed(seed * 1000003 + iter) % 1000000) <
             crash_rate * 1e6;
-    const IterationOutcome out = run_iteration(iter, mix_seed(seed + iter), crash, state);
+    const IterationOutcome out =
+        run_iteration(iter, mix_seed(seed + iter), crash, prof, state);
 
     const auto& c = out.status.counts;
     const std::uint64_t iter_violations =
@@ -369,6 +388,36 @@ int main(int argc, char** argv) {
       iteration_lines.push_back(vw.str());
     }
 
+    if (prof.has_value()) {
+      cumulative_profile.merge(out.profile);
+      const auto hot_vars = cumulative_profile.top_vars(1);
+      const auto hot_locks = cumulative_profile.top_locks(1);
+      obs::JsonWriter pw(0);
+      pw.begin_object();
+      pw.key("type").value("profile");
+      pw.key("iteration").value(static_cast<std::uint64_t>(iter));
+      pw.key("app").value(out.app);
+      pw.key("vars_tracked").value(
+          static_cast<std::uint64_t>(cumulative_profile.vars.entries.size()));
+      pw.key("vars_overflow").value(cumulative_profile.vars.overflow_events);
+      pw.key("locks_tracked").value(
+          static_cast<std::uint64_t>(cumulative_profile.locks.entries.size()));
+      pw.key("locks_overflow").value(cumulative_profile.locks.overflow_events);
+      pw.key("barriers_tracked").value(
+          static_cast<std::uint64_t>(cumulative_profile.barriers.entries.size()));
+      pw.key("barriers_overflow").value(cumulative_profile.barriers.overflow_events);
+      if (!hot_vars.empty()) {
+        pw.key("hot_var").value(static_cast<std::uint64_t>(hot_vars.front().first));
+        pw.key("hot_var_ops").value(hot_vars.front().second.total_ops());
+      }
+      if (!hot_locks.empty()) {
+        pw.key("hot_lock").value(static_cast<std::uint64_t>(hot_locks.front().first));
+        pw.key("hot_lock_acquires").value(hot_locks.front().second.acquires);
+      }
+      pw.end_object();
+      iteration_lines.push_back(pw.str());
+    }
+
     if (iter_violations > 0 && violation_line.empty()) {
       obs::JsonWriter vw(0);
       vw.begin_object();
@@ -402,6 +451,9 @@ int main(int argc, char** argv) {
     row.params["seed"] = std::to_string(mix_seed(seed + iter));
     row.wall_ms = out.wall_ms;
     row.metrics = out.metrics;
+    if (prof.has_value() && !out.profile.empty()) {
+      Harness::set_profile(row, out.profile);
+    }
     ++iter;
   }
 

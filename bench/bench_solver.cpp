@@ -25,6 +25,7 @@ void run_case(Harness& h, std::size_t n, std::size_t workers) {
   opt.workers = workers;
   opt.latency = net::LatencyModel::fast();
   opt.tol = 1e-8;
+  if (h.profiling()) opt.profile = h.profile_options();
 
   SolverOptions no_ts = opt;
   no_ts.omit_timestamps = true;  // Section 6: legal because Fig 2 is
@@ -46,6 +47,8 @@ void run_case(Harness& h, std::size_t n, std::size_t workers) {
     out.wall_ms = r.elapsed_ms;
     out.stats["iterations"] = static_cast<double>(r.iterations);
     out.metrics = r.metrics;
+    // The SC baseline runs without a profiler, so its report stays empty.
+    if (h.profiling() && !r.profile.empty()) Harness::set_profile(out, r.profile);
   };
   run_one("fig2-barrier-pram", [&] { return solve_barrier_pram(sys, opt); },
           "dsm.blocked_ns");

@@ -32,6 +32,7 @@ void lock_policy_case(Harness& h, LockPolicy policy, std::size_t procs, int roun
     for (VarId x = 0; x < 4; ++x) cfg.demand_association[x] = 0;
   }
   cfg.latency = net::LatencyModel::fast();
+  if (h.profiling()) cfg.profile = h.profile_options();
   MixedSystem sys(cfg);
 
   h.mark();  // critical-path window starts at the timed run, not at setup
@@ -61,6 +62,7 @@ void lock_policy_case(Harness& h, LockPolicy policy, std::size_t procs, int roun
   row.params["rounds"] = std::to_string(rounds);
   row.wall_ms = ms;
   row.metrics = m;
+  if (h.profiling()) Harness::set_profile(row, sys.profile());
 }
 
 void barrier_case(Harness& h, std::size_t procs, int rounds) {
@@ -68,6 +70,7 @@ void barrier_case(Harness& h, std::size_t procs, int rounds) {
   cfg.num_procs = procs;
   cfg.num_vars = 4;
   cfg.latency = net::LatencyModel::fast();
+  if (h.profiling()) cfg.profile = h.profile_options();
   MixedSystem sys(cfg);
   h.mark();
   Stopwatch clock;
@@ -87,6 +90,7 @@ void barrier_case(Harness& h, std::size_t procs, int rounds) {
   row.stats["us_per_barrier"] = 1000.0 * ms / rounds;
   row.stats["msgs_per_barrier"] = static_cast<double>(m.get("net.messages")) / rounds;
   row.metrics = m;
+  if (h.profiling()) Harness::set_profile(row, sys.profile());
 }
 
 /// C10: a repeated producer/consumer handoff — the paper's await primitive
@@ -114,6 +118,7 @@ void handoff_case(Harness& h, int rounds) {
     cfg.num_procs = 3;
     cfg.num_vars = 4;
     cfg.latency = lat;
+    if (h.profiling()) cfg.profile = h.profile_options();
     MixedSystem sys(cfg);
     h.mark();
     Stopwatch clock;
@@ -136,6 +141,7 @@ void handoff_case(Harness& h, int rounds) {
     mixed_ms = clock.elapsed_ms();
     mixed_m = sys.metrics();
     emit("handoff-mixed-await", mixed_ms, mixed_m);
+    if (h.profiling()) Harness::set_profile(h.last_row(), sys.profile());
   }
 
   // Hybrid consistency: weak payload + strong flag, consumer polls with

@@ -15,8 +15,10 @@
 #include <string>
 #include <string_view>
 
+#include "common/check.h"
 #include "common/stats.h"
 #include "obs/critical_path.h"
+#include "obs/profiler.h"
 #include "obs/run_report.h"
 #include "obs/tracer.h"
 
@@ -55,10 +57,12 @@ class Harness {
         trace_path_ = argv[++i];
       } else if (arg == "--smoke") {
         smoke_ = true;
+      } else if (arg == "--profile") {
+        profile_ = true;
       } else {
         std::fprintf(stderr,
                      "%s: unknown argument '%s' (supported: --json <path>, "
-                     "--trace <path>, --smoke)\n",
+                     "--trace <path>, --smoke, --profile)\n",
                      name, argv[i]);
         std::exit(2);
       }
@@ -87,6 +91,28 @@ class Harness {
 
   /// Whether `--trace` / MC_TRACE is active for this run.
   [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
+
+  /// Whether `--profile` is active: benches thread profile_options() into
+  /// Config::profile and attach the result to their rows via set_profile()
+  /// (docs/PROFILING.md).
+  [[nodiscard]] bool profiling() const { return profile_; }
+
+  /// Sketch bounds for a profiled run.  Defaults; benches with more than
+  /// `top_k` interesting objects widen it (bench_directory reports every
+  /// variable so CI can check the fetch-traffic split).
+  [[nodiscard]] obs::ProfilerOptions profile_options(
+      std::size_t top_k = obs::ProfilerOptions{}.top_k) const {
+    obs::ProfilerOptions opt;
+    opt.top_k = top_k;
+    return opt;
+  }
+
+  /// Attach a contention profile to a row (no-op shape: callers guard on
+  /// profiling() themselves since collecting the report costs a merge).
+  static void set_profile(obs::RunReport::Row& row, obs::ProfileReport profile) {
+    row.profile_present = true;
+    row.profile = std::move(profile);
+  }
 
   /// Start the next row's trace window here (call right before the timed
   /// run).  Without an explicit mark the window starts at the previous
@@ -120,6 +146,13 @@ class Harness {
     return row;
   }
 
+  /// The most recently added row (for attaching late-computed sections such
+  /// as a profile collected after the row was emitted).
+  obs::RunReport::Row& last_row() {
+    MC_CHECK(!report_.rows.empty());
+    return report_.rows.back();
+  }
+
   /// Write the report and/or trace now (idempotent; the destructor calls it).
   void finish() {
     if (finished_) return;
@@ -150,6 +183,7 @@ class Harness {
   std::string trace_path_;
   std::uint64_t row_mark_ns_ = 0;
   bool smoke_ = false;
+  bool profile_ = false;
   bool finished_ = false;
 };
 

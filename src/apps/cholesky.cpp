@@ -54,6 +54,7 @@ CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
   cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
   cfg.directory = opt.directory;
+  cfg.profile = opt.profile;
   if (opt.crash_proc) {
     MC_CHECK(opt.reliable && *opt.crash_proc != 0 && *opt.crash_proc < opt.procs);
     cfg.elastic = true;
@@ -133,6 +134,7 @@ CholeskyResult cholesky_locks(const SparseSpd& m, const Symbolic& sym,
     }
   }
   out.metrics = sys.metrics();
+  if (opt.profile.has_value()) out.profile = sys.profile();
   if (opt.record_trace) out.history = sys.collect_history();
   return out;
 }
@@ -154,6 +156,7 @@ CholeskyResult cholesky_counters(const SparseSpd& m, const Symbolic& sym,
   cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
   cfg.directory = opt.directory;
+  cfg.profile = opt.profile;
   const auto acc = [](std::size_t i, std::size_t j) { return tri(i, j); };
   const auto cnt = [&](std::size_t k) { return static_cast<VarId>(tri_size(n) + k); };
   const auto res = [&](std::size_t i, std::size_t j) {
@@ -207,6 +210,7 @@ CholeskyResult cholesky_counters(const SparseSpd& m, const Symbolic& sym,
     }
   }
   out.metrics = sys.metrics();
+  if (opt.profile.has_value()) out.profile = sys.profile();
   if (opt.record_trace) out.history = sys.collect_history();
   return out;
 }

@@ -72,6 +72,10 @@ struct CholeskyOptions {
   /// When nonzero, run under a watchdog with this stall deadline: a wedged
   /// run terminates with CholeskyResult::stalled set instead of hanging.
   std::chrono::nanoseconds stall_timeout{0};
+
+  /// Contention profiling (Config::profile): when set, the merged
+  /// attribution lands in CholeskyResult::profile.
+  std::optional<obs::ProfilerOptions> profile;
 };
 
 struct CholeskyResult {
@@ -82,6 +86,8 @@ struct CholeskyResult {
   /// Watchdog outcome (only when CholeskyOptions::stall_timeout is set).
   bool stalled = false;
   std::string stall_reason;
+  /// Merged contention profile (only when CholeskyOptions::profile is set).
+  obs::ProfileReport profile;
 };
 
 /// Figure 5: write locks + causal reads.

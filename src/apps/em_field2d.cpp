@@ -88,7 +88,8 @@ Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
                       net::LatencyModel latency, std::uint64_t seed,
                       const std::optional<net::FaultPlan>& faults, bool reliable,
                       const std::optional<dsm::BatchingConfig>& batching,
-                      const std::optional<dsm::DirectoryConfig>& directory) {
+                      const std::optional<dsm::DirectoryConfig>& directory,
+                      const std::optional<obs::ProfilerOptions>& profile) {
   MC_CHECK(procs >= 1 && procs <= prob.nx);
   const std::size_t ny = prob.ny;
 
@@ -101,6 +102,7 @@ Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
   cfg.reliable = reliable;
   cfg.batching = batching;
   cfg.directory = directory;
+  cfg.profile = profile;
   dsm::MixedSystem sys(cfg);
   const auto first_ez = [&](ProcId p, std::size_t j) {
     return static_cast<VarId>(p * ny + j);
@@ -166,6 +168,7 @@ Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
   });
   out.elapsed_ms = clock.elapsed_ms();
   out.metrics = sys.metrics();
+  if (profile.has_value()) out.profile = sys.profile();
   return out;
 }
 

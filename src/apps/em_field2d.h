@@ -37,6 +37,8 @@ struct Em2dResult {
   std::vector<double> ez, hx, hy;  // nx*ny each, row-major
   double elapsed_ms = 0.0;
   MetricsSnapshot metrics;
+  /// Merged contention profile (only when em2d_mixed's `profile` is set).
+  obs::ProfileReport profile;
 };
 
 /// Sequential reference (identical arithmetic and update order).
@@ -51,6 +53,7 @@ Em2dResult em2d_mixed(const Em2dProblem& prob, std::size_t procs, ReadMode mode,
                       const std::optional<net::FaultPlan>& faults = std::nullopt,
                       bool reliable = false,
                       const std::optional<dsm::BatchingConfig>& batching = std::nullopt,
-                      const std::optional<dsm::DirectoryConfig>& directory = std::nullopt);
+                      const std::optional<dsm::DirectoryConfig>& directory = std::nullopt,
+                      const std::optional<obs::ProfilerOptions>& profile = std::nullopt);
 
 }  // namespace mc::apps

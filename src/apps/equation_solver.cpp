@@ -39,6 +39,7 @@ dsm::Config make_config(const LinearSystem& sys, const SolverOptions& opt, bool 
   cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
   cfg.directory = opt.directory;
+  cfg.profile = opt.profile;
   return cfg;
 }
 
@@ -106,6 +107,7 @@ SolverRun run_barrier(const LinearSystem& sys, const SolverOptions& opt, ReadMod
   });
   out.result.elapsed_ms = clock.elapsed_ms();
   out.result.metrics = dsm_sys.metrics();
+  if (opt.profile.has_value()) out.result.profile = dsm_sys.profile();
   if (trace) out.history = dsm_sys.collect_history();
   return out;
 }
@@ -173,6 +175,7 @@ SolverRun run_handshake(const LinearSystem& sys, const SolverOptions& opt, bool 
   });
   out.result.elapsed_ms = clock.elapsed_ms();
   out.result.metrics = dsm_sys.metrics();
+  if (opt.profile.has_value()) out.result.profile = dsm_sys.profile();
   if (trace) out.history = dsm_sys.collect_history();
   return out;
 }
@@ -247,6 +250,7 @@ SolverResult solve_barrier_elastic(const LinearSystem& sys, const SolverOptions&
   cfg.reliability = opt.reliability;
   cfg.batching = opt.batching;
   cfg.directory = opt.directory;
+  cfg.profile = opt.profile;
   cfg.elastic = true;
   std::vector<ProcId> members{0};
   for (std::size_t w = 0; w < opt.workers; ++w) {
@@ -359,6 +363,7 @@ SolverResult solve_barrier_elastic(const LinearSystem& sys, const SolverOptions&
   });
   out.elapsed_ms = clock.elapsed_ms();
   out.metrics = dsm_sys.metrics();
+  if (opt.profile.has_value()) out.profile = dsm_sys.profile();
   return out;
 }
 
@@ -427,6 +432,7 @@ SolverResult solve_async_gauss_seidel(const LinearSystem& sys, const SolverOptio
   });
   out.elapsed_ms = clock.elapsed_ms();
   out.metrics = dsm_sys.metrics();
+  if (opt.profile.has_value()) out.profile = dsm_sys.profile();
   return out;
 }
 

@@ -77,6 +77,11 @@ struct SolverOptions {
   /// When nonzero, run under a watchdog with this stall deadline: a wedged
   /// run terminates with SolverResult::stalled set instead of hanging.
   std::chrono::nanoseconds stall_timeout{0};
+
+  /// Contention profiling (Config::profile): when set, the merged
+  /// attribution lands in SolverResult::profile (the system is destroyed
+  /// before the solve returns, so the report is captured for the caller).
+  std::optional<obs::ProfilerOptions> profile;
 };
 
 struct SolverResult {
@@ -88,6 +93,8 @@ struct SolverResult {
   /// Watchdog outcome (only when SolverOptions::stall_timeout is set).
   bool stalled = false;
   std::string stall_reason;
+  /// Merged contention profile (only when SolverOptions::profile is set).
+  obs::ProfileReport profile;
 };
 
 /// Figure 2: barriers + PRAM reads on mixed consistency.

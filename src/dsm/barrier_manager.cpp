@@ -147,8 +147,18 @@ bool BarrierManager::maybe_release(
     if (!inst.arrived[p]) return false;
   }
 
-  assemble_ns_.record(std::chrono::steady_clock::now() - inst.first_arrival);
+  const auto skew = std::chrono::steady_clock::now() - inst.first_arrival;
+  assemble_ns_.record(skew);
   releases_.add(participants.size());
+  if (profiler_ != nullptr) {
+    // Arrival skew for this instance: how long the earliest arriver waited
+    // for the slowest participant.
+    profiler_->record_barrier_instance(
+        key.first,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(skew).count()),
+        participants.size());
+  }
   if (count_mode_ || dir_mode_) {
     // Transpose: receiver i must wait, per sender j, for the number of
     // updates j reported having sent to i before arriving (Section 6).

@@ -25,6 +25,7 @@
 #include "dsm/view.h"
 #include "dsm/wire.h"
 #include "net/fabric.h"
+#include "obs/profiler.h"
 
 namespace mc::dsm {
 
@@ -81,6 +82,11 @@ class BarrierManager {
   using JoinListener = std::function<void(BarrierId, ProcId, std::uint64_t)>;
   void set_join_listener(JoinListener listener);
 
+  /// Attach the manager's contention profiler (owned by MixedSystem;
+  /// nullptr unless Config::profile).  Records per-barrier-instance
+  /// arrival skew.  Set before the fabric starts delivering.
+  void set_profiler(obs::ContentionProfiler* p) { profiler_ = p; }
+
  private:
   void run();
   void handle_arrive(const net::Message& m);
@@ -129,6 +135,7 @@ class BarrierManager {
 
   LatencyHistogram assemble_ns_;
   Counter releases_;
+  obs::ContentionProfiler* profiler_ = nullptr;
   Counter heartbeats_;
   std::thread thread_;
 };

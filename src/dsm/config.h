@@ -12,6 +12,7 @@
 #include "net/fault.h"
 #include "net/latency.h"
 #include "net/reliable.h"
+#include "obs/profiler.h"
 
 namespace mc::dsm {
 
@@ -174,6 +175,14 @@ struct Config {
   /// subscription).  Elastic membership is supported: view commits purge
   /// departed sharers and re-home their variables.
   std::optional<DirectoryConfig> directory;
+
+  /// Contention profiler (src/obs/profiler.h, docs/PROFILING.md): per-
+  /// variable / per-lock / per-barrier cost attribution in capped-
+  /// cardinality sketches, surfaced via MixedSystem::profile() and the
+  /// RunReport `profile` section.  Off by default — when unset, every
+  /// instrumentation site is a single null-pointer branch and metrics()
+  /// carries no `profile.*` keys.
+  std::optional<obs::ProfilerOptions> profile;
 
   [[nodiscard]] LockPolicy policy_of(LockId l) const {
     auto it = lock_policy_override.find(l);

@@ -52,7 +52,20 @@ void LockManager::handle_request(const net::Message& m) {
   if (lock.release_vc.empty()) lock.release_vc = VectorClock(num_procs_);
   lock.queue.push_back(Request{m.src, static_cast<LockRequestKind>(m.b),
                                std::chrono::steady_clock::now()});
+  const std::size_t depth = lock.queue.size();
   try_grant(id, lock);
+  if (profiler_ != nullptr) {
+    // Contended = the request could not be granted on arrival (it is still
+    // queued behind an incompatible holder or an earlier writer).
+    bool still_queued = false;
+    for (const Request& r : lock.queue) {
+      if (r.who == m.src) {
+        still_queued = true;
+        break;
+      }
+    }
+    profiler_->record_lock_queue(id, depth, still_queued);
+  }
 }
 
 void LockManager::handle_unlock(const net::Message& m) {
@@ -400,6 +413,12 @@ void LockManager::send_grant(LockId id, LockState& lock, const Request& req) {
   const net::Endpoint who = req.who;
   grant_wait_ns_.record(std::chrono::steady_clock::now() - req.enqueued);
   grants_.add();
+  if (profiler_ != nullptr && lock.prev_holders_mask != 0 &&
+      (lock.prev_holders_mask & (std::uint64_t{1} << who)) == 0) {
+    // The grantee was not part of the previous episode: the protected data
+    // migrates to another process (handoff).
+    profiler_->record_lock_handoff(id);
+  }
   net::Message grant;
   grant.src = self_;
   grant.dst = who;

@@ -29,6 +29,7 @@
 #include "dsm/watchdog.h"
 #include "dsm/wire.h"
 #include "net/fabric.h"
+#include "obs/profiler.h"
 
 namespace mc::dsm {
 
@@ -106,6 +107,12 @@ class LockManager {
   [[nodiscard]] std::uint64_t locks_revoked() const { return locks_revoked_.get(); }
   [[nodiscard]] std::uint64_t reseed_assignments() const { return reseed_assignments_.get(); }
 
+  /// Attach the manager's contention profiler (owned by MixedSystem;
+  /// nullptr unless Config::profile).  The manager records queue depth,
+  /// contention (a request that could not be granted on arrival) and
+  /// cross-process handoffs.  Set before the fabric starts delivering.
+  void set_profiler(obs::ContentionProfiler* p) { profiler_ = p; }
+
  private:
   struct Request {
     net::Endpoint who;
@@ -175,6 +182,7 @@ class LockManager {
   LatencyHistogram grant_wait_ns_;
   Counter grants_;
   Counter heartbeats_;
+  obs::ContentionProfiler* profiler_ = nullptr;
   Counter view_changes_, view_joins_, view_leaves_, view_faults_;
   Counter locks_revoked_, reseed_assignments_;
   std::thread thread_;

@@ -954,6 +954,7 @@ void Node::request_fill(std::unique_lock<std::mutex>& lk, VarId x) {
   }
   Stopwatch sw;
   stats_.dir_fills.add();
+  if (profiler_ != nullptr) profiler_->record_fetch(x);
   const std::uint64_t token = ++fill_token_counter_;
   PendingFill& pf = fills_[token];
   pf.vars.push_back(x);
@@ -1013,6 +1014,7 @@ void Node::on_fetch_bulk_req(const net::Message& m) {
     if ((sharer_mask_[x] >> requester & 1) == 0) {
       sharer_mask_[x] |= std::uint64_t{1} << requester;
       stats_.dir_sharer_adds.add();
+      if (profiler_ != nullptr) profiler_->record_sharer_add(x);
     }
   }
   // Ack fence: every third party flushes its staging buffers before the
@@ -1163,6 +1165,7 @@ void Node::on_fetch_bulk_resp(const net::Message& m) {
       sharer_mask_[x] |= std::uint64_t{1} << self_;
       last_use_[x] = ++use_tick_;
       stats_.dir_fill_records.add();
+      if (profiler_ != nullptr) profiler_->record_fill_record(x);
     }
     // The faulting variable (first in the frame) must survive the budget
     // sweep below: give it the freshest tick.
@@ -1197,6 +1200,7 @@ void Node::enforce_budget_locked() {
     cached_[victim] = false;
     sharer_mask_[victim] &= ~(std::uint64_t{1} << self_);
     stats_.dir_evictions.add();
+    if (profiler_ != nullptr) profiler_->record_eviction(victim);
     dropped[effective_home(victim)].push_back(victim);
     any = true;
   }
@@ -1229,6 +1233,7 @@ void Node::on_dir_unregister(const net::Message& m) {
     if ((sharer_mask_[x] >> evictor & 1) != 0) {
       sharer_mask_[x] &= ~(std::uint64_t{1} << evictor);
       stats_.dir_sharer_dels.add();
+      if (profiler_ != nullptr) profiler_->record_sharer_del(x);
       vars.push_back(x);
     }
   }
@@ -1371,6 +1376,10 @@ void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq
       copy.dst = p;
       fabric_.send(std::move(copy));
       sent_to_.set(p, sent_to_[p] + 1);
+      if (profiler_ != nullptr) {
+        profiler_->record_update_bytes(
+            x, net::Message::kHeaderBytes + m.payload.size() * sizeof(std::uint64_t));
+      }
     }
     return;
   }
@@ -1382,6 +1391,10 @@ void Node::broadcast_update(VarId x, Value value, std::uint64_t flags, SeqNo seq
     copy.dst = p;
     fabric_.send(std::move(copy));
     sent_to_.set(p, sent_to_[p] + 1);
+    if (profiler_ != nullptr) {
+      profiler_->record_update_bytes(
+          x, net::Message::kHeaderBytes + m.payload.size() * sizeof(std::uint64_t));
+    }
   }
 }
 
@@ -1405,6 +1418,12 @@ void Node::stage_update(ProcId dest, VarId x, Value value, std::uint64_t flags, 
   // synchronization action flushes first), and Section 6's count
   // synchronization compares this against the receiver's weighted index.
   sent_to_.set(dest, sent_to_[dest] + 1);
+  if (profiler_ != nullptr) {
+    // Approximate per-destination wire cost of this record, the same
+    // heuristic as approx_batch_bytes (coalescing may shrink it later).
+    profiler_->record_update_bytes(
+        x, (cfg_.omit_timestamps ? 3 : 5) * sizeof(std::uint64_t));
+  }
   // Elastic batches carry the write's view epoch on the wire (the LWW
   // tiebreak in store.cpp is epoch-first); re-homing offers additionally
   // carry the original writer's id.
@@ -1512,6 +1531,7 @@ Value Node::read(VarId x, ReadMode mode) {
   Stopwatch blocked;
   std::unique_lock lk(mu_);
   (mode == ReadMode::kPram ? stats_.reads_pram : stats_.reads_causal).add();
+  if (profiler_ != nullptr) profiler_->record_read(x);
 
   const bool count_mode = cfg_.omit_timestamps;
   const VectorClock& applied = count_mode ? received_from_ : applied_;
@@ -1594,6 +1614,7 @@ Value Node::read(VarId x, ReadMode mode) {
 
 void Node::write(VarId x, Value v) {
   stats_.writes.add();
+  if (profiler_ != nullptr) profiler_->record_write(x);
   {
     std::scoped_lock lk(mu_);
     const SeqNo seq = ++write_counter_;
@@ -1645,6 +1666,7 @@ void Node::write(VarId x, Value v) {
 
 void Node::do_delta(VarId x, Value amount, std::uint64_t flags) {
   stats_.deltas.add();
+  if (profiler_ != nullptr) profiler_->record_write(x);
   {
     std::unique_lock lk(mu_);
     // Directory mode write-allocates DELTAS (unlike plain writes): a delta
@@ -1858,6 +1880,9 @@ void Node::do_lock(LockId l, LockRequestKind kind) {
   const auto waited = blocked.elapsed();
   stats_.lock_blocked.record(waited);
   stats_.lock_acquire_ns.record(waited);
+  if (profiler_ != nullptr) {
+    profiler_->record_lock_acquire(l, static_cast<std::uint64_t>(waited.count()));
+  }
 
   GrantInfo info = std::move(pending_grants_.at(l));
   pending_grants_.erase(l);
@@ -1892,7 +1917,9 @@ void Node::do_lock(LockId l, LockRequestKind kind) {
     if (owner != self_) invalid_[var] = owner;
   }
 
-  held_[l] = HeldLock{kind, info.episode, {}};
+  HeldLock held{kind, info.episode, {}};
+  if (profiler_ != nullptr) held.acquired = std::chrono::steady_clock::now();
+  held_[l] = std::move(held);
 
   if (observing_ops()) {
     history::Operation op;
@@ -1922,6 +1949,11 @@ void Node::do_unlock(LockId l, LockRequestKind kind) {
     MC_CHECK_MSG(it->second.kind == kind, "unlock kind does not match the held lock");
     episode = it->second.episode;
     if (policy == LockPolicy::kDemand) digest = it->second.cs_writes;
+    if (profiler_ != nullptr &&
+        it->second.acquired != std::chrono::steady_clock::time_point{}) {
+      const auto held_for = std::chrono::steady_clock::now() - it->second.acquired;
+      profiler_->record_lock_hold(l, static_cast<std::uint64_t>(held_for.count()));
+    }
     held_.erase(it);
   }
 
@@ -2005,6 +2037,7 @@ void Node::wunlock(LockId l) { do_unlock(l, LockRequestKind::kWrite); }
 
 void Node::fetch_var(std::unique_lock<std::mutex>& lk, VarId x, net::Endpoint owner) {
   stats_.fetches.add();
+  if (profiler_ != nullptr) profiler_->record_fetch(x);
   const std::uint64_t token = ++fetch_token_counter_;
   lk.unlock();
   net::Message req;

@@ -195,6 +195,11 @@ class Node {
     op_sink_.store(sink, std::memory_order_release);
   }
 
+  /// Attach this node's contention profiler (owned by MixedSystem; nullptr
+  /// unless Config::profile).  Set before any application thread starts —
+  /// when null, every instrumentation site is a single branch.
+  void set_profiler(obs::ContentionProfiler* p) { profiler_ = p; }
+
   /// Join the delivery thread; the fabric must have been shut down first.
   void stop();
 
@@ -215,6 +220,8 @@ class Node {
     LockRequestKind kind;
     std::uint64_t episode;
     std::vector<VarId> cs_writes;  // demand policy: write-set digest
+    /// Grant time, recorded only when profiling (hold-time attribution).
+    std::chrono::steady_clock::time_point acquired{};
   };
 
   struct GrantInfo {
@@ -399,6 +406,8 @@ class Node {
   StalenessTable* const staleness_;
   std::atomic<Watchdog*> watchdog_{nullptr};
   std::atomic<obs::OpSink*> op_sink_{nullptr};
+  /// Contention profiler (owned by MixedSystem); nullptr unless profiling.
+  obs::ContentionProfiler* profiler_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -119,6 +119,21 @@ MixedSystem::MixedSystem(Config cfg)
     nodes_.push_back(std::make_unique<Node>(cfg_, p, fabric_, lock_ep, barrier_ep,
                                             staleness_.get()));
   }
+  if (cfg_.profile.has_value()) {
+    // One profiler per component keeps hot-path recording uncontended
+    // across processes; profile() merges them.  Attached before run(), so
+    // every record site sees the pointer through the thread-start /
+    // mailbox synchronization that also orders the first message.
+    profilers_.reserve(cfg_.num_procs + 2);
+    for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+      profilers_.push_back(std::make_unique<obs::ContentionProfiler>(*cfg_.profile));
+      nodes_[p]->set_profiler(profilers_.back().get());
+    }
+    profilers_.push_back(std::make_unique<obs::ContentionProfiler>(*cfg_.profile));
+    lock_manager_->set_profiler(profilers_.back().get());
+    profilers_.push_back(std::make_unique<obs::ContentionProfiler>(*cfg_.profile));
+    barrier_manager_->set_profiler(profilers_.back().get());
+  }
 }
 
 MixedSystem::~MixedSystem() { shutdown(); }
@@ -160,6 +175,9 @@ MixedSystem::RunOutcome MixedSystem::run(
     d.barriers = barrier_manager_->dump();
     d.in_flight = fabric_.in_flight();
     if (cfg_.elastic) d.view = lock_manager_->view_string();
+    // Name the culprits: a stall report that says WHICH lock and variable
+    // are hottest beats a bare wait set (requires Config::profile).
+    if (cfg_.profile.has_value()) d.hot = profile().hot_summary();
     if (net::ReliableChannel* rel = fabric_.reliable_channel()) {
       for (const auto& err : rel->errors()) {
         d.unreachable.push_back("channel p" + std::to_string(err.src) + " -> p" +
@@ -346,10 +364,27 @@ MetricsSnapshot MixedSystem::metrics() const {
   snap.values["barriermgr.releases"] = barrier_manager_->releases_sent();
   snap.add_histogram("barriermgr.assemble_ns", barrier_manager_->assemble_time());
   snap.values["barriermgr.heartbeats"] = barrier_manager_->heartbeats();
+  if (cfg_.profile.has_value()) {
+    // Sketch occupancy only — the full attribution lives in profile().
+    // Guarded so an unprofiled run has ZERO profile.* keys.
+    const obs::ProfileReport pr = profile();
+    snap.values["profile.vars.tracked"] = pr.vars.entries.size();
+    snap.values["profile.vars.overflow"] = pr.vars.overflow_events;
+    snap.values["profile.locks.tracked"] = pr.locks.entries.size();
+    snap.values["profile.locks.overflow"] = pr.locks.overflow_events;
+    snap.values["profile.barriers.tracked"] = pr.barriers.entries.size();
+    snap.values["profile.barriers.overflow"] = pr.barriers.overflow_events;
+  }
   if (obs::trace_enabled()) {
     snap.values["obs.trace.dropped"] = obs::Tracer::instance().dropped_events();
   }
   return snap;
+}
+
+obs::ProfileReport MixedSystem::profile() const {
+  obs::ProfileReport out(cfg_.profile.value_or(obs::ProfilerOptions{}));
+  for (const auto& p : profilers_) out.merge(p->snapshot());
+  return out;
 }
 
 void MixedSystem::shutdown() {

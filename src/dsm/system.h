@@ -72,6 +72,12 @@ class MixedSystem {
   /// Fabric- and node-level metrics (messages, bytes, blocked time).
   [[nodiscard]] MetricsSnapshot metrics() const;
 
+  /// Merged contention profile across every node and both managers
+  /// (Config::profile; src/obs/profiler.h).  Safe to call while the
+  /// system runs — each per-component profiler is snapshotted under its
+  /// own mutex.  Returns an empty report when profiling is off.
+  [[nodiscard]] obs::ProfileReport profile() const;
+
   /// Attach a live operation sink to every node (nullptr detaches).  The
   /// sink sees each operation as it completes (obs/op_sink.h) — this is how
   /// an online ConsistencyMonitor observes the run.  Attach before run();
@@ -95,6 +101,9 @@ class MixedSystem {
   std::unique_ptr<BarrierManager> barrier_manager_;
   /// Issued-write counters shared by every node (Config::track_staleness).
   std::unique_ptr<StalenessTable> staleness_;
+  /// Contention profilers (Config::profile): one per node, then one per
+  /// manager (lock, barrier) — merged by profile().  Empty when off.
+  std::vector<std::unique_ptr<obs::ContentionProfiler>> profilers_;
   std::vector<std::unique_ptr<Node>> nodes_;
   /// The attached live sink (attach_op_sink); the elastic view listeners
   /// forward membership events to it from manager threads.

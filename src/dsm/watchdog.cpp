@@ -144,6 +144,9 @@ void Watchdog::fire(const std::string& reason, std::vector<std::string> cycle) {
     }
   }
   if (!d.view.empty()) d.reason += "; view: " + d.view;
+  // Live-profile culprits (Config::profile): the verdict line points at the
+  // hottest contended object, not just the wait set.
+  for (const std::string& h : d.hot) d.reason += "; " + h;
 
   {
     std::scoped_lock lk(mu_);

@@ -77,6 +77,7 @@ class Watchdog {
     std::vector<std::size_t> in_flight;       ///< per-endpoint mailbox depth
     std::vector<std::string> unreachable;     ///< dead reliable channels
     std::string view;                         ///< membership view (elastic)
+    std::vector<std::string> hot;             ///< profiler culprits (Config::profile)
   };
 
   /// Edge of the lock wait-for graph: `waiter` is queued on `lock`, which

@@ -1,0 +1,298 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mc::obs {
+
+namespace {
+
+inline std::uint64_t max64(std::uint64_t a, std::uint64_t b) { return a > b ? a : b; }
+
+/// Fixed-point "x.y×" for advisor text without locale-dependent printf.
+std::string times(double ratio) {
+  const auto tenths = static_cast<std::uint64_t>(ratio * 10.0 + 0.5);
+  std::ostringstream os;
+  os << tenths / 10 << '.' << tenths % 10 << "x";
+  return os.str();
+}
+
+}  // namespace
+
+void VarProfile::merge(const VarProfile& o) {
+  reads += o.reads;
+  writes += o.writes;
+  fetches += o.fetches;
+  fill_records += o.fill_records;
+  evictions += o.evictions;
+  update_bytes += o.update_bytes;
+  sharer_adds += o.sharer_adds;
+  sharer_dels += o.sharer_dels;
+}
+
+void LockProfile::merge(const LockProfile& o) {
+  acquires += o.acquires;
+  contended += o.contended;
+  handoffs += o.handoffs;
+  acquire_ns_sum += o.acquire_ns_sum;
+  acquire_ns_max = max64(acquire_ns_max, o.acquire_ns_max);
+  holds += o.holds;
+  hold_ns_sum += o.hold_ns_sum;
+  hold_ns_max = max64(hold_ns_max, o.hold_ns_max);
+  max_queue = max64(max_queue, o.max_queue);
+}
+
+void BarrierProfile::merge(const BarrierProfile& o) {
+  instances += o.instances;
+  arrivals += o.arrivals;
+  skew_ns_sum += o.skew_ns_sum;
+  skew_ns_max = max64(skew_ns_max, o.skew_ns_max);
+}
+
+void ProfileReport::merge(const ProfileReport& o) {
+  vars.merge(o.vars);
+  locks.merge(o.locks);
+  barriers.merge(o.barriers);
+}
+
+namespace {
+
+template <typename T, typename Cost>
+std::vector<std::pair<std::uint64_t, T>> ranked(const std::map<std::uint64_t, T>& m,
+                                                std::size_t k, Cost cost) {
+  std::vector<std::pair<std::uint64_t, T>> rows(m.begin(), m.end());
+  // Stable sort over the id-ordered map input = id-ascending tie-break.
+  std::stable_sort(rows.begin(), rows.end(), [&](const auto& a, const auto& b) {
+    return cost(a.second) > cost(b.second);
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint64_t, VarProfile>> ProfileReport::top_vars(
+    std::size_t k) const {
+  return ranked(vars.entries, k, [](const VarProfile& v) { return v.total_ops(); });
+}
+
+std::vector<std::pair<std::uint64_t, LockProfile>> ProfileReport::top_locks(
+    std::size_t k) const {
+  return ranked(locks.entries, k,
+                [](const LockProfile& l) { return l.acquire_ns_sum; });
+}
+
+std::vector<std::pair<std::uint64_t, BarrierProfile>> ProfileReport::top_barriers(
+    std::size_t k) const {
+  return ranked(barriers.entries, k,
+                [](const BarrierProfile& b) { return b.skew_ns_sum; });
+}
+
+std::vector<std::string> ProfileReport::advise() const {
+  // Rules documented in docs/PROFILING.md §Advisor; thresholds are
+  // deliberately conservative so a hint always marks a real pathology.
+  std::vector<std::string> out;
+  std::uint64_t total_update_bytes = vars.overflow.update_bytes;
+  for (const auto& [id, v] : vars.entries) total_update_bytes += v.update_bytes;
+
+  for (const auto& [id, v] : vars.entries) {
+    if (v.evictions >= 4 && v.fetches >= v.evictions) {
+      std::ostringstream os;
+      os << "var " << id << ": " << v.evictions << " evict/re-fetch cycles ("
+         << v.fetches << " fetches) - raise DirectoryConfig::replica_budget "
+         << "or shrink the working set";
+      out.push_back(os.str());
+    }
+    if (v.sharer_adds + v.sharer_dels >= 16 && v.sharer_dels >= v.sharer_adds / 2) {
+      std::ostringstream os;
+      os << "var " << id << ": sharer set churns (" << v.sharer_adds << " adds / "
+         << v.sharer_dels << " drops) - readers cycle in and out; a larger "
+         << "replica_budget would pin them";
+      out.push_back(os.str());
+    }
+    if (total_update_bytes > 0 && v.update_bytes * 2 > total_update_bytes &&
+        v.writes >= 8) {
+      std::ostringstream os;
+      os << "var " << id << ": carries " << (v.update_bytes * 100 / total_update_bytes)
+         << "% of update bytes - consider splitting it or batching its writers";
+      out.push_back(os.str());
+    }
+  }
+  for (const auto& [id, l] : locks.entries) {
+    if (l.acquires >= 8 && l.contended * 2 >= l.acquires) {
+      std::ostringstream os;
+      os << "lock " << id << ": " << l.contended << " of " << l.acquires
+         << " acquires contended (max queue " << l.max_queue
+         << ") - split the lock or switch the data to counter objects";
+      out.push_back(os.str());
+    }
+    if (l.holds >= 8 && l.hold_ns_sum > 0) {
+      const double mean = static_cast<double>(l.hold_ns_sum) / static_cast<double>(l.holds);
+      if (mean > 0 && static_cast<double>(l.hold_ns_max) >= 10.0 * mean) {
+        std::ostringstream os;
+        os << "lock " << id << ": max hold " << times(static_cast<double>(l.hold_ns_max) / mean)
+           << " mean hold - one outlier critical section serializes the rest";
+        out.push_back(os.str());
+      }
+    }
+    if (l.acquires >= 8 && l.handoffs * 2 >= l.acquires) {
+      std::ostringstream os;
+      os << "lock " << id << ": " << l.handoffs << " of " << l.acquires
+         << " grants hand off between processes - partition the protected "
+         << "data by owner to keep episodes local";
+      out.push_back(os.str());
+    }
+  }
+  for (const auto& [id, b] : barriers.entries) {
+    if (b.instances >= 4 && b.skew_ns_sum > 0) {
+      const double mean =
+          static_cast<double>(b.skew_ns_sum) / static_cast<double>(b.instances);
+      if (mean > 0 && static_cast<double>(b.skew_ns_max) >= 4.0 * mean) {
+        std::ostringstream os;
+        os << "barrier " << id << ": worst arrival skew "
+           << times(static_cast<double>(b.skew_ns_max) / mean)
+           << " mean - rebalance work across participants";
+        out.push_back(os.str());
+      }
+    }
+  }
+  const std::uint64_t overflow =
+      vars.overflow_events + locks.overflow_events + barriers.overflow_events;
+  if (overflow > 0) {
+    std::ostringstream os;
+    os << "profiler overflow: " << overflow << " events attributed to the "
+       << "aggregate bucket - raise ProfilerOptions::max_vars/max_locks/"
+       << "max_barriers for exact attribution";
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+std::vector<std::string> ProfileReport::hot_summary() const {
+  std::vector<std::string> out;
+  const LockProfile* hot_lock = nullptr;
+  std::uint64_t hot_lock_id = 0;
+  for (const auto& [id, l] : locks.entries) {
+    if (l.contended == 0 && l.acquire_ns_sum == 0) continue;
+    if (hot_lock == nullptr || l.acquire_ns_sum > hot_lock->acquire_ns_sum) {
+      hot_lock = &l;
+      hot_lock_id = id;
+    }
+  }
+  if (hot_lock != nullptr) {
+    std::ostringstream os;
+    os << "hottest lock " << hot_lock_id << ": " << hot_lock->acquires
+       << " acquires, " << hot_lock->contended << " contended, total wait "
+       << hot_lock->acquire_ns_sum / 1000000 << " ms, max queue "
+       << hot_lock->max_queue;
+    out.push_back(os.str());
+  }
+  const VarProfile* hot_var = nullptr;
+  std::uint64_t hot_var_id = 0;
+  for (const auto& [id, v] : vars.entries) {
+    if (v.total_ops() == 0) continue;
+    if (hot_var == nullptr || v.total_ops() > hot_var->total_ops()) {
+      hot_var = &v;
+      hot_var_id = id;
+    }
+  }
+  if (hot_var != nullptr) {
+    std::ostringstream os;
+    os << "hottest var " << hot_var_id << ": " << hot_var->total_ops() << " ops ("
+       << hot_var->reads << " reads / " << hot_var->writes << " writes / "
+       << hot_var->fetches << " fetches / " << hot_var->evictions << " evictions)";
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ContentionProfiler
+// ---------------------------------------------------------------------------
+
+void ContentionProfiler::record_read(std::uint64_t var) {
+  std::scoped_lock lk(mu_);
+  ++report_.vars.slot(var).reads;
+}
+
+void ContentionProfiler::record_write(std::uint64_t var) {
+  std::scoped_lock lk(mu_);
+  ++report_.vars.slot(var).writes;
+}
+
+void ContentionProfiler::record_fetch(std::uint64_t var) {
+  std::scoped_lock lk(mu_);
+  ++report_.vars.slot(var).fetches;
+}
+
+void ContentionProfiler::record_fill_record(std::uint64_t var) {
+  std::scoped_lock lk(mu_);
+  ++report_.vars.slot(var).fill_records;
+}
+
+void ContentionProfiler::record_eviction(std::uint64_t var) {
+  std::scoped_lock lk(mu_);
+  ++report_.vars.slot(var).evictions;
+}
+
+void ContentionProfiler::record_update_bytes(std::uint64_t var, std::uint64_t bytes) {
+  std::scoped_lock lk(mu_);
+  report_.vars.slot(var).update_bytes += bytes;
+}
+
+void ContentionProfiler::record_sharer_add(std::uint64_t var) {
+  std::scoped_lock lk(mu_);
+  ++report_.vars.slot(var).sharer_adds;
+}
+
+void ContentionProfiler::record_sharer_del(std::uint64_t var) {
+  std::scoped_lock lk(mu_);
+  ++report_.vars.slot(var).sharer_dels;
+}
+
+void ContentionProfiler::record_lock_acquire(std::uint64_t lock, std::uint64_t wait_ns) {
+  std::scoped_lock lk(mu_);
+  LockProfile& l = report_.locks.slot(lock);
+  ++l.acquires;
+  l.acquire_ns_sum += wait_ns;
+  l.acquire_ns_max = std::max(l.acquire_ns_max, wait_ns);
+}
+
+void ContentionProfiler::record_lock_hold(std::uint64_t lock, std::uint64_t hold_ns) {
+  std::scoped_lock lk(mu_);
+  LockProfile& l = report_.locks.slot(lock);
+  ++l.holds;
+  l.hold_ns_sum += hold_ns;
+  l.hold_ns_max = std::max(l.hold_ns_max, hold_ns);
+}
+
+void ContentionProfiler::record_lock_queue(std::uint64_t lock, std::uint64_t depth,
+                                           bool contended) {
+  std::scoped_lock lk(mu_);
+  LockProfile& l = report_.locks.slot(lock);
+  l.max_queue = std::max(l.max_queue, depth);
+  if (contended) ++l.contended;
+}
+
+void ContentionProfiler::record_lock_handoff(std::uint64_t lock) {
+  std::scoped_lock lk(mu_);
+  ++report_.locks.slot(lock).handoffs;
+}
+
+void ContentionProfiler::record_barrier_instance(std::uint64_t barrier,
+                                                 std::uint64_t skew_ns,
+                                                 std::uint64_t arrivals) {
+  std::scoped_lock lk(mu_);
+  BarrierProfile& b = report_.barriers.slot(barrier);
+  ++b.instances;
+  b.arrivals += arrivals;
+  b.skew_ns_sum += skew_ns;
+  b.skew_ns_max = std::max(b.skew_ns_max, skew_ns);
+}
+
+ProfileReport ContentionProfiler::snapshot() const {
+  std::scoped_lock lk(mu_);
+  return report_;
+}
+
+}  // namespace mc::obs

@@ -1,0 +1,228 @@
+// Contention profiler (docs/PROFILING.md): opt-in per-object cost
+// attribution for the DSM runtime.  Where metrics() answers "how much did
+// this run cost in aggregate", the profiler answers "WHICH variable, lock,
+// or barrier is costing me" — per-variable read/write/fetch/eviction
+// counts, update bytes and sharer churn (directory mode); per-lock acquire
+// latency, hold time, queue depth and cross-process handoffs; per-barrier
+// arrival skew.
+//
+// Design constraints:
+//
+//   - Bounded memory.  Attribution tables are capped-cardinality sketches
+//     (BoundedTable): the first `cap` distinct ids get exact per-id rows,
+//     everything after lands in a single overflow aggregate with a counted
+//     `overflow_events` tally.  Totals therefore always reconcile exactly
+//     against the global metrics() aggregates — nothing is dropped, only
+//     coarsened — and tools/validate_profile.py enforces the identity.
+//
+//   - Zero overhead when disabled.  The runtime holds a plain pointer that
+//     is null when Config::profile is unset; every instrumentation site is
+//     one branch.  When enabled, each record takes a short internal mutex
+//     (the profiler is polled live by MetricsSampler and the watchdog
+//     diagnostics path, so it must be internally synchronized).
+//
+//   - Deterministic output.  Tables are ordered maps; rankings sort by the
+//     per-kind cost total with id-ascending tie-breaks, so two runs of a
+//     deterministic program produce byte-identical profile sections.
+//
+// One ContentionProfiler instance exists per node plus one per manager
+// (lock, barrier); MixedSystem::profile() merges them into a single
+// ProfileReport.  The report serializes as the RunReport `profile` section
+// (schema v3) and its advise() pass turns the numbers into concrete tuning
+// hints.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mc::obs {
+
+/// Sketch bounds and ranking depth.  Defaults hold every variable of the
+/// committed benches exactly (bench_directory has 512 vars at 64 procs);
+/// shrink them to exercise the overflow path.
+struct ProfilerOptions {
+  std::size_t max_vars = 1024;
+  std::size_t max_locks = 256;
+  std::size_t max_barriers = 64;
+  /// Rows per ranked table in the serialized report.
+  std::size_t top_k = 10;
+};
+
+/// Per-variable attribution row.  `update_bytes` is the approximate wire
+/// cost of this variable's update propagation (header + payload estimate
+/// per destination, the same heuristic as Node::approx_batch_bytes) — it
+/// is documented as approximate and excluded from the strict reconciliation
+/// identities.
+struct VarProfile {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t fetches = 0;       // demand fetches + directory fills faulted
+  std::uint64_t fill_records = 0;  // records paged in (incl. prefetch)
+  std::uint64_t evictions = 0;
+  std::uint64_t update_bytes = 0;
+  std::uint64_t sharer_adds = 0;  // directory home: sharer-set churn
+  std::uint64_t sharer_dels = 0;
+
+  [[nodiscard]] std::uint64_t total_ops() const {
+    return reads + writes + fetches + evictions;
+  }
+  [[nodiscard]] std::uint64_t event_count() const {
+    return reads + writes + fetches + fill_records + evictions + sharer_adds +
+           sharer_dels;
+  }
+  void merge(const VarProfile& o);
+};
+
+/// Per-lock attribution row.  Acquire latency and hold time are recorded
+/// node-side (they span the request round trip and the critical section);
+/// contention, queue depth and handoffs are recorded at the manager, which
+/// is the only place that sees the queue.
+struct LockProfile {
+  std::uint64_t acquires = 0;
+  std::uint64_t contended = 0;  // request could not be granted on arrival
+  std::uint64_t handoffs = 0;   // granted to a non-member of the previous episode
+  std::uint64_t acquire_ns_sum = 0;
+  std::uint64_t acquire_ns_max = 0;
+  std::uint64_t holds = 0;
+  std::uint64_t hold_ns_sum = 0;
+  std::uint64_t hold_ns_max = 0;
+  std::uint64_t max_queue = 0;
+
+  [[nodiscard]] std::uint64_t event_count() const {
+    return acquires + contended + handoffs + holds;
+  }
+  void merge(const LockProfile& o);
+};
+
+/// Per-barrier attribution row.  Skew is the manager's assemble time for
+/// one instance: first arrival to release, i.e. how long the fastest
+/// arriver waited for the slowest.
+struct BarrierProfile {
+  std::uint64_t instances = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t skew_ns_sum = 0;
+  std::uint64_t skew_ns_max = 0;
+
+  [[nodiscard]] std::uint64_t event_count() const { return instances + arrivals; }
+  void merge(const BarrierProfile& o);
+};
+
+/// Capped-cardinality attribution table: exact rows for the first `cap`
+/// distinct ids, a single aggregate row for the rest.  `overflow_events`
+/// counts every recorded event routed to the aggregate (monotone; soak
+/// streams check this).
+template <typename T>
+struct BoundedTable {
+  std::size_t cap = 0;
+  std::map<std::uint64_t, T> entries;
+  T overflow;
+  std::uint64_t overflow_events = 0;
+
+  /// The row for `id`, or the overflow aggregate when the table is full.
+  /// Counts `events` (default one) against the overflow tally if routed.
+  T& slot(std::uint64_t id, std::uint64_t events = 1) {
+    auto it = entries.find(id);
+    if (it != entries.end()) return it->second;
+    if (entries.size() < cap) return entries[id];
+    overflow_events += events;
+    return overflow;
+  }
+
+  /// Merge another table into this one, respecting this table's cap: rows
+  /// that no longer fit spill into the overflow aggregate with their event
+  /// counts added to the tally.
+  void merge(const BoundedTable& o) {
+    overflow_events += o.overflow_events;
+    overflow.merge(o.overflow);
+    for (const auto& [id, row] : o.entries) {
+      slot(id, row.event_count()).merge(row);
+    }
+  }
+};
+
+/// Mergeable, serializable snapshot of one or more profilers.  This is the
+/// type stored on RunReport rows (the `profile` section, schema v3).
+struct ProfileReport {
+  ProfilerOptions options;
+  BoundedTable<VarProfile> vars;
+  BoundedTable<LockProfile> locks;
+  BoundedTable<BarrierProfile> barriers;
+
+  ProfileReport() : ProfileReport(ProfilerOptions{}) {}
+  explicit ProfileReport(const ProfilerOptions& opt) : options(opt) {
+    vars.cap = opt.max_vars;
+    locks.cap = opt.max_locks;
+    barriers.cap = opt.max_barriers;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return vars.entries.empty() && locks.entries.empty() &&
+           barriers.entries.empty() && vars.overflow_events == 0 &&
+           locks.overflow_events == 0 && barriers.overflow_events == 0;
+  }
+
+  void merge(const ProfileReport& o);
+
+  /// Ranked views: vars by total_ops(), locks by acquire_ns_sum, barriers
+  /// by skew_ns_sum; ties break id-ascending.  Deterministic.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, VarProfile>> top_vars(
+      std::size_t k) const;
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, LockProfile>> top_locks(
+      std::size_t k) const;
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, BarrierProfile>> top_barriers(
+      std::size_t k) const;
+
+  /// Advisor pass (docs/PROFILING.md lists the rules): concrete tuning
+  /// hints derived from the attribution rows, deterministic order.
+  [[nodiscard]] std::vector<std::string> advise() const;
+
+  /// One-line culprit summaries for watchdog stall reports: the hottest
+  /// contended lock and the hottest variable, when they exist.
+  [[nodiscard]] std::vector<std::string> hot_summary() const;
+};
+
+/// The live recorder.  One per node / manager; every record method takes
+/// the internal mutex (callers hold their own locks — keep the critical
+/// sections disjoint by never calling out under mu_).
+class ContentionProfiler {
+ public:
+  explicit ContentionProfiler(const ProfilerOptions& opt) : report_(opt) {}
+
+  ContentionProfiler(const ContentionProfiler&) = delete;
+  ContentionProfiler& operator=(const ContentionProfiler&) = delete;
+
+  // -- variable events ---------------------------------------------------
+  void record_read(std::uint64_t var);
+  void record_write(std::uint64_t var);
+  void record_fetch(std::uint64_t var);
+  void record_fill_record(std::uint64_t var);
+  void record_eviction(std::uint64_t var);
+  void record_update_bytes(std::uint64_t var, std::uint64_t bytes);
+  void record_sharer_add(std::uint64_t var);
+  void record_sharer_del(std::uint64_t var);
+
+  // -- lock events -------------------------------------------------------
+  void record_lock_acquire(std::uint64_t lock, std::uint64_t wait_ns);
+  void record_lock_hold(std::uint64_t lock, std::uint64_t hold_ns);
+  void record_lock_queue(std::uint64_t lock, std::uint64_t depth, bool contended);
+  void record_lock_handoff(std::uint64_t lock);
+
+  // -- barrier events ----------------------------------------------------
+  void record_barrier_instance(std::uint64_t barrier, std::uint64_t skew_ns,
+                               std::uint64_t arrivals);
+
+  /// Consistent copy of the accumulated report (safe to call while the
+  /// system runs; MetricsSampler and the watchdog do).
+  [[nodiscard]] ProfileReport snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  ProfileReport report_;
+};
+
+}  // namespace mc::obs

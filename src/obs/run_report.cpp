@@ -52,6 +52,124 @@ std::string RunReport::to_json() const {
       w.key("path_nodes").value(static_cast<std::int64_t>(cp.path_nodes));
       w.end_object();
     }
+    if (row.profile_present) {
+      const ProfileReport& pr = row.profile;
+      const auto var_fields = [&w](const VarProfile& v) {
+        w.key("reads").value(v.reads);
+        w.key("writes").value(v.writes);
+        w.key("fetches").value(v.fetches);
+        w.key("fill_records").value(v.fill_records);
+        w.key("evictions").value(v.evictions);
+        w.key("update_bytes").value(v.update_bytes);
+        w.key("sharer_adds").value(v.sharer_adds);
+        w.key("sharer_dels").value(v.sharer_dels);
+      };
+      const auto lock_fields = [&w](const LockProfile& l) {
+        w.key("acquires").value(l.acquires);
+        w.key("contended").value(l.contended);
+        w.key("handoffs").value(l.handoffs);
+        w.key("acquire_ns_sum").value(l.acquire_ns_sum);
+        w.key("acquire_ns_max").value(l.acquire_ns_max);
+        w.key("holds").value(l.holds);
+        w.key("hold_ns_sum").value(l.hold_ns_sum);
+        w.key("hold_ns_max").value(l.hold_ns_max);
+        w.key("max_queue").value(l.max_queue);
+      };
+      const auto barrier_fields = [&w](const BarrierProfile& b) {
+        w.key("instances").value(b.instances);
+        w.key("arrivals").value(b.arrivals);
+        w.key("skew_ns_sum").value(b.skew_ns_sum);
+        w.key("skew_ns_max").value(b.skew_ns_max);
+      };
+      w.key("profile").begin_object();
+      w.key("caps").begin_object();
+      w.key("max_vars").value(static_cast<std::uint64_t>(pr.options.max_vars));
+      w.key("max_locks").value(static_cast<std::uint64_t>(pr.options.max_locks));
+      w.key("max_barriers").value(static_cast<std::uint64_t>(pr.options.max_barriers));
+      w.key("top_k").value(static_cast<std::uint64_t>(pr.options.top_k));
+      w.end_object();
+
+      w.key("vars").begin_object();
+      w.key("tracked").value(static_cast<std::uint64_t>(pr.vars.entries.size()));
+      w.key("overflow_events").value(pr.vars.overflow_events);
+      {
+        VarProfile tot = pr.vars.overflow;
+        for (const auto& [id, v] : pr.vars.entries) tot.merge(v);
+        w.key("totals").begin_object();
+        var_fields(tot);
+        w.end_object();
+      }
+      if (pr.vars.overflow_events > 0) {
+        w.key("overflow").begin_object();
+        var_fields(pr.vars.overflow);
+        w.end_object();
+      }
+      w.key("top").begin_array();
+      for (const auto& [id, v] : pr.top_vars(pr.options.top_k)) {
+        w.begin_object();
+        w.key("id").value(id);
+        var_fields(v);
+        w.key("total_ops").value(v.total_ops());
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+
+      w.key("locks").begin_object();
+      w.key("tracked").value(static_cast<std::uint64_t>(pr.locks.entries.size()));
+      w.key("overflow_events").value(pr.locks.overflow_events);
+      {
+        LockProfile tot = pr.locks.overflow;
+        for (const auto& [id, l] : pr.locks.entries) tot.merge(l);
+        w.key("totals").begin_object();
+        lock_fields(tot);
+        w.end_object();
+      }
+      if (pr.locks.overflow_events > 0) {
+        w.key("overflow").begin_object();
+        lock_fields(pr.locks.overflow);
+        w.end_object();
+      }
+      w.key("top").begin_array();
+      for (const auto& [id, l] : pr.top_locks(pr.options.top_k)) {
+        w.begin_object();
+        w.key("id").value(id);
+        lock_fields(l);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+
+      w.key("barriers").begin_object();
+      w.key("tracked").value(static_cast<std::uint64_t>(pr.barriers.entries.size()));
+      w.key("overflow_events").value(pr.barriers.overflow_events);
+      {
+        BarrierProfile tot = pr.barriers.overflow;
+        for (const auto& [id, b] : pr.barriers.entries) tot.merge(b);
+        w.key("totals").begin_object();
+        barrier_fields(tot);
+        w.end_object();
+      }
+      if (pr.barriers.overflow_events > 0) {
+        w.key("overflow").begin_object();
+        barrier_fields(pr.barriers.overflow);
+        w.end_object();
+      }
+      w.key("top").begin_array();
+      for (const auto& [id, b] : pr.top_barriers(pr.options.top_k)) {
+        w.begin_object();
+        w.key("id").value(id);
+        barrier_fields(b);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+
+      w.key("advice").begin_array();
+      for (const std::string& hint : pr.advise()) w.value(hint);
+      w.end_array();
+      w.end_object();
+    }
     if (row.diagnostics.fired) {
       const Diagnostics& d = row.diagnostics;
       const auto string_list = [&w](const char* key,
@@ -70,6 +188,7 @@ std::string RunReport::to_json() const {
       for (const std::uint64_t n : d.in_flight) w.value(n);
       w.end_array();
       string_list("unreachable", d.unreachable);
+      if (!d.hot.empty()) string_list("hot", d.hot);
       w.end_object();
     }
     w.end_object();

@@ -14,13 +14,16 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/profiler.h"
 
 namespace mc::obs {
 
 struct RunReport {
   /// Bumped whenever the document layout changes incompatibly.
   /// v2: rows gained an optional "critical_path" section (docs/METRICS.md).
-  static constexpr int kSchemaVersion = 2;
+  /// v3: rows gained an optional "profile" section (contention profiler,
+  ///     docs/PROFILING.md) and diagnostics gained the "hot" culprit list.
+  static constexpr int kSchemaVersion = 3;
 
   /// Harness name, e.g. "bench_sync"; names the BENCH_<name>.json artifact.
   std::string bench;
@@ -40,6 +43,10 @@ struct RunReport {
     std::vector<std::string> barriers;
     std::vector<std::uint64_t> in_flight;
     std::vector<std::string> unreachable;
+    /// Hottest contended lock / hottest variable from the live contention
+    /// profile (only when Config::profile was set), so a stall report
+    /// names a culprit instead of just a wait set.
+    std::vector<std::string> hot;
   };
 
   /// Critical-path decomposition of the case's trace window
@@ -72,6 +79,11 @@ struct RunReport {
     MetricsSnapshot metrics;
     /// Present only for rows measured under `--trace`.
     CriticalPathSection critical_path;
+    /// Contention-profiler attribution (src/obs/profiler.h).  Serialized
+    /// under the row's "profile" key only when `profile_present` is set —
+    /// rows from unprofiled runs keep their layout unchanged.
+    bool profile_present = false;
+    ProfileReport profile;
     /// Present (fired == true) only when the case's watchdog fired.
     Diagnostics diagnostics;
   };

@@ -18,6 +18,10 @@ bool timeseries_is_gauge(std::string_view key) {
       "monitor.verdict.mixed",  "monitor.structural_ok",
       "net.peer_unreachable",   "watchdog.blocked_waits",
       "watchdog.fired",
+      // Profiler sketch occupancy is a level of the live tables, not an
+      // event counter (the overflow tallies, by contrast, are counters).
+      "profile.vars.tracked", "profile.locks.tracked",
+      "profile.barriers.tracked",
   };
   for (std::string_view k : kLevels) {
     if (key == k) return true;

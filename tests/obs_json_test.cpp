@@ -103,7 +103,8 @@ TEST(RunReport, MetricsSnapshotRoundTrip) {
 
   const auto v = JsonValue::parse(r.to_json());
   ASSERT_TRUE(v.has_value());
-  EXPECT_EQ(v->find("schema_version")->uint_value, 2u);
+  EXPECT_EQ(v->find("schema_version")->uint_value,
+            static_cast<std::uint64_t>(RunReport::kSchemaVersion));
   EXPECT_EQ(v->find("bench")->string, "roundtrip");
   const JsonValue& row_v = v->find("rows")->elements.at(0);
   EXPECT_EQ(row_v.find("name")->string, "case");
@@ -114,6 +115,73 @@ TEST(RunReport, MetricsSnapshotRoundTrip) {
   ASSERT_TRUE(metrics->find("net.messages")->is_uint);
   EXPECT_EQ(metrics->find("net.messages")->uint_value, 12345u);
   EXPECT_EQ(metrics->find("lock.acquire_ns.p99")->uint_value, 999u);
+}
+
+TEST(JsonWriter, DeeplyNestedSectionsRoundTrip) {
+  // The shape of a RunReport row's profile section: object -> object ->
+  // array -> object, four levels deep, with pretty-printing on.  Every
+  // value must come back through the parser exactly.
+  JsonWriter w;
+  w.begin_object()
+      .key("profile")
+      .begin_object()
+      .key("vars")
+      .begin_object()
+      .key("top")
+      .begin_array()
+      .begin_object()
+      .key("id")
+      .value(std::uint64_t{7})
+      .key("name")
+      .value("x[\"0\"]\n")  // quotes + newline must survive the trip
+      .end_object()
+      .end_array()
+      .key("tracked")
+      .value(std::uint64_t{1})
+      .end_object()
+      .key("advice")
+      .begin_array()
+      .value("lock 3: \\ backslash and \t tab")
+      .end_array()
+      .end_object()
+      .end_object();
+  const auto v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* vars = v->find("profile")->find("vars");
+  ASSERT_NE(vars, nullptr);
+  EXPECT_EQ(vars->find("tracked")->uint_value, 1u);
+  const JsonValue& entry = vars->find("top")->elements.at(0);
+  EXPECT_EQ(entry.find("id")->uint_value, 7u);
+  EXPECT_EQ(entry.find("name")->string, "x[\"0\"]\n");
+  EXPECT_EQ(v->find("profile")->find("advice")->elements.at(0).string,
+            "lock 3: \\ backslash and \t tab");
+}
+
+TEST(JsonWriter, Uint64BeyondDoublePrecisionRoundTrips) {
+  // Counters exceed 2^53 in long soaks (ns sums); the writer must emit
+  // full integer digits and the parser must keep them exact, not round
+  // through a double.
+  const std::uint64_t big = (std::uint64_t{1} << 53) + 1;  // 9007199254740993
+  const std::uint64_t max = ~std::uint64_t{0};
+  JsonWriter w(0);
+  w.begin_object()
+      .key("big")
+      .value(big)
+      .key("max")
+      .value(max)
+      .end_object();
+  EXPECT_NE(w.str().find("9007199254740993"), std::string::npos);
+  EXPECT_NE(w.str().find("18446744073709551615"), std::string::npos);
+  const auto v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->find("big")->is_uint);
+  EXPECT_EQ(v->find("big")->uint_value, big);
+  ASSERT_TRUE(v->find("max")->is_uint);
+  EXPECT_EQ(v->find("max")->uint_value, max);
+  // A neighbouring value that IS representable must still parse as uint.
+  const auto small = JsonValue::parse("9007199254740992");
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->uint_value, std::uint64_t{1} << 53);
 }
 
 TEST(RunReport, EmptyOptionalSectionsAreOmitted) {

@@ -1,0 +1,236 @@
+// Contention-profiler unit + end-to-end tests (docs/PROFILING.md): the
+// bounded-sketch accounting (exact rows, overflow aggregate, counted
+// overflow events), cap-respecting merge, deterministic rankings, the
+// advisor/hot-summary passes, and the two system-level contracts — strict
+// reconciliation against metrics() when enabled, zero profile surface when
+// disabled.
+
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "common/stats.h"
+#include "dsm/system.h"
+#include "net/latency.h"
+
+namespace mc {
+namespace {
+
+using obs::BoundedTable;
+using obs::ContentionProfiler;
+using obs::ProfileReport;
+using obs::ProfilerOptions;
+using obs::VarProfile;
+
+TEST(BoundedTableTest, OverflowAccountingIsExact) {
+  BoundedTable<VarProfile> t;
+  t.cap = 2;
+  t.slot(10).reads += 1;
+  t.slot(20).reads += 1;
+  t.slot(10).writes += 1;  // existing id stays exact even when full
+  t.slot(30).reads += 1;   // third id: routed to overflow
+  t.slot(40).writes += 1;
+  t.slot(30).reads += 1;  // still overflow — ids are not remembered there
+
+  EXPECT_EQ(t.entries.size(), 2u);
+  EXPECT_TRUE(t.entries.count(10));
+  EXPECT_TRUE(t.entries.count(20));
+  EXPECT_EQ(t.overflow_events, 3u);
+  EXPECT_EQ(t.overflow.reads, 2u);
+  EXPECT_EQ(t.overflow.writes, 1u);
+  // Nothing was dropped: exact rows + overflow = everything recorded.
+  const std::uint64_t reads =
+      t.entries[10].reads + t.entries[20].reads + t.overflow.reads;
+  EXPECT_EQ(reads, 4u);
+}
+
+TEST(BoundedTableTest, MergeRespectsDestinationCap) {
+  BoundedTable<VarProfile> small;
+  small.cap = 1;
+  small.slot(1).reads = 5;
+
+  BoundedTable<VarProfile> big;
+  big.cap = 4;
+  big.slot(1).reads = 2;
+  big.slot(2).writes = 3;
+  big.slot(3).reads = 7;
+  big.overflow_events = 2;
+  big.overflow.reads = 2;
+
+  small.merge(big);
+  // id 1 merged exactly; ids 2 and 3 spilled into overflow with their
+  // event counts added to the tally; the source overflow carried over.
+  EXPECT_EQ(small.entries.size(), 1u);
+  EXPECT_EQ(small.entries[1].reads, 7u);
+  EXPECT_EQ(small.overflow.writes, 3u);
+  EXPECT_EQ(small.overflow.reads, 9u);
+  EXPECT_EQ(small.overflow_events, 2u + 3u + 7u);
+}
+
+TEST(ProfileReportTest, RankingsAreDeterministicWithIdTieBreak) {
+  ProfilerOptions opt;
+  ProfileReport r(opt);
+  r.vars.slot(7).reads = 10;
+  r.vars.slot(3).reads = 10;  // tie with 7: lower id must rank first
+  r.vars.slot(5).reads = 99;
+
+  const auto top = r.top_vars(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 5u);
+  EXPECT_EQ(top[1].first, 3u);
+  EXPECT_EQ(top[2].first, 7u);
+  // Repeated ranking of the same report is identical.
+  const auto again = r.top_vars(3);
+  ASSERT_EQ(again.size(), top.size());
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(again[i].first, top[i].first);
+  }
+}
+
+TEST(ProfileReportTest, SnapshotIsConsistentAndMergeable) {
+  ContentionProfiler p{ProfilerOptions{}};
+  p.record_read(1);
+  p.record_write(1);
+  p.record_lock_acquire(4, 1000);
+  p.record_lock_queue(4, 3, /*contended=*/true);
+  p.record_barrier_instance(0, 500, 2);
+
+  const ProfileReport a = p.snapshot();
+  EXPECT_EQ(a.vars.entries.at(1).reads, 1u);
+  EXPECT_EQ(a.locks.entries.at(4).max_queue, 3u);
+  EXPECT_EQ(a.barriers.entries.at(0).arrivals, 2u);
+
+  ProfileReport sum{ProfilerOptions{}};
+  sum.merge(a);
+  sum.merge(a);
+  EXPECT_EQ(sum.vars.entries.at(1).reads, 2u);
+  EXPECT_EQ(sum.locks.entries.at(4).acquire_ns_sum, 2000u);
+  EXPECT_EQ(sum.barriers.entries.at(0).instances, 2u);
+}
+
+TEST(ProfileReportTest, AdvisorAndHotSummaryNameCulprits) {
+  ProfileReport r{ProfilerOptions{}};
+  auto& v = r.vars.slot(9);
+  v.reads = 1000;
+  v.writes = 1000;
+  auto& l = r.locks.slot(2);
+  l.acquires = 100;
+  l.contended = 90;
+  l.acquire_ns_sum = 90'000'000;
+  l.acquire_ns_max = 5'000'000;
+  l.holds = 100;
+  l.hold_ns_sum = 1'000'000;
+  l.max_queue = 7;
+
+  const auto hot = r.hot_summary();
+  ASSERT_FALSE(hot.empty());
+  bool lock_named = false, var_named = false;
+  for (const auto& line : hot) {
+    lock_named |= line.find("lock 2") != std::string::npos;
+    var_named |= line.find("var 9") != std::string::npos;
+  }
+  EXPECT_TRUE(lock_named);
+  EXPECT_TRUE(var_named);
+  // The advisor fires on a 90%-contended lock, and twice over the same
+  // report is deterministic.
+  const auto advice = r.advise();
+  EXPECT_FALSE(advice.empty());
+  EXPECT_EQ(advice, r.advise());
+  // An empty report stays silent.
+  EXPECT_TRUE(ProfileReport{ProfilerOptions{}}.advise().empty());
+  EXPECT_TRUE(ProfileReport{ProfilerOptions{}}.hot_summary().empty());
+}
+
+dsm::Config profiled_config() {
+  dsm::Config cfg;
+  cfg.num_procs = 2;
+  cfg.num_vars = 8;
+  cfg.latency = net::LatencyModel::fast();
+  cfg.profile = ProfilerOptions{};
+  return cfg;
+}
+
+void contended_workload(dsm::MixedSystem& sys) {
+  sys.run([](dsm::Node& n, ProcId p) {
+    for (int i = 0; i < 20; ++i) {
+      n.wlock(0);
+      n.write_int(0, n.read_int(0, ReadMode::kCausal) + 1);
+      n.wunlock(0);
+      std::ignore = n.read_int(0, ReadMode::kPram);
+      n.barrier();
+    }
+    if (p == 0) n.write(1, 7);
+    n.barrier();
+    n.await(1, 7);
+  });
+}
+
+TEST(ProfilerSystemTest, EnabledRunReconcilesAgainstMetrics) {
+  dsm::MixedSystem sys(profiled_config());
+  contended_workload(sys);
+
+  const ProfileReport pr = sys.profile();
+  const MetricsSnapshot m = sys.metrics();
+  ASSERT_FALSE(pr.empty());
+
+  // The strict identities tools/validate_profile.py enforces in CI.
+  VarProfile totals;
+  for (const auto& [id, row] : pr.vars.entries) totals.merge(row);
+  totals.merge(pr.vars.overflow);
+  EXPECT_EQ(totals.reads, m.get("dsm.reads_pram") + m.get("dsm.reads_causal"));
+  EXPECT_EQ(totals.writes, m.get("dsm.writes") + m.get("dsm.deltas"));
+
+  // Lock 0 was acquired 40 times total (2 procs x 20), same as lockmgr.
+  ASSERT_TRUE(pr.locks.entries.count(0));
+  EXPECT_EQ(pr.locks.entries.at(0).acquires, m.get("lockmgr.grants"));
+  EXPECT_GT(pr.locks.entries.at(0).acquire_ns_sum, 0u);
+  EXPECT_GT(pr.barriers.entries.size(), 0u);
+
+  // Sketch-occupancy metrics mirror the report.
+  EXPECT_EQ(m.get("profile.vars.tracked"), pr.vars.entries.size());
+  EXPECT_EQ(m.get("profile.locks.tracked"), pr.locks.entries.size());
+  EXPECT_EQ(m.get("profile.vars.overflow"), 0u);
+}
+
+TEST(ProfilerSystemTest, DisabledRunHasZeroProfileSurface) {
+  dsm::Config cfg = profiled_config();
+  cfg.profile.reset();
+  dsm::MixedSystem sys(cfg);
+  contended_workload(sys);
+
+  EXPECT_TRUE(sys.profile().empty());
+  for (const auto& [key, value] : sys.metrics().values) {
+    EXPECT_EQ(key.rfind("profile.", 0), std::string::npos)
+        << "unprofiled run leaked metric " << key << " = " << value;
+  }
+}
+
+TEST(ProfilerSystemTest, TinyCapsOverflowButStillReconcile) {
+  dsm::Config cfg = profiled_config();
+  ProfilerOptions tiny;
+  tiny.max_vars = 1;  // 8 vars through a 1-row sketch: overflow is certain
+  tiny.max_locks = 1;
+  tiny.max_barriers = 1;
+  cfg.profile = tiny;
+  dsm::MixedSystem sys(cfg);
+  sys.run([](dsm::Node& n, ProcId) {
+    for (VarId v = 0; v < 8; ++v) n.write(v, static_cast<int>(v));
+    n.barrier();
+  });
+
+  const ProfileReport pr = sys.profile();
+  EXPECT_LE(pr.vars.entries.size(), 1u);
+  EXPECT_GT(pr.vars.overflow_events, 0u);
+  VarProfile totals;
+  for (const auto& [id, row] : pr.vars.entries) totals.merge(row);
+  totals.merge(pr.vars.overflow);
+  const MetricsSnapshot m = sys.metrics();
+  EXPECT_EQ(totals.writes, m.get("dsm.writes") + m.get("dsm.deltas"));
+  EXPECT_EQ(m.get("profile.vars.overflow"), pr.vars.overflow_events);
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Structural validation for RunReport `profile` sections (docs/PROFILING.md).
+
+  validate_profile.py <report.json> [--solver-strip] [--fetch-share-boundary F]
+
+Checks a schema-v3 RunReport produced under `--profile`:
+
+  - at least one row carries a profile section, and every profile section is
+    well formed: caps object, per-table tracked/overflow_events/totals/top,
+    an advice array of strings;
+  - ranked order: each `top` array is sorted by its ranking key (vars by
+    total_ops, locks by acquire_ns_sum, barriers by skew_ns_sum) descending,
+    ties id-ascending — the serialization is deterministic, so any
+    disorder means the sketch itself is broken;
+  - reconciliation: the sketch totals (exact rows + overflow aggregate)
+    equal the row's global metrics() aggregates exactly:
+        reads      == dsm.reads_pram + dsm.reads_causal
+        writes     == dsm.writes + dsm.deltas
+        fetches    == dsm.fetches + directory.fills
+        evictions  == directory.evictions
+    Nothing is dropped by the bounded tables, only coarsened
+    (update_bytes is documented as approximate and not reconciled);
+  - sketch-occupancy metrics (profile.*.tracked / .overflow), when present,
+    match the serialized section.
+
+Acceptance-gate modes:
+
+  --solver-strip            every profiled bench_solver row's top-K hot
+                            variables must all be x-vector components
+                            (id < params.n) — the solver's traffic is the
+                            estimate, not the handshake flags.
+  --fetch-share-boundary F  the bench_directory `directory` row must
+                            attribute at least fraction F of all fetch
+                            traffic to boundary-window variables
+                            (id % stripe < window, from row params) —
+                            the demand-paging cost lives on the rows each
+                            process reads from its ring neighbour.
+
+Exit status 0 on success; 1 with a diagnostic on the first hard failure.
+"""
+
+import argparse
+
+from validators_common import fail, load_json
+
+VAR_FIELDS = ("reads", "writes", "fetches", "fill_records", "evictions",
+              "update_bytes", "sharer_adds", "sharer_dels")
+LOCK_FIELDS = ("acquires", "contended", "handoffs", "acquire_ns_sum",
+               "acquire_ns_max", "holds", "hold_ns_sum", "hold_ns_max",
+               "max_queue")
+BARRIER_FIELDS = ("instances", "arrivals", "skew_ns_sum", "skew_ns_max")
+
+RANK_KEY = {
+    "vars": lambda row: row["total_ops"],
+    "locks": lambda row: row["acquire_ns_sum"],
+    "barriers": lambda row: row["skew_ns_sum"],
+}
+
+
+def require_counts(obj, fields, where):
+    for f in fields:
+        v = obj.get(f)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"{where}: '{f}' is not a non-negative integer: {v!r}")
+
+
+def check_table(profile, kind, fields, where):
+    table = profile.get(kind)
+    if not isinstance(table, dict):
+        fail(f"{where}: no '{kind}' table")
+    where = f"{where}.{kind}"
+    for key in ("tracked", "overflow_events"):
+        v = table.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{where}: '{key}' missing or negative")
+    if not isinstance(table.get("totals"), dict):
+        fail(f"{where}: no totals object")
+    require_counts(table["totals"], fields, f"{where}.totals")
+    if table["overflow_events"] > 0 and "overflow" not in table:
+        fail(f"{where}: overflow_events > 0 but no overflow aggregate")
+    if "overflow" in table:
+        require_counts(table["overflow"], fields, f"{where}.overflow")
+
+    top = table.get("top")
+    if not isinstance(top, list):
+        fail(f"{where}: no top array")
+    caps = profile["caps"]
+    if len(top) > min(caps["top_k"], table["tracked"]):
+        fail(f"{where}: top has {len(top)} rows, more than "
+             f"min(top_k={caps['top_k']}, tracked={table['tracked']})")
+    rank = RANK_KEY[kind]
+    for i, row in enumerate(top):
+        if not isinstance(row.get("id"), int) or row["id"] < 0:
+            fail(f"{where}.top[{i}]: missing id")
+        require_counts(row, fields, f"{where}.top[{i}]")
+        if kind == "vars" and "total_ops" not in row:
+            fail(f"{where}.top[{i}]: missing total_ops")
+        if i > 0:
+            prev = top[i - 1]
+            if rank(row) > rank(prev):
+                fail(f"{where}.top: not sorted by rank key at index {i}: "
+                     f"{rank(row)} after {rank(prev)}")
+            if rank(row) == rank(prev) and row["id"] < prev["id"]:
+                fail(f"{where}.top: tie at index {i} not broken "
+                     f"id-ascending: id {row['id']} after {prev['id']}")
+    return table
+
+
+def reconcile(where, label, sketch_total, metric_total):
+    if sketch_total != metric_total:
+        fail(f"{where}: {label}: sketch total {sketch_total} != "
+             f"metrics aggregate {metric_total}")
+
+
+def check_row(row, where):
+    """Full structural + reconciliation check of one profiled row."""
+    profile = row["profile"]
+    caps = profile.get("caps")
+    if not isinstance(caps, dict):
+        fail(f"{where}: no caps object")
+    for key in ("max_vars", "max_locks", "max_barriers", "top_k"):
+        if not isinstance(caps.get(key), int) or caps[key] < 1:
+            fail(f"{where}: caps.{key} missing or < 1")
+
+    vars_t = check_table(profile, "vars", VAR_FIELDS, where)
+    locks_t = check_table(profile, "locks", LOCK_FIELDS, where)
+    barriers_t = check_table(profile, "barriers", BARRIER_FIELDS, where)
+
+    advice = profile.get("advice")
+    if not isinstance(advice, list) or not all(
+            isinstance(a, str) and a for a in advice):
+        fail(f"{where}: advice is not an array of non-empty strings")
+
+    m = row.get("metrics", {})
+
+    def metric(key):
+        v = m.get(key, 0)
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"{where}: metric {key} is not a non-negative number: {v!r}")
+        return int(v)
+
+    # The strict identities (docs/PROFILING.md "Reconciliation"): every
+    # profiler call site sits adjacent to the stats counter it mirrors, so
+    # the sketch (exact rows + overflow) loses nothing.
+    tot = vars_t["totals"]
+    reconcile(where, "vars.reads", tot["reads"],
+              metric("dsm.reads_pram") + metric("dsm.reads_causal"))
+    reconcile(where, "vars.writes", tot["writes"],
+              metric("dsm.writes") + metric("dsm.deltas"))
+    reconcile(where, "vars.fetches", tot["fetches"],
+              metric("dsm.fetches") + metric("directory.fills"))
+    reconcile(where, "vars.evictions", tot["evictions"],
+              metric("directory.evictions"))
+    if "directory.fill_records" in m:
+        reconcile(where, "vars.fill_records", tot["fill_records"],
+                  metric("directory.fill_records"))
+
+    # Sketch-occupancy metrics (profile.*) mirror the serialized section.
+    occupancy = (("profile.vars.tracked", vars_t["tracked"]),
+                 ("profile.vars.overflow", vars_t["overflow_events"]),
+                 ("profile.locks.tracked", locks_t["tracked"]),
+                 ("profile.locks.overflow", locks_t["overflow_events"]),
+                 ("profile.barriers.tracked", barriers_t["tracked"]),
+                 ("profile.barriers.overflow", barriers_t["overflow_events"]))
+    for key, expected in occupancy:
+        if key in m and int(m[key]) != expected:
+            fail(f"{where}: metric {key} = {int(m[key])} != "
+                 f"profile section value {expected}")
+
+
+def check_solver_strip(row, where):
+    """bench_solver gate: the top-K hot variables are all x components."""
+    n = int(row.get("params", {}).get("n", 0))
+    if n == 0:
+        fail(f"{where}: no params.n to check the strip partition against")
+    top = row["profile"]["vars"]["top"]
+    if not top:
+        fail(f"{where}: empty top-vars ranking")
+    for entry in top:
+        if entry["id"] >= n:
+            fail(f"{where}: hot variable {entry['id']} is not an x-vector "
+                 f"component (n = {n}) — ranking does not match the strip "
+                 f"partition")
+    return len(top)
+
+
+def check_fetch_share(row, where, min_share):
+    """bench_directory gate: boundary-window vars own the fetch traffic."""
+    params = row.get("params", {})
+    try:
+        stripe = int(params["stripe"])
+        window = int(params["window"])
+    except (KeyError, ValueError):
+        fail(f"{where}: missing stripe/window params for the boundary check")
+    vars_t = row["profile"]["vars"]
+    if vars_t["overflow_events"] > 0:
+        fail(f"{where}: var sketch overflowed ({vars_t['overflow_events']} "
+             f"events) — the boundary attribution is not exact; raise "
+             f"max_vars")
+    total = vars_t["totals"]["fetches"]
+    if total == 0:
+        fail(f"{where}: no fetch traffic recorded")
+    boundary = sum(e["fetches"] for e in vars_t["top"]
+                   if e["id"] % stripe < window)
+    share = boundary / total
+    if share < min_share:
+        fail(f"{where}: boundary-row fetch share {share:.1%} < "
+             f"{min_share:.1%} (boundary {boundary} / total {total})")
+    return share
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("report", help="RunReport JSON from a --profile run")
+    ap.add_argument("--solver-strip", action="store_true",
+                    help="require every profiled row's hot vars to be "
+                         "x-vector components (bench_solver)")
+    ap.add_argument("--fetch-share-boundary", type=float, default=None,
+                    metavar="F",
+                    help="require the 'directory' row to attribute >= F of "
+                         "fetch traffic to boundary-window variables "
+                         "(bench_directory)")
+    args = ap.parse_args()
+
+    doc = load_json(args.report)
+    if doc.get("schema_version") != 3:
+        fail(f"{args.report}: schema_version {doc.get('schema_version')} != 3")
+    rows = doc.get("rows", [])
+    if not rows:
+        fail(f"{args.report}: no rows")
+
+    profiled = [(i, r) for i, r in enumerate(rows) if "profile" in r]
+    if not profiled:
+        fail(f"{args.report}: no row carries a profile section "
+             f"(was the bench run with --profile?)")
+
+    strip_checked = 0
+    for i, row in profiled:
+        where = f"{args.report}: row '{row.get('name', i)}'"
+        check_row(row, where)
+        if args.solver_strip:
+            strip_checked += 1
+            check_solver_strip(row, where)
+
+    share = None
+    if args.fetch_share_boundary is not None:
+        directory_rows = [r for _, r in profiled if r.get("name") == "directory"]
+        if not directory_rows:
+            fail(f"{args.report}: no profiled 'directory' row for the "
+                 f"fetch-share gate")
+        where = f"{args.report}: row 'directory'"
+        share = check_fetch_share(directory_rows[0], where,
+                                  args.fetch_share_boundary)
+
+    msg = (f"OK: {args.report}: {len(profiled)}/{len(rows)} rows profiled, "
+           f"all reconciled")
+    if args.solver_strip:
+        msg += f", strip partition holds on {strip_checked} rows"
+    if share is not None:
+        msg += f", boundary fetch share {share:.1%}"
+    print(msg)
+
+
+if __name__ == "__main__":
+    main()

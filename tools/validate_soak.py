@@ -12,6 +12,8 @@ carries a per-model verdict; exactly one final line closes the stream, its
 verdict present and its iteration count matching the iteration lines.  If a
 violation line exists, its embedded counterexample DOT must itself pass the
 structural DOT check with trace correlation ids on every cycle node.
+Profile records (one per iteration under --profile) must carry well-formed
+cumulative sketch tallies, monotone non-decreasing across the stream.
 
 With --expect-clean (the CI soak), the final line must report zero
 violations, zero structural failures, zero skipped operations, and a true
@@ -25,7 +27,17 @@ import argparse
 
 from validators_common import fail, load_jsonl, validate_dot_text
 
-KNOWN_TYPES = {"meta", "sample", "iteration", "violation", "view_change", "final"}
+KNOWN_TYPES = {"meta", "sample", "iteration", "violation", "view_change",
+               "profile", "final"}
+
+# Required counts in a profile record (one per iteration under --profile).
+# Tracked/overflow tallies describe the soak-cumulative merged report, so
+# they must be monotone non-decreasing across the stream.
+PROFILE_COUNT_KEYS = (
+    "vars_tracked", "vars_overflow",
+    "locks_tracked", "locks_overflow",
+    "barriers_tracked", "barriers_overflow",
+)
 
 # Cumulative counters of the ownership directory (docs/DIRECTORY.md,
 # docs/METRICS.md).  Histogram flats ride under directory.fill_wait_ns.*.
@@ -88,9 +100,11 @@ def validate(path, expect_clean, min_samples):
     iterations = []
     violations = []
     view_changes = []
+    profiles = []
     finals = []
     last_t = None
     dir_prev = {}
+    profile_prev = {}
     for lineno, rec in enumerate(records[1:], start=2):
         where = f"{path}:{lineno}"
         rtype = rec.get("type")
@@ -139,6 +153,22 @@ def validate(path, expect_clean, min_samples):
                 fail(f"{where}: view_change cumulative total not monotone: "
                      f"{rec['total']} after {view_changes[-1]['total']}")
             view_changes.append(rec)
+        elif rtype == "profile":
+            for key in ("iteration", "app") + PROFILE_COUNT_KEYS:
+                if key not in rec:
+                    fail(f"{where}: profile record missing '{key}'")
+            for key in PROFILE_COUNT_KEYS:
+                v = rec[key]
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    fail(f"{where}: profile.{key} is not a non-negative "
+                         f"integer: {v!r}")
+                # The record describes the cumulative merged report, so
+                # every tally is monotone non-decreasing.
+                if key in profile_prev and v < profile_prev[key]:
+                    fail(f"{where}: cumulative profile tally {key} went "
+                         f"backwards: {v} after {profile_prev[key]}")
+                profile_prev[key] = v
+            profiles.append(rec)
         elif rtype == "violation":
             dot = rec.get("dot", "")
             if dot:
@@ -187,8 +217,13 @@ def validate(path, expect_clean, min_samples):
         if violations:
             fail(f"{path}: clean run contains a violation record")
 
+    if profiles and len(profiles) != len(iterations):
+        fail(f"{path}: {len(profiles)} profile records for "
+             f"{len(iterations)} iterations (expected one per iteration)")
+
     print(f"OK: {path}: {samples} samples, {len(iterations)} iterations, "
           f"{len(view_changes)} view changes, "
+          f"{len(profiles)} profile records, "
           f"{len(violations)} violation records, "
           f"final verdict mixed={final['verdict']['mixed']} "
           f"causal={final['verdict']['causal']} pram={final['verdict']['pram']}")

@@ -12,7 +12,7 @@ Two modes:
 
   validate_trace.py report <report.json> [--tolerance 0.2] [--min-wall-ms 5]
       Checks a RunReport produced by `--json` under `--trace`: schema
-      version 2, every row carries a critical_path section, the per-category
+      version 3, every row carries a critical_path section, the per-category
       sums equal the reported total, and for rows with wall_ms >=
       --min-wall-ms the critical-path total reconciles with wall_ms to
       within --tolerance (relative).
@@ -86,8 +86,8 @@ def validate_trace(path, min_bind):
 
 def validate_report(path, tolerance, min_wall_ms):
     doc = load_json(path)
-    if doc.get("schema_version") != 2:
-        fail(f"{path}: schema_version {doc.get('schema_version')} != 2")
+    if doc.get("schema_version") != 3:
+        fail(f"{path}: schema_version {doc.get('schema_version')} != 3")
     rows = doc.get("rows", [])
     if not rows:
         fail(f"{path}: no rows")
